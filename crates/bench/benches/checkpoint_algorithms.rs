@@ -1,0 +1,90 @@
+//! Criterion counterpart of Figures 4a/4e: the wall-clock cost of one
+//! complete checkpoint on the real engine, per algorithm, for both
+//! partial (dirty working set) and full checkpoints.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mmdb_core::{Mmdb, MmdbConfig};
+use mmdb_types::{Algorithm, CkptMode, LogMode, RecordId};
+
+fn engine(algorithm: Algorithm, mode: CkptMode) -> Mmdb {
+    let mut cfg = MmdbConfig::small(algorithm);
+    cfg.params.ckpt_mode = mode;
+    if algorithm == Algorithm::FastFuzzy {
+        cfg.params.log_mode = LogMode::StableTail;
+    }
+    let mut db = Mmdb::open_in_memory(cfg).unwrap();
+    // seed both ping-pong copies so the measured checkpoints are honest
+    // partial/full checkpoints, not first-time escalations
+    db.run_txn(&[(RecordId(0), vec![1; db.record_words()])])
+        .unwrap();
+    db.checkpoint().unwrap();
+    db.checkpoint().unwrap();
+    db
+}
+
+fn dirty_some(db: &mut Mmdb, n: u64) {
+    let words = db.record_words();
+    for i in 0..n {
+        db.run_txn(&[(
+            RecordId((i * 97) % db.n_records()),
+            vec![i as u32 + 2; words],
+        )])
+        .unwrap();
+    }
+}
+
+fn bench_partial_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_checkpoint");
+    for alg in Algorithm::ALL {
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter_batched(
+                || {
+                    let mut db = engine(alg, CkptMode::Partial);
+                    dirty_some(&mut db, 50);
+                    db
+                },
+                |mut db| {
+                    db.checkpoint().unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_checkpoint");
+    for alg in [
+        Algorithm::FastFuzzy,
+        Algorithm::FuzzyCopy,
+        Algorithm::CouCopy,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter_batched(
+                || engine(alg, CkptMode::Full),
+                |mut db| {
+                    db.checkpoint().unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_partial_checkpoint, bench_full_checkpoint
+}
+criterion_main!(benches);

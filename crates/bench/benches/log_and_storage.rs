@@ -1,0 +1,126 @@
+//! Microbenchmarks of the substrates: log append/force/scan throughput
+//! and storage install/capture/COU-copy costs. These are the primitive
+//! costs Table 2a abstracts as `C_io`, `C_alloc`, `C_lsn` and data
+//! movement; the bench shows what they cost on real hardware.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mmdb_log::{LogManager, LogRecord, LogScanner, MemLogDevice};
+use mmdb_storage::Storage;
+use mmdb_types::{
+    CostMeter, CostParams, LogMode, Lsn, Params, RecordId, SegmentId, Timestamp, TxnId,
+};
+
+fn update_record(i: u64) -> LogRecord {
+    LogRecord::Update {
+        txn: TxnId(i),
+        record: RecordId(i % 1000),
+        value: vec![i as u32; 32],
+    }
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_append");
+    for (label, mode) in [
+        ("volatile_tail", LogMode::VolatileTail),
+        ("stable_tail", LogMode::StableTail),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut log = LogManager::new(
+                Box::new(MemLogDevice::new()),
+                mode,
+                CostMeter::shared(CostParams::default()),
+            );
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                log.append(&update_record(i))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_append_forced(c: &mut Criterion) {
+    c.bench_function("log_append_forced", |b| {
+        let mut log = LogManager::new(
+            Box::new(MemLogDevice::new()),
+            LogMode::VolatileTail,
+            CostMeter::shared(CostParams::default()),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            log.append_forced(&update_record(i)).unwrap()
+        })
+    });
+}
+
+fn bench_log_scan(c: &mut Criterion) {
+    // build a log of 10k records once
+    let mut bytes = Vec::new();
+    for i in 0..10_000u64 {
+        update_record(i).encode_into(&mut bytes);
+    }
+    let mut group = c.benchmark_group("log_scan_10k_records");
+    group.bench_function("validate_and_forward", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| {
+                let sc = LogScanner::from_bytes(bytes);
+                sc.forward_from(Lsn::ZERO).count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("backward", |b| {
+        let sc = LogScanner::from_bytes(bytes.clone());
+        b.iter(|| sc.backward().count())
+    });
+    group.finish();
+}
+
+fn bench_storage_ops(c: &mut Criterion) {
+    let mut storage = Storage::new(Params::small().db).unwrap();
+    let meter = CostMeter::new(CostParams::default());
+    let value = vec![7u32; 32];
+    let mut group = c.benchmark_group("storage");
+    group.bench_function("install_record", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            storage
+                .install_record(RecordId(i % 2048), &value, Lsn(i), Timestamp(i), &meter)
+                .unwrap()
+        })
+    });
+    group.bench_function("capture_segment", |b| {
+        b.iter(|| storage.capture(SegmentId(3)).unwrap().version)
+    });
+    group.bench_function("cou_save_and_take_old", |b| {
+        b.iter(|| {
+            storage.cou_save_old(SegmentId(5), &meter).unwrap();
+            storage.take_old(SegmentId(5), &meter).unwrap()
+        })
+    });
+    group.bench_function("fingerprint_64k_words", |b| {
+        b.iter(|| storage.fingerprint())
+    });
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_log_append,
+    bench_log_append_forced,
+    bench_log_scan,
+    bench_storage_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmarks of the analytic model and figure generators themselves —
+//! each figure's full sweep is timed, which doubles as a regression guard
+//! that the model stays cheap enough to embed in interactive tools.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmdb_model::figures::{fig4a, fig4b, fig4c, fig4d, fig4e};
+use mmdb_model::AnalyticModel;
+use mmdb_types::{Algorithm, Params};
+
+fn bench_model_point(c: &mut Criterion) {
+    let m = AnalyticModel::new(Params::paper_defaults(), Algorithm::CouCopy);
+    c.bench_function("model_evaluate_min_duration", |b| {
+        b.iter(|| m.evaluate(None))
+    });
+    c.bench_function("model_min_duration_fixed_point", |b| {
+        b.iter(|| m.min_duration())
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let p = Params::paper_defaults();
+    c.bench_function("fig4a_generate", |b| b.iter(|| fig4a(p)));
+    c.bench_function("fig4b_generate", |b| b.iter(|| fig4b(p, 10, 12.0)));
+    let lambdas = [10.0, 30.0, 100.0, 300.0, 1000.0, 2000.0, 4000.0];
+    c.bench_function("fig4c_generate", |b| b.iter(|| fig4c(p, &lambdas)));
+    let sizes = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536];
+    c.bench_function("fig4d_generate", |b| b.iter(|| fig4d(p, &sizes)));
+    c.bench_function("fig4e_generate", |b| b.iter(|| fig4e(p)));
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_model_point, bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion counterpart of the recovery-time halves of Figures 4a/4b:
+//! real crash recovery (backup restore + log replay) as the database and
+//! the replayed log grow.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mmdb_core::{Mmdb, MmdbConfig};
+use mmdb_types::{Algorithm, DbParams};
+use mmdb_workload::{UniformWorkload, Workload};
+
+/// Builds a crashed engine with `post_ckpt_txns` transactions of log to
+/// replay.
+fn crashed_engine(db_shape: DbParams, post_ckpt_txns: u64) -> Mmdb {
+    let mut cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+    cfg.params.db = db_shape;
+    let mut db = Mmdb::open_in_memory(cfg).unwrap();
+    let words = db.record_words();
+    let mut wl = UniformWorkload::new(db.n_records(), 5, 3);
+    for _ in 0..20 {
+        let u = wl.next_txn().materialize(words);
+        db.run_txn(&u).unwrap();
+    }
+    db.checkpoint().unwrap();
+    for _ in 0..post_ckpt_txns {
+        let u = wl.next_txn().materialize(words);
+        db.run_txn(&u).unwrap();
+    }
+    db.crash().unwrap();
+    db
+}
+
+fn bench_recovery_vs_db_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_vs_db_size");
+    for (label, s_db) in [("64K", 64u64 << 10), ("256K", 256 << 10), ("1M", 1 << 20)] {
+        let shape = DbParams {
+            s_db,
+            s_rec: 32,
+            s_seg: 2048,
+        };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter_batched(
+                || crashed_engine(shape, 10),
+                |mut db| {
+                    db.recover().unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery_vs_log_bulk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_vs_log_bulk");
+    let shape = DbParams {
+        s_db: 64 << 10,
+        s_rec: 32,
+        s_seg: 2048,
+    };
+    for txns in [10u64, 100, 1000] {
+        group.bench_function(BenchmarkId::from_parameter(txns), |b| {
+            b.iter_batched(
+                || crashed_engine(shape, txns),
+                |mut db| {
+                    db.recover().unwrap();
+                    db
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_file_backed_recovery(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("mmdb-bench-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // build the on-disk state once
+    {
+        let cfg = MmdbConfig::small(Algorithm::CouCopy);
+        let (mut db, _) = Mmdb::open_dir(cfg, &dir).unwrap();
+        let words = db.record_words();
+        let mut wl = UniformWorkload::new(db.n_records(), 5, 3);
+        for _ in 0..50 {
+            let u = wl.next_txn().materialize(words);
+            db.run_txn(&u).unwrap();
+        }
+        db.checkpoint().unwrap();
+        for _ in 0..50 {
+            let u = wl.next_txn().materialize(words);
+            db.run_txn(&u).unwrap();
+        }
+    }
+    let cfg = MmdbConfig::small(Algorithm::CouCopy);
+    c.bench_function("recovery_file_backed_open", |b| {
+        b.iter(|| {
+            let (db, report) = Mmdb::open_dir(cfg, &dir).unwrap();
+            assert!(report.is_some());
+            db
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_recovery_vs_db_size,
+    bench_recovery_vs_log_bulk,
+    bench_file_backed_recovery
+}
+criterion_main!(benches);

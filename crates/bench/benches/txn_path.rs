@@ -1,0 +1,84 @@
+//! Criterion counterpart of Figure 4c's synchronous side: the real
+//! engine's transaction commit path, per algorithm, with and without an
+//! active checkpoint. The COU algorithms pay their old-copy saves here;
+//! the LSN-gated algorithms pay their LSN maintenance; the two-color
+//! algorithms occasionally pay a rerun.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mmdb_core::{Mmdb, MmdbConfig};
+use mmdb_types::{Algorithm, LogMode, RecordId};
+use mmdb_workload::{UniformWorkload, Workload};
+
+fn engine(algorithm: Algorithm) -> Mmdb {
+    let mut cfg = MmdbConfig::small(algorithm);
+    if algorithm == Algorithm::FastFuzzy {
+        cfg.params.log_mode = LogMode::StableTail;
+    }
+    let mut db = Mmdb::open_in_memory(cfg).unwrap();
+    db.run_txn(&[(RecordId(0), vec![1; db.record_words()])])
+        .unwrap();
+    db.checkpoint().unwrap();
+    db.checkpoint().unwrap();
+    db
+}
+
+fn bench_commit_idle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit_idle");
+    for alg in Algorithm::ALL {
+        let mut db = engine(alg);
+        let words = db.record_words();
+        let mut wl = UniformWorkload::new(db.n_records(), 5, 7);
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter_batched(
+                || wl.next_txn().materialize(words),
+                |updates| db.run_txn(&updates).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_during_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("txn_commit_during_ckpt");
+    for alg in Algorithm::ALL {
+        let mut db = engine(alg);
+        let words = db.record_words();
+        // dirty everything so the checkpoint has a long sweep, then
+        // start it and keep it active for the whole measurement
+        let mut wl = UniformWorkload::new(db.n_records(), 5, 9);
+        for _ in 0..400 {
+            let u = wl.next_txn().materialize(words);
+            db.run_txn(&u).unwrap();
+        }
+        db.try_begin_checkpoint().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(alg.name()), |b| {
+            b.iter_batched(
+                || wl.next_txn().materialize(words),
+                |updates| {
+                    // keep the checkpoint alive: restart it when it ends
+                    if !db.is_checkpoint_active() {
+                        let _ = db.try_begin_checkpoint();
+                    }
+                    db.run_txn(&updates).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = bench_commit_idle, bench_commit_during_checkpoint
+}
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Shared harness code for the figure-reproduction binary and the
+//! Criterion benches.
+
+#![warn(missing_docs)]
+
+use mmdb_model::render::Table;
+use mmdb_model::AnalyticModel;
+use mmdb_sim::{SimConfig, SimResult, Simulator};
+use mmdb_types::{Algorithm, LogMode, Params};
+
+/// One row of the simulator-vs-model cross-validation (experiment
+/// `simval` in DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationRow {
+    /// Algorithm validated.
+    pub algorithm: Algorithm,
+    /// Analytic overhead prediction, instructions/txn (at the scaled
+    /// parameters the simulator ran).
+    pub model_overhead: f64,
+    /// Measured overhead from the discrete-event run.
+    pub sim_overhead: f64,
+    /// Analytic restart probability.
+    pub model_p_restart: f64,
+    /// Measured restart probability.
+    pub sim_p_restart: f64,
+    /// Measured checkpoint interval, seconds.
+    pub sim_interval: f64,
+    /// Analytic minimum checkpoint duration, seconds.
+    pub model_interval: f64,
+    /// Analytic recovery time at the scaled parameters, seconds.
+    pub model_recovery: f64,
+    /// Measured recovery time (the simulator crashes and actually
+    /// recovers at the end of its run), seconds.
+    pub sim_recovery: f64,
+}
+
+impl ValidationRow {
+    /// sim/model overhead ratio (1.0 = perfect agreement).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.sim_overhead / self.model_overhead
+    }
+}
+
+/// Runs the simulator and the analytic model at the same scaled
+/// parameters and returns the comparison.
+pub fn cross_validate(algorithm: Algorithm, duration: f64) -> ValidationRow {
+    let mut cfg = SimConfig::validation(algorithm);
+    cfg.duration = duration;
+    let sim: SimResult = Simulator::new(cfg).run().expect("simulation failed");
+    let model = AnalyticModel::new(cfg.params, algorithm).evaluate(None);
+    ValidationRow {
+        algorithm,
+        model_overhead: model.overhead_per_txn(),
+        sim_overhead: sim.overhead_per_txn(),
+        model_p_restart: model.p_restart,
+        sim_p_restart: sim.p_restart(),
+        sim_interval: sim.avg_ckpt_interval,
+        model_interval: model.duration,
+        model_recovery: model.recovery_seconds,
+        sim_recovery: sim.measured_recovery_seconds,
+    }
+}
+
+/// Renders the cross-validation table.
+pub fn render_validation(rows: &[ValidationRow]) -> String {
+    let mut t = Table::new(
+        "Simulator vs analytic model (scaled parameters: 4 Mwords, λ=15.6/s)",
+        &[
+            "algorithm",
+            "model instr/txn",
+            "sim instr/txn",
+            "ratio",
+            "model p_restart",
+            "sim p_restart",
+            "model D (s)",
+            "sim D (s)",
+            "model rec (s)",
+            "sim rec (s)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.algorithm.name().to_string(),
+            format!("{:.0}", r.model_overhead),
+            format!("{:.0}", r.sim_overhead),
+            format!("{:.2}", r.overhead_ratio()),
+            format!("{:.3}", r.model_p_restart),
+            format!("{:.3}", r.sim_p_restart),
+            format!("{:.1}", r.model_interval),
+            format!("{:.1}", r.sim_interval),
+            format!("{:.1}", r.model_recovery),
+            format!("{:.1}", r.sim_recovery),
+        ]);
+    }
+    t.render()
+}
+
+/// The algorithms that are sound under the given log mode.
+pub fn sound_algorithms(log_mode: LogMode) -> Vec<Algorithm> {
+    Algorithm::ALL
+        .into_iter()
+        .filter(|a| a.sound_under(log_mode))
+        .collect()
+}
+
+/// Paper-default parameters with the log mode an algorithm needs.
+pub fn params_for(algorithm: Algorithm) -> Params {
+    let mut p = Params::paper_defaults();
+    if algorithm == Algorithm::FastFuzzy {
+        p.log_mode = LogMode::StableTail;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_validation_agrees_for_fastfuzzy() {
+        let row = cross_validate(Algorithm::FastFuzzy, 120.0);
+        assert!(
+            (0.8..1.25).contains(&row.overhead_ratio()),
+            "sim and model should agree within ~20%: {row:?}"
+        );
+    }
+
+    #[test]
+    fn cross_validation_agrees_for_two_color() {
+        let row = cross_validate(Algorithm::TwoColorCopy, 120.0);
+        assert!(
+            (0.8..1.25).contains(&row.overhead_ratio()),
+            "sim and model should agree within ~20%: {row:?}"
+        );
+        // p_restart definitions differ: the model counts per arriving
+        // logical transaction, the simulator per begun attempt
+        // (attempts = arrivals + reruns), so sim ≈ model/(1+model).
+        let expected_sim = row.model_p_restart / (1.0 + row.model_p_restart);
+        assert!(
+            (row.sim_p_restart - expected_sim).abs() < 0.08,
+            "restart rates should be consistent: {row:?}"
+        );
+    }
+
+    #[test]
+    fn sound_algorithm_lists() {
+        assert_eq!(sound_algorithms(LogMode::VolatileTail).len(), 5);
+        assert_eq!(sound_algorithms(LogMode::StableTail).len(), 6);
+    }
+}

@@ -1,0 +1,30 @@
+//! The checkpointer: six algorithms for asynchronously maintaining the
+//! backup database (paper §3).
+//!
+//! | algorithm   | consistency | mechanism |
+//! |-------------|-------------|-----------|
+//! | `FUZZYCOPY` | fuzzy       | copy segment to a buffer, flush when the log is durable past the segment's updates (LSN gate) |
+//! | `2CFLUSH`   | TC          | two-color paint; lock each segment across its disk flush |
+//! | `2CCOPY`    | TC          | two-color paint; copy under lock, flush the buffer unlocked |
+//! | `COUFLUSH`  | TC          | copy-on-update snapshot; flush un-snapshotted segments under lock |
+//! | `COUCOPY`   | TC          | copy-on-update snapshot; copy un-snapshotted segments under lock, flush unlocked |
+//! | `FASTFUZZY` | fuzzy       | flush in place, no locks or LSNs; requires a stable log tail (§4) |
+//!
+//! The checkpointer is a *step machine*: [`Checkpointer::begin`] starts a
+//! checkpoint and [`Checkpointer::step`] processes (at most) one segment.
+//! The engine interleaves steps with transactions, which makes every
+//! interleaving — including crashes between arbitrary steps — expressible
+//! deterministically in tests, and lets the discrete-event simulator
+//! assign each step its disk service time.
+//!
+//! Each step is atomic with respect to transactions; within a step,
+//! "lock"/"unlock" are charged as `C_lock` operations per the paper's
+//! cost model (§2.1). Lock *wait* delays are not modeled, matching the
+//! paper ("We hope to be able to measure synchronization and other
+//! delays using the testbed").
+
+#![warn(missing_docs)]
+
+mod checkpointer;
+
+pub use checkpointer::{BeginReport, Checkpointer, CkptReport, CkptStats, StepOutcome, WalPolicy};

@@ -1,0 +1,407 @@
+//! `mmdb-cli` — operate a file-backed mmdb database from the shell.
+//!
+//! ```text
+//! mmdb-cli <dir> init [--algorithm FUZZYCOPY|2CFLUSH|2CCOPY|COUFLUSH|COUCOPY|FASTFUZZY]
+//!                     [--segments N] [--segment-words N] [--record-words N] [--full]
+//! mmdb-cli <dir> put <record> <fill-u32>
+//! mmdb-cli <dir> get <record>
+//! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
+//! mmdb-cli <dir> checkpoint
+//! mmdb-cli <dir> stats
+//! mmdb-cli <dir> fsck
+//! mmdb-cli <dir> dump <archive-file>
+//! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
+//! ```
+//!
+//! Every invocation opens the database (recovering from the on-disk
+//! backups and log if needed), performs the command, and exits. Commits
+//! force the log, so anything a command reports as committed survives the
+//! next invocation.
+
+mod persist;
+
+use mmdb_core::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId};
+use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
+use mmdb_workload::{UniformWorkload, Workload};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mmdb-cli: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, cmd, rest) = match args.split_first() {
+        Some((dir, rest)) => match rest.split_first() {
+            Some((cmd, rest)) => (PathBuf::from(dir), cmd.clone(), rest.to_vec()),
+            None => return Err(usage()),
+        },
+        None => return Err(usage()),
+    };
+    match cmd.as_str() {
+        "init" => cmd_init(&dir, &rest),
+        "put" => cmd_put(&dir, &rest),
+        "get" => cmd_get(&dir, &rest),
+        "workload" => cmd_workload(&dir, &rest),
+        "checkpoint" => cmd_checkpoint(&dir),
+        "stats" => cmd_stats(&dir),
+        "fsck" => cmd_fsck(&dir),
+        "dump" => cmd_dump(&dir, &rest),
+        "restore" => cmd_restore(&dir, &rest),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: mmdb-cli <dir> <init|put|get|workload|checkpoint|stats|fsck|dump|restore> [args]\n\
+     run `mmdb-cli <dir> init` first to create a database"
+        .to_string()
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn open(dir: &Path) -> Result<Mmdb, String> {
+    let config = persist::load(dir)?;
+    let (db, recovered) = Mmdb::open_dir(config, dir).map_err(|e| e.to_string())?;
+    if let Some(r) = recovered {
+        eprintln!(
+            "(recovered from checkpoint {}: {} segments, {} log words, {} txns replayed)",
+            r.ckpt.raw(),
+            r.segments_loaded,
+            r.log_words,
+            r.txns_replayed
+        );
+    }
+    Ok(db)
+}
+
+fn cmd_init(dir: &Path, rest: &[String]) -> Result<(), String> {
+    if dir.join(persist::CONFIG_FILE).exists() {
+        return Err(format!("{} already contains a database", dir.display()));
+    }
+    let algorithm: Algorithm = flag_value(rest, "--algorithm")
+        .unwrap_or_else(|| "COUCOPY".into())
+        .parse()?;
+    let mut config = MmdbConfig::small(algorithm);
+    if algorithm == Algorithm::FastFuzzy {
+        config.params.log_mode = LogMode::StableTail;
+    }
+    if let Some(v) = flag_value(rest, "--segment-words") {
+        config.params.db.s_seg = v.parse().map_err(|e| format!("--segment-words: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--record-words") {
+        config.params.db.s_rec = v.parse().map_err(|e| format!("--record-words: {e}"))?;
+    }
+    if let Some(v) = flag_value(rest, "--segments") {
+        let n: u64 = v.parse().map_err(|e| format!("--segments: {e}"))?;
+        config.params.db.s_db = n * config.params.db.s_seg;
+    }
+    if rest.iter().any(|a| a == "--full") {
+        config.params.ckpt_mode = mmdb_core::CkptMode::Full;
+    }
+    config.validate()?;
+    persist::save(&config, dir).map_err(|e| e.to_string())?;
+
+    // create the device files and take the seeding checkpoints so the
+    // database is recoverable from its very first moment
+    let (mut db, _) = Mmdb::open_dir(config, dir).map_err(|e| e.to_string())?;
+    db.checkpoint().map_err(|e| e.to_string())?;
+    db.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "initialized {}: {} records × {} words, {} segments, algorithm {}",
+        dir.display(),
+        db.n_records(),
+        db.record_words(),
+        db.n_segments(),
+        algorithm
+    );
+    Ok(())
+}
+
+fn cmd_put(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let record: u64 = rest
+        .first()
+        .ok_or("put needs <record> <fill>")?
+        .parse()
+        .map_err(|e| format!("record: {e}"))?;
+    let fill: u32 = rest
+        .get(1)
+        .ok_or("put needs <record> <fill>")?
+        .parse()
+        .map_err(|e| format!("fill: {e}"))?;
+    let mut db = open(dir)?;
+    let value = vec![fill; db.record_words()];
+    let run = db
+        .run_txn(&[(RecordId(record), value)])
+        .map_err(|e| e.to_string())?;
+    println!(
+        "committed record {record} = {fill} (txn {}, {} run(s))",
+        run.txn.raw(),
+        run.runs
+    );
+    Ok(())
+}
+
+fn cmd_get(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let record: u64 = rest
+        .first()
+        .ok_or("get needs <record>")?
+        .parse()
+        .map_err(|e| format!("record: {e}"))?;
+    let db = open(dir)?;
+    let value = db
+        .read_committed(RecordId(record))
+        .map_err(|e| e.to_string())?;
+    let uniform = value.iter().all(|w| *w == value[0]);
+    if uniform {
+        println!("record {record} = {} (×{} words)", value[0], value.len());
+    } else {
+        println!("record {record} = {value:?}");
+    }
+    Ok(())
+}
+
+fn cmd_workload(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let n: u64 = rest
+        .first()
+        .ok_or("workload needs <n-txns>")?
+        .parse()
+        .map_err(|e| format!("n-txns: {e}"))?;
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let updates: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+
+    let mut db = open(dir)?;
+    let words = db.record_words();
+    let mut wl = UniformWorkload::new(db.n_records(), updates, seed);
+    let start = std::time::Instant::now();
+    let mut reruns = 0u64;
+    for _ in 0..n {
+        let spec = wl.next_txn();
+        let run = db
+            .run_txn(&spec.materialize(words))
+            .map_err(|e| e.to_string())?;
+        reruns += (run.runs - 1) as u64;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "committed {n} transactions ({updates} updates each) in {:.3}s ({:.0} txn/s), {reruns} reruns",
+        elapsed.as_secs_f64(),
+        n as f64 / elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_checkpoint(dir: &Path) -> Result<(), String> {
+    let mut db = open(dir)?;
+    let report = db.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "checkpoint {} -> copy {}: {} segments flushed, {} skipped, {} from COU old copies",
+        report.ckpt.raw(),
+        report.copy,
+        report.segments_flushed,
+        report.segments_skipped,
+        report.old_copies_flushed
+    );
+    Ok(())
+}
+
+fn cmd_stats(dir: &Path) -> Result<(), String> {
+    let config = persist::load(dir)?;
+    let db = open(dir)?;
+    let t = db.txn_stats();
+    let c = db.ckpt_stats();
+    let l = db.log_stats();
+    println!(
+        "database:   {} ({} records × {} words, {} segments)",
+        dir.display(),
+        db.n_records(),
+        db.record_words(),
+        db.n_segments()
+    );
+    println!(
+        "algorithm:  {} ({:?} checkpoints, log tail {:?})",
+        config.algorithm, config.params.ckpt_mode, config.params.log_mode
+    );
+    println!("txns:       {} committed, {} two-color aborts, {} other aborts (this session incl. recovery)", t.committed, t.aborted_two_color, t.aborted_other);
+    println!(
+        "ckpts:      {} completed, {} segments flushed, {} old copies, {} log forces",
+        c.completed, c.segments_flushed, c.old_copies_flushed, c.log_forces
+    );
+    println!(
+        "log:        {} records / {} bytes appended this session",
+        l.records, l.bytes
+    );
+    let seg = db.segment_stats();
+    println!(
+        "segments:   {} total, dirty vs copy0/copy1 = {}/{}, {} white, {} holding COU old copies",
+        seg.total, seg.dirty_copy0, seg.dirty_copy1, seg.white, seg.with_old_copy
+    );
+    let dev = SegmentedLogDevice::open(&dir.join("log"), config.log_chunk_bytes, false)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "log disk:   {} chunks, {} bytes on disk, window [{}, {})",
+        dev.chunk_count(),
+        dev.disk_bytes(),
+        dev.start_offset(),
+        dev.len()
+    );
+    Ok(())
+}
+
+fn cmd_fsck(dir: &Path) -> Result<(), String> {
+    use mmdb_disk::{BackupStore, CopyStatus, FileBackup};
+    let config = persist::load(dir)?;
+    let mut problems = 0u64;
+
+    // backups: header status + every segment checksum of complete copies
+    let mut backup = FileBackup::open(&dir.join("backup"), config.params.db, false)
+        .map_err(|e| e.to_string())?;
+    for copy in 0..2usize {
+        let status = backup.copy_status(copy).map_err(|e| e.to_string())?;
+        print!("backup.{copy}: {status:?}");
+        if let CopyStatus::Complete(_) = status {
+            let mut buf = vec![0u32; config.params.db.s_seg as usize];
+            let mut bad = 0u64;
+            for sid in 0..config.params.db.n_segments() as u32 {
+                if backup
+                    .read_segment(copy, mmdb_types::SegmentId(sid), &mut buf)
+                    .is_err()
+                {
+                    bad += 1;
+                }
+            }
+            if bad == 0 {
+                println!(
+                    " — all {} segment checksums OK",
+                    config.params.db.n_segments()
+                );
+            } else {
+                println!(" — {bad} CORRUPT segments");
+                problems += bad;
+            }
+        } else {
+            println!();
+        }
+    }
+
+    // log: validated window + marker inventory
+    let mut dev = SegmentedLogDevice::open(&dir.join("log"), config.log_chunk_bytes, false)
+        .map_err(|e| e.to_string())?;
+    let window = dev.len() - dev.start_offset();
+    let scanner = LogScanner::from_device(&mut dev).map_err(|e| e.to_string())?;
+    let intact = scanner.valid_len();
+    println!(
+        "log: {} of {} window bytes intact{}",
+        intact,
+        window,
+        if intact == window {
+            ""
+        } else {
+            " (torn tail — expected after a crash)"
+        }
+    );
+    match scanner.last_complete_checkpoint() {
+        Some(mark) => println!(
+            "log: last complete checkpoint {} (begin marker at {})",
+            mark.ckpt.raw(),
+            mark.begin_lsn.raw()
+        ),
+        None => {
+            println!("log: NO complete checkpoint marker in the readable window");
+            problems += 1;
+        }
+    }
+
+    // deep verification: dry-run recovery must reproduce the live state
+    match open(dir) {
+        Ok(mut db) => match db.verify_recoverability() {
+            Ok(report) => println!(
+                "deep verify: dry-run recovery reproduces the live state \
+                 (checkpoint {}, {} log words, modeled {:.1}s)",
+                report.ckpt.raw(),
+                report.log_words,
+                report.total_seconds()
+            ),
+            Err(e) => {
+                println!("deep verify: FAILED — {e}");
+                problems += 1;
+            }
+        },
+        Err(e) => {
+            println!("deep verify: cannot open engine — {e}");
+            problems += 1;
+        }
+    }
+
+    if problems == 0 {
+        println!("fsck: clean");
+        Ok(())
+    } else {
+        Err(format!("fsck: {problems} problem(s) found"))
+    }
+}
+
+fn cmd_dump(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let out: PathBuf = rest.first().ok_or("dump needs <archive-file>")?.into();
+    let mut db = open(dir)?;
+    let info = db.dump_archive(&out).map_err(|e| e.to_string())?;
+    println!(
+        "archived checkpoint {} image plus {} log bytes to {}",
+        info.ckpt.raw(),
+        info.log_bytes,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_restore(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let archive: PathBuf = rest.first().ok_or("restore needs <archive-file>")?.into();
+    if dir.join(persist::CONFIG_FILE).exists() {
+        return Err(format!(
+            "{} already contains a database; restore into a fresh directory",
+            dir.display()
+        ));
+    }
+    // reconstruct the engine config from the archive's shape, defaulting
+    // the algorithm to COUCOPY (the archive does not constrain it)
+    let info = mmdb_disk::archive_info(&archive).map_err(|e| e.to_string())?;
+    let algorithm: Algorithm = flag_value(rest, "--algorithm")
+        .unwrap_or_else(|| "COUCOPY".into())
+        .parse()?;
+    let mut config = MmdbConfig::small(algorithm);
+    config.params.db = info.db;
+    if algorithm == Algorithm::FastFuzzy {
+        config.params.log_mode = LogMode::StableTail;
+    }
+    config.validate()?;
+    let (db, report) =
+        Mmdb::restore_archive_dir(config, dir, &archive).map_err(|e| e.to_string())?;
+    persist::save(&config, dir).map_err(|e| e.to_string())?;
+    println!(
+        "restored {} from checkpoint {}: {} segments, {} log words, {} txns replayed",
+        dir.display(),
+        report.ckpt.raw(),
+        report.segments_loaded,
+        report.log_words,
+        report.txns_replayed
+    );
+    drop(db);
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `mmdb-cli` binary: every invocation is a
+//! separate process, so these exercise real file-device recovery between
+//! commands.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mmdb-cli")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-cli-test-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cli(dir: &Path, args: &[&str]) -> Output {
+    Command::new(bin())
+        .arg(dir)
+        .args(args)
+        .output()
+        .expect("spawn mmdb-cli")
+}
+
+fn ok(dir: &Path, args: &[&str]) -> String {
+    let out = cli(dir, args);
+    assert!(
+        out.status.success(),
+        "mmdb-cli {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_lifecycle_across_processes() {
+    let dir = tmpdir("lifecycle");
+    let out = ok(&dir, &["init", "--algorithm", "COUCOPY"]);
+    assert!(out.contains("initialized"), "{out}");
+
+    ok(&dir, &["put", "7", "4242"]);
+    let out = ok(&dir, &["get", "7"]);
+    assert!(out.contains("record 7 = 4242"), "{out}");
+
+    let out = ok(&dir, &["workload", "150", "--seed", "3"]);
+    assert!(out.contains("committed 150 transactions"), "{out}");
+
+    let out = ok(&dir, &["checkpoint"]);
+    assert!(out.contains("segments flushed"), "{out}");
+
+    // a put after the checkpoint must survive purely via the log
+    ok(&dir, &["put", "9", "777"]);
+    let out = ok(&dir, &["get", "9"]);
+    assert!(out.contains("record 9 = 777"), "{out}");
+
+    let out = ok(&dir, &["stats"]);
+    assert!(out.contains("COUCOPY"), "{out}");
+    assert!(out.contains("log disk"), "{out}");
+
+    let out = ok(&dir, &["fsck"]);
+    assert!(out.contains("fsck: clean"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn init_refuses_existing_database() {
+    let dir = tmpdir("reinit");
+    ok(&dir, &["init"]);
+    let out = cli(&dir, &["init"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("already contains"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commands_fail_cleanly_without_init() {
+    let dir = tmpdir("noinit");
+    let out = cli(&dir, &["get", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("init"),
+        "should point the user at init: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_algorithm_initializes_and_works() {
+    for algorithm in [
+        "FUZZYCOPY",
+        "2CFLUSH",
+        "2CCOPY",
+        "COUFLUSH",
+        "COUCOPY",
+        "FASTFUZZY",
+        "COUAC",
+    ] {
+        let dir = tmpdir(&format!("alg-{algorithm}"));
+        ok(&dir, &["init", "--algorithm", algorithm]);
+        ok(&dir, &["put", "0", "1"]);
+        ok(&dir, &["checkpoint"]);
+        let out = ok(&dir, &["get", "0"]);
+        assert!(out.contains("record 0 = 1"), "{algorithm}: {out}");
+        ok(&dir, &["fsck"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn custom_geometry_respected() {
+    let dir = tmpdir("geometry");
+    let out = ok(
+        &dir,
+        &[
+            "init",
+            "--segments",
+            "8",
+            "--segment-words",
+            "1024",
+            "--record-words",
+            "16",
+        ],
+    );
+    assert!(out.contains("512 records × 16 words, 8 segments"), "{out}");
+    ok(&dir, &["put", "511", "5"]);
+    let out = cli(&dir, &["put", "512", "5"]);
+    assert!(!out.status.success(), "record out of range must fail");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_arguments_are_reported() {
+    let dir = tmpdir("badargs");
+    ok(&dir, &["init"]);
+    for bad in [
+        vec!["put"],
+        vec!["put", "0"],
+        vec!["put", "zero", "1"],
+        vec!["get"],
+        vec!["workload"],
+        vec!["frobnicate"],
+    ] {
+        let out = cli(&dir, &bad);
+        assert!(!out.status.success(), "{bad:?} should fail");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

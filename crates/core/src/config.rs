@@ -1,0 +1,115 @@
+//! Engine configuration.
+
+use mmdb_checkpoint::WalPolicy;
+use mmdb_types::{Algorithm, Params};
+
+/// When a commit becomes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitDurability {
+    /// Force the log tail at every commit: a successful `commit()` is
+    /// durable (no committed work is ever lost). This is the default and
+    /// what the durability property tests assume.
+    #[default]
+    Force,
+    /// Group commit: the commit record stays in the volatile tail until
+    /// some later force. A crash may lose a suffix of committed
+    /// transactions, but recovery still lands on a consistent prefix —
+    /// the paper notes the desire to avoid "forcing transaction updates
+    /// to disk before commit" (§1); this mode is that trade.
+    Lazy,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmdbConfig {
+    /// The paper's model parameters (database shape, costs, disks, load).
+    pub params: Params,
+    /// The checkpointing algorithm.
+    pub algorithm: Algorithm,
+    /// What to do when the write-ahead gate blocks a flush.
+    pub wal_policy: WalPolicy,
+    /// Commit durability discipline.
+    pub commit_durability: CommitDurability,
+    /// `fsync` file devices on write (real durability; slower tests).
+    pub sync_files: bool,
+    /// After each completed checkpoint, truncate the log prefix that no
+    /// recovery can ever need (everything before the older complete
+    /// ping-pong copy's replay floor). Space is actually reclaimed on
+    /// devices that support it (the segmented log deletes whole chunks).
+    pub auto_truncate_log: bool,
+    /// Chunk size for the segmented on-disk log used by
+    /// [`Mmdb::open_dir`](crate::Mmdb::open_dir).
+    pub log_chunk_bytes: u64,
+    /// Bound on the volatile log tail: appends past this size force the
+    /// tail (group commit's backstop). `None` leaves flushing entirely to
+    /// commit forces / explicit [`Mmdb::force_log`](crate::Mmdb::force_log)
+    /// calls.
+    pub log_tail_flush_bytes: Option<u64>,
+}
+
+impl MmdbConfig {
+    /// A configuration with the paper's defaults and the given algorithm.
+    pub fn new(algorithm: Algorithm) -> MmdbConfig {
+        MmdbConfig {
+            params: Params::paper_defaults(),
+            algorithm,
+            wal_policy: WalPolicy::Force,
+            commit_durability: CommitDurability::Force,
+            sync_files: false,
+            auto_truncate_log: true,
+            log_chunk_bytes: mmdb_log::DEFAULT_CHUNK_BYTES,
+            log_tail_flush_bytes: Some(1 << 20),
+        }
+    }
+
+    /// A laptop-scale configuration (small database) with the given
+    /// algorithm — what the tests and examples use.
+    pub fn small(algorithm: Algorithm) -> MmdbConfig {
+        MmdbConfig {
+            params: Params::small(),
+            ..MmdbConfig::new(algorithm)
+        }
+    }
+
+    /// Validates internal consistency (shape constraints, algorithm/log
+    /// soundness).
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if !self.algorithm.sound_under(self.params.log_mode) {
+            return Err(format!(
+                "{} requires a stable log tail (set params.log_mode = LogMode::StableTail)",
+                self.algorithm
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::LogMode;
+
+    #[test]
+    fn default_config_is_valid() {
+        for alg in Algorithm::BASE_FIVE {
+            MmdbConfig::new(alg).validate().unwrap();
+            MmdbConfig::small(alg).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fastfuzzy_needs_stable_tail() {
+        let mut c = MmdbConfig::small(Algorithm::FastFuzzy);
+        assert!(c.validate().is_err());
+        c.params.log_mode = LogMode::StableTail;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        let mut c = MmdbConfig::small(Algorithm::FuzzyCopy);
+        c.params.db.s_seg = 100;
+        assert!(c.validate().is_err());
+    }
+}

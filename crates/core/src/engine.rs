@@ -1,0 +1,790 @@
+//! The `Mmdb` engine: storage + log + transactions + checkpointer +
+//! recovery, wired together with the paper's protocols.
+
+use crate::config::{CommitDurability, MmdbConfig};
+use crate::metrics::{Meters, OverheadReport};
+use mmdb_checkpoint::{BeginReport, Checkpointer, CkptReport, CkptStats, StepOutcome};
+use mmdb_disk::{BackupStore, FileBackup, MemBackup};
+use mmdb_log::{LogManager, LogRecord, LogStats, MemLogDevice, SegmentedLogDevice};
+use mmdb_recovery::RecoveryReport;
+use mmdb_storage::{Color, Storage};
+use mmdb_txn::{SeenColor, TxnStats, TxnTable};
+use mmdb_types::{
+    CheckpointId, CostMeter, MmdbError, RecordId, Result, SegmentId, Timestamp, TxnId, Word,
+};
+use std::path::Path;
+
+/// Outcome of [`Mmdb::try_begin_checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointStart {
+    /// The checkpoint began.
+    Started(BeginReport),
+    /// A COU checkpoint is waiting for active transactions to drain
+    /// (§3.2.2 quiesce); it will begin automatically when the last one
+    /// commits or aborts. New transactions are refused until then.
+    Quiescing,
+}
+
+/// Segment-population snapshot returned by [`Mmdb::segment_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Total segments in the database.
+    pub total: u64,
+    /// Segments dirty with respect to ping-pong copy 0.
+    pub dirty_copy0: u64,
+    /// Segments dirty with respect to ping-pong copy 1.
+    pub dirty_copy1: u64,
+    /// Segments currently painted white (0 outside a 2C checkpoint).
+    pub white: u64,
+    /// Segments holding a COU old copy right now.
+    pub with_old_copy: u64,
+}
+
+/// Outcome of [`Mmdb::run_txn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnRun {
+    /// The committed transaction's id (of the successful run).
+    pub txn: TxnId,
+    /// Number of runs it took (1 = no two-color restart).
+    pub runs: u32,
+}
+
+/// The memory-resident database engine.
+///
+/// All data lives in main memory ([`Storage`]); a REDO log and two
+/// ping-pong backup copies on (simulated or real) disk make it
+/// crash-recoverable. The engine is deliberately single-threaded with an
+/// explicitly-steppable checkpointer, so every interleaving of
+/// transactions, checkpoint steps and crashes is expressible — and
+/// therefore testable — deterministically. Wrap it in a mutex for
+/// concurrent drivers.
+pub struct Mmdb {
+    config: MmdbConfig,
+    storage: Storage,
+    log: LogManager,
+    backup: Box<dyn BackupStore>,
+    txns: TxnTable,
+    ckpt: Checkpointer,
+    meters: Meters,
+    tau_counter: u64,
+    quiesce_pending: bool,
+    crashed: bool,
+    /// Replay floor of the in-progress checkpoint: the earliest LSN
+    /// recovery would need if that checkpoint becomes the one restored
+    /// from (its begin marker, extended backward to the begin record of
+    /// the oldest transaction active at the marker).
+    pending_floor: Option<(CheckpointId, mmdb_types::Lsn)>,
+    /// Replay floors of the newest complete checkpoint per ping-pong
+    /// copy; the log before min(both) is unreachable by any future
+    /// recovery and is truncated away when `auto_truncate_log` is set.
+    replay_floor: [Option<mmdb_types::Lsn>; 2],
+}
+
+impl std::fmt::Debug for Mmdb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmdb")
+            .field("algorithm", &self.config.algorithm)
+            .field("crashed", &self.crashed)
+            .field("active_txns", &self.txns.active_count())
+            .field("checkpoint_active", &self.ckpt.is_active())
+            .finish()
+    }
+}
+
+impl Mmdb {
+    /// An engine over in-memory devices (tests, simulation, examples).
+    pub fn open_in_memory(config: MmdbConfig) -> Result<Mmdb> {
+        config.validate().map_err(MmdbError::Invalid)?;
+        let meters = Meters::new(config.params.cost);
+        let storage = Storage::new(config.params.db)?;
+        let log = LogManager::new(
+            Box::new(MemLogDevice::new()),
+            config.params.log_mode,
+            meters.logging.clone(),
+        );
+        let backup = Box::new(MemBackup::new(config.params.db));
+        Ok(Self::assemble(config, storage, log, backup, meters))
+    }
+
+    /// An engine over file devices in `dir` (a segmented log under
+    /// `log/`, backup copies `backup.0`/`backup.1`). If the directory
+    /// already holds a complete backup, the database is recovered from it
+    /// before the engine is returned.
+    pub fn open_dir(config: MmdbConfig, dir: &Path) -> Result<(Mmdb, Option<RecoveryReport>)> {
+        config.validate().map_err(MmdbError::Invalid)?;
+        std::fs::create_dir_all(dir)?;
+        let meters = Meters::new(config.params.cost);
+        let storage = Storage::new(config.params.db)?;
+        let log = LogManager::new(
+            Box::new(SegmentedLogDevice::open(
+                &dir.join("log"),
+                config.log_chunk_bytes,
+                config.sync_files,
+            )?),
+            config.params.log_mode,
+            meters.logging.clone(),
+        );
+        let mut backup: Box<dyn BackupStore> = Box::new(FileBackup::open(
+            &dir.join("backup"),
+            config.params.db,
+            config.sync_files,
+        )?);
+        let has_backup = backup.recovery_copy().is_ok();
+        let mut engine = Self::assemble(config, storage, log, backup, meters);
+        let report = if has_backup {
+            Some(engine.recover_internal()?)
+        } else {
+            None
+        };
+        Ok((engine, report))
+    }
+
+    fn assemble(
+        config: MmdbConfig,
+        storage: Storage,
+        mut log: LogManager,
+        backup: Box<dyn BackupStore>,
+        meters: Meters,
+    ) -> Mmdb {
+        log.set_tail_threshold(config.log_tail_flush_bytes);
+        let ckpt = Checkpointer::new(
+            config.algorithm,
+            config.params.ckpt_mode,
+            config.wal_policy,
+            meters.async_ckpt.clone(),
+        );
+        Mmdb {
+            config,
+            storage,
+            log,
+            backup,
+            txns: TxnTable::new(),
+            ckpt,
+            meters,
+            tau_counter: 0,
+            quiesce_pending: false,
+            crashed: false,
+            pending_floor: None,
+            replay_floor: [None, None],
+        }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MmdbConfig {
+        &self.config
+    }
+
+    /// Record size in words — values passed to [`Mmdb::write`] must have
+    /// exactly this length.
+    pub fn record_words(&self) -> usize {
+        self.config.params.db.s_rec as usize
+    }
+
+    /// Number of records in the database.
+    pub fn n_records(&self) -> u64 {
+        self.storage.n_records()
+    }
+
+    /// Number of segments in the database.
+    pub fn n_segments(&self) -> u64 {
+        self.storage.n_segments()
+    }
+
+    /// Transaction statistics (commits, aborts, restart rate).
+    pub fn txn_stats(&self) -> TxnStats {
+        self.txns.stats()
+    }
+
+    /// Checkpointer statistics.
+    pub fn ckpt_stats(&self) -> CkptStats {
+        self.ckpt.stats()
+    }
+
+    /// Log statistics.
+    pub fn log_stats(&self) -> LogStats {
+        self.log.stats()
+    }
+
+    /// Report of the most recently completed checkpoint.
+    pub fn last_ckpt_report(&self) -> Option<CkptReport> {
+        self.ckpt.last_report().copied()
+    }
+
+    /// The paper's overhead accounting, from the engine's meters.
+    pub fn overhead_report(&self) -> OverheadReport {
+        OverheadReport {
+            committed: self.txns.stats().committed,
+            sync_ckpt: self.meters.sync_ckpt.snapshot(),
+            async_ckpt: self.meters.async_ckpt.snapshot(),
+            logging: self.meters.logging.snapshot(),
+            base: self.meters.base.snapshot(),
+        }
+    }
+
+    /// The engine's cost meters (for simulation harnesses).
+    pub fn meters(&self) -> &Meters {
+        &self.meters
+    }
+
+    /// Content fingerprint of the primary database (test aid).
+    pub fn fingerprint(&self) -> u64 {
+        self.storage.fingerprint()
+    }
+
+    /// Words currently held in COU old copies (snapshot buffer footprint).
+    pub fn old_copy_words(&self) -> u64 {
+        self.storage.old_copy_words()
+    }
+
+    /// A point-in-time observability snapshot of the segment population:
+    /// how many segments are dirty with respect to each ping-pong copy,
+    /// how many are painted white (mid two-color checkpoint), and how
+    /// many hold COU old copies. What an operator's dashboard would poll.
+    pub fn segment_stats(&self) -> SegmentStats {
+        let mut stats = SegmentStats::default();
+        for sid in self.storage.segment_ids() {
+            if self.storage.is_dirty(sid, 0).expect("in range") {
+                stats.dirty_copy0 += 1;
+            }
+            if self.storage.is_dirty(sid, 1).expect("in range") {
+                stats.dirty_copy1 += 1;
+            }
+            if self.storage.has_old(sid).expect("in range") {
+                stats.with_old_copy += 1;
+            }
+        }
+        stats.white = self.storage.white_count();
+        stats.total = self.storage.n_segments();
+        stats
+    }
+
+    /// Visits every record's committed value in id order (index rebuilds,
+    /// exports). The callback gets the record id and its words.
+    pub fn for_each_record(&self, mut f: impl FnMut(RecordId, &[Word])) -> Result<()> {
+        self.ensure_alive()?;
+        for rid in 0..self.storage.n_records() {
+            f(RecordId(rid), self.storage.read_record(RecordId(rid))?);
+        }
+        Ok(())
+    }
+
+    /// Has the engine crashed (and not yet recovered)?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Is a checkpoint in progress?
+    pub fn is_checkpoint_active(&self) -> bool {
+        self.ckpt.is_active()
+    }
+
+    /// Is the engine waiting for transactions to drain before a COU
+    /// checkpoint can begin?
+    pub fn is_quiescing(&self) -> bool {
+        self.quiesce_pending
+    }
+
+    fn ensure_alive(&self) -> Result<()> {
+        if self.crashed {
+            return Err(MmdbError::Invalid(
+                "the engine has crashed; call recover() first".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn next_tau(&mut self) -> Timestamp {
+        self.tau_counter += 1;
+        Timestamp(self.tau_counter)
+    }
+
+    // ----- transactions ----------------------------------------------------
+
+    /// Begins a transaction. Fails with [`MmdbError::Quiesced`] while a
+    /// COU checkpoint begin is draining active transactions.
+    pub fn begin_txn(&mut self) -> Result<TxnId> {
+        self.begin_txn_run(1)
+    }
+
+    fn begin_txn_run(&mut self, run: u32) -> Result<TxnId> {
+        self.ensure_alive()?;
+        if self.quiesce_pending {
+            return Err(MmdbError::Quiesced);
+        }
+        let tau = self.next_tau();
+        let id = self.txns.begin(tau, mmdb_types::Lsn::ZERO, run);
+        let lsn = self.log.append(&LogRecord::TxnBegin { txn: id, tau });
+        self.txns.get_mut(id).expect("just created").begin_lsn = lsn;
+        Ok(id)
+    }
+
+    /// Reads a record within a transaction (observes two-color state and
+    /// the transaction's own staged writes — read-your-writes).
+    pub fn read(&mut self, txn: TxnId, rid: RecordId) -> Result<Vec<Word>> {
+        self.ensure_alive()?;
+        let sid = self.storage.segment_of(rid)?;
+        self.check_color(txn, sid)?;
+        // read-your-writes: latest staged value wins
+        let t = self.txns.get(txn)?;
+        if let Some(w) = t.writes.iter().rev().find(|w| w.record == rid) {
+            return Ok(w.value.clone());
+        }
+        Ok(self.storage.read_record(rid)?.to_vec())
+    }
+
+    /// Stages a write within a transaction (shadow-copy scheme: nothing
+    /// touches the database until commit).
+    pub fn write(&mut self, txn: TxnId, rid: RecordId, value: &[Word]) -> Result<()> {
+        self.ensure_alive()?;
+        if value.len() != self.record_words() {
+            return Err(MmdbError::BadRecordSize {
+                expected: self.record_words() as u64,
+                got: value.len() as u64,
+            });
+        }
+        let sid = self.storage.segment_of(rid)?;
+        self.check_color(txn, sid)?;
+        self.txns.stage_write(txn, rid, sid, value.to_vec())
+    }
+
+    /// Observes the segment's color for the transaction if a two-color
+    /// checkpoint is active; on a violation, aborts the transaction and
+    /// returns the violation error.
+    fn check_color(&mut self, txn: TxnId, sid: SegmentId) -> Result<()> {
+        if !self.ckpt.two_color_active() {
+            // still validate the txn exists
+            self.txns.get(txn)?;
+            return Ok(());
+        }
+        let color = match self.storage.color(sid)? {
+            Color::White => SeenColor::White,
+            Color::Black => SeenColor::Black,
+        };
+        let t = self.txns.get_mut(txn)?;
+        if let Err(e) = t.observe_color(color, sid) {
+            self.abort_two_color(txn)?;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Commits a transaction: re-validates two-color consistency of the
+    /// write set, writes the REDO records and the commit record (forced
+    /// under [`CommitDurability::Force`]), then installs the updates into
+    /// the primary database (running the COU hook first).
+    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.ensure_alive()?;
+
+        // Commit-time color revalidation: installs happen *now*, so the
+        // write set must be color-consistent *now* (colors may have
+        // advanced since staging). This closes the race between staging
+        // and the checkpointer's sweep that deferred installs open up.
+        if self.ckpt.two_color_active() {
+            let segs: Vec<SegmentId> = self
+                .txns
+                .get(txn)?
+                .writes
+                .iter()
+                .map(|w| w.segment)
+                .collect();
+            for sid in segs {
+                self.check_color(txn, sid)?;
+            }
+        }
+
+        let gating = self
+            .config
+            .algorithm
+            .needs_lsn_gating(self.config.params.log_mode);
+
+        // REDO records for every staged write, then the commit record.
+        let t = self.txns.get(txn)?;
+        let mut installs = Vec::with_capacity(t.writes.len());
+        let writes: Vec<_> = t
+            .writes
+            .iter()
+            .map(|w| (w.record, w.segment, w.value.clone()))
+            .collect();
+        for (record, segment, value) in writes {
+            let rec = LogRecord::Update {
+                txn,
+                record,
+                value: value.clone(),
+            };
+            let lsn = self.log.append(&rec);
+            installs.push((record, segment, value, rec.end_lsn(lsn)));
+        }
+        match self.config.commit_durability {
+            CommitDurability::Force => {
+                self.log.append_forced(&LogRecord::Commit { txn })?;
+            }
+            CommitDurability::Lazy => {
+                self.log.append(&LogRecord::Commit { txn });
+            }
+        }
+
+        // Install (the shadow-copy "overwrite old with new", §2.6).
+        let tau = self.txns.get(txn)?.tau;
+        for (record, segment, value, end_lsn) in installs {
+            self.ckpt
+                .on_before_install(&mut self.storage, segment, &self.meters.sync_ckpt)?;
+            self.storage
+                .install_record(record, &value, end_lsn, tau, &self.meters.base)?;
+            if gating {
+                // The transaction maintains the segment's LSN for the
+                // checkpointer's write-ahead gate (C_lsn per update, §2.1).
+                self.meters.sync_ckpt.lsn_op();
+            }
+        }
+
+        self.txns.finish_commit(txn)?;
+        self.meters.base.txn_body(self.config.params.txn.c_trans);
+        self.maybe_begin_pending_checkpoint()?;
+        Ok(())
+    }
+
+    /// Aborts a transaction (application abort: staged writes are simply
+    /// dropped; an abort record keeps the log scanner's picture clean).
+    pub fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.ensure_alive()?;
+        self.txns.get(txn)?;
+        self.log.append(&LogRecord::Abort { txn });
+        self.txns.finish_abort(txn, false)?;
+        self.maybe_begin_pending_checkpoint()?;
+        Ok(())
+    }
+
+    /// Two-color abort: checkpoint-induced, charged as wasted work to the
+    /// synchronous checkpoint meter (the paper: "Most of the cost comes
+    /// from rerunning transactions that are aborted for violating the
+    /// two-color restriction").
+    fn abort_two_color(&mut self, txn: TxnId) -> Result<()> {
+        self.log.append(&LogRecord::Abort { txn });
+        self.txns.finish_abort(txn, true)?;
+        self.meters
+            .sync_ckpt
+            .txn_body(self.config.params.txn.c_trans);
+        self.maybe_begin_pending_checkpoint()?;
+        Ok(())
+    }
+
+    /// Runs a whole transaction (begin, write every update, commit),
+    /// automatically rerunning it after two-color aborts. Between reruns
+    /// one checkpoint step is performed so the conflicting checkpoint
+    /// makes progress (in a live system the checkpointer runs
+    /// concurrently; the rerun would find the colors advanced).
+    pub fn run_txn(&mut self, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnRun> {
+        let max_runs = 10 * self.n_segments().max(10) as u32;
+        let mut runs = 0;
+        loop {
+            runs += 1;
+            if runs > max_runs {
+                return Err(MmdbError::Invalid(format!(
+                    "transaction failed to commit after {max_runs} two-color reruns"
+                )));
+            }
+            match self.try_run_once(runs, updates) {
+                Ok(txn) => return Ok(TxnRun { txn, runs }),
+                Err(MmdbError::TwoColorViolation { .. }) => {
+                    // Let the checkpoint advance, then rerun.
+                    if self.ckpt.is_active() {
+                        match self.checkpoint_step()? {
+                            StepOutcome::WaitingForLog => {
+                                self.log.force()?;
+                            }
+                            StepOutcome::Progress { .. } | StepOutcome::Done { .. } => {}
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_run_once(&mut self, run: u32, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnId> {
+        let txn = self.begin_txn_run(run)?;
+        for (rid, value) in updates {
+            self.write(txn, *rid, value)?;
+        }
+        self.commit(txn)?;
+        Ok(txn)
+    }
+
+    // ----- checkpointing ---------------------------------------------------
+
+    /// Requests a checkpoint. Non-COU algorithms start immediately; COU
+    /// quiesces first (new transactions are refused, and the checkpoint
+    /// begins when the last active transaction finishes).
+    pub fn try_begin_checkpoint(&mut self) -> Result<CheckpointStart> {
+        self.ensure_alive()?;
+        if self.ckpt.is_active() {
+            return Err(MmdbError::CheckpointInProgress);
+        }
+        if self.config.algorithm.requires_quiesce() && !self.txns.is_quiescent() {
+            self.quiesce_pending = true;
+            return Ok(CheckpointStart::Quiescing);
+        }
+        self.do_begin_checkpoint().map(CheckpointStart::Started)
+    }
+
+    fn maybe_begin_pending_checkpoint(&mut self) -> Result<()> {
+        if self.quiesce_pending && self.txns.is_quiescent() && !self.ckpt.is_active() {
+            self.do_begin_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    fn do_begin_checkpoint(&mut self) -> Result<BeginReport> {
+        let tau_ch = self.next_tau();
+        if self.config.algorithm.is_two_color() {
+            // Color observations from before this checkpoint refer to
+            // pre-checkpoint state; wipe them.
+            self.txns.reset_colors();
+        }
+        let active = self.txns.active_ids();
+        let report = self.ckpt.begin(
+            &mut self.storage,
+            &mut self.log,
+            &mut *self.backup,
+            &active,
+            tau_ch,
+        )?;
+        // The replay floor: recovery from this checkpoint starts at its
+        // begin marker, or at the begin record of the oldest transaction
+        // active at the marker (fuzzy/2C recovery, §3.3).
+        let mut floor = report.begin_lsn;
+        for id in &active {
+            if let Ok(t) = self.txns.get(*id) {
+                floor = floor.min(t.begin_lsn);
+            }
+        }
+        self.pending_floor = Some((report.ckpt, floor));
+        self.quiesce_pending = false;
+        Ok(report)
+    }
+
+    /// Called after a checkpoint completes: records its replay floor and
+    /// truncates the now-unreachable log prefix. Recovery can only ever
+    /// use one of the two complete ping-pong copies, so everything before
+    /// the older copy's replay floor is dead log.
+    fn after_checkpoint_complete(&mut self) -> Result<()> {
+        let Some(report) = self.ckpt.last_report().copied() else {
+            return Ok(());
+        };
+        if let Some((ckpt, floor)) = self.pending_floor {
+            if ckpt == report.ckpt {
+                self.replay_floor[report.copy & 1] = Some(floor);
+                self.pending_floor = None;
+            }
+        }
+        if self.config.auto_truncate_log {
+            if let (Some(a), Some(b)) = (self.replay_floor[0], self.replay_floor[1]) {
+                self.log.truncate_prefix(a.min(b))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs one checkpoint step (see
+    /// [`mmdb_checkpoint::Checkpointer::step`]).
+    pub fn checkpoint_step(&mut self) -> Result<StepOutcome> {
+        self.ensure_alive()?;
+        let outcome = self
+            .ckpt
+            .step(&mut self.storage, &mut self.log, &mut *self.backup)?;
+        if matches!(outcome, StepOutcome::Done { .. }) {
+            self.after_checkpoint_complete()?;
+        }
+        Ok(outcome)
+    }
+
+    /// Takes a complete checkpoint synchronously. For COU algorithms the
+    /// engine must be quiescent (commit or abort open transactions
+    /// first); otherwise returns [`MmdbError::Quiesced`].
+    pub fn checkpoint(&mut self) -> Result<CkptReport> {
+        match self.try_begin_checkpoint()? {
+            CheckpointStart::Started(_) => {}
+            CheckpointStart::Quiescing => {
+                self.quiesce_pending = false; // nothing will drain it here
+                return Err(MmdbError::Quiesced);
+            }
+        }
+        let report =
+            self.ckpt
+                .run_to_completion(&mut self.storage, &mut self.log, &mut *self.backup)?;
+        self.after_checkpoint_complete()?;
+        Ok(report)
+    }
+
+    // ----- crash and recovery ----------------------------------------------
+
+    /// Simulates a system failure: the primary database, log tail (unless
+    /// stable), active transactions and checkpointer state are lost. Only
+    /// the backup copies and the durable log survive. Call
+    /// [`Mmdb::recover`] to come back.
+    pub fn crash(&mut self) -> Result<()> {
+        self.log.crash()?;
+        self.txns.crash();
+        self.ckpt.crash(&mut self.storage);
+        self.quiesce_pending = false;
+        self.pending_floor = None;
+        self.crashed = true;
+        Ok(())
+    }
+
+    /// Recovers from a crash: rebuilds the primary database from the most
+    /// recent complete backup plus the log (paper §3.3).
+    pub fn recover(&mut self) -> Result<RecoveryReport> {
+        if !self.crashed {
+            return Err(MmdbError::Invalid(
+                "recover() called on a live engine; call crash() first".into(),
+            ));
+        }
+        self.recover_internal()
+    }
+
+    fn recover_internal(&mut self) -> Result<RecoveryReport> {
+        self.storage = Storage::new(self.config.params.db)?;
+        let recovery_meter = CostMeter::new(self.config.params.cost);
+        let report = mmdb_recovery::recover(
+            &mut self.storage,
+            &mut *self.backup,
+            self.log.device_mut(),
+            &self.config.params.disk,
+            &recovery_meter,
+        )?;
+        // crash() already emptied the transaction table; keep it (and its
+        // cumulative statistics — they are measurements, not state).
+        debug_assert!(self.txns.is_quiescent());
+        self.ckpt = Checkpointer::new(
+            self.config.algorithm,
+            self.config.params.ckpt_mode,
+            self.config.wal_policy,
+            self.meters.async_ckpt.clone(),
+        );
+        // The next checkpoint targets the copy recovery did NOT restore
+        // from, so a crash mid-checkpoint still leaves a complete copy.
+        self.ckpt.set_next_ckpt(CheckpointId(report.ckpt.raw() + 1));
+        self.tau_counter = 0;
+        self.quiesce_pending = false;
+        self.pending_floor = None;
+        // only the restored copy's floor is known to be valid now; the
+        // other copy must complete a fresh checkpoint before truncation
+        // may move again
+        self.replay_floor = [None, None];
+        self.replay_floor[report.copy & 1] = Some(report.replay_start);
+        self.crashed = false;
+        Ok(report)
+    }
+
+    /// Reads a record outside any transaction (no color checks; test and
+    /// tooling aid — a real client should use a transaction).
+    pub fn read_committed(&self, rid: RecordId) -> Result<Vec<Word>> {
+        self.ensure_alive()?;
+        Ok(self.storage.read_record(rid)?.to_vec())
+    }
+
+    /// Forces the log tail to the log disks — the group-commit daemon's
+    /// hook. Under [`CommitDurability::Lazy`], committed transactions
+    /// become durable at the next force.
+    pub fn force_log(&mut self) -> Result<()> {
+        self.ensure_alive()?;
+        self.log.force()
+    }
+
+    /// Deep verification: performs a *dry-run* recovery (backup + log →
+    /// scratch storage) and checks it reproduces the live database
+    /// exactly. The log is forced first so the comparison is against the
+    /// full committed state. Returns the would-be recovery report.
+    ///
+    /// This is what an operator runs to answer "if we crashed right now,
+    /// would we get everything back?" without crashing anything.
+    pub fn verify_recoverability(&mut self) -> Result<RecoveryReport> {
+        self.ensure_alive()?;
+        self.log.force()?;
+        let live = self.storage.fingerprint();
+        let (recovered, report) = mmdb_recovery::dry_run(
+            self.config.params.db,
+            &mut *self.backup,
+            self.log.device_mut(),
+            &self.config.params.disk,
+        )?;
+        if recovered != live {
+            return Err(MmdbError::Corrupt(format!(
+                "dry-run recovery diverges from the live committed state                  (live {live:#x}, recovered {recovered:#x})"
+            )));
+        }
+        Ok(report)
+    }
+
+    // ----- archival (cold backups, paper §2.7) -----------------------------
+
+    /// Dumps a point-in-time cold backup: the most recent complete
+    /// ping-pong copy plus the REDO-log slice needed to bring it to the
+    /// committed state as of this call. The log is forced first, so every
+    /// committed transaction is captured.
+    pub fn dump_archive(&mut self, path: &Path) -> Result<mmdb_disk::ArchiveInfo> {
+        self.ensure_alive()?;
+        self.log.force()?;
+        let (copy, _) = self.backup.recovery_copy()?;
+        // replay floor of the archived copy; if unknown (no checkpoint
+        // completed this session for that copy), fall back to the whole
+        // readable log — replaying extra prefix is safe (complete,
+        // in-order suffix), just bulkier.
+        let floor = self.replay_floor[copy & 1].unwrap_or(self.log.start_lsn());
+        let dev = self.log.device_mut();
+        let start = floor.raw().max(dev.start_offset());
+        let mut slice = vec![0u8; (dev.len() - start) as usize];
+        dev.read_at(start, &mut slice)?;
+        mmdb_disk::dump_archive(&mut *self.backup, path, &slice)
+    }
+
+    /// Creates a brand-new database directory from an archive: the image
+    /// seeds the backup store, the archived log slice seeds the log, and
+    /// ordinary recovery rebuilds the primary database to the exact
+    /// committed state the archive captured.
+    pub fn restore_archive_dir(
+        config: MmdbConfig,
+        dir: &Path,
+        archive: &Path,
+    ) -> Result<(Mmdb, RecoveryReport)> {
+        config.validate().map_err(MmdbError::Invalid)?;
+        std::fs::create_dir_all(dir)?;
+        let meters = Meters::new(config.params.cost);
+        let storage = Storage::new(config.params.db)?;
+        let mut backup: Box<dyn BackupStore> = Box::new(mmdb_disk::FileBackup::open(
+            &dir.join("backup"),
+            config.params.db,
+            config.sync_files,
+        )?);
+        if backup.recovery_copy().is_ok() {
+            return Err(MmdbError::Invalid(format!(
+                "{} already holds a database; refusing to restore over it",
+                dir.display()
+            )));
+        }
+        let (_info, log_slice) = mmdb_disk::restore_archive(&mut *backup, archive)?;
+        // Seed the fresh log device with the archived slice *before*
+        // handing it to the manager, so the manager's LSN space starts
+        // past it. The slice's records are self-delimiting; recovery
+        // locates the markers by scanning, so placing them at the fresh
+        // device's offset 0 is sound.
+        let mut device =
+            SegmentedLogDevice::open(&dir.join("log"), config.log_chunk_bytes, config.sync_files)?;
+        {
+            use mmdb_log::LogDevice as _;
+            device.append(&log_slice)?;
+        }
+        let log = LogManager::new(
+            Box::new(device),
+            config.params.log_mode,
+            meters.logging.clone(),
+        );
+        let mut engine = Self::assemble(config, storage, log, backup, meters);
+        let report = engine.recover_internal()?;
+        Ok((engine, report))
+    }
+}

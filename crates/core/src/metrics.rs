@@ -1,0 +1,141 @@
+//! Engine metrics: the paper's overhead accounting, assembled from the
+//! engine's cost meters.
+
+use mmdb_types::{CostBreakdown, SharedCostMeter};
+
+/// The engine's cost meters, separated the way the paper's model
+/// separates costs (§4):
+///
+/// * `sync_ckpt` — checkpoint-related work done *synchronously* on behalf
+///   of transactions: LSN maintenance, COU old-copy saves, and the bodies
+///   of transactions rerun after two-color aborts;
+/// * `async_ckpt` — the checkpointer's own work: scans, locks, copies,
+///   I/O initiations, LSN checks, checkpoint-induced log forces;
+/// * `logging` — routine log creation and forcing (the paper excludes
+///   these from checkpointing overhead: "we do not include the other
+///   recovery costs, such as data movement for the creation of the
+///   log");
+/// * `base` — transaction bodies (`C_trans`) and shadow-install data
+///   movement, the work a recovery-free system would also do.
+#[derive(Debug, Clone)]
+pub struct Meters {
+    /// Synchronous checkpoint-related cost (charged to transactions).
+    pub sync_ckpt: SharedCostMeter,
+    /// Asynchronous checkpointer cost.
+    pub async_ckpt: SharedCostMeter,
+    /// Routine logging cost (excluded from checkpoint overhead).
+    pub logging: SharedCostMeter,
+    /// Baseline transaction cost.
+    pub base: SharedCostMeter,
+}
+
+impl Meters {
+    /// Fresh meters charging at the given unit costs.
+    pub fn new(costs: mmdb_types::CostParams) -> Meters {
+        Meters {
+            sync_ckpt: mmdb_types::CostMeter::shared(costs),
+            async_ckpt: mmdb_types::CostMeter::shared(costs),
+            logging: mmdb_types::CostMeter::shared(costs),
+            base: mmdb_types::CostMeter::shared(costs),
+        }
+    }
+
+    /// Resets every meter.
+    pub fn reset(&self) {
+        self.sync_ckpt.reset();
+        self.async_ckpt.reset();
+        self.logging.reset();
+        self.base.reset();
+    }
+}
+
+/// A point-in-time overhead summary, in the units of the paper's figures:
+/// instructions per committed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Committed transactions in the measured window.
+    pub committed: u64,
+    /// Synchronous checkpoint-related instructions (total).
+    pub sync_ckpt: CostBreakdown,
+    /// Asynchronous checkpointer instructions (total).
+    pub async_ckpt: CostBreakdown,
+    /// Routine logging instructions (total, not checkpoint overhead).
+    pub logging: CostBreakdown,
+    /// Baseline transaction instructions (total).
+    pub base: CostBreakdown,
+}
+
+impl OverheadReport {
+    /// Synchronous checkpoint overhead per committed transaction.
+    pub fn sync_per_txn(&self) -> f64 {
+        self.per_txn(self.sync_ckpt.total())
+    }
+
+    /// Asynchronous (checkpointer) overhead per committed transaction —
+    /// the paper's amortization rule: asynchronous cost divided by the
+    /// number of transactions that ran while it accrued.
+    pub fn async_per_txn(&self) -> f64 {
+        self.per_txn(self.async_ckpt.total())
+    }
+
+    /// Total checkpointing overhead per committed transaction — the
+    /// paper's headline metric (Figures 4a, 4c, 4d, 4e).
+    pub fn ckpt_overhead_per_txn(&self) -> f64 {
+        self.sync_per_txn() + self.async_per_txn()
+    }
+
+    fn per_txn(&self, total: u64) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            total as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::CostParams;
+
+    #[test]
+    fn per_txn_math() {
+        let meters = Meters::new(CostParams::default());
+        meters.sync_ckpt.lsn_op(); // 20
+        meters.async_ckpt.io_op(); // 1000
+        let report = OverheadReport {
+            committed: 10,
+            sync_ckpt: meters.sync_ckpt.snapshot(),
+            async_ckpt: meters.async_ckpt.snapshot(),
+            logging: meters.logging.snapshot(),
+            base: meters.base.snapshot(),
+        };
+        assert_eq!(report.sync_per_txn(), 2.0);
+        assert_eq!(report.async_per_txn(), 100.0);
+        assert_eq!(report.ckpt_overhead_per_txn(), 102.0);
+    }
+
+    #[test]
+    fn zero_committed_is_not_nan() {
+        let meters = Meters::new(CostParams::default());
+        meters.sync_ckpt.io_op();
+        let report = OverheadReport {
+            committed: 0,
+            sync_ckpt: meters.sync_ckpt.snapshot(),
+            async_ckpt: meters.async_ckpt.snapshot(),
+            logging: meters.logging.snapshot(),
+            base: meters.base.snapshot(),
+        };
+        assert_eq!(report.ckpt_overhead_per_txn(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let meters = Meters::new(CostParams::default());
+        meters.sync_ckpt.io_op();
+        meters.base.io_op();
+        meters.reset();
+        assert_eq!(meters.sync_ckpt.total(), 0);
+        assert_eq!(meters.base.total(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Archival dumps of the backup database.
+//!
+//! Paper §2.7: "Dumping of the backup database (e.g., to tape) may also
+//! be easier [in a MMDBMS] because of the more predictable disk access
+//! patterns" — the checkpointer writes segments sequentially, so an
+//! archiver can stream a complete ping-pong copy without coordinating
+//! with transactions at all.
+//!
+//! An archive is a single self-describing file:
+//!
+//! ```text
+//! +--------------------------------------+
+//! | magic, version                       |
+//! | checkpoint id, shape (3×u64)         |
+//! | log-slice length (u64)               |
+//! | header checksum                      |
+//! +--------------------------------------+
+//! | segment 0 words ... checksum         |
+//! | segment 1 words ... checksum         |
+//! | ...                                  |
+//! +--------------------------------------+
+//! | log slice bytes ... checksum         |
+//! +--------------------------------------+
+//! ```
+//!
+//! The log slice carries the REDO log from the archived checkpoint's
+//! replay floor to the durable end at dump time, which makes the archive
+//! a *point-in-time cold backup*: restore seeds a backup store with the
+//! image (under ping-pong copy `ckpt mod 2`, so the next checkpoint
+//! targets the other copy) and hands back the log slice for a fresh log
+//! device — ordinary recovery then rebuilds the exact committed state.
+
+use crate::backup::BackupStore;
+use mmdb_types::{hash::Fnv1a, CheckpointId, DbParams, MmdbError, Result, SegmentId, Word};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const ARCHIVE_MAGIC: u64 = 0x4d4d_4442_4152_4348; // "MMDBARCH"
+const ARCHIVE_VERSION: u32 = 1;
+
+/// Metadata of an archive file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchiveInfo {
+    /// The checkpoint whose image the archive holds.
+    pub ckpt: CheckpointId,
+    /// Database shape.
+    pub db: DbParams,
+    /// Bytes of REDO-log slice stored after the segment images.
+    pub log_bytes: u64,
+}
+
+/// Streams the most recent complete backup copy of `store` — plus
+/// `log_slice`, the REDO log from that checkpoint's replay floor to the
+/// durable end — into an archive file at `path`.
+pub fn dump_archive(
+    store: &mut dyn BackupStore,
+    path: &Path,
+    log_slice: &[u8],
+) -> Result<ArchiveInfo> {
+    let (copy, ckpt) = store.recovery_copy()?;
+    let db = store.shape();
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+
+    let mut header = Vec::new();
+    header.extend_from_slice(&ARCHIVE_MAGIC.to_le_bytes());
+    header.extend_from_slice(&ARCHIVE_VERSION.to_le_bytes());
+    header.extend_from_slice(&ckpt.raw().to_le_bytes());
+    header.extend_from_slice(&db.s_db.to_le_bytes());
+    header.extend_from_slice(&db.s_rec.to_le_bytes());
+    header.extend_from_slice(&db.s_seg.to_le_bytes());
+    header.extend_from_slice(&(log_slice.len() as u64).to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.update(&header);
+    header.extend_from_slice(&h.finish().to_le_bytes());
+    w.write_all(&header)?;
+
+    let mut buf: Vec<Word> = vec![0; db.s_seg as usize];
+    for sid in 0..db.n_segments() as u32 {
+        store.read_segment(copy, SegmentId(sid), &mut buf)?;
+        let mut bytes = Vec::with_capacity(buf.len() * 4 + 8);
+        for wd in &buf {
+            bytes.extend_from_slice(&wd.to_le_bytes());
+        }
+        let mut h = Fnv1a::new();
+        h.update(&bytes);
+        bytes.extend_from_slice(&h.finish().to_le_bytes());
+        w.write_all(&bytes)?;
+    }
+    w.write_all(log_slice)?;
+    let mut h = Fnv1a::new();
+    h.update(log_slice);
+    w.write_all(&h.finish().to_le_bytes())?;
+    w.flush()?;
+    Ok(ArchiveInfo {
+        ckpt,
+        db,
+        log_bytes: log_slice.len() as u64,
+    })
+}
+
+/// Reads and validates an archive's header.
+pub fn archive_info(path: &Path) -> Result<ArchiveInfo> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    read_header(&mut r)
+}
+
+fn read_header(r: &mut impl Read) -> Result<ArchiveInfo> {
+    let mut header = [0u8; 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8];
+    r.read_exact(&mut header)
+        .map_err(|_| MmdbError::Corrupt("archive header too short".into()))?;
+    let magic = u64::from_le_bytes(header[0..8].try_into().unwrap());
+    if magic != ARCHIVE_MAGIC {
+        return Err(MmdbError::Corrupt("bad archive magic".into()));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != ARCHIVE_VERSION {
+        return Err(MmdbError::Corrupt(format!(
+            "unsupported archive version {version}"
+        )));
+    }
+    let ckpt = CheckpointId(u64::from_le_bytes(header[12..20].try_into().unwrap()));
+    let db = DbParams {
+        s_db: u64::from_le_bytes(header[20..28].try_into().unwrap()),
+        s_rec: u64::from_le_bytes(header[28..36].try_into().unwrap()),
+        s_seg: u64::from_le_bytes(header[36..44].try_into().unwrap()),
+    };
+    let log_bytes = u64::from_le_bytes(header[44..52].try_into().unwrap());
+    let stored = u64::from_le_bytes(header[52..60].try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.update(&header[0..52]);
+    if h.finish() != stored {
+        return Err(MmdbError::Corrupt(
+            "archive header checksum mismatch".into(),
+        ));
+    }
+    db.validate().map_err(MmdbError::Corrupt)?;
+    Ok(ArchiveInfo {
+        ckpt,
+        db,
+        log_bytes,
+    })
+}
+
+/// Restores an archive into `store` (under ping-pong copy
+/// `ckpt mod 2`, so the next checkpoint targets the other copy), marking
+/// it complete under the archived checkpoint id, and returns the
+/// archived REDO-log slice. The store's shape must match the archive's.
+/// Fails without marking the copy complete if anything is corrupt
+/// (segments and the log slice are validated as they stream).
+pub fn restore_archive(store: &mut dyn BackupStore, path: &Path) -> Result<(ArchiveInfo, Vec<u8>)> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let info = read_header(&mut r)?;
+    if store.shape() != info.db {
+        return Err(MmdbError::Invalid(format!(
+            "archive shape {:?} does not match store shape {:?}",
+            info.db,
+            store.shape()
+        )));
+    }
+    let copy = info.ckpt.pingpong_copy();
+    store.begin_checkpoint(copy, info.ckpt)?;
+    let seg_bytes = info.db.s_seg as usize * 4;
+    let mut bytes = vec![0u8; seg_bytes + 8];
+    let mut words: Vec<Word> = vec![0; info.db.s_seg as usize];
+    for sid in 0..info.db.n_segments() as u32 {
+        r.read_exact(&mut bytes)
+            .map_err(|_| MmdbError::Corrupt(format!("archive truncated at segment {sid}")))?;
+        let stored = u64::from_le_bytes(bytes[seg_bytes..].try_into().unwrap());
+        let mut h = Fnv1a::new();
+        h.update(&bytes[..seg_bytes]);
+        if h.finish() != stored {
+            return Err(MmdbError::Corrupt(format!(
+                "archive segment {sid}: checksum mismatch"
+            )));
+        }
+        for (i, wd) in words.iter_mut().enumerate() {
+            *wd = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        store.write_segment(copy, SegmentId(sid), &words)?;
+    }
+    let mut log_slice = vec![0u8; info.log_bytes as usize];
+    r.read_exact(&mut log_slice)
+        .map_err(|_| MmdbError::Corrupt("archive truncated in log slice".into()))?;
+    let mut stored = [0u8; 8];
+    r.read_exact(&mut stored)
+        .map_err(|_| MmdbError::Corrupt("archive missing log checksum".into()))?;
+    let mut h = Fnv1a::new();
+    h.update(&log_slice);
+    if h.finish() != u64::from_le_bytes(stored) {
+        return Err(MmdbError::Corrupt(
+            "archive log slice: checksum mismatch".into(),
+        ));
+    }
+    store.complete_checkpoint(copy, info.ckpt)?;
+    Ok((info, log_slice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backup::MemBackup;
+    use mmdb_types::Params;
+
+    fn db() -> DbParams {
+        Params::small().db
+    }
+
+    fn populated_store() -> MemBackup {
+        let mut store = MemBackup::new(db());
+        store.begin_checkpoint(1, CheckpointId(5)).unwrap();
+        for sid in 0..db().n_segments() as u32 {
+            let data = vec![sid + 100; db().s_seg as usize];
+            store.write_segment(1, SegmentId(sid), &data).unwrap();
+        }
+        store.complete_checkpoint(1, CheckpointId(5)).unwrap();
+        store
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmdb-arch-{}-{}", name, std::process::id()))
+    }
+
+    #[test]
+    fn dump_and_restore_roundtrip() {
+        let mut src = populated_store();
+        let path = tmpfile("roundtrip");
+        let log = b"pretend log slice".to_vec();
+        let info = dump_archive(&mut src, &path, &log).unwrap();
+        assert_eq!(info.ckpt, CheckpointId(5));
+        assert_eq!(info.log_bytes, log.len() as u64);
+
+        assert_eq!(archive_info(&path).unwrap(), info);
+
+        let mut dst = MemBackup::new(db());
+        let (restored, log_back) = restore_archive(&mut dst, &path).unwrap();
+        assert_eq!(restored, info);
+        assert_eq!(log_back, log);
+        // ckpt 5 is odd → restored into copy 1
+        assert_eq!(dst.recovery_copy().unwrap(), (1, CheckpointId(5)));
+        let mut buf = vec![0u32; db().s_seg as usize];
+        for sid in 0..db().n_segments() as u32 {
+            dst.read_segment(1, SegmentId(sid), &mut buf).unwrap();
+            assert!(buf.iter().all(|w| *w == sid + 100));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dump_without_complete_backup_fails() {
+        let mut store = MemBackup::new(db());
+        let path = tmpfile("nodata");
+        assert!(dump_archive(&mut store, &path, &[]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_archive_detected() {
+        let mut src = populated_store();
+        let path = tmpfile("corrupt");
+        dump_archive(&mut src, &path, b"log").unwrap();
+        // flip a byte in the middle of segment data
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut dst = MemBackup::new(db());
+        let err = restore_archive(&mut dst, &path).unwrap_err();
+        assert!(matches!(err, MmdbError::Corrupt(_)));
+        // the partially-restored copy is not marked complete
+        assert!(dst.recovery_copy().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_archive_detected() {
+        let mut src = populated_store();
+        let path = tmpfile("trunc");
+        dump_archive(&mut src, &path, b"log").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+        let mut dst = MemBackup::new(db());
+        assert!(restore_archive(&mut dst, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut src = populated_store();
+        let path = tmpfile("shape");
+        dump_archive(&mut src, &path, &[]).unwrap();
+        let other = DbParams {
+            s_db: 32 << 10,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let mut dst = MemBackup::new(other);
+        assert!(matches!(
+            restore_archive(&mut dst, &path),
+            Err(MmdbError::Invalid(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"definitely not an mmdb archive file").unwrap();
+        assert!(archive_info(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,609 @@
+//! The backup database store.
+//!
+//! Two complete backup copies are kept and updated alternately — the
+//! *ping-pong* scheme of paper §2.6 — so that a crash during checkpoint
+//! `k` (which writes copy `k mod 2`) always leaves the other copy
+//! complete.
+//!
+//! The store enforces the ping-pong discipline explicitly:
+//!
+//! 1. [`BackupStore::begin_checkpoint`] marks the target copy
+//!    *in-progress* (durably, before any segment is overwritten);
+//! 2. segment images are written with per-segment checksums;
+//! 3. [`BackupStore::complete_checkpoint`] durably marks the copy
+//!    *complete* with the checkpoint id.
+//!
+//! Recovery asks both copies for their status and restores from the
+//! complete copy with the highest checkpoint id. A torn checkpoint leaves
+//! its target copy in-progress and therefore ineligible.
+
+use mmdb_types::{hash::Fnv1a, CheckpointId, DbParams, MmdbError, Result, SegmentId, Word};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Durable status of one backup copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyStatus {
+    /// Never completed a checkpoint.
+    Empty,
+    /// A checkpoint is (or was, at crash time) overwriting this copy.
+    InProgress(CheckpointId),
+    /// Holds the complete image of the given checkpoint.
+    Complete(CheckpointId),
+}
+
+impl CopyStatus {
+    /// The checkpoint id if the copy is complete.
+    pub fn complete_ckpt(self) -> Option<CheckpointId> {
+        match self {
+            CopyStatus::Complete(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A store holding the two ping-pong backup copies.
+///
+/// Implementations do not charge I/O costs: the *checkpointer* initiates
+/// the I/Os and charges `C_io` per operation, matching the paper's
+/// accounting (the store is the passive device).
+pub trait BackupStore: Send {
+    /// The database shape this store was created for.
+    fn shape(&self) -> DbParams;
+
+    /// Durably marks `copy` as in-progress for `ckpt`. Must be called
+    /// before any segment of this checkpoint is written.
+    fn begin_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()>;
+
+    /// Writes one segment image into `copy`.
+    fn write_segment(&mut self, copy: usize, sid: SegmentId, data: &[Word]) -> Result<()>;
+
+    /// Durably marks `copy` complete with `ckpt`'s image.
+    fn complete_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()>;
+
+    /// The durable status of `copy`.
+    fn copy_status(&mut self, copy: usize) -> Result<CopyStatus>;
+
+    /// Reads one segment image from `copy`, verifying its checksum.
+    fn read_segment(&mut self, copy: usize, sid: SegmentId, buf: &mut [Word]) -> Result<()>;
+
+    /// The copy recovery should restore from: the complete copy with the
+    /// highest checkpoint id.
+    fn recovery_copy(&mut self) -> Result<(usize, CheckpointId)> {
+        let mut best: Option<(usize, CheckpointId)> = None;
+        for copy in 0..2 {
+            if let CopyStatus::Complete(c) = self.copy_status(copy)? {
+                if best.map(|(_, b)| c > b).unwrap_or(true) {
+                    best = Some((copy, c));
+                }
+            }
+        }
+        best.ok_or(MmdbError::NoCompleteBackup)
+    }
+}
+
+fn check_copy(copy: usize) -> Result<()> {
+    if copy > 1 {
+        return Err(MmdbError::Invalid(format!(
+            "ping-pong copy index must be 0 or 1, got {copy}"
+        )));
+    }
+    Ok(())
+}
+
+fn check_shape(db: &DbParams, sid: SegmentId, data_len: usize) -> Result<()> {
+    if sid.raw() as u64 >= db.n_segments() {
+        return Err(MmdbError::SegmentOutOfRange {
+            segment: sid,
+            n_segments: db.n_segments(),
+        });
+    }
+    if data_len as u64 != db.s_seg {
+        return Err(MmdbError::Invalid(format!(
+            "segment image has {} words, expected {}",
+            data_len, db.s_seg
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation (tests, simulator)
+// ---------------------------------------------------------------------------
+
+/// An in-memory backup store with checksum emulation and torn-write
+/// injection for crash tests.
+#[derive(Debug)]
+pub struct MemBackup {
+    db: DbParams,
+    copies: [MemCopy; 2],
+}
+
+#[derive(Debug)]
+struct MemCopy {
+    status: CopyStatus,
+    segments: Vec<Option<SegmentImage>>,
+}
+
+#[derive(Debug, Clone)]
+struct SegmentImage {
+    data: Box<[Word]>,
+    torn: bool,
+}
+
+impl MemBackup {
+    /// An empty store for a database of the given shape.
+    pub fn new(db: DbParams) -> MemBackup {
+        let n = db.n_segments() as usize;
+        MemBackup {
+            db,
+            copies: [
+                MemCopy {
+                    status: CopyStatus::Empty,
+                    segments: vec![None; n],
+                },
+                MemCopy {
+                    status: CopyStatus::Empty,
+                    segments: vec![None; n],
+                },
+            ],
+        }
+    }
+
+    /// Fault injection: marks a stored segment image as torn, as if the
+    /// crash interrupted its write. Subsequent reads fail the checksum.
+    pub fn tear_segment(&mut self, copy: usize, sid: SegmentId) -> Result<()> {
+        check_copy(copy)?;
+        match &mut self.copies[copy].segments[sid.index()] {
+            Some(img) => {
+                img.torn = true;
+                Ok(())
+            }
+            None => Err(MmdbError::Invalid(format!("{sid} never written"))),
+        }
+    }
+}
+
+impl BackupStore for MemBackup {
+    fn shape(&self) -> DbParams {
+        self.db
+    }
+
+    fn begin_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        check_copy(copy)?;
+        self.copies[copy].status = CopyStatus::InProgress(ckpt);
+        Ok(())
+    }
+
+    fn write_segment(&mut self, copy: usize, sid: SegmentId, data: &[Word]) -> Result<()> {
+        check_copy(copy)?;
+        check_shape(&self.db, sid, data.len())?;
+        if !matches!(self.copies[copy].status, CopyStatus::InProgress(_)) {
+            return Err(MmdbError::Invalid(
+                "write_segment outside begin/complete window".into(),
+            ));
+        }
+        self.copies[copy].segments[sid.index()] = Some(SegmentImage {
+            data: data.into(),
+            torn: false,
+        });
+        Ok(())
+    }
+
+    fn complete_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        check_copy(copy)?;
+        match self.copies[copy].status {
+            CopyStatus::InProgress(c) if c == ckpt => {
+                self.copies[copy].status = CopyStatus::Complete(ckpt);
+                Ok(())
+            }
+            s => Err(MmdbError::Invalid(format!(
+                "complete_checkpoint({ckpt}) but copy {copy} is {s:?}"
+            ))),
+        }
+    }
+
+    fn copy_status(&mut self, copy: usize) -> Result<CopyStatus> {
+        check_copy(copy)?;
+        Ok(self.copies[copy].status)
+    }
+
+    fn read_segment(&mut self, copy: usize, sid: SegmentId, buf: &mut [Word]) -> Result<()> {
+        check_copy(copy)?;
+        check_shape(&self.db, sid, buf.len())?;
+        match &self.copies[copy].segments[sid.index()] {
+            Some(img) if !img.torn => {
+                buf.copy_from_slice(&img.data);
+                Ok(())
+            }
+            Some(_) => Err(MmdbError::Corrupt(format!(
+                "segment {sid} in copy {copy}: checksum mismatch (torn write)"
+            ))),
+            None => Err(MmdbError::Corrupt(format!(
+                "segment {sid} in copy {copy}: never written"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed implementation (the real engine)
+// ---------------------------------------------------------------------------
+
+const MAGIC: u64 = 0x4d4d_4442_424b_5550; // "MMDBBKUP"
+const HEADER_LEN: u64 = 4096;
+const FORMAT_VERSION: u32 = 1;
+/// Per-segment trailer: fnv checksum (8) + reserved (8).
+const SEG_TRAILER: u64 = 16;
+
+const STATE_EMPTY: u32 = 0;
+const STATE_IN_PROGRESS: u32 = 1;
+const STATE_COMPLETE: u32 = 2;
+
+/// A file-backed backup store: one file per ping-pong copy, each laid out
+/// as a 4 KiB header followed by fixed-size checksummed segment slots.
+#[derive(Debug)]
+pub struct FileBackup {
+    db: DbParams,
+    files: [File; 2],
+    paths: [PathBuf; 2],
+    sync: bool,
+}
+
+impl FileBackup {
+    /// Creates (or opens) the pair of backup files `<base>.0` and
+    /// `<base>.1`. Existing files with valid headers are kept (so a
+    /// recovering engine sees its pre-crash backups); anything else is
+    /// initialized empty.
+    pub fn open(base: &Path, db: DbParams, sync: bool) -> Result<FileBackup> {
+        db.validate().map_err(MmdbError::Invalid)?;
+        let paths = [base.with_extension("0"), base.with_extension("1")];
+        let open_one = |path: &Path| -> Result<File> {
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
+            Ok(file)
+        };
+        let files = [open_one(&paths[0])?, open_one(&paths[1])?];
+        let mut store = FileBackup {
+            db,
+            files,
+            paths,
+            sync,
+        };
+        for copy in 0..2 {
+            if store.read_header(copy).is_err() {
+                store.write_header(copy, STATE_EMPTY, CheckpointId(0))?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// The backing file paths.
+    pub fn paths(&self) -> [&Path; 2] {
+        [&self.paths[0], &self.paths[1]]
+    }
+
+    fn slot_len(&self) -> u64 {
+        self.db.s_seg * mmdb_types::WORD_BYTES as u64 + SEG_TRAILER
+    }
+
+    fn seg_offset(&self, sid: SegmentId) -> u64 {
+        HEADER_LEN + sid.raw() as u64 * self.slot_len()
+    }
+
+    fn write_header(&mut self, copy: usize, state: u32, ckpt: CheckpointId) -> Result<()> {
+        let mut buf = Vec::with_capacity(HEADER_LEN as usize);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&state.to_le_bytes());
+        buf.extend_from_slice(&ckpt.raw().to_le_bytes());
+        buf.extend_from_slice(&self.db.s_db.to_le_bytes());
+        buf.extend_from_slice(&self.db.s_rec.to_le_bytes());
+        buf.extend_from_slice(&self.db.s_seg.to_le_bytes());
+        let mut h = Fnv1a::new();
+        h.update(&buf);
+        buf.extend_from_slice(&h.finish().to_le_bytes());
+        buf.resize(HEADER_LEN as usize, 0);
+        let f = &mut self.files[copy];
+        f.seek(SeekFrom::Start(0))?;
+        f.write_all(&buf)?;
+        if self.sync {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn read_header(&mut self, copy: usize) -> Result<(u32, CheckpointId)> {
+        let f = &mut self.files[copy];
+        let mut buf = [0u8; 56];
+        f.seek(SeekFrom::Start(0))?;
+        f.read_exact(&mut buf)
+            .map_err(|_| MmdbError::Corrupt("backup header too short".into()))?;
+        let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(MmdbError::Corrupt("bad backup magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(MmdbError::Corrupt(format!(
+                "unsupported backup format version {version}"
+            )));
+        }
+        let state = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        let ckpt = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let s_db = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        let s_rec = u64::from_le_bytes(buf[32..40].try_into().unwrap());
+        let s_seg = u64::from_le_bytes(buf[40..48].try_into().unwrap());
+        let stored = u64::from_le_bytes(buf[48..56].try_into().unwrap());
+        let mut h = Fnv1a::new();
+        h.update(&buf[0..48]);
+        if h.finish() != stored {
+            return Err(MmdbError::Corrupt("backup header checksum mismatch".into()));
+        }
+        if (s_db, s_rec, s_seg) != (self.db.s_db, self.db.s_rec, self.db.s_seg) {
+            return Err(MmdbError::Corrupt(format!(
+                "backup shape mismatch: file has s_db={s_db} s_rec={s_rec} s_seg={s_seg}"
+            )));
+        }
+        Ok((state, CheckpointId(ckpt)))
+    }
+}
+
+impl BackupStore for FileBackup {
+    fn shape(&self) -> DbParams {
+        self.db
+    }
+
+    fn begin_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        check_copy(copy)?;
+        self.write_header(copy, STATE_IN_PROGRESS, ckpt)
+    }
+
+    fn write_segment(&mut self, copy: usize, sid: SegmentId, data: &[Word]) -> Result<()> {
+        check_copy(copy)?;
+        check_shape(&self.db, sid, data.len())?;
+        let offset = self.seg_offset(sid);
+        let mut buf = Vec::with_capacity(self.slot_len() as usize);
+        for w in data {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut h = Fnv1a::new();
+        h.update(&buf);
+        buf.extend_from_slice(&h.finish().to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let f = &mut self.files[copy];
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(&buf)?;
+        if self.sync {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn complete_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        check_copy(copy)?;
+        match self.read_header(copy)? {
+            (STATE_IN_PROGRESS, c) if c == ckpt => self.write_header(copy, STATE_COMPLETE, ckpt),
+            (state, c) => Err(MmdbError::Invalid(format!(
+                "complete_checkpoint({ckpt}) but copy {copy} header is state={state} ckpt={c}"
+            ))),
+        }
+    }
+
+    fn copy_status(&mut self, copy: usize) -> Result<CopyStatus> {
+        check_copy(copy)?;
+        match self.read_header(copy) {
+            Ok((STATE_COMPLETE, c)) => Ok(CopyStatus::Complete(c)),
+            Ok((STATE_IN_PROGRESS, c)) => Ok(CopyStatus::InProgress(c)),
+            Ok((STATE_EMPTY, _)) => Ok(CopyStatus::Empty),
+            Ok((s, _)) => Err(MmdbError::Corrupt(format!("unknown backup state {s}"))),
+            // An unreadable header is treated as an unusable copy rather
+            // than a fatal error: the other copy may still be complete.
+            Err(_) => Ok(CopyStatus::Empty),
+        }
+    }
+
+    fn read_segment(&mut self, copy: usize, sid: SegmentId, buf: &mut [Word]) -> Result<()> {
+        check_copy(copy)?;
+        check_shape(&self.db, sid, buf.len())?;
+        let offset = self.seg_offset(sid);
+        let mut raw = vec![0u8; self.slot_len() as usize];
+        let f = &mut self.files[copy];
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(&mut raw)
+            .map_err(|_| MmdbError::Corrupt(format!("{sid}: short read from backup")))?;
+        let data_bytes = (self.db.s_seg as usize) * mmdb_types::WORD_BYTES;
+        let stored = u64::from_le_bytes(raw[data_bytes..data_bytes + 8].try_into().unwrap());
+        let mut h = Fnv1a::new();
+        h.update(&raw[..data_bytes]);
+        if h.finish() != stored {
+            return Err(MmdbError::Corrupt(format!(
+                "{sid} in copy {copy}: checksum mismatch"
+            )));
+        }
+        for (i, w) in buf.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::Params;
+
+    fn db() -> DbParams {
+        Params::small().db // 32 segments × 2048 words
+    }
+
+    fn seg_data(fill: Word) -> Vec<Word> {
+        vec![fill; db().s_seg as usize]
+    }
+
+    fn full_checkpoint(store: &mut dyn BackupStore, copy: usize, ckpt: u64, fill: Word) {
+        store.begin_checkpoint(copy, CheckpointId(ckpt)).unwrap();
+        for sid in 0..db().n_segments() as u32 {
+            store
+                .write_segment(copy, SegmentId(sid), &seg_data(fill))
+                .unwrap();
+        }
+        store.complete_checkpoint(copy, CheckpointId(ckpt)).unwrap();
+    }
+
+    fn exercise_store(store: &mut dyn BackupStore) {
+        // initially nothing to recover from
+        assert!(store.recovery_copy().is_err());
+
+        full_checkpoint(store, 0, 1, 0xA);
+        assert_eq!(
+            store.copy_status(0).unwrap(),
+            CopyStatus::Complete(CheckpointId(1))
+        );
+        assert_eq!(store.recovery_copy().unwrap(), (0, CheckpointId(1)));
+
+        full_checkpoint(store, 1, 2, 0xB);
+        assert_eq!(store.recovery_copy().unwrap(), (1, CheckpointId(2)));
+
+        // checkpoint 3 starts on copy 0 and crashes before completing
+        store.begin_checkpoint(0, CheckpointId(3)).unwrap();
+        store
+            .write_segment(0, SegmentId(0), &seg_data(0xC))
+            .unwrap();
+        assert_eq!(
+            store.copy_status(0).unwrap(),
+            CopyStatus::InProgress(CheckpointId(3))
+        );
+        // recovery still finds the complete copy 1
+        assert_eq!(store.recovery_copy().unwrap(), (1, CheckpointId(2)));
+
+        let mut buf = seg_data(0);
+        store.read_segment(1, SegmentId(5), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0xB));
+    }
+
+    #[test]
+    fn mem_backup_pingpong_discipline() {
+        let mut store = MemBackup::new(db());
+        exercise_store(&mut store);
+    }
+
+    #[test]
+    fn file_backup_pingpong_discipline() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = FileBackup::open(&dir.join("backup"), db(), false).unwrap();
+        exercise_store(&mut store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backup_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        {
+            let mut store = FileBackup::open(&base, db(), false).unwrap();
+            full_checkpoint(&mut store, 0, 7, 0x77);
+        }
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        assert_eq!(store.recovery_copy().unwrap(), (0, CheckpointId(7)));
+        let mut buf = seg_data(0);
+        store.read_segment(0, SegmentId(3), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0x77));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backup_shape_mismatch_detected() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        {
+            let mut store = FileBackup::open(&base, db(), false).unwrap();
+            full_checkpoint(&mut store, 0, 1, 1);
+        }
+        let other = DbParams {
+            s_db: 32 << 10,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let mut store = FileBackup::open(&base, other, false).unwrap();
+        // the old header fails shape validation, so the copy reads as Empty
+        assert_eq!(store.copy_status(0).unwrap(), CopyStatus::Empty);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_backup_torn_segment_detected() {
+        let mut store = MemBackup::new(db());
+        full_checkpoint(&mut store, 0, 1, 0xA);
+        store.tear_segment(0, SegmentId(4)).unwrap();
+        let mut buf = seg_data(0);
+        assert!(store.read_segment(0, SegmentId(4), &mut buf).is_err());
+        // other segments still fine
+        store.read_segment(0, SegmentId(5), &mut buf).unwrap();
+    }
+
+    #[test]
+    fn file_backup_torn_segment_detected() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        full_checkpoint(&mut store, 0, 1, 0xA);
+        // corrupt a few bytes of segment 4's slot directly
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .open(base.with_extension("0"))
+                .unwrap();
+            let offset = HEADER_LEN + 4 * (db().s_seg * 4 + SEG_TRAILER) + 100;
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        }
+        let mut buf = seg_data(0);
+        assert!(store.read_segment(0, SegmentId(4), &mut buf).is_err());
+        store.read_segment(0, SegmentId(5), &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_requires_begin_mem() {
+        let mut store = MemBackup::new(db());
+        assert!(store.write_segment(0, SegmentId(0), &seg_data(1)).is_err());
+    }
+
+    #[test]
+    fn complete_requires_matching_begin() {
+        let mut store = MemBackup::new(db());
+        store.begin_checkpoint(0, CheckpointId(1)).unwrap();
+        assert!(store.complete_checkpoint(0, CheckpointId(2)).is_err());
+        assert!(store.complete_checkpoint(1, CheckpointId(1)).is_err());
+        store.complete_checkpoint(0, CheckpointId(1)).unwrap();
+        // completing twice is invalid (no longer in progress)
+        assert!(store.complete_checkpoint(0, CheckpointId(1)).is_err());
+    }
+
+    #[test]
+    fn bad_copy_index_rejected() {
+        let mut store = MemBackup::new(db());
+        assert!(store.begin_checkpoint(2, CheckpointId(1)).is_err());
+        assert!(store.copy_status(9).is_err());
+    }
+
+    #[test]
+    fn bad_segment_shape_rejected() {
+        let mut store = MemBackup::new(db());
+        store.begin_checkpoint(0, CheckpointId(1)).unwrap();
+        assert!(store
+            .write_segment(0, SegmentId(999), &seg_data(1))
+            .is_err());
+        assert!(store.write_segment(0, SegmentId(0), &[1, 2, 3]).is_err());
+    }
+}

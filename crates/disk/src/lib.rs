@@ -1,0 +1,23 @@
+//! Backup storage for the memory-resident database.
+//!
+//! Two layers:
+//!
+//! * [`SimDiskArray`] — the paper's disk service model (§2.2):
+//!   `T_seek + T_trans·d` per I/O, linear scaling across `N_bdisks`
+//!   disks, with per-disk FCFS queues for discrete-event simulation;
+//! * [`BackupStore`] — the ping-pong backup database pair (§2.6), as an
+//!   in-memory store ([`MemBackup`], with fault injection) and a
+//!   file-backed store ([`FileBackup`]) with durable state headers and
+//!   per-segment checksums;
+//! * [`dump_archive`]/[`restore_archive`] — archival cold dumps of a
+//!   complete backup copy (§2.7's tape dump).
+
+#![warn(missing_docs)]
+
+mod archive;
+mod backup;
+mod model;
+
+pub use archive::{archive_info, dump_archive, restore_archive, ArchiveInfo};
+pub use backup::{BackupStore, CopyStatus, FileBackup, MemBackup};
+pub use model::SimDiskArray;

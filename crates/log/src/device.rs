@@ -1,0 +1,270 @@
+//! Log devices: where the durable portion of the log lives.
+//!
+//! The engine writes through [`LogDevice`], so the same log manager runs
+//! against a real file (the executable engine), an in-memory vector (unit
+//! tests, torn-write injection) or the simulator's modeled disks.
+
+use mmdb_types::{MmdbError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A durable, append-only byte device holding the stable portion of the
+/// log. Offset 0 is the first byte ever written (LSN 0).
+pub trait LogDevice: Send {
+    /// Durably appends `bytes` at the current end.
+    fn append(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Durable length in bytes: offsets `[start_offset, len)` are
+    /// readable; `len` is the device-side durable LSN.
+    fn len(&self) -> u64;
+
+    /// First readable offset. 0 unless a prefix has been truncated away
+    /// (checkpoints make old log obsolete; see
+    /// [`truncate_prefix`](Self::truncate_prefix)).
+    fn start_offset(&self) -> u64 {
+        0
+    }
+
+    /// True if nothing is currently readable.
+    fn is_empty(&self) -> bool {
+        self.len() == self.start_offset()
+    }
+
+    /// Discards log bytes before `offset` (which must be ≤ `len`).
+    /// Offsets are *stable*: reads and appends keep using the global
+    /// offset space; only the readable window shrinks. Devices that do
+    /// not support truncation may ignore the call (the default).
+    fn truncate_prefix(&mut self, offset: u64) -> Result<()> {
+        let _ = offset;
+        Ok(())
+    }
+
+    /// Reads exactly `buf.len()` bytes starting at `offset`; fails if the
+    /// range is not fully within the readable window.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Reads the whole readable log (recovery's working set; the paper
+    /// assumes the entire relevant log is read, §4). The returned bytes
+    /// start at [`start_offset`](Self::start_offset).
+    fn read_all(&mut self) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; (self.len() - self.start_offset()) as usize];
+        let start = self.start_offset();
+        self.read_at(start, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// An in-memory log device for tests and simulation. Supports torn-write
+/// injection via [`MemLogDevice::truncate_to`] and prefix truncation.
+#[derive(Debug, Default)]
+pub struct MemLogDevice {
+    data: Vec<u8>,
+    /// Global offset of `data[0]`.
+    base: u64,
+}
+
+impl MemLogDevice {
+    /// An empty device.
+    pub fn new() -> MemLogDevice {
+        MemLogDevice::default()
+    }
+
+    /// Simulates a torn write: discards everything past global offset
+    /// `len`, as if the crash interrupted the flush that wrote those
+    /// bytes.
+    pub fn truncate_to(&mut self, len: u64) {
+        self.data.truncate(len.saturating_sub(self.base) as usize);
+    }
+
+    /// Borrow the raw bytes (test assertions).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl LogDevice for MemLogDevice {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+
+    fn start_offset(&self) -> u64 {
+        self.base
+    }
+
+    fn truncate_prefix(&mut self, offset: u64) -> Result<()> {
+        if offset > self.len() {
+            return Err(MmdbError::Invalid(format!(
+                "truncate_prefix({offset}) past end {}",
+                self.len()
+            )));
+        }
+        if offset > self.base {
+            self.data.drain(..(offset - self.base) as usize);
+            self.base = offset;
+        }
+        Ok(())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if offset < self.base {
+            return Err(MmdbError::Corrupt(format!(
+                "log read at {offset} before truncation point {}",
+                self.base
+            )));
+        }
+        let start = (offset - self.base) as usize;
+        let end = start + buf.len();
+        if end > self.data.len() {
+            return Err(MmdbError::Corrupt(format!(
+                "log read past durable end ({} > {})",
+                self.base + end as u64,
+                self.len()
+            )));
+        }
+        buf.copy_from_slice(&self.data[start..end]);
+        Ok(())
+    }
+}
+
+/// A file-backed log device.
+///
+/// `sync_on_append` controls whether each append is `fsync`ed. The engine
+/// turns it on for real durability; tests leave it off for speed (crash
+/// injection in tests is done at the API level, not by killing the
+/// process, so buffered writes survive either way).
+#[derive(Debug)]
+pub struct FileLogDevice {
+    file: File,
+    len: u64,
+    sync_on_append: bool,
+}
+
+impl FileLogDevice {
+    /// Opens (or creates) the log file at `path`.
+    pub fn open(path: &Path, sync_on_append: bool) -> Result<FileLogDevice> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        Ok(FileLogDevice {
+            file,
+            len,
+            sync_on_append,
+        })
+    }
+
+    /// Creates a fresh (truncated) log file at `path`.
+    pub fn create(path: &Path, sync_on_append: bool) -> Result<FileLogDevice> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileLogDevice {
+            file,
+            len: 0,
+            sync_on_append,
+        })
+    }
+}
+
+impl LogDevice for FileLogDevice {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(bytes)?;
+        if self.sync_on_append {
+            self.file.sync_data()?;
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if offset + buf.len() as u64 > self.len {
+            return Err(MmdbError::Corrupt(format!(
+                "log read past durable end ({} > {})",
+                offset + buf.len() as u64,
+                self.len
+            )));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_append_read() {
+        let mut d = MemLogDevice::new();
+        assert!(d.is_empty());
+        d.append(b"hello").unwrap();
+        d.append(b" world").unwrap();
+        assert_eq!(d.len(), 11);
+        let mut buf = [0u8; 5];
+        d.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        assert!(d.read_at(7, &mut buf).is_err());
+        assert_eq!(d.read_all().unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn mem_device_truncate_simulates_torn_write() {
+        let mut d = MemLogDevice::new();
+        d.append(b"0123456789").unwrap();
+        d.truncate_to(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.read_all().unwrap(), b"0123");
+    }
+
+    #[test]
+    fn file_device_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("mmdb-log-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+
+        let mut d = FileLogDevice::create(&path, false).unwrap();
+        d.append(b"abcdef").unwrap();
+        assert_eq!(d.len(), 6);
+        drop(d);
+
+        let mut d = FileLogDevice::open(&path, false).unwrap();
+        assert_eq!(d.len(), 6, "length survives reopen");
+        let mut buf = [0u8; 3];
+        d.read_at(3, &mut buf).unwrap();
+        assert_eq!(&buf, b"def");
+        d.append(b"gh").unwrap();
+        assert_eq!(d.read_all().unwrap(), b"abcdefgh");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_device_read_past_end_fails() {
+        let dir = std::env::temp_dir().join(format!("mmdb-log-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let mut d = FileLogDevice::create(&path, false).unwrap();
+        d.append(b"xy").unwrap();
+        let mut buf = [0u8; 3];
+        assert!(d.read_at(0, &mut buf).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! REDO-only logging for the memory-resident database.
+//!
+//! The paper's system (§2.6) logs only after-images: shadow-copy updates
+//! mean old versions are never overwritten before commit, so UNDO
+//! information is unnecessary. This crate provides:
+//!
+//! * [`LogRecord`] — record types and a checksummed, backward-scannable
+//!   frame encoding,
+//! * [`LogDevice`] — the durable byte store ([`MemLogDevice`] for tests and
+//!   simulation, [`FileLogDevice`] for the real engine),
+//! * [`LogManager`] — the volatile/stable log tail with LSN-based
+//!   durability tracking (the write-ahead gate for checkpointers),
+//! * [`LogScanner`] — crash-tolerant backward/forward scanning, checkpoint
+//!   marker location, and replay-start computation (paper §3.3).
+
+#![warn(missing_docs)]
+
+mod device;
+mod manager;
+mod record;
+mod scan;
+mod segmented;
+
+pub use device::{FileLogDevice, LogDevice, MemLogDevice};
+pub use manager::{LogManager, LogStats};
+pub use record::{LogRecord, FRAME_OVERHEAD};
+pub use scan::{BackwardIter, CheckpointMark, ForwardIter, LogScanner};
+pub use segmented::{SegmentedLogDevice, DEFAULT_CHUNK_BYTES};

@@ -1,0 +1,418 @@
+//! The log manager: a volatile (or stable) in-memory tail in front of a
+//! durable log device.
+//!
+//! Records are appended to the tail and become durable when the tail is
+//! *forced* to the device — except in [`LogMode::StableTail`] mode, where
+//! the tail lives in stable RAM and records are durable the moment they
+//! are appended (paper §4). The distinction is exactly what separates
+//! `FASTFUZZY` from the LSN-gated algorithms: with a volatile tail, a
+//! segment image may only be flushed once the log is durable past every
+//! update the image contains.
+
+use crate::device::LogDevice;
+use crate::record::LogRecord;
+use mmdb_types::{CostMeter, LogMode, Lsn, Result, SharedCostMeter};
+
+/// Statistics maintained by the log manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Records appended since creation.
+    pub records: u64,
+    /// Bytes appended since creation.
+    pub bytes: u64,
+    /// Forces (tail flushes) performed.
+    pub forces: u64,
+    /// Bytes lost by the most recent crash (volatile tail discarded).
+    pub lost_on_crash: u64,
+}
+
+/// The log manager. See the module docs.
+pub struct LogManager {
+    device: Box<dyn LogDevice>,
+    tail: Vec<u8>,
+    /// LSN of the first byte of the tail (== durable device length).
+    tail_start: Lsn,
+    mode: LogMode,
+    meter: SharedCostMeter,
+    stats: LogStats,
+    /// Auto-force when the tail grows past this many bytes (group
+    /// commit's backstop: bounds both tail memory and the window of
+    /// commits a crash can lose under lazy durability).
+    tail_threshold: Option<u64>,
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogManager")
+            .field("tail_start", &self.tail_start)
+            .field("tail_len", &self.tail.len())
+            .field("mode", &self.mode)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LogManager {
+    /// A log manager over `device`. `meter` is the *logging* cost meter:
+    /// the paper excludes base logging costs from checkpointing overhead
+    /// (§4: "we do not include the other recovery costs, such as data
+    /// movement for the creation of the log"), so the engine gives the
+    /// log manager its own meter, separate from the checkpointing meters.
+    pub fn new(device: Box<dyn LogDevice>, mode: LogMode, meter: SharedCostMeter) -> LogManager {
+        let tail_start = Lsn(device.len());
+        LogManager {
+            device,
+            tail: Vec::new(),
+            tail_start,
+            mode,
+            meter,
+            stats: LogStats::default(),
+            tail_threshold: None,
+        }
+    }
+
+    /// Bounds the volatile tail: once an append pushes it past
+    /// `bytes`, the tail is forced to the device (charged to the logging
+    /// meter, like any routine force). `None` disables the bound.
+    pub fn set_tail_threshold(&mut self, bytes: Option<u64>) {
+        self.tail_threshold = bytes;
+    }
+
+    /// The log-tail mode.
+    pub fn mode(&self) -> LogMode {
+        self.mode
+    }
+
+    /// LSN that the next appended record will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.tail_start.advance(self.tail.len() as u64)
+    }
+
+    /// The LSN up to which the log is durable. Appends at or past this
+    /// LSN would be lost by a crash (volatile tail) — with a stable tail,
+    /// everything appended is durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        match self.mode {
+            LogMode::VolatileTail => self.tail_start,
+            LogMode::StableTail => self.next_lsn(),
+        }
+    }
+
+    /// Is the log durable through `lsn` (exclusive)? This is the WAL gate
+    /// the LSN-using checkpointers check before flushing a segment image.
+    pub fn is_durable(&self, lsn: Lsn) -> bool {
+        self.durable_lsn() >= lsn
+    }
+
+    /// Appends a record to the tail, returning its LSN. Charges the data
+    /// movement of copying the record into the tail to the logging meter.
+    /// If a tail threshold is set and exceeded, the tail is forced
+    /// (errors from that force surface on the next explicit force — the
+    /// device keeps its durable length consistent either way).
+    pub fn append(&mut self, rec: &LogRecord) -> Lsn {
+        let lsn = self.next_lsn();
+        rec.encode_into(&mut self.tail);
+        self.meter.move_words(rec.encoded_words());
+        self.stats.records += 1;
+        self.stats.bytes += rec.encoded_len() as u64;
+        if let Some(limit) = self.tail_threshold {
+            if self.tail.len() as u64 >= limit {
+                let _ = self.force();
+            }
+        }
+        lsn
+    }
+
+    /// Appends a record and forces the tail (commit with synchronous
+    /// durability).
+    pub fn append_forced(&mut self, rec: &LogRecord) -> Result<Lsn> {
+        let lsn = self.append(rec);
+        self.force()?;
+        Ok(lsn)
+    }
+
+    /// Forces the tail to the device: everything appended so far becomes
+    /// durable. Charges one I/O initiation (to the logging meter) when
+    /// there is anything to flush. With a stable tail the contents are
+    /// already durable (battery-backed RAM), so nothing is charged — but
+    /// the tail is still drained to the device, which stands in for the
+    /// stable RAM across process restarts.
+    pub fn force(&mut self) -> Result<()> {
+        if self.mode == LogMode::StableTail {
+            return self.drain_stable_tail();
+        }
+        self.flush_tail(true)
+    }
+
+    /// Like [`force`](Self::force) but callable by the *checkpointer*,
+    /// charging the I/O to the checkpointer's own meter (a checkpoint-
+    /// induced log force is checkpointing overhead, unlike routine commit
+    /// forces). Free with a stable tail.
+    pub fn force_charged_to(&mut self, meter: &CostMeter) -> Result<()> {
+        if self.mode == LogMode::StableTail {
+            return self.drain_stable_tail();
+        }
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        meter.io_op();
+        self.flush_tail(false)
+    }
+
+    fn flush_tail(&mut self, charge: bool) -> Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        if charge {
+            self.meter.io_op();
+        }
+        self.device.append(&self.tail)?;
+        self.tail_start = self.tail_start.advance(self.tail.len() as u64);
+        self.tail.clear();
+        self.stats.forces += 1;
+        Ok(())
+    }
+
+    /// In stable-tail mode, migrates the (already durable) tail contents
+    /// to the device so that scanners can read them. Represents the
+    /// stable RAM being drained to the log disks in the background; not
+    /// charged as checkpointing work.
+    pub fn drain_stable_tail(&mut self) -> Result<()> {
+        debug_assert_eq!(self.mode, LogMode::StableTail);
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        self.device.append(&self.tail)?;
+        self.tail_start = self.tail_start.advance(self.tail.len() as u64);
+        self.tail.clear();
+        Ok(())
+    }
+
+    /// Simulates a system failure: the volatile tail is lost; a stable
+    /// tail survives (it is drained to the device so recovery can scan
+    /// it). Returns the number of bytes lost.
+    pub fn crash(&mut self) -> Result<u64> {
+        match self.mode {
+            LogMode::VolatileTail => {
+                let lost = self.tail.len() as u64;
+                self.tail.clear();
+                self.stats.lost_on_crash = lost;
+                Ok(lost)
+            }
+            LogMode::StableTail => {
+                self.drain_stable_tail()?;
+                self.stats.lost_on_crash = 0;
+                Ok(0)
+            }
+        }
+    }
+
+    /// Discards the log before `lsn` (typically the replay floor of the
+    /// older of the two complete ping-pong checkpoints — everything
+    /// before it can never be needed by recovery again). The truncation
+    /// point is clamped to the durable portion; the volatile tail is
+    /// never affected. Actual space reclamation depends on the device
+    /// (segmented logs delete whole chunks; plain files ignore it).
+    pub fn truncate_prefix(&mut self, lsn: Lsn) -> Result<()> {
+        let point = lsn.min(self.tail_start);
+        self.device.truncate_prefix(point.raw())
+    }
+
+    /// The device's first readable LSN (0 unless truncated).
+    pub fn start_lsn(&self) -> Lsn {
+        Lsn(self.device.start_offset())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> LogStats {
+        self.stats
+    }
+
+    /// Bytes currently sitting in the (volatile or stable) tail.
+    pub fn tail_len(&self) -> u64 {
+        self.tail.len() as u64
+    }
+
+    /// Access to the underlying device (recovery scans it after a crash).
+    pub fn device_mut(&mut self) -> &mut dyn LogDevice {
+        &mut *self.device
+    }
+
+    /// Consumes the manager, returning the device.
+    pub fn into_device(self) -> Box<dyn LogDevice> {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemLogDevice;
+    use mmdb_types::{CostCategory, CostMeter, CostParams, TxnId};
+
+    fn mgr(mode: LogMode) -> LogManager {
+        LogManager::new(
+            Box::new(MemLogDevice::new()),
+            mode,
+            CostMeter::shared(CostParams::default()),
+        )
+    }
+
+    fn commit(txn: u64) -> LogRecord {
+        LogRecord::Commit { txn: TxnId(txn) }
+    }
+
+    #[test]
+    fn lsns_are_byte_offsets() {
+        let mut m = mgr(LogMode::VolatileTail);
+        let a = m.append(&commit(1));
+        let b = m.append(&commit(2));
+        assert_eq!(a, Lsn(0));
+        assert_eq!(b, Lsn(commit(1).encoded_len() as u64));
+        assert_eq!(m.next_lsn(), b.advance(commit(2).encoded_len() as u64));
+    }
+
+    #[test]
+    fn volatile_tail_durability_gate() {
+        let mut m = mgr(LogMode::VolatileTail);
+        let a = m.append(&commit(1));
+        assert_eq!(m.durable_lsn(), Lsn::ZERO);
+        assert!(!m.is_durable(a.advance(1)));
+        m.force().unwrap();
+        assert_eq!(m.durable_lsn(), m.next_lsn());
+        assert!(m.is_durable(m.next_lsn()));
+    }
+
+    #[test]
+    fn stable_tail_is_immediately_durable() {
+        let mut m = mgr(LogMode::StableTail);
+        m.append(&commit(1));
+        assert_eq!(m.durable_lsn(), m.next_lsn());
+        assert!(m.is_durable(m.next_lsn()));
+    }
+
+    #[test]
+    fn crash_loses_volatile_tail_only() {
+        let mut m = mgr(LogMode::VolatileTail);
+        m.append(&commit(1));
+        m.force().unwrap();
+        m.append(&commit(2));
+        let lost = m.crash().unwrap();
+        assert_eq!(lost, commit(2).encoded_len() as u64);
+        assert_eq!(m.device_mut().len(), commit(1).encoded_len() as u64);
+    }
+
+    #[test]
+    fn crash_preserves_stable_tail() {
+        let mut m = mgr(LogMode::StableTail);
+        m.append(&commit(1));
+        m.append(&commit(2));
+        let lost = m.crash().unwrap();
+        assert_eq!(lost, 0);
+        assert_eq!(m.device_mut().len(), 2 * commit(1).encoded_len() as u64);
+    }
+
+    #[test]
+    fn force_charges_one_io_when_nonempty() {
+        let meter = CostMeter::shared(CostParams::default());
+        let mut m = LogManager::new(
+            Box::new(MemLogDevice::new()),
+            LogMode::VolatileTail,
+            meter.clone(),
+        );
+        m.force().unwrap(); // empty: no io
+        assert_eq!(meter.op_count(CostCategory::Io), 0);
+        m.append(&commit(1));
+        m.force().unwrap();
+        assert_eq!(meter.op_count(CostCategory::Io), 1);
+    }
+
+    #[test]
+    fn force_charged_to_bills_the_checkpointer() {
+        let log_meter = CostMeter::shared(CostParams::default());
+        let ckpt_meter = CostMeter::new(CostParams::default());
+        let mut m = LogManager::new(
+            Box::new(MemLogDevice::new()),
+            LogMode::VolatileTail,
+            log_meter.clone(),
+        );
+        m.append(&commit(1));
+        let log_io_before = log_meter.op_count(CostCategory::Io);
+        m.force_charged_to(&ckpt_meter).unwrap();
+        assert_eq!(ckpt_meter.op_count(CostCategory::Io), 1);
+        assert_eq!(log_meter.op_count(CostCategory::Io), log_io_before);
+        assert_eq!(m.durable_lsn(), m.next_lsn());
+    }
+
+    #[test]
+    fn append_charges_move_to_logging_meter() {
+        let meter = CostMeter::shared(CostParams::default());
+        let mut m = LogManager::new(
+            Box::new(MemLogDevice::new()),
+            LogMode::VolatileTail,
+            meter.clone(),
+        );
+        let rec = commit(1);
+        m.append(&rec);
+        assert_eq!(
+            meter.snapshot().get(CostCategory::Move),
+            rec.encoded_words()
+        );
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut m = mgr(LogMode::VolatileTail);
+        m.append(&commit(1));
+        m.append(&commit(2));
+        m.force().unwrap();
+        let s = m.stats();
+        assert_eq!(s.records, 2);
+        assert_eq!(s.bytes, 2 * commit(1).encoded_len() as u64);
+        assert_eq!(s.forces, 1);
+    }
+
+    #[test]
+    fn append_forced_is_durable() {
+        let mut m = mgr(LogMode::VolatileTail);
+        let lsn = m.append_forced(&commit(9)).unwrap();
+        assert!(m.is_durable(lsn.advance(commit(9).encoded_len() as u64)));
+        assert_eq!(m.tail_len(), 0);
+    }
+
+    #[test]
+    fn tail_threshold_bounds_the_tail() {
+        let mut m = mgr(LogMode::VolatileTail);
+        m.set_tail_threshold(Some(60));
+        // each commit record is 25 bytes; the third append crosses 60
+        m.append(&commit(1));
+        m.append(&commit(2));
+        assert_eq!(
+            m.durable_lsn(),
+            Lsn::ZERO,
+            "below threshold: still volatile"
+        );
+        m.append(&commit(3));
+        assert_eq!(m.tail_len(), 0, "threshold forced the tail");
+        assert_eq!(m.durable_lsn(), m.next_lsn());
+        // disabling stops the auto-force
+        m.set_tail_threshold(None);
+        for i in 0..10 {
+            m.append(&commit(100 + i));
+        }
+        assert!(m.tail_len() > 0);
+    }
+
+    #[test]
+    fn reopen_continues_lsn_space() {
+        let mut dev = MemLogDevice::new();
+        dev.append(b"x".repeat(100).as_slice()).unwrap();
+        let m = LogManager::new(
+            Box::new(dev),
+            LogMode::VolatileTail,
+            CostMeter::shared(CostParams::default()),
+        );
+        assert_eq!(m.next_lsn(), Lsn(100));
+        assert_eq!(m.durable_lsn(), Lsn(100));
+    }
+}

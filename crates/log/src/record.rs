@@ -1,0 +1,429 @@
+//! Log record types and their on-disk encoding.
+//!
+//! The system uses REDO-only logging (paper §2.6): updates are buffered in
+//! the transaction until commit, so no UNDO (before-image) records are
+//! needed. The log carries:
+//!
+//! * transaction begin / commit / abort records,
+//! * update records holding the *after-image* of a record (physical REDO —
+//!   full record images make replay idempotent, which is what lets a fuzzy
+//!   backup be repaired by replaying from the begin-checkpoint marker),
+//! * begin-checkpoint markers carrying the checkpoint's id, timestamp
+//!   `τ(CH)` and the list of transactions active at the marker (used by
+//!   fuzzy recovery to extend the backward scan, §3.3),
+//! * end-checkpoint markers (so recovery can identify the most recently
+//!   *completed* checkpoint, §3.3 footnote).
+//!
+//! Frame layout (all little-endian):
+//!
+//! ```text
+//! +--------+------+-------------+----------+--------+
+//! | len u32| tag  |   payload   | fnv  u64 | len u32|
+//! +--------+------+-------------+----------+--------+
+//! ```
+//!
+//! `len` is the *total* frame length and is repeated at the end so the log
+//! can be scanned backward (paper §3.3 scans the log backward to find the
+//! checkpoint marker). The checksum covers tag + payload and lets recovery
+//! stop cleanly at a torn final record.
+
+use mmdb_types::{
+    hash::Fnv1a, CheckpointId, Lsn, MmdbError, RecordId, Result, Timestamp, TxnId, Word,
+};
+
+/// A single log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A transaction began.
+    TxnBegin {
+        /// The transaction.
+        txn: TxnId,
+        /// Its timestamp `τ(T)`.
+        tau: Timestamp,
+    },
+    /// A committed (or to-be-committed) update's after-image.
+    Update {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The updated record.
+        record: RecordId,
+        /// The new value (full record image).
+        value: Vec<Word>,
+    },
+    /// The transaction committed; its updates are now installable/replayable.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction aborted; its updates must be ignored by replay.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// A checkpoint began.
+    BeginCheckpoint {
+        /// The checkpoint.
+        ckpt: CheckpointId,
+        /// The checkpoint timestamp `τ(CH)` (meaningful for COU).
+        tau: Timestamp,
+        /// Transactions active when the marker was written. Empty for COU
+        /// checkpoints (the system is quiesced).
+        active: Vec<TxnId>,
+    },
+    /// A checkpoint completed (all segment images durable in its ping-pong
+    /// copy).
+    EndCheckpoint {
+        /// The checkpoint.
+        ckpt: CheckpointId,
+    },
+}
+
+const TAG_TXN_BEGIN: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_BEGIN_CKPT: u8 = 5;
+const TAG_END_CKPT: u8 = 6;
+
+/// Frame overhead: leading len (4) + tag (1) + checksum (8) + trailing len (4).
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 8 + 4;
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::TxnBegin { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    fn payload_len(&self) -> usize {
+        match self {
+            LogRecord::TxnBegin { .. } => 8 + 8,
+            LogRecord::Update { value, .. } => 8 + 8 + 4 + value.len() * 4,
+            LogRecord::Commit { .. } | LogRecord::Abort { .. } => 8,
+            LogRecord::BeginCheckpoint { active, .. } => 8 + 8 + 4 + active.len() * 8,
+            LogRecord::EndCheckpoint { .. } => 8,
+        }
+    }
+
+    /// Total encoded frame length in bytes.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_OVERHEAD + self.payload_len()
+    }
+
+    /// Encoded frame length in words (for the paper's log-bulk
+    /// accounting, which measures the log in words).
+    pub fn encoded_words(&self) -> u64 {
+        self.encoded_len().div_ceil(4) as u64
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let total = self.encoded_len() as u32;
+        out.extend_from_slice(&total.to_le_bytes());
+        let body_start = out.len();
+        match self {
+            LogRecord::TxnBegin { txn, tau } => {
+                out.push(TAG_TXN_BEGIN);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&tau.raw().to_le_bytes());
+            }
+            LogRecord::Update { txn, record, value } => {
+                out.push(TAG_UPDATE);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&record.raw().to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                for w in value {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            LogRecord::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::Abort { txn } => {
+                out.push(TAG_ABORT);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+            }
+            LogRecord::BeginCheckpoint { ckpt, tau, active } => {
+                out.push(TAG_BEGIN_CKPT);
+                out.extend_from_slice(&ckpt.raw().to_le_bytes());
+                out.extend_from_slice(&tau.raw().to_le_bytes());
+                out.extend_from_slice(&(active.len() as u32).to_le_bytes());
+                for t in active {
+                    out.extend_from_slice(&t.raw().to_le_bytes());
+                }
+            }
+            LogRecord::EndCheckpoint { ckpt } => {
+                out.push(TAG_END_CKPT);
+                out.extend_from_slice(&ckpt.raw().to_le_bytes());
+            }
+        }
+        let mut h = Fnv1a::new();
+        h.update(&out[body_start..]);
+        out.extend_from_slice(&h.finish().to_le_bytes());
+        out.extend_from_slice(&total.to_le_bytes());
+        debug_assert_eq!(out.len() - body_start + 4, total as usize);
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame from the start of `bytes`. Returns the record and
+    /// the number of bytes consumed. Fails (without panicking) on torn or
+    /// corrupt frames.
+    pub fn decode(bytes: &[u8]) -> Result<(LogRecord, usize)> {
+        let corrupt = |msg: &str| MmdbError::Corrupt(format!("log record: {msg}"));
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(corrupt("truncated frame header"));
+        }
+        let total = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        if total < FRAME_OVERHEAD || total > bytes.len() {
+            return Err(corrupt("bad frame length"));
+        }
+        let frame = &bytes[..total];
+        let trailer = u32::from_le_bytes(frame[total - 4..].try_into().unwrap()) as usize;
+        if trailer != total {
+            return Err(corrupt("trailer length mismatch"));
+        }
+        let body = &frame[4..total - 12];
+        let stored = u64::from_le_bytes(frame[total - 12..total - 4].try_into().unwrap());
+        let mut h = Fnv1a::new();
+        h.update(body);
+        if h.finish() != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+
+        let mut r = Reader { buf: body, pos: 1 };
+        let rec = match body[0] {
+            TAG_TXN_BEGIN => LogRecord::TxnBegin {
+                txn: TxnId(r.u64()?),
+                tau: Timestamp(r.u64()?),
+            },
+            TAG_UPDATE => {
+                let txn = TxnId(r.u64()?);
+                let record = RecordId(r.u64()?);
+                let n = r.u32()? as usize;
+                let mut value = Vec::with_capacity(n);
+                for _ in 0..n {
+                    value.push(r.u32()?);
+                }
+                LogRecord::Update { txn, record, value }
+            }
+            TAG_COMMIT => LogRecord::Commit {
+                txn: TxnId(r.u64()?),
+            },
+            TAG_ABORT => LogRecord::Abort {
+                txn: TxnId(r.u64()?),
+            },
+            TAG_BEGIN_CKPT => {
+                let ckpt = CheckpointId(r.u64()?);
+                let tau = Timestamp(r.u64()?);
+                let n = r.u32()? as usize;
+                let mut active = Vec::with_capacity(n);
+                for _ in 0..n {
+                    active.push(TxnId(r.u64()?));
+                }
+                LogRecord::BeginCheckpoint { ckpt, tau, active }
+            }
+            TAG_END_CKPT => LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(r.u64()?),
+            },
+            t => return Err(corrupt(&format!("unknown tag {t}"))),
+        };
+        if r.pos != body.len() {
+            return Err(corrupt("trailing garbage in payload"));
+        }
+        Ok((rec, total))
+    }
+
+    /// Reads the frame length stored in the *last* 4 bytes of a frame
+    /// ending at `end` within `bytes`, for backward scanning. Returns the
+    /// frame start offset.
+    pub fn frame_start_before(bytes: &[u8], end: usize) -> Result<usize> {
+        if end < FRAME_OVERHEAD || end > bytes.len() {
+            return Err(MmdbError::Corrupt("backward scan out of range".into()));
+        }
+        let len = u32::from_le_bytes(bytes[end - 4..end].try_into().unwrap()) as usize;
+        if len < FRAME_OVERHEAD || len > end {
+            return Err(MmdbError::Corrupt("bad trailing frame length".into()));
+        }
+        Ok(end - len)
+    }
+
+    /// The LSN just past this record, given the record's own LSN.
+    pub fn end_lsn(&self, lsn: Lsn) -> Lsn {
+        lsn.advance(self.encoded_len() as u64)
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(MmdbError::Corrupt("log record: short payload".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<LogRecord> {
+        vec![
+            LogRecord::TxnBegin {
+                txn: TxnId(42),
+                tau: Timestamp(7),
+            },
+            LogRecord::Update {
+                txn: TxnId(42),
+                record: RecordId(1234),
+                value: vec![1, 2, 3, 0xFFFF_FFFF],
+            },
+            LogRecord::Update {
+                txn: TxnId(1),
+                record: RecordId(0),
+                value: vec![],
+            },
+            LogRecord::Commit { txn: TxnId(42) },
+            LogRecord::Abort { txn: TxnId(9) },
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(3),
+                tau: Timestamp(100),
+                active: vec![TxnId(5), TxnId(6)],
+            },
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(4),
+                tau: Timestamp(200),
+                active: vec![],
+            },
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(3),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for rec in samples() {
+            let enc = rec.encode();
+            assert_eq!(enc.len(), rec.encoded_len(), "{rec:?}");
+            let (dec, used) = LogRecord::decode(&enc).unwrap();
+            assert_eq!(dec, rec);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn decode_from_stream_with_following_data() {
+        let a = LogRecord::Commit { txn: TxnId(1) };
+        let b = LogRecord::Abort { txn: TxnId(2) };
+        let mut buf = a.encode();
+        buf.extend_from_slice(&b.encode());
+        let (dec, used) = LogRecord::decode(&buf).unwrap();
+        assert_eq!(dec, a);
+        let (dec2, _) = LogRecord::decode(&buf[used..]).unwrap();
+        assert_eq!(dec2, b);
+    }
+
+    #[test]
+    fn torn_frame_detected() {
+        let rec = LogRecord::Update {
+            txn: TxnId(1),
+            record: RecordId(2),
+            value: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        let enc = rec.encode();
+        for cut in 0..enc.len() {
+            assert!(
+                LogRecord::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflip_detected() {
+        let rec = LogRecord::Commit { txn: TxnId(77) };
+        let enc = rec.encode();
+        // flip one bit in each byte of the tag/payload/checksum region
+        for i in 4..enc.len() - 4 {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x10;
+            match LogRecord::decode(&bad) {
+                Err(_) => {}
+                Ok((dec, _)) => panic!("bitflip at byte {i} decoded as {dec:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backward_frame_lookup() {
+        let mut buf = Vec::new();
+        let recs = samples();
+        let mut starts = Vec::new();
+        for r in &recs {
+            starts.push(buf.len());
+            r.encode_into(&mut buf);
+        }
+        // walk backward from the end recovering each start offset
+        let mut end = buf.len();
+        for (&start, rec) in starts.iter().zip(&recs).rev() {
+            let s = LogRecord::frame_start_before(&buf, end).unwrap();
+            assert_eq!(s, start);
+            let (dec, _) = LogRecord::decode(&buf[s..]).unwrap();
+            assert_eq!(&dec, rec);
+            end = s;
+        }
+        assert_eq!(end, 0);
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(LogRecord::Commit { txn: TxnId(3) }.txn(), Some(TxnId(3)));
+        assert_eq!(
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(1)
+            }
+            .txn(),
+            None
+        );
+    }
+
+    #[test]
+    fn encoded_words_rounds_up() {
+        let rec = LogRecord::Commit { txn: TxnId(1) };
+        assert_eq!(rec.encoded_len(), 25);
+        assert_eq!(rec.encoded_words(), 7);
+    }
+
+    #[test]
+    fn end_lsn_advances_by_frame_len() {
+        let rec = LogRecord::Commit { txn: TxnId(1) };
+        assert_eq!(rec.end_lsn(Lsn(100)), Lsn(100 + 25));
+    }
+}

@@ -1,0 +1,431 @@
+//! Log scanning for recovery.
+//!
+//! After a system failure the recovery manager scans the durable log
+//! (paper §3.3): *backward* to locate the begin-checkpoint marker of the
+//! most recently completed checkpoint (skipping incomplete ones), possibly
+//! further backward to the begin record of the oldest transaction active
+//! at that marker (fuzzy checkpoints), then *forward* to replay committed
+//! updates.
+//!
+//! The scanner tolerates a torn final flush: on construction it walks the
+//! log forward and treats the first undecodable frame as the end of the
+//! durable log. Everything before it is intact (each frame is
+//! checksummed).
+
+use crate::device::LogDevice;
+use crate::record::LogRecord;
+use mmdb_types::{CheckpointId, Lsn, Result, Timestamp, TxnId};
+
+/// Identity and position of a completed checkpoint found in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMark {
+    /// The checkpoint id.
+    pub ckpt: CheckpointId,
+    /// LSN of its begin-checkpoint record.
+    pub begin_lsn: Lsn,
+    /// The checkpoint timestamp `τ(CH)`.
+    pub tau: Timestamp,
+    /// Transactions active when the begin marker was written.
+    pub active: Vec<TxnId>,
+}
+
+/// An in-memory view of the durable log, validated up to the first torn
+/// or corrupt frame.
+#[derive(Debug)]
+pub struct LogScanner {
+    bytes: Vec<u8>,
+    /// Length of the validated prefix of `bytes` (ends at the last
+    /// intact record).
+    valid_len: usize,
+    /// Global LSN of `bytes[0]` — non-zero when the log's obsolete
+    /// prefix has been truncated away.
+    base: u64,
+}
+
+impl LogScanner {
+    /// Reads and validates the durable log from `device` (honoring its
+    /// truncation point: LSNs stay global).
+    pub fn from_device(device: &mut dyn LogDevice) -> Result<LogScanner> {
+        let base = device.start_offset();
+        Ok(LogScanner::from_bytes_at(device.read_all()?, base))
+    }
+
+    /// Builds a scanner over raw log bytes starting at LSN 0.
+    pub fn from_bytes(bytes: Vec<u8>) -> LogScanner {
+        LogScanner::from_bytes_at(bytes, 0)
+    }
+
+    /// Builds a scanner over raw log bytes whose first byte sits at
+    /// global LSN `base` (must be a record boundary).
+    pub fn from_bytes_at(bytes: Vec<u8>, base: u64) -> LogScanner {
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            match LogRecord::decode(&bytes[pos..]) {
+                Ok((_, used)) => pos += used,
+                Err(_) => break, // torn tail: stop here
+            }
+        }
+        LogScanner {
+            bytes,
+            valid_len: pos,
+            base,
+        }
+    }
+
+    /// Length in bytes of the validated log window.
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len as u64
+    }
+
+    /// Global LSN of the first scannable record.
+    pub fn base_lsn(&self) -> Lsn {
+        Lsn(self.base)
+    }
+
+    /// Global LSN just past the last intact record.
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn(self.base + self.valid_len as u64)
+    }
+
+    /// Log bulk in words of the validated prefix — the recovery-time
+    /// metric the paper uses (§4: recovery reads the backup plus "the
+    /// appropriate portion of the log").
+    pub fn valid_words(&self) -> u64 {
+        (self.valid_len as u64).div_ceil(4)
+    }
+
+    /// Iterates records forward starting at `from` (must be a record
+    /// boundary; [`Lsn::ZERO`] is always valid).
+    pub fn forward_from(&self, from: Lsn) -> ForwardIter<'_> {
+        ForwardIter {
+            scanner: self,
+            pos: (from.raw().saturating_sub(self.base) as usize).min(self.valid_len),
+        }
+    }
+
+    /// Iterates records backward starting from the end of the validated
+    /// prefix.
+    pub fn backward(&self) -> BackwardIter<'_> {
+        BackwardIter {
+            scanner: self,
+            end: self.valid_len,
+        }
+    }
+
+    /// Finds the most recently *completed* checkpoint: scans backward,
+    /// remembering end-checkpoint markers, and returns the first
+    /// begin-checkpoint marker whose end marker has been seen
+    /// (paper §3.3 and its footnote).
+    pub fn last_complete_checkpoint(&self) -> Option<CheckpointMark> {
+        let mut completed: Vec<CheckpointId> = Vec::new();
+        for (lsn, rec) in self.backward() {
+            match rec {
+                LogRecord::EndCheckpoint { ckpt } => completed.push(ckpt),
+                LogRecord::BeginCheckpoint { ckpt, tau, active } if completed.contains(&ckpt) => {
+                    return Some(CheckpointMark {
+                        ckpt,
+                        begin_lsn: lsn,
+                        tau,
+                        active,
+                    });
+                }
+                // an incomplete checkpoint: skip and keep scanning
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Finds the LSN to start forward replay from, for a checkpoint whose
+    /// begin marker listed `active` transactions: the smallest begin-LSN
+    /// among those transactions, or the marker itself when the list is
+    /// empty (paper §3.3: fuzzy checkpoints must scan "until the beginning
+    /// of the earliest transaction in the active transaction list").
+    pub fn replay_start(&self, mark: &CheckpointMark) -> Lsn {
+        if mark.active.is_empty() {
+            return mark.begin_lsn;
+        }
+        let mut remaining: Vec<TxnId> = mark.active.clone();
+        let mut earliest = mark.begin_lsn;
+        for (lsn, rec) in self.backward() {
+            if lsn >= mark.begin_lsn {
+                continue;
+            }
+            if let LogRecord::TxnBegin { txn, .. } = rec {
+                if let Some(i) = remaining.iter().position(|t| *t == txn) {
+                    remaining.swap_remove(i);
+                    earliest = lsn;
+                    if remaining.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Words of log from `from` to the end of the validated window — the
+    /// portion recovery must read and replay.
+    pub fn words_from(&self, from: Lsn) -> u64 {
+        (self.base + self.valid_len as u64)
+            .saturating_sub(from.raw())
+            .div_ceil(4)
+    }
+}
+
+/// Forward record iterator. Yields `(lsn, record)`.
+#[derive(Debug)]
+pub struct ForwardIter<'a> {
+    scanner: &'a LogScanner,
+    pos: usize,
+}
+
+impl Iterator for ForwardIter<'_> {
+    type Item = (Lsn, LogRecord);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.scanner.valid_len {
+            return None;
+        }
+        match LogRecord::decode(&self.scanner.bytes[self.pos..self.scanner.valid_len]) {
+            Ok((rec, used)) => {
+                let lsn = Lsn(self.scanner.base + self.pos as u64);
+                self.pos += used;
+                Some((lsn, rec))
+            }
+            Err(_) => {
+                // `from` was not a record boundary, or validation already
+                // ended the log here; either way there is nothing more.
+                self.pos = self.scanner.valid_len;
+                None
+            }
+        }
+    }
+}
+
+/// Backward record iterator. Yields `(lsn, record)` from newest to oldest.
+#[derive(Debug)]
+pub struct BackwardIter<'a> {
+    scanner: &'a LogScanner,
+    end: usize,
+}
+
+impl Iterator for BackwardIter<'_> {
+    type Item = (Lsn, LogRecord);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.end == 0 {
+            return None;
+        }
+        let start = LogRecord::frame_start_before(&self.scanner.bytes, self.end).ok()?;
+        let (rec, _) = LogRecord::decode(&self.scanner.bytes[start..self.end]).ok()?;
+        self.end = start;
+        Some((Lsn(self.scanner.base + start as u64), rec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::RecordId;
+
+    fn build(records: &[LogRecord]) -> (Vec<u8>, Vec<Lsn>) {
+        let mut buf = Vec::new();
+        let mut lsns = Vec::new();
+        for r in records {
+            lsns.push(Lsn(buf.len() as u64));
+            r.encode_into(&mut buf);
+        }
+        (buf, lsns)
+    }
+
+    fn sample_log() -> Vec<LogRecord> {
+        vec![
+            LogRecord::TxnBegin {
+                txn: TxnId(1),
+                tau: Timestamp(1),
+            },
+            LogRecord::Update {
+                txn: TxnId(1),
+                record: RecordId(10),
+                value: vec![1, 2],
+            },
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(1),
+                tau: Timestamp(2),
+                active: vec![TxnId(1)],
+            },
+            LogRecord::Commit { txn: TxnId(1) },
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(1),
+            },
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(2),
+                tau: Timestamp(3),
+                active: vec![],
+            },
+            // checkpoint 2 never completes (crash mid-checkpoint)
+        ]
+    }
+
+    #[test]
+    fn forward_and_backward_agree() {
+        let recs = sample_log();
+        let (buf, lsns) = build(&recs);
+        let sc = LogScanner::from_bytes(buf);
+
+        let fwd: Vec<_> = sc.forward_from(Lsn::ZERO).collect();
+        assert_eq!(fwd.len(), recs.len());
+        for ((lsn, rec), (want_lsn, want_rec)) in fwd.iter().zip(lsns.iter().zip(&recs)) {
+            assert_eq!(lsn, want_lsn);
+            assert_eq!(rec, want_rec);
+        }
+
+        let mut bwd: Vec<_> = sc.backward().collect();
+        bwd.reverse();
+        assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn forward_from_mid_lsn() {
+        let recs = sample_log();
+        let (buf, lsns) = build(&recs);
+        let sc = LogScanner::from_bytes(buf);
+        let fwd: Vec<_> = sc.forward_from(lsns[3]).collect();
+        assert_eq!(fwd.len(), 3);
+        assert_eq!(fwd[0].1, recs[3]);
+    }
+
+    #[test]
+    fn skips_incomplete_checkpoint() {
+        let (buf, lsns) = build(&sample_log());
+        let sc = LogScanner::from_bytes(buf);
+        let mark = sc.last_complete_checkpoint().unwrap();
+        assert_eq!(mark.ckpt, CheckpointId(1), "ckpt 2 has no end marker");
+        assert_eq!(mark.begin_lsn, lsns[2]);
+        assert_eq!(mark.active, vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn replay_start_extends_to_oldest_active_txn() {
+        let (buf, lsns) = build(&sample_log());
+        let sc = LogScanner::from_bytes(buf);
+        let mark = sc.last_complete_checkpoint().unwrap();
+        // txn 1 was active at the marker; its begin is record 0
+        assert_eq!(sc.replay_start(&mark), lsns[0]);
+    }
+
+    #[test]
+    fn replay_start_is_marker_when_no_active() {
+        let recs = vec![
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(5),
+                tau: Timestamp(9),
+                active: vec![],
+            },
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(5),
+            },
+        ];
+        let (buf, lsns) = build(&recs);
+        let sc = LogScanner::from_bytes(buf);
+        let mark = sc.last_complete_checkpoint().unwrap();
+        assert_eq!(sc.replay_start(&mark), lsns[0]);
+    }
+
+    #[test]
+    fn no_checkpoint_returns_none() {
+        let (buf, _) = build(&[LogRecord::Commit { txn: TxnId(1) }]);
+        let sc = LogScanner::from_bytes(buf);
+        assert!(sc.last_complete_checkpoint().is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let recs = sample_log();
+        let (mut buf, _) = build(&recs);
+        let full = buf.len();
+        // append a record and tear it
+        LogRecord::Commit { txn: TxnId(99) }.encode_into(&mut buf);
+        buf.truncate(full + 5);
+        let sc = LogScanner::from_bytes(buf);
+        assert_eq!(sc.valid_len() as usize, full);
+        assert_eq!(sc.forward_from(Lsn::ZERO).count(), recs.len());
+        assert_eq!(sc.backward().count(), recs.len());
+    }
+
+    #[test]
+    fn empty_log() {
+        let sc = LogScanner::from_bytes(Vec::new());
+        assert_eq!(sc.valid_len(), 0);
+        assert_eq!(sc.forward_from(Lsn::ZERO).count(), 0);
+        assert_eq!(sc.backward().count(), 0);
+        assert!(sc.last_complete_checkpoint().is_none());
+    }
+
+    #[test]
+    fn words_from_measures_replay_bulk() {
+        let (buf, lsns) = build(&sample_log());
+        let total = buf.len() as u64;
+        let sc = LogScanner::from_bytes(buf);
+        assert_eq!(sc.words_from(Lsn::ZERO), total.div_ceil(4));
+        assert_eq!(sc.words_from(lsns[5]), (total - lsns[5].raw()).div_ceil(4));
+        assert_eq!(sc.valid_words(), total.div_ceil(4));
+    }
+
+    #[test]
+    fn base_offset_preserves_global_lsns() {
+        // Simulate a truncated log: the same records, but the scanner is
+        // told the bytes start at global LSN 1000.
+        let recs = sample_log();
+        let (buf, lsns) = build(&recs);
+        let sc = LogScanner::from_bytes_at(buf, 1000);
+        assert_eq!(sc.base_lsn(), Lsn(1000));
+
+        let fwd: Vec<_> = sc.forward_from(Lsn::ZERO).collect();
+        assert_eq!(fwd.len(), recs.len());
+        for ((lsn, _), want) in fwd.iter().zip(&lsns) {
+            assert_eq!(lsn.raw(), want.raw() + 1000);
+        }
+        // forward_from with a global LSN lands mid-stream correctly
+        let from_third: Vec<_> = sc.forward_from(Lsn(lsns[3].raw() + 1000)).collect();
+        assert_eq!(from_third.len(), recs.len() - 3);
+        // backward scan reports global LSNs too
+        let (last_lsn, _) = sc.backward().next().unwrap();
+        assert_eq!(last_lsn.raw(), lsns.last().unwrap().raw() + 1000);
+        // marker location and replay bulk use the global space
+        let mark = sc.last_complete_checkpoint().unwrap();
+        assert_eq!(mark.begin_lsn.raw(), lsns[2].raw() + 1000);
+        assert_eq!(
+            sc.words_from(mark.begin_lsn),
+            (sc.end_lsn().raw() - mark.begin_lsn.raw()).div_ceil(4)
+        );
+    }
+
+    #[test]
+    fn multiple_complete_checkpoints_newest_wins() {
+        let recs = vec![
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(1),
+                tau: Timestamp(1),
+                active: vec![],
+            },
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(1),
+            },
+            LogRecord::BeginCheckpoint {
+                ckpt: CheckpointId(2),
+                tau: Timestamp(2),
+                active: vec![],
+            },
+            LogRecord::EndCheckpoint {
+                ckpt: CheckpointId(2),
+            },
+        ];
+        let (buf, lsns) = build(&recs);
+        let sc = LogScanner::from_bytes(buf);
+        let mark = sc.last_complete_checkpoint().unwrap();
+        assert_eq!(mark.ckpt, CheckpointId(2));
+        assert_eq!(mark.begin_lsn, lsns[2]);
+    }
+}

@@ -1,0 +1,367 @@
+//! A segmented (chunked) file log device.
+//!
+//! Production log managers do not keep one ever-growing file: the log is
+//! split into fixed-size *chunk files*, and truncating the obsolete
+//! prefix (everything older than the last two completed checkpoints —
+//! see `Mmdb`'s truncation hook) reclaims space by deleting whole
+//! chunks. Offsets remain global and stable: chunk files are named by
+//! the global offset of their first byte (`<offset>.log`), so a reopened
+//! device reconstructs the offset space from the directory listing.
+
+use crate::device::LogDevice;
+use mmdb_types::{MmdbError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default chunk size: 1 MiB.
+pub const DEFAULT_CHUNK_BYTES: u64 = 1 << 20;
+
+/// One chunk file: covers global offsets `[start, start + len)`.
+#[derive(Debug)]
+struct Chunk {
+    start: u64,
+    len: u64,
+    path: PathBuf,
+}
+
+/// A directory of fixed-capacity chunk files forming one logical log.
+#[derive(Debug)]
+pub struct SegmentedLogDevice {
+    dir: PathBuf,
+    chunk_bytes: u64,
+    chunks: Vec<Chunk>,
+    /// Open handle to the active (last) chunk.
+    active: Option<File>,
+    sync_on_append: bool,
+    /// The logical truncation point: a *record boundary* supplied by the
+    /// log manager. Chunk files are deleted at whole-chunk granularity,
+    /// so the first surviving chunk may physically begin before this
+    /// offset; readers must start here (mid-record bytes below it are
+    /// unreadable). Persisted in `dir/truncation`.
+    logical_start: u64,
+}
+
+fn truncation_path(dir: &Path) -> PathBuf {
+    dir.join("truncation")
+}
+
+fn chunk_path(dir: &Path, start: u64) -> PathBuf {
+    dir.join(format!("{start:020}.log"))
+}
+
+impl SegmentedLogDevice {
+    /// Opens (or creates) a segmented log in `dir` with the given chunk
+    /// capacity. Existing chunks are discovered from the directory.
+    pub fn open(dir: &Path, chunk_bytes: u64, sync_on_append: bool) -> Result<SegmentedLogDevice> {
+        if chunk_bytes == 0 {
+            return Err(MmdbError::Invalid("chunk size must be non-zero".into()));
+        }
+        std::fs::create_dir_all(dir)?;
+        let mut chunks = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(start_str) = name.strip_suffix(".log") {
+                if let Ok(start) = start_str.parse::<u64>() {
+                    let len = entry.metadata()?.len();
+                    chunks.push(Chunk {
+                        start,
+                        len,
+                        path: entry.path(),
+                    });
+                }
+            }
+        }
+        chunks.sort_by_key(|c| c.start);
+        // sanity: chunks must tile contiguously
+        for pair in chunks.windows(2) {
+            if pair[0].start + pair[0].len != pair[1].start {
+                return Err(MmdbError::Corrupt(format!(
+                    "log chunks are not contiguous: {:?} then {:?}",
+                    pair[0].path, pair[1].path
+                )));
+            }
+        }
+        let mut logical_start = chunks.first().map(|c| c.start).unwrap_or(0);
+        if let Ok(bytes) = std::fs::read(truncation_path(dir)) {
+            if bytes.len() == 8 {
+                let stored = u64::from_le_bytes(bytes.try_into().expect("len checked"));
+                logical_start = logical_start.max(stored);
+            }
+        }
+        Ok(SegmentedLogDevice {
+            dir: dir.to_path_buf(),
+            chunk_bytes,
+            chunks,
+            active: None,
+            sync_on_append,
+            logical_start,
+        })
+    }
+
+    /// Opens with the default chunk size.
+    pub fn open_default(dir: &Path, sync_on_append: bool) -> Result<SegmentedLogDevice> {
+        Self::open(dir, DEFAULT_CHUNK_BYTES, sync_on_append)
+    }
+
+    /// Number of chunk files currently on disk.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bytes currently held on disk (readable window).
+    pub fn disk_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+
+    fn ensure_active(&mut self) -> Result<()> {
+        if self.chunks.is_empty() {
+            let path = chunk_path(&self.dir, 0);
+            let file = OpenOptions::new()
+                .create(true)
+                .read(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            self.chunks.push(Chunk {
+                start: 0,
+                len: 0,
+                path,
+            });
+            self.active = Some(file);
+            return Ok(());
+        }
+        if self.active.is_none() {
+            let last = self.chunks.last().expect("non-empty");
+            self.active = Some(OpenOptions::new().read(true).write(true).open(&last.path)?);
+        }
+        Ok(())
+    }
+
+    fn roll_chunk(&mut self) -> Result<()> {
+        let end = self.len();
+        let path = chunk_path(&self.dir, end);
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        self.chunks.push(Chunk {
+            start: end,
+            len: 0,
+            path,
+        });
+        self.active = Some(file);
+        Ok(())
+    }
+}
+
+impl LogDevice for SegmentedLogDevice {
+    fn append(&mut self, mut bytes: &[u8]) -> Result<()> {
+        self.ensure_active()?;
+        while !bytes.is_empty() {
+            let room = {
+                let last = self.chunks.last().expect("active chunk exists");
+                self.chunk_bytes.saturating_sub(last.len)
+            };
+            if room == 0 {
+                self.roll_chunk()?;
+                continue;
+            }
+            let take = (room as usize).min(bytes.len());
+            let (now, rest) = bytes.split_at(take);
+            let last = self.chunks.last_mut().expect("active chunk exists");
+            let file = self.active.as_mut().expect("active file open");
+            file.seek(SeekFrom::Start(last.len))?;
+            file.write_all(now)?;
+            if self.sync_on_append {
+                file.sync_data()?;
+            }
+            last.len += take as u64;
+            bytes = rest;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.chunks.last().map(|c| c.start + c.len).unwrap_or(0)
+    }
+
+    fn start_offset(&self) -> u64 {
+        self.logical_start
+    }
+
+    fn truncate_prefix(&mut self, offset: u64) -> Result<()> {
+        if offset > self.len() {
+            return Err(MmdbError::Invalid(format!(
+                "truncate_prefix({offset}) past end {}",
+                self.len()
+            )));
+        }
+        if offset <= self.logical_start {
+            return Ok(());
+        }
+        // Persist the logical point first (a record boundary, courtesy of
+        // the log manager); then reclaim fully-dead chunks. If we crash
+        // between the two, the next open just re-deletes them.
+        self.logical_start = offset;
+        std::fs::write(truncation_path(&self.dir), offset.to_le_bytes())?;
+        while self.chunks.len() > 1 {
+            let first = &self.chunks[0];
+            if first.start + first.len <= offset {
+                std::fs::remove_file(&first.path)?;
+                self.chunks.remove(0);
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if offset < self.start_offset() || offset + buf.len() as u64 > self.len() {
+            return Err(MmdbError::Corrupt(format!(
+                "log read [{}, {}) outside readable window [{}, {})",
+                offset,
+                offset + buf.len() as u64,
+                self.start_offset(),
+                self.len()
+            )));
+        }
+        let mut pos = offset;
+        let mut out = buf;
+        while !out.is_empty() {
+            let chunk = self
+                .chunks
+                .iter()
+                .find(|c| c.start <= pos && pos < c.start + c.len)
+                .ok_or_else(|| MmdbError::Corrupt(format!("no chunk covers offset {pos}")))?;
+            let within = pos - chunk.start;
+            let take = ((chunk.len - within) as usize).min(out.len());
+            let mut file = File::open(&chunk.path)?;
+            file.seek(SeekFrom::Start(within))?;
+            let (now, rest) = out.split_at_mut(take);
+            file.read_exact(now)?;
+            pos += take as u64;
+            out = rest;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmdb-seglog-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_spans_chunks() {
+        let dir = tmp("span");
+        let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+        d.append(b"0123456789ABCDEFGHIJKLMNOP").unwrap(); // 26 bytes → 3 chunks
+        assert_eq!(d.len(), 26);
+        assert_eq!(d.chunk_count(), 3);
+        let mut buf = [0u8; 12];
+        d.read_at(5, &mut buf).unwrap(); // crosses the 10-byte boundary
+        assert_eq!(&buf, b"56789ABCDEFG");
+        assert_eq!(d.read_all().unwrap(), b"0123456789ABCDEFGHIJKLMNOP");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_reconstructs_offsets() {
+        let dir = tmp("reopen");
+        {
+            let mut d = SegmentedLogDevice::open(&dir, 8, false).unwrap();
+            d.append(b"hello world, this is the log").unwrap();
+        }
+        let mut d = SegmentedLogDevice::open(&dir, 8, false).unwrap();
+        assert_eq!(d.len(), 28);
+        assert_eq!(d.start_offset(), 0);
+        assert_eq!(d.read_all().unwrap(), b"hello world, this is the log");
+        d.append(b"!").unwrap();
+        assert_eq!(d.len(), 29);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_deletes_whole_chunks_only() {
+        let dir = tmp("trunc");
+        let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+        d.append(&[7u8; 35]).unwrap(); // chunks: [0,10) [10,20) [20,30) [30,35)
+        assert_eq!(d.chunk_count(), 4);
+
+        d.truncate_prefix(25).unwrap(); // chunks [0,10) and [10,20) go
+                                        // the logical start is exactly the requested offset (a record
+                                        // boundary); the physical chunk [20,30) survives in full
+        assert_eq!(d.start_offset(), 25);
+        assert_eq!(d.chunk_count(), 2);
+        assert_eq!(d.disk_bytes(), 15);
+        assert_eq!(d.len(), 35, "global length is unchanged");
+        assert_eq!(d.read_all().unwrap(), vec![7u8; 10]);
+
+        // reads below the window fail; reads above succeed
+        let mut buf = [0u8; 5];
+        assert!(d.read_at(15, &mut buf).is_err());
+        d.read_at(25, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_survives_reopen() {
+        let dir = tmp("trunc-reopen");
+        {
+            let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+            d.append(&[1u8; 30]).unwrap();
+            d.truncate_prefix(20).unwrap();
+        }
+        let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+        assert_eq!(d.start_offset(), 20);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.read_all().unwrap(), vec![1u8; 10]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_never_removes_active_chunk() {
+        let dir = tmp("keep-active");
+        let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+        d.append(&[2u8; 10]).unwrap(); // exactly one full chunk
+        d.truncate_prefix(10).unwrap();
+        assert_eq!(d.chunk_count(), 1, "the only chunk stays");
+        d.append(&[3u8; 5]).unwrap();
+        assert_eq!(d.len(), 15);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_past_end_rejected() {
+        let dir = tmp("past-end");
+        let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+        d.append(&[0u8; 5]).unwrap();
+        assert!(d.truncate_prefix(6).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noncontiguous_chunks_detected() {
+        let dir = tmp("gap");
+        {
+            let mut d = SegmentedLogDevice::open(&dir, 10, false).unwrap();
+            d.append(&[0u8; 25]).unwrap();
+        }
+        // delete the middle chunk to corrupt the directory
+        std::fs::remove_file(chunk_path(&dir, 10)).unwrap();
+        assert!(SegmentedLogDevice::open(&dir, 10, false).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,483 @@
+//! Generators for the paper's tables and figures.
+//!
+//! Each function returns structured data (so benches and tests can assert
+//! on shapes) plus a `render_*` companion producing the human-readable
+//! text the `repro` binary prints. Parameter defaults are the paper's
+//! (Tables 2a–2d); every generator takes a `Params` so sweeps and
+//! what-ifs can reuse them.
+
+use crate::model::{AnalyticModel, ModelPoint};
+use crate::render::{ascii_plot, Series, Table};
+use mmdb_types::{Algorithm, LogMode, Params};
+
+/// One bar of Figure 4a / 4e: an algorithm's overhead and recovery time
+/// at the minimum checkpoint duration.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmPoint {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// The full evaluated model point.
+    pub point: ModelPoint,
+}
+
+/// Figure 4a: processor overhead and recovery time for the five base
+/// algorithms, checkpoints as fast as possible, paper defaults.
+pub fn fig4a(params: Params) -> Vec<AlgorithmPoint> {
+    Algorithm::BASE_FIVE
+        .iter()
+        .map(|&algorithm| AlgorithmPoint {
+            algorithm,
+            point: AnalyticModel::new(params, algorithm).evaluate(None),
+        })
+        .collect()
+}
+
+/// Renders Figure 4a (or 4e) as a table.
+pub fn render_algorithm_points(title: &str, rows: &[AlgorithmPoint]) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "algorithm",
+            "overhead (instr/txn)",
+            "sync",
+            "async",
+            "p_restart",
+            "recovery (s)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.algorithm.name().to_string(),
+            format!("{:.0}", r.point.overhead_per_txn()),
+            format!("{:.0}", r.point.sync_per_txn),
+            format!("{:.0}", r.point.async_per_txn),
+            format!("{:.3}", r.point.p_restart),
+            format!("{:.1}", r.point.recovery_seconds),
+        ]);
+    }
+    t.render()
+}
+
+/// One curve of Figure 4b: an algorithm's trajectory through
+/// (recovery time, overhead) space as the checkpoint duration varies.
+#[derive(Debug, Clone)]
+pub struct TradeoffSeries {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Number of backup disks for this curve (the paper doubles the
+    /// bandwidth for the dotted curves).
+    pub n_bdisks: u32,
+    /// `(duration, recovery_seconds, overhead_per_txn)` along the sweep.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Figure 4b: the overhead/recovery-time trade-off for 2CCOPY and
+/// COUCOPY at 1× and 2× disk bandwidth, sweeping the checkpoint duration
+/// from the minimum up to `max_duration_factor` times it.
+pub fn fig4b(params: Params, sweep_points: usize, max_duration_factor: f64) -> Vec<TradeoffSeries> {
+    let mut out = Vec::new();
+    for &algorithm in &[Algorithm::TwoColorCopy, Algorithm::CouCopy] {
+        for &n_bdisks in &[params.disk.n_bdisks, params.disk.n_bdisks * 2] {
+            let mut p = params;
+            p.disk.n_bdisks = n_bdisks;
+            let model = AnalyticModel::new(p, algorithm);
+            let d_min = model.min_duration();
+            let points = (0..sweep_points)
+                .map(|i| {
+                    let factor =
+                        1.0 + (max_duration_factor - 1.0) * i as f64 / (sweep_points - 1) as f64;
+                    let pt = model.evaluate(Some(d_min * factor));
+                    (pt.duration, pt.recovery_seconds, pt.overhead_per_txn())
+                })
+                .collect();
+            out.push(TradeoffSeries {
+                algorithm,
+                n_bdisks,
+                points,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 4b as a table plus an ASCII plot.
+pub fn render_fig4b(series: &[TradeoffSeries]) -> String {
+    let mut s = String::new();
+    let mut t = Table::new(
+        "Figure 4b — overhead/recovery trade-off vs checkpoint duration",
+        &[
+            "algorithm",
+            "disks",
+            "duration (s)",
+            "recovery (s)",
+            "overhead (instr/txn)",
+        ],
+    );
+    for ser in series {
+        for (d, rec, o) in &ser.points {
+            t.row(&[
+                ser.algorithm.name().to_string(),
+                ser.n_bdisks.to_string(),
+                format!("{d:.0}"),
+                format!("{rec:.0}"),
+                format!("{o:.0}"),
+            ]);
+        }
+    }
+    s.push_str(&t.render());
+    let glyphs = ['2', 'c', '2', 'c'];
+    let plot_series: Vec<Series> = series
+        .iter()
+        .zip(glyphs)
+        .map(|(ser, glyph)| Series {
+            label: format!("{} ({} disks)", ser.algorithm.name(), ser.n_bdisks),
+            glyph,
+            points: ser.points.iter().map(|(_, rec, o)| (*rec, *o)).collect(),
+        })
+        .collect();
+    s.push_str(&ascii_plot(
+        "overhead (instr/txn) vs recovery time (s)",
+        "recovery (s)",
+        "instr/txn",
+        &plot_series,
+        true,
+    ));
+    s
+}
+
+/// One curve of Figure 4c/4d: overhead as a function of a swept
+/// parameter.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// A label qualifying the series (e.g. "fixed 300 s interval").
+    pub label: String,
+    /// `(x, overhead_per_txn)` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 4c: overhead vs transaction load for the five base algorithms,
+/// checkpoints as fast as possible.
+pub fn fig4c(params: Params, lambdas: &[f64]) -> Vec<SweepSeries> {
+    Algorithm::BASE_FIVE
+        .iter()
+        .map(|&algorithm| SweepSeries {
+            algorithm,
+            label: String::new(),
+            points: lambdas
+                .iter()
+                .map(|&lambda| {
+                    let mut p = params;
+                    p.txn.lambda = lambda;
+                    let pt = AnalyticModel::new(p, algorithm).evaluate(None);
+                    (lambda, pt.overhead_per_txn())
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 4d: overhead vs segment size for 2CCOPY, 2CFLUSH and COUCOPY —
+/// solid curves run checkpoints as fast as possible, dotted curves hold
+/// the interval at 300 s (the paper's setting).
+pub fn fig4d(params: Params, segment_sizes: &[u64]) -> Vec<SweepSeries> {
+    let algos = [
+        Algorithm::TwoColorCopy,
+        Algorithm::TwoColorFlush,
+        Algorithm::CouCopy,
+    ];
+    let mut out = Vec::new();
+    for &algorithm in &algos {
+        for (interval, label) in [(None, "min duration"), (Some(300.0), "300 s interval")] {
+            out.push(SweepSeries {
+                algorithm,
+                label: label.to_string(),
+                points: segment_sizes
+                    .iter()
+                    .map(|&s_seg| {
+                        let mut p = params;
+                        p.db.s_seg = s_seg;
+                        let pt = AnalyticModel::new(p, algorithm).evaluate(interval);
+                        (s_seg as f64, pt.overhead_per_txn())
+                    })
+                    .collect(),
+            });
+        }
+    }
+    out
+}
+
+/// Figure 4e: overhead with a stable log tail — the five base algorithms
+/// plus FASTFUZZY, checkpoints as fast as possible.
+pub fn fig4e(params: Params) -> Vec<AlgorithmPoint> {
+    let mut p = params;
+    p.log_mode = LogMode::StableTail;
+    Algorithm::ALL
+        .iter()
+        .map(|&algorithm| AlgorithmPoint {
+            algorithm,
+            point: AnalyticModel::new(p, algorithm).evaluate(None),
+        })
+        .collect()
+}
+
+/// Renders a sweep figure as a table plus an ASCII plot with
+/// log-x/log-y axes.
+pub fn render_sweep(title: &str, x_label: &str, series: &[SweepSeries], log_axes: bool) -> String {
+    let mut s = String::new();
+    let mut header: Vec<String> = vec![x_label.to_string()];
+    for ser in series {
+        if ser.label.is_empty() {
+            header.push(ser.algorithm.name().to_string());
+        } else {
+            header.push(format!("{} ({})", ser.algorithm.name(), ser.label));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let mut t = Table::new(title, &header_refs);
+    let xs: Vec<f64> = series[0].points.iter().map(|(x, _)| *x).collect();
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![format!("{x:.0}")];
+        for ser in series {
+            row.push(format!("{:.0}", ser.points[i].1));
+        }
+        t.row(&row);
+    }
+    s.push_str(&t.render());
+
+    let glyph_pool = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+    let plot_series: Vec<Series> = series
+        .iter()
+        .enumerate()
+        .map(|(i, ser)| Series {
+            label: if ser.label.is_empty() {
+                ser.algorithm.name().to_string()
+            } else {
+                format!("{} ({})", ser.algorithm.name(), ser.label)
+            },
+            glyph: glyph_pool[i % glyph_pool.len()],
+            points: ser.points.clone(),
+        })
+        .collect();
+    s.push_str(&ascii_plot(
+        title,
+        x_label,
+        "instr/txn",
+        &plot_series,
+        log_axes,
+    ));
+    s
+}
+
+/// Renders Tables 2a–2d (the model parameters) as the paper lays them
+/// out, substituting any overridden values.
+pub fn render_tables2(params: &Params) -> String {
+    let mut s = String::new();
+    let mut t = Table::new(
+        "Table 2a — basic operation costs",
+        &["symbol", "parameter", "value", "units"],
+    );
+    t.row(&[
+        "C_lock",
+        "(un)locking overhead",
+        &params.cost.c_lock.to_string(),
+        "instructions",
+    ]);
+    t.row(&[
+        "C_alloc",
+        "buffer (de)allocation overhead",
+        &params.cost.c_alloc.to_string(),
+        "instructions",
+    ]);
+    t.row(&[
+        "C_io",
+        "I/O overhead",
+        &params.cost.c_io.to_string(),
+        "instructions",
+    ]);
+    t.row(&[
+        "C_lsn",
+        "maintain LSNs",
+        &params.cost.c_lsn.to_string(),
+        "instructions",
+    ]);
+    s.push_str(&t.render());
+
+    let mut t = Table::new(
+        "Table 2b — disk model parameters",
+        &["symbol", "parameter", "value", "units"],
+    );
+    t.row(&[
+        "T_seek",
+        "I/O delay time",
+        &format!("{}", params.disk.t_seek),
+        "seconds",
+    ]);
+    t.row(&[
+        "T_trans",
+        "transfer time constant",
+        &format!("{}", params.disk.t_trans * 1e6),
+        "µseconds/word",
+    ]);
+    t.row(&[
+        "N_bdisks",
+        "number of disks",
+        &params.disk.n_bdisks.to_string(),
+        "disks",
+    ]);
+    s.push_str(&t.render());
+
+    let mut t = Table::new(
+        "Table 2c — database model parameters",
+        &["symbol", "parameter", "value", "units"],
+    );
+    t.row(&[
+        "S_db",
+        "database size",
+        &format!("{}", params.db.s_db >> 20),
+        "Mwords",
+    ]);
+    t.row(&[
+        "S_rec",
+        "record size",
+        &params.db.s_rec.to_string(),
+        "words",
+    ]);
+    t.row(&[
+        "S_seg",
+        "segment size",
+        &params.db.s_seg.to_string(),
+        "words",
+    ]);
+    s.push_str(&t.render());
+
+    let mut t = Table::new(
+        "Table 2d — transaction model parameters",
+        &["symbol", "parameter", "value", "units"],
+    );
+    t.row(&[
+        "lambda",
+        "arrival rate",
+        &format!("{}", params.txn.lambda),
+        "transactions/second",
+    ]);
+    t.row(&[
+        "N_ru",
+        "number of updates",
+        &params.txn.n_ru.to_string(),
+        "records/transaction",
+    ]);
+    t.row(&[
+        "C_trans",
+        "transaction processor cost",
+        &params.txn.c_trans.to_string(),
+        "instructions",
+    ]);
+    s.push_str(&t.render());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_has_five_bars_with_expected_ordering() {
+        let rows = fig4a(Params::paper_defaults());
+        assert_eq!(rows.len(), 5);
+        let get = |a: Algorithm| {
+            rows.iter()
+                .find(|r| r.algorithm == a)
+                .unwrap()
+                .point
+                .overhead_per_txn()
+        };
+        // two-color ≫ fuzzy ≈ COU
+        assert!(get(Algorithm::TwoColorCopy) > 3.0 * get(Algorithm::FuzzyCopy));
+        assert!(get(Algorithm::TwoColorFlush) > 3.0 * get(Algorithm::FuzzyCopy));
+        assert!(get(Algorithm::CouCopy) <= get(Algorithm::FuzzyCopy) * 1.15);
+    }
+
+    #[test]
+    fn fig4b_curves_slope_the_right_way() {
+        let series = fig4b(Params::paper_defaults(), 8, 10.0);
+        assert_eq!(series.len(), 4);
+        for ser in &series {
+            let first = ser.points.first().unwrap();
+            let last = ser.points.last().unwrap();
+            assert!(last.1 > first.1, "recovery grows with duration");
+            assert!(last.2 < first.2, "overhead falls with duration");
+        }
+        // doubled bandwidth extends the curve left (lower min recovery)
+        let rec_min = |alg: Algorithm, disks: u32| {
+            series
+                .iter()
+                .find(|s| s.algorithm == alg && s.n_bdisks == disks)
+                .unwrap()
+                .points[0]
+                .1
+        };
+        assert!(rec_min(Algorithm::TwoColorCopy, 40) < rec_min(Algorithm::TwoColorCopy, 20));
+    }
+
+    #[test]
+    fn fig4c_series_decrease_with_load() {
+        let lambdas = [10.0, 100.0, 1000.0, 4000.0];
+        let series = fig4c(Params::paper_defaults(), &lambdas);
+        assert_eq!(series.len(), 5);
+        for ser in &series {
+            // §4: "The general trend is for decreasing per-transaction
+            // cost with increasing load... However, the effect is not
+            // uniform": 2CFLUSH is the exception (cheap at low load,
+            // rerun-bound at high load).
+            if ser.algorithm == Algorithm::TwoColorFlush {
+                continue;
+            }
+            assert!(
+                ser.points[0].1 > ser.points[2].1,
+                "{}: overhead should fall from λ=10 to λ=1000",
+                ser.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn fig4d_has_six_series() {
+        let sizes = [2048, 8192, 32768];
+        let series = fig4d(Params::paper_defaults(), &sizes);
+        assert_eq!(series.len(), 6);
+        for ser in &series {
+            assert_eq!(ser.points.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fig4e_fastfuzzy_wins() {
+        let rows = fig4e(Params::paper_defaults());
+        assert_eq!(rows.len(), 6);
+        let fast = rows
+            .iter()
+            .find(|r| r.algorithm == Algorithm::FastFuzzy)
+            .unwrap()
+            .point
+            .overhead_per_txn();
+        for r in &rows {
+            assert!(fast <= r.point.overhead_per_txn());
+        }
+        assert!(fast < 900.0, "a few hundred instructions per transaction");
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_contain_headers() {
+        let p = Params::paper_defaults();
+        let s = render_algorithm_points("Figure 4a", &fig4a(p));
+        assert!(s.contains("FUZZYCOPY") && s.contains("recovery"));
+        let s = render_fig4b(&fig4b(p, 5, 8.0));
+        assert!(s.contains("2CCOPY") && s.contains("COUCOPY"));
+        let s = render_sweep("Figure 4c", "lambda", &fig4c(p, &[10.0, 1000.0]), true);
+        assert!(s.contains("2CFLUSH"));
+        let s = render_tables2(&p);
+        assert!(s.contains("C_lock") && s.contains("S_seg") && s.contains("25000"));
+    }
+}

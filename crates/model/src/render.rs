@@ -1,0 +1,217 @@
+//! Plain-text rendering: aligned tables and ASCII scatter plots for the
+//! `repro` binary's figure output.
+
+/// A simple aligned text table.
+#[derive(Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push('\n');
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        out.push_str(&sep);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            (0..ncols)
+                .map(|i| format!(" {:w$} ", cells[i], w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Plot glyph.
+    pub glyph: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series on a character grid. With `log_axes`, both axes are
+/// log₁₀-scaled (the paper's figures span orders of magnitude).
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    log_axes: bool,
+) -> String {
+    const W: usize = 68;
+    const H: usize = 20;
+
+    let tf = |v: f64| -> f64 {
+        if log_axes {
+            v.max(1e-12).log10()
+        } else {
+            v
+        }
+    };
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, y)| (tf(x), tf(y))))
+        .collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; W]; H];
+    for s in series {
+        for &(x, y) in &s.points {
+            let gx = (((tf(x) - x0) / (x1 - x0)) * (W - 1) as f64).round() as usize;
+            let gy = (((tf(y) - y0) / (y1 - y0)) * (H - 1) as f64).round() as usize;
+            grid[H - 1 - gy.min(H - 1)][gx.min(W - 1)] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push('\n');
+    out.push_str(title);
+    if log_axes {
+        out.push_str("  [log-log]");
+    }
+    out.push('\n');
+    let y_hi = if log_axes { 10f64.powf(y1) } else { y1 };
+    let y_lo = if log_axes { 10f64.powf(y0) } else { y0 };
+    out.push_str(&format!("{y_label}  (top={y_hi:.3e}, bottom={y_lo:.3e})\n"));
+    for row in &grid {
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    let x_hi = if log_axes { 10f64.powf(x1) } else { x1 };
+    let x_lo = if log_axes { 10f64.powf(x0) } else { x0 };
+    out.push_str(&format!("{x_label}: left={x_lo:.3e}, right={x_hi:.3e}\n"));
+    for s in series {
+        out.push_str(&format!("  {} = {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len(), "rows align");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn plot_contains_glyphs_and_legend() {
+        let s = ascii_plot(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                label: "demo".into(),
+                glyph: '*',
+                points: vec![(1.0, 10.0), (100.0, 1000.0)],
+            }],
+            true,
+        );
+        assert!(s.contains('*'));
+        assert!(s.contains("demo"));
+        assert!(s.contains("[log-log]"));
+    }
+
+    #[test]
+    fn plot_handles_degenerate_ranges() {
+        let s = ascii_plot(
+            "t",
+            "x",
+            "y",
+            &[Series {
+                label: "p".into(),
+                glyph: 'o',
+                points: vec![(5.0, 5.0)],
+            }],
+            false,
+        );
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn plot_empty_series_is_empty() {
+        assert!(ascii_plot("t", "x", "y", &[], false).is_empty());
+    }
+}

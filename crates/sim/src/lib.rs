@@ -1,0 +1,606 @@
+//! The discrete-event simulation testbed.
+//!
+//! The paper evaluates its checkpointing algorithms with an analytic
+//! model and closes by announcing a testbed "with which we will be able
+//! to experimentally evaluate the algorithms presented here" (§5). This
+//! crate is that testbed: it drives the *real* engine — real segments,
+//! real paint bits, real COU copies, real aborts, real REDO log — under a
+//! Poisson transaction stream, advancing a simulated clock with the
+//! paper's disk service model, and measures the same two metrics the
+//! analytic model predicts: processor overhead per transaction and
+//! (estimated) recovery time.
+//!
+//! Timing model:
+//!
+//! * transactions are instantaneous (the paper's CPU "cost" is an
+//!   instruction count, not a duration; the checkpoint timeline is set by
+//!   disk bandwidth);
+//! * each checkpointer step that issues a segment flush occupies one disk
+//!   for `T_seek + T_trans·S_seg` simulated seconds; up to `N_bdisks`
+//!   flushes proceed in parallel ([`mmdb_disk::SimDiskArray`]);
+//! * a transaction aborted by the two-color rule is retried after the
+//!   next checkpointer step completes (the paint frontier has advanced),
+//!   each retry paying the full transaction cost — the paper's rerun
+//!   model.
+
+#![warn(missing_docs)]
+
+use mmdb_core::{CommitDurability, Mmdb, MmdbConfig, MmdbError, StepOutcome};
+use mmdb_disk::SimDiskArray;
+use mmdb_types::{Algorithm, CostBreakdown, LogMode, Params, Result};
+use mmdb_workload::{
+    ArrivalProcess, HotSetWorkload, TxnSpec, UniformWorkload, Workload, ZipfWorkload,
+};
+
+/// Which record-popularity distribution drives the simulated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// The paper's uniform update distribution (§2.5).
+    Uniform,
+    /// Zipf-distributed popularity with the given theta (beyond-paper).
+    Zipf(f64),
+    /// Hot-set skew: `(hot_fraction, hot_access)` (beyond-paper).
+    HotSet(f64, f64),
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Model parameters (usually a scaled-down database).
+    pub params: Params,
+    /// The checkpointing algorithm under test.
+    pub algorithm: Algorithm,
+    /// Seconds between checkpoint *begins*; `None` runs checkpoints
+    /// back-to-back (the paper's minimum-duration setting).
+    pub ckpt_interval: Option<f64>,
+    /// Simulated seconds of measured run (after warm-up).
+    pub duration: f64,
+    /// Simulated warm-up seconds before measurement begins: the system
+    /// runs under load (checkpoints included) so the measured window
+    /// starts in steady state — the dirty population and checkpoint
+    /// cadence need a few intervals to converge.
+    pub warmup: f64,
+    /// RNG seed (workload + arrivals).
+    pub seed: u64,
+    /// Record-popularity distribution.
+    pub workload: WorkloadKind,
+}
+
+impl SimConfig {
+    /// A laptop-scale validation configuration: the paper's proportions
+    /// at 1/64 database scale, with the load *and the disk array* scaled
+    /// down together so the dirtying regime (`μ·D_act`, the number of
+    /// updates a segment absorbs per checkpoint) is comparable to the
+    /// paper's default operating point.
+    pub fn validation(algorithm: Algorithm) -> SimConfig {
+        let mut params = Params::paper_defaults();
+        params.db.s_db = 4 << 20; // 4 Mwords: 512 segments of 8 Kwords
+        params.txn.lambda = 1000.0 / 64.0;
+        params.disk.n_bdisks = 2; // ≈14 s full flush: μ·D ≈ 2–4
+        if algorithm == Algorithm::FastFuzzy {
+            params.log_mode = LogMode::StableTail;
+        }
+        SimConfig {
+            params,
+            algorithm,
+            ckpt_interval: None,
+            duration: 400.0,
+            warmup: 120.0,
+            seed: 42,
+            workload: WorkloadKind::Uniform,
+        }
+    }
+}
+
+/// Measured results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The algorithm simulated.
+    pub algorithm: Algorithm,
+    /// Simulated seconds measured (excluding warm-up).
+    pub measured_seconds: f64,
+    /// Transactions committed in the window.
+    pub committed: u64,
+    /// Transaction attempts begun in the window (includes reruns).
+    pub begun: u64,
+    /// Two-color aborts in the window.
+    pub aborted_two_color: u64,
+    /// Checkpoints completed in the window.
+    pub checkpoints: u64,
+    /// Mean begin-to-begin checkpoint duration, seconds.
+    pub avg_ckpt_interval: f64,
+    /// Mean segments flushed per checkpoint.
+    pub avg_segments_flushed: f64,
+    /// Synchronous checkpoint-related instructions (window total).
+    pub sync_ckpt: CostBreakdown,
+    /// Asynchronous checkpointer instructions (window total).
+    pub async_ckpt: CostBreakdown,
+    /// Log bytes appended in the window.
+    pub log_bytes: u64,
+    /// Estimated recovery time, seconds: full backup read plus 1.5
+    /// checkpoint intervals of log at the observed log production rate.
+    pub est_recovery_seconds: f64,
+    /// *Measured* recovery: at the end of the run the engine is crashed
+    /// and actually recovered; this is the modeled I/O time of that real
+    /// recovery (backup read + the log it really replayed).
+    pub measured_recovery_seconds: f64,
+    /// Log words the real end-of-run recovery replayed.
+    pub measured_recovery_log_words: u64,
+}
+
+impl SimResult {
+    /// Empirical checkpoint-induced restart probability.
+    pub fn p_restart(&self) -> f64 {
+        if self.begun == 0 {
+            0.0
+        } else {
+            self.aborted_two_color as f64 / self.begun as f64
+        }
+    }
+
+    /// Synchronous overhead, instructions per committed transaction.
+    pub fn sync_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.sync_ckpt.total() as f64 / self.committed as f64
+        }
+    }
+
+    /// Asynchronous (checkpointer) overhead, instructions per committed
+    /// transaction.
+    pub fn async_per_txn(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.async_ckpt.total() as f64 / self.committed as f64
+        }
+    }
+
+    /// Total checkpointing overhead per committed transaction — the
+    /// paper's Figure 4a/4c/4d/4e metric.
+    pub fn overhead_per_txn(&self) -> f64 {
+        self.sync_per_txn() + self.async_per_txn()
+    }
+}
+
+/// Aggregate of several independent simulation runs (different seeds).
+#[derive(Debug, Clone)]
+pub struct ReplicatedResult {
+    /// The individual runs.
+    pub runs: Vec<SimResult>,
+}
+
+impl ReplicatedResult {
+    fn stats(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+        let n = values.clone().count() as f64;
+        let mean = values.clone().sum::<f64>() / n;
+        let var = values.map(|v| (v - mean) * (v - mean)).sum::<f64>() / n.max(1.0);
+        (mean, var.sqrt())
+    }
+
+    /// Mean and standard deviation of the per-transaction overhead.
+    pub fn overhead_stats(&self) -> (f64, f64) {
+        Self::stats(self.runs.iter().map(|r| r.overhead_per_txn()))
+    }
+
+    /// Mean and standard deviation of the restart probability.
+    pub fn p_restart_stats(&self) -> (f64, f64) {
+        Self::stats(self.runs.iter().map(|r| r.p_restart()))
+    }
+
+    /// Mean and standard deviation of the checkpoint interval.
+    pub fn interval_stats(&self) -> (f64, f64) {
+        Self::stats(self.runs.iter().map(|r| r.avg_ckpt_interval))
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`] and call
+/// [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// A simulator for `config`.
+    pub fn new(config: SimConfig) -> Simulator {
+        Simulator { config }
+    }
+
+    /// Runs the simulation: a warm-up phase (two checkpoints, seeding
+    /// both ping-pong copies) followed by `duration` measured seconds.
+    pub fn run(&self) -> Result<SimResult> {
+        let cfg = self.config;
+        let mut engine_cfg = MmdbConfig::new(cfg.algorithm);
+        engine_cfg.params = cfg.params;
+        // Group commit: the paper's premise is that transactions do not
+        // synchronously force the log (§1); the periodic forces below
+        // play the group-commit daemon.
+        engine_cfg.commit_durability = CommitDurability::Lazy;
+        let mut db = Mmdb::open_in_memory(engine_cfg)?;
+
+        let s_rec = cfg.params.db.s_rec as usize;
+        let n_records = cfg.params.db.n_records();
+        let n_ru = cfg.params.txn.n_ru;
+        let mut workload: Box<dyn Workload> = match cfg.workload {
+            WorkloadKind::Uniform => Box::new(UniformWorkload::new(n_records, n_ru, cfg.seed)),
+            WorkloadKind::Zipf(theta) => {
+                Box::new(ZipfWorkload::new(n_records, n_ru, theta, cfg.seed))
+            }
+            WorkloadKind::HotSet(frac, access) => {
+                Box::new(HotSetWorkload::new(n_records, n_ru, frac, access, cfg.seed))
+            }
+        };
+        let mut arrivals = ArrivalProcess::new(cfg.params.txn.lambda, cfg.seed ^ 0x9E37);
+        let mut disks = SimDiskArray::new(cfg.params.disk);
+
+        // ---- warm-up: seed both ping-pong copies --------------------------
+        // A few transactions so the database is not empty, then two
+        // checkpoints (escalated to full automatically).
+        for _ in 0..20 {
+            let spec = workload.next_txn();
+            db.run_txn(&spec.materialize(s_rec))?;
+        }
+        db.checkpoint()?;
+        db.checkpoint()?;
+
+        // ---- event loop: warm-up, then the measured window ---------------
+        let meters = db.meters().clone();
+        let mut committed_0 = db.txn_stats().committed;
+        let mut begun_0 = db.txn_stats().begun;
+        let mut aborts_0 = db.txn_stats().aborted_two_color;
+        let mut ckpts_0 = db.ckpt_stats().completed;
+        let mut flushed_0 = db.ckpt_stats().segments_flushed;
+        let mut log_bytes_0 = db.log_stats().bytes;
+        let mut measuring = cfg.warmup <= 0.0;
+        if measuring {
+            meters.reset();
+        }
+
+        let end = cfg.warmup + cfg.duration;
+        let mut now = 0.0f64;
+        let mut next_arrival = arrivals.next_arrival();
+        let mut retry_queue: Vec<TxnSpec> = Vec::new();
+        // time at which the checkpointer may issue its next step (a disk
+        // must be free); f64::INFINITY when no checkpoint is active
+        let mut next_begin = 0.0f64;
+        let mut last_begin = 0.0f64;
+        let mut begin_times: Vec<f64> = Vec::new();
+        // group-commit force cadence: 100 forces/second
+        let mut next_force = 0.0f64;
+
+        while now < end {
+            if !measuring && now >= cfg.warmup {
+                // warm-up over: reset the measurement window
+                measuring = true;
+                meters.reset();
+                committed_0 = db.txn_stats().committed;
+                begun_0 = db.txn_stats().begun;
+                aborts_0 = db.txn_stats().aborted_two_color;
+                ckpts_0 = db.ckpt_stats().completed;
+                flushed_0 = db.ckpt_stats().segments_flushed;
+                log_bytes_0 = db.log_stats().bytes;
+                begin_times.clear();
+            }
+            // start a checkpoint if due
+            if !db.is_checkpoint_active() && now >= next_begin {
+                db.try_begin_checkpoint()?;
+                last_begin = now;
+                begin_times.push(now);
+                // transactions parked during a COU quiesce run now
+                Self::drain_retries(&mut db, s_rec, &mut retry_queue)?;
+            }
+
+            let ckpt_ready = if db.is_checkpoint_active() {
+                disks.next_free(now)
+            } else {
+                f64::INFINITY
+            };
+
+            if next_arrival <= ckpt_ready.min(next_force) {
+                // --- a transaction arrives -----------------------------
+                now = next_arrival;
+                next_arrival = arrivals.next_arrival();
+                let spec = workload.next_txn();
+                Self::attempt_txn(&mut db, &spec, s_rec, &mut retry_queue)?;
+            } else if next_force <= ckpt_ready {
+                // --- group-commit force --------------------------------
+                now = next_force;
+                next_force = now + 0.01;
+                db.force_log()?;
+            } else {
+                // --- the checkpointer takes a step ----------------------
+                now = ckpt_ready;
+                match db.checkpoint_step()? {
+                    StepOutcome::Progress { io_words } | StepOutcome::Done { io_words } => {
+                        if io_words > 0 {
+                            disks.submit(now, io_words);
+                        }
+                        if !db.is_checkpoint_active() {
+                            // checkpoint done: schedule the next begin
+                            let interval = cfg.ckpt_interval.unwrap_or(0.0);
+                            next_begin = (last_begin + interval).max(now);
+                            if db
+                                .last_ckpt_report()
+                                .map(|r| r.segments_flushed == 0)
+                                .unwrap_or(false)
+                            {
+                                // nothing was dirty: wait for new work to
+                                // avoid spinning at one timestamp
+                                next_begin = next_begin.max(next_arrival);
+                            }
+                            // the conflicting checkpoint is gone: rerun
+                            // the transactions it aborted
+                            Self::drain_retries(&mut db, s_rec, &mut retry_queue)?;
+                        }
+                    }
+                    StepOutcome::WaitingForLog => {
+                        // wait for the next group-commit force
+                        disks.submit(now, 0); // no-op to keep time moving
+                    }
+                }
+            }
+        }
+
+        let committed = db.txn_stats().committed - committed_0;
+        let begun = db.txn_stats().begun - begun_0;
+        let aborted_two_color = db.txn_stats().aborted_two_color - aborts_0;
+        let checkpoints = db.ckpt_stats().completed - ckpts_0;
+        let segments_flushed = db.ckpt_stats().segments_flushed - flushed_0;
+        let log_bytes = db.log_stats().bytes - log_bytes_0;
+
+        let avg_ckpt_interval = if begin_times.len() >= 2 {
+            (begin_times[begin_times.len() - 1] - begin_times[0]) / (begin_times.len() - 1) as f64
+        } else {
+            cfg.duration
+        };
+        let avg_segments_flushed = if checkpoints == 0 {
+            0.0
+        } else {
+            segments_flushed as f64 / checkpoints as f64
+        };
+
+        // Estimated recovery time: full backup read + 1.5 intervals of
+        // log at the observed production rate (ping-pong: the completed
+        // checkpoint's begin marker is on average 1.5 intervals old).
+        let log_words_per_sec = (log_bytes as f64 / 4.0) / cfg.duration;
+        let replay_words = (1.5 * avg_ckpt_interval * log_words_per_sec) as u64;
+        let est_recovery_seconds = mmdb_recovery::recovery_time_model(
+            &cfg.params.disk,
+            cfg.params.db.n_segments(),
+            cfg.params.db.s_seg,
+            replay_words,
+        );
+
+        // ---- measured recovery: crash the engine for real ---------------
+        db.crash()?;
+        let recovery = db.recover()?;
+
+        Ok(SimResult {
+            algorithm: cfg.algorithm,
+            measured_seconds: cfg.duration,
+            committed,
+            begun,
+            aborted_two_color,
+            checkpoints,
+            avg_ckpt_interval,
+            avg_segments_flushed,
+            sync_ckpt: meters.sync_ckpt.snapshot(),
+            async_ckpt: meters.async_ckpt.snapshot(),
+            log_bytes,
+            est_recovery_seconds,
+            measured_recovery_seconds: recovery.total_seconds(),
+            measured_recovery_log_words: recovery.log_words,
+        })
+    }
+
+    /// Runs `n` independent replications (seed, seed+1, …) and returns
+    /// the collected results — the standard way to put error bars on the
+    /// cross-validation numbers.
+    pub fn run_replicated(&self, n: u32) -> Result<ReplicatedResult> {
+        let mut runs = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let mut cfg = self.config;
+            cfg.seed = self.config.seed.wrapping_add(i as u64);
+            runs.push(Simulator::new(cfg).run()?);
+        }
+        Ok(ReplicatedResult { runs })
+    }
+
+    fn drain_retries(db: &mut Mmdb, s_rec: usize, retry_queue: &mut Vec<TxnSpec>) -> Result<()> {
+        let retries: Vec<TxnSpec> = std::mem::take(retry_queue);
+        for spec in retries {
+            Self::attempt_txn(db, &spec, s_rec, retry_queue)?;
+        }
+        Ok(())
+    }
+
+    fn attempt_txn(
+        db: &mut Mmdb,
+        spec: &TxnSpec,
+        s_rec: usize,
+        retry_queue: &mut Vec<TxnSpec>,
+    ) -> Result<()> {
+        let updates = spec.materialize(s_rec);
+        let txn = match db.begin_txn() {
+            Ok(t) => t,
+            Err(MmdbError::Quiesced) => {
+                // COU quiesce window: retry after the checkpoint begins
+                retry_queue.push(spec.clone());
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        for (rid, value) in &updates {
+            match db.write(txn, *rid, value) {
+                Ok(()) => {}
+                Err(MmdbError::TwoColorViolation { .. }) => {
+                    // aborted by the engine; rerun after the sweep advances
+                    retry_queue.push(spec.clone());
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match db.commit(txn) {
+            Ok(()) => Ok(()),
+            Err(MmdbError::TwoColorViolation { .. }) => {
+                retry_queue.push(spec.clone());
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(algorithm: Algorithm) -> SimConfig {
+        let mut c = SimConfig::validation(algorithm);
+        // smaller and shorter for unit tests
+        c.params.db.s_db = 1 << 20; // 128 segments
+        c.params.txn.lambda = 40.0;
+        c.duration = 60.0;
+        c.warmup = 20.0;
+        c
+    }
+
+    #[test]
+    fn all_algorithms_simulate() {
+        for alg in Algorithm::ALL {
+            let r = Simulator::new(quick(alg)).run().unwrap();
+            assert!(r.committed > 0, "{alg}: no commits");
+            assert!(r.checkpoints > 0, "{alg}: no checkpoints");
+            assert!(r.overhead_per_txn() > 0.0, "{alg}: no overhead measured");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Simulator::new(quick(Algorithm::CouCopy)).run().unwrap();
+        let b = Simulator::new(quick(Algorithm::CouCopy)).run().unwrap();
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.sync_ckpt, b.sync_ckpt);
+        assert_eq!(a.async_ckpt, b.async_ckpt);
+        let mut other = quick(Algorithm::CouCopy);
+        other.seed ^= 1;
+        let c = Simulator::new(other).run().unwrap();
+        assert_ne!(a.committed, c.committed, "seed must matter");
+    }
+
+    #[test]
+    fn two_color_aborts_happen_under_back_to_back_checkpoints() {
+        let r = Simulator::new(quick(Algorithm::TwoColorCopy))
+            .run()
+            .unwrap();
+        assert!(
+            r.aborted_two_color > 0,
+            "continuous 2C checkpointing should abort some transactions"
+        );
+        assert!(r.p_restart() > 0.0 && r.p_restart() < 1.0);
+    }
+
+    #[test]
+    fn fuzzy_and_cou_never_abort() {
+        for alg in [
+            Algorithm::FuzzyCopy,
+            Algorithm::CouCopy,
+            Algorithm::CouFlush,
+        ] {
+            let r = Simulator::new(quick(alg)).run().unwrap();
+            assert_eq!(r.aborted_two_color, 0, "{alg} must not abort transactions");
+        }
+    }
+
+    #[test]
+    fn cou_pays_synchronous_copies() {
+        let r = Simulator::new(quick(Algorithm::CouCopy)).run().unwrap();
+        assert!(
+            r.sync_ckpt.get(mmdb_types::CostCategory::Move) > 0,
+            "COU transactions must have copied segments"
+        );
+    }
+
+    #[test]
+    fn throughput_matches_lambda() {
+        let r = Simulator::new(quick(Algorithm::FuzzyCopy)).run().unwrap();
+        let rate = r.committed as f64 / r.measured_seconds;
+        assert!((rate - 40.0).abs() < 4.0, "committed rate ≈ λ, got {rate}");
+    }
+
+    #[test]
+    fn longer_interval_lowers_overhead() {
+        let fast = Simulator::new(quick(Algorithm::CouCopy)).run().unwrap();
+        let mut slow_cfg = quick(Algorithm::CouCopy);
+        slow_cfg.ckpt_interval = Some(30.0);
+        let slow = Simulator::new(slow_cfg).run().unwrap();
+        assert!(
+            slow.overhead_per_txn() < fast.overhead_per_txn(),
+            "spacing checkpoints out must reduce per-txn overhead: {} vs {}",
+            slow.overhead_per_txn(),
+            fast.overhead_per_txn()
+        );
+        assert!(slow.checkpoints < fast.checkpoints);
+    }
+
+    #[test]
+    fn replications_are_tight() {
+        let mut cfg = quick(Algorithm::CouCopy);
+        cfg.duration = 40.0;
+        let rep = Simulator::new(cfg).run_replicated(4).unwrap();
+        assert_eq!(rep.runs.len(), 4);
+        let (mean, std) = rep.overhead_stats();
+        assert!(mean > 0.0);
+        // independent seeds must differ but agree within ~15%
+        assert!(
+            std / mean < 0.15,
+            "replication spread too wide: mean {mean}, std {std}"
+        );
+        let distinct: std::collections::HashSet<u64> =
+            rep.runs.iter().map(|r| r.committed).collect();
+        assert!(distinct.len() > 1, "seeds must actually vary the run");
+    }
+
+    #[test]
+    fn measured_recovery_close_to_estimate() {
+        let r = Simulator::new(quick(Algorithm::FuzzyCopy)).run().unwrap();
+        assert!(r.measured_recovery_seconds > 0.0);
+        // the estimate models 1.5 intervals of log; the real crash point
+        // is some fraction of an interval past the last completed
+        // checkpoint, so agreement within ~2× of the (small) log part is
+        // all that is claimed — but both are dominated by the backup
+        // read, so totals should be within 20%.
+        let ratio = r.measured_recovery_seconds / r.est_recovery_seconds;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "measured {} vs estimated {}",
+            r.measured_recovery_seconds,
+            r.est_recovery_seconds
+        );
+    }
+
+    #[test]
+    fn fastfuzzy_is_cheapest_in_simulation() {
+        let mut best: Option<(Algorithm, f64)> = None;
+        let fast = Simulator::new(quick(Algorithm::FastFuzzy)).run().unwrap();
+        for alg in [
+            Algorithm::FuzzyCopy,
+            Algorithm::TwoColorCopy,
+            Algorithm::CouCopy,
+        ] {
+            let r = Simulator::new(quick(alg)).run().unwrap();
+            let o = r.overhead_per_txn();
+            if best.map(|(_, b)| o < b).unwrap_or(true) {
+                best = Some((alg, o));
+            }
+        }
+        assert!(
+            fast.overhead_per_txn() < best.unwrap().1,
+            "FASTFUZZY should beat {:?}",
+            best
+        );
+    }
+}

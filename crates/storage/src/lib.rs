@@ -1,0 +1,642 @@
+//! The memory-resident (primary) database.
+//!
+//! Storage is an array of fixed-size *segments*, each holding a fixed
+//! number of fixed-size *records* (paper §2.4). The record is the granule
+//! of the transaction interface; the segment is the granule of transfer
+//! to the backup disks and of every checkpointing protocol:
+//!
+//! * each segment carries a **version** (bumped on every record install)
+//!   and a per-ping-pong-copy **flushed version**, which together implement
+//!   dirty tracking for partial checkpoints (§3: "database segments can
+//!   include a dirty bit which is set by transaction updates and cleared
+//!   by the checkpointer" — generalized to two backup copies);
+//! * each segment carries a **max LSN**, the log sequence number of the
+//!   latest update installed in it, used by the LSN-gated algorithms to
+//!   respect the write-ahead-log protocol (§3.1);
+//! * each segment carries a **paint bit** for the two-color algorithms
+//!   (§3.2.1, after Pu);
+//! * each segment carries a **timestamp `τ(S)`** and an **old-copy
+//!   pointer `p(S)`** for the copy-on-update algorithms (§3.2.2).
+//!
+//! The structure is deliberately *not* internally synchronized: the engine
+//! serializes access (see `mmdb-core`), which keeps crash/interleaving
+//! tests deterministic. All data movement is charged to a caller-supplied
+//! [`CostMeter`] at 1 instruction/word.
+
+#![warn(missing_docs)]
+
+mod segment;
+
+pub use segment::{Color, OldCopy, SegmentMeta};
+
+use mmdb_types::{
+    hash::Fnv1a, CostMeter, DbParams, Lsn, MmdbError, RecordId, Result, SegmentId, Timestamp, Word,
+};
+use segment::Segment;
+
+/// The memory-resident database: all segments plus the global version
+/// counter that dirty tracking is built on.
+#[derive(Debug)]
+pub struct Storage {
+    db: DbParams,
+    segments: Vec<Segment>,
+    /// Monotonic counter bumped on every record install; segment versions
+    /// are draws from this counter.
+    version_counter: u64,
+}
+
+/// A segment's content captured for flushing, together with the metadata
+/// the checkpointer needs to gate and account the flush.
+#[derive(Debug, Clone, Copy)]
+pub struct Capture<'a> {
+    /// The segment's live words.
+    pub data: &'a [Word],
+    /// The segment version at capture time; pass to
+    /// [`Storage::mark_flushed`] once the image is on disk.
+    pub version: u64,
+    /// Highest LSN of any update reflected in the data — the image must
+    /// not reach the backup disks until the log is durable through this
+    /// LSN (write-ahead rule).
+    pub max_lsn: Lsn,
+}
+
+impl Storage {
+    /// Creates a zero-filled database of the given shape.
+    pub fn new(db: DbParams) -> Result<Storage> {
+        db.validate().map_err(MmdbError::Invalid)?;
+        let n = db.n_segments() as usize;
+        let seg_words = db.s_seg as usize;
+        let segments = (0..n).map(|_| Segment::new(seg_words)).collect();
+        Ok(Storage {
+            db,
+            segments,
+            version_counter: 0,
+        })
+    }
+
+    /// The database shape.
+    pub fn db_params(&self) -> &DbParams {
+        &self.db
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> u64 {
+        self.db.n_segments()
+    }
+
+    /// Number of records.
+    pub fn n_records(&self) -> u64 {
+        self.db.n_records()
+    }
+
+    /// The current value of the global version counter. Captured by COU
+    /// checkpoints as the snapshot horizon.
+    pub fn current_version(&self) -> u64 {
+        self.version_counter
+    }
+
+    /// The segment containing `rid`.
+    pub fn segment_of(&self, rid: RecordId) -> Result<SegmentId> {
+        if rid.raw() >= self.n_records() {
+            return Err(MmdbError::RecordOutOfRange {
+                record: rid,
+                n_records: self.n_records(),
+            });
+        }
+        Ok(SegmentId(
+            (rid.raw() / self.db.records_per_segment()) as u32,
+        ))
+    }
+
+    fn check_segment(&self, sid: SegmentId) -> Result<()> {
+        if sid.raw() as u64 >= self.n_segments() {
+            return Err(MmdbError::SegmentOutOfRange {
+                segment: sid,
+                n_segments: self.n_segments(),
+            });
+        }
+        Ok(())
+    }
+
+    fn record_range(&self, rid: RecordId) -> (usize, std::ops::Range<usize>) {
+        let rps = self.db.records_per_segment();
+        let seg = (rid.raw() / rps) as usize;
+        let off = (rid.raw() % rps) * self.db.s_rec;
+        (seg, off as usize..(off + self.db.s_rec) as usize)
+    }
+
+    /// Reads a record's current value.
+    pub fn read_record(&self, rid: RecordId) -> Result<&[Word]> {
+        if rid.raw() >= self.n_records() {
+            return Err(MmdbError::RecordOutOfRange {
+                record: rid,
+                n_records: self.n_records(),
+            });
+        }
+        let (seg, range) = self.record_range(rid);
+        Ok(&self.segments[seg].data[range])
+    }
+
+    /// Installs a committed update into the primary database, bumping the
+    /// segment version and recording the update's LSN and the updating
+    /// transaction's timestamp. Charges `S_rec` words of data movement.
+    ///
+    /// This is the *install* half of the shadow-copy scheme (§2.6): the
+    /// transaction manager calls it only at commit.
+    pub fn install_record(
+        &mut self,
+        rid: RecordId,
+        value: &[Word],
+        lsn: Lsn,
+        tau: Timestamp,
+        meter: &CostMeter,
+    ) -> Result<()> {
+        if value.len() as u64 != self.db.s_rec {
+            return Err(MmdbError::BadRecordSize {
+                expected: self.db.s_rec,
+                got: value.len() as u64,
+            });
+        }
+        if rid.raw() >= self.n_records() {
+            return Err(MmdbError::RecordOutOfRange {
+                record: rid,
+                n_records: self.n_records(),
+            });
+        }
+        let (seg, range) = self.record_range(rid);
+        self.version_counter += 1;
+        let version = self.version_counter;
+        let seg = &mut self.segments[seg];
+        seg.data[range].copy_from_slice(value);
+        meter.move_words(value.len() as u64);
+        seg.meta.version = version;
+        if tau > seg.meta.tau {
+            seg.meta.tau = tau;
+        }
+        if lsn > seg.meta.max_lsn {
+            seg.meta.max_lsn = lsn;
+        }
+        Ok(())
+    }
+
+    /// Raw segment words (e.g. for tests and recovery verification).
+    pub fn segment_data(&self, sid: SegmentId) -> Result<&[Word]> {
+        self.check_segment(sid)?;
+        Ok(&self.segments[sid.index()].data)
+    }
+
+    /// Segment metadata (version, LSN, paint, COU state).
+    pub fn segment_meta(&self, sid: SegmentId) -> Result<&SegmentMeta> {
+        self.check_segment(sid)?;
+        Ok(&self.segments[sid.index()].meta)
+    }
+
+    /// Is the segment dirty with respect to ping-pong copy `copy`
+    /// (i.e. modified since it was last flushed there)?
+    pub fn is_dirty(&self, sid: SegmentId, copy: usize) -> Result<bool> {
+        self.check_segment(sid)?;
+        let m = &self.segments[sid.index()].meta;
+        Ok(m.version > m.flushed_version[copy & 1])
+    }
+
+    /// Captures the live segment content for flushing.
+    pub fn capture(&self, sid: SegmentId) -> Result<Capture<'_>> {
+        self.check_segment(sid)?;
+        let s = &self.segments[sid.index()];
+        Ok(Capture {
+            data: &s.data,
+            version: s.meta.version,
+            max_lsn: s.meta.max_lsn,
+        })
+    }
+
+    /// Records that an image of `sid` at `version` has reached ping-pong
+    /// copy `copy` (clears the dirty state up to that version).
+    pub fn mark_flushed(&mut self, sid: SegmentId, copy: usize, version: u64) -> Result<()> {
+        self.check_segment(sid)?;
+        let m = &mut self.segments[sid.index()].meta;
+        let slot = &mut m.flushed_version[copy & 1];
+        if version > *slot {
+            *slot = version;
+        }
+        Ok(())
+    }
+
+    // ----- two-color (paint) protocol ------------------------------------
+
+    /// Paints every segment for a two-color checkpoint begin: segments in
+    /// the white set become white (to be processed), all others are
+    /// immediately black (they are already consistent with the backup).
+    pub fn paint_for_checkpoint(&mut self, white: impl Fn(SegmentId) -> bool) {
+        for (i, seg) in self.segments.iter_mut().enumerate() {
+            let sid = SegmentId(i as u32);
+            seg.meta.color = if white(sid) {
+                Color::White
+            } else {
+                Color::Black
+            };
+        }
+    }
+
+    /// Paints one segment black (the checkpointer has processed it).
+    pub fn paint_black(&mut self, sid: SegmentId) -> Result<()> {
+        self.check_segment(sid)?;
+        self.segments[sid.index()].meta.color = Color::Black;
+        Ok(())
+    }
+
+    /// The segment's current color.
+    pub fn color(&self, sid: SegmentId) -> Result<Color> {
+        self.check_segment(sid)?;
+        Ok(self.segments[sid.index()].meta.color)
+    }
+
+    /// Number of white segments remaining (test/diagnostic aid).
+    pub fn white_count(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.meta.color == Color::White)
+            .count() as u64
+    }
+
+    // ----- copy-on-update protocol ----------------------------------------
+
+    /// Saves an old copy of the segment for the COU snapshot: allocates a
+    /// buffer, copies the live content, and hangs it off `p(S)`
+    /// (Figure 3.2). Charges one allocation and `S_seg` words of movement.
+    ///
+    /// Returns an error if an old copy already exists — the COU update
+    /// protocol guarantees at most one copy per segment per checkpoint,
+    /// and a second copy would clobber the snapshot.
+    pub fn cou_save_old(&mut self, sid: SegmentId, meter: &CostMeter) -> Result<()> {
+        self.check_segment(sid)?;
+        let s = &mut self.segments[sid.index()];
+        if s.meta.old.is_some() {
+            return Err(MmdbError::Invalid(format!(
+                "COU old copy already exists for {sid}"
+            )));
+        }
+        meter.alloc_op();
+        meter.move_words(s.data.len() as u64);
+        s.meta.old = Some(Box::new(OldCopy {
+            data: s.data.clone(),
+            tau: s.meta.tau,
+            version: s.meta.version,
+        }));
+        Ok(())
+    }
+
+    /// Does the segment currently have a COU old copy?
+    pub fn has_old(&self, sid: SegmentId) -> Result<bool> {
+        self.check_segment(sid)?;
+        Ok(self.segments[sid.index()].meta.old.is_some())
+    }
+
+    /// Detaches and returns the segment's COU old copy, if any. Charges
+    /// the buffer deallocation (the caller is about to free it after the
+    /// flush).
+    pub fn take_old(&mut self, sid: SegmentId, meter: &CostMeter) -> Result<Option<Box<OldCopy>>> {
+        self.check_segment(sid)?;
+        let old = self.segments[sid.index()].meta.old.take();
+        if old.is_some() {
+            meter.alloc_op();
+        }
+        Ok(old)
+    }
+
+    /// Drops any leftover old copies (end of a COU checkpoint). Returns
+    /// how many were dropped; each dropped buffer charges a deallocation.
+    pub fn drop_all_old(&mut self, meter: &CostMeter) -> u64 {
+        let mut n = 0;
+        for s in &mut self.segments {
+            if s.meta.old.take().is_some() {
+                meter.alloc_op();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Total words currently held in COU old copies (the snapshot-buffer
+    /// footprint the paper warns about: "Potentially, the snapshot could
+    /// grow to be as large as the database itself", §3.2.2).
+    pub fn old_copy_words(&self) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.meta.old.is_some())
+            .map(|s| s.data.len() as u64)
+            .sum()
+    }
+
+    // ----- recovery support ------------------------------------------------
+
+    /// Overwrites a segment's content wholesale (recovery loading a backup
+    /// image) and resets the segment metadata.
+    ///
+    /// When `source_copy` is given, the segment is marked clean with
+    /// respect to that ping-pong copy but *dirty* with respect to the
+    /// other one — the other copy does not hold this image, so the next
+    /// partial checkpoint targeting it must not skip the segment.
+    pub fn load_segment(
+        &mut self,
+        sid: SegmentId,
+        data: &[Word],
+        source_copy: Option<usize>,
+        meter: &CostMeter,
+    ) -> Result<()> {
+        self.check_segment(sid)?;
+        if data.len() as u64 != self.db.s_seg {
+            return Err(MmdbError::Invalid(format!(
+                "segment image has {} words, expected {}",
+                data.len(),
+                self.db.s_seg
+            )));
+        }
+        self.version_counter += 1;
+        let version = self.version_counter;
+        let s = &mut self.segments[sid.index()];
+        s.data.copy_from_slice(data);
+        meter.move_words(data.len() as u64);
+        s.meta = SegmentMeta::default();
+        if let Some(copy) = source_copy {
+            s.meta.version = version;
+            s.meta.flushed_version[copy & 1] = version;
+        }
+        Ok(())
+    }
+
+    /// A content fingerprint of the whole database — used by tests to
+    /// compare pre-crash and post-recovery states.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for s in &self.segments {
+            h.update_words(&s.data);
+        }
+        h.finish()
+    }
+
+    /// A content fingerprint of one segment.
+    pub fn segment_fingerprint(&self, sid: SegmentId) -> Result<u64> {
+        self.check_segment(sid)?;
+        Ok(mmdb_types::hash::fnv1a_words(
+            &self.segments[sid.index()].data,
+        ))
+    }
+
+    /// Iterator over all segment ids in sweep order.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.n_segments() as u32).map(SegmentId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::{CostCategory, CostParams, Params};
+
+    fn small() -> Storage {
+        Storage::new(Params::small().db).unwrap()
+    }
+
+    fn meter() -> CostMeter {
+        CostMeter::new(CostParams::default())
+    }
+
+    fn rec(storage: &Storage, fill: Word) -> Vec<Word> {
+        vec![fill; storage.db_params().s_rec as usize]
+    }
+
+    #[test]
+    fn geometry_small() {
+        let s = small();
+        assert_eq!(s.n_segments(), 32);
+        assert_eq!(s.n_records(), 2048);
+        assert_eq!(s.segment_of(RecordId(0)).unwrap(), SegmentId(0));
+        assert_eq!(s.segment_of(RecordId(63)).unwrap(), SegmentId(0));
+        assert_eq!(s.segment_of(RecordId(64)).unwrap(), SegmentId(1));
+        assert_eq!(s.segment_of(RecordId(2047)).unwrap(), SegmentId(31));
+        assert!(s.segment_of(RecordId(2048)).is_err());
+    }
+
+    #[test]
+    fn install_and_read_roundtrip() {
+        let mut s = small();
+        let m = meter();
+        let v = rec(&s, 0xABCD);
+        s.install_record(RecordId(100), &v, Lsn(10), Timestamp(1), &m)
+            .unwrap();
+        assert_eq!(s.read_record(RecordId(100)).unwrap(), &v[..]);
+        // neighbours untouched
+        assert_eq!(s.read_record(RecordId(99)).unwrap(), &rec(&s, 0)[..]);
+        assert_eq!(s.read_record(RecordId(101)).unwrap(), &rec(&s, 0)[..]);
+    }
+
+    #[test]
+    fn install_charges_move_cost() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        assert_eq!(m.snapshot().get(CostCategory::Move), 32);
+    }
+
+    #[test]
+    fn install_rejects_wrong_size() {
+        let mut s = small();
+        let m = meter();
+        let err = s
+            .install_record(RecordId(0), &[1, 2, 3], Lsn(1), Timestamp(1), &m)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MmdbError::BadRecordSize {
+                expected: 32,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn versions_bump_and_track_dirtiness() {
+        let mut s = small();
+        let m = meter();
+        assert!(!s.is_dirty(SegmentId(0), 0).unwrap());
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        assert!(s.is_dirty(SegmentId(0), 0).unwrap());
+        assert!(s.is_dirty(SegmentId(0), 1).unwrap());
+
+        let ver = s.capture(SegmentId(0)).unwrap().version;
+        s.mark_flushed(SegmentId(0), 0, ver).unwrap();
+        assert!(!s.is_dirty(SegmentId(0), 0).unwrap());
+        assert!(
+            s.is_dirty(SegmentId(0), 1).unwrap(),
+            "other copy still dirty"
+        );
+
+        // an update after the flush re-dirties copy 0
+        s.install_record(RecordId(1), &rec(&s, 2), Lsn(2), Timestamp(2), &m)
+            .unwrap();
+        assert!(s.is_dirty(SegmentId(0), 0).unwrap());
+    }
+
+    #[test]
+    fn mark_flushed_never_regresses() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        let v1 = s.capture(SegmentId(0)).unwrap().version;
+        s.install_record(RecordId(1), &rec(&s, 2), Lsn(2), Timestamp(2), &m)
+            .unwrap();
+        let v2 = s.capture(SegmentId(0)).unwrap().version;
+        s.mark_flushed(SegmentId(0), 0, v2).unwrap();
+        // a stale flush completion must not clear the newer version
+        s.mark_flushed(SegmentId(0), 0, v1).unwrap();
+        assert_eq!(s.segment_meta(SegmentId(0)).unwrap().flushed_version[0], v2);
+    }
+
+    #[test]
+    fn capture_carries_max_lsn() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(500), Timestamp(1), &m)
+            .unwrap();
+        s.install_record(RecordId(1), &rec(&s, 2), Lsn(300), Timestamp(2), &m)
+            .unwrap();
+        let cap = s.capture(SegmentId(0)).unwrap();
+        assert_eq!(cap.max_lsn, Lsn(500), "max, not latest");
+    }
+
+    #[test]
+    fn tau_is_max_of_updaters() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(1), Timestamp(9), &m)
+            .unwrap();
+        s.install_record(RecordId(1), &rec(&s, 2), Lsn(2), Timestamp(4), &m)
+            .unwrap();
+        assert_eq!(s.segment_meta(SegmentId(0)).unwrap().tau, Timestamp(9));
+    }
+
+    #[test]
+    fn paint_protocol() {
+        let mut s = small();
+        s.paint_for_checkpoint(|sid| sid.raw() < 4);
+        assert_eq!(s.white_count(), 4);
+        assert_eq!(s.color(SegmentId(0)).unwrap(), Color::White);
+        assert_eq!(s.color(SegmentId(4)).unwrap(), Color::Black);
+        s.paint_black(SegmentId(0)).unwrap();
+        assert_eq!(s.color(SegmentId(0)).unwrap(), Color::Black);
+        assert_eq!(s.white_count(), 3);
+    }
+
+    #[test]
+    fn cou_old_copy_lifecycle() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 7), Lsn(1), Timestamp(3), &m)
+            .unwrap();
+        let before = s.segment_fingerprint(SegmentId(0)).unwrap();
+
+        s.cou_save_old(SegmentId(0), &m).unwrap();
+        assert!(s.has_old(SegmentId(0)).unwrap());
+        assert_eq!(s.old_copy_words(), 2048);
+        // double-save is a protocol violation
+        assert!(s.cou_save_old(SegmentId(0), &m).is_err());
+
+        // mutate the live segment; the old copy must keep the snapshot
+        s.install_record(RecordId(1), &rec(&s, 9), Lsn(2), Timestamp(5), &m)
+            .unwrap();
+        let old = s.take_old(SegmentId(0), &m).unwrap().unwrap();
+        assert_eq!(mmdb_types::hash::fnv1a_words(&old.data), before);
+        assert_eq!(old.tau, Timestamp(3));
+        assert!(!s.has_old(SegmentId(0)).unwrap());
+        assert_eq!(s.old_copy_words(), 0);
+    }
+
+    #[test]
+    fn cou_save_charges_alloc_and_copy() {
+        let mut s = small();
+        let m = meter();
+        s.cou_save_old(SegmentId(0), &m).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.get(CostCategory::Alloc), 100);
+        assert_eq!(snap.get(CostCategory::Move), 2048);
+        // take_old charges the deallocation
+        s.take_old(SegmentId(0), &m).unwrap();
+        assert_eq!(m.snapshot().get(CostCategory::Alloc), 200);
+    }
+
+    #[test]
+    fn drop_all_old_counts_and_charges() {
+        let mut s = small();
+        let m = meter();
+        s.cou_save_old(SegmentId(1), &m).unwrap();
+        s.cou_save_old(SegmentId(2), &m).unwrap();
+        let before = m.snapshot().get(CostCategory::Alloc);
+        assert_eq!(s.drop_all_old(&m), 2);
+        assert_eq!(m.snapshot().get(CostCategory::Alloc) - before, 200);
+        assert_eq!(s.drop_all_old(&m), 0);
+    }
+
+    #[test]
+    fn load_segment_resets_meta() {
+        let mut s = small();
+        let m = meter();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(5), Timestamp(2), &m)
+            .unwrap();
+        let image = vec![42 as Word; 2048];
+        s.load_segment(SegmentId(0), &image, None, &m).unwrap();
+        assert_eq!(s.segment_data(SegmentId(0)).unwrap(), &image[..]);
+        let meta = s.segment_meta(SegmentId(0)).unwrap();
+        assert_eq!(meta.version, 0);
+        assert_eq!(meta.max_lsn, Lsn::ZERO);
+        assert!(meta.old.is_none());
+    }
+
+    #[test]
+    fn load_segment_from_copy_stays_dirty_for_other_copy() {
+        let mut s = small();
+        let m = meter();
+        let image = vec![7 as Word; 2048];
+        s.load_segment(SegmentId(3), &image, Some(1), &m).unwrap();
+        assert!(
+            !s.is_dirty(SegmentId(3), 1).unwrap(),
+            "clean w.r.t. the copy it was read from"
+        );
+        assert!(
+            s.is_dirty(SegmentId(3), 0).unwrap(),
+            "dirty w.r.t. the copy that lacks this image"
+        );
+    }
+
+    #[test]
+    fn load_segment_rejects_wrong_size() {
+        let mut s = small();
+        let m = meter();
+        assert!(s.load_segment(SegmentId(0), &[1, 2, 3], None, &m).is_err());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_content() {
+        let mut s = small();
+        let m = meter();
+        let f0 = s.fingerprint();
+        s.install_record(RecordId(0), &rec(&s, 1), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        assert_ne!(s.fingerprint(), f0);
+    }
+
+    #[test]
+    fn out_of_range_segment_ops_fail() {
+        let mut s = small();
+        let m = meter();
+        let bad = SegmentId(32);
+        assert!(s.segment_data(bad).is_err());
+        assert!(s.capture(bad).is_err());
+        assert!(s.paint_black(bad).is_err());
+        assert!(s.cou_save_old(bad, &m).is_err());
+        assert!(s.is_dirty(bad, 0).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! A single database segment and its per-segment checkpointing metadata.
+
+use mmdb_types::{Lsn, Timestamp, Word};
+
+/// The two-color paint state of a segment (paper §3.2.1, after Pu).
+///
+/// Outside an active two-color checkpoint every segment is black; a
+/// checkpoint begin paints its to-be-processed set white, and the
+/// checkpointer repaints each segment black as it processes it. No
+/// transaction may access both a white and a black record while a
+/// checkpoint is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Color {
+    /// Not yet included in the current checkpoint.
+    White,
+    /// Included in the current checkpoint (or not participating).
+    #[default]
+    Black,
+}
+
+/// A copy-on-update "old copy": the pre-update image of a segment saved by
+/// the first transaction to update it after a COU checkpoint began
+/// (Figure 3.2's special buffer, reached through `p(S)`).
+#[derive(Debug, Clone)]
+pub struct OldCopy {
+    /// The snapshot content of the segment.
+    pub data: Box<[Word]>,
+    /// `τ(S)` at the time the copy was made — the timestamp of the most
+    /// recent transaction to have updated the segment *before* the
+    /// checkpoint began.
+    pub tau: Timestamp,
+    /// The segment version at the time the copy was made; used for
+    /// ping-pong dirty accounting when the old copy is flushed.
+    pub version: u64,
+}
+
+/// Per-segment checkpointing metadata.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentMeta {
+    /// Version of the latest installed update (0 = never updated since
+    /// load). Draws from the storage-wide monotonic counter, so versions
+    /// are comparable across segments.
+    pub version: u64,
+    /// Version captured by the last flush to each ping-pong backup copy.
+    /// `version > flushed_version[c]` ⇔ the segment is dirty w.r.t. copy
+    /// `c` — the generalized dirty bit of paper §3.
+    pub flushed_version: [u64; 2],
+    /// Highest LSN of any update installed in this segment; the WAL gate
+    /// for flushing it.
+    pub max_lsn: Lsn,
+    /// `τ(S)`: timestamp of the most recent updating transaction
+    /// (copy-on-update protocol, §3.2.2).
+    pub tau: Timestamp,
+    /// Two-color paint bit.
+    pub color: Color,
+    /// `p(S)`: the COU old copy, if one exists.
+    pub old: Option<Box<OldCopy>>,
+}
+
+/// A segment: fixed-size array of words plus metadata.
+#[derive(Debug)]
+pub(crate) struct Segment {
+    pub(crate) data: Box<[Word]>,
+    pub(crate) meta: SegmentMeta,
+}
+
+impl Segment {
+    pub(crate) fn new(words: usize) -> Segment {
+        Segment {
+            data: vec![0; words].into_boxed_slice(),
+            meta: SegmentMeta::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_color_is_black() {
+        assert_eq!(Color::default(), Color::Black);
+        let s = Segment::new(8);
+        assert_eq!(s.meta.color, Color::Black);
+    }
+
+    #[test]
+    fn new_segment_is_zeroed_and_clean() {
+        let s = Segment::new(16);
+        assert!(s.data.iter().all(|&w| w == 0));
+        assert_eq!(s.meta.version, 0);
+        assert_eq!(s.meta.flushed_version, [0, 0]);
+        assert_eq!(s.meta.max_lsn, Lsn::ZERO);
+        assert!(s.meta.old.is_none());
+    }
+}

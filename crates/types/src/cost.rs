@@ -1,0 +1,380 @@
+//! Instruction-cost accounting.
+//!
+//! The paper's central performance metric is *processor overhead in
+//! instructions per transaction* (§1, §4): I/O latency is off the critical
+//! path of a memory-resident transaction, but every lock, LSN check, buffer
+//! allocation, I/O initiation and word of data movement consumes CPU that
+//! transactions also need.
+//!
+//! Every component of the workspace charges its work through a
+//! [`CostMeter`]. The engine keeps two: a *synchronous* meter charged by
+//! work done on behalf of a particular transaction, and an *asynchronous*
+//! meter charged by the checkpointer. Dividing the asynchronous total by
+//! the number of transactions in the checkpoint interval and adding the
+//! synchronous per-transaction cost reproduces the paper's combination
+//! rule (§4 ¶2).
+
+use crate::params::CostParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The categories of chargeable work, mirroring Table 2a plus data
+/// movement and the transaction body itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Lock/unlock operations (`C_lock`).
+    Lock,
+    /// Buffer allocation/deallocation (`C_alloc`).
+    Alloc,
+    /// Disk I/O initiation (`C_io`).
+    Io,
+    /// LSN maintenance or checking (`C_lsn`).
+    Lsn,
+    /// Data movement within primary memory (1 instr/word).
+    Move,
+    /// Transaction body execution (`C_trans`), charged on (re)runs.
+    TxnBody,
+    /// Dirty-bit / paint-bit scanning and other per-segment bookkeeping.
+    Scan,
+}
+
+impl CostCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [CostCategory; 7] = [
+        CostCategory::Lock,
+        CostCategory::Alloc,
+        CostCategory::Io,
+        CostCategory::Lsn,
+        CostCategory::Move,
+        CostCategory::TxnBody,
+        CostCategory::Scan,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostCategory::Lock => "lock",
+            CostCategory::Alloc => "alloc",
+            CostCategory::Io => "io",
+            CostCategory::Lsn => "lsn",
+            CostCategory::Move => "move",
+            CostCategory::TxnBody => "txn-body",
+            CostCategory::Scan => "scan",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CostCategory::Lock => 0,
+            CostCategory::Alloc => 1,
+            CostCategory::Io => 2,
+            CostCategory::Lsn => 3,
+            CostCategory::Move => 4,
+            CostCategory::TxnBody => 5,
+            CostCategory::Scan => 6,
+        }
+    }
+}
+
+/// An immutable snapshot of charged instructions, by category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    counts: [u64; 7],
+}
+
+impl CostBreakdown {
+    /// Instructions charged to `cat`.
+    #[inline]
+    pub fn get(&self, cat: CostCategory) -> u64 {
+        self.counts[cat.index()]
+    }
+
+    /// Total instructions across all categories.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Breakdown with `other` added in.
+    pub fn plus(&self, other: &CostBreakdown) -> CostBreakdown {
+        let mut out = *self;
+        for i in 0..out.counts.len() {
+            out.counts[i] += other.counts[i];
+        }
+        out
+    }
+
+    /// Breakdown minus `earlier` (componentwise; `earlier` must be a
+    /// snapshot taken before `self` on the same meter).
+    pub fn minus(&self, earlier: &CostBreakdown) -> CostBreakdown {
+        let mut out = *self;
+        for i in 0..out.counts.len() {
+            out.counts[i] = out.counts[i]
+                .checked_sub(earlier.counts[i])
+                .expect("CostBreakdown::minus: `earlier` is not an earlier snapshot");
+        }
+        out
+    }
+
+    /// Breakdown scaled by `1/n` (f64), for per-transaction averaging.
+    pub fn per(&self, n: f64) -> [(CostCategory, f64); 7] {
+        let mut out = [(CostCategory::Lock, 0.0); 7];
+        for (i, cat) in CostCategory::ALL.iter().enumerate() {
+            out[i] = (*cat, self.counts[cat.index()] as f64 / n);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total={} [", self.total())?;
+        let mut first = true;
+        for cat in CostCategory::ALL {
+            let v = self.get(cat);
+            if v > 0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={}", cat.label(), v)?;
+                first = false;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A thread-safe instruction counter that knows the Table 2a unit costs.
+///
+/// Cloning a [`SharedCostMeter`] shares the underlying counters, so the
+/// engine can hand the same meter to the storage, log and checkpoint
+/// layers. Charging is lock-free (relaxed atomics): the meter is a
+/// statistic, not a synchronization point.
+#[derive(Debug)]
+pub struct CostMeter {
+    costs: CostParams,
+    counts: [AtomicU64; 7],
+    ops: [AtomicU64; 7],
+}
+
+/// A cheaply-cloneable handle to a shared [`CostMeter`].
+pub type SharedCostMeter = Arc<CostMeter>;
+
+impl CostMeter {
+    /// A meter charging at the given unit costs.
+    pub fn new(costs: CostParams) -> CostMeter {
+        CostMeter {
+            costs,
+            counts: Default::default(),
+            ops: Default::default(),
+        }
+    }
+
+    /// A shared meter charging at the given unit costs.
+    pub fn shared(costs: CostParams) -> SharedCostMeter {
+        Arc::new(CostMeter::new(costs))
+    }
+
+    /// The unit costs this meter charges at.
+    pub fn costs(&self) -> &CostParams {
+        &self.costs
+    }
+
+    #[inline]
+    fn charge(&self, cat: CostCategory, instructions: u64) {
+        self.counts[cat.index()].fetch_add(instructions, Ordering::Relaxed);
+        self.ops[cat.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one lock or unlock operation (`C_lock`).
+    #[inline]
+    pub fn lock_op(&self) {
+        self.charge(CostCategory::Lock, self.costs.c_lock);
+    }
+
+    /// Charge one buffer allocation or deallocation (`C_alloc`).
+    #[inline]
+    pub fn alloc_op(&self) {
+        self.charge(CostCategory::Alloc, self.costs.c_alloc);
+    }
+
+    /// Charge one disk I/O initiation (`C_io`).
+    #[inline]
+    pub fn io_op(&self) {
+        self.charge(CostCategory::Io, self.costs.c_io);
+    }
+
+    /// Charge one LSN check or update (`C_lsn`).
+    #[inline]
+    pub fn lsn_op(&self) {
+        self.charge(CostCategory::Lsn, self.costs.c_lsn);
+    }
+
+    /// Charge movement of `words` words within primary memory.
+    #[inline]
+    pub fn move_words(&self, words: u64) {
+        self.charge(CostCategory::Move, self.costs.c_move_per_word * words);
+    }
+
+    /// Charge one transaction body execution (`C_trans`); used when a
+    /// transaction is (re)run.
+    #[inline]
+    pub fn txn_body(&self, c_trans: u64) {
+        self.charge(CostCategory::TxnBody, c_trans);
+    }
+
+    /// Charge `instructions` of per-segment scanning/bookkeeping.
+    #[inline]
+    pub fn scan(&self, instructions: u64) {
+        self.charge(CostCategory::Scan, instructions);
+    }
+
+    /// Snapshot the charged totals.
+    pub fn snapshot(&self) -> CostBreakdown {
+        let mut counts = [0u64; 7];
+        for (i, c) in self.counts.iter().enumerate() {
+            counts[i] = c.load(Ordering::Relaxed);
+        }
+        CostBreakdown { counts }
+    }
+
+    /// Number of operations charged in `cat` (e.g. number of I/Os, not
+    /// instructions).
+    pub fn op_count(&self, cat: CostCategory) -> u64 {
+        self.ops[cat.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total instructions charged so far.
+    pub fn total(&self) -> u64 {
+        self.snapshot().total()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.ops {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for CostMeter {
+    fn default() -> Self {
+        CostMeter::new(CostParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_table_2a_unit_costs() {
+        let m = CostMeter::default();
+        m.lock_op();
+        m.alloc_op();
+        m.io_op();
+        m.lsn_op();
+        m.move_words(8192);
+        let s = m.snapshot();
+        assert_eq!(s.get(CostCategory::Lock), 20);
+        assert_eq!(s.get(CostCategory::Alloc), 100);
+        assert_eq!(s.get(CostCategory::Io), 1000);
+        assert_eq!(s.get(CostCategory::Lsn), 20);
+        assert_eq!(s.get(CostCategory::Move), 8192);
+        assert_eq!(s.total(), 20 + 100 + 1000 + 20 + 8192);
+    }
+
+    #[test]
+    fn op_counts_track_operations_not_instructions() {
+        let m = CostMeter::default();
+        m.io_op();
+        m.io_op();
+        m.move_words(100);
+        assert_eq!(m.op_count(CostCategory::Io), 2);
+        assert_eq!(m.op_count(CostCategory::Move), 1);
+        assert_eq!(m.op_count(CostCategory::Lock), 0);
+    }
+
+    #[test]
+    fn snapshot_minus_gives_interval_cost() {
+        let m = CostMeter::default();
+        m.io_op();
+        let before = m.snapshot();
+        m.io_op();
+        m.lock_op();
+        let after = m.snapshot();
+        let delta = after.minus(&before);
+        assert_eq!(delta.get(CostCategory::Io), 1000);
+        assert_eq!(delta.get(CostCategory::Lock), 20);
+        assert_eq!(delta.total(), 1020);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn minus_panics_on_misuse() {
+        let m = CostMeter::default();
+        let before = m.snapshot();
+        m.io_op();
+        let after = m.snapshot();
+        let _ = before.minus(&after);
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let m = CostMeter::default();
+        m.io_op();
+        let a = m.snapshot();
+        let sum = a.plus(&a);
+        assert_eq!(sum.get(CostCategory::Io), 2000);
+    }
+
+    #[test]
+    fn shared_meter_is_really_shared() {
+        let m = CostMeter::shared(CostParams::default());
+        let m2 = Arc::clone(&m);
+        m.io_op();
+        m2.lock_op();
+        assert_eq!(m.total(), 1020);
+        assert_eq!(m2.total(), 1020);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = CostMeter::default();
+        m.io_op();
+        m.reset();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.op_count(CostCategory::Io), 0);
+    }
+
+    #[test]
+    fn txn_body_uses_explicit_cost() {
+        let m = CostMeter::default();
+        m.txn_body(25_000);
+        assert_eq!(m.snapshot().get(CostCategory::TxnBody), 25_000);
+    }
+
+    #[test]
+    fn display_omits_zero_categories() {
+        let m = CostMeter::default();
+        m.io_op();
+        let s = m.snapshot().to_string();
+        assert!(s.contains("io=1000"), "{s}");
+        assert!(!s.contains("lock"), "{s}");
+    }
+
+    #[test]
+    fn per_transaction_scaling() {
+        let m = CostMeter::default();
+        m.io_op();
+        m.io_op();
+        let per = m.snapshot().per(4.0);
+        let io = per.iter().find(|(c, _)| *c == CostCategory::Io).unwrap().1;
+        assert_eq!(io, 500.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! All of these are thin newtypes over integers. They exist so that a
+//! segment number can never be confused with a record number or a log
+//! sequence number — the checkpointing algorithms juggle all three and the
+//! bugs that result from mixing them up are exactly the kind that fuzzy
+//! checkpoints make hard to observe.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a record within the database (0-based, dense).
+    ///
+    /// The record is the granule of the transaction interface: primitive
+    /// actions are record reads and writes (paper §2.4).
+    RecordId,
+    u64
+);
+
+id_type!(
+    /// Index of a segment within the database (0-based, dense).
+    ///
+    /// Segments group records for efficient transfer to the backup disks
+    /// (paper §2.4) and are the granule of checkpointer locking, painting
+    /// and copy-on-update.
+    SegmentId,
+    u32
+);
+
+id_type!(
+    /// A transaction identifier, unique for the lifetime of an engine.
+    TxnId,
+    u64
+);
+
+id_type!(
+    /// A checkpoint identifier; monotonically increasing. Checkpoint `k`
+    /// writes to ping-pong backup copy `k % 2`.
+    CheckpointId,
+    u64
+);
+
+id_type!(
+    /// A logical timestamp, as used by the copy-on-update algorithms
+    /// (`τ` in the paper). Assigned from a single monotonic counter shared
+    /// by transactions and checkpoints.
+    Timestamp,
+    u64
+);
+
+/// A log sequence number: the byte offset of a log record within the
+/// (conceptually infinite) log address space.
+///
+/// LSNs are totally ordered and dense enough to compare "has this update's
+/// log record reached stable storage" (`C_lsn` synchronization, paper §2.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The zero LSN, ordered before every real log record.
+    pub const ZERO: Lsn = Lsn(0);
+    /// The maximum representable LSN.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Returns the raw byte offset.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// LSN advanced by `bytes`.
+    #[inline]
+    pub const fn advance(self, bytes: u64) -> Lsn {
+        Lsn(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lsn({})", self.0)
+    }
+}
+
+impl From<u64> for Lsn {
+    fn from(v: u64) -> Self {
+        Lsn(v)
+    }
+}
+
+impl SegmentId {
+    /// Next segment in sweep order.
+    #[inline]
+    pub const fn next(self) -> SegmentId {
+        SegmentId(self.0 + 1)
+    }
+
+    /// Converts to a usable array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RecordId {
+    /// Converts to a usable array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Timestamp {
+    /// The zero timestamp, ordered before every assigned timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Successor timestamp.
+    #[inline]
+    pub const fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl CheckpointId {
+    /// Which of the two ping-pong backup copies this checkpoint writes.
+    #[inline]
+    pub const fn pingpong_copy(self) -> usize {
+        (self.0 % 2) as usize
+    }
+
+    /// Successor checkpoint id.
+    #[inline]
+    pub const fn next(self) -> CheckpointId {
+        CheckpointId(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_ordering_and_advance() {
+        let a = Lsn(10);
+        let b = a.advance(5);
+        assert!(a < b);
+        assert_eq!(b.raw(), 15);
+        assert!(Lsn::ZERO < a);
+        assert!(b < Lsn::MAX);
+    }
+
+    #[test]
+    fn segment_next_and_index() {
+        let s = SegmentId(7);
+        assert_eq!(s.next(), SegmentId(8));
+        assert_eq!(s.index(), 7);
+    }
+
+    #[test]
+    fn pingpong_alternates() {
+        assert_eq!(CheckpointId(0).pingpong_copy(), 0);
+        assert_eq!(CheckpointId(1).pingpong_copy(), 1);
+        assert_eq!(CheckpointId(2).pingpong_copy(), 0);
+        assert_eq!(CheckpointId(1).next(), CheckpointId(2));
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let t = Timestamp::ZERO;
+        assert!(t < t.next());
+        assert_eq!(t.next().next(), Timestamp(2));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(SegmentId(3).to_string(), "SegmentId(3)");
+        assert_eq!(Lsn(9).to_string(), "Lsn(9)");
+        assert_eq!(TxnId(1).to_string(), "TxnId(1)");
+    }
+
+    #[test]
+    fn ids_from_raw() {
+        assert_eq!(RecordId::from(5u64).raw(), 5);
+        assert_eq!(Lsn::from(5u64).raw(), 5);
+        assert_eq!(TxnId::from(5u64).raw(), 5);
+    }
+}

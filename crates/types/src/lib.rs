@@ -1,0 +1,31 @@
+//! Common types for the reproduction of Salem & Garcia-Molina,
+//! *Checkpointing Memory-Resident Databases* (ICDE 1989).
+//!
+//! This crate holds everything the rest of the workspace shares:
+//!
+//! * strongly-typed identifiers ([`RecordId`], [`SegmentId`], [`Lsn`],
+//!   [`TxnId`], [`Timestamp`], [`CheckpointId`]),
+//! * the paper's model parameters with the defaults of Tables 2a–2d
+//!   ([`Params`] and its sub-structs),
+//! * the instruction-cost accounting primitives ([`CostMeter`],
+//!   [`CostBreakdown`]) — the paper's performance metric is CPU
+//!   *instructions*, charged per basic operation, and every crate in the
+//!   workspace charges its work through these meters,
+//! * the checkpoint-algorithm enumeration ([`Algorithm`]) and shared
+//!   error type ([`MmdbError`]).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod params;
+
+pub use cost::{CostBreakdown, CostCategory, CostMeter, SharedCostMeter};
+pub use error::{MmdbError, Result};
+pub use ids::{CheckpointId, Lsn, RecordId, SegmentId, Timestamp, TxnId};
+pub use params::{
+    Algorithm, CkptMode, CostParams, DbParams, DiskParams, LogMode, Params, TxnParams, Word,
+    WORD_BYTES,
+};

@@ -1,0 +1,560 @@
+//! Model parameters, with the paper's defaults (Tables 2a–2d).
+//!
+//! The paper expresses every cost in *instructions* and every size in
+//! 32-bit *words*. We keep both conventions: [`Word`] is the storage unit
+//! everywhere in the workspace, and all CPU costs are instruction counts.
+
+use serde::{Deserialize, Serialize};
+
+/// The unit of storage: the paper assumes 4-byte words (§2.3 computes
+/// bandwidth at "four bytes per word").
+pub type Word = u32;
+
+/// Bytes per [`Word`].
+pub const WORD_BYTES: usize = 4;
+
+/// Basic operation costs — Table 2a, plus the data-movement rule
+/// (1 instruction per word moved, §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// `C_lock`: cost of each lock *or* unlock operation, in instructions.
+    pub c_lock: u64,
+    /// `C_alloc`: cost of dynamically allocating *or* deallocating a block
+    /// of memory, in instructions.
+    pub c_alloc: u64,
+    /// `C_io`: processor cost of initiating one disk I/O (DMA assumed, so
+    /// independent of transfer size), in instructions.
+    pub c_io: u64,
+    /// `C_lsn`: cost of checking or maintaining a log sequence number, in
+    /// instructions.
+    pub c_lsn: u64,
+    /// Instructions per word of data movement within primary memory.
+    /// The paper fixes this at 1 (§2.1); kept as a parameter so ablation
+    /// benches can vary it.
+    pub c_move_per_word: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            c_lock: 20,
+            c_alloc: 100,
+            c_io: 1000,
+            c_lsn: 20,
+            c_move_per_word: 1,
+        }
+    }
+}
+
+/// Disk model parameters — Table 2b.
+///
+/// A disk transfers `d` words in `T_seek + T_trans · d` seconds, and total
+/// transfer bandwidth scales linearly with the number of disks (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// `T_seek`: fixed per-I/O delay, in seconds.
+    pub t_seek: f64,
+    /// `T_trans`: transfer time, in seconds per word.
+    pub t_trans: f64,
+    /// `N_bdisks`: number of backup disks.
+    pub n_bdisks: u32,
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        DiskParams {
+            t_seek: 0.03,
+            t_trans: 3e-6,
+            n_bdisks: 20,
+        }
+    }
+}
+
+impl DiskParams {
+    /// Service time for a single I/O of `words` words on one disk.
+    #[inline]
+    pub fn service_time(&self, words: u64) -> f64 {
+        self.t_seek + self.t_trans * words as f64
+    }
+
+    /// Time to perform `n` I/Os of `words` words each, spread across the
+    /// whole array (the paper's linear-scaling assumption, §2.3).
+    #[inline]
+    pub fn array_time(&self, n: u64, words: u64) -> f64 {
+        n as f64 * self.service_time(words) / self.n_bdisks as f64
+    }
+
+    /// Effective array bandwidth in words/second when transferring in
+    /// units of `words`-word I/Os.
+    #[inline]
+    pub fn array_bandwidth(&self, words: u64) -> f64 {
+        self.n_bdisks as f64 * words as f64 / self.service_time(words)
+    }
+}
+
+/// Database shape parameters — Table 2c.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbParams {
+    /// `S_db`: database size in words.
+    pub s_db: u64,
+    /// `S_rec`: record size in words.
+    pub s_rec: u64,
+    /// `S_seg`: segment size in words — the unit of transfer to the backup
+    /// disks; must be a multiple of `s_rec`.
+    pub s_seg: u64,
+}
+
+impl Default for DbParams {
+    fn default() -> Self {
+        DbParams {
+            s_db: 256 << 20, // 256 Mwords = 1 GB
+            s_rec: 32,
+            s_seg: 8192,
+        }
+    }
+}
+
+impl DbParams {
+    /// Number of segments in the database.
+    #[inline]
+    pub fn n_segments(&self) -> u64 {
+        self.s_db / self.s_seg
+    }
+
+    /// Number of records in the database.
+    #[inline]
+    pub fn n_records(&self) -> u64 {
+        self.s_db / self.s_rec
+    }
+
+    /// Records per segment.
+    #[inline]
+    pub fn records_per_segment(&self) -> u64 {
+        self.s_seg / self.s_rec
+    }
+
+    /// Checks the divisibility constraints the paper assumes.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.s_rec == 0 || self.s_seg == 0 || self.s_db == 0 {
+            return Err("database parameters must be non-zero".into());
+        }
+        if self.s_seg % self.s_rec != 0 {
+            return Err(format!(
+                "segment size {} is not a multiple of record size {}",
+                self.s_seg, self.s_rec
+            ));
+        }
+        if self.s_db % self.s_seg != 0 {
+            return Err(format!(
+                "database size {} is not a multiple of segment size {}",
+                self.s_db, self.s_seg
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Transaction load parameters — Table 2d.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxnParams {
+    /// `λ`: transaction arrival rate, transactions/second.
+    pub lambda: f64,
+    /// `N_ru`: number of distinct records updated per transaction.
+    pub n_ru: u32,
+    /// `C_trans`: processor cost of one transaction exclusive of recovery
+    /// costs, in instructions.
+    pub c_trans: u64,
+}
+
+impl Default for TxnParams {
+    fn default() -> Self {
+        TxnParams {
+            lambda: 1000.0,
+            n_ru: 5,
+            c_trans: 25_000,
+        }
+    }
+}
+
+/// Whether the in-memory log tail is volatile (flushed to log disks, WAL
+/// gating via LSNs required) or stable (battery-backed RAM, §4's "stable
+/// log tail" scenario that enables `FASTFUZZY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LogMode {
+    /// Volatile tail: appended records become durable only when the tail
+    /// is flushed to the log disks. This is the paper's base assumption.
+    #[default]
+    VolatileTail,
+    /// Stable tail: records are durable the moment they are appended
+    /// (paper §4, Figure 4e).
+    StableTail,
+}
+
+/// Full vs partial checkpoints (paper §3): a *full* checkpoint writes
+/// every segment; a *partial* checkpoint writes only segments dirtied
+/// since they were last written to the target ping-pong copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CkptMode {
+    /// Back up only dirty segments (the paper's default for evaluation).
+    #[default]
+    Partial,
+    /// Back up every segment.
+    Full,
+}
+
+/// The checkpointing algorithms compared in the paper (§3, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Fuzzy checkpoint that copies each segment to an I/O buffer and
+    /// flushes the copy once the log has caught up (LSN-gated) — §3.1.
+    FuzzyCopy,
+    /// Two-color (Pu) transaction-consistent checkpoint that holds the
+    /// segment lock across the disk flush — §3.2.1.
+    TwoColorFlush,
+    /// Two-color TC checkpoint that copies the segment under lock and
+    /// flushes the copy unlocked — §3.2.1.
+    TwoColorCopy,
+    /// Copy-on-update TC checkpoint that flushes un-snapshotted segments
+    /// in place, holding the lock across the I/O — §3.2.2.
+    CouFlush,
+    /// Copy-on-update TC checkpoint that copies un-snapshotted segments
+    /// under lock and flushes unlocked — §3.2.2.
+    CouCopy,
+    /// Straightforward fuzzy checkpoint, flushing segments in place with
+    /// no locks and no LSN gating; sound only with a stable log tail — §4.
+    FastFuzzy,
+    /// Action-consistent copy-on-update (beyond the paper's five: §3.2.2's
+    /// footnote notes that the technique of \[DeWi84a\] produces AC, not TC,
+    /// backups unless the system is transaction-quiescent at begin).
+    /// `COUAC` skips the quiesce: transactions keep running through the
+    /// checkpoint begin, the begin marker carries the active list (as a
+    /// fuzzy checkpoint's does), and live-segment flushes need the LSN
+    /// write-ahead gate that TC-COU avoids.
+    CouAc,
+}
+
+impl Algorithm {
+    /// The five algorithms of the base comparison (Figure 4a).
+    pub const BASE_FIVE: [Algorithm; 5] = [
+        Algorithm::FuzzyCopy,
+        Algorithm::TwoColorFlush,
+        Algorithm::TwoColorCopy,
+        Algorithm::CouFlush,
+        Algorithm::CouCopy,
+    ];
+
+    /// All six of the paper's algorithms (Figure 4e adds `FASTFUZZY`).
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::FuzzyCopy,
+        Algorithm::TwoColorFlush,
+        Algorithm::TwoColorCopy,
+        Algorithm::CouFlush,
+        Algorithm::CouCopy,
+        Algorithm::FastFuzzy,
+    ];
+
+    /// Every implemented algorithm, including the beyond-paper `COUAC`.
+    pub const ALL_EXTENDED: [Algorithm; 7] = [
+        Algorithm::FuzzyCopy,
+        Algorithm::TwoColorFlush,
+        Algorithm::TwoColorCopy,
+        Algorithm::CouFlush,
+        Algorithm::CouCopy,
+        Algorithm::FastFuzzy,
+        Algorithm::CouAc,
+    ];
+
+    /// The paper's name for the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::FuzzyCopy => "FUZZYCOPY",
+            Algorithm::TwoColorFlush => "2CFLUSH",
+            Algorithm::TwoColorCopy => "2CCOPY",
+            Algorithm::CouFlush => "COUFLUSH",
+            Algorithm::CouCopy => "COUCOPY",
+            Algorithm::FastFuzzy => "FASTFUZZY",
+            Algorithm::CouAc => "COUAC",
+        }
+    }
+
+    /// Does the algorithm copy segments to a buffer before flushing?
+    pub fn copies_segments(self) -> bool {
+        matches!(
+            self,
+            Algorithm::FuzzyCopy | Algorithm::TwoColorCopy | Algorithm::CouCopy | Algorithm::CouAc
+        )
+    }
+
+    /// Does the algorithm use the two-color (paint-bit) protocol, which
+    /// can abort transactions that straddle colors?
+    pub fn is_two_color(self) -> bool {
+        matches!(self, Algorithm::TwoColorFlush | Algorithm::TwoColorCopy)
+    }
+
+    /// Does the algorithm use copy-on-update snapshots (transactions save
+    /// pre-images of not-yet-swept segments)?
+    pub fn is_cou(self) -> bool {
+        matches!(
+            self,
+            Algorithm::CouFlush | Algorithm::CouCopy | Algorithm::CouAc
+        )
+    }
+
+    /// Must transaction processing be quiesced when a checkpoint begins?
+    /// (What turns copy-on-update from action-consistent into
+    /// transaction-consistent, §3.2.2.)
+    pub fn requires_quiesce(self) -> bool {
+        matches!(self, Algorithm::CouFlush | Algorithm::CouCopy)
+    }
+
+    /// Does the algorithm produce a transaction-consistent backup?
+    pub fn is_transaction_consistent(self) -> bool {
+        self.is_two_color() || self.requires_quiesce()
+    }
+
+    /// Does the algorithm need LSN gating to respect the write-ahead-log
+    /// protocol? (COU does not: every update in its snapshot predates the
+    /// begin-checkpoint log force. With a stable tail nobody does.)
+    pub fn needs_lsn_gating(self, log_mode: LogMode) -> bool {
+        if log_mode == LogMode::StableTail {
+            return false;
+        }
+        match self {
+            Algorithm::FuzzyCopy | Algorithm::TwoColorFlush | Algorithm::TwoColorCopy => true,
+            // COUAC does not quiesce, so transactions active at begin can
+            // install updates (into not-yet-swept segments) whose log
+            // records postdate the begin force: live flushes must gate.
+            Algorithm::CouAc => true,
+            Algorithm::CouFlush | Algorithm::CouCopy => false,
+            // FASTFUZZY is only sound with a stable tail; the engine
+            // refuses to run it otherwise, so gating never applies.
+            Algorithm::FastFuzzy => false,
+        }
+    }
+
+    /// Is the algorithm sound under the given log mode? `FASTFUZZY`
+    /// requires a stable log tail (paper §3.1/§4); everything else works
+    /// under both modes.
+    pub fn sound_under(self, log_mode: LogMode) -> bool {
+        self != Algorithm::FastFuzzy || log_mode == LogMode::StableTail
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FUZZYCOPY" | "FUZZY_COPY" => Ok(Algorithm::FuzzyCopy),
+            "2CFLUSH" | "TWOCOLORFLUSH" | "2C_FLUSH" => Ok(Algorithm::TwoColorFlush),
+            "2CCOPY" | "TWOCOLORCOPY" | "2C_COPY" => Ok(Algorithm::TwoColorCopy),
+            "COUFLUSH" | "COU_FLUSH" => Ok(Algorithm::CouFlush),
+            "COUCOPY" | "COU_COPY" => Ok(Algorithm::CouCopy),
+            "FASTFUZZY" | "FAST_FUZZY" => Ok(Algorithm::FastFuzzy),
+            "COUAC" | "COU_AC" => Ok(Algorithm::CouAc),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// The complete parameter set: Tables 2a–2d plus the log-tail mode and
+/// checkpoint mode knobs from §3 and §4.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Params {
+    /// Basic operation costs (Table 2a).
+    pub cost: CostParams,
+    /// Disk model (Table 2b).
+    pub disk: DiskParams,
+    /// Database shape (Table 2c).
+    pub db: DbParams,
+    /// Transaction load (Table 2d).
+    pub txn: TxnParams,
+    /// Volatile vs stable log tail.
+    pub log_mode: LogMode,
+    /// Full vs partial checkpoints.
+    pub ckpt_mode: CkptMode,
+}
+
+impl Params {
+    /// The paper's default configuration.
+    pub fn paper_defaults() -> Params {
+        Params::default()
+    }
+
+    /// A small configuration suitable for unit tests and the simulator:
+    /// same proportions, scaled down ~4096× (64 Kwords, 32 segments).
+    pub fn small() -> Params {
+        Params {
+            db: DbParams {
+                s_db: 64 << 10,
+                s_rec: 32,
+                s_seg: 2048,
+            },
+            ..Params::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.db.validate()?;
+        if self.disk.n_bdisks == 0 {
+            return Err("need at least one backup disk".into());
+        }
+        if self.txn.n_ru as u64 > self.db.n_records() {
+            return Err("transaction updates more records than exist".into());
+        }
+        if self.txn.lambda.is_nan() || self.txn.lambda < 0.0 {
+            return Err("arrival rate must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Average rate at which a *given* segment is updated, in
+    /// updates/second (`μ` in DESIGN.md §5): uniform updates imply
+    /// `λ · N_ru / N_seg`.
+    pub fn segment_update_rate(&self) -> f64 {
+        self.txn.lambda * self.txn.n_ru as f64 / self.db.n_segments() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tables() {
+        let p = Params::paper_defaults();
+        // Table 2a
+        assert_eq!(p.cost.c_lock, 20);
+        assert_eq!(p.cost.c_alloc, 100);
+        assert_eq!(p.cost.c_io, 1000);
+        assert_eq!(p.cost.c_lsn, 20);
+        assert_eq!(p.cost.c_move_per_word, 1);
+        // Table 2b
+        assert_eq!(p.disk.t_seek, 0.03);
+        assert_eq!(p.disk.t_trans, 3e-6);
+        assert_eq!(p.disk.n_bdisks, 20);
+        // Table 2c
+        assert_eq!(p.db.s_db, 256 * 1024 * 1024);
+        assert_eq!(p.db.s_rec, 32);
+        assert_eq!(p.db.s_seg, 8192);
+        // Table 2d
+        assert_eq!(p.txn.lambda, 1000.0);
+        assert_eq!(p.txn.n_ru, 5);
+        assert_eq!(p.txn.c_trans, 25_000);
+    }
+
+    #[test]
+    fn derived_geometry() {
+        let p = Params::paper_defaults();
+        assert_eq!(p.db.n_segments(), 32_768);
+        assert_eq!(p.db.n_records(), 8 * 1024 * 1024);
+        assert_eq!(p.db.records_per_segment(), 256);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn full_flush_takes_about_90_seconds_at_defaults() {
+        // Calibration anchor from DESIGN.md §5: a full-database flush at
+        // the paper's defaults takes ≈ 90 s.
+        let p = Params::paper_defaults();
+        let t = p.disk.array_time(p.db.n_segments(), p.db.s_seg);
+        assert!((85.0..95.0).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn bandwidth_estimate_matches_paper_prose() {
+        // §2.3: "imagine that an entire 1 gigabyte database is to be
+        // checkpointed every 100 seconds (fast), requiring ten megabytes
+        // per second". Our array bandwidth at defaults should be in that
+        // ballpark (words/s × 4 bytes ≈ 12 MB/s).
+        let p = Params::paper_defaults();
+        let bw_bytes = p.disk.array_bandwidth(p.db.s_seg) * WORD_BYTES as f64;
+        assert!(bw_bytes > 10e6 && bw_bytes < 15e6, "got {bw_bytes}");
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut p = Params::paper_defaults();
+        p.db.s_seg = 100; // not a multiple of s_rec=32
+        assert!(p.validate().is_err());
+
+        let mut p = Params::paper_defaults();
+        p.db.s_db = 12_345; // not a multiple of s_seg
+        assert!(p.validate().is_err());
+
+        let mut p = Params::paper_defaults();
+        p.disk.n_bdisks = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = Params::small();
+        p.txn.n_ru = u32::MAX;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn algorithm_classification() {
+        use Algorithm::*;
+        assert!(FuzzyCopy.copies_segments());
+        assert!(TwoColorCopy.copies_segments());
+        assert!(CouCopy.copies_segments());
+        assert!(!TwoColorFlush.copies_segments());
+        assert!(!CouFlush.copies_segments());
+        assert!(!FastFuzzy.copies_segments());
+
+        assert!(TwoColorFlush.is_two_color() && TwoColorCopy.is_two_color());
+        assert!(CouFlush.is_cou() && CouCopy.is_cou() && CouAc.is_cou());
+        assert!(CouFlush.requires_quiesce() && CouCopy.requires_quiesce());
+        assert!(!CouAc.requires_quiesce(), "AC-COU runs through the begin");
+        assert!(!FuzzyCopy.is_transaction_consistent());
+        assert!(CouCopy.is_transaction_consistent());
+        assert!(TwoColorFlush.is_transaction_consistent());
+        assert!(!CouAc.is_transaction_consistent(), "AC, not TC");
+    }
+
+    #[test]
+    fn lsn_gating_rules() {
+        use Algorithm::*;
+        for a in Algorithm::ALL {
+            assert!(
+                !a.needs_lsn_gating(LogMode::StableTail),
+                "{a} should not gate with stable tail"
+            );
+        }
+        assert!(FuzzyCopy.needs_lsn_gating(LogMode::VolatileTail));
+        assert!(TwoColorFlush.needs_lsn_gating(LogMode::VolatileTail));
+        assert!(TwoColorCopy.needs_lsn_gating(LogMode::VolatileTail));
+        assert!(!CouFlush.needs_lsn_gating(LogMode::VolatileTail));
+        assert!(!CouCopy.needs_lsn_gating(LogMode::VolatileTail));
+        assert!(CouAc.needs_lsn_gating(LogMode::VolatileTail));
+    }
+
+    #[test]
+    fn fastfuzzy_requires_stable_tail() {
+        assert!(!Algorithm::FastFuzzy.sound_under(LogMode::VolatileTail));
+        assert!(Algorithm::FastFuzzy.sound_under(LogMode::StableTail));
+        assert!(Algorithm::FuzzyCopy.sound_under(LogMode::VolatileTail));
+    }
+
+    #[test]
+    fn algorithm_parse_roundtrip() {
+        for a in Algorithm::ALL_EXTENDED {
+            let parsed: Algorithm = a.name().parse().unwrap();
+            assert_eq!(parsed, a);
+        }
+        assert!("nonsense".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn segment_update_rate_at_defaults() {
+        let p = Params::paper_defaults();
+        let mu = p.segment_update_rate();
+        assert!((mu - 5000.0 / 32768.0).abs() < 1e-12);
+    }
+}

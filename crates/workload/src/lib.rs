@@ -1,0 +1,411 @@
+//! Workload generators for the checkpointing study.
+//!
+//! The paper's load model (§2.5) is deliberately simple: identical
+//! transactions arriving at rate `λ`, each updating `N_ru` distinct
+//! records chosen uniformly from the whole database. [`UniformWorkload`]
+//! reproduces it exactly; [`ZipfWorkload`] and [`HotSetWorkload`] are
+//! beyond-paper extensions used by the ablation benches (skew changes how
+//! quickly segments dirty, which partial checkpoints care about).
+//! [`ArrivalProcess`] supplies the Poisson arrival stream for the
+//! discrete-event simulator.
+//!
+//! Everything is deterministic under a seed, so simulator runs are
+//! reproducible.
+
+#![warn(missing_docs)]
+
+use mmdb_types::{RecordId, Word};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One generated transaction: the records it updates (distinct) and a
+/// deterministic fill value per update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// Sequence number of the transaction in this workload stream.
+    pub seq: u64,
+    /// The distinct records to update, with their new fill words.
+    pub updates: Vec<(RecordId, Word)>,
+}
+
+impl TxnSpec {
+    /// Materializes the update list with full record values of `s_rec`
+    /// words each.
+    pub fn materialize(&self, s_rec: usize) -> Vec<(RecordId, Vec<Word>)> {
+        self.updates
+            .iter()
+            .map(|(rid, fill)| (*rid, vec![*fill; s_rec]))
+            .collect()
+    }
+}
+
+/// A stream of transactions over a record space.
+pub trait Workload {
+    /// The next transaction in the stream.
+    fn next_txn(&mut self) -> TxnSpec;
+
+    /// Number of records in the workload's record space.
+    fn n_records(&self) -> u64;
+}
+
+fn distinct_records(
+    rng: &mut StdRng,
+    n_updates: u32,
+    mut pick: impl FnMut(&mut StdRng) -> u64,
+    seq: u64,
+) -> TxnSpec {
+    let mut records = Vec::with_capacity(n_updates as usize);
+    let mut updates = Vec::with_capacity(n_updates as usize);
+    while updates.len() < n_updates as usize {
+        let r = pick(rng);
+        if !records.contains(&r) {
+            records.push(r);
+            // a deterministic, non-zero fill derived from seq and slot
+            let fill = (seq as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(updates.len() as u32)
+                | 1;
+            updates.push((RecordId(r), fill));
+        }
+    }
+    TxnSpec { seq, updates }
+}
+
+/// The paper's workload: `N_ru` distinct records, uniform over the
+/// database (§2.5: "The update probability is distributed uniformly
+/// across all of the database records").
+#[derive(Debug)]
+pub struct UniformWorkload {
+    n_records: u64,
+    n_updates: u32,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl UniformWorkload {
+    /// A seeded uniform workload.
+    pub fn new(n_records: u64, n_updates: u32, seed: u64) -> UniformWorkload {
+        assert!(n_records >= n_updates as u64, "not enough records");
+        UniformWorkload {
+            n_records,
+            n_updates,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+        }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn next_txn(&mut self) -> TxnSpec {
+        self.seq += 1;
+        let n = self.n_records;
+        distinct_records(
+            &mut self.rng,
+            self.n_updates,
+            |rng| rng.random_range(0..n),
+            self.seq,
+        )
+    }
+
+    fn n_records(&self) -> u64 {
+        self.n_records
+    }
+}
+
+/// Zipf-distributed record popularity (beyond-paper): record `i` is drawn
+/// with probability ∝ `1/(i+1)^theta`. `theta = 0` degenerates to
+/// uniform; `theta ≈ 1` is the classic heavy skew.
+#[derive(Debug)]
+pub struct ZipfWorkload {
+    cumulative: Vec<f64>,
+    n_updates: u32,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl ZipfWorkload {
+    /// A seeded Zipf workload. `n_records` is capped in practice by the
+    /// cumulative table (8 bytes/record).
+    pub fn new(n_records: u64, n_updates: u32, theta: f64, seed: u64) -> ZipfWorkload {
+        assert!(n_records >= n_updates as u64, "not enough records");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cumulative = Vec::with_capacity(n_records as usize);
+        let mut total = 0.0f64;
+        for i in 0..n_records {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        // normalize
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfWorkload {
+            cumulative,
+            n_updates,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+        }
+    }
+
+    fn pick(&mut self) -> u64 {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        // first index with cumulative >= u
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.cumulative.len() as u64 - 1),
+        }
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn next_txn(&mut self) -> TxnSpec {
+        self.seq += 1;
+        let seq = self.seq;
+        let n_updates = self.n_updates;
+        let mut records = Vec::with_capacity(n_updates as usize);
+        let mut updates = Vec::with_capacity(n_updates as usize);
+        while updates.len() < n_updates as usize {
+            let r = self.pick();
+            if !records.contains(&r) {
+                records.push(r);
+                let fill = (seq as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(updates.len() as u32)
+                    | 1;
+                updates.push((RecordId(r), fill));
+            }
+        }
+        TxnSpec { seq, updates }
+    }
+
+    fn n_records(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+}
+
+/// Hot-set skew (beyond-paper): a fraction `hot_access` of updates go to
+/// the first `hot_records` fraction of the record space.
+#[derive(Debug)]
+pub struct HotSetWorkload {
+    n_records: u64,
+    hot_records: u64,
+    hot_access: f64,
+    n_updates: u32,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl HotSetWorkload {
+    /// E.g. `HotSetWorkload::new(n, 5, 0.1, 0.9, seed)`: 90% of updates
+    /// hit the hottest 10% of records.
+    pub fn new(
+        n_records: u64,
+        n_updates: u32,
+        hot_fraction: f64,
+        hot_access: f64,
+        seed: u64,
+    ) -> HotSetWorkload {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!((0.0..=1.0).contains(&hot_access));
+        let hot_records = ((n_records as f64 * hot_fraction) as u64).max(n_updates as u64);
+        HotSetWorkload {
+            n_records,
+            hot_records,
+            hot_access,
+            n_updates,
+            rng: StdRng::seed_from_u64(seed),
+            seq: 0,
+        }
+    }
+}
+
+impl Workload for HotSetWorkload {
+    fn next_txn(&mut self) -> TxnSpec {
+        self.seq += 1;
+        let (n, hot, p) = (self.n_records, self.hot_records, self.hot_access);
+        distinct_records(
+            &mut self.rng,
+            self.n_updates,
+            |rng| {
+                if rng.random_range(0.0..1.0) < p {
+                    rng.random_range(0..hot)
+                } else {
+                    rng.random_range(0..n)
+                }
+            },
+            self.seq,
+        )
+    }
+
+    fn n_records(&self) -> u64 {
+        self.n_records
+    }
+}
+
+/// Poisson arrivals at rate `λ` transactions/second (§2.5); interarrival
+/// times are exponential.
+#[derive(Debug)]
+pub struct ArrivalProcess {
+    lambda: f64,
+    rng: StdRng,
+    now: f64,
+}
+
+impl ArrivalProcess {
+    /// A seeded arrival process starting at time 0.
+    pub fn new(lambda: f64, seed: u64) -> ArrivalProcess {
+        assert!(lambda > 0.0, "arrival rate must be positive");
+        ArrivalProcess {
+            lambda,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+        }
+    }
+
+    /// The time of the next arrival (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        self.now += -u.ln() / self.lambda;
+        self.now
+    }
+
+    /// The configured rate.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_generates_distinct_records_in_range() {
+        let mut w = UniformWorkload::new(1000, 5, 42);
+        for _ in 0..200 {
+            let t = w.next_txn();
+            assert_eq!(t.updates.len(), 5);
+            let set: HashSet<_> = t.updates.iter().map(|(r, _)| r.raw()).collect();
+            assert_eq!(set.len(), 5, "records must be distinct");
+            assert!(set.iter().all(|&r| r < 1000));
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_under_seed() {
+        let mut a = UniformWorkload::new(1000, 5, 7);
+        let mut b = UniformWorkload::new(1000, 5, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+        let mut c = UniformWorkload::new(1000, 5, 8);
+        let differs = (0..50).any(|_| {
+            let mut a2 = UniformWorkload::new(1000, 5, 7);
+            a2.next_txn() != c.next_txn()
+        });
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn uniform_covers_the_space() {
+        let mut w = UniformWorkload::new(100, 5, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            for (r, _) in w.next_txn().updates {
+                seen.insert(r.raw());
+            }
+        }
+        assert!(seen.len() > 95, "uniform should touch nearly all records");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ids() {
+        let mut w = ZipfWorkload::new(10_000, 5, 1.0, 3);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for _ in 0..400 {
+            for (r, _) in w.next_txn().updates {
+                total += 1;
+                if r.raw() < 100 {
+                    hot += 1;
+                }
+            }
+        }
+        // under zipf(1.0), the top 1% of records draw far more than 1%
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.3, "zipf skew too weak: {frac}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let mut w = ZipfWorkload::new(10_000, 5, 0.0, 3);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for _ in 0..400 {
+            for (r, _) in w.next_txn().updates {
+                total += 1;
+                if r.raw() < 100 {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac < 0.05, "theta=0 should be ~1%: {frac}");
+    }
+
+    #[test]
+    fn hotset_concentrates_access() {
+        let mut w = HotSetWorkload::new(10_000, 5, 0.1, 0.9, 5);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for _ in 0..400 {
+            for (r, _) in w.next_txn().updates {
+                total += 1;
+                if r.raw() < 1000 {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.85, "expected ~91% hot access, got {frac}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_with_roughly_right_rate() {
+        let mut a = ArrivalProcess::new(100.0, 11);
+        let mut last = 0.0;
+        let mut t = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            t = a.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+        let measured = n as f64 / t;
+        assert!(
+            (measured - 100.0).abs() < 5.0,
+            "rate should be ≈100/s, measured {measured}"
+        );
+    }
+
+    #[test]
+    fn materialize_produces_full_records() {
+        let mut w = UniformWorkload::new(100, 2, 1);
+        let t = w.next_txn();
+        let m = t.materialize(32);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|(_, v)| v.len() == 32));
+        assert!(m.iter().all(|(_, v)| v[0] != 0), "fills are non-zero");
+    }
+
+    #[test]
+    fn txn_seq_increments() {
+        let mut w = UniformWorkload::new(100, 2, 1);
+        assert_eq!(w.next_txn().seq, 1);
+        assert_eq!(w.next_txn().seq, 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Concurrent driving: the engine is single-threaded by design (every
+//! interleaving is an explicit step), but it is `Send`, so a concurrent
+//! deployment wraps it in a mutex with a dedicated checkpointer thread —
+//! exactly the shape the paper's system implies (transactions on the
+//! processors, the checkpointer asynchronously alongside). This test runs
+//! that deployment: four worker threads committing transfers while a
+//! checkpointer thread takes continuous checkpoints, then crashes and
+//! verifies the invariants.
+
+use mmdb::{Algorithm, Mmdb, MmdbConfig, MmdbError, RecordId, StepOutcome};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const N_ACCOUNTS: u64 = 2048;
+const INITIAL: u32 = 1000;
+
+fn total(db: &Mmdb) -> u64 {
+    (0..N_ACCOUNTS)
+        .map(|a| db.read_committed(RecordId(a)).unwrap()[0] as u64)
+        .sum()
+}
+
+#[test]
+fn threaded_workers_and_checkpointer() {
+    for algorithm in [
+        Algorithm::CouCopy,
+        Algorithm::TwoColorCopy,
+        Algorithm::FuzzyCopy,
+    ] {
+        let cfg = MmdbConfig::small(algorithm);
+        let mut db = Mmdb::open_in_memory(cfg).unwrap();
+        let words = db.record_words();
+        for a in 0..N_ACCOUNTS {
+            let mut rec = vec![0u32; words];
+            rec[0] = INITIAL;
+            db.run_txn(&[(RecordId(a), rec)]).unwrap();
+        }
+        db.checkpoint().unwrap();
+
+        let db = Arc::new(Mutex::new(db));
+        let stop = Arc::new(AtomicBool::new(false));
+        let transfers_done = Arc::new(AtomicU64::new(0));
+        let checkpoints_done = Arc::new(AtomicU64::new(0));
+
+        // the checkpointer thread: begin + step until told to stop
+        let ckpt_handle = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let done = Arc::clone(&checkpoints_done);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut guard = db.lock().unwrap();
+                    if !guard.is_checkpoint_active() && !guard.is_quiescing() {
+                        // ignore "in progress" races
+                        let _ = guard.try_begin_checkpoint();
+                    }
+                    if guard.is_checkpoint_active() {
+                        match guard.checkpoint_step() {
+                            Ok(StepOutcome::Done { .. }) => {
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(StepOutcome::WaitingForLog) => {
+                                guard.force_log().unwrap();
+                            }
+                            Ok(StepOutcome::Progress { .. }) => {}
+                            Err(e) => panic!("checkpointer thread: {e}"),
+                        }
+                    }
+                    drop(guard);
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // worker threads: random transfers with two-color retry
+        let workers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                let stop = Arc::clone(&stop);
+                let count = Arc::clone(&transfers_done);
+                std::thread::spawn(move || {
+                    let mut x = 88172645463325252u64 ^ (w + 1); // xorshift
+                    let mut next = || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        let from = next() % N_ACCOUNTS;
+                        let to = (from + 1 + next() % (N_ACCOUNTS - 1)) % N_ACCOUNTS;
+                        let amount = (next() % 20 + 1) as u32;
+                        let mut guard = db.lock().unwrap();
+                        let result = (|| -> mmdb::Result<bool> {
+                            let txn = match guard.begin_txn() {
+                                Ok(t) => t,
+                                Err(MmdbError::Quiesced) => return Ok(false),
+                                Err(e) => return Err(e),
+                            };
+                            let mut src = guard.read(txn, RecordId(from))?;
+                            let mut dst = guard.read(txn, RecordId(to))?;
+                            if src[0] < amount {
+                                guard.abort(txn)?;
+                                return Ok(false);
+                            }
+                            src[0] -= amount;
+                            dst[0] += amount;
+                            guard.write(txn, RecordId(from), &src)?;
+                            guard.write(txn, RecordId(to), &dst)?;
+                            guard.commit(txn)?;
+                            Ok(true)
+                        })();
+                        match result {
+                            Ok(true) => {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(false) => {} // quiesced or insufficient funds
+                            Err(MmdbError::TwoColorViolation { .. }) => {} // retried later
+                            Err(e) => panic!("worker {w}: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // let the system churn until real work has accumulated
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            if transfers_done.load(Ordering::Relaxed) > 2_000
+                && checkpoints_done.load(Ordering::Relaxed) > 2
+            {
+                break;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+        ckpt_handle.join().unwrap();
+
+        let mut db = Arc::try_unwrap(db)
+            .unwrap_or_else(|_| panic!("threads leaked an Arc"))
+            .into_inner()
+            .unwrap();
+
+        // money is conserved under concurrency...
+        assert_eq!(total(&db), N_ACCOUNTS * INITIAL as u64, "{algorithm}");
+        // ...and across a crash
+        let before = db.fingerprint();
+        db.crash().unwrap();
+        db.recover().unwrap();
+        assert_eq!(db.fingerprint(), before, "{algorithm}");
+        assert_eq!(total(&db), N_ACCOUNTS * INITIAL as u64, "{algorithm}");
+        println!(
+            "{algorithm}: {} transfers, {} checkpoints, {} two-color aborts",
+            transfers_done.load(Ordering::Relaxed),
+            checkpoints_done.load(Ordering::Relaxed),
+            db.txn_stats().aborted_two_color
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The crash matrix: every algorithm × every crash point.
+//!
+//! For each checkpointing algorithm, the test drives a fixed workload
+//! with a checkpoint interleaved, crashing after *every possible number
+//! of checkpoint steps* (including before the first and after the last),
+//! and checks that recovery reproduces the committed state exactly.
+//! This is the paper's §2.7 system-failure model made exhaustive: a
+//! memory-resident database may die at any instant, and the ping-pong
+//! backup plus REDO log must always reconstruct the committed state.
+
+use mmdb::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId, StepOutcome};
+
+fn config(algorithm: Algorithm) -> MmdbConfig {
+    let mut cfg = MmdbConfig::small(algorithm);
+    if algorithm == Algorithm::FastFuzzy {
+        cfg.params.log_mode = LogMode::StableTail;
+    }
+    cfg
+}
+
+fn val(db: &Mmdb, fill: u32) -> Vec<u32> {
+    vec![fill; db.record_words()]
+}
+
+/// Runs the scenario, crashing after `crash_after_steps` checkpoint
+/// steps of the *second* checkpoint; returns (pre-crash fingerprint,
+/// post-recovery fingerprint). `steps_taken` reports how many steps the
+/// checkpoint actually had.
+fn scenario(algorithm: Algorithm, crash_after_steps: usize) -> (u64, u64, usize) {
+    let mut db = Mmdb::open_in_memory(config(algorithm)).unwrap();
+
+    // phase 1: base data + a first complete checkpoint
+    for i in 0..60u64 {
+        db.run_txn(&[(RecordId((i * 37) % 2048), val(&db, 100 + i as u32))])
+            .unwrap();
+    }
+    db.checkpoint().unwrap();
+
+    // phase 2: more commits, then a second checkpoint interleaved with
+    // commits, crashed after N steps
+    for i in 0..20u64 {
+        db.run_txn(&[(RecordId((i * 53 + 5) % 2048), val(&db, 500 + i as u32))])
+            .unwrap();
+    }
+    db.try_begin_checkpoint().unwrap();
+    let mut steps = 0usize;
+    while steps < crash_after_steps && db.is_checkpoint_active() {
+        // one commit between steps so the checkpoint races real updates
+        db.run_txn(&[(
+            RecordId((steps as u64 * 29 + 11) % 2048),
+            val(&db, 900 + steps as u32),
+        )])
+        .unwrap();
+        match db.checkpoint_step().unwrap() {
+            StepOutcome::Done { .. } => {}
+            StepOutcome::WaitingForLog => db.force_log().unwrap(),
+            StepOutcome::Progress { .. } => {}
+        }
+        steps += 1;
+    }
+
+    let before = db.fingerprint();
+    db.crash().unwrap();
+    db.recover().unwrap();
+    (before, db.fingerprint(), steps)
+}
+
+#[test]
+fn crash_matrix_all_algorithms_all_points() {
+    for algorithm in Algorithm::ALL_EXTENDED {
+        // first find out how many steps a full run takes
+        let (_, _, max_steps) = scenario(algorithm, usize::MAX >> 1);
+        assert!(
+            max_steps > 3,
+            "{algorithm}: scenario too short to be interesting"
+        );
+        // crash at every point: 0 steps (just begun), each mid-point,
+        // and past the end (checkpoint completed, then crash)
+        for crash_at in 0..=max_steps + 1 {
+            let (before, after, _) = scenario(algorithm, crash_at);
+            assert_eq!(
+                before, after,
+                "{algorithm}: recovery diverged when crashing after {crash_at} steps"
+            );
+        }
+    }
+}
+
+#[test]
+fn double_crash_during_recovery_window() {
+    // Crash again immediately after recovery (before any new checkpoint):
+    // the same backup must still be there.
+    for algorithm in Algorithm::ALL_EXTENDED {
+        let mut db = Mmdb::open_in_memory(config(algorithm)).unwrap();
+        for i in 0..30u64 {
+            db.run_txn(&[(RecordId(i % 2048), val(&db, i as u32 + 1))])
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        db.run_txn(&[(RecordId(7), val(&db, 777))]).unwrap();
+        let committed = db.fingerprint();
+
+        db.crash().unwrap();
+        db.recover().unwrap();
+        assert_eq!(db.fingerprint(), committed, "{algorithm}: first recovery");
+
+        db.crash().unwrap();
+        db.recover().unwrap();
+        assert_eq!(db.fingerprint(), committed, "{algorithm}: second recovery");
+    }
+}
+
+#[test]
+fn repeated_crash_checkpoint_cycles() {
+    // Ten cycles of work → checkpoint → more work → crash → recover,
+    // alternating ping-pong copies throughout.
+    for algorithm in [
+        Algorithm::FuzzyCopy,
+        Algorithm::CouCopy,
+        Algorithm::TwoColorCopy,
+    ] {
+        let mut db = Mmdb::open_in_memory(config(algorithm)).unwrap();
+        for round in 0..10u64 {
+            for i in 0..15u64 {
+                db.run_txn(&[(
+                    RecordId((round * 211 + i * 13) % 2048),
+                    val(&db, (round * 100 + i) as u32),
+                )])
+                .unwrap();
+            }
+            db.checkpoint().unwrap();
+            db.run_txn(&[(RecordId(round % 2048), val(&db, 4242 + round as u32))])
+                .unwrap();
+            let committed = db.fingerprint();
+            db.crash().unwrap();
+            db.recover().unwrap();
+            assert_eq!(db.fingerprint(), committed, "{algorithm}: round {round}");
+        }
+    }
+}
+
+#[test]
+fn crash_during_quiesce_wait() {
+    // A COU checkpoint stuck waiting for a straggler transaction when the
+    // system dies: the straggler's staged writes must vanish, the
+    // checkpoint must not exist, and the previous checkpoint must recover.
+    let mut db = Mmdb::open_in_memory(config(Algorithm::CouCopy)).unwrap();
+    for i in 0..20u64 {
+        db.run_txn(&[(RecordId(i), val(&db, i as u32 + 1))])
+            .unwrap();
+    }
+    db.checkpoint().unwrap();
+    let committed = db.fingerprint();
+
+    let straggler = db.begin_txn().unwrap();
+    db.write(straggler, RecordId(100), &val(&db, 666)).unwrap();
+    assert_eq!(
+        db.try_begin_checkpoint().unwrap(),
+        mmdb::CheckpointStart::Quiescing
+    );
+    db.crash().unwrap();
+    db.recover().unwrap();
+    assert_eq!(db.fingerprint(), committed);
+    assert_eq!(db.read_committed(RecordId(100)).unwrap(), val(&db, 0));
+}

@@ -1,0 +1,154 @@
+//! Property-based durability: arbitrary interleavings of transactions,
+//! checkpoint begins/steps and crashes must always recover to exactly
+//! the committed state, for every algorithm.
+//!
+//! A reference model (a plain `HashMap` of committed record values) is
+//! maintained alongside the engine; after every crash+recovery the whole
+//! database is compared against it.
+
+use mmdb::{Algorithm, LogMode, Mmdb, MmdbConfig, MmdbError, RecordId, StepOutcome};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Run a transaction updating the given (record, fill) pairs.
+    Txn(Vec<(u64, u32)>),
+    /// Request a checkpoint (no-op if one is active).
+    CkptBegin,
+    /// Take up to N checkpoint steps (no-op if none active).
+    CkptSteps(u8),
+    /// Crash and recover, then verify against the reference model.
+    CrashRecover,
+}
+
+fn op_strategy(n_records: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => proptest::collection::vec((0..n_records, 1u32..u32::MAX), 1..6).prop_map(Op::Txn),
+        2 => Just(Op::CkptBegin),
+        3 => (1u8..20).prop_map(Op::CkptSteps),
+        1 => Just(Op::CrashRecover),
+    ]
+}
+
+fn check_against_reference(db: &Mmdb, reference: &HashMap<u64, u32>) {
+    let words = db.record_words();
+    for rid in 0..db.n_records() {
+        let expected_fill = reference.get(&rid).copied().unwrap_or(0);
+        let actual = db.read_committed(RecordId(rid)).unwrap();
+        assert_eq!(
+            actual,
+            vec![expected_fill; words],
+            "record {rid} diverged from the reference model"
+        );
+    }
+}
+
+fn run_ops(algorithm: Algorithm, ops: &[Op]) {
+    let mut cfg = MmdbConfig::small(algorithm);
+    // an even smaller database keeps the full-database comparison fast
+    cfg.params.db.s_db = 16 << 10; // 8 segments, 512 records
+    if algorithm == Algorithm::FastFuzzy {
+        cfg.params.log_mode = LogMode::StableTail;
+    }
+    let mut db = Mmdb::open_in_memory(cfg).unwrap();
+    let words = db.record_words();
+    let mut reference: HashMap<u64, u32> = HashMap::new();
+    let mut has_checkpoint = false;
+
+    for op in ops {
+        match op {
+            Op::Txn(updates) => {
+                let materialized: Vec<(RecordId, Vec<u32>)> = updates
+                    .iter()
+                    .map(|(rid, fill)| (RecordId(*rid), vec![*fill; words]))
+                    .collect();
+                db.run_txn(&materialized).unwrap();
+                for (rid, fill) in updates {
+                    reference.insert(*rid, *fill);
+                }
+            }
+            Op::CkptBegin => match db.try_begin_checkpoint() {
+                Ok(_) => {}
+                Err(MmdbError::CheckpointInProgress) => {}
+                Err(e) => panic!("unexpected begin error: {e}"),
+            },
+            Op::CkptSteps(n) => {
+                for _ in 0..*n {
+                    if !db.is_checkpoint_active() {
+                        break;
+                    }
+                    match db.checkpoint_step().unwrap() {
+                        StepOutcome::Done { .. } => {
+                            has_checkpoint = true;
+                            break;
+                        }
+                        StepOutcome::WaitingForLog => db.force_log().unwrap(),
+                        StepOutcome::Progress { .. } => {}
+                    }
+                }
+            }
+            Op::CrashRecover => {
+                db.crash().unwrap();
+                match db.recover() {
+                    Ok(_) => check_against_reference(&db, &reference),
+                    Err(MmdbError::NoCompleteBackup) => {
+                        // legitimate only if no checkpoint ever completed
+                        assert!(!has_checkpoint, "backup vanished");
+                        return; // the engine is unusable from here
+                    }
+                    Err(e) => panic!("recovery failed: {e}"),
+                }
+            }
+        }
+    }
+    // final verdict: crash at the very end too
+    db.crash().unwrap();
+    match db.recover() {
+        Ok(_) => check_against_reference(&db, &reference),
+        Err(MmdbError::NoCompleteBackup) => assert!(!has_checkpoint),
+        Err(e) => panic!("final recovery failed: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fuzzycopy_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::FuzzyCopy, &ops);
+    }
+
+    #[test]
+    fn fastfuzzy_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::FastFuzzy, &ops);
+    }
+
+    #[test]
+    fn coucopy_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::CouCopy, &ops);
+    }
+
+    #[test]
+    fn couflush_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::CouFlush, &ops);
+    }
+
+    #[test]
+    fn two_color_copy_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::TwoColorCopy, &ops);
+    }
+
+    #[test]
+    fn two_color_flush_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::TwoColorFlush, &ops);
+    }
+
+    #[test]
+    fn couac_durable(ops in proptest::collection::vec(op_strategy(512), 1..40)) {
+        run_ops(Algorithm::CouAc, &ops);
+    }
+}
