@@ -1,0 +1,610 @@
+//! The five online checker state machines.
+//!
+//! Each checker consumes the full event stream, keeps the minimal state its
+//! invariant needs, and appends an [`AuditViolation`] the moment the stream
+//! contradicts the protocol. DESIGN.md's "Invariant catalog" maps each one
+//! back to the paper's algorithm descriptions.
+
+use crate::event::{AuditEvent, CopySummary, PaintColor};
+use mmdb_types::{CheckpointId, Lsn, SegmentId, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Which invariant checker raised a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckerId {
+    /// No segment image reaches backup before its log records are durable.
+    WalGate,
+    /// Two-color paint discipline for transaction installs and the sweep.
+    Paint,
+    /// COU old copies live only inside an active checkpoint, swept at end.
+    CouLifetime,
+    /// Ping-pong copies alternate; recovery picks the newest complete copy.
+    PingPong,
+    /// LSNs and checkpoint ids are monotone.
+    Monotonic,
+}
+
+impl CheckerId {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckerId::WalGate => "wal-gate",
+            CheckerId::Paint => "paint",
+            CheckerId::CouLifetime => "cou-lifetime",
+            CheckerId::PingPong => "ping-pong",
+            CheckerId::Monotonic => "monotonic",
+        }
+    }
+}
+
+impl fmt::Display for CheckerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single detected protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// The checker that fired.
+    pub checker: CheckerId,
+    /// Sequence number of the offending event in the stream.
+    pub seq: u64,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] event #{}: {}",
+            self.checker, self.seq, self.message
+        )
+    }
+}
+
+fn violation(
+    out: &mut Vec<AuditViolation>,
+    checker: CheckerId,
+    seq: u64,
+    message: impl Into<String>,
+) {
+    out.push(AuditViolation {
+        checker,
+        seq,
+        message: message.into(),
+    });
+}
+
+/// Checker 1: the WAL/LSN gate (paper §2.1's "log before backup" rule).
+///
+/// Every segment image written to a backup copy must contain only updates
+/// whose log records are already durable, regardless of which algorithm and
+/// flush path produced the write.
+#[derive(Debug, Default)]
+pub struct WalGateChecker {
+    /// Number of flushes and gate probes verified.
+    pub checks: u64,
+}
+
+impl WalGateChecker {
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::WalGateChecked {
+                sid,
+                gate,
+                durable,
+                open,
+            } => {
+                self.checks += 1;
+                if open != (durable >= gate) {
+                    violation(
+                        out,
+                        CheckerId::WalGate,
+                        seq,
+                        format!(
+                            "gate probe for {sid:?} reported open={open} but durable {durable} \
+                             vs gate {gate} says {}",
+                            durable >= gate
+                        ),
+                    );
+                }
+            }
+            AuditEvent::SegmentFlushed {
+                sid,
+                image_max_lsn,
+                durable,
+                from_old_copy,
+                ..
+            } => {
+                self.checks += 1;
+                if image_max_lsn > durable {
+                    violation(
+                        out,
+                        CheckerId::WalGate,
+                        seq,
+                        format!(
+                            "{sid:?} reached backup with image max LSN {image_max_lsn} beyond \
+                             the durable horizon {durable} (from_old_copy={from_old_copy})"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checker 2: two-color paint discipline (paper §4's black/white scheme).
+///
+/// While a two-color checkpoint is active, a committing transaction must not
+/// install across both colors, the sweep may repaint each white segment black
+/// exactly once, and the checkpoint may not complete while white segments
+/// remain unvisited.
+#[derive(Debug, Default)]
+pub struct PaintChecker {
+    /// Number of installs and paint flips verified.
+    pub checks: u64,
+    active: Option<CheckpointId>,
+    whites_at_begin: u64,
+    blacked: HashSet<SegmentId>,
+    txn_colors: HashMap<TxnId, PaintColor>,
+}
+
+impl PaintChecker {
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::CkptBegun {
+                ckpt,
+                algorithm,
+                whites,
+                ..
+            } if algorithm.is_two_color() => {
+                self.active = Some(ckpt);
+                self.whites_at_begin = whites;
+                self.blacked.clear();
+                self.txn_colors.clear();
+            }
+            AuditEvent::PaintFlipped { sid, to } => {
+                self.checks += 1;
+                match (self.active, to) {
+                    (None, _) => violation(
+                        out,
+                        CheckerId::Paint,
+                        seq,
+                        format!("{sid:?} repainted outside an active two-color checkpoint"),
+                    ),
+                    (Some(_), PaintColor::White) => violation(
+                        out,
+                        CheckerId::Paint,
+                        seq,
+                        format!("{sid:?} repainted white during an active checkpoint"),
+                    ),
+                    (Some(_), PaintColor::Black) => {
+                        if !self.blacked.insert(sid) {
+                            violation(
+                                out,
+                                CheckerId::Paint,
+                                seq,
+                                format!("{sid:?} painted black twice in one checkpoint"),
+                            );
+                        } else if self.blacked.len() as u64 > self.whites_at_begin {
+                            violation(
+                                out,
+                                CheckerId::Paint,
+                                seq,
+                                format!(
+                                    "sweep painted {} segments black but only {} were white \
+                                     at begin",
+                                    self.blacked.len(),
+                                    self.whites_at_begin
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            AuditEvent::InstallObserved { txn, sid, color } => {
+                if self.active.is_none() {
+                    return;
+                }
+                self.checks += 1;
+                if color == PaintColor::White && self.blacked.contains(&sid) {
+                    violation(
+                        out,
+                        CheckerId::Paint,
+                        seq,
+                        format!(
+                            "{txn:?} installed into {sid:?} as white after the sweep \
+                                 painted it black"
+                        ),
+                    );
+                }
+                match self.txn_colors.get(&txn) {
+                    None => {
+                        self.txn_colors.insert(txn, color);
+                    }
+                    Some(&first) if first != color => violation(
+                        out,
+                        CheckerId::Paint,
+                        seq,
+                        format!(
+                            "{txn:?} installed across both colors ({first:?} then {color:?}) \
+                             without a checkpoint-induced abort"
+                        ),
+                    ),
+                    Some(_) => {}
+                }
+            }
+            AuditEvent::CkptCompleted { ckpt, .. } => {
+                if self.active == Some(ckpt) {
+                    let blacked = self.blacked.len() as u64;
+                    if blacked < self.whites_at_begin {
+                        violation(
+                            out,
+                            CheckerId::Paint,
+                            seq,
+                            format!(
+                                "checkpoint {ckpt:?} completed with {} of {} white segments \
+                                 never visited",
+                                self.whites_at_begin - blacked,
+                                self.whites_at_begin
+                            ),
+                        );
+                    }
+                }
+                self.active = None;
+                self.blacked.clear();
+                self.txn_colors.clear();
+            }
+            AuditEvent::Crash => {
+                self.active = None;
+                self.blacked.clear();
+                self.txn_colors.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checker 3: COU old-copy lifetime (paper §5's copy-on-update rule).
+///
+/// Old copies may be created only inside an active COU checkpoint, at most
+/// once per segment, must be consumed by the sweep (never left behind at
+/// completion), and a clean segment must never hold one.
+#[derive(Debug, Default)]
+pub struct CouChecker {
+    /// Number of lifetime transitions verified.
+    pub checks: u64,
+    active: Option<CheckpointId>,
+    old: HashSet<SegmentId>,
+}
+
+impl CouChecker {
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::CkptBegun {
+                ckpt, algorithm, ..
+            } if algorithm.is_cou() => {
+                self.active = Some(ckpt);
+            }
+            AuditEvent::OldCopyCreated { sid } => {
+                self.checks += 1;
+                if self.active.is_none() {
+                    violation(
+                        out,
+                        CheckerId::CouLifetime,
+                        seq,
+                        format!("old copy of {sid:?} created outside an active COU checkpoint"),
+                    );
+                }
+                if !self.old.insert(sid) {
+                    violation(
+                        out,
+                        CheckerId::CouLifetime,
+                        seq,
+                        format!("old copy of {sid:?} saved twice without being consumed"),
+                    );
+                }
+            }
+            AuditEvent::OldCopySwept { sid } => {
+                self.checks += 1;
+                if !self.old.remove(&sid) {
+                    violation(
+                        out,
+                        CheckerId::CouLifetime,
+                        seq,
+                        format!("sweep consumed an old copy of {sid:?} that was never created"),
+                    );
+                }
+            }
+            AuditEvent::OldCopyDropped { sid } => {
+                // Crash-path cleanup; legal whenever the copy exists.
+                self.old.remove(&sid);
+            }
+            AuditEvent::CleanSegmentSkipped { sid, has_old } => {
+                self.checks += 1;
+                if has_old || self.old.contains(&sid) {
+                    violation(
+                        out,
+                        CheckerId::CouLifetime,
+                        seq,
+                        format!("clean segment {sid:?} holds an old copy"),
+                    );
+                }
+            }
+            AuditEvent::CkptCompleted {
+                ckpt,
+                old_copies_left,
+                ..
+            } => {
+                if self.active == Some(ckpt) {
+                    self.checks += 1;
+                    let leaked = self.old.len() as u64;
+                    if leaked > 0 || old_copies_left > 0 {
+                        violation(
+                            out,
+                            CheckerId::CouLifetime,
+                            seq,
+                            format!(
+                                "checkpoint {ckpt:?} completed with {} old copies leaked past \
+                                 the sweep (storage reports {old_copies_left})",
+                                leaked.max(old_copies_left)
+                            ),
+                        );
+                    }
+                }
+                self.active = None;
+                self.old.clear();
+            }
+            AuditEvent::Crash => {
+                // Old copies are volatile: a crash legitimately discards them.
+                self.active = None;
+                self.old.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checker 4: ping-pong alternation and recovery choice (paper §2.2).
+///
+/// Checkpoint `k` writes copy `k mod 2`; consecutive checkpoints never write
+/// the same copy; segment writes land only inside a durably-marked
+/// in-progress window; and recovery restores the complete copy with the
+/// highest checkpoint id.
+#[derive(Debug, Default)]
+pub struct PingPongChecker {
+    /// Number of transitions and recovery choices verified.
+    pub checks: u64,
+    open_copy: Option<(usize, CheckpointId)>,
+    current: Option<(CheckpointId, usize)>,
+    last_completed: Option<(CheckpointId, usize)>,
+}
+
+impl PingPongChecker {
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::BackupMarkInProgress { copy, ckpt } => {
+                self.checks += 1;
+                if let Some((c, k)) = self.open_copy {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "copy {copy} marked in-progress for {ckpt:?} while copy {c} is \
+                             still open for {k:?}"
+                        ),
+                    );
+                }
+                self.open_copy = Some((copy, ckpt));
+            }
+            AuditEvent::CkptBegun { ckpt, copy, .. } => {
+                self.checks += 1;
+                if copy != ckpt.pingpong_copy() {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "checkpoint {ckpt:?} writes copy {copy}, violating ping-pong \
+                             parity (expected copy {})",
+                            ckpt.pingpong_copy()
+                        ),
+                    );
+                }
+                if let Some((_, last_copy)) = self.last_completed {
+                    if copy == last_copy {
+                        violation(
+                            out,
+                            CheckerId::PingPong,
+                            seq,
+                            format!(
+                                "checkpoint {ckpt:?} overwrites copy {copy}, the only \
+                                 complete checkpoint"
+                            ),
+                        );
+                    }
+                }
+                if self.open_copy != Some((copy, ckpt)) {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "checkpoint {ckpt:?} began without durably marking copy {copy} \
+                             in-progress first"
+                        ),
+                    );
+                }
+                self.current = Some((ckpt, copy));
+            }
+            AuditEvent::SegmentFlushed {
+                ckpt, copy, sid, ..
+            } => {
+                self.checks += 1;
+                if self.open_copy != Some((copy, ckpt)) {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "{sid:?} written to copy {copy} outside {ckpt:?}'s in-progress \
+                             window"
+                        ),
+                    );
+                }
+            }
+            AuditEvent::BackupMarkComplete { copy, ckpt } => {
+                self.checks += 1;
+                if self.open_copy != Some((copy, ckpt)) {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "copy {copy} marked complete for {ckpt:?} without a matching \
+                             in-progress mark"
+                        ),
+                    );
+                }
+                self.open_copy = None;
+                self.last_completed = Some((ckpt, copy));
+            }
+            AuditEvent::CkptCompleted { ckpt, copy, .. } => {
+                self.checks += 1;
+                if self.last_completed != Some((ckpt, copy)) {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "checkpoint {ckpt:?} reported complete before copy {copy} was \
+                             durably marked complete"
+                        ),
+                    );
+                }
+                self.current = None;
+            }
+            AuditEvent::Crash => {
+                // A torn checkpoint dies with the crash; its durable
+                // in-progress mark is ignored by recovery.
+                self.current = None;
+                self.open_copy = None;
+            }
+            AuditEvent::RecoveryChosen { ckpt, copy, copies } => {
+                self.checks += 1;
+                if copies.get(copy).copied() != Some(CopySummary::Complete(ckpt)) {
+                    violation(
+                        out,
+                        CheckerId::PingPong,
+                        seq,
+                        format!(
+                            "recovery restored {ckpt:?} from copy {copy}, but that copy's \
+                             durable status is {:?}",
+                            copies.get(copy)
+                        ),
+                    );
+                }
+                for (i, status) in copies.iter().enumerate() {
+                    if let CopySummary::Complete(other) = *status {
+                        if other > ckpt {
+                            violation(
+                                out,
+                                CheckerId::PingPong,
+                                seq,
+                                format!(
+                                    "recovery restored {ckpt:?} but copy {i} holds the more \
+                                     recent complete checkpoint {other:?}"
+                                ),
+                            );
+                        }
+                    }
+                }
+                self.last_completed = Some((ckpt, copy));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checker 5: monotonicity of the durable LSN horizon and checkpoint ids.
+///
+/// The durable horizon never regresses (a crash only discards the volatile
+/// tail), and checkpoint ids strictly increase except across a recovery,
+/// which renumbers from the restored checkpoint.
+#[derive(Debug, Default)]
+pub struct MonotonicChecker {
+    /// Number of orderings verified.
+    pub checks: u64,
+    max_durable: Lsn,
+    last_begun: Option<CheckpointId>,
+    last_completed: Option<CheckpointId>,
+}
+
+impl MonotonicChecker {
+    fn observe_durable(&mut self, seq: u64, durable: Lsn, out: &mut Vec<AuditViolation>) {
+        self.checks += 1;
+        if durable < self.max_durable {
+            violation(
+                out,
+                CheckerId::Monotonic,
+                seq,
+                format!(
+                    "durable LSN regressed from {} to {durable}",
+                    self.max_durable
+                ),
+            );
+        } else {
+            self.max_durable = durable;
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::LogForced { durable }
+            | AuditEvent::WalGateChecked { durable, .. }
+            | AuditEvent::SegmentFlushed { durable, .. } => {
+                self.observe_durable(seq, durable, out);
+            }
+            AuditEvent::CkptBegun { ckpt, .. } => {
+                self.checks += 1;
+                if let Some(last) = self.last_begun {
+                    if ckpt <= last {
+                        violation(
+                            out,
+                            CheckerId::Monotonic,
+                            seq,
+                            format!("checkpoint id {ckpt:?} begun after {last:?}"),
+                        );
+                    }
+                }
+                self.last_begun = Some(ckpt);
+            }
+            AuditEvent::CkptCompleted { ckpt, .. } => {
+                self.checks += 1;
+                if let Some(last) = self.last_completed {
+                    if ckpt <= last {
+                        violation(
+                            out,
+                            CheckerId::Monotonic,
+                            seq,
+                            format!("checkpoint id {ckpt:?} completed after {last:?}"),
+                        );
+                    }
+                }
+                self.last_completed = Some(ckpt);
+            }
+            AuditEvent::RecoveryChosen { ckpt, .. } => {
+                // A crash may have torn a later checkpoint whose id gets
+                // reused; ids restart strictly above the restored one.
+                self.last_begun = Some(ckpt);
+                self.last_completed = Some(ckpt);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The typed protocol-event stream consumed by the invariant checkers.
+
+use mmdb_types::{Algorithm, CheckpointId, Lsn, SegmentId, TxnId};
+
+/// Paint color of a segment as seen by the audit stream.
+///
+/// Mirrors `mmdb_storage::Color`; duplicated so the audit crate sits below
+/// storage in the dependency graph and can also check synthetic streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaintColor {
+    /// Not yet visited by the active two-color checkpoint.
+    White,
+    /// Already checkpointed (or no checkpoint active).
+    Black,
+}
+
+/// Durable state of one ping-pong backup copy, as read from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopySummary {
+    /// Never seeded.
+    Empty,
+    /// A checkpoint began writing this copy and has not completed.
+    InProgress(CheckpointId),
+    /// Holds a complete checkpoint.
+    Complete(CheckpointId),
+}
+
+/// One protocol event, emitted by the engine, checkpointer, log manager or
+/// backup store when auditing is enabled.
+///
+/// Events carry enough context for the checkers to validate each invariant
+/// online, without access to the components that emitted them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// The log manager advanced its durable horizon.
+    LogForced {
+        /// The new durable LSN.
+        durable: Lsn,
+    },
+    /// A flush consulted the WAL gate for a captured segment image.
+    WalGateChecked {
+        /// Segment whose image is waiting.
+        sid: SegmentId,
+        /// Highest LSN contained in the captured image.
+        gate: Lsn,
+        /// The log's durable LSN at the time of the check.
+        durable: Lsn,
+        /// Whether the gate was open (`durable >= gate`).
+        open: bool,
+    },
+    /// A segment image was written to a backup copy.
+    SegmentFlushed {
+        /// Checkpoint performing the write.
+        ckpt: CheckpointId,
+        /// Backup copy written (0 or 1).
+        copy: usize,
+        /// Segment written.
+        sid: SegmentId,
+        /// Highest LSN contained in the written image.
+        image_max_lsn: Lsn,
+        /// The log's durable LSN at the time of the write.
+        durable: Lsn,
+        /// Whether the image came from a COU old copy.
+        from_old_copy: bool,
+    },
+    /// A segment changed paint color.
+    PaintFlipped {
+        /// Segment repainted.
+        sid: SegmentId,
+        /// New color.
+        to: PaintColor,
+    },
+    /// A committing transaction installed into a segment while a two-color
+    /// checkpoint was active.
+    InstallObserved {
+        /// The committing transaction.
+        txn: TxnId,
+        /// Segment installed into.
+        sid: SegmentId,
+        /// The segment's color at install time.
+        color: PaintColor,
+    },
+    /// The engine started draining transactions for a quiescent begin.
+    QuiesceBegin,
+    /// The engine finished draining; the database is quiescent.
+    QuiesceEnd,
+    /// A COU old copy was saved for a segment about to be overwritten.
+    OldCopyCreated {
+        /// Segment whose pre-image was saved.
+        sid: SegmentId,
+    },
+    /// The checkpointer consumed (flushed and released) an old copy.
+    OldCopySwept {
+        /// Segment whose old copy was consumed.
+        sid: SegmentId,
+    },
+    /// Old copies were discarded without a flush (crash cleanup).
+    OldCopyDropped {
+        /// Segment whose old copy was discarded.
+        sid: SegmentId,
+    },
+    /// The COU sweep skipped a segment because it was clean.
+    CleanSegmentSkipped {
+        /// The clean segment.
+        sid: SegmentId,
+        /// Whether an old copy existed for it (it must not).
+        has_old: bool,
+    },
+    /// A checkpoint began.
+    CkptBegun {
+        /// The new checkpoint's id.
+        ckpt: CheckpointId,
+        /// Backup copy it writes (0 or 1).
+        copy: usize,
+        /// Algorithm driving the checkpoint.
+        algorithm: Algorithm,
+        /// Whether the engine was quiescent at begin.
+        quiesced: bool,
+        /// Segments painted white at begin (0 for non-painting algorithms).
+        whites: u64,
+    },
+    /// A checkpoint completed.
+    CkptCompleted {
+        /// The completed checkpoint's id.
+        ckpt: CheckpointId,
+        /// Backup copy it wrote.
+        copy: usize,
+        /// COU old copies still outstanding (it must be 0).
+        old_copies_left: u64,
+    },
+    /// The backup store durably marked a copy as in-progress.
+    BackupMarkInProgress {
+        /// The marked copy.
+        copy: usize,
+        /// Checkpoint being written into it.
+        ckpt: CheckpointId,
+    },
+    /// The backup store durably marked a copy as complete.
+    BackupMarkComplete {
+        /// The marked copy.
+        copy: usize,
+        /// Checkpoint now fully contained in it.
+        ckpt: CheckpointId,
+    },
+    /// The engine crashed: volatile state (including any log tail not yet
+    /// durable and all COU old copies) is gone.
+    Crash,
+    /// Recovery selected a backup copy to restore from.
+    RecoveryChosen {
+        /// The restored checkpoint id.
+        ckpt: CheckpointId,
+        /// The copy it was read from.
+        copy: usize,
+        /// Durable status of both copies at selection time.
+        copies: [CopySummary; 2],
+    },
+}
+
+impl AuditEvent {
+    /// Short stable name for coverage counting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AuditEvent::LogForced { .. } => "LogForced",
+            AuditEvent::WalGateChecked { .. } => "WalGateChecked",
+            AuditEvent::SegmentFlushed { .. } => "SegmentFlushed",
+            AuditEvent::PaintFlipped { .. } => "PaintFlipped",
+            AuditEvent::InstallObserved { .. } => "InstallObserved",
+            AuditEvent::QuiesceBegin => "QuiesceBegin",
+            AuditEvent::QuiesceEnd => "QuiesceEnd",
+            AuditEvent::OldCopyCreated { .. } => "OldCopyCreated",
+            AuditEvent::OldCopySwept { .. } => "OldCopySwept",
+            AuditEvent::OldCopyDropped { .. } => "OldCopyDropped",
+            AuditEvent::CleanSegmentSkipped { .. } => "CleanSegmentSkipped",
+            AuditEvent::CkptBegun { .. } => "CkptBegun",
+            AuditEvent::CkptCompleted { .. } => "CkptCompleted",
+            AuditEvent::BackupMarkInProgress { .. } => "BackupMarkInProgress",
+            AuditEvent::BackupMarkComplete { .. } => "BackupMarkComplete",
+            AuditEvent::Crash => "Crash",
+            AuditEvent::RecoveryChosen { .. } => "RecoveryChosen",
+        }
+    }
+}

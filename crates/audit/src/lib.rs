@@ -1,0 +1,352 @@
+//! Online protocol-invariant auditing for the checkpointing algorithms.
+//!
+//! The engine, checkpointer, log manager and backup store emit a typed
+//! [`AuditEvent`] stream when auditing is enabled; five checker state
+//! machines validate the paper's correctness invariants against it as it
+//! happens:
+//!
+//! 1. **WAL gate** — no segment image reaches a backup copy before every log
+//!    record it contains is durable (the LSN condition, §2.1).
+//! 2. **Paint discipline** — under two-color algorithms a transaction never
+//!    installs across both colors, and the sweep visits every white segment
+//!    exactly once (§4).
+//! 3. **COU lifetime** — copy-on-update old copies exist only inside an
+//!    active checkpoint and are fully swept by completion (§5).
+//! 4. **Ping-pong** — backup copies strictly alternate and recovery selects
+//!    the most recent *complete* copy (§2.2).
+//! 5. **Monotonicity** — the durable LSN horizon and checkpoint ids only
+//!    move forward.
+//!
+//! Violations surface as structured [`AuditViolation`]s through
+//! [`Auditor::violations`] and the engine's audit report; the checkers never
+//! panic, so they are safe to leave on in release builds and long sim runs.
+
+mod checkers;
+mod event;
+
+pub use checkers::{
+    AuditViolation, CheckerId, CouChecker, MonotonicChecker, PaintChecker, PingPongChecker,
+    WalGateChecker,
+};
+pub use event::{AuditEvent, CopySummary, PaintColor};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Dispatches each event to every checker and accumulates violations plus
+/// coverage counts.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    seq: u64,
+    by_kind: BTreeMap<&'static str, u64>,
+    wal_gate: WalGateChecker,
+    paint: PaintChecker,
+    cou: CouChecker,
+    ping_pong: PingPongChecker,
+    monotonic: MonotonicChecker,
+    violations: Vec<AuditViolation>,
+}
+
+impl Auditor {
+    /// Fresh auditor with no history.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// Feed one event through every checker.
+    pub fn record(&mut self, event: &AuditEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        *self.by_kind.entry(event.kind()).or_insert(0) += 1;
+        self.wal_gate.on_event(seq, event, &mut self.violations);
+        self.paint.on_event(seq, event, &mut self.violations);
+        self.cou.on_event(seq, event, &mut self.violations);
+        self.ping_pong.on_event(seq, event, &mut self.violations);
+        self.monotonic.on_event(seq, event, &mut self.violations);
+    }
+
+    /// Events recorded so far.
+    pub fn events_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// All violations detected so far, in stream order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Snapshot of coverage and violations.
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            events: self.seq,
+            by_kind: self.by_kind.iter().map(|(k, v)| (*k, *v)).collect(),
+            checks: vec![
+                (CheckerId::WalGate, self.wal_gate.checks),
+                (CheckerId::Paint, self.paint.checks),
+                (CheckerId::CouLifetime, self.cou.checks),
+                (CheckerId::PingPong, self.ping_pong.checks),
+                (CheckerId::Monotonic, self.monotonic.checks),
+            ],
+            violations: self.violations.clone(),
+        }
+    }
+}
+
+/// Coverage and violation summary produced by [`Auditor::report`].
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Total events recorded.
+    pub events: u64,
+    /// Events per kind, sorted by kind name.
+    pub by_kind: Vec<(&'static str, u64)>,
+    /// Invariant checks performed per checker.
+    pub checks: Vec<(CheckerId, u64)>,
+    /// All detected violations, in stream order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// True when no checker fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "audit: {} events", self.events)?;
+        for (kind, n) in &self.by_kind {
+            writeln!(f, "  event {kind:<22} {n}")?;
+        }
+        for (checker, n) in &self.checks {
+            writeln!(f, "  checks {:<21} {n}", checker.name())?;
+        }
+        if self.violations.is_empty() {
+            writeln!(f, "  violations: none")?;
+        } else {
+            writeln!(f, "  violations: {}", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "    {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cheap, clonable handle to a shared [`Auditor`], or a no-op when disabled.
+///
+/// Every emitting component holds one. `emit` takes a closure so that a
+/// disabled handle never constructs the event.
+#[derive(Clone, Debug, Default)]
+pub struct Audit {
+    inner: Option<Arc<Mutex<Auditor>>>,
+}
+
+impl Audit {
+    /// A handle that drops every event (zero overhead beyond one branch).
+    pub fn disabled() -> Self {
+        Audit { inner: None }
+    }
+
+    /// A handle backed by a fresh shared auditor.
+    pub fn enabled() -> Self {
+        Audit {
+            inner: Some(Arc::new(Mutex::new(Auditor::new()))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record the event produced by `make` (not called when disabled).
+    pub fn emit(&self, make: impl FnOnce() -> AuditEvent) {
+        if let Some(auditor) = &self.inner {
+            let mut guard = auditor.lock().unwrap_or_else(|poison| poison.into_inner());
+            guard.record(&make());
+        }
+    }
+
+    /// Run `f` against the shared auditor, if enabled.
+    pub fn with<R>(&self, f: impl FnOnce(&Auditor) -> R) -> Option<R> {
+        self.inner.as_ref().map(|auditor| {
+            let guard = auditor.lock().unwrap_or_else(|poison| poison.into_inner());
+            f(&guard)
+        })
+    }
+
+    /// Clone of all violations detected so far (empty when disabled).
+    pub fn violations(&self) -> Vec<AuditViolation> {
+        self.with(|a| a.violations().to_vec()).unwrap_or_default()
+    }
+
+    /// Coverage/violation snapshot, if enabled.
+    pub fn report(&self) -> Option<AuditReport> {
+        self.with(Auditor::report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::{Algorithm, CheckpointId, Lsn, SegmentId, TxnId};
+
+    fn begun(ckpt: u64, algorithm: Algorithm, whites: u64) -> Vec<AuditEvent> {
+        let ckpt = CheckpointId(ckpt);
+        vec![
+            AuditEvent::BackupMarkInProgress {
+                copy: ckpt.pingpong_copy(),
+                ckpt,
+            },
+            AuditEvent::CkptBegun {
+                ckpt,
+                copy: ckpt.pingpong_copy(),
+                algorithm,
+                quiesced: algorithm.is_cou() && algorithm != Algorithm::CouAc,
+                whites,
+            },
+        ]
+    }
+
+    fn completed(ckpt: u64) -> Vec<AuditEvent> {
+        let ckpt = CheckpointId(ckpt);
+        vec![
+            AuditEvent::BackupMarkComplete {
+                copy: ckpt.pingpong_copy(),
+                ckpt,
+            },
+            AuditEvent::CkptCompleted {
+                ckpt,
+                copy: ckpt.pingpong_copy(),
+                old_copies_left: 0,
+            },
+        ]
+    }
+
+    fn drive(events: impl IntoIterator<Item = AuditEvent>) -> Auditor {
+        let mut auditor = Auditor::new();
+        for ev in events {
+            auditor.record(&ev);
+        }
+        auditor
+    }
+
+    #[test]
+    fn clean_fuzzy_checkpoint_has_no_violations() {
+        let mut events = begun(1, Algorithm::FuzzyCopy, 0);
+        events.push(AuditEvent::LogForced { durable: Lsn(100) });
+        events.push(AuditEvent::SegmentFlushed {
+            ckpt: CheckpointId(1),
+            copy: 1,
+            sid: SegmentId(0),
+            image_max_lsn: Lsn(80),
+            durable: Lsn(100),
+            from_old_copy: false,
+        });
+        events.extend(completed(1));
+        let auditor = drive(events);
+        assert!(
+            auditor.violations().is_empty(),
+            "{:?}",
+            auditor.violations()
+        );
+        assert!(auditor.report().is_clean());
+    }
+
+    #[test]
+    fn wal_gate_fires_on_premature_flush() {
+        let mut events = begun(1, Algorithm::FuzzyCopy, 0);
+        events.push(AuditEvent::SegmentFlushed {
+            ckpt: CheckpointId(1),
+            copy: 1,
+            sid: SegmentId(3),
+            image_max_lsn: Lsn(200),
+            durable: Lsn(50),
+            from_old_copy: false,
+        });
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::WalGate);
+    }
+
+    #[test]
+    fn paint_fires_on_two_color_straddle() {
+        let mut events = begun(1, Algorithm::TwoColorFlush, 2);
+        events.push(AuditEvent::InstallObserved {
+            txn: TxnId(7),
+            sid: SegmentId(0),
+            color: PaintColor::White,
+        });
+        events.push(AuditEvent::InstallObserved {
+            txn: TxnId(7),
+            sid: SegmentId(1),
+            color: PaintColor::Black,
+        });
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::Paint);
+    }
+
+    #[test]
+    fn cou_fires_on_leaked_old_copy() {
+        let mut events = begun(1, Algorithm::CouFlush, 0);
+        events.push(AuditEvent::OldCopyCreated { sid: SegmentId(2) });
+        events.extend(completed(1));
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::CouLifetime);
+    }
+
+    #[test]
+    fn ping_pong_fires_on_stale_recovery_choice() {
+        let mut events: Vec<AuditEvent> = Vec::new();
+        events.extend(begun(1, Algorithm::FuzzyCopy, 0));
+        events.extend(completed(1));
+        events.extend(begun(2, Algorithm::FuzzyCopy, 0));
+        events.extend(completed(2));
+        events.push(AuditEvent::Crash);
+        events.push(AuditEvent::RecoveryChosen {
+            ckpt: CheckpointId(1),
+            copy: 1,
+            copies: [
+                CopySummary::Complete(CheckpointId(2)),
+                CopySummary::Complete(CheckpointId(1)),
+            ],
+        });
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::PingPong);
+    }
+
+    #[test]
+    fn monotonic_fires_on_durable_regression() {
+        let events = vec![
+            AuditEvent::LogForced { durable: Lsn(100) },
+            AuditEvent::LogForced { durable: Lsn(60) },
+        ];
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::Monotonic);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let audit = Audit::disabled();
+        audit.emit(|| unreachable!("emit closure must not run when disabled"));
+        assert!(audit.violations().is_empty());
+        assert!(audit.report().is_none());
+    }
+
+    #[test]
+    fn shared_handle_accumulates_across_clones() {
+        let audit = Audit::enabled();
+        let other = audit.clone();
+        audit.emit(|| AuditEvent::LogForced { durable: Lsn(1) });
+        other.emit(|| AuditEvent::LogForced { durable: Lsn(2) });
+        let report = audit.report().expect("enabled");
+        assert_eq!(report.events, 2);
+        assert!(report.is_clean());
+    }
+}

@@ -1,5 +1,6 @@
 //! The checkpoint step machine. See the crate docs for the overview.
 
+use mmdb_audit::{Audit, AuditEvent, PaintColor};
 use mmdb_disk::BackupStore;
 use mmdb_log::{LogManager, LogRecord};
 use mmdb_storage::{Color, Storage};
@@ -148,6 +149,7 @@ pub struct Checkpointer {
     active: Option<ActiveCkpt>,
     last_report: Option<CkptReport>,
     stats: CkptStats,
+    audit: Audit,
 }
 
 impl Checkpointer {
@@ -168,7 +170,13 @@ impl Checkpointer {
             active: None,
             last_report: None,
             stats: CkptStats::default(),
+            audit: Audit::disabled(),
         }
+    }
+
+    /// Routes protocol events to `audit` (disabled by default).
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
     }
 
     /// The algorithm in use.
@@ -273,7 +281,9 @@ impl Checkpointer {
         if meta.old.is_some() {
             return Ok(());
         }
-        storage.cou_save_old(sid, sync_meter)
+        storage.cou_save_old(sid, sync_meter)?;
+        self.audit.emit(|| AuditEvent::OldCopyCreated { sid });
+        Ok(())
     }
 
     /// Begins a checkpoint (paper §3.1/§3.2): writes the begin-checkpoint
@@ -373,6 +383,7 @@ impl Checkpointer {
             None
         };
 
+        let whites = white_list.as_ref().map_or(0, |list| list.len() as u64);
         self.active = Some(ActiveCkpt {
             ckpt,
             copy,
@@ -390,6 +401,14 @@ impl Checkpointer {
             },
         });
         self.next_ckpt = ckpt.next();
+        let algorithm = self.algorithm;
+        self.audit.emit(|| AuditEvent::CkptBegun {
+            ckpt,
+            copy,
+            algorithm,
+            quiesced: algorithm.requires_quiesce(),
+            whites,
+        });
         Ok(BeginReport {
             ckpt,
             copy,
@@ -411,7 +430,13 @@ impl Checkpointer {
         }
 
         // A pending buffered image blocks everything else: flush it first.
-        if self.active.as_ref().unwrap().pending.is_some() {
+        if self
+            .active
+            .as_ref()
+            .expect("checkpoint active")
+            .pending
+            .is_some()
+        {
             return match self.try_flush_pending(storage, log, backup)? {
                 Some(io_words) => {
                     if self.sweep_finished() {
@@ -438,16 +463,23 @@ impl Checkpointer {
             self.meter.scan(1);
             match self.process_segment(storage, log, backup, sid)? {
                 SegmentAction::Skipped => {
-                    let a = self.active.as_mut().unwrap();
+                    let a = self.active.as_mut().expect("checkpoint active");
                     a.cursor += 1;
                     a.report.segments_skipped += 1;
                     self.stats.segments_skipped += 1;
                     continue;
                 }
                 SegmentAction::Flushed { io_words } => {
-                    let a = self.active.as_mut().unwrap();
+                    let a = self.active.as_mut().expect("checkpoint active");
                     a.cursor += 1;
-                    if self.sweep_finished() && self.active.as_ref().unwrap().pending.is_none() {
+                    if self.sweep_finished()
+                        && self
+                            .active
+                            .as_ref()
+                            .expect("checkpoint active")
+                            .pending
+                            .is_none()
+                    {
                         return self.finish(storage, log, backup, io_words);
                     }
                     return Ok(StepOutcome::Progress { io_words });
@@ -455,7 +487,7 @@ impl Checkpointer {
                 SegmentAction::CopiedPendingWal => {
                     // The segment is processed (copied, and for 2CCOPY
                     // painted black); the image waits for the log.
-                    let a = self.active.as_mut().unwrap();
+                    let a = self.active.as_mut().expect("checkpoint active");
                     a.cursor += 1;
                     self.stats.wal_waits += 1;
                     return Ok(StepOutcome::WaitingForLog);
@@ -535,11 +567,14 @@ impl Checkpointer {
         let a = self.active.as_ref().expect("active checkpoint");
         let (ckpt, copy) = (a.ckpt, a.copy);
 
-        if self.algorithm.is_cou() {
-            // Every old copy should have been consumed by the sweep.
-            let leaked = storage.drop_all_old(&self.meter);
-            debug_assert_eq!(leaked, 0, "COU old copies leaked past the sweep");
-        }
+        let old_copies_left = if self.algorithm.is_cou() {
+            // Every old copy should have been consumed by the sweep; the
+            // COU-lifetime audit checker verifies this in release builds.
+            storage.drop_all_old(&self.meter)
+        } else {
+            0
+        };
+        debug_assert_eq!(old_copies_left, 0, "COU old copies leaked past the sweep");
 
         // Log the end marker and force it durable *before* marking the
         // backup copy complete: a complete header must imply that both
@@ -551,6 +586,11 @@ impl Checkpointer {
         log.force_charged_to(&self.meter)?;
         self.meter.io_op();
         backup.complete_checkpoint(copy, ckpt)?;
+        self.audit.emit(|| AuditEvent::CkptCompleted {
+            ckpt,
+            copy,
+            old_copies_left,
+        });
 
         let a = self.active.take().expect("active checkpoint");
         let report = a.report; // io_words of the final flush were already
@@ -581,11 +621,20 @@ impl Checkpointer {
         backup: &mut dyn BackupStore,
     ) -> Result<Option<u64>> {
         let a = self.active.as_mut().expect("active checkpoint");
-        let copy = a.copy;
-        let gate = a.pending.as_ref().expect("pending image").gate;
+        let (ckpt, copy) = (a.ckpt, a.copy);
+        let p = a.pending.as_ref().expect("pending image");
+        let (sid, gate) = (p.sid, p.gate);
 
         self.meter.lsn_op();
-        if !log.is_durable(gate) {
+        let open = log.is_durable(gate);
+        let durable = log.durable_lsn();
+        self.audit.emit(|| AuditEvent::WalGateChecked {
+            sid,
+            gate,
+            durable,
+            open,
+        });
+        if !open {
             match self.wal_policy {
                 WalPolicy::Wait => return Ok(None),
                 WalPolicy::Force => {
@@ -597,13 +646,22 @@ impl Checkpointer {
         let pending = self
             .active
             .as_mut()
-            .unwrap()
+            .expect("checkpoint active")
             .pending
             .take()
             .expect("pending image");
         self.meter.io_op();
         backup.write_segment(copy, pending.sid, &pending.data)?;
         storage.mark_flushed(pending.sid, copy, pending.version)?;
+        let durable = log.durable_lsn();
+        self.audit.emit(|| AuditEvent::SegmentFlushed {
+            ckpt,
+            copy,
+            sid,
+            image_max_lsn: gate,
+            durable,
+            from_old_copy: false,
+        });
         self.meter.alloc_op(); // free the I/O buffer
         let words = pending.data.len() as u64;
         self.record_flush(words, false);
@@ -618,7 +676,7 @@ impl Checkpointer {
         sid: SegmentId,
     ) -> Result<SegmentAction> {
         match self.algorithm {
-            Algorithm::FastFuzzy => self.step_fastfuzzy(storage, backup, sid),
+            Algorithm::FastFuzzy => self.step_fastfuzzy(storage, log, backup, sid),
             Algorithm::FuzzyCopy => self.step_fuzzycopy(storage, log, backup, sid),
             Algorithm::TwoColorFlush => self.step_2cflush(storage, log, backup, sid),
             Algorithm::TwoColorCopy => self.step_2ccopy(storage, log, backup, sid),
@@ -643,20 +701,33 @@ impl Checkpointer {
     fn step_fastfuzzy(
         &mut self,
         storage: &mut Storage,
+        log: &LogManager,
         backup: &mut dyn BackupStore,
         sid: SegmentId,
     ) -> Result<SegmentAction> {
-        let copy = self.active.as_ref().unwrap().copy;
+        let (ckpt, copy) = {
+            let a = self.active.as_ref().expect("checkpoint active");
+            (a.ckpt, a.copy)
+        };
         if !self.is_included(storage, sid, copy)? {
             return Ok(SegmentAction::Skipped);
         }
-        let (version, words) = {
+        let (version, words, image_max_lsn) = {
             let cap = storage.capture(sid)?;
             self.meter.io_op();
             backup.write_segment(copy, sid, cap.data)?;
-            (cap.version, cap.data.len() as u64)
+            (cap.version, cap.data.len() as u64, cap.max_lsn)
         };
         storage.mark_flushed(sid, copy, version)?;
+        let durable = log.durable_lsn();
+        self.audit.emit(|| AuditEvent::SegmentFlushed {
+            ckpt,
+            copy,
+            sid,
+            image_max_lsn,
+            durable,
+            from_old_copy: false,
+        });
         self.record_flush(words, false);
         Ok(SegmentAction::Flushed { io_words: words })
     }
@@ -670,7 +741,7 @@ impl Checkpointer {
         backup: &mut dyn BackupStore,
         sid: SegmentId,
     ) -> Result<SegmentAction> {
-        let copy = self.active.as_ref().unwrap().copy;
+        let copy = self.active.as_ref().expect("checkpoint active").copy;
         if !self.is_included(storage, sid, copy)? {
             return Ok(SegmentAction::Skipped);
         }
@@ -685,7 +756,7 @@ impl Checkpointer {
                 gate: cap.max_lsn,
             }
         };
-        self.active.as_mut().unwrap().pending = Some(pending);
+        self.active.as_mut().expect("checkpoint active").pending = Some(pending);
         match self.try_flush_pending(storage, log, backup)? {
             Some(io_words) => Ok(SegmentAction::Flushed { io_words }),
             None => Ok(SegmentAction::CopiedPendingWal),
@@ -701,14 +772,25 @@ impl Checkpointer {
         backup: &mut dyn BackupStore,
         sid: SegmentId,
     ) -> Result<SegmentAction> {
-        let copy = self.active.as_ref().unwrap().copy;
+        let (ckpt, copy) = {
+            let a = self.active.as_ref().expect("checkpoint active");
+            (a.ckpt, a.copy)
+        };
         if storage.color(sid)? == Color::Black {
             return Ok(SegmentAction::Skipped);
         }
         self.meter.lock_op(); // lock (shared)
         let gate = storage.capture(sid)?.max_lsn;
         self.meter.lsn_op();
-        if !log.is_durable(gate) {
+        let open = log.is_durable(gate);
+        let probe_durable = log.durable_lsn();
+        self.audit.emit(|| AuditEvent::WalGateChecked {
+            sid,
+            gate,
+            durable: probe_durable,
+            open,
+        });
+        if !open {
             match self.wal_policy {
                 WalPolicy::Wait => {
                     self.meter.lock_op(); // unlock and retry later
@@ -729,6 +811,19 @@ impl Checkpointer {
         storage.mark_flushed(sid, copy, version)?;
         storage.paint_black(sid)?;
         self.meter.lock_op(); // unlock
+        let durable = log.durable_lsn();
+        self.audit.emit(|| AuditEvent::SegmentFlushed {
+            ckpt,
+            copy,
+            sid,
+            image_max_lsn: gate,
+            durable,
+            from_old_copy: false,
+        });
+        self.audit.emit(|| AuditEvent::PaintFlipped {
+            sid,
+            to: PaintColor::Black,
+        });
         self.record_flush(words, false);
         Ok(SegmentAction::Flushed { io_words: words })
     }
@@ -760,7 +855,11 @@ impl Checkpointer {
         };
         storage.paint_black(sid)?;
         self.meter.lock_op(); // unlock — before the I/O, the whole point
-        self.active.as_mut().unwrap().pending = Some(pending);
+        self.audit.emit(|| AuditEvent::PaintFlipped {
+            sid,
+            to: PaintColor::Black,
+        });
+        self.active.as_mut().expect("checkpoint active").pending = Some(pending);
         match self.try_flush_pending(storage, log, backup)? {
             Some(io_words) => Ok(SegmentAction::Flushed { io_words }),
             None => Ok(SegmentAction::CopiedPendingWal),
@@ -783,9 +882,9 @@ impl Checkpointer {
         backup: &mut dyn BackupStore,
         sid: SegmentId,
     ) -> Result<SegmentAction> {
-        let (copy, snapshot_version, full) = {
-            let a = self.active.as_ref().unwrap();
-            (a.copy, a.snapshot_version, a.effective_full)
+        let (ckpt, copy, snapshot_version, full) = {
+            let a = self.active.as_ref().expect("checkpoint active");
+            (a.ckpt, a.copy, a.snapshot_version, a.effective_full)
         };
 
         // Dirty-bit pre-check, without locking: a segment that is clean
@@ -796,7 +895,12 @@ impl Checkpointer {
         // is a safe refinement that spares partial checkpoints two
         // `C_lock` per clean segment.
         if !full && !storage.is_dirty(sid, copy)? {
-            debug_assert!(!storage.has_old(sid)?, "clean segment with old copy");
+            // A clean segment must have no old copy; the COU-lifetime
+            // audit checker verifies this in release builds.
+            let has_old = storage.has_old(sid)?;
+            debug_assert!(!has_old, "clean segment with old copy");
+            self.audit
+                .emit(|| AuditEvent::CleanSegmentSkipped { sid, has_old });
             return Ok(SegmentAction::Skipped);
         }
 
@@ -814,11 +918,21 @@ impl Checkpointer {
                     "COU protocol violation: {sid} updated after the snapshot has no old copy"
                 ))
             })?;
+            self.audit.emit(|| AuditEvent::OldCopySwept { sid });
             let flushed = storage.segment_meta(sid)?.flushed_version[copy & 1];
             if full || old.version > flushed {
                 self.meter.io_op();
                 backup.write_segment(copy, sid, &old.data)?;
                 storage.mark_flushed(sid, copy, old.version)?;
+                let durable = log.durable_lsn();
+                self.audit.emit(|| AuditEvent::SegmentFlushed {
+                    ckpt,
+                    copy,
+                    sid,
+                    image_max_lsn: old.max_lsn,
+                    durable,
+                    from_old_copy: true,
+                });
                 let words = old.data.len() as u64;
                 self.record_flush(words, true);
                 return Ok(SegmentAction::Flushed { io_words: words });
@@ -833,30 +947,48 @@ impl Checkpointer {
         match self.algorithm {
             Algorithm::CouFlush => {
                 // Hold the lock across the flush.
-                let (version, words) = {
+                let (version, words, image_max_lsn) = {
                     let cap = storage.capture(sid)?;
                     self.meter.io_op();
                     backup.write_segment(copy, sid, cap.data)?;
-                    (cap.version, cap.data.len() as u64)
+                    (cap.version, cap.data.len() as u64, cap.max_lsn)
                 };
                 storage.mark_flushed(sid, copy, version)?;
                 self.meter.lock_op(); // unlock
+                let durable = log.durable_lsn();
+                self.audit.emit(|| AuditEvent::SegmentFlushed {
+                    ckpt,
+                    copy,
+                    sid,
+                    image_max_lsn,
+                    durable,
+                    from_old_copy: false,
+                });
                 self.record_flush(words, false);
                 Ok(SegmentAction::Flushed { io_words: words })
             }
             Algorithm::CouCopy => {
                 // Copy under lock, flush unlocked.
-                let (buf, version): (Box<[Word]>, u64) = {
+                let (buf, version, image_max_lsn): (Box<[Word]>, u64, Lsn) = {
                     let cap = storage.capture(sid)?;
                     self.meter.alloc_op();
                     self.meter.move_words(cap.data.len() as u64);
-                    (cap.data.into(), cap.version)
+                    (cap.data.into(), cap.version, cap.max_lsn)
                 };
                 self.meter.lock_op(); // unlock
                 self.meter.io_op();
                 backup.write_segment(copy, sid, &buf)?;
                 storage.mark_flushed(sid, copy, version)?;
                 self.meter.alloc_op(); // free the buffer
+                let durable = log.durable_lsn();
+                self.audit.emit(|| AuditEvent::SegmentFlushed {
+                    ckpt,
+                    copy,
+                    sid,
+                    image_max_lsn,
+                    durable,
+                    from_old_copy: false,
+                });
                 let words = buf.len() as u64;
                 self.record_flush(words, false);
                 Ok(SegmentAction::Flushed { io_words: words })
@@ -877,7 +1009,7 @@ impl Checkpointer {
                     }
                 };
                 self.meter.lock_op(); // unlock before the I/O
-                self.active.as_mut().unwrap().pending = Some(pending);
+                self.active.as_mut().expect("checkpoint active").pending = Some(pending);
                 match self.try_flush_pending(storage, log, backup)? {
                     Some(io_words) => Ok(SegmentAction::Flushed { io_words }),
                     None => Ok(SegmentAction::CopiedPendingWal),

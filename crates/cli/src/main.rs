@@ -8,6 +8,7 @@
 //! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
 //! mmdb-cli <dir> checkpoint
 //! mmdb-cli <dir> stats
+//! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
 //! mmdb-cli <dir> fsck
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
@@ -52,6 +53,7 @@ fn run() -> Result<(), String> {
         "workload" => cmd_workload(&dir, &rest),
         "checkpoint" => cmd_checkpoint(&dir),
         "stats" => cmd_stats(&dir),
+        "audit" => cmd_audit(&dir, &rest),
         "fsck" => cmd_fsck(&dir),
         "dump" => cmd_dump(&dir, &rest),
         "restore" => cmd_restore(&dir, &rest),
@@ -60,7 +62,7 @@ fn run() -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: mmdb-cli <dir> <init|put|get|workload|checkpoint|stats|fsck|dump|restore> [args]\n\
+    "usage: mmdb-cli <dir> <init|put|get|workload|checkpoint|stats|audit|fsck|dump|restore> [args]\n\
      run `mmdb-cli <dir> init` first to create a database"
         .to_string()
 }
@@ -263,6 +265,78 @@ fn cmd_stats(dir: &Path) -> Result<(), String> {
         dev.len()
     );
     Ok(())
+}
+
+/// Runs an audited stress pass over the database: a workload interleaved
+/// with stepped checkpoints (plus a final full checkpoint and a dry-run
+/// recoverability check), with every protocol invariant checked online.
+/// Prints the coverage/violation summary; a violation fails the command.
+fn cmd_audit(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let txns: u64 = flag_value(rest, "--txns")
+        .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let updates: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+
+    let mut config = persist::load(dir)?;
+    config.audit = true;
+    let (mut db, recovered) = Mmdb::open_dir(config, dir).map_err(|e| e.to_string())?;
+    if let Some(r) = recovered {
+        eprintln!(
+            "(recovered from checkpoint {}: {} segments, {} log words, {} txns replayed)",
+            r.ckpt.raw(),
+            r.segments_loaded,
+            r.log_words,
+            r.txns_replayed
+        );
+    }
+
+    let words = db.record_words();
+    let mut wl = UniformWorkload::new(db.n_records(), updates, seed);
+    for i in 0..txns {
+        // Begin a checkpoint a third of the way in, so transactions and
+        // the sweep genuinely interleave (two-color aborts, COU saves).
+        if i == txns / 3 && !db.is_checkpoint_active() {
+            db.try_begin_checkpoint().map_err(|e| e.to_string())?;
+        }
+        if db.is_checkpoint_active() && i % 2 == 0 {
+            step_checkpoint(&mut db)?;
+        }
+        let spec = wl.next_txn();
+        db.run_txn(&spec.materialize(words))
+            .map_err(|e| e.to_string())?;
+    }
+    while db.is_checkpoint_active() {
+        step_checkpoint(&mut db)?;
+    }
+    db.checkpoint().map_err(|e| e.to_string())?;
+    db.verify_recoverability().map_err(|e| e.to_string())?;
+
+    let report = db.audit_report().ok_or("auditing unexpectedly disabled")?;
+    print!("{report}");
+    if report.is_clean() {
+        println!("audit: clean ({txns} txns, checkpoints interleaved, recoverability verified)");
+        Ok(())
+    } else {
+        Err(format!(
+            "audit: {} protocol violation(s) detected",
+            report.violations.len()
+        ))
+    }
+}
+
+fn step_checkpoint(db: &mut Mmdb) -> Result<(), String> {
+    match db.checkpoint_step().map_err(|e| e.to_string())? {
+        mmdb_core::StepOutcome::WaitingForLog => db.force_log().map_err(|e| e.to_string()),
+        _ => Ok(()),
+    }
 }
 
 fn cmd_fsck(dir: &Path) -> Result<(), String> {

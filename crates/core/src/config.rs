@@ -45,6 +45,15 @@ pub struct MmdbConfig {
     /// commit forces / explicit [`Mmdb::force_log`](crate::Mmdb::force_log)
     /// calls.
     pub log_tail_flush_bytes: Option<u64>,
+    /// Run the online protocol-invariant audit: the engine, checkpointer,
+    /// log manager and backup store emit a typed event stream that five
+    /// checker state machines validate as it happens (WAL gate, paint
+    /// discipline, COU old-copy lifetime, ping-pong alternation, LSN /
+    /// checkpoint-id monotonicity). Violations surface through
+    /// [`Mmdb::audit_violations`](crate::Mmdb::audit_violations). Off by
+    /// default for production-shaped runs; [`MmdbConfig::small`] turns it
+    /// on so every test runs fully checked.
+    pub audit: bool,
 }
 
 impl MmdbConfig {
@@ -59,6 +68,7 @@ impl MmdbConfig {
             auto_truncate_log: true,
             log_chunk_bytes: mmdb_log::DEFAULT_CHUNK_BYTES,
             log_tail_flush_bytes: Some(1 << 20),
+            audit: false,
         }
     }
 
@@ -67,6 +77,7 @@ impl MmdbConfig {
     pub fn small(algorithm: Algorithm) -> MmdbConfig {
         MmdbConfig {
             params: Params::small(),
+            audit: true,
             ..MmdbConfig::new(algorithm)
         }
     }

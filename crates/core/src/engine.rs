@@ -3,8 +3,9 @@
 
 use crate::config::{CommitDurability, MmdbConfig};
 use crate::metrics::{Meters, OverheadReport};
+use mmdb_audit::{Audit, AuditEvent, AuditReport, AuditViolation, PaintColor};
 use mmdb_checkpoint::{BeginReport, Checkpointer, CkptReport, CkptStats, StepOutcome};
-use mmdb_disk::{BackupStore, FileBackup, MemBackup};
+use mmdb_disk::{summarize, AuditedBackup, BackupStore, FileBackup, MemBackup};
 use mmdb_log::{LogManager, LogRecord, LogStats, MemLogDevice, SegmentedLogDevice};
 use mmdb_recovery::RecoveryReport;
 use mmdb_storage::{Color, Storage};
@@ -78,6 +79,9 @@ pub struct Mmdb {
     /// copy; the log before min(both) is unreachable by any future
     /// recovery and is truncated away when `auto_truncate_log` is set.
     replay_floor: [Option<mmdb_types::Lsn>; 2],
+    /// The shared protocol-audit handle (disabled unless
+    /// [`MmdbConfig::audit`] is set).
+    audit: Audit,
 }
 
 impl std::fmt::Debug for Mmdb {
@@ -147,12 +151,24 @@ impl Mmdb {
         meters: Meters,
     ) -> Mmdb {
         log.set_tail_threshold(config.log_tail_flush_bytes);
-        let ckpt = Checkpointer::new(
+        let audit = if config.audit {
+            Audit::enabled()
+        } else {
+            Audit::disabled()
+        };
+        log.set_audit(audit.clone());
+        let backup: Box<dyn BackupStore> = if audit.is_enabled() {
+            Box::new(AuditedBackup::new(backup, audit.clone()))
+        } else {
+            backup
+        };
+        let mut ckpt = Checkpointer::new(
             config.algorithm,
             config.params.ckpt_mode,
             config.wal_policy,
             meters.async_ckpt.clone(),
         );
+        ckpt.set_audit(audit.clone());
         Mmdb {
             config,
             storage,
@@ -166,6 +182,7 @@ impl Mmdb {
             crashed: false,
             pending_floor: None,
             replay_floor: [None, None],
+            audit,
         }
     }
 
@@ -226,6 +243,30 @@ impl Mmdb {
     /// The engine's cost meters (for simulation harnesses).
     pub fn meters(&self) -> &Meters {
         &self.meters
+    }
+
+    /// The shared protocol-audit handle (disabled unless
+    /// [`MmdbConfig::audit`] is set). External drivers may clone it to
+    /// feed their own events into the same checker stream.
+    pub fn audit(&self) -> &Audit {
+        &self.audit
+    }
+
+    /// Is protocol auditing enabled?
+    pub fn is_audited(&self) -> bool {
+        self.audit.is_enabled()
+    }
+
+    /// Coverage/violation snapshot of the protocol audit (`None` when
+    /// auditing is disabled).
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.audit.report()
+    }
+
+    /// All protocol-invariant violations detected so far (empty when
+    /// auditing is disabled — or when the engine behaves).
+    pub fn audit_violations(&self) -> Vec<AuditViolation> {
+        self.audit.violations()
     }
 
     /// Content fingerprint of the primary database (test aid).
@@ -428,6 +469,17 @@ impl Mmdb {
         // Install (the shadow-copy "overwrite old with new", §2.6).
         let tau = self.txns.get(txn)?.tau;
         for (record, segment, value, end_lsn) in installs {
+            if self.audit.is_enabled() && self.ckpt.two_color_active() {
+                let color = match self.storage.color(segment)? {
+                    Color::White => PaintColor::White,
+                    Color::Black => PaintColor::Black,
+                };
+                self.audit.emit(|| AuditEvent::InstallObserved {
+                    txn,
+                    sid: segment,
+                    color,
+                });
+            }
             self.ckpt
                 .on_before_install(&mut self.storage, segment, &self.meters.sync_ckpt)?;
             self.storage
@@ -525,6 +577,7 @@ impl Mmdb {
         }
         if self.config.algorithm.requires_quiesce() && !self.txns.is_quiescent() {
             self.quiesce_pending = true;
+            self.audit.emit(|| AuditEvent::QuiesceBegin);
             return Ok(CheckpointStart::Quiescing);
         }
         self.do_begin_checkpoint().map(CheckpointStart::Started)
@@ -538,6 +591,9 @@ impl Mmdb {
     }
 
     fn do_begin_checkpoint(&mut self) -> Result<BeginReport> {
+        if self.quiesce_pending {
+            self.audit.emit(|| AuditEvent::QuiesceEnd);
+        }
         let tau_ch = self.next_tau();
         if self.config.algorithm.is_two_color() {
             // Color observations from before this checkpoint refer to
@@ -626,6 +682,7 @@ impl Mmdb {
     /// the backup copies and the durable log survive. Call
     /// [`Mmdb::recover`] to come back.
     pub fn crash(&mut self) -> Result<()> {
+        self.audit.emit(|| AuditEvent::Crash);
         self.log.crash()?;
         self.txns.crash();
         self.ckpt.crash(&mut self.storage);
@@ -648,6 +705,14 @@ impl Mmdb {
 
     fn recover_internal(&mut self) -> Result<RecoveryReport> {
         self.storage = Storage::new(self.config.params.db)?;
+        let copies = if self.audit.is_enabled() {
+            Some([
+                summarize(self.backup.copy_status(0)?),
+                summarize(self.backup.copy_status(1)?),
+            ])
+        } else {
+            None
+        };
         let recovery_meter = CostMeter::new(self.config.params.cost);
         let report = mmdb_recovery::recover(
             &mut self.storage,
@@ -656,6 +721,13 @@ impl Mmdb {
             &self.config.params.disk,
             &recovery_meter,
         )?;
+        if let Some(copies) = copies {
+            self.audit.emit(|| AuditEvent::RecoveryChosen {
+                ckpt: report.ckpt,
+                copy: report.copy,
+                copies,
+            });
+        }
         // crash() already emptied the transaction table; keep it (and its
         // cumulative statistics — they are measurements, not state).
         debug_assert!(self.txns.is_quiescent());
@@ -665,6 +737,7 @@ impl Mmdb {
             self.config.wal_policy,
             self.meters.async_ckpt.clone(),
         );
+        self.ckpt.set_audit(self.audit.clone());
         // The next checkpoint targets the copy recovery did NOT restore
         // from, so a crash mid-checkpoint still leaves a complete copy.
         self.ckpt.set_next_ckpt(CheckpointId(report.ckpt.raw() + 1));

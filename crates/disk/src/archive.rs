@@ -111,24 +111,26 @@ fn read_header(r: &mut impl Read) -> Result<ArchiveInfo> {
     let mut header = [0u8; 8 + 4 + 8 + 8 + 8 + 8 + 8 + 8];
     r.read_exact(&mut header)
         .map_err(|_| MmdbError::Corrupt("archive header too short".into()))?;
-    let magic = u64::from_le_bytes(header[0..8].try_into().unwrap());
+    let magic = u64::from_le_bytes(header[0..8].try_into().expect("fixed-size slice"));
     if magic != ARCHIVE_MAGIC {
         return Err(MmdbError::Corrupt("bad archive magic".into()));
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("fixed-size slice"));
     if version != ARCHIVE_VERSION {
         return Err(MmdbError::Corrupt(format!(
             "unsupported archive version {version}"
         )));
     }
-    let ckpt = CheckpointId(u64::from_le_bytes(header[12..20].try_into().unwrap()));
+    let ckpt = CheckpointId(u64::from_le_bytes(
+        header[12..20].try_into().expect("fixed-size slice"),
+    ));
     let db = DbParams {
-        s_db: u64::from_le_bytes(header[20..28].try_into().unwrap()),
-        s_rec: u64::from_le_bytes(header[28..36].try_into().unwrap()),
-        s_seg: u64::from_le_bytes(header[36..44].try_into().unwrap()),
+        s_db: u64::from_le_bytes(header[20..28].try_into().expect("fixed-size slice")),
+        s_rec: u64::from_le_bytes(header[28..36].try_into().expect("fixed-size slice")),
+        s_seg: u64::from_le_bytes(header[36..44].try_into().expect("fixed-size slice")),
     };
-    let log_bytes = u64::from_le_bytes(header[44..52].try_into().unwrap());
-    let stored = u64::from_le_bytes(header[52..60].try_into().unwrap());
+    let log_bytes = u64::from_le_bytes(header[44..52].try_into().expect("fixed-size slice"));
+    let stored = u64::from_le_bytes(header[52..60].try_into().expect("fixed-size slice"));
     let mut h = Fnv1a::new();
     h.update(&header[0..52]);
     if h.finish() != stored {
@@ -169,7 +171,7 @@ pub fn restore_archive(store: &mut dyn BackupStore, path: &Path) -> Result<(Arch
     for sid in 0..info.db.n_segments() as u32 {
         r.read_exact(&mut bytes)
             .map_err(|_| MmdbError::Corrupt(format!("archive truncated at segment {sid}")))?;
-        let stored = u64::from_le_bytes(bytes[seg_bytes..].try_into().unwrap());
+        let stored = u64::from_le_bytes(bytes[seg_bytes..].try_into().expect("fixed-size slice"));
         let mut h = Fnv1a::new();
         h.update(&bytes[..seg_bytes]);
         if h.finish() != stored {
@@ -178,7 +180,11 @@ pub fn restore_archive(store: &mut dyn BackupStore, path: &Path) -> Result<(Arch
             )));
         }
         for (i, wd) in words.iter_mut().enumerate() {
-            *wd = u32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().unwrap());
+            *wd = u32::from_le_bytes(
+                bytes[i * 4..i * 4 + 4]
+                    .try_into()
+                    .expect("fixed-size slice"),
+            );
         }
         store.write_segment(copy, SegmentId(sid), &words)?;
     }

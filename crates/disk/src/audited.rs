@@ -1,0 +1,117 @@
+//! Audit instrumentation for backup stores.
+//!
+//! [`AuditedBackup`] wraps any [`BackupStore`] and emits the durable
+//! copy-state transitions (`BackupMarkInProgress`, `BackupMarkComplete`)
+//! into the audit stream, straight from the store layer — so the ping-pong
+//! checker sees the marks in the exact order they hit stable storage, not
+//! the order the checkpointer intended them.
+
+use crate::backup::{BackupStore, CopyStatus};
+use mmdb_audit::{Audit, AuditEvent, CopySummary};
+use mmdb_types::{CheckpointId, DbParams, Result, SegmentId, Word};
+
+/// A [`BackupStore`] wrapper that reports durable mark transitions.
+pub struct AuditedBackup {
+    inner: Box<dyn BackupStore>,
+    audit: Audit,
+}
+
+impl AuditedBackup {
+    /// Wrap `inner`, routing events to `audit`.
+    pub fn new(inner: Box<dyn BackupStore>, audit: Audit) -> AuditedBackup {
+        AuditedBackup { inner, audit }
+    }
+
+    /// Unwrap, returning the underlying store.
+    pub fn into_inner(self) -> Box<dyn BackupStore> {
+        self.inner
+    }
+}
+
+impl BackupStore for AuditedBackup {
+    fn shape(&self) -> DbParams {
+        self.inner.shape()
+    }
+
+    fn begin_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        self.inner.begin_checkpoint(copy, ckpt)?;
+        self.audit
+            .emit(|| AuditEvent::BackupMarkInProgress { copy, ckpt });
+        Ok(())
+    }
+
+    fn write_segment(&mut self, copy: usize, sid: SegmentId, data: &[Word]) -> Result<()> {
+        self.inner.write_segment(copy, sid, data)
+    }
+
+    fn complete_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        self.inner.complete_checkpoint(copy, ckpt)?;
+        self.audit
+            .emit(|| AuditEvent::BackupMarkComplete { copy, ckpt });
+        Ok(())
+    }
+
+    fn copy_status(&mut self, copy: usize) -> Result<CopyStatus> {
+        self.inner.copy_status(copy)
+    }
+
+    fn read_segment(&mut self, copy: usize, sid: SegmentId, buf: &mut [Word]) -> Result<()> {
+        self.inner.read_segment(copy, sid, buf)
+    }
+}
+
+/// Audit-stream form of a durable copy status.
+pub fn summarize(status: CopyStatus) -> CopySummary {
+    match status {
+        CopyStatus::Empty => CopySummary::Empty,
+        CopyStatus::InProgress(c) => CopySummary::InProgress(c),
+        CopyStatus::Complete(c) => CopySummary::Complete(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backup::MemBackup;
+    use mmdb_types::CheckpointId;
+
+    #[test]
+    fn marks_flow_through_to_the_audit_stream() {
+        let db = DbParams {
+            s_db: 4096,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let audit = Audit::enabled();
+        let mut store = AuditedBackup::new(Box::new(MemBackup::new(db)), audit.clone());
+        store.begin_checkpoint(1, CheckpointId(1)).unwrap();
+        for sid in 0..db.n_segments() {
+            let data = vec![7u32; db.s_seg as usize];
+            store
+                .write_segment(1, SegmentId(sid as u32), &data)
+                .unwrap();
+        }
+        store.complete_checkpoint(1, CheckpointId(1)).unwrap();
+        let report = audit.report().expect("enabled");
+        assert_eq!(report.events, 2);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(
+            store.copy_status(1).unwrap(),
+            CopyStatus::Complete(CheckpointId(1))
+        );
+    }
+
+    #[test]
+    fn failed_mark_emits_nothing() {
+        let db = DbParams {
+            s_db: 4096,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let audit = Audit::enabled();
+        let mut store = AuditedBackup::new(Box::new(MemBackup::new(db)), audit.clone());
+        // completing a copy that never began must fail and stay silent
+        assert!(store.complete_checkpoint(0, CheckpointId(1)).is_err());
+        assert_eq!(audit.report().expect("enabled").events, 0);
+    }
+}

@@ -324,22 +324,22 @@ impl FileBackup {
         f.seek(SeekFrom::Start(0))?;
         f.read_exact(&mut buf)
             .map_err(|_| MmdbError::Corrupt("backup header too short".into()))?;
-        let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let magic = u64::from_le_bytes(buf[0..8].try_into().expect("fixed-size slice"));
         if magic != MAGIC {
             return Err(MmdbError::Corrupt("bad backup magic".into()));
         }
-        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("fixed-size slice"));
         if version != FORMAT_VERSION {
             return Err(MmdbError::Corrupt(format!(
                 "unsupported backup format version {version}"
             )));
         }
-        let state = u32::from_le_bytes(buf[12..16].try_into().unwrap());
-        let ckpt = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-        let s_db = u64::from_le_bytes(buf[24..32].try_into().unwrap());
-        let s_rec = u64::from_le_bytes(buf[32..40].try_into().unwrap());
-        let s_seg = u64::from_le_bytes(buf[40..48].try_into().unwrap());
-        let stored = u64::from_le_bytes(buf[48..56].try_into().unwrap());
+        let state = u32::from_le_bytes(buf[12..16].try_into().expect("fixed-size slice"));
+        let ckpt = u64::from_le_bytes(buf[16..24].try_into().expect("fixed-size slice"));
+        let s_db = u64::from_le_bytes(buf[24..32].try_into().expect("fixed-size slice"));
+        let s_rec = u64::from_le_bytes(buf[32..40].try_into().expect("fixed-size slice"));
+        let s_seg = u64::from_le_bytes(buf[40..48].try_into().expect("fixed-size slice"));
+        let stored = u64::from_le_bytes(buf[48..56].try_into().expect("fixed-size slice"));
         let mut h = Fnv1a::new();
         h.update(&buf[0..48]);
         if h.finish() != stored {
@@ -418,7 +418,11 @@ impl BackupStore for FileBackup {
         f.read_exact(&mut raw)
             .map_err(|_| MmdbError::Corrupt(format!("{sid}: short read from backup")))?;
         let data_bytes = (self.db.s_seg as usize) * mmdb_types::WORD_BYTES;
-        let stored = u64::from_le_bytes(raw[data_bytes..data_bytes + 8].try_into().unwrap());
+        let stored = u64::from_le_bytes(
+            raw[data_bytes..data_bytes + 8]
+                .try_into()
+                .expect("fixed-size slice"),
+        );
         let mut h = Fnv1a::new();
         h.update(&raw[..data_bytes]);
         if h.finish() != stored {
@@ -427,7 +431,7 @@ impl BackupStore for FileBackup {
             )));
         }
         for (i, w) in buf.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+            *w = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().expect("fixed-size slice"));
         }
         Ok(())
     }

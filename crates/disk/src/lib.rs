@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 mod archive;
+mod audited;
 mod backup;
 mod model;
 
 pub use archive::{archive_info, dump_archive, restore_archive, ArchiveInfo};
+pub use audited::{summarize, AuditedBackup};
 pub use backup::{BackupStore, CopyStatus, FileBackup, MemBackup};
 pub use model::SimDiskArray;

@@ -11,6 +11,7 @@
 
 use crate::device::LogDevice;
 use crate::record::LogRecord;
+use mmdb_audit::{Audit, AuditEvent};
 use mmdb_types::{CostMeter, LogMode, Lsn, Result, SharedCostMeter};
 
 /// Statistics maintained by the log manager.
@@ -39,6 +40,7 @@ pub struct LogManager {
     /// commit's backstop: bounds both tail memory and the window of
     /// commits a crash can lose under lazy durability).
     tail_threshold: Option<u64>,
+    audit: Audit,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -68,7 +70,13 @@ impl LogManager {
             meter,
             stats: LogStats::default(),
             tail_threshold: None,
+            audit: Audit::disabled(),
         }
+    }
+
+    /// Routes protocol events (durable-horizon advances) to `audit`.
+    pub fn set_audit(&mut self, audit: Audit) {
+        self.audit = audit;
     }
 
     /// Bounds the volatile tail: once an append pushes it past
@@ -170,6 +178,9 @@ impl LogManager {
         self.tail_start = self.tail_start.advance(self.tail.len() as u64);
         self.tail.clear();
         self.stats.forces += 1;
+        self.audit.emit(|| AuditEvent::LogForced {
+            durable: self.durable_lsn(),
+        });
         Ok(())
     }
 
@@ -185,6 +196,9 @@ impl LogManager {
         self.device.append(&self.tail)?;
         self.tail_start = self.tail_start.advance(self.tail.len() as u64);
         self.tail.clear();
+        self.audit.emit(|| AuditEvent::LogForced {
+            durable: self.durable_lsn(),
+        });
         Ok(())
     }
 

@@ -185,17 +185,22 @@ impl LogRecord {
         if bytes.len() < FRAME_OVERHEAD {
             return Err(corrupt("truncated frame header"));
         }
-        let total = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let total = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte slice")) as usize;
         if total < FRAME_OVERHEAD || total > bytes.len() {
             return Err(corrupt("bad frame length"));
         }
         let frame = &bytes[..total];
-        let trailer = u32::from_le_bytes(frame[total - 4..].try_into().unwrap()) as usize;
+        let trailer =
+            u32::from_le_bytes(frame[total - 4..].try_into().expect("4-byte slice")) as usize;
         if trailer != total {
             return Err(corrupt("trailer length mismatch"));
         }
         let body = &frame[4..total - 12];
-        let stored = u64::from_le_bytes(frame[total - 12..total - 4].try_into().unwrap());
+        let stored = u64::from_le_bytes(
+            frame[total - 12..total - 4]
+                .try_into()
+                .expect("8-byte slice"),
+        );
         let mut h = Fnv1a::new();
         h.update(body);
         if h.finish() != stored {
@@ -252,7 +257,8 @@ impl LogRecord {
         if end < FRAME_OVERHEAD || end > bytes.len() {
             return Err(MmdbError::Corrupt("backward scan out of range".into()));
         }
-        let len = u32::from_le_bytes(bytes[end - 4..end].try_into().unwrap()) as usize;
+        let len =
+            u32::from_le_bytes(bytes[end - 4..end].try_into().expect("4-byte slice")) as usize;
         if len < FRAME_OVERHEAD || len > end {
             return Err(MmdbError::Corrupt("bad trailing frame length".into()));
         }
@@ -281,11 +287,15 @@ impl Reader<'_> {
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
     }
 }
 

@@ -64,6 +64,11 @@ pub struct SimConfig {
     pub seed: u64,
     /// Record-popularity distribution.
     pub workload: WorkloadKind,
+    /// Run the engine's protocol-invariant audit during the simulation and
+    /// fail the run if any checker fires. On by default: the simulator is
+    /// exactly the adversarial interleaving generator the checkers are
+    /// meant to watch.
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -88,6 +93,7 @@ impl SimConfig {
             warmup: 120.0,
             seed: 42,
             workload: WorkloadKind::Uniform,
+            audit: true,
         }
     }
 }
@@ -218,6 +224,7 @@ impl Simulator {
         // synchronously force the log (§1); the periodic forces below
         // play the group-commit daemon.
         engine_cfg.commit_durability = CommitDurability::Lazy;
+        engine_cfg.audit = cfg.audit;
         let mut db = Mmdb::open_in_memory(engine_cfg)?;
 
         let s_rec = cfg.params.db.s_rec as usize;
@@ -376,6 +383,15 @@ impl Simulator {
         // ---- measured recovery: crash the engine for real ---------------
         db.crash()?;
         let recovery = db.recover()?;
+
+        // ---- protocol audit: the whole run must have been invariant-clean
+        let violations = db.audit_violations();
+        if let Some(first) = violations.first() {
+            return Err(MmdbError::Corrupt(format!(
+                "protocol audit detected {} violation(s); first: {first}",
+                violations.len()
+            )));
+        }
 
         Ok(SimResult {
             algorithm: cfg.algorithm,

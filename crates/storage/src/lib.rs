@@ -282,6 +282,7 @@ impl Storage {
             data: s.data.clone(),
             tau: s.meta.tau,
             version: s.meta.version,
+            max_lsn: s.meta.max_lsn,
         }));
         Ok(())
     }

@@ -32,6 +32,10 @@ pub struct OldCopy {
     /// The segment version at the time the copy was made; used for
     /// ping-pong dirty accounting when the old copy is flushed.
     pub version: u64,
+    /// Highest LSN contained in the copied image. All of it predates the
+    /// checkpoint's begin-log force, so flushing an old copy never needs
+    /// the WAL gate — this field lets the audit stream verify that.
+    pub max_lsn: Lsn,
 }
 
 /// Per-segment checkpointing metadata.

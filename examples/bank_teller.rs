@@ -25,7 +25,8 @@ fn account_record(balance: u32, words: usize) -> Vec<u32> {
 }
 
 fn balance(db: &Mmdb, account: u64) -> u32 {
-    db.read_committed(RecordId(account)).unwrap()[0]
+    db.read_committed(RecordId(account))
+        .expect("account exists")[0]
 }
 
 fn total_balance(db: &Mmdb) -> u64 {

@@ -27,9 +27,9 @@
 #![warn(missing_docs)]
 
 pub use mmdb_core::{
-    Algorithm, CheckpointStart, CkptMode, CkptReport, CkptStats, CommitDurability, LogMode, Meters,
-    Mmdb, MmdbConfig, MmdbError, OverheadReport, Params, RecordId, RecoveryReport, Result,
-    StepOutcome, TxnId, TxnRun, WalPolicy,
+    Algorithm, AuditReport, AuditViolation, CheckerId, CheckpointStart, CkptMode, CkptReport,
+    CkptStats, CommitDurability, LogMode, Meters, Mmdb, MmdbConfig, MmdbError, OverheadReport,
+    Params, RecordId, RecoveryReport, Result, StepOutcome, TxnId, TxnRun, WalPolicy,
 };
 
 /// The analytic performance model and figure generators.
@@ -80,4 +80,9 @@ pub mod checkpoint {
 /// Crash recovery.
 pub mod recovery {
     pub use mmdb_recovery::*;
+}
+
+/// Online protocol-invariant auditing (event stream + checkers).
+pub mod audit {
+    pub use mmdb_audit::*;
 }

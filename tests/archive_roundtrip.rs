@@ -3,6 +3,9 @@
 //! the committed state; `restore_archive_dir` rebuilds an identical
 //! database in a fresh directory.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::{Algorithm, Mmdb, MmdbConfig, MmdbError, RecordId};
 
 fn tmp(name: &str) -> std::path::PathBuf {

@@ -1,0 +1,228 @@
+//! Mutation tests for the protocol-invariant audit subsystem.
+//!
+//! Each test drives a real engine with auditing enabled, then injects the
+//! exact event a protocol-violating implementation would have emitted —
+//! a segment image flushed past the WAL gate, a segment painted black
+//! twice, a COU old copy that is never swept, a recovery that restores
+//! the stale ping-pong copy, a durable-LSN regression — and asserts that
+//! the matching checker (and only that checker) fires. This proves the
+//! checkers detect real violations rather than merely staying quiet on
+//! correct runs.
+
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
+use mmdb::audit::{AuditEvent, CheckerId, PaintColor};
+use mmdb::checkpoint::BeginReport;
+use mmdb::types::{CheckpointId, Lsn, SegmentId};
+use mmdb::{Algorithm, CheckpointStart, Mmdb, MmdbConfig, RecordId, StepOutcome};
+
+fn engine(algorithm: Algorithm) -> Mmdb {
+    let mut cfg = MmdbConfig::small(algorithm);
+    if algorithm == Algorithm::FastFuzzy {
+        cfg.params.log_mode = mmdb::LogMode::StableTail;
+    }
+    assert!(cfg.audit, "small() must enable auditing");
+    Mmdb::open_in_memory(cfg).expect("open")
+}
+
+fn dirty_some_records(db: &mut Mmdb, n: u64) {
+    for rid in 0..n {
+        let value = vec![rid as u32 + 1; db.record_words()];
+        db.run_txn(&[(RecordId(rid), value)]).expect("txn");
+    }
+}
+
+fn begin_checkpoint(db: &mut Mmdb) -> BeginReport {
+    match db.try_begin_checkpoint().expect("begin") {
+        CheckpointStart::Started(report) => report,
+        CheckpointStart::Quiescing => panic!("no active txns, must start immediately"),
+    }
+}
+
+fn finish_checkpoint(db: &mut Mmdb) {
+    while db.is_checkpoint_active() {
+        if let StepOutcome::WaitingForLog = db.checkpoint_step().expect("step") {
+            db.force_log().expect("force");
+        }
+    }
+}
+
+/// The checkers that fired, deduplicated in order of first firing.
+fn fired(db: &Mmdb) -> Vec<CheckerId> {
+    let mut out: Vec<CheckerId> = Vec::new();
+    for v in db.audit_violations() {
+        if !out.contains(&v.checker) {
+            out.push(v.checker);
+        }
+    }
+    out
+}
+
+#[test]
+fn wal_gate_checker_catches_an_ungated_flush() {
+    let mut db = engine(Algorithm::FuzzyCopy);
+    dirty_some_records(&mut db, 4);
+    let begin = begin_checkpoint(&mut db);
+    assert!(
+        db.audit_violations().is_empty(),
+        "clean before the mutation"
+    );
+
+    // A buggy checkpointer writes a segment image containing log records
+    // far past the durable horizon, without consulting the gate.
+    // (`durable` is ahead of the real horizon so only the gate invariant
+    // is broken, not LSN monotonicity.)
+    db.audit().emit(|| AuditEvent::SegmentFlushed {
+        ckpt: begin.ckpt,
+        copy: begin.copy,
+        sid: SegmentId(0),
+        image_max_lsn: Lsn(2_000_000),
+        durable: Lsn(1_000_000),
+        from_old_copy: false,
+    });
+
+    assert_eq!(fired(&db), vec![CheckerId::WalGate]);
+    let v = &db.audit_violations()[0];
+    assert!(
+        v.message.contains("durable horizon"),
+        "violation should name the broken invariant: {v}"
+    );
+}
+
+#[test]
+fn paint_checker_catches_a_double_black() {
+    let mut db = engine(Algorithm::TwoColorFlush);
+    dirty_some_records(&mut db, 4);
+    begin_checkpoint(&mut db);
+    assert!(
+        db.audit_violations().is_empty(),
+        "clean before the mutation"
+    );
+
+    // A buggy sweep paints a white segment black; the real sweep then
+    // paints the same segment again (record 0 lives in segment 0, which
+    // the transactions above dirtied — it is in the white set).
+    db.audit().emit(|| AuditEvent::PaintFlipped {
+        sid: SegmentId(0),
+        to: PaintColor::Black,
+    });
+    finish_checkpoint(&mut db);
+
+    assert_eq!(fired(&db), vec![CheckerId::Paint]);
+}
+
+#[test]
+fn cou_checker_catches_a_leaked_old_copy() {
+    let mut db = engine(Algorithm::CouCopy);
+    dirty_some_records(&mut db, 4);
+    begin_checkpoint(&mut db);
+    assert!(
+        db.audit_violations().is_empty(),
+        "clean before the mutation"
+    );
+
+    // A buggy COU hook saves an old copy the sweep never consumes (the
+    // segment has no real old copy, so nothing will sweep it).
+    db.audit()
+        .emit(|| AuditEvent::OldCopyCreated { sid: SegmentId(1) });
+    finish_checkpoint(&mut db);
+
+    assert_eq!(fired(&db), vec![CheckerId::CouLifetime]);
+    let v = &db.audit_violations()[0];
+    assert!(v.message.contains("old cop"), "{v}");
+}
+
+#[test]
+fn ping_pong_checker_catches_a_stale_recovery_choice() {
+    let mut db = engine(Algorithm::FuzzyCopy);
+    dirty_some_records(&mut db, 4);
+    db.checkpoint().expect("ckpt 1");
+    dirty_some_records(&mut db, 4);
+    db.checkpoint().expect("ckpt 2");
+    db.crash().expect("crash");
+    assert!(
+        db.audit_violations().is_empty(),
+        "clean before the mutation"
+    );
+
+    // A buggy recovery restores checkpoint 1 even though copy 0 holds the
+    // more recent complete checkpoint 2.
+    db.audit().emit(|| AuditEvent::RecoveryChosen {
+        ckpt: CheckpointId(1),
+        copy: 1,
+        copies: [
+            mmdb::audit::CopySummary::Complete(CheckpointId(2)),
+            mmdb::audit::CopySummary::Complete(CheckpointId(1)),
+        ],
+    });
+
+    assert_eq!(fired(&db), vec![CheckerId::PingPong]);
+}
+
+#[test]
+fn monotonic_checker_catches_a_durable_lsn_regression() {
+    let mut db = engine(Algorithm::FuzzyCopy);
+    dirty_some_records(&mut db, 2); // forced commits move the durable LSN
+    assert!(
+        db.audit_violations().is_empty(),
+        "clean before the mutation"
+    );
+
+    // A buggy log manager reports its durable horizon moving backwards.
+    db.audit()
+        .emit(|| AuditEvent::LogForced { durable: Lsn(0) });
+
+    assert_eq!(fired(&db), vec![CheckerId::Monotonic]);
+}
+
+/// The flip side of the mutation tests: an unmutated engine driven through
+/// every algorithm — transactions, interleaved checkpoints, crash,
+/// recovery, more work — must come out violation-free with every checker
+/// having actually performed checks.
+#[test]
+fn unmutated_engines_audit_clean_across_all_algorithms() {
+    for algorithm in Algorithm::ALL_EXTENDED {
+        let mut db = engine(algorithm);
+        dirty_some_records(&mut db, 6);
+        begin_checkpoint(&mut db);
+        // interleave transactions with the sweep (aborts/COU saves happen)
+        for rid in 0..6 {
+            let value = vec![99; db.record_words()];
+            db.run_txn(&[(RecordId(rid), value)]).expect("txn");
+            if db.is_checkpoint_active() {
+                if let StepOutcome::WaitingForLog = db.checkpoint_step().expect("step") {
+                    db.force_log().expect("force");
+                }
+            }
+        }
+        finish_checkpoint(&mut db);
+        db.checkpoint().expect("second checkpoint");
+        db.crash().expect("crash");
+        db.recover().expect("recover");
+        dirty_some_records(&mut db, 2);
+        db.checkpoint().expect("post-recovery checkpoint");
+
+        let report = db.audit_report().expect("audited");
+        assert!(
+            report.is_clean(),
+            "{algorithm}: unexpected violations:\n{report}"
+        );
+        // Every checker relevant to the algorithm must have actually
+        // performed checks (paint only sees two-color events, COU only
+        // copy-on-update events).
+        for (checker, checks) in &report.checks {
+            let relevant = match checker {
+                CheckerId::Paint => algorithm.is_two_color(),
+                CheckerId::CouLifetime => algorithm.is_cou(),
+                _ => true,
+            };
+            if relevant {
+                assert!(
+                    *checks > 0,
+                    "{algorithm}: checker {checker} never ran a check\n{report}"
+                );
+            }
+        }
+    }
+}

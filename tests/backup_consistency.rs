@@ -15,6 +15,9 @@
 //! directly: real storage, log, checkpointer, and an in-memory backup
 //! whose segments we can read back.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::checkpoint::{Checkpointer, StepOutcome, WalPolicy};
 use mmdb::disk::{BackupStore, MemBackup};
 use mmdb::log::{LogManager, LogRecord, MemLogDevice};

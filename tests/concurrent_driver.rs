@@ -7,6 +7,9 @@
 //! checkpointer thread takes continuous checkpoints, then crashes and
 //! verifies the invariants.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::{Algorithm, Mmdb, MmdbConfig, MmdbError, RecordId, StepOutcome};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

@@ -8,6 +8,9 @@
 //! memory-resident database may die at any instant, and the ping-pong
 //! backup plus REDO log must always reconstruct the committed state.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId, StepOutcome};
 
 fn config(algorithm: Algorithm) -> MmdbConfig {

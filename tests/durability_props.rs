@@ -6,6 +6,9 @@
 //! maintained alongside the engine; after every crash+recovery the whole
 //! database is compared against it.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::{Algorithm, LogMode, Mmdb, MmdbConfig, MmdbError, RecordId, StepOutcome};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -95,6 +98,7 @@ fn run_ops(algorithm: Algorithm, ops: &[Op]) {
                     Err(MmdbError::NoCompleteBackup) => {
                         // legitimate only if no checkpoint ever completed
                         assert!(!has_checkpoint, "backup vanished");
+                        assert_audit_clean(&db);
                         return; // the engine is unusable from here
                     }
                     Err(e) => panic!("recovery failed: {e}"),
@@ -109,6 +113,21 @@ fn run_ops(algorithm: Algorithm, ops: &[Op]) {
         Err(MmdbError::NoCompleteBackup) => assert!(!has_checkpoint),
         Err(e) => panic!("final recovery failed: {e}"),
     }
+    assert_audit_clean(&db);
+}
+
+/// `MmdbConfig::small` runs these interleavings with the protocol audit
+/// on; no checker may have fired at any point.
+fn assert_audit_clean(db: &Mmdb) {
+    let violations = db.audit_violations();
+    assert!(
+        violations.is_empty(),
+        "protocol audit violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}\n"))
+            .collect::<String>()
+    );
 }
 
 proptest! {

@@ -2,6 +2,9 @@
 //! must round-trip through the frame encoding, survive torn tails, and
 //! scan identically forward and backward.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::log::{LogRecord, LogScanner};
 use mmdb::types::{CheckpointId, Lsn, RecordId, Timestamp, TxnId};
 use proptest::prelude::*;

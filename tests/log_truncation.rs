@@ -4,6 +4,9 @@
 //! segmented on-disk log, that reclaims real space — the property a
 //! long-running system lives or dies by.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::log::{LogDevice, SegmentedLogDevice};
 use mmdb::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId};
 

@@ -2,6 +2,9 @@
 //! and scaling laws that must hold at *every* parameter setting, not
 //! just the paper's defaults.
 
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
 use mmdb::model::AnalyticModel;
 use mmdb::types::{Algorithm, DbParams, DiskParams, LogMode, Params, TxnParams};
 use proptest::prelude::*;

@@ -1,0 +1,122 @@
+//! Pinned replays of the shrunk inputs recorded in
+//! `model_props.proptest-regressions`.
+//!
+//! The offline proptest stand-in (vendor/proptest) generates fresh cases but
+//! does not replay regression files, so the two historical failure inputs are
+//! encoded here verbatim as deterministic tests and run every time.
+
+// Test helpers exercise infallible setup paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
+use mmdb::model::AnalyticModel;
+use mmdb::types::{Algorithm, DbParams, DiskParams, LogMode, Params, TxnParams};
+
+fn recorded_params(lambda: f64, n_ru: u32, n_bdisks: u32) -> Params {
+    Params {
+        db: DbParams {
+            s_db: 1_048_576,
+            s_rec: 32,
+            s_seg: 1024,
+        },
+        txn: TxnParams {
+            lambda,
+            n_ru,
+            c_trans: 25_000,
+        },
+        disk: DiskParams {
+            n_bdisks,
+            ..DiskParams::default()
+        },
+        log_mode: LogMode::VolatileTail,
+        ..Params::default()
+    }
+}
+
+fn sound_algorithms(log_mode: LogMode) -> Vec<Algorithm> {
+    Algorithm::ALL_EXTENDED
+        .into_iter()
+        .filter(|a| a.sound_under(log_mode))
+        .collect()
+}
+
+fn assert_sane_at(p: Params) {
+    for algorithm in sound_algorithms(p.log_mode) {
+        let m = AnalyticModel::new(p, algorithm);
+        let point = m.evaluate(None);
+        assert!(point.duration > 0.0, "{algorithm}: duration");
+        assert!(
+            point.active_duration > 0.0 && point.active_duration <= point.duration + 1e-9,
+            "{algorithm}: active duration"
+        );
+        assert!(
+            (0.0..=p.db.n_segments() as f64 + 1e-9).contains(&point.segments_flushed),
+            "{algorithm}: segments_flushed {}",
+            point.segments_flushed
+        );
+        assert!(
+            (0.0..1.0).contains(&point.p_restart),
+            "{algorithm}: p_restart {}",
+            point.p_restart
+        );
+        assert!(point.sync_per_txn >= 0.0, "{algorithm}: sync_per_txn");
+        assert!(point.async_per_txn > 0.0, "{algorithm}: async_per_txn");
+        assert!(point.recovery_seconds > 0.0, "{algorithm}: recovery");
+        assert!(
+            point.overhead_per_txn().is_finite(),
+            "{algorithm}: overhead"
+        );
+    }
+}
+
+/// Regression `119b2988…`: p_restart bounds/monotonicity at an idle load
+/// (`lambda = 1`, one disk) with a busy checkpointer.
+#[test]
+fn recorded_case_p_restart_bounds() {
+    let p = recorded_params(1.0, 2, 1);
+    let (w0, f) = (0.827_056_886_728_680_6, 0.859_174_617_342_155_5);
+    let m = AnalyticModel::new(p, Algorithm::TwoColorFlush);
+    let base = m.p_restart(w0, f);
+    assert!(
+        (0.0..1.0).contains(&base),
+        "p_restart out of bounds: {base}"
+    );
+    assert_eq!(m.p_restart(0.0, f), 0.0, "no whites means no aborts");
+    assert_eq!(
+        m.p_restart(w0, 0.0),
+        0.0,
+        "idle checkpointer aborts nothing"
+    );
+    let busier = m.p_restart(w0, (f + 0.3).min(1.0));
+    assert!(busier >= base - 1e-9, "busier {busier} < base {base}");
+    assert_sane_at(p);
+}
+
+/// Regression `66ac62fa…`: model sanity at a moderate load on ten backup
+/// disks (`lambda ≈ 52.9`, `n_ru = 3`).
+#[test]
+fn recorded_case_model_sanity_ten_disks() {
+    let p = recorded_params(52.908_098_689_458_05, 3, 10);
+    assert_sane_at(p);
+    for algorithm in sound_algorithms(p.log_mode) {
+        let m = AnalyticModel::new(p, algorithm);
+        let fast = m.evaluate(None);
+        let slow = m.evaluate(Some(fast.duration * 3.0));
+        if !algorithm.is_two_color() {
+            assert!(
+                slow.overhead_per_txn() <= fast.overhead_per_txn() * (1.0 + 1e-9),
+                "{algorithm}: stretching the interval must not raise overhead"
+            );
+        }
+        assert!(
+            slow.recovery_seconds >= fast.recovery_seconds - 1e-9,
+            "{algorithm}: stretching the interval must not shrink recovery"
+        );
+        let mut p2 = p;
+        p2.disk.n_bdisks *= 2;
+        let wider = AnalyticModel::new(p2, algorithm).evaluate(None);
+        assert!(
+            wider.recovery_seconds <= fast.recovery_seconds + 1e-9,
+            "{algorithm}: doubling disks must not slow recovery"
+        );
+    }
+}

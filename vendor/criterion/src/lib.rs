@@ -1,0 +1,193 @@
+//! Offline stand-in for the slice of `criterion` the bench targets use.
+//!
+//! No statistics are collected. Each registered benchmark routine is executed
+//! once and its wall-clock time printed, so `cargo bench` still works as a
+//! smoke test and `cargo clippy --all-targets` has something real to check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; sampling is not implemented.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; measurement windows are not implemented.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is not implemented.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run `routine` once and report its wall-clock time.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, routine: &mut F) {
+    let mut bencher = Bencher { elapsed: None };
+    let start = Instant::now();
+    routine(&mut bencher);
+    let elapsed = bencher.elapsed.unwrap_or_else(|| start.elapsed());
+    eprintln!("bench {id}: {elapsed:?} (single pass; offline criterion shim)");
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `routine` once under `group/id` and report its wall-clock time.
+    pub fn bench_function<I, F>(&mut self, id: I, mut routine: F) -> &mut Self
+    where
+        I: Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut routine);
+        self
+    }
+
+    /// Like [`Self::bench_function`] with an explicit input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut routine: F) -> &mut Self
+    where
+        I: Display,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut bencher = Bencher { elapsed: None };
+        let start = Instant::now();
+        routine(&mut bencher, input);
+        let elapsed = bencher.elapsed.unwrap_or_else(|| start.elapsed());
+        eprintln!(
+            "bench {}/{}: {:?} (single pass; offline criterion shim)",
+            self.name, id, elapsed
+        );
+        self
+    }
+
+    /// Accepted for compatibility.
+    #[must_use]
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to benchmark routines.
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Execute `routine` once, recording its duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let _ = black_box(routine());
+        self.elapsed = Some(start.elapsed());
+    }
+
+    /// Execute `setup` then `routine` once, timing only `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let _ = black_box(routine(input));
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+/// Batch sizing hints; ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name plus parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,523 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Implements value generation (no shrinking): `Strategy` with `prop_map`,
+//! `Just`, numeric range strategies, tuples, `any::<T>()`,
+//! `collection::vec`, weighted `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!`, and the `proptest!` runner macro with
+//! `#![proptest_config(..)]` support.
+//!
+//! Case generation is deterministic: the RNG stream for a test case is
+//! derived from the test's module path, name, and case index, so failures
+//! reproduce across runs. When a case fails the generated inputs are printed
+//! in full (`{:?}`) instead of being shrunk; paste them into a regular unit
+//! test to investigate.
+//!
+//! `*.proptest-regressions` files are not consulted — recorded regression
+//! seeds only replay under the real proptest's generator. Keep the files:
+//! they document the concrete shrunk inputs of past failures.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom};
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one named test case; stable across runs and platforms.
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run-time knobs accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; local rejects are cheap `return`s.
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a test case did not pass; the error type of `proptest!` bodies.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Precondition not met (`prop_assume!`); the case is skipped.
+    Reject(String),
+    /// Explicit failure; the test aborts and prints its inputs.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An explicit failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy covering the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Weighted choice between strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Build from `(weight, strategy)` arms. Panics if `arms` is empty or
+    /// all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, strat) in &self.arms {
+            if pick < u64::from(*w) {
+                return strat.generate(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Box one `prop_oneof!` arm, unifying its value type with its siblings.
+pub fn weighted_arm<S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::weighted_arm($weight, $strategy)),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::weighted_arm(1, $strategy)),+])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+///
+/// Without shrinking there is nothing to redo, so a rejected case simply
+/// returns early and counts as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests. Mirrors the real macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in collection::vec(any::<u32>(), 1..4)) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __values = ( $($crate::Strategy::generate(&($strategy), &mut __rng),)+ );
+                let __repr = ::std::format!("{:#?}", __values);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            let ( $($pat,)+ ) = __values;
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                let __print_inputs = || {
+                    ::std::eprintln!(
+                        "proptest shim: {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __repr,
+                    );
+                };
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::TestCaseError::Reject(_),
+                    )) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::TestCaseError::Fail(__msg),
+                    )) => {
+                        __print_inputs();
+                        ::std::panic!("{}", __msg);
+                    }
+                    ::std::result::Result::Err(__panic) => {
+                        __print_inputs();
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, 5i32..8), f in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..8).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn oneof_vec_and_map(
+            v in crate::collection::vec(prop_oneof![3 => Just(1u8), 1 => Just(2u8)], 1..20),
+            w in crate::collection::vec(any::<u32>().prop_map(|x| x % 7), 4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| *x == 1 || *x == 2));
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(w.iter().all(|x| *x < 7));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..4) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::TestRng::for_case("some::test", 5);
+        let mut b = crate::TestRng::for_case("some::test", 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("some::test", 6);
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the slice of `rand` this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over integer and float half-open ranges.
+//!
+//! Workload generation needs determinism and "good enough" uniformity, not
+//! cryptographic quality, so the core is SplitMix64. Integer sampling uses a
+//! simple modulo reduction; the bias is negligible for the range widths the
+//! workloads draw from.
+
+use core::ops::Range;
+
+/// Random number generator types.
+pub mod rngs {
+    /// Deterministic generator with a SplitMix64 core.
+    ///
+    /// Unrelated to the real `rand::rngs::StdRng` (ChaCha) beyond the name;
+    /// streams are stable across runs for a given seed, which is what the
+    /// workloads and examples rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Advance the SplitMix64 state and return the next 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of a generator from simple seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = StdRng {
+            state: seed ^ 0x6A09_E667_F3BC_C908,
+        };
+        // One warm-up step so nearby seeds diverge immediately.
+        rng.next_u64();
+        rng
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `start..end` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `[range.start, range.end)`.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "random_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (range.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "random_range: empty range");
+        let unit = (rng.next_u64() >> 40) as f64 * (1.0 / (1u64 << 24) as f64);
+        range.start + (range.end - range.start) * unit as f32
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::RngExt`.
+pub trait RngExt {
+    /// Draw a uniform value from the half-open range `start..end`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+impl RngExt for StdRng {
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

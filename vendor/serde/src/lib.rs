@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! plain-old-data types; nothing actually serializes through serde. These
+//! marker traits are blanket-implemented for every type so any bound written
+//! against them is satisfied, and the re-exported derive macros expand to
+//! nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

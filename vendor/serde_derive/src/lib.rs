@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on a few plain-old-data
+//! types but never performs real serialization, so the derives only need to
+//! compile. Both expand to nothing; the blanket impls in the companion
+//! `serde` shim satisfy any trait bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
