@@ -7,12 +7,16 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig4a`, `fig4b`, `fig4c`, `fig4d`, `fig4e`,
-//! `simval`, `ablate`, `costs`, `all`. Output is plain text: the same
-//! rows/series the paper reports, from the re-derived analytic model,
-//! plus the simulator cross-validation. Pass `--csv <dir>` to also write
-//! each figure's data as CSV for external plotting.
+//! `simval`, `ablate`, `costs`, `simsweep`, `bench`, `all`. Output is
+//! plain text: the same rows/series the paper reports, from the
+//! re-derived analytic model, plus the simulator cross-validation. Pass
+//! `--csv <dir>` to also write each figure's data as CSV for external
+//! plotting. `bench` runs the telemetry-instrumented simulator over
+//! every algorithm and writes `BENCH_repro.json` (overhead per txn,
+//! p50/p99 checkpoint-pass and recovery latencies; `--out <path>` to
+//! redirect).
 
-use mmdb_bench::{cross_validate, render_validation};
+use mmdb_bench::{bench_json, bench_trajectory, cross_validate, render_validation};
 use mmdb_model::figures::{
     fig4a, fig4b, fig4c, fig4d, fig4e, render_algorithm_points, render_fig4b, render_sweep,
     render_tables2,
@@ -33,6 +37,12 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create --csv directory");
     }
     let csv = csv_dir.as_deref();
+    let out: std::path::PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_repro.json"));
 
     match what {
         "table2" => table2(),
@@ -45,6 +55,7 @@ fn main() {
         "ablate" => run_ablate(quick),
         "costs" => run_costs(),
         "simsweep" => run_simsweep(quick, csv),
+        "bench" => run_bench(quick, &out),
         "all" => {
             table2();
             run_fig4a(csv);
@@ -56,15 +67,58 @@ fn main() {
             run_ablate(quick);
             run_costs();
             run_simsweep(quick, csv);
+            run_bench(quick, &out);
         }
         other => {
             eprintln!(
                 "unknown experiment {other:?}; expected one of: \
-                 table2 fig4a fig4b fig4c fig4d fig4e simval ablate costs simsweep all"
+                 table2 fig4a fig4b fig4c fig4d fig4e simval ablate costs simsweep bench all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// The telemetry bench trajectory: one instrumented simulator run per
+/// algorithm, exported as `BENCH_repro.json` — overhead per transaction
+/// and p50/p99 checkpoint-pass / recovery latency digests, all on the
+/// simulated clock (deterministic under the fixed seed).
+fn run_bench(quick: bool, out: &std::path::Path) {
+    eprintln!(
+        "running telemetry bench trajectory ({} algorithms, {} mode)...",
+        mmdb_types::Algorithm::ALL_EXTENDED.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let entries = bench_trajectory(quick);
+    let mut t = Table::new(
+        "Bench trajectory — overhead and latency digests (simulated clock, scaled parameters)",
+        &[
+            "algorithm",
+            "overhead (instr/txn)",
+            "ckpts",
+            "pass p50 (ms)",
+            "pass p99 (ms)",
+            "recovery p50 (s)",
+        ],
+    );
+    for e in &entries {
+        let (p50, p99) = e
+            .ckpt_pass_us
+            .map(|h| (h.p50 as f64 / 1e3, h.p99 as f64 / 1e3))
+            .unwrap_or((0.0, 0.0));
+        let rec = e.recovery_us.map(|h| h.p50 as f64 / 1e6).unwrap_or(0.0);
+        t.row(&[
+            e.algorithm.name().to_string(),
+            format!("{:.0}", e.overhead_per_txn),
+            format!("{}", e.checkpoints),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+            format!("{rec:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    std::fs::write(out, bench_json(&entries, quick)).expect("write bench json");
+    eprintln!("wrote {}", out.display());
 }
 
 fn table2() {

@@ -5,6 +5,8 @@
 
 use mmdb_model::render::Table;
 use mmdb_model::AnalyticModel;
+use mmdb_obs::json::Value;
+use mmdb_obs::HistSummary;
 use mmdb_sim::{SimConfig, SimResult, Simulator};
 use mmdb_types::{Algorithm, LogMode, Params};
 
@@ -93,6 +95,112 @@ pub fn render_validation(rows: &[ValidationRow]) -> String {
         ]);
     }
     t.render()
+}
+
+/// One per-algorithm row of the bench trajectory (`repro bench`): the
+/// paper's overhead metric plus the telemetry layer's latency digests,
+/// all driven by the simulated clock so the emitted JSON is
+/// reproducible under the fixed seed.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Algorithm measured.
+    pub algorithm: Algorithm,
+    /// Transactions committed in the measured window.
+    pub committed: u64,
+    /// Checkpoints completed in the measured window.
+    pub checkpoints: u64,
+    /// Total checkpointing overhead, instructions per committed txn.
+    pub overhead_per_txn: f64,
+    /// Synchronous component of the overhead.
+    pub sync_per_txn: f64,
+    /// Asynchronous component of the overhead.
+    pub async_per_txn: f64,
+    /// Empirical two-color restart probability.
+    pub p_restart: f64,
+    /// Checkpoint-pass latency digest, simulated microseconds
+    /// (request-to-completion; one sample per completed checkpoint).
+    pub ckpt_pass_us: Option<HistSummary>,
+    /// Modeled recovery-time digest, microseconds (the end-of-run crash
+    /// and real recovery).
+    pub recovery_us: Option<HistSummary>,
+}
+
+/// Runs the discrete-event simulator once per algorithm (all seven,
+/// including the beyond-paper COUAC) at the validation parameters and
+/// collects the bench trajectory.
+pub fn bench_trajectory(quick: bool) -> Vec<BenchEntry> {
+    Algorithm::ALL_EXTENDED
+        .iter()
+        .map(|&algorithm| {
+            let mut cfg = SimConfig::validation(algorithm);
+            if quick {
+                cfg.duration = 120.0;
+                cfg.warmup = 60.0;
+            }
+            let r = Simulator::new(cfg).run().expect("simulation failed");
+            BenchEntry {
+                algorithm,
+                committed: r.committed,
+                checkpoints: r.checkpoints,
+                overhead_per_txn: r.overhead_per_txn(),
+                sync_per_txn: r.sync_per_txn(),
+                async_per_txn: r.async_per_txn(),
+                p_restart: r.p_restart(),
+                ckpt_pass_us: r.snapshot.hist("sim.ckpt_pass_us").copied(),
+                recovery_us: r.snapshot.hist("recovery.total_modeled_us").copied(),
+            }
+        })
+        .collect()
+}
+
+fn hist_json(h: &HistSummary) -> Value {
+    Value::Obj(vec![
+        ("count".into(), Value::u(h.count)),
+        ("p50_us".into(), Value::u(h.p50)),
+        ("p90_us".into(), Value::u(h.p90)),
+        ("p99_us".into(), Value::u(h.p99)),
+        ("max_us".into(), Value::u(h.max)),
+        ("mean_us".into(), Value::f(h.mean)),
+    ])
+}
+
+/// Serializes a bench trajectory as the `BENCH_repro.json` document:
+/// per-algorithm overhead-per-transaction plus p50/p99 checkpoint-pass
+/// and recovery latency digests. Content is deterministic for a given
+/// build (simulated clock only — no wall-clock values).
+pub fn bench_json(entries: &[BenchEntry], quick: bool) -> String {
+    let algorithms = Value::Obj(
+        entries
+            .iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("committed".into(), Value::u(e.committed)),
+                    ("checkpoints".into(), Value::u(e.checkpoints)),
+                    (
+                        "overhead_instr_per_txn".into(),
+                        Value::f(e.overhead_per_txn),
+                    ),
+                    ("sync_instr_per_txn".into(), Value::f(e.sync_per_txn)),
+                    ("async_instr_per_txn".into(), Value::f(e.async_per_txn)),
+                    ("p_restart".into(), Value::f(e.p_restart)),
+                ];
+                if let Some(h) = &e.ckpt_pass_us {
+                    fields.push(("ckpt_pass".into(), hist_json(h)));
+                }
+                if let Some(h) = &e.recovery_us {
+                    fields.push(("recovery".into(), hist_json(h)));
+                }
+                (e.algorithm.metric_name().to_string(), Value::Obj(fields))
+            })
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("schema".into(), Value::s("mmdb-bench-repro/v1")),
+        ("source".into(), Value::s("mmdb-bench repro bench")),
+        ("quick".into(), Value::Bool(quick)),
+        ("algorithms".into(), algorithms),
+    ])
+    .to_pretty()
 }
 
 /// The algorithms that are sound under the given log mode.

@@ -3,6 +3,7 @@
 use mmdb_audit::{Audit, AuditEvent, PaintColor};
 use mmdb_disk::BackupStore;
 use mmdb_log::{LogManager, LogRecord};
+use mmdb_obs::{Obs, Timer};
 use mmdb_storage::{Color, Storage};
 use mmdb_types::{
     Algorithm, CheckpointId, CkptMode, CostMeter, Lsn, MmdbError, Result, SegmentId,
@@ -135,6 +136,8 @@ struct ActiveCkpt {
     effective_full: bool,
     pending: Option<PendingFlush>,
     report: CkptReport,
+    /// Wall-clock timer spanning the whole pass (inert without telemetry).
+    timer: Timer,
 }
 
 /// The checkpointer. One instance drives all checkpoints of an engine,
@@ -150,6 +153,7 @@ pub struct Checkpointer {
     last_report: Option<CkptReport>,
     stats: CkptStats,
     audit: Audit,
+    obs: Obs,
 }
 
 impl Checkpointer {
@@ -171,12 +175,37 @@ impl Checkpointer {
             last_report: None,
             stats: CkptStats::default(),
             audit: Audit::disabled(),
+            obs: Obs::disabled(),
         }
     }
 
     /// Routes protocol events to `audit` (disabled by default).
     pub fn set_audit(&mut self, audit: Audit) {
         self.audit = audit;
+    }
+
+    /// Routes telemetry (pass/flush spans, lock-hold latency) to `obs`
+    /// (disabled by default).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Writes a segment image to the backup store, timing the device
+    /// operation and emitting a per-segment flush span.
+    fn flush_observed(
+        &self,
+        backup: &mut dyn BackupStore,
+        copy: usize,
+        sid: SegmentId,
+        data: &[Word],
+    ) -> Result<()> {
+        let t = self.obs.timer();
+        backup.write_segment(copy, sid, data)?;
+        self.obs
+            .span_end("ckpt.flush", "ckpt.segment_flush_ns", t, || {
+                format!("{} {sid} copy {copy}", self.algorithm.name())
+            });
+        Ok(())
     }
 
     /// The algorithm in use.
@@ -282,6 +311,7 @@ impl Checkpointer {
             return Ok(());
         }
         storage.cou_save_old(sid, sync_meter)?;
+        self.obs.counter("ckpt.old_copy_saves", 1);
         self.audit.emit(|| AuditEvent::OldCopyCreated { sid });
         Ok(())
     }
@@ -315,6 +345,9 @@ impl Checkpointer {
         }
         let ckpt = self.next_ckpt;
         let copy = ckpt.pingpong_copy();
+        // The pass timer starts here so it covers the begin marker, the
+        // paint pass and every sweep step through the end-marker force.
+        let pass_timer = self.obs.timer();
 
         // Quiesced (TC) COU checkpoints are consistent as of the begin
         // marker and carry no active list (the quiesce guarantees it is
@@ -399,6 +432,7 @@ impl Checkpointer {
                 copy,
                 ..CkptReport::default()
             },
+            timer: pass_timer,
         });
         self.next_ckpt = ckpt.next();
         let algorithm = self.algorithm;
@@ -599,6 +633,16 @@ impl Checkpointer {
         self.stats.segments_flushed += report.segments_flushed;
         self.stats.old_copies_flushed += report.old_copies_flushed;
         self.stats.io_words += report.io_words;
+        self.obs.observe("ckpt.pass_io_words", report.io_words);
+        self.obs.span_end("ckpt.pass", "ckpt.pass_ns", a.timer, || {
+            format!(
+                "{} {ckpt} copy {copy}: {} flushed, {} skipped, {} io words",
+                self.algorithm.name(),
+                report.segments_flushed,
+                report.segments_skipped,
+                report.io_words
+            )
+        });
         self.last_report = Some(report);
         Ok(StepOutcome::Done { io_words })
     }
@@ -651,7 +695,7 @@ impl Checkpointer {
             .take()
             .expect("pending image");
         self.meter.io_op();
-        backup.write_segment(copy, pending.sid, &pending.data)?;
+        self.flush_observed(backup, copy, pending.sid, &pending.data)?;
         storage.mark_flushed(pending.sid, copy, pending.version)?;
         let durable = log.durable_lsn();
         self.audit.emit(|| AuditEvent::SegmentFlushed {
@@ -715,7 +759,7 @@ impl Checkpointer {
         let (version, words, image_max_lsn) = {
             let cap = storage.capture(sid)?;
             self.meter.io_op();
-            backup.write_segment(copy, sid, cap.data)?;
+            self.flush_observed(backup, copy, sid, cap.data)?;
             (cap.version, cap.data.len() as u64, cap.max_lsn)
         };
         storage.mark_flushed(sid, copy, version)?;
@@ -780,6 +824,7 @@ impl Checkpointer {
             return Ok(SegmentAction::Skipped);
         }
         self.meter.lock_op(); // lock (shared)
+        let lock_t = self.obs.timer();
         let gate = storage.capture(sid)?.max_lsn;
         self.meter.lsn_op();
         let open = log.is_durable(gate);
@@ -794,6 +839,7 @@ impl Checkpointer {
             match self.wal_policy {
                 WalPolicy::Wait => {
                     self.meter.lock_op(); // unlock and retry later
+                    self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
                     return Ok(SegmentAction::WaitingForLog);
                 }
                 WalPolicy::Force => {
@@ -805,12 +851,13 @@ impl Checkpointer {
         let (version, words) = {
             let cap = storage.capture(sid)?;
             self.meter.io_op();
-            backup.write_segment(copy, sid, cap.data)?;
+            self.flush_observed(backup, copy, sid, cap.data)?;
             (cap.version, cap.data.len() as u64)
         };
         storage.mark_flushed(sid, copy, version)?;
         storage.paint_black(sid)?;
         self.meter.lock_op(); // unlock
+        self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
         let durable = log.durable_lsn();
         self.audit.emit(|| AuditEvent::SegmentFlushed {
             ckpt,
@@ -842,6 +889,7 @@ impl Checkpointer {
             return Ok(SegmentAction::Skipped);
         }
         self.meter.lock_op(); // lock (shared)
+        let lock_t = self.obs.timer();
         let pending = {
             let cap = storage.capture(sid)?;
             self.meter.alloc_op();
@@ -855,6 +903,7 @@ impl Checkpointer {
         };
         storage.paint_black(sid)?;
         self.meter.lock_op(); // unlock — before the I/O, the whole point
+        self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
         self.audit.emit(|| AuditEvent::PaintFlipped {
             sid,
             to: PaintColor::Black,
@@ -906,6 +955,7 @@ impl Checkpointer {
 
         // Figure 3.3 locks CUR_SEG exclusively to examine it.
         self.meter.lock_op();
+        let lock_t = self.obs.timer();
         let seg_version = storage.segment_meta(sid)?.version;
 
         if seg_version > snapshot_version {
@@ -913,6 +963,7 @@ impl Checkpointer {
             // in the old copy (the updating transaction saved it). Its
             // log records predate the begin force, so no LSN gate.
             self.meter.lock_op(); // unlock; the old copy is private
+            self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
             let old = storage.take_old(sid, &self.meter)?.ok_or_else(|| {
                 MmdbError::Invalid(format!(
                     "COU protocol violation: {sid} updated after the snapshot has no old copy"
@@ -922,7 +973,9 @@ impl Checkpointer {
             let flushed = storage.segment_meta(sid)?.flushed_version[copy & 1];
             if full || old.version > flushed {
                 self.meter.io_op();
-                backup.write_segment(copy, sid, &old.data)?;
+                self.flush_observed(backup, copy, sid, &old.data)?;
+                self.obs
+                    .counter("ckpt.old_copy_flush_words", old.data.len() as u64);
                 storage.mark_flushed(sid, copy, old.version)?;
                 let durable = log.durable_lsn();
                 self.audit.emit(|| AuditEvent::SegmentFlushed {
@@ -950,11 +1003,12 @@ impl Checkpointer {
                 let (version, words, image_max_lsn) = {
                     let cap = storage.capture(sid)?;
                     self.meter.io_op();
-                    backup.write_segment(copy, sid, cap.data)?;
+                    self.flush_observed(backup, copy, sid, cap.data)?;
                     (cap.version, cap.data.len() as u64, cap.max_lsn)
                 };
                 storage.mark_flushed(sid, copy, version)?;
                 self.meter.lock_op(); // unlock
+                self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
                 let durable = log.durable_lsn();
                 self.audit.emit(|| AuditEvent::SegmentFlushed {
                     ckpt,
@@ -976,8 +1030,9 @@ impl Checkpointer {
                     (cap.data.into(), cap.version, cap.max_lsn)
                 };
                 self.meter.lock_op(); // unlock
+                self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
                 self.meter.io_op();
-                backup.write_segment(copy, sid, &buf)?;
+                self.flush_observed(backup, copy, sid, &buf)?;
                 storage.mark_flushed(sid, copy, version)?;
                 self.meter.alloc_op(); // free the buffer
                 let durable = log.durable_lsn();
@@ -1009,6 +1064,7 @@ impl Checkpointer {
                     }
                 };
                 self.meter.lock_op(); // unlock before the I/O
+                self.obs.observe_timer("ckpt.lock_hold_ns", lock_t);
                 self.active.as_mut().expect("checkpoint active").pending = Some(pending);
                 match self.try_flush_pending(storage, log, backup)? {
                     Some(io_words) => Ok(SegmentAction::Flushed { io_words }),

@@ -7,7 +7,8 @@
 //! mmdb-cli <dir> get <record>
 //! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
 //! mmdb-cli <dir> checkpoint
-//! mmdb-cli <dir> stats
+//! mmdb-cli <dir> stats [--json|--prom]
+//! mmdb-cli <dir> trace [--txns N] [--seed S] [--updates K] [--limit N]
 //! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
 //! mmdb-cli <dir> fsck
 //! mmdb-cli <dir> dump <archive-file>
@@ -46,25 +47,66 @@ fn run() -> Result<(), String> {
         },
         None => return Err(usage()),
     };
-    match cmd.as_str() {
-        "init" => cmd_init(&dir, &rest),
-        "put" => cmd_put(&dir, &rest),
-        "get" => cmd_get(&dir, &rest),
-        "workload" => cmd_workload(&dir, &rest),
-        "checkpoint" => cmd_checkpoint(&dir),
-        "stats" => cmd_stats(&dir),
-        "audit" => cmd_audit(&dir, &rest),
-        "fsck" => cmd_fsck(&dir),
-        "dump" => cmd_dump(&dir, &rest),
-        "restore" => cmd_restore(&dir, &rest),
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    match COMMANDS.iter().find(|(name, _, _)| *name == cmd.as_str()) {
+        Some((_, _, handler)) => handler(&dir, &rest),
+        None => Err(format!("unknown command {cmd:?}\n{}", usage())),
     }
 }
 
+type Handler = fn(&Path, &[String]) -> Result<(), String>;
+
+/// The single source of truth for dispatch *and* the usage text: every
+/// subcommand is one `(name, one-line help, handler)` row here, so the
+/// help can never drift out of sync with what actually runs.
+const COMMANDS: &[(&str, &str, Handler)] = &[
+    (
+        "init",
+        "create a database (--algorithm A, --segments N, --segment-words N, --record-words N, --full)",
+        cmd_init,
+    ),
+    ("put", "<record> <fill-u32> — commit one update", cmd_put),
+    ("get", "<record> — read a committed record", cmd_get),
+    (
+        "workload",
+        "<n-txns> — run a seeded uniform workload (--seed S, --updates K)",
+        cmd_workload,
+    ),
+    ("checkpoint", "take a checkpoint now", cmd_checkpoint),
+    (
+        "stats",
+        "print statistics; --json / --prom export the unified metrics snapshot",
+        cmd_stats,
+    ),
+    (
+        "trace",
+        "run an instrumented workload and print the span trace (--txns N, --seed S, --updates K, --limit N)",
+        cmd_trace,
+    ),
+    (
+        "audit",
+        "run a protocol-audited stress pass (--txns N, --seed S, --updates K)",
+        cmd_audit,
+    ),
+    (
+        "fsck",
+        "verify backup checksums, the log window, and dry-run recovery",
+        cmd_fsck,
+    ),
+    ("dump", "<archive-file> — write a cold archive", cmd_dump),
+    (
+        "restore",
+        "<archive-file> — restore an archive into a fresh directory (--algorithm A)",
+        cmd_restore,
+    ),
+];
+
 fn usage() -> String {
-    "usage: mmdb-cli <dir> <init|put|get|workload|checkpoint|stats|audit|fsck|dump|restore> [args]\n\
-     run `mmdb-cli <dir> init` first to create a database"
-        .to_string()
+    let mut out = String::from("usage: mmdb-cli <dir> <command> [args]\ncommands:\n");
+    for (name, help, _) in COMMANDS {
+        out.push_str(&format!("  {name:<11} {help}\n"));
+    }
+    out.push_str("run `mmdb-cli <dir> init` first to create a database");
+    out
 }
 
 fn flag_value(rest: &[String], flag: &str) -> Option<String> {
@@ -74,7 +116,10 @@ fn flag_value(rest: &[String], flag: &str) -> Option<String> {
 }
 
 fn open(dir: &Path) -> Result<Mmdb, String> {
-    let config = persist::load(dir)?;
+    open_with(persist::load(dir)?, dir)
+}
+
+fn open_with(config: MmdbConfig, dir: &Path) -> Result<Mmdb, String> {
     let (db, recovered) = Mmdb::open_dir(config, dir).map_err(|e| e.to_string())?;
     if let Some(r) = recovered {
         eprintln!(
@@ -210,7 +255,7 @@ fn cmd_workload(dir: &Path, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_checkpoint(dir: &Path) -> Result<(), String> {
+fn cmd_checkpoint(dir: &Path, _rest: &[String]) -> Result<(), String> {
     let mut db = open(dir)?;
     let report = db.checkpoint().map_err(|e| e.to_string())?;
     println!(
@@ -224,9 +269,23 @@ fn cmd_checkpoint(dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(dir: &Path) -> Result<(), String> {
-    let config = persist::load(dir)?;
-    let db = open(dir)?;
+fn cmd_stats(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let json = rest.iter().any(|a| a == "--json");
+    let prom = rest.iter().any(|a| a == "--prom");
+    let mut config = persist::load(dir)?;
+    // Telemetry on, like `audit` forces the audit on: the snapshot then
+    // carries latency histograms for whatever this invocation did
+    // (including a recovery, if one ran).
+    config.telemetry = true;
+    let db = open_with(config, dir)?;
+    if json {
+        println!("{}", db.metrics_snapshot().to_json_pretty());
+        return Ok(());
+    }
+    if prom {
+        print!("{}", db.metrics_snapshot().to_prometheus());
+        return Ok(());
+    }
     let t = db.txn_stats();
     let c = db.ckpt_stats();
     let l = db.log_stats();
@@ -263,6 +322,61 @@ fn cmd_stats(dir: &Path) -> Result<(), String> {
         dev.disk_bytes(),
         dev.start_offset(),
         dev.len()
+    );
+    Ok(())
+}
+
+/// Runs a telemetry-instrumented workload over the database — seeded
+/// transactions interleaved with stepped checkpoints, a final full
+/// checkpoint and a dry-run recoverability check — then prints the span
+/// trace: one line per span (begin/commit, per-segment flushes, lock
+/// holds, log forces, checkpoint passes, recovery phases).
+fn cmd_trace(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let txns: u64 = flag_value(rest, "--txns")
+        .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
+        .transpose()?
+        .unwrap_or(50);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let updates: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+    let limit: usize = flag_value(rest, "--limit")
+        .map(|v| v.parse().map_err(|e| format!("--limit: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+
+    let mut config = persist::load(dir)?;
+    config.telemetry = true;
+    let mut db = open_with(config, dir)?;
+
+    let words = db.record_words();
+    let mut wl = UniformWorkload::new(db.n_records(), updates, seed);
+    for i in 0..txns {
+        if i == txns / 3 && !db.is_checkpoint_active() {
+            db.try_begin_checkpoint().map_err(|e| e.to_string())?;
+        }
+        if db.is_checkpoint_active() && i % 2 == 0 {
+            step_checkpoint(&mut db)?;
+        }
+        let spec = wl.next_txn();
+        db.run_txn(&spec.materialize(words))
+            .map_err(|e| e.to_string())?;
+    }
+    while db.is_checkpoint_active() {
+        step_checkpoint(&mut db)?;
+    }
+    db.checkpoint().map_err(|e| e.to_string())?;
+    db.verify_recoverability().map_err(|e| e.to_string())?;
+
+    let (spans, dropped) = db.trace_spans(limit);
+    print!("{}", mmdb_core::render_spans(&spans, dropped));
+    println!(
+        "({} spans shown; latency histograms: `mmdb-cli <dir> stats --json`)",
+        spans.len()
     );
     Ok(())
 }
@@ -339,7 +453,7 @@ fn step_checkpoint(db: &mut Mmdb) -> Result<(), String> {
     }
 }
 
-fn cmd_fsck(dir: &Path) -> Result<(), String> {
+fn cmd_fsck(dir: &Path, _rest: &[String]) -> Result<(), String> {
     use mmdb_disk::{BackupStore, CopyStatus, FileBackup};
     let config = persist::load(dir)?;
     let mut problems = 0u64;
@@ -478,4 +592,52 @@ fn cmd_restore(dir: &Path, rest: &[String]) -> Result<(), String> {
     );
     drop(db);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_lists_every_dispatchable_command_once() {
+        let text = usage();
+        for (name, help, _) in COMMANDS {
+            let line = text
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!("{name} ")))
+                .unwrap_or_else(|| panic!("usage must list {name}"));
+            assert!(line.contains(help), "usage line for {name} lost its help");
+        }
+        // no duplicates in the dispatch table (the first match would
+        // silently shadow the second)
+        let mut names: Vec<&str> = COMMANDS.iter().map(|(n, _, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COMMANDS.len(), "duplicate command name");
+    }
+
+    #[test]
+    fn telemetry_commands_are_dispatchable() {
+        for required in ["stats", "trace"] {
+            assert!(
+                COMMANDS.iter().any(|(n, _, _)| *n == required),
+                "{required} missing from dispatch table"
+            );
+        }
+    }
+
+    #[test]
+    fn module_doc_mentions_every_command() {
+        // the ```text block at the top of this file is the README-facing
+        // synopsis; keep it covering the full command set
+        let doc = include_str!("main.rs");
+        let synopsis_end = doc.find("mod persist").expect("module body");
+        let synopsis = &doc[..synopsis_end];
+        for (name, _, _) in COMMANDS {
+            assert!(
+                synopsis.contains(&format!("mmdb-cli <dir> {name}")),
+                "module doc synopsis missing {name}"
+            );
+        }
+    }
 }

@@ -136,6 +136,100 @@ fn custom_geometry_respected() {
 }
 
 #[test]
+fn stats_json_round_trips_through_the_snapshot_parser() {
+    let dir = tmpdir("stats-json");
+    ok(&dir, &["init", "--algorithm", "FUZZYCOPY"]);
+    ok(&dir, &["workload", "40", "--seed", "7"]);
+    ok(&dir, &["checkpoint"]);
+    let out = ok(&dir, &["stats", "--json"]);
+    let snap = mmdb_obs::MetricsSnapshot::from_json(&out).expect("stats --json must parse");
+    assert_eq!(
+        snap.to_json_pretty().trim(),
+        out.trim(),
+        "parse → re-serialize must be the identity"
+    );
+    // the snapshot-time merge of the engine stats must be present; the
+    // stats invocation is its own process, so its session counters start
+    // at zero — but opening the directory recovered from the backup, and
+    // both the recovery counter and the segment gauges must show it
+    assert!(snap.counter("ckpt.completed").is_some(), "{out}");
+    assert_eq!(snap.counter("recovery.runs"), Some(1), "{out}");
+    assert!(snap.gauge("seg.total").unwrap_or(0) > 0, "{out}");
+    assert!(
+        snap.hist("recovery.backup_load_ns").is_some(),
+        "recovery phase histogram missing:\n{out}"
+    );
+    assert!(snap.paper.is_some(), "paper overhead section missing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_prom_is_valid_exposition_format() {
+    let dir = tmpdir("stats-prom");
+    ok(&dir, &["init", "--algorithm", "2CCOPY"]);
+    ok(&dir, &["workload", "40", "--seed", "7"]);
+    ok(&dir, &["checkpoint"]);
+    let out = ok(&dir, &["stats", "--prom"]);
+    mmdb_obs::validate_prometheus(&out).expect("stats --prom must validate");
+    assert!(out.contains("mmdb_ckpt_completed"), "{out}");
+    assert!(out.contains("mmdb_paper_ckpt_overhead_per_txn"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_shows_spans_for_every_algorithm() {
+    for algorithm in [
+        "FUZZYCOPY",
+        "2CFLUSH",
+        "2CCOPY",
+        "COUFLUSH",
+        "COUCOPY",
+        "FASTFUZZY",
+    ] {
+        let dir = tmpdir(&format!("trace-{algorithm}"));
+        ok(&dir, &["init", "--algorithm", algorithm]);
+        let out = ok(&dir, &["trace", "--txns", "30", "--limit", "1000"]);
+        for span in ["txn.commit", "ckpt.flush", "ckpt.pass", "log.force"] {
+            assert!(out.contains(span), "{algorithm}: no {span} span:\n{out}");
+        }
+        assert!(
+            out.contains(algorithm),
+            "{algorithm}: pass spans must be labeled with the algorithm:\n{out}"
+        );
+        // the dry-run recoverability check at the end emits the recovery
+        // phase spans
+        assert!(out.contains("recovery.backup_load"), "{algorithm}:\n{out}");
+        assert!(out.contains("recovery.redo_replay"), "{algorithm}:\n{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn unknown_subcommand_prints_full_usage_and_fails() {
+    let dir = tmpdir("unknown-cmd");
+    ok(&dir, &["init"]);
+    let out = cli(&dir, &["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for name in [
+        "init",
+        "put",
+        "get",
+        "workload",
+        "checkpoint",
+        "stats",
+        "trace",
+        "audit",
+        "fsck",
+        "dump",
+        "restore",
+    ] {
+        assert!(stderr.contains(name), "usage must list {name}:\n{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_arguments_are_reported() {
     let dir = tmpdir("badargs");
     ok(&dir, &["init"]);

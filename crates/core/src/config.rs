@@ -54,6 +54,15 @@ pub struct MmdbConfig {
     /// default for production-shaped runs; [`MmdbConfig::small`] turns it
     /// on so every test runs fully checked.
     pub audit: bool,
+    /// Run the telemetry layer: spans, latency histograms, and the
+    /// unified metrics registry behind
+    /// [`Mmdb::metrics_snapshot`](crate::Mmdb::metrics_snapshot) and
+    /// [`Mmdb::obs`](crate::Mmdb::obs). When off (the default for
+    /// production-shaped runs) every instrumentation point is a no-op on
+    /// a `None` handle — no clock reads, no label formatting, no
+    /// allocation. [`MmdbConfig::small`] turns it on so every test
+    /// exercises the instrumented paths.
+    pub telemetry: bool,
 }
 
 impl MmdbConfig {
@@ -69,6 +78,7 @@ impl MmdbConfig {
             log_chunk_bytes: mmdb_log::DEFAULT_CHUNK_BYTES,
             log_tail_flush_bytes: Some(1 << 20),
             audit: false,
+            telemetry: false,
         }
     }
 
@@ -78,6 +88,7 @@ impl MmdbConfig {
         MmdbConfig {
             params: Params::small(),
             audit: true,
+            telemetry: true,
             ..MmdbConfig::new(algorithm)
         }
     }

@@ -5,8 +5,9 @@ use crate::config::{CommitDurability, MmdbConfig};
 use crate::metrics::{Meters, OverheadReport};
 use mmdb_audit::{Audit, AuditEvent, AuditReport, AuditViolation, PaintColor};
 use mmdb_checkpoint::{BeginReport, Checkpointer, CkptReport, CkptStats, StepOutcome};
-use mmdb_disk::{summarize, AuditedBackup, BackupStore, FileBackup, MemBackup};
+use mmdb_disk::{summarize, AuditedBackup, BackupStore, FileBackup, MemBackup, ObservedBackup};
 use mmdb_log::{LogManager, LogRecord, LogStats, MemLogDevice, SegmentedLogDevice};
+use mmdb_obs::{MetricsSnapshot, Obs, PaperOverhead, SpanRecord, Timer};
 use mmdb_recovery::RecoveryReport;
 use mmdb_storage::{Color, Storage};
 use mmdb_txn::{SeenColor, TxnStats, TxnTable};
@@ -82,6 +83,12 @@ pub struct Mmdb {
     /// The shared protocol-audit handle (disabled unless
     /// [`MmdbConfig::audit`] is set).
     audit: Audit,
+    /// The shared telemetry handle (disabled unless
+    /// [`MmdbConfig::telemetry`] is set).
+    obs: Obs,
+    /// Running while a COU quiesce drain is in progress, so the stall can
+    /// be reported as a `ckpt.quiesce` span when the checkpoint begins.
+    quiesce_timer: Timer,
 }
 
 impl std::fmt::Debug for Mmdb {
@@ -156,7 +163,19 @@ impl Mmdb {
         } else {
             Audit::disabled()
         };
+        let obs = if config.telemetry {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
         log.set_audit(audit.clone());
+        log.set_obs(obs.clone());
+        // Observed innermost (device-level latencies), audited outside it.
+        let backup: Box<dyn BackupStore> = if obs.is_enabled() {
+            Box::new(ObservedBackup::new(backup, obs.clone()))
+        } else {
+            backup
+        };
         let backup: Box<dyn BackupStore> = if audit.is_enabled() {
             Box::new(AuditedBackup::new(backup, audit.clone()))
         } else {
@@ -169,6 +188,7 @@ impl Mmdb {
             meters.async_ckpt.clone(),
         );
         ckpt.set_audit(audit.clone());
+        ckpt.set_obs(obs.clone());
         Mmdb {
             config,
             storage,
@@ -183,6 +203,8 @@ impl Mmdb {
             pending_floor: None,
             replay_floor: [None, None],
             audit,
+            obs,
+            quiesce_timer: Timer::default(),
         }
     }
 
@@ -267,6 +289,86 @@ impl Mmdb {
     /// auditing is disabled — or when the engine behaves).
     pub fn audit_violations(&self) -> Vec<AuditViolation> {
         self.audit.violations()
+    }
+
+    /// The shared telemetry handle (disabled unless
+    /// [`MmdbConfig::telemetry`] is set). External drivers may clone it
+    /// to record their own metrics and spans into the same registry.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Is the telemetry layer enabled?
+    pub fn is_observed(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// The most recent `limit` trace spans plus the count of spans
+    /// dropped by the bounded ring buffer (empty/zero when telemetry is
+    /// disabled).
+    pub fn trace_spans(&self, limit: usize) -> (Vec<SpanRecord>, u64) {
+        let dropped = self.obs.span_stats().1;
+        (self.obs.spans(limit), dropped)
+    }
+
+    /// A unified point-in-time metrics snapshot: everything the telemetry
+    /// registry accumulated (latency histograms, device counters, spans'
+    /// histograms) merged with the engine's own statistics structures
+    /// (transactions, checkpointer, log, segment population) and the
+    /// paper's overhead accounting — one source of truth for export.
+    ///
+    /// The counters injected here are *not* double-counted on hot paths:
+    /// they come from the same [`TxnStats`]/[`CkptStats`]/[`LogStats`]
+    /// structs the engine always maintains, copied in at snapshot time.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::capture(&self.obs);
+
+        let t = self.txn_stats();
+        snap.put_counter("txn.begun", t.begun);
+        snap.put_counter("txn.committed", t.committed);
+        snap.put_counter("txn.aborted_two_color", t.aborted_two_color);
+        snap.put_counter("txn.aborted_other", t.aborted_other);
+
+        let c = self.ckpt_stats();
+        snap.put_counter("ckpt.completed", c.completed);
+        snap.put_counter("ckpt.segments_flushed", c.segments_flushed);
+        snap.put_counter("ckpt.segments_skipped", c.segments_skipped);
+        snap.put_counter("ckpt.old_copies_flushed", c.old_copies_flushed);
+        snap.put_counter("ckpt.log_forces", c.log_forces);
+        snap.put_counter("ckpt.wal_waits", c.wal_waits);
+        snap.put_counter("ckpt.io_words", c.io_words);
+
+        let l = self.log_stats();
+        snap.put_counter("log.records", l.records);
+        snap.put_counter("log.bytes", l.bytes);
+        snap.put_counter("log.forces", l.forces);
+        snap.put_gauge("log.lost_on_crash_bytes", l.lost_on_crash);
+
+        let s = self.segment_stats();
+        snap.put_gauge("seg.total", s.total);
+        snap.put_gauge("seg.dirty_copy0", s.dirty_copy0);
+        snap.put_gauge("seg.dirty_copy1", s.dirty_copy1);
+        snap.put_gauge("seg.white", s.white);
+        snap.put_gauge("seg.with_old_copy", s.with_old_copy);
+        snap.put_gauge("storage.old_copy_words", self.old_copy_words());
+
+        let r = self.overhead_report();
+        snap.paper = Some(PaperOverhead {
+            committed: r.committed,
+            sync_ckpt_total: r.sync_ckpt.total(),
+            async_ckpt_total: r.async_ckpt.total(),
+            logging_total: r.logging.total(),
+            base_total: r.base.total(),
+            sync_ckpt_per_txn: r.sync_per_txn(),
+            async_ckpt_per_txn: r.async_per_txn(),
+            logging_per_txn: if r.committed == 0 {
+                0.0
+            } else {
+                r.logging.total() as f64 / r.committed as f64
+            },
+            ckpt_overhead_per_txn: r.ckpt_overhead_per_txn(),
+        });
+        snap
     }
 
     /// Content fingerprint of the primary database (test aid).
@@ -354,10 +456,13 @@ impl Mmdb {
         if self.quiesce_pending {
             return Err(MmdbError::Quiesced);
         }
+        let t = self.obs.timer();
         let tau = self.next_tau();
         let id = self.txns.begin(tau, mmdb_types::Lsn::ZERO, run);
         let lsn = self.log.append(&LogRecord::TxnBegin { txn: id, tau });
         self.txns.get_mut(id).expect("just created").begin_lsn = lsn;
+        self.obs
+            .span_end("txn.begin", "txn.begin_ns", t, || format!("{id} run {run}"));
         Ok(id)
     }
 
@@ -417,6 +522,7 @@ impl Mmdb {
     /// the primary database (running the COU hook first).
     pub fn commit(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
+        let commit_timer = self.obs.timer();
 
         // Commit-time color revalidation: installs happen *now*, so the
         // write set must be color-consistent *now* (colors may have
@@ -468,6 +574,7 @@ impl Mmdb {
 
         // Install (the shadow-copy "overwrite old with new", §2.6).
         let tau = self.txns.get(txn)?.tau;
+        let installs_len = installs.len();
         for (record, segment, value, end_lsn) in installs {
             if self.audit.is_enabled() && self.ckpt.two_color_active() {
                 let color = match self.storage.color(segment)? {
@@ -493,6 +600,10 @@ impl Mmdb {
 
         self.txns.finish_commit(txn)?;
         self.meters.base.txn_body(self.config.params.txn.c_trans);
+        self.obs
+            .span_end("txn.commit", "txn.commit_ns", commit_timer, || {
+                format!("{txn}: {installs_len} writes")
+            });
         self.maybe_begin_pending_checkpoint()?;
         Ok(())
     }
@@ -513,11 +624,15 @@ impl Mmdb {
     /// from rerunning transactions that are aborted for violating the
     /// two-color restriction").
     fn abort_two_color(&mut self, txn: TxnId) -> Result<()> {
+        let t = self.obs.timer();
         self.log.append(&LogRecord::Abort { txn });
         self.txns.finish_abort(txn, true)?;
         self.meters
             .sync_ckpt
             .txn_body(self.config.params.txn.c_trans);
+        self.obs.span_end("txn.abort_rerun", "txn.abort_ns", t, || {
+            format!("{txn} (two-color)")
+        });
         self.maybe_begin_pending_checkpoint()?;
         Ok(())
     }
@@ -538,7 +653,10 @@ impl Mmdb {
                 )));
             }
             match self.try_run_once(runs, updates) {
-                Ok(txn) => return Ok(TxnRun { txn, runs }),
+                Ok(txn) => {
+                    self.obs.observe("txn.runs_per_commit", runs as u64);
+                    return Ok(TxnRun { txn, runs });
+                }
                 Err(MmdbError::TwoColorViolation { .. }) => {
                     // Let the checkpoint advance, then rerun.
                     if self.ckpt.is_active() {
@@ -577,6 +695,7 @@ impl Mmdb {
         }
         if self.config.algorithm.requires_quiesce() && !self.txns.is_quiescent() {
             self.quiesce_pending = true;
+            self.quiesce_timer = self.obs.timer();
             self.audit.emit(|| AuditEvent::QuiesceBegin);
             return Ok(CheckpointStart::Quiescing);
         }
@@ -593,6 +712,11 @@ impl Mmdb {
     fn do_begin_checkpoint(&mut self) -> Result<BeginReport> {
         if self.quiesce_pending {
             self.audit.emit(|| AuditEvent::QuiesceEnd);
+            let stall = std::mem::take(&mut self.quiesce_timer);
+            self.obs
+                .span_end("ckpt.quiesce", "ckpt.quiesce_stall_ns", stall, || {
+                    "COU quiesce drain".to_string()
+                });
         }
         let tau_ch = self.next_tau();
         if self.config.algorithm.is_two_color() {
@@ -714,12 +838,13 @@ impl Mmdb {
             None
         };
         let recovery_meter = CostMeter::new(self.config.params.cost);
-        let report = mmdb_recovery::recover(
+        let report = mmdb_recovery::recover_observed(
             &mut self.storage,
             &mut *self.backup,
             self.log.device_mut(),
             &self.config.params.disk,
             &recovery_meter,
+            &self.obs,
         )?;
         if let Some(copies) = copies {
             self.audit.emit(|| AuditEvent::RecoveryChosen {
@@ -738,6 +863,7 @@ impl Mmdb {
             self.meters.async_ckpt.clone(),
         );
         self.ckpt.set_audit(self.audit.clone());
+        self.ckpt.set_obs(self.obs.clone());
         // The next checkpoint targets the copy recovery did NOT restore
         // from, so a crash mid-checkpoint still leaves a complete copy.
         self.ckpt.set_next_ckpt(CheckpointId(report.ckpt.raw() + 1));
@@ -779,11 +905,12 @@ impl Mmdb {
         self.ensure_alive()?;
         self.log.force()?;
         let live = self.storage.fingerprint();
-        let (recovered, report) = mmdb_recovery::dry_run(
+        let (recovered, report) = mmdb_recovery::dry_run_observed(
             self.config.params.db,
             &mut *self.backup,
             self.log.device_mut(),
             &self.config.params.disk,
+            &self.obs,
         )?;
         if recovered != live {
             return Err(MmdbError::Corrupt(format!(

@@ -18,8 +18,10 @@ mod archive;
 mod audited;
 mod backup;
 mod model;
+mod observed;
 
 pub use archive::{archive_info, dump_archive, restore_archive, ArchiveInfo};
 pub use audited::{summarize, AuditedBackup};
 pub use backup::{BackupStore, CopyStatus, FileBackup, MemBackup};
 pub use model::SimDiskArray;
+pub use observed::ObservedBackup;

@@ -1,0 +1,117 @@
+//! Telemetry instrumentation for backup stores.
+//!
+//! [`ObservedBackup`] wraps any [`BackupStore`] and measures the device
+//! operations themselves — segment write/read latency and volume — at the
+//! store boundary, so the numbers reflect what actually hit the (real or
+//! simulated) device, below whatever buffering the checkpointer does.
+
+use crate::backup::{BackupStore, CopyStatus};
+use mmdb_obs::Obs;
+use mmdb_types::{CheckpointId, DbParams, Result, SegmentId, Word};
+
+/// A [`BackupStore`] wrapper that reports device-level telemetry.
+pub struct ObservedBackup {
+    inner: Box<dyn BackupStore>,
+    obs: Obs,
+}
+
+impl ObservedBackup {
+    /// Wrap `inner`, routing telemetry to `obs`.
+    pub fn new(inner: Box<dyn BackupStore>, obs: Obs) -> ObservedBackup {
+        ObservedBackup { inner, obs }
+    }
+
+    /// Unwrap, returning the underlying store.
+    pub fn into_inner(self) -> Box<dyn BackupStore> {
+        self.inner
+    }
+}
+
+impl BackupStore for ObservedBackup {
+    fn shape(&self) -> DbParams {
+        self.inner.shape()
+    }
+
+    fn begin_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        self.inner.begin_checkpoint(copy, ckpt)
+    }
+
+    fn write_segment(&mut self, copy: usize, sid: SegmentId, data: &[Word]) -> Result<()> {
+        let t = self.obs.timer();
+        self.inner.write_segment(copy, sid, data)?;
+        self.obs.observe_timer("backup.write_ns", t);
+        self.obs.counter("backup.write_words", data.len() as u64);
+        Ok(())
+    }
+
+    fn complete_checkpoint(&mut self, copy: usize, ckpt: CheckpointId) -> Result<()> {
+        self.inner.complete_checkpoint(copy, ckpt)
+    }
+
+    fn copy_status(&mut self, copy: usize) -> Result<CopyStatus> {
+        self.inner.copy_status(copy)
+    }
+
+    fn read_segment(&mut self, copy: usize, sid: SegmentId, buf: &mut [Word]) -> Result<()> {
+        let t = self.obs.timer();
+        self.inner.read_segment(copy, sid, buf)?;
+        self.obs.observe_timer("backup.read_ns", t);
+        self.obs.counter("backup.read_words", buf.len() as u64);
+        Ok(())
+    }
+
+    fn recovery_copy(&mut self) -> Result<(usize, CheckpointId)> {
+        self.inner.recovery_copy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backup::MemBackup;
+
+    #[test]
+    fn device_ops_land_in_the_registry() {
+        let db = DbParams {
+            s_db: 4096,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let obs = Obs::enabled();
+        let mut store = ObservedBackup::new(Box::new(MemBackup::new(db)), obs.clone());
+        store.begin_checkpoint(0, CheckpointId(1)).unwrap();
+        let data = vec![3u32; db.s_seg as usize];
+        for sid in 0..db.n_segments() {
+            store
+                .write_segment(0, SegmentId(sid as u32), &data)
+                .unwrap();
+        }
+        store.complete_checkpoint(0, CheckpointId(1)).unwrap();
+        let mut buf = vec![0u32; db.s_seg as usize];
+        store.read_segment(0, SegmentId(0), &mut buf).unwrap();
+        let n = db.n_segments();
+        obs.with_registry(|r| {
+            assert_eq!(r.counter_value("backup.write_words"), n * db.s_seg);
+            assert_eq!(r.counter_value("backup.read_words"), db.s_seg);
+            assert_eq!(r.hist("backup.write_ns").map(|h| h.count()), Some(n));
+            assert_eq!(r.hist("backup.read_ns").map(|h| h.count()), Some(1));
+        })
+        .expect("enabled");
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let db = DbParams {
+            s_db: 4096,
+            s_rec: 32,
+            s_seg: 1024,
+        };
+        let obs = Obs::disabled();
+        let mut store = ObservedBackup::new(Box::new(MemBackup::new(db)), obs.clone());
+        store.begin_checkpoint(0, CheckpointId(1)).unwrap();
+        store
+            .write_segment(0, SegmentId(0), &vec![1u32; db.s_seg as usize])
+            .unwrap();
+        assert!(obs.with_registry(|_| ()).is_none());
+    }
+}

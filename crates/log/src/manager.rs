@@ -12,6 +12,7 @@
 use crate::device::LogDevice;
 use crate::record::LogRecord;
 use mmdb_audit::{Audit, AuditEvent};
+use mmdb_obs::Obs;
 use mmdb_types::{CostMeter, LogMode, Lsn, Result, SharedCostMeter};
 
 /// Statistics maintained by the log manager.
@@ -41,6 +42,7 @@ pub struct LogManager {
     /// commits a crash can lose under lazy durability).
     tail_threshold: Option<u64>,
     audit: Audit,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -71,12 +73,18 @@ impl LogManager {
             stats: LogStats::default(),
             tail_threshold: None,
             audit: Audit::disabled(),
+            obs: Obs::disabled(),
         }
     }
 
     /// Routes protocol events (durable-horizon advances) to `audit`.
     pub fn set_audit(&mut self, audit: Audit) {
         self.audit = audit;
+    }
+
+    /// Routes telemetry (force latency, truncations) to `obs`.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Bounds the volatile tail: once an append pushes it past
@@ -174,7 +182,12 @@ impl LogManager {
         if charge {
             self.meter.io_op();
         }
+        let flushed = self.tail.len() as u64;
+        let t = self.obs.timer();
         self.device.append(&self.tail)?;
+        self.obs.span_end("log.force", "log.force_ns", t, || {
+            format!("{flushed} bytes")
+        });
         self.tail_start = self.tail_start.advance(self.tail.len() as u64);
         self.tail.clear();
         self.stats.forces += 1;
@@ -193,7 +206,12 @@ impl LogManager {
         if self.tail.is_empty() {
             return Ok(());
         }
+        let drained = self.tail.len() as u64;
+        let t = self.obs.timer();
         self.device.append(&self.tail)?;
+        self.obs.span_end("log.force", "log.force_ns", t, || {
+            format!("{drained} bytes (stable-tail drain)")
+        });
         self.tail_start = self.tail_start.advance(self.tail.len() as u64);
         self.tail.clear();
         self.audit.emit(|| AuditEvent::LogForced {
@@ -229,7 +247,13 @@ impl LogManager {
     /// (segmented logs delete whole chunks; plain files ignore it).
     pub fn truncate_prefix(&mut self, lsn: Lsn) -> Result<()> {
         let point = lsn.min(self.tail_start);
-        self.device.truncate_prefix(point.raw())
+        let t = self.obs.timer();
+        self.device.truncate_prefix(point.raw())?;
+        self.obs.counter("log.truncations", 1);
+        self.obs.span_end("log.truncate", "log.truncate_ns", t, || {
+            format!("prefix < {}", point.raw())
+        });
+        Ok(())
     }
 
     /// The device's first readable LSN (0 unless truncated).

@@ -1,0 +1,46 @@
+//! **mmdb-obs** — dependency-free telemetry for the mmdb workspace.
+//!
+//! Three pillars, all built without registry crates (the workspace vendors
+//! only no-op shims):
+//!
+//! 1. **Spans** ([`trace`]): named wall-clock intervals in a bounded ring
+//!    buffer, emitted by the engine, checkpointer, log manager and
+//!    recovery so a `trace` dump explains *where* time goes inside a
+//!    checkpoint pass or a restart.
+//! 2. **Metrics** ([`Obs`] / [`Registry`]): named counters, gauges and
+//!    log-linear [`Histogram`]s (HdrHistogram-style fixed buckets,
+//!    ≤6.25% quantile error).
+//! 3. **Export** ([`MetricsSnapshot`]): one snapshot type serializable to
+//!    pretty JSON and Prometheus text exposition, carrying the paper's
+//!    `OverheadReport` numbers verbatim so telemetry and the reproduction
+//!    tables reconcile exactly.
+//!
+//! The [`Obs`] handle follows the workspace's audit-handle idiom: a
+//! disabled handle is a `None` and every call on it is a no-op — no lock,
+//! no clock read, no allocation, label closures never invoked — so
+//! telemetry is zero-cost when `MmdbConfig.telemetry` is off.
+
+pub mod hist;
+pub mod json;
+mod registry;
+mod snapshot;
+pub mod trace;
+
+pub use hist::{HistSummary, Histogram};
+pub use registry::{Obs, Registry, Timer};
+pub use snapshot::{prom_name, validate_prometheus, MetricsSnapshot, PaperOverhead};
+pub use trace::SpanRecord;
+
+/// Render spans as a human-readable trace, one line each, plus a footer
+/// noting ring evictions when any occurred.
+pub fn render_spans(spans: &[SpanRecord], dropped: u64) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&s.render());
+        out.push('\n');
+    }
+    if dropped > 0 {
+        out.push_str(&format!("({dropped} older spans evicted from ring)\n"));
+    }
+    out
+}

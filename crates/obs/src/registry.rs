@@ -1,0 +1,284 @@
+//! The metrics registry and the cloneable [`Obs`] handle.
+//!
+//! [`Obs`] follows the same idiom as the audit handle: a disabled handle
+//! is an `Option::None` and every operation on it is a no-op that never
+//! takes a lock, allocates, or reads the clock — label closures are not
+//! even invoked. An enabled handle shares one registry + trace buffer
+//! across every component it is cloned into (engine, checkpointer, log
+//! manager, recovery, simulator), so a snapshot sees the whole system.
+
+use crate::hist::Histogram;
+use crate::trace::{SpanRecord, TraceBuffer, DEFAULT_SPAN_CAPACITY};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sorted `(name, counter)`, `(name, gauge)` and `(name, histogram
+/// summary)` triple produced by [`Obs::dump`].
+pub type RegistryDump = (
+    Vec<(String, u64)>,
+    Vec<(String, u64)>,
+    Vec<(String, crate::HistSummary)>,
+);
+
+/// Named counters, gauges and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+struct ObsInner {
+    epoch: Instant,
+    metrics: Mutex<Registry>,
+    trace: Mutex<TraceBuffer>,
+}
+
+impl std::fmt::Debug for ObsInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsInner").finish_non_exhaustive()
+    }
+}
+
+/// A started wall-clock measurement. Disabled handles hand out inert
+/// timers, so the clock is only read when telemetry is on.
+#[derive(Debug, Default)]
+pub struct Timer(Option<Instant>);
+
+/// Cloneable telemetry handle; see module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A live handle with the default span-ring capacity.
+    pub fn enabled() -> Obs {
+        Obs::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A live handle retaining at most `span_capacity` finished spans.
+    pub fn with_capacity(span_capacity: usize) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                metrics: Mutex::new(Registry::default()),
+                trace: Mutex::new(TraceBuffer::new(span_capacity)),
+            })),
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a wall-clock measurement (inert when disabled).
+    pub fn timer(&self) -> Timer {
+        Timer(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = lock(&inner.metrics);
+            *m.counters.entry(name).or_insert(0) += delta;
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = lock(&inner.metrics);
+            m.gauges.insert(name, value);
+        }
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = lock(&inner.metrics);
+            m.hists.entry(name).or_default().record(value);
+        }
+    }
+
+    /// Record the elapsed time of `timer` (in ns) into the histogram
+    /// `hist` without emitting a span.
+    pub fn observe_timer(&self, hist: &'static str, timer: Timer) {
+        if let (Some(inner), Some(started)) = (&self.inner, timer.0) {
+            let ns = elapsed_ns(started);
+            let mut m = lock(&inner.metrics);
+            m.hists.entry(hist).or_default().record(ns);
+        }
+    }
+
+    /// Finish a span started at `timer`: push a trace record named `span`
+    /// (labelled by `label`, which is only invoked when enabled) and
+    /// record the duration into the histogram `hist`.
+    pub fn span_end(
+        &self,
+        span: &'static str,
+        hist: &'static str,
+        timer: Timer,
+        label: impl FnOnce() -> String,
+    ) {
+        if let (Some(inner), Some(started)) = (&self.inner, timer.0) {
+            let dur_ns = elapsed_ns(started);
+            let start_ns = started
+                .saturating_duration_since(inner.epoch)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            lock(&inner.trace).push(span, label(), start_ns, dur_ns);
+            let mut m = lock(&inner.metrics);
+            m.hists.entry(hist).or_default().record(dur_ns);
+        }
+    }
+
+    /// The most recent `limit` finished spans, oldest first.
+    pub fn spans(&self, limit: usize) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => lock(&inner.trace).recent(limit),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total spans recorded and spans evicted from the ring.
+    pub fn span_stats(&self) -> (u64, u64) {
+        match &self.inner {
+            Some(inner) => {
+                let t = lock(&inner.trace);
+                (t.recorded(), t.dropped())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Run `f` against the registry (no-op when disabled).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&lock(&inner.metrics)))
+    }
+
+    /// Dump the registry contents for snapshotting: sorted counters,
+    /// gauges and histogram summaries.
+    pub fn dump(&self) -> RegistryDump {
+        match &self.inner {
+            Some(inner) => {
+                let m = lock(&inner.metrics);
+                (
+                    m.counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), *v))
+                        .collect(),
+                    m.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                    m.hists
+                        .iter()
+                        .map(|(k, h)| (k.to_string(), h.summary()))
+                        .collect(),
+                )
+            }
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        }
+    }
+}
+
+impl Registry {
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name, if any value was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Mutex poisoning cannot happen here (no panics while holding the lock),
+/// but recover rather than unwrap to keep the deny(unwrap) lint honest.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        let mut called = false;
+        obs.counter("c", 1);
+        obs.observe("h", 42);
+        obs.span_end("s", "s_ns", obs.timer(), || {
+            called = true;
+            String::new()
+        });
+        assert!(!called, "label closure must not run when disabled");
+        assert!(obs.spans(10).is_empty());
+        assert_eq!(obs.with_registry(|r| r.counter_value("c")), None);
+    }
+
+    #[test]
+    fn enabled_handle_shares_state_across_clones() {
+        let a = Obs::enabled();
+        let b = a.clone();
+        a.counter("txn.committed", 2);
+        b.counter("txn.committed", 3);
+        b.gauge("seg.total", 32);
+        b.observe("lat", 100);
+        assert_eq!(
+            a.with_registry(|r| r.counter_value("txn.committed")),
+            Some(5)
+        );
+        assert_eq!(
+            a.with_registry(|r| r.gauge_value("seg.total")),
+            Some(Some(32))
+        );
+        assert_eq!(
+            a.with_registry(|r| r.hist("lat").map(|h| h.count())),
+            Some(Some(1))
+        );
+    }
+
+    #[test]
+    fn span_end_records_trace_and_histogram() {
+        let obs = Obs::enabled();
+        let t = obs.timer();
+        obs.span_end("ckpt.pass", "ckpt.pass_ns", t, || "FUZZY".into());
+        let spans = obs.spans(10);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "ckpt.pass");
+        assert_eq!(spans[0].label, "FUZZY");
+        assert_eq!(
+            obs.with_registry(|r| r.hist("ckpt.pass_ns").map(|h| h.count())),
+            Some(Some(1))
+        );
+        assert_eq!(obs.span_stats(), (1, 0));
+    }
+
+    #[test]
+    fn stale_default_timer_is_ignored() {
+        let obs = Obs::enabled();
+        obs.span_end("x", "x_ns", Timer::default(), || "ignored".into());
+        assert!(obs.spans(10).is_empty());
+    }
+}

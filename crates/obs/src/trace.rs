@@ -1,0 +1,126 @@
+//! Lightweight scoped spans with a bounded ring-buffer sink.
+//!
+//! A span is a named, labelled interval of wall-clock time. Finished spans
+//! land in a fixed-capacity ring buffer (oldest evicted first, with an
+//! eviction counter) so tracing never grows without bound and never
+//! allocates past the cap. Span timestamps are offsets from the owning
+//! [`crate::Obs`] handle's creation instant, so a trace reads as a single
+//! monotonic timeline.
+
+use std::collections::VecDeque;
+
+/// Default ring capacity (finished spans retained).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// One finished span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotone sequence number (1-based, never reused).
+    pub seq: u64,
+    /// Static span name, e.g. `ckpt.pass`.
+    pub name: &'static str,
+    /// Free-form label, e.g. the algorithm or segment id.
+    pub label: String,
+    /// Start offset in nanoseconds since the handle was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Render as one human-readable trace line.
+    pub fn render(&self) -> String {
+        format!(
+            "[{:>12.6}s] {:>11} ns  {:<22} {}",
+            self.start_ns as f64 / 1e9,
+            self.dur_ns,
+            self.name,
+            self.label
+        )
+    }
+}
+
+/// Fixed-capacity span sink.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    spans: VecDeque<SpanRecord>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer retaining at most `capacity` spans.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            spans: VecDeque::with_capacity(capacity.min(DEFAULT_SPAN_CAPACITY)),
+            capacity: capacity.max(1),
+            next_seq: 1,
+            dropped: 0,
+        }
+    }
+
+    /// Append a finished span, evicting the oldest past capacity.
+    pub fn push(&mut self, name: &'static str, label: String, start_ns: u64, dur_ns: u64) {
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(SpanRecord {
+            seq: self.next_seq,
+            name,
+            label,
+            start_ns,
+            dur_ns,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The most recent `limit` spans, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<SpanRecord> {
+        let skip = self.spans.len().saturating_sub(limit);
+        self.spans.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total spans ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Spans evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.push("x", format!("{i}"), i * 10, 1);
+        }
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let recent = t.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].label, "2");
+        assert_eq!(recent[2].label, "4");
+        assert_eq!(recent[2].seq, 5);
+    }
+
+    #[test]
+    fn recent_respects_limit() {
+        let mut t = TraceBuffer::new(100);
+        for i in 0..10u64 {
+            t.push("y", String::new(), i, 0);
+        }
+        let last2 = t.recent(2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].seq, 9);
+        assert_eq!(last2[1].seq, 10);
+    }
+}

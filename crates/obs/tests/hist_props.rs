@@ -1,0 +1,71 @@
+//! Property tests: histogram quantiles vs exact order statistics.
+//!
+//! For arbitrary value sets, the recorded p50/p99/max must match the
+//! exact quantiles computed from a sorted reference vector to within the
+//! structural error bound of the log-linear layout: reported values are
+//! upper bucket bounds, so `exact <= reported <= exact * (1 + 1/16)`,
+//! and `max` is tracked exactly.
+
+use mmdb_obs::hist::{Histogram, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact order statistic matching the histogram's rank convention
+/// (1-based ceil rank).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check(values: &[u64]) {
+    let mut h = Histogram::new();
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    for &v in values {
+        h.record(v);
+    }
+    assert_eq!(h.max(), *sorted.last().unwrap_or(&0), "max must be exact");
+    assert_eq!(h.min(), *sorted.first().unwrap_or(&0), "min must be exact");
+    assert_eq!(h.count(), values.len() as u64);
+    let bound = 1.0 + 1.0 / SUB_BUCKETS as f64;
+    for q in [0.5, 0.99] {
+        let exact = exact_quantile(&sorted, q);
+        let got = h.quantile(q);
+        assert!(got >= exact, "q={q}: reported {got} < exact {exact}");
+        assert!(
+            got as f64 <= exact as f64 * bound + 1.0,
+            "q={q}: reported {got} overshoots exact {exact} past {bound}x"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quantiles_track_exact_order_statistics(
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 1..400)
+    ) {
+        check(&values);
+    }
+
+    #[test]
+    fn quantiles_track_small_skewed_values(
+        values in proptest::collection::vec(0u64..64, 1..200)
+    ) {
+        check(&values);
+    }
+
+    #[test]
+    fn merged_halves_agree_with_single_recording(
+        a in proptest::collection::vec(0u64..1_000_000, 0..150),
+        b in proptest::collection::vec(0u64..1_000_000, 1..150)
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a { ha.record(v); hall.record(v); }
+        for &v in &b { hb.record(v); hall.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.summary(), hall.summary());
+    }
+}

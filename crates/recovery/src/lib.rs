@@ -24,6 +24,7 @@
 
 use mmdb_disk::BackupStore;
 use mmdb_log::{LogDevice, LogRecord, LogScanner};
+use mmdb_obs::Obs;
 use mmdb_storage::Storage;
 use mmdb_types::{
     CheckpointId, CostMeter, DiskParams, Lsn, MmdbError, RecordId, Result, Timestamp, TxnId, Word,
@@ -77,10 +78,25 @@ pub fn recover(
     disk: &DiskParams,
     meter: &CostMeter,
 ) -> Result<RecoveryReport> {
+    recover_observed(storage, backup, log_device, disk, meter, &Obs::disabled())
+}
+
+/// [`recover`] with telemetry: emits `recovery.backup_load` and
+/// `recovery.redo_replay` spans and records the report's modeled total
+/// into the `recovery.total_modeled_us` histogram.
+pub fn recover_observed(
+    storage: &mut Storage,
+    backup: &mut dyn BackupStore,
+    log_device: &mut dyn LogDevice,
+    disk: &DiskParams,
+    meter: &CostMeter,
+    obs: &Obs,
+) -> Result<RecoveryReport> {
     let (copy, ckpt) = backup.recovery_copy()?;
     let db = *storage.db_params();
 
     // 1–2: read the backup into main memory.
+    let load_timer = obs.timer();
     let mut buf: Vec<Word> = vec![0; db.s_seg as usize];
     let mut segments_loaded = 0u64;
     for sid in storage.segment_ids().collect::<Vec<_>>() {
@@ -90,9 +106,16 @@ pub fn recover(
         segments_loaded += 1;
     }
     let backup_words = segments_loaded * db.s_seg;
+    obs.span_end(
+        "recovery.backup_load",
+        "recovery.backup_load_ns",
+        load_timer,
+        || format!("{ckpt} copy {copy}: {segments_loaded} segments, {backup_words} words"),
+    );
 
     // 3: find the begin marker of the restored checkpoint and the replay
     // start.
+    let replay_timer = obs.timer();
     let scanner = LogScanner::from_device(log_device)?;
     let mark = scanner
         .backward()
@@ -146,12 +169,23 @@ pub fn recover(
         }
     }
     let txns_discarded = staged.len() as u64;
+    obs.span_end(
+        "recovery.redo_replay",
+        "recovery.redo_replay_ns",
+        replay_timer,
+        || format!("from {replay_start}: {updates_applied} updates, {txns_replayed} txns"),
+    );
 
     // Recovery-time model (paper §4): backup read at array bandwidth in
     // segment-sized I/Os, log read sequentially striped across the disks.
     let log_words = scanner.words_from(replay_start);
     let backup_read_seconds = disk.array_time(segments_loaded, db.s_seg);
     let log_read_seconds = log_read_time(disk, log_words);
+    obs.observe(
+        "recovery.total_modeled_us",
+        ((backup_read_seconds + log_read_seconds) * 1e6) as u64,
+    );
+    obs.counter("recovery.runs", 1);
 
     Ok(RecoveryReport {
         ckpt,
@@ -188,9 +222,20 @@ pub fn dry_run(
     log_device: &mut dyn LogDevice,
     disk: &DiskParams,
 ) -> Result<(u64, RecoveryReport)> {
+    dry_run_observed(shape, backup, log_device, disk, &Obs::disabled())
+}
+
+/// [`dry_run`] with telemetry routed to `obs` (see [`recover_observed`]).
+pub fn dry_run_observed(
+    shape: mmdb_types::DbParams,
+    backup: &mut dyn BackupStore,
+    log_device: &mut dyn LogDevice,
+    disk: &DiskParams,
+    obs: &Obs,
+) -> Result<(u64, RecoveryReport)> {
     let mut scratch = Storage::new(shape)?;
     let meter = CostMeter::new(mmdb_types::CostParams::default());
-    let report = recover(&mut scratch, backup, log_device, disk, &meter)?;
+    let report = recover_observed(&mut scratch, backup, log_device, disk, &meter, obs)?;
     Ok((scratch.fingerprint(), report))
 }
 

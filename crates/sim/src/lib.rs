@@ -25,7 +25,7 @@
 
 #![warn(missing_docs)]
 
-use mmdb_core::{CommitDurability, Mmdb, MmdbConfig, MmdbError, StepOutcome};
+use mmdb_core::{CommitDurability, MetricsSnapshot, Mmdb, MmdbConfig, MmdbError, StepOutcome};
 use mmdb_disk::SimDiskArray;
 use mmdb_types::{Algorithm, CostBreakdown, LogMode, Params, Result};
 use mmdb_workload::{
@@ -69,6 +69,12 @@ pub struct SimConfig {
     /// exactly the adversarial interleaving generator the checkers are
     /// meant to watch.
     pub audit: bool,
+    /// Run the engine's telemetry layer. The simulator additionally feeds
+    /// the *simulated* clock into the registry (`sim.ckpt_pass_us`:
+    /// request-to-completion checkpoint pass durations in simulated
+    /// microseconds), so the exported latency distributions are
+    /// deterministic under a fixed seed.
+    pub telemetry: bool,
 }
 
 impl SimConfig {
@@ -94,6 +100,7 @@ impl SimConfig {
             seed: 42,
             workload: WorkloadKind::Uniform,
             audit: true,
+            telemetry: true,
         }
     }
 }
@@ -132,6 +139,13 @@ pub struct SimResult {
     pub measured_recovery_seconds: f64,
     /// Log words the real end-of-run recovery replayed.
     pub measured_recovery_log_words: u64,
+    /// Unified metrics snapshot taken after the end-of-run crash and
+    /// recovery (empty histograms and counters when
+    /// [`SimConfig::telemetry`] is off). The `sim.ckpt_pass_us` and
+    /// `recovery.total_modeled_us` histograms in here are driven by the
+    /// simulated clock and the paper's I/O model, so they are
+    /// deterministic under a fixed seed.
+    pub snapshot: MetricsSnapshot,
 }
 
 impl SimResult {
@@ -225,6 +239,7 @@ impl Simulator {
         // play the group-commit daemon.
         engine_cfg.commit_durability = CommitDurability::Lazy;
         engine_cfg.audit = cfg.audit;
+        engine_cfg.telemetry = cfg.telemetry;
         let mut db = Mmdb::open_in_memory(engine_cfg)?;
 
         let s_rec = cfg.params.db.s_rec as usize;
@@ -325,6 +340,11 @@ impl Simulator {
                             disks.submit(now, io_words);
                         }
                         if !db.is_checkpoint_active() {
+                            if measuring {
+                                // simulated request-to-completion pass time
+                                db.obs()
+                                    .observe("sim.ckpt_pass_us", ((now - last_begin) * 1e6) as u64);
+                            }
                             // checkpoint done: schedule the next begin
                             let interval = cfg.ckpt_interval.unwrap_or(0.0);
                             next_begin = (last_begin + interval).max(now);
@@ -383,6 +403,7 @@ impl Simulator {
         // ---- measured recovery: crash the engine for real ---------------
         db.crash()?;
         let recovery = db.recover()?;
+        let snapshot = db.metrics_snapshot();
 
         // ---- protocol audit: the whole run must have been invariant-clean
         let violations = db.audit_violations();
@@ -408,6 +429,7 @@ impl Simulator {
             est_recovery_seconds,
             measured_recovery_seconds: recovery.total_seconds(),
             measured_recovery_log_words: recovery.log_words,
+            snapshot,
         })
     }
 
@@ -505,6 +527,30 @@ mod tests {
         other.seed ^= 1;
         let c = Simulator::new(other).run().unwrap();
         assert_ne!(a.committed, c.committed, "seed must matter");
+    }
+
+    #[test]
+    fn snapshot_carries_deterministic_simulated_latencies() {
+        let a = Simulator::new(quick(Algorithm::FuzzyCopy)).run().unwrap();
+        let pass = a.snapshot.hist("sim.ckpt_pass_us").expect("pass hist");
+        assert_eq!(pass.count, a.checkpoints, "one pass sample per checkpoint");
+        assert!(pass.p50 > 0);
+        let rec = a
+            .snapshot
+            .hist("recovery.total_modeled_us")
+            .expect("recovery hist");
+        assert_eq!(rec.count, 1, "exactly the end-of-run recovery");
+        // the simulated-clock histograms must be reproducible under the
+        // same seed (unlike the wall-clock ones)
+        let b = Simulator::new(quick(Algorithm::FuzzyCopy)).run().unwrap();
+        assert_eq!(
+            a.snapshot.hist("sim.ckpt_pass_us"),
+            b.snapshot.hist("sim.ckpt_pass_us")
+        );
+        assert_eq!(
+            a.snapshot.hist("recovery.total_modeled_us"),
+            b.snapshot.hist("recovery.total_modeled_us")
+        );
     }
 
     #[test]

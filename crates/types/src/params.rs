@@ -277,6 +277,22 @@ impl Algorithm {
         }
     }
 
+    /// A lowercase, identifier-safe name for the algorithm — legal as a
+    /// JSON object key and a Prometheus label value (no leading digit, no
+    /// punctuation). The telemetry layer and bench trajectory use this;
+    /// human-facing output uses [`Algorithm::name`].
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Algorithm::FuzzyCopy => "fuzzycopy",
+            Algorithm::TwoColorFlush => "twocolorflush",
+            Algorithm::TwoColorCopy => "twocolorcopy",
+            Algorithm::CouFlush => "couflush",
+            Algorithm::CouCopy => "coucopy",
+            Algorithm::FastFuzzy => "fastfuzzy",
+            Algorithm::CouAc => "couac",
+        }
+    }
+
     /// Does the algorithm copy segments to a buffer before flushing?
     pub fn copies_segments(self) -> bool {
         matches!(

@@ -86,3 +86,8 @@ pub mod recovery {
 pub mod audit {
     pub use mmdb_audit::*;
 }
+
+/// Telemetry: tracing spans, latency histograms, metrics snapshots.
+pub mod obs {
+    pub use mmdb_obs::*;
+}
