@@ -13,6 +13,9 @@
 //! mmdb-cli <dir> fsck
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
+//! mmdb-cli <dir> serve [--addr A] [--workers N] [--ckpt-ms D] [--idle-ms D]
+//! mmdb-cli <dir> bench-net [--connections N] [--txns N] [--updates K] [--seed S]
+//!                          [--zipf THETA] [--addr A] [--out FILE]
 //! ```
 //!
 //! Every invocation opens the database (recovering from the on-disk
@@ -24,6 +27,11 @@ mod persist;
 
 use mmdb_core::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId};
 use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
+use mmdb_server::{
+    bench_net_json, run_load, validate_bench_net_json, LoadConfig, Server, ServerConfig,
+    WorkloadKind,
+};
+use mmdb_wire::Client;
 use mmdb_workload::{UniformWorkload, Workload};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -97,6 +105,16 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
         "restore",
         "<archive-file> — restore an archive into a fresh directory (--algorithm A)",
         cmd_restore,
+    ),
+    (
+        "serve",
+        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D)",
+        cmd_serve,
+    ),
+    (
+        "bench-net",
+        "closed-loop network benchmark (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --addr A, --out FILE)",
+        cmd_bench_net,
     ),
 ];
 
@@ -444,6 +462,180 @@ fn cmd_audit(dir: &Path, rest: &[String]) -> Result<(), String> {
             report.violations.len()
         ))
     }
+}
+
+/// Serves the database over TCP until a wire `Shutdown` arrives (or the
+/// process is killed). The first stdout line is machine-readable —
+/// `listening on ADDR` — so harnesses binding port 0 can find the port.
+fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let addr = flag_value(rest, "--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let workers: usize = flag_value(rest, "--workers")
+        .map(|v| v.parse().map_err(|e| format!("--workers: {e}")))
+        .transpose()?
+        .unwrap_or(16);
+    let ckpt_ms: u64 = flag_value(rest, "--ckpt-ms")
+        .map(|v| v.parse().map_err(|e| format!("--ckpt-ms: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let idle_ms: Option<u64> = flag_value(rest, "--idle-ms")
+        .map(|v| v.parse().map_err(|e| format!("--idle-ms: {e}")))
+        .transpose()?;
+
+    let mut config = persist::load(dir)?;
+    config.telemetry = true; // request spans must show up in `stats --json`
+    let db = open_with(config, dir)?;
+    let server_config = ServerConfig {
+        addr,
+        workers,
+        checkpoint_interval: (ckpt_ms > 0).then(|| std::time::Duration::from_millis(ckpt_ms)),
+        idle_timeout: idle_ms.map(std::time::Duration::from_millis),
+        ..ServerConfig::default()
+    };
+    let handle =
+        Server::spawn(db, server_config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("listening on {}", handle.local_addr());
+    eprintln!(
+        "serving {} ({} workers, checkpoints {}); stop with the wire Shutdown op",
+        dir.display(),
+        workers,
+        if ckpt_ms > 0 {
+            format!("every {ckpt_ms}ms")
+        } else {
+            "on request only".into()
+        }
+    );
+    while !handle.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let ckpts = handle.checkpoints_completed();
+    let db = handle.shutdown_join();
+    println!(
+        "shut down: {} txns committed, {} background checkpoints",
+        db.txn_stats().committed,
+        ckpts
+    );
+    Ok(())
+}
+
+/// Runs the closed-loop network load driver. Without `--addr` it
+/// self-hosts a server over `<dir>` on a loopback port; with `--addr`
+/// it drives an already-running server.
+fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let connections: usize = flag_value(rest, "--connections")
+        .map(|v| v.parse().map_err(|e| format!("--connections: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let txns_per_conn: u64 = flag_value(rest, "--txns")
+        .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
+        .transpose()?
+        .unwrap_or(100);
+    let updates_per_txn: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let workload = match flag_value(rest, "--zipf") {
+        Some(v) => WorkloadKind::Zipf(v.parse().map_err(|e| format!("--zipf: {e}"))?),
+        None => WorkloadKind::Uniform,
+    };
+    let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
+
+    // self-host unless pointed at an external server
+    let external_addr = flag_value(rest, "--addr");
+    let handle = match &external_addr {
+        Some(_) => None,
+        None => {
+            let mut config = persist::load(dir)?;
+            config.telemetry = true;
+            let db = open_with(config, dir)?;
+            let server_config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: connections + 2,
+                checkpoint_interval: Some(std::time::Duration::from_millis(5)),
+                ..ServerConfig::default()
+            };
+            Some(Server::spawn(db, server_config).map_err(|e| format!("cannot serve: {e}"))?)
+        }
+    };
+    let addr = match (&external_addr, &handle) {
+        (Some(a), _) => a.clone(),
+        (None, Some(h)) => h.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let ckpts_before = match &handle {
+        Some(_) => 0,
+        None => stats_ckpt_completed(&addr)?,
+    };
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections,
+        txns_per_conn,
+        updates_per_txn,
+        seed,
+        workload,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).map_err(|e| format!("load driver: {e}"))?;
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("stats connection: {e}"))?;
+    let info = client.info().map_err(|e| format!("info: {e}"))?;
+    let ckpts = match &handle {
+        Some(h) => h.checkpoints_completed(),
+        None => stats_ckpt_completed(&addr)?.saturating_sub(ckpts_before),
+    };
+    drop(client);
+
+    let json = bench_net_json(&cfg, &report, &info, ckpts);
+    validate_bench_net_json(&json).map_err(|e| format!("bench JSON failed validation: {e}"))?;
+
+    println!(
+        "bench-net: {} conns × {} txns ({} updates each, {}) -> {} committed in {:.3}s ({:.0} txn/s)",
+        connections,
+        txns_per_conn,
+        updates_per_txn,
+        cfg.workload.label(),
+        report.committed,
+        report.elapsed.as_secs_f64(),
+        report.throughput_tps,
+    );
+    println!(
+        "latency us: p50 {} / p90 {} / p99 {} / max {}; {} transient retries, {} errors, {} checkpoints during run",
+        report.latency_us.p50,
+        report.latency_us.p90,
+        report.latency_us.p99,
+        report.latency_us.max,
+        report.retries,
+        report.errors,
+        ckpts
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+    if let Some(h) = handle {
+        h.shutdown_join();
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} non-transient errors during load",
+            report.errors
+        ));
+    }
+    Ok(())
+}
+
+/// Reads `ckpt.completed` from a server's wire stats snapshot.
+fn stats_ckpt_completed(addr: &str) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("stats connection: {e}"))?;
+    let json = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+    let snap = mmdb_core::MetricsSnapshot::from_json(&json)?;
+    Ok(snap.counter("ckpt.completed").unwrap_or(0))
 }
 
 fn step_checkpoint(db: &mut Mmdb) -> Result<(), String> {

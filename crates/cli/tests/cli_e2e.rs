@@ -246,3 +246,79 @@ fn bad_arguments_are_reported() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn bench_net_self_hosts_and_emits_valid_json() {
+    let dir = tmpdir("bench-net");
+    ok(&dir, &["init", "--algorithm", "2CCOPY"]);
+    let out_file = dir.join("BENCH_net.json");
+    let out_str = out_file.to_string_lossy().into_owned();
+    let out = ok(
+        &dir,
+        &[
+            "bench-net",
+            "--connections",
+            "8",
+            "--txns",
+            "15",
+            "--updates",
+            "3",
+            "--zipf",
+            "0.7",
+            "--seed",
+            "9",
+            "--out",
+            &out_str,
+        ],
+    );
+    assert!(out.contains("8 conns × 15 txns"), "{out}");
+    assert!(out.contains("0 errors"), "{out}");
+    let json = std::fs::read_to_string(&out_file).expect("bench JSON written");
+    mmdb_server::validate_bench_net_json(&json).expect("bench JSON validates");
+    assert!(json.contains("\"zipf\""), "{json}");
+    // the database survives being served: committed work is durable
+    let fsck = ok(&dir, &["fsck"]);
+    assert!(fsck.contains("fsck: clean"), "{fsck}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_announces_its_port_and_shuts_down_over_the_wire() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tmpdir("serve");
+    ok(&dir, &["init", "--algorithm", "COUCOPY"]);
+
+    let mut child = Command::new(bin())
+        .arg(&dir)
+        .args(["serve", "--addr", "127.0.0.1:0", "--ckpt-ms", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("serve printed a line")
+        .expect("readable line");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+        .to_string();
+
+    let mut client = mmdb_wire::Client::connect(&addr).expect("connect to serve");
+    client.ping().expect("ping");
+    let words = client.info().expect("info").record_words as usize;
+    let (_txn, _runs) = client
+        .put(mmdb_core::RecordId(1), &vec![77u32; words])
+        .expect("put over the wire");
+    client.shutdown().expect("graceful shutdown");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve should exit cleanly after Shutdown");
+
+    // the commit that was acked over the wire is durable
+    let out = ok(&dir, &["get", "1"]);
+    assert!(out.contains("record 1 = 77"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

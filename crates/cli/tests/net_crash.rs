@@ -1,0 +1,229 @@
+//! Networked crash test — the network analogue of `tests/crash_matrix.rs`.
+//!
+//! A real `mmdb-cli serve` process takes concurrent wire commits with a
+//! live background checkpointer, gets SIGKILLed mid-load (no flush, no
+//! goodbye), and must come back with exactly the committed state:
+//! every value the server *acked* survives (commits force the log —
+//! `CommitDurability::Force`), and every record holds either its last
+//! acked value or the one write that was in flight when the process
+//! died — never a torn mixture, never anything older.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mmdb_types::RecordId;
+use mmdb_wire::Client;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mmdb-cli")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-net-crash-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns `mmdb-cli <dir> serve` and returns (child, bound address,
+/// stdout reader). Keep the reader alive until after `wait()`: dropping
+/// it closes the pipe, and the server's own shutdown summary would then
+/// die on EPIPE.
+fn spawn_serve(dir: &Path, ckpt_ms: u64) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(bin())
+        .arg(dir)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--ckpt-ms",
+            &ckpt_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader
+        .read_line(&mut first)
+        .expect("serve prints its address");
+    let addr = first
+        .trim_end()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {first}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Per-record fill tracking: the last server-acked fill and the fill
+/// that was in flight (sent, not yet acked).
+#[derive(Default, Clone, Copy)]
+struct Tracked {
+    acked: Option<u32>,
+    in_flight: Option<u32>,
+}
+
+#[test]
+fn kill_nine_mid_load_recovers_exactly_the_acked_state() {
+    let dir = tmpdir("kill9");
+    let out = Command::new(bin())
+        .arg(&dir)
+        .args(["init", "--algorithm", "COUCOPY"])
+        .output()
+        .expect("init");
+    assert!(out.status.success());
+
+    let (mut child, addr, _stdout_keepalive) = spawn_serve(&dir, 1);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let info = control.info().expect("info");
+    let words = info.record_words as usize;
+
+    // 4 writer threads, each owning a disjoint 8-record range
+    const THREADS: u64 = 4;
+    const RANGE: u64 = 8;
+    let tracked: Arc<Mutex<HashMap<u64, Tracked>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        let tracked = Arc::clone(&tracked);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        joins.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let _ = c.set_timeout(Some(Duration::from_secs(10)));
+            let mut seq: u32 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                seq += 1;
+                let rid = t * RANGE + u64::from(seq) % RANGE;
+                // unique per (thread, seq): survivors are attributable
+                let fill = ((t as u32) << 24) | seq;
+                {
+                    let mut m = match tracked.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    m.entry(rid).or_default().in_flight = Some(fill);
+                }
+                match c.retry_transient(1000, |c| c.put(RecordId(rid), &vec![fill; words])) {
+                    Ok(_) => {
+                        let mut m = match tracked.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        let e = m.entry(rid).or_default();
+                        e.acked = Some(fill);
+                        e.in_flight = None;
+                        committed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // server died under us — expected
+                }
+            }
+        }));
+    }
+
+    // let the load run until background checkpoints demonstrably overlap
+    // it, then pull the plug with no warning
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "server never took 2 checkpoints under load"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        if committed.load(Ordering::SeqCst) < 100 {
+            continue;
+        }
+        let stats = match control.stats_json() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let snap = mmdb_core::MetricsSnapshot::from_json(&stats).expect("stats parse");
+        if snap.counter("ckpt.completed").unwrap_or(0) >= 2 {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let tracked = match Arc::try_unwrap(tracked).map(Mutex::into_inner) {
+        Ok(Ok(m)) => m,
+        _ => panic!("tracking map still shared"),
+    };
+    assert!(
+        committed.load(Ordering::SeqCst) >= 100,
+        "not enough acked commits to make the test meaningful"
+    );
+
+    // recovery must be clean (torn log tail is expected and tolerated)
+    let fsck = Command::new(bin())
+        .arg(&dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    let fsck_out =
+        String::from_utf8_lossy(&fsck.stdout).into_owned() + &String::from_utf8_lossy(&fsck.stderr);
+    assert!(
+        fsck.status.success(),
+        "fsck failed after kill -9:\n{fsck_out}"
+    );
+    assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
+
+    // re-serve the recovered database and audit every tracked record
+    // over the wire: last acked fill, or the one in-flight write
+    let (mut child2, addr2, _stdout_keepalive2) = spawn_serve(&dir, 0);
+    let mut reader = Client::connect(&addr2).expect("connect to recovered server");
+    reader
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    for (rid, t) in &tracked {
+        let value = reader.get(RecordId(*rid)).expect("read recovered record");
+        assert!(
+            value.iter().all(|w| *w == value[0]),
+            "record {rid} recovered torn: {value:?}"
+        );
+        let got = value[0];
+        let mut allowed: Vec<u32> = Vec::new();
+        if let Some(a) = t.acked {
+            allowed.push(a);
+        }
+        if let Some(f) = t.in_flight {
+            allowed.push(f);
+        }
+        if t.acked.is_none() {
+            // never acked: the initial content may also survive; only
+            // the in-flight value or "untouched" are legal, and
+            // untouched is whatever init wrote — accept any fill that
+            // is NOT a lost ack (no acks existed)
+            continue;
+        }
+        assert!(
+            allowed.contains(&got),
+            "record {rid}: recovered fill {got:#x}, expected one of {allowed:x?} \
+             (acked={:x?}, in-flight={:x?})",
+            t.acked,
+            t.in_flight
+        );
+    }
+    reader.shutdown().expect("graceful shutdown");
+    assert!(child2.wait().expect("serve exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,279 @@
+//! Per-connection request handling.
+//!
+//! Each connection is owned by exactly one worker thread for its whole
+//! life. The worker takes the engine mutex per *request*, never per
+//! transaction, so an interactive `Begin`/`Write`/`Commit` sequence
+//! interleaves with other connections and with checkpoint steps — the
+//! paper's concurrency model, with the mutex as the processor.
+//!
+//! Connection-owned state is the set of open interactive transactions:
+//! if the connection drops (or times out) with transactions still open,
+//! the worker aborts them so they cannot pin the two-color checkpoint's
+//! white set forever.
+//!
+//! Every request is wrapped in an obs span (`net.request` /
+//! `net.request_ns`) plus per-op counters on the *engine's* registry,
+//! so a `Stats` request over the wire shows the network layer and the
+//! engine in one snapshot.
+
+use crate::{ServerConfig, Shared};
+use mmdb_core::{CheckpointStart, Mmdb};
+use mmdb_types::{MmdbError, TxnId};
+use mmdb_wire::frame::FrameError;
+use mmdb_wire::{
+    read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo,
+};
+use std::collections::HashSet;
+use std::io::{self, BufWriter};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Serves one connection to completion (peer close, idle timeout,
+/// protocol error, or server shutdown).
+pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.poll_interval));
+    let mut writer = match stream.try_clone() {
+        Ok(s) => BufWriter::new(s),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+
+    let obs = shared.lock_db().obs().clone();
+    let mut open_txns: HashSet<TxnId> = HashSet::new();
+    let mut last_activity = Instant::now();
+
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean close
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stopping() {
+                    break;
+                }
+                if let Some(idle) = cfg.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        obs.counter("net.conn.idle_closed", 1);
+                        break;
+                    }
+                }
+                continue;
+            }
+            Err(_) => {
+                obs.counter("net.conn.transport_errors", 1);
+                break;
+            }
+        };
+        last_activity = Instant::now();
+
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                obs.counter("net.protocol_errors", 1);
+                let resp = Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut writer, &resp.encode());
+                break; // desynchronized peer: close rather than guess
+            }
+        };
+
+        let op = req.op_name();
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let timer = obs.timer();
+        let resp = dispatch(shared, &req, &mut open_txns);
+        obs.span_end("net.request", "net.request_ns", timer, || op.to_string());
+        obs.counter("net.requests", 1);
+        obs.counter(op_counter(&req), 1);
+        if matches!(resp, Response::Error { .. }) {
+            obs.counter("net.request_errors", 1);
+        }
+
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            obs.counter("net.conn.transport_errors", 1);
+            break;
+        }
+        if is_shutdown {
+            shared.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+
+    if !open_txns.is_empty() {
+        let mut db = shared.lock_db();
+        for txn in open_txns.drain() {
+            if db.abort(txn).is_ok() {
+                shared
+                    .txns_aborted_on_disconnect
+                    .fetch_add(1, Ordering::SeqCst);
+                obs.counter("net.txn.aborted_on_disconnect", 1);
+            }
+        }
+    }
+}
+
+/// Executes one request against the engine, mapping engine errors to
+/// wire error frames. Takes (and releases) the engine mutex exactly
+/// once.
+fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> Response {
+    if shared.stopping() && !matches!(req, Request::Shutdown) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".into(),
+        };
+    }
+    let mut db = shared.lock_db();
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Get { rid } => match db.read_committed(*rid) {
+            Ok(words) => Response::Value { words },
+            Err(e) => error_response(&e),
+        },
+        Request::Put { rid, value } => {
+            let updates = [(*rid, value.clone())];
+            match db.run_txn(&updates) {
+                Ok(run) => Response::Committed {
+                    txn: run.txn,
+                    runs: run.runs,
+                },
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::Batch { updates } => match db.run_txn(updates) {
+            Ok(run) => Response::Committed {
+                txn: run.txn,
+                runs: run.runs,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Begin => match db.begin_txn() {
+            Ok(txn) => {
+                open_txns.insert(txn);
+                Response::Begun { txn }
+            }
+            Err(e) => error_response(&e),
+        },
+        Request::Read { txn, rid } => match db.read(*txn, *rid) {
+            Ok(words) => Response::Value { words },
+            Err(e) => interactive_error(&e, *txn, open_txns),
+        },
+        Request::Write { txn, rid, value } => match db.write(*txn, *rid, value) {
+            Ok(()) => Response::Ok,
+            Err(e) => interactive_error(&e, *txn, open_txns),
+        },
+        Request::Commit { txn } => match db.commit(*txn) {
+            Ok(()) => {
+                open_txns.remove(txn);
+                Response::Committed { txn: *txn, runs: 1 }
+            }
+            Err(e) => interactive_error(&e, *txn, open_txns),
+        },
+        Request::Abort { txn } => match db.abort(*txn) {
+            Ok(()) => {
+                open_txns.remove(txn);
+                Response::Ok
+            }
+            Err(e) => interactive_error(&e, *txn, open_txns),
+        },
+        Request::Stats => Response::StatsJson {
+            json: db.metrics_snapshot().to_json_pretty(),
+        },
+        Request::Checkpoint { sync: true } => match db.checkpoint() {
+            Ok(report) => Response::CkptDone(CkptSummary {
+                ckpt: report.ckpt.raw(),
+                copy: report.copy as u8,
+                segments_flushed: report.segments_flushed,
+                segments_skipped: report.segments_skipped,
+                old_copies_flushed: report.old_copies_flushed,
+            }),
+            Err(e) => error_response(&e),
+        },
+        Request::Checkpoint { sync: false } => match db.try_begin_checkpoint() {
+            Ok(CheckpointStart::Started(_)) => Response::CkptStarted {
+                state: CkptStartState::Started,
+            },
+            Ok(CheckpointStart::Quiescing) => Response::CkptStarted {
+                state: CkptStartState::Quiescing,
+            },
+            Err(MmdbError::CheckpointInProgress) => Response::CkptStarted {
+                state: CkptStartState::AlreadyRunning,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Fingerprint => Response::Fingerprint {
+            fp: db.fingerprint(),
+        },
+        Request::Info => Response::Info(server_info(&db)),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn server_info(db: &Mmdb) -> ServerInfo {
+    ServerInfo {
+        n_records: db.n_records(),
+        record_words: db.record_words() as u32,
+        n_segments: db.n_segments(),
+        algorithm: db.config().algorithm.name().to_string(),
+    }
+}
+
+/// Like [`error_response`], but also evicts transactions the engine has
+/// already killed (a two-color abort inside `commit` consumes the txn;
+/// keeping it in `open_txns` would double-abort it at disconnect).
+fn interactive_error(e: &MmdbError, txn: TxnId, open_txns: &mut HashSet<TxnId>) -> Response {
+    if matches!(
+        e,
+        MmdbError::TwoColorViolation { .. } | MmdbError::NoSuchTxn(_)
+    ) {
+        open_txns.remove(&txn);
+    }
+    error_response(e)
+}
+
+/// Maps an engine error to a wire error frame. The Transient class is
+/// the load-bearing one: closed-loop clients retry those instead of
+/// counting them as failures.
+fn error_response(e: &MmdbError) -> Response {
+    let code = match e {
+        MmdbError::TwoColorViolation { .. } | MmdbError::Quiesced => ErrorCode::Transient,
+        MmdbError::CheckpointInProgress => ErrorCode::Busy,
+        MmdbError::RecordOutOfRange { .. } | MmdbError::SegmentOutOfRange { .. } => {
+            ErrorCode::OutOfRange
+        }
+        MmdbError::Corrupt(_) | MmdbError::NoCompleteBackup => ErrorCode::Corrupt,
+        MmdbError::Io(_) => ErrorCode::Io,
+        MmdbError::NoSuchTxn(_)
+        | MmdbError::BadRecordSize { .. }
+        | MmdbError::UnsoundConfiguration(_)
+        | MmdbError::NoCheckpointInProgress
+        | MmdbError::Invalid(_) => ErrorCode::Invalid,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Static counter name per opcode (obs counters require `'static`).
+fn op_counter(req: &Request) -> &'static str {
+    match req {
+        Request::Ping => "net.op.ping",
+        Request::Get { .. } => "net.op.get",
+        Request::Put { .. } => "net.op.put",
+        Request::Batch { .. } => "net.op.batch",
+        Request::Begin => "net.op.begin",
+        Request::Read { .. } => "net.op.read",
+        Request::Write { .. } => "net.op.write",
+        Request::Commit { .. } => "net.op.commit",
+        Request::Abort { .. } => "net.op.abort",
+        Request::Stats => "net.op.stats",
+        Request::Checkpoint { .. } => "net.op.checkpoint",
+        Request::Fingerprint => "net.op.fingerprint",
+        Request::Info => "net.op.info",
+        Request::Shutdown => "net.op.shutdown",
+    }
+}

@@ -1,0 +1,337 @@
+//! **mmdb-server** — a threaded TCP server over the mmdb engine.
+//!
+//! The engine itself is deliberately single-threaded (every
+//! interleaving of transactions, checkpoint steps and crashes must be
+//! expressible in tests), so concurrency lives *around* it, exactly as
+//! the paper's system model prescribes (§2: one processor alternating
+//! between transaction work and checkpointer work):
+//!
+//! * a listener thread accepts connections and hands them to a fixed
+//!   pool of worker threads,
+//! * each worker speaks the [`mmdb_wire`] protocol over its connection,
+//!   taking the engine mutex only for the duration of one primitive
+//!   action (a transaction step, never a whole interactive
+//!   transaction),
+//! * one dedicated checkpointer thread interleaves
+//!   [`checkpoint_step`](mmdb_core::Mmdb::checkpoint_step) calls with
+//!   the workers' transactions through the same mutex — the paper's
+//!   low-priority checkpointer process, with the mutex standing in for
+//!   the processor.
+//!
+//! Shutdown is graceful: a client `Shutdown` request (or
+//! [`ServerHandle::stop`]) raises a flag; workers finish their current
+//! request, the checkpointer finishes (or abandons pacing of) its
+//! current checkpoint, and [`ServerHandle::shutdown_join`] returns the
+//! engine so callers can fingerprint or close it cleanly.
+//!
+//! The crate also hosts the closed-loop network load driver
+//! ([`load`]) used by `mmdb-cli bench-net`.
+
+pub mod conn;
+pub mod load;
+
+pub use load::{
+    bench_net_json, run_load, validate_bench_net_json, LoadConfig, LoadReport, WorkloadKind,
+    BENCH_NET_SCHEMA,
+};
+
+use mmdb_core::{Mmdb, StepOutcome};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time). Size this at
+    /// or above the expected number of concurrent persistent
+    /// connections: a closed-loop client parked in the accept queue
+    /// behind long-lived connections makes no progress.
+    pub workers: usize,
+    /// How long a worker blocks in a read before re-checking the stop
+    /// flag. Small values make shutdown snappy; it is not a client
+    /// deadline.
+    pub poll_interval: Duration,
+    /// Drop a connection that has sent no request for this long.
+    /// `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Pause between background checkpoints. `Some(d)`: the
+    /// checkpointer begins a new checkpoint `d` after the previous one
+    /// completes (continuous checkpointing, the paper's normal mode).
+    /// `None`: checkpoints run only when a client sends
+    /// `Checkpoint`.
+    pub checkpoint_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 16,
+            poll_interval: Duration::from_millis(50),
+            idle_timeout: None,
+            checkpoint_interval: Some(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Shared server state visible to every thread.
+pub(crate) struct Shared {
+    pub(crate) db: Mutex<Mmdb>,
+    pub(crate) stop: AtomicBool,
+    /// Checkpoints completed by the background checkpointer thread.
+    pub(crate) ckpts_completed: AtomicU64,
+    /// Interactive transactions aborted because their connection died.
+    pub(crate) txns_aborted_on_disconnect: AtomicU64,
+}
+
+impl Shared {
+    /// Locks the engine, recovering from a poisoned mutex: the engine's
+    /// own invariants are audited internally, so a panic in one worker
+    /// must not wedge every other connection.
+    pub(crate) fn lock_db(&self) -> MutexGuard<'_, Mmdb> {
+        match self.db.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// The running server: spawn with [`Server::spawn`].
+pub struct Server;
+
+/// Handle to a running server: address, stop control, and joins.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_join: Option<JoinHandle<()>>,
+    worker_joins: Vec<JoinHandle<()>>,
+    ckpt_join: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the listener + worker pool + checkpointer, and
+    /// returns a handle. The engine moves into the server; get it back
+    /// with [`ServerHandle::shutdown_join`].
+    pub fn spawn(db: Mmdb, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            db: Mutex::new(db),
+            stop: AtomicBool::new(false),
+            ckpts_completed: AtomicU64::new(0),
+            txns_aborted_on_disconnect: AtomicU64::new(0),
+        });
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut worker_joins = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            let cfg = config.clone();
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("mmdb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &conn_rx, &cfg))?,
+            );
+        }
+
+        let ckpt_join = {
+            let shared = Arc::clone(&shared);
+            let interval = config.checkpoint_interval;
+            std::thread::Builder::new()
+                .name("mmdb-checkpointer".into())
+                .spawn(move || checkpointer_loop(&shared, interval))?
+        };
+
+        let accept_join = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mmdb-accept".into())
+                .spawn(move || accept_loop(&shared, listener, &conn_tx))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_join: Some(accept_join),
+            worker_joins,
+            ckpt_join: Some(ckpt_join),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag; threads exit after their current unit of
+    /// work. Does not wait — pair with [`ServerHandle::shutdown_join`].
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once the stop flag is raised (locally via
+    /// [`ServerHandle::stop`] or remotely via a wire `Shutdown`).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Checkpoints completed by the background checkpointer so far.
+    pub fn checkpoints_completed(&self) -> u64 {
+        self.shared.ckpts_completed.load(Ordering::SeqCst)
+    }
+
+    /// Interactive transactions the server aborted because their
+    /// connection disconnected without committing.
+    pub fn txns_aborted_on_disconnect(&self) -> u64 {
+        self.shared
+            .txns_aborted_on_disconnect
+            .load(Ordering::SeqCst)
+    }
+
+    /// Stops the server, joins every thread, and returns the engine.
+    pub fn shutdown_join(mut self) -> Mmdb {
+        self.stop();
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        for j in self.worker_joins.drain(..) {
+            let _ = j.join();
+        }
+        if let Some(j) = self.ckpt_join.take() {
+            let _ = j.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| unreachable!("all server threads joined; no clones remain"));
+        match shared.db.into_inner() {
+            Ok(db) => db,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<TcpStream>) {
+    loop {
+        if shared.stopping() {
+            return; // dropping conn_tx wakes idle workers
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conn_tx.send(stream).is_err() {
+                    return; // every worker exited
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // transient accept errors (e.g. aborted handshake): keep serving
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    conn_rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    cfg: &ServerConfig,
+) {
+    loop {
+        // Take the receiver lock only to dequeue, never across a
+        // connection's lifetime — otherwise the pool serializes.
+        let next = {
+            let rx = match conn_rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            rx.recv_timeout(cfg.poll_interval)
+        };
+        match next {
+            Ok(stream) => conn::serve_connection(shared, stream, cfg),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stopping() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// The paper's dedicated checkpointer process: repeatedly begin a
+/// checkpoint (per pacing), then drive it step by step, yielding the
+/// engine mutex between steps so transactions interleave — the same
+/// discipline as the in-process concurrent driver tests.
+fn checkpointer_loop(shared: &Shared, interval: Option<Duration>) {
+    let mut next_begin_ok = true; // begin immediately on startup when paced
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let mut did_work = false;
+        let mut completed = false;
+        {
+            let mut db = shared.lock_db();
+            if !db.is_checkpoint_active() && !db.is_quiescing() {
+                if interval.is_some() && next_begin_ok {
+                    // Quiesce refusals and in-progress races are normal;
+                    // the next iteration retries.
+                    let _ = db.try_begin_checkpoint();
+                    next_begin_ok = false;
+                }
+            } else {
+                match db.checkpoint_step() {
+                    Ok(StepOutcome::Progress { .. }) => did_work = true,
+                    Ok(StepOutcome::WaitingForLog) => {
+                        let _ = db.force_log();
+                        did_work = true;
+                    }
+                    Ok(StepOutcome::Done { .. }) => {
+                        completed = true;
+                        did_work = true;
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        if completed {
+            shared.ckpts_completed.fetch_add(1, Ordering::SeqCst);
+            if let Some(d) = interval {
+                // pace: sleep in small slices so stop stays responsive
+                let mut left = d;
+                while !left.is_zero() && !shared.stopping() {
+                    let slice = left.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    left = left.saturating_sub(slice);
+                }
+                next_begin_ok = true;
+            }
+        } else if !did_work {
+            if interval.is_some() && !next_begin_ok {
+                next_begin_ok = true; // begin attempt raced; retry soon
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // after Progress: loop immediately — dropping the guard between
+        // steps is what lets worker transactions interleave
+    }
+}

@@ -1,0 +1,432 @@
+//! Closed-loop network load driver.
+//!
+//! Spawns one thread per connection; each thread replays a
+//! [`mmdb_workload`] update stream (Uniform or Zipf, deterministic per
+//! seed) as `Batch` transactions over its own [`Client`], waiting for
+//! each commit before sending the next — a closed loop, so offered load
+//! tracks service capacity and the latency histogram is honest.
+//!
+//! Transient server errors (two-color aborts surfacing through a
+//! quiesce, COU quiesce refusals) are retried and *counted as retries*,
+//! not errors: under continuous checkpointing they are the ordinary
+//! cost of transaction-consistent checkpoints (paper §3.2), not
+//! failures. Anything else increments `errors` — a correct run reports
+//! zero.
+//!
+//! [`bench_net_json`] renders a [`LoadReport`] with a fixed key set
+//! ("deterministic schema": keys and shapes never vary run to run, only
+//! wall-clock values do) and [`validate_bench_net_json`] checks that
+//! shape, so CI can validate fresh output without byte-diffing.
+
+use mmdb_obs::hist::{HistSummary, Histogram};
+use mmdb_obs::json::{parse, Value};
+use mmdb_types::{RecordId, Word};
+use mmdb_wire::{Client, ServerInfo, WireError, WireResult};
+use mmdb_workload::{UniformWorkload, Workload, ZipfWorkload};
+use std::time::{Duration, Instant};
+
+/// Which record-selection distribution each connection replays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Uniform over the whole record space.
+    Uniform,
+    /// Zipf-like with the given skew parameter `theta` in `[0, 1)`.
+    Zipf(f64),
+}
+
+impl WorkloadKind {
+    /// Stable label used in the bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Zipf(_) => "zipf",
+        }
+    }
+
+    /// The skew parameter (0.0 for uniform, keeping the JSON schema
+    /// fixed across kinds).
+    pub fn theta(self) -> f64 {
+        match self {
+            WorkloadKind::Uniform => 0.0,
+            WorkloadKind::Zipf(theta) => theta,
+        }
+    }
+}
+
+/// Parameters for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `"127.0.0.1:7878"`.
+    pub addr: String,
+    /// Concurrent connections (one closed-loop thread each).
+    pub connections: usize,
+    /// Transactions each connection commits.
+    pub txns_per_conn: u64,
+    /// Records updated per transaction.
+    pub updates_per_txn: u32,
+    /// Base RNG seed; connection `i` derives an independent stream.
+    pub seed: u64,
+    /// Record-selection distribution.
+    pub workload: WorkloadKind,
+    /// Max transparent retries per transaction on transient errors.
+    pub max_retries: u32,
+    /// Per-response timeout for every connection.
+    pub timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            connections: 8,
+            txns_per_conn: 200,
+            updates_per_txn: 4,
+            seed: 42,
+            workload: WorkloadKind::Uniform,
+            max_retries: 1000,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections that ran.
+    pub connections: usize,
+    /// Transactions committed across all connections.
+    pub committed: u64,
+    /// Non-transient failures (0 in a correct run).
+    pub errors: u64,
+    /// Transparent transient retries absorbed by the driver.
+    pub retries: u64,
+    /// Wall-clock time from first spawn to last join.
+    pub elapsed: Duration,
+    /// Committed transactions per wall-clock second.
+    pub throughput_tps: f64,
+    /// Commit latency digest in microseconds, merged over connections.
+    pub latency_us: HistSummary,
+}
+
+struct ConnOutcome {
+    committed: u64,
+    errors: u64,
+    retries: u64,
+    latency_us: Histogram,
+}
+
+/// Runs the closed-loop driver to completion. Fails only on setup
+/// errors (connect/info); per-transaction failures are counted in the
+/// report instead.
+pub fn run_load(cfg: &LoadConfig) -> WireResult<LoadReport> {
+    let info = {
+        let mut probe = Client::connect(&cfg.addr)?;
+        probe.set_timeout(Some(cfg.timeout))?;
+        probe.info()?
+    };
+    let s_rec = info.record_words as usize;
+    let n_records = info.n_records;
+
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(cfg.connections);
+    for i in 0..cfg.connections {
+        let cfg = cfg.clone();
+        joins.push(std::thread::spawn(move || -> WireResult<ConnOutcome> {
+            run_connection(&cfg, i, n_records, s_rec)
+        }));
+    }
+
+    let mut report = LoadReport {
+        connections: cfg.connections,
+        committed: 0,
+        errors: 0,
+        retries: 0,
+        elapsed: Duration::ZERO,
+        throughput_tps: 0.0,
+        latency_us: HistSummary::default(),
+    };
+    let mut merged = Histogram::new();
+    let mut first_err: Option<WireError> = None;
+    for j in joins {
+        match j.join() {
+            Ok(Ok(out)) => {
+                report.committed += out.committed;
+                report.errors += out.errors;
+                report.retries += out.retries;
+                merged.merge(&out.latency_us);
+            }
+            Ok(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Err(_) => {
+                if first_err.is_none() {
+                    first_err = Some(WireError::Unexpected("load thread panicked".into()));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.elapsed = started.elapsed();
+    report.latency_us = merged.summary();
+    let secs = report.elapsed.as_secs_f64();
+    report.throughput_tps = if secs > 0.0 {
+        report.committed as f64 / secs
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+fn run_connection(
+    cfg: &LoadConfig,
+    index: usize,
+    n_records: u64,
+    s_rec: usize,
+) -> WireResult<ConnOutcome> {
+    let mut client = Client::connect(&cfg.addr)?;
+    client.set_timeout(Some(cfg.timeout))?;
+
+    // Independent deterministic stream per connection.
+    let seed = cfg
+        .seed
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut workload: Box<dyn Workload> = match cfg.workload {
+        WorkloadKind::Uniform => {
+            Box::new(UniformWorkload::new(n_records, cfg.updates_per_txn, seed))
+        }
+        WorkloadKind::Zipf(theta) => Box::new(ZipfWorkload::new(
+            n_records,
+            cfg.updates_per_txn,
+            theta,
+            seed,
+        )),
+    };
+
+    let mut out = ConnOutcome {
+        committed: 0,
+        errors: 0,
+        retries: 0,
+        latency_us: Histogram::new(),
+    };
+    for _ in 0..cfg.txns_per_conn {
+        let updates: Vec<(RecordId, Vec<Word>)> = workload.next_txn().materialize(s_rec);
+        let t0 = Instant::now();
+        match client.retry_transient(cfg.max_retries, |c| c.batch(&updates)) {
+            Ok((_committed, retries)) => {
+                out.committed += 1;
+                out.retries += u64::from(retries);
+                let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                out.latency_us.record(us);
+            }
+            Err(WireError::Io(_) | WireError::Protocol(_)) => {
+                // the connection is gone or desynchronized: surface it
+                out.errors += 1;
+                return Ok(out);
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Schema tag for [`bench_net_json`] output.
+pub const BENCH_NET_SCHEMA: &str = "mmdb-bench-net/v1";
+
+/// Renders a load run as JSON with a fixed key set. `ckpts_completed`
+/// comes from the server (background checkpoints during the run).
+pub fn bench_net_json(
+    cfg: &LoadConfig,
+    report: &LoadReport,
+    info: &ServerInfo,
+    ckpts_completed: u64,
+) -> String {
+    let lat = &report.latency_us;
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_NET_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("connections".into(), Value::u(report.connections as u64)),
+                ("txns_per_conn".into(), Value::u(cfg.txns_per_conn)),
+                (
+                    "updates_per_txn".into(),
+                    Value::u(u64::from(cfg.updates_per_txn)),
+                ),
+                ("workload".into(), Value::s(cfg.workload.label())),
+                ("zipf_theta".into(), Value::f(cfg.workload.theta())),
+                ("seed".into(), Value::u(cfg.seed)),
+                ("algorithm".into(), Value::s(&info.algorithm)),
+                ("n_records".into(), Value::u(info.n_records)),
+            ]),
+        ),
+        (
+            "results".into(),
+            Value::Obj(vec![
+                ("committed".into(), Value::u(report.committed)),
+                ("errors".into(), Value::u(report.errors)),
+                ("retries".into(), Value::u(report.retries)),
+                ("elapsed_s".into(), Value::f(report.elapsed.as_secs_f64())),
+                ("throughput_tps".into(), Value::f(report.throughput_tps)),
+                (
+                    "latency_us".into(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::u(lat.count)),
+                        ("mean".into(), Value::f(lat.mean)),
+                        ("p50".into(), Value::u(lat.p50)),
+                        ("p90".into(), Value::u(lat.p90)),
+                        ("p99".into(), Value::u(lat.p99)),
+                        ("max".into(), Value::u(lat.max)),
+                    ]),
+                ),
+                ("ckpts_completed".into(), Value::u(ckpts_completed)),
+            ]),
+        ),
+    ]);
+    let mut s = v.to_pretty();
+    s.push('\n');
+    s
+}
+
+/// Validates the fixed schema of [`bench_net_json`] output: the schema
+/// tag, every required key, and basic type/sanity constraints. Values
+/// are wall-clock so CI validates shape, not bytes.
+pub fn validate_bench_net_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_NET_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_NET_SCHEMA:?}"));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    for key in [
+        "connections",
+        "txns_per_conn",
+        "updates_per_txn",
+        "seed",
+        "n_records",
+    ] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+    config
+        .get("zipf_theta")
+        .and_then(Value::as_f64)
+        .ok_or("config.zipf_theta missing or not a number")?;
+    for key in ["workload", "algorithm"] {
+        config
+            .get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("config.{key} missing or not a string"))?;
+    }
+    let results = v.get("results").ok_or("missing results")?;
+    for key in ["committed", "errors", "retries", "ckpts_completed"] {
+        results
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("results.{key} missing or not an integer"))?;
+    }
+    for key in ["elapsed_s", "throughput_tps"] {
+        let n = results
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("results.{key} missing or not a number"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("results.{key} = {n} is not a finite non-negative"));
+        }
+    }
+    let lat = results
+        .get("latency_us")
+        .ok_or("missing results.latency_us")?;
+    for key in ["count", "p50", "p90", "p99", "max"] {
+        lat.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("latency_us.{key} missing or not an integer"))?;
+    }
+    lat.get("mean")
+        .and_then(Value::as_f64)
+        .ok_or("latency_us.mean missing or not a number")?;
+    let committed = results
+        .get("committed")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let count = lat.get("count").and_then(Value::as_u64).unwrap_or(0);
+    if committed != count {
+        return Err(format!(
+            "latency_us.count {count} != results.committed {committed}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_json() -> String {
+        let cfg = LoadConfig {
+            addr: "127.0.0.1:0".into(),
+            workload: WorkloadKind::Zipf(0.8),
+            ..LoadConfig::default()
+        };
+        let mut hist = Histogram::new();
+        for us in [120, 340, 95, 410, 230] {
+            hist.record(us);
+        }
+        let report = LoadReport {
+            connections: 8,
+            committed: 5,
+            errors: 0,
+            retries: 3,
+            elapsed: Duration::from_millis(250),
+            throughput_tps: 20.0,
+            latency_us: hist.summary(),
+        };
+        let info = ServerInfo {
+            n_records: 2048,
+            record_words: 8,
+            n_segments: 32,
+            algorithm: "FUZZYCOPY".into(),
+        };
+        bench_net_json(&cfg, &report, &info, 4)
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_its_own_validator() {
+        let json = sample_json();
+        validate_bench_net_json(&json).expect("fresh output validates");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_missing_keys() {
+        let json = sample_json();
+        let wrong = json.replace(BENCH_NET_SCHEMA, "mmdb-bench-net/v0");
+        assert!(validate_bench_net_json(&wrong).is_err());
+        let broken = json.replace("\"throughput_tps\"", "\"throughput\"");
+        assert!(validate_bench_net_json(&broken).is_err());
+        assert!(validate_bench_net_json("{}").is_err());
+        assert!(validate_bench_net_json("not json").is_err());
+    }
+
+    #[test]
+    fn validator_cross_checks_committed_against_latency_count() {
+        let json = sample_json();
+        let tampered = json.replace("\"committed\": 5", "\"committed\": 6");
+        assert!(validate_bench_net_json(&tampered).is_err());
+    }
+
+    #[test]
+    fn workload_kind_labels_are_stable() {
+        assert_eq!(WorkloadKind::Uniform.label(), "uniform");
+        assert_eq!(WorkloadKind::Zipf(0.5).label(), "zipf");
+        assert_eq!(WorkloadKind::Uniform.theta(), 0.0);
+        assert_eq!(WorkloadKind::Zipf(0.5).theta(), 0.5);
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end tests: a real server on a loopback socket, real clients.
+
+#![allow(clippy::unwrap_used)]
+
+use mmdb_core::{Algorithm, Mmdb, MmdbConfig};
+use mmdb_obs::MetricsSnapshot;
+use mmdb_server::{run_load, LoadConfig, Server, ServerConfig, ServerHandle, WorkloadKind};
+use mmdb_types::RecordId;
+use mmdb_wire::{write_frame, Client, ErrorCode, Request, WireError};
+use std::time::{Duration, Instant};
+
+fn spawn_server(algorithm: Algorithm, ckpt_interval: Option<Duration>) -> ServerHandle {
+    let db = Mmdb::open_in_memory(MmdbConfig::small(algorithm)).unwrap();
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(10),
+        checkpoint_interval: ckpt_interval,
+        ..ServerConfig::default()
+    };
+    Server::spawn(db, config).unwrap()
+}
+
+#[test]
+fn eight_closed_loop_connections_under_continuous_checkpoints() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, Some(Duration::from_millis(1)));
+    let addr = handle.local_addr().to_string();
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: 8,
+        txns_per_conn: 50,
+        updates_per_txn: 4,
+        seed: 7,
+        workload: WorkloadKind::Uniform,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).unwrap();
+    assert_eq!(report.errors, 0, "no protocol or non-transient errors");
+    assert_eq!(report.committed, 8 * 50);
+    assert_eq!(report.latency_us.count, report.committed);
+    assert!(report.throughput_tps > 0.0);
+
+    // continuous checkpointing really ran alongside the load
+    assert!(
+        handle.checkpoints_completed() >= 1,
+        "expected background checkpoints, saw {}",
+        handle.checkpoints_completed()
+    );
+
+    // request telemetry is visible through the wire Stats op
+    let mut c = Client::connect(&addr).unwrap();
+    let stats = c.stats_json().unwrap();
+    let snap = MetricsSnapshot::from_json(&stats).unwrap();
+    let req_hist = snap.hist("net.request_ns").expect("request span histogram");
+    assert!(req_hist.count >= 8 * 50, "spans for every request");
+    assert!(snap.counter("net.requests").unwrap_or(0) >= 8 * 50);
+    assert!(snap.counter("net.op.batch").unwrap_or(0) >= 8 * 50);
+    assert_eq!(
+        snap.counter("net.protocol_errors"),
+        None,
+        "no protocol errors"
+    );
+
+    let db = handle.shutdown_join();
+    assert_eq!(db.txn_stats().committed, 8 * 50);
+}
+
+#[test]
+fn two_color_transients_are_absorbed_as_retries_not_errors() {
+    let handle = spawn_server(Algorithm::TwoColorCopy, Some(Duration::from_millis(1)));
+    let cfg = LoadConfig {
+        addr: handle.local_addr().to_string(),
+        connections: 8,
+        txns_per_conn: 30,
+        updates_per_txn: 4,
+        seed: 11,
+        workload: WorkloadKind::Zipf(0.8),
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.committed, 8 * 30);
+    let db = handle.shutdown_join();
+    assert_eq!(db.txn_stats().committed, 8 * 30);
+}
+
+#[test]
+fn interactive_transaction_reads_its_own_writes() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    let info = c.info().unwrap();
+    assert!(info.n_records > 0);
+    let value: Vec<u32> = (0..info.record_words).collect();
+
+    let txn = c.begin().unwrap();
+    c.write(txn, RecordId(3), &value).unwrap();
+    assert_eq!(c.read(txn, RecordId(3)).unwrap(), value);
+    // committed view unchanged until commit
+    assert_ne!(c.get(RecordId(3)).unwrap(), value);
+    c.commit(txn).unwrap();
+    assert_eq!(c.get(RecordId(3)).unwrap(), value);
+
+    // abort path: staged write discarded
+    let txn = c.begin().unwrap();
+    let other: Vec<u32> = vec![9; info.record_words as usize];
+    c.write(txn, RecordId(3), &other).unwrap();
+    c.abort(txn).unwrap();
+    assert_eq!(c.get(RecordId(3)).unwrap(), value);
+
+    handle.shutdown_join();
+}
+
+#[test]
+fn disconnect_aborts_open_transactions() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let addr = handle.local_addr();
+
+    let before;
+    {
+        let mut c = Client::connect(addr).unwrap();
+        let info = c.info().unwrap();
+        before = c.get(RecordId(5)).unwrap();
+        let mut value = before.clone();
+        value[0] = value[0].wrapping_add(0xAA);
+        assert_eq!(value.len(), info.record_words as usize);
+        let txn = c.begin().unwrap();
+        c.write(txn, RecordId(5), &value).unwrap();
+        // drop without commit
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.txns_aborted_on_disconnect() == 0 {
+        assert!(Instant::now() < deadline, "server never aborted the orphan");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(
+        c.get(RecordId(5)).unwrap(),
+        before,
+        "uncommitted write must not be visible"
+    );
+    handle.shutdown_join();
+}
+
+#[test]
+fn wire_checkpoint_ops_and_fingerprint() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let info = c.info().unwrap();
+    assert_eq!(info.algorithm, "FUZZYCOPY");
+
+    let (_txn, runs) = c
+        .put(RecordId(0), &vec![1u32; info.record_words as usize])
+        .unwrap();
+    assert!(runs >= 1);
+
+    let summary = c.checkpoint_sync().unwrap();
+    assert!(summary.segments_flushed >= 1);
+
+    let fp1 = c.fingerprint().unwrap();
+    let fp2 = c.fingerprint().unwrap();
+    assert_eq!(fp1, fp2, "fingerprint is stable with no writes");
+
+    handle.shutdown_join();
+}
+
+#[test]
+fn shutdown_over_the_wire_stops_the_server() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, Some(Duration::from_millis(1)));
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+    c.shutdown().unwrap();
+
+    // the engine comes back out and is intact
+    let db = handle.shutdown_join();
+    assert!(!db.is_crashed());
+    let _ = db.fingerprint(); // engine is whole enough to walk
+
+    // and the port stops accepting (either refused, or accepted by a
+    // lingering backlog entry and then closed without service)
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server must not serve after shutdown"),
+    }
+}
+
+#[test]
+fn malformed_frames_get_an_error_frame_then_close() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    let mut c = Client::over(stream.try_clone().unwrap()).unwrap();
+
+    // a frame whose payload is garbage (bad version byte)
+    {
+        let mut w = stream.try_clone().unwrap();
+        write_frame(&mut w, &[0xFF, 0xFF, 0x00]).unwrap();
+    }
+    match c.request(&Request::Ping) {
+        // the server answers the garbage with a Protocol error frame,
+        // which the client surfaces as Remote, then closes
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Protocol),
+        other => panic!("expected protocol error frame, got {other:?}"),
+    }
+    handle.shutdown_join();
+}
+
+#[test]
+fn out_of_range_and_bad_size_map_to_typed_errors() {
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let info = c.info().unwrap();
+
+    match c.get(RecordId(info.n_records + 10)) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::OutOfRange),
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    match c.put(RecordId(0), &[1u32; 1000]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Invalid),
+        other => panic!("expected Invalid (bad record size), got {other:?}"),
+    }
+    // the connection survives typed errors
+    c.ping().unwrap();
+    handle.shutdown_join();
+}
+
+#[test]
+fn bench_net_json_from_a_real_run_validates() {
+    let handle = spawn_server(Algorithm::CouCopy, Some(Duration::from_millis(1)));
+    let addr = handle.local_addr().to_string();
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: 8,
+        txns_per_conn: 10,
+        updates_per_txn: 2,
+        seed: 3,
+        workload: WorkloadKind::Zipf(0.6),
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).unwrap();
+    assert_eq!(report.errors, 0);
+    let mut c = Client::connect(&addr).unwrap();
+    let info = c.info().unwrap();
+    let json = mmdb_server::bench_net_json(&cfg, &report, &info, handle.checkpoints_completed());
+    mmdb_server::validate_bench_net_json(&json).unwrap();
+    handle.shutdown_join();
+}
+
+#[test]
+fn response_timeout_protects_a_client() {
+    // not a server defect test: just proves the client timeout plumbing
+    // works against a listener that never answers
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut c = Client::connect(addr).unwrap();
+    c.set_timeout(Some(Duration::from_millis(50))).unwrap();
+    match c.ping() {
+        Err(WireError::Io(e)) => assert!(
+            e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
+        ),
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    drop(listener);
+}

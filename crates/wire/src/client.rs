@@ -1,0 +1,240 @@
+//! The blocking client: one TCP connection speaking the wire protocol.
+//!
+//! Deliberately synchronous (`std::net::TcpStream`, no async runtime):
+//! the load driver runs one closed-loop client per thread, which is
+//! exactly the deployment shape the protocol targets. Every method is
+//! one request/response exchange; [`Client::request`] is the raw
+//! escape hatch for harnesses that want to speak frames directly.
+
+use crate::frame::{read_frame, write_frame};
+use crate::message::{CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo};
+use crate::{WireError, WireResult};
+use mmdb_types::{RecordId, TxnId, Word};
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to an mmdb server.
+#[derive(Debug)]
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> WireResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::over(stream)
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn over(stream: TcpStream) -> WireResult<Client> {
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Client {
+            reader: stream,
+            writer,
+        })
+    }
+
+    /// Bounds how long any single response may take (`None` waits
+    /// forever). Protects closed-loop drivers from a hung server.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> WireResult<()> {
+        self.reader.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads one response. Server-side `Error`
+    /// frames come back as [`WireError::Remote`].
+    pub fn request(&mut self, req: &Request) -> WireResult<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let payload = read_frame(&mut self.reader)?
+            .ok_or_else(|| WireError::Protocol("server closed the connection".into()))?;
+        match Response::decode(&payload)? {
+            Response::Error { code, message } => Err(WireError::Remote { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> WireResult<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Static facts about the served database.
+    pub fn info(&mut self) -> WireResult<ServerInfo> {
+        match self.request(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected("Info", &other)),
+        }
+    }
+
+    /// Reads a committed record outside any transaction.
+    pub fn get(&mut self, rid: RecordId) -> WireResult<Vec<Word>> {
+        match self.request(&Request::Get { rid })? {
+            Response::Value { words } => Ok(words),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Commits a single-record update as one transaction; returns
+    /// `(txn, runs)`.
+    pub fn put(&mut self, rid: RecordId, value: &[Word]) -> WireResult<(TxnId, u32)> {
+        let req = Request::Put {
+            rid,
+            value: value.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Committed { txn, runs } => Ok((txn, runs)),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
+    /// Commits a multi-record update as one transaction; returns
+    /// `(txn, runs)`.
+    pub fn batch(&mut self, updates: &[(RecordId, Vec<Word>)]) -> WireResult<(TxnId, u32)> {
+        let req = Request::Batch {
+            updates: updates.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Committed { txn, runs } => Ok((txn, runs)),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
+    /// Begins an interactive transaction owned by this connection.
+    pub fn begin(&mut self) -> WireResult<TxnId> {
+        match self.request(&Request::Begin)? {
+            Response::Begun { txn } => Ok(txn),
+            other => Err(unexpected("Begun", &other)),
+        }
+    }
+
+    /// Reads a record inside an interactive transaction
+    /// (read-your-writes semantics, like the engine).
+    pub fn read(&mut self, txn: TxnId, rid: RecordId) -> WireResult<Vec<Word>> {
+        match self.request(&Request::Read { txn, rid })? {
+            Response::Value { words } => Ok(words),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Stages a write inside an interactive transaction.
+    pub fn write(&mut self, txn: TxnId, rid: RecordId, value: &[Word]) -> WireResult<()> {
+        let req = Request::Write {
+            txn,
+            rid,
+            value: value.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Commits an interactive transaction.
+    pub fn commit(&mut self, txn: TxnId) -> WireResult<(TxnId, u32)> {
+        match self.request(&Request::Commit { txn })? {
+            Response::Committed { txn, runs } => Ok((txn, runs)),
+            other => Err(unexpected("Committed", &other)),
+        }
+    }
+
+    /// Aborts an interactive transaction.
+    pub fn abort(&mut self, txn: TxnId) -> WireResult<()> {
+        match self.request(&Request::Abort { txn })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// The unified metrics snapshot as pretty JSON.
+    pub fn stats_json(&mut self) -> WireResult<String> {
+        match self.request(&Request::Stats)? {
+            Response::StatsJson { json } => Ok(json),
+            other => Err(unexpected("StatsJson", &other)),
+        }
+    }
+
+    /// Runs a checkpoint to completion and returns its report.
+    pub fn checkpoint_sync(&mut self) -> WireResult<CkptSummary> {
+        match self.request(&Request::Checkpoint { sync: true })? {
+            Response::CkptDone(s) => Ok(s),
+            other => Err(unexpected("CkptDone", &other)),
+        }
+    }
+
+    /// Requests a checkpoint and returns immediately; the server's
+    /// checkpointer thread drives it.
+    pub fn checkpoint_async(&mut self) -> WireResult<CkptStartState> {
+        match self.request(&Request::Checkpoint { sync: false })? {
+            Response::CkptStarted { state } => Ok(state),
+            other => Err(unexpected("CkptStarted", &other)),
+        }
+    }
+
+    /// Content fingerprint of the committed database.
+    pub fn fingerprint(&mut self) -> WireResult<u64> {
+        match self.request(&Request::Fingerprint)? {
+            Response::Fingerprint { fp } => Ok(fp),
+            other => Err(unexpected("Fingerprint", &other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> WireResult<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Retries `op` while the server reports transient (checkpoint
+    /// interference) errors, up to `max_retries`, backing off briefly.
+    /// This is the closed-loop driver's commit discipline: two-color
+    /// aborts and COU quiesce refusals are load, not failures.
+    pub fn retry_transient<T>(
+        &mut self,
+        max_retries: u32,
+        mut op: impl FnMut(&mut Client) -> WireResult<T>,
+    ) -> WireResult<(T, u32)> {
+        let mut retries = 0;
+        loop {
+            match op(self) {
+                Ok(v) => return Ok((v, retries)),
+                Err(e) if e.is_transient() && retries < max_retries => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_micros(200 * u64::from(retries.min(10))));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> WireError {
+    let got = match got {
+        Response::Pong => "Pong",
+        Response::Value { .. } => "Value",
+        Response::Committed { .. } => "Committed",
+        Response::Begun { .. } => "Begun",
+        Response::Ok => "Ok",
+        Response::StatsJson { .. } => "StatsJson",
+        Response::CkptDone(_) => "CkptDone",
+        Response::CkptStarted { .. } => "CkptStarted",
+        Response::Fingerprint { .. } => "Fingerprint",
+        Response::Info(_) => "Info",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::Error { .. } => "Error",
+    };
+    WireError::Unexpected(format!("wanted {wanted}, got {got}"))
+}
+
+/// Classifies an `ErrorCode` for drivers that count error kinds.
+pub fn is_retryable(code: ErrorCode) -> bool {
+    matches!(code, ErrorCode::Transient | ErrorCode::Busy)
+}

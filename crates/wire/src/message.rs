@@ -1,0 +1,681 @@
+//! Typed protocol messages and their binary codecs.
+//!
+//! Layout: every payload is `[version: u8][opcode: u8][body...]` with
+//! all multi-byte integers little-endian. Request opcodes live below
+//! `0x80`, response opcodes at or above it, so a stray frame sent in
+//! the wrong direction can never decode as valid. Decoding is strict:
+//! unknown opcodes, version mismatches, truncated bodies *and trailing
+//! bytes* are all errors — the round-trip proptests in
+//! `tests/wire_props.rs` pin `decode(encode(m)) == m` for every
+//! message shape.
+
+use crate::frame::PROTOCOL_VERSION;
+use crate::WireError;
+use mmdb_types::{RecordId, TxnId, Word};
+
+/// Machine-readable classification carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Retry the transaction: checkpoint interference (two-color abort
+    /// surfaced to the client, COU quiesce refusal), not a caller bug.
+    Transient = 1,
+    /// A record or transaction id out of range / not active.
+    OutOfRange = 2,
+    /// Invalid request for the current state (bad record size, wrong
+    /// arguments).
+    Invalid = 3,
+    /// The server detected corrupt on-disk data.
+    Corrupt = 4,
+    /// An I/O failure on the server side.
+    Io = 5,
+    /// The engine is busy (e.g. a checkpoint is already in progress).
+    Busy = 6,
+    /// The client broke the protocol (the connection will be closed).
+    Protocol = 7,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown = 8,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Transient,
+            2 => ErrorCode::OutOfRange,
+            3 => ErrorCode::Invalid,
+            4 => ErrorCode::Corrupt,
+            5 => ErrorCode::Io,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::Protocol,
+            8 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// Outcome of an asynchronous checkpoint request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CkptStartState {
+    /// The checkpoint began.
+    Started = 0,
+    /// A COU checkpoint is draining active transactions first.
+    Quiescing = 1,
+    /// A checkpoint was already running; nothing new was started.
+    AlreadyRunning = 2,
+}
+
+impl CkptStartState {
+    fn from_u8(v: u8) -> Option<CkptStartState> {
+        Some(match v {
+            0 => CkptStartState::Started,
+            1 => CkptStartState::Quiescing,
+            2 => CkptStartState::AlreadyRunning,
+            _ => return None,
+        })
+    }
+}
+
+/// A completed checkpoint's report, as carried on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptSummary {
+    /// Checkpoint id.
+    pub ckpt: u64,
+    /// Ping-pong copy written (0 or 1).
+    pub copy: u8,
+    /// Segment images written.
+    pub segments_flushed: u64,
+    /// Segments examined and skipped.
+    pub segments_skipped: u64,
+    /// Of the flushed images, how many came from COU old copies.
+    pub old_copies_flushed: u64,
+}
+
+/// Static facts about the served database, for clients sizing their
+/// workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Number of records in the database.
+    pub n_records: u64,
+    /// Words per record — `Put`/`Write` values must have this length.
+    pub record_words: u32,
+    /// Number of segments.
+    pub n_segments: u64,
+    /// The checkpointing algorithm's name (e.g. `"COUCOPY"`).
+    pub algorithm: String,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Read a committed record outside any transaction.
+    Get {
+        /// The record to read.
+        rid: RecordId,
+    },
+    /// Commit a single-record update as one transaction (retried
+    /// server-side on two-color aborts).
+    Put {
+        /// The record to update.
+        rid: RecordId,
+        /// The full new value (`record_words` words).
+        value: Vec<Word>,
+    },
+    /// Commit a multi-record update as one transaction (retried
+    /// server-side on two-color aborts).
+    Batch {
+        /// Distinct records with their full new values.
+        updates: Vec<(RecordId, Vec<Word>)>,
+    },
+    /// Begin an interactive transaction owned by this connection.
+    Begin,
+    /// Read a record inside an interactive transaction.
+    Read {
+        /// The transaction.
+        txn: TxnId,
+        /// The record to read.
+        rid: RecordId,
+    },
+    /// Stage a write inside an interactive transaction.
+    Write {
+        /// The transaction.
+        txn: TxnId,
+        /// The record to update.
+        rid: RecordId,
+        /// The full new value.
+        value: Vec<Word>,
+    },
+    /// Commit an interactive transaction.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Abort an interactive transaction.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Fetch the unified metrics snapshot as pretty JSON.
+    Stats,
+    /// Checkpoint control: `sync` runs a checkpoint to completion and
+    /// returns its report; async requests one and returns immediately
+    /// (the server's checkpointer thread drives it).
+    Checkpoint {
+        /// Run to completion before responding?
+        sync: bool,
+    },
+    /// Content fingerprint of the committed database (test aid).
+    Fingerprint,
+    /// Static facts about the served database.
+    Info,
+    /// Ask the server to stop accepting work and shut down gracefully.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// A record's committed (or transaction-visible) value.
+    Value {
+        /// The record's words.
+        words: Vec<Word>,
+    },
+    /// A one-shot or interactive transaction committed.
+    Committed {
+        /// The committed transaction id.
+        txn: TxnId,
+        /// Runs it took (1 = no two-color rerun).
+        runs: u32,
+    },
+    /// An interactive transaction began.
+    Begun {
+        /// The new transaction id.
+        txn: TxnId,
+    },
+    /// Generic success without payload (e.g. `Abort`).
+    Ok,
+    /// The metrics snapshot as pretty JSON.
+    StatsJson {
+        /// JSON text of the unified metrics snapshot.
+        json: String,
+    },
+    /// A synchronous checkpoint completed.
+    CkptDone(CkptSummary),
+    /// An asynchronous checkpoint request was accepted.
+    CkptStarted {
+        /// What actually happened.
+        state: CkptStartState,
+    },
+    /// The database fingerprint.
+    Fingerprint {
+        /// Content hash of the committed database.
+        fp: u64,
+    },
+    /// Static server facts.
+    Info(ServerInfo),
+    /// The server acknowledges a shutdown request.
+    ShuttingDown,
+    /// The request failed.
+    Error {
+        /// Machine-readable classification.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+// ----- opcodes --------------------------------------------------------------
+
+const OP_PING: u8 = 0x01;
+const OP_GET: u8 = 0x02;
+const OP_PUT: u8 = 0x03;
+const OP_BATCH: u8 = 0x04;
+const OP_BEGIN: u8 = 0x05;
+const OP_READ: u8 = 0x06;
+const OP_WRITE: u8 = 0x07;
+const OP_COMMIT: u8 = 0x08;
+const OP_ABORT: u8 = 0x09;
+const OP_STATS: u8 = 0x0A;
+const OP_CHECKPOINT: u8 = 0x0B;
+const OP_FINGERPRINT: u8 = 0x0C;
+const OP_INFO: u8 = 0x0D;
+const OP_SHUTDOWN: u8 = 0x0E;
+
+const OP_PONG: u8 = 0x81;
+const OP_VALUE: u8 = 0x82;
+const OP_COMMITTED: u8 = 0x83;
+const OP_BEGUN: u8 = 0x84;
+const OP_OK: u8 = 0x85;
+const OP_STATS_JSON: u8 = 0x86;
+const OP_CKPT_DONE: u8 = 0x87;
+const OP_CKPT_STARTED: u8 = 0x88;
+const OP_FP: u8 = 0x89;
+const OP_SERVER_INFO: u8 = 0x8A;
+const OP_SHUTTING_DOWN: u8 = 0x8B;
+const OP_ERROR: u8 = 0x8C;
+
+impl Request {
+    /// Short op name, used for telemetry labels.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Get { .. } => "get",
+            Request::Put { .. } => "put",
+            Request::Batch { .. } => "batch",
+            Request::Begin => "begin",
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::Commit { .. } => "commit",
+            Request::Abort { .. } => "abort",
+            Request::Stats => "stats",
+            Request::Checkpoint { .. } => "checkpoint",
+            Request::Fingerprint => "fingerprint",
+            Request::Info => "info",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Request::Ping => e.op(OP_PING),
+            Request::Get { rid } => {
+                e.op(OP_GET);
+                e.u64(rid.raw());
+            }
+            Request::Put { rid, value } => {
+                e.op(OP_PUT);
+                e.u64(rid.raw());
+                e.words(value);
+            }
+            Request::Batch { updates } => {
+                e.op(OP_BATCH);
+                e.u32(updates.len() as u32);
+                for (rid, value) in updates {
+                    e.u64(rid.raw());
+                    e.words(value);
+                }
+            }
+            Request::Begin => e.op(OP_BEGIN),
+            Request::Read { txn, rid } => {
+                e.op(OP_READ);
+                e.u64(txn.raw());
+                e.u64(rid.raw());
+            }
+            Request::Write { txn, rid, value } => {
+                e.op(OP_WRITE);
+                e.u64(txn.raw());
+                e.u64(rid.raw());
+                e.words(value);
+            }
+            Request::Commit { txn } => {
+                e.op(OP_COMMIT);
+                e.u64(txn.raw());
+            }
+            Request::Abort { txn } => {
+                e.op(OP_ABORT);
+                e.u64(txn.raw());
+            }
+            Request::Stats => e.op(OP_STATS),
+            Request::Checkpoint { sync } => {
+                e.op(OP_CHECKPOINT);
+                e.u8(u8::from(*sync));
+            }
+            Request::Fingerprint => e.op(OP_FINGERPRINT),
+            Request::Info => e.op(OP_INFO),
+            Request::Shutdown => e.op(OP_SHUTDOWN),
+        }
+        e.finish()
+    }
+
+    /// Decodes a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut d = Decoder::new(payload)?;
+        let req = match d.opcode {
+            OP_PING => Request::Ping,
+            OP_GET => Request::Get {
+                rid: RecordId(d.u64()?),
+            },
+            OP_PUT => Request::Put {
+                rid: RecordId(d.u64()?),
+                value: d.words()?,
+            },
+            OP_BATCH => {
+                let n = d.u32()? as usize;
+                let mut updates = Vec::new();
+                for _ in 0..n {
+                    let rid = RecordId(d.u64()?);
+                    let value = d.words()?;
+                    updates.push((rid, value));
+                }
+                Request::Batch { updates }
+            }
+            OP_BEGIN => Request::Begin,
+            OP_READ => Request::Read {
+                txn: TxnId(d.u64()?),
+                rid: RecordId(d.u64()?),
+            },
+            OP_WRITE => Request::Write {
+                txn: TxnId(d.u64()?),
+                rid: RecordId(d.u64()?),
+                value: d.words()?,
+            },
+            OP_COMMIT => Request::Commit {
+                txn: TxnId(d.u64()?),
+            },
+            OP_ABORT => Request::Abort {
+                txn: TxnId(d.u64()?),
+            },
+            OP_STATS => Request::Stats,
+            OP_CHECKPOINT => Request::Checkpoint { sync: d.u8()? != 0 },
+            OP_FINGERPRINT => Request::Fingerprint,
+            OP_INFO => Request::Info,
+            OP_SHUTDOWN => Request::Shutdown,
+            op => return Err(bad(format!("unknown request opcode {op:#x}"))),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            Response::Pong => e.op(OP_PONG),
+            Response::Value { words } => {
+                e.op(OP_VALUE);
+                e.words(words);
+            }
+            Response::Committed { txn, runs } => {
+                e.op(OP_COMMITTED);
+                e.u64(txn.raw());
+                e.u32(*runs);
+            }
+            Response::Begun { txn } => {
+                e.op(OP_BEGUN);
+                e.u64(txn.raw());
+            }
+            Response::Ok => e.op(OP_OK),
+            Response::StatsJson { json } => {
+                e.op(OP_STATS_JSON);
+                e.string(json);
+            }
+            Response::CkptDone(s) => {
+                e.op(OP_CKPT_DONE);
+                e.u64(s.ckpt);
+                e.u8(s.copy);
+                e.u64(s.segments_flushed);
+                e.u64(s.segments_skipped);
+                e.u64(s.old_copies_flushed);
+            }
+            Response::CkptStarted { state } => {
+                e.op(OP_CKPT_STARTED);
+                e.u8(*state as u8);
+            }
+            Response::Fingerprint { fp } => {
+                e.op(OP_FP);
+                e.u64(*fp);
+            }
+            Response::Info(info) => {
+                e.op(OP_SERVER_INFO);
+                e.u64(info.n_records);
+                e.u32(info.record_words);
+                e.u64(info.n_segments);
+                e.string(&info.algorithm);
+            }
+            Response::ShuttingDown => e.op(OP_SHUTTING_DOWN),
+            Response::Error { code, message } => {
+                e.op(OP_ERROR);
+                e.u16(*code as u16);
+                e.string(message);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut d = Decoder::new(payload)?;
+        let resp = match d.opcode {
+            OP_PONG => Response::Pong,
+            OP_VALUE => Response::Value { words: d.words()? },
+            OP_COMMITTED => Response::Committed {
+                txn: TxnId(d.u64()?),
+                runs: d.u32()?,
+            },
+            OP_BEGUN => Response::Begun {
+                txn: TxnId(d.u64()?),
+            },
+            OP_OK => Response::Ok,
+            OP_STATS_JSON => Response::StatsJson { json: d.string()? },
+            OP_CKPT_DONE => Response::CkptDone(CkptSummary {
+                ckpt: d.u64()?,
+                copy: d.u8()?,
+                segments_flushed: d.u64()?,
+                segments_skipped: d.u64()?,
+                old_copies_flushed: d.u64()?,
+            }),
+            OP_CKPT_STARTED => {
+                let raw = d.u8()?;
+                Response::CkptStarted {
+                    state: CkptStartState::from_u8(raw)
+                        .ok_or_else(|| bad(format!("unknown checkpoint-start state {raw}")))?,
+                }
+            }
+            OP_FP => Response::Fingerprint { fp: d.u64()? },
+            OP_SERVER_INFO => Response::Info(ServerInfo {
+                n_records: d.u64()?,
+                record_words: d.u32()?,
+                n_segments: d.u64()?,
+                algorithm: d.string()?,
+            }),
+            OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_ERROR => {
+                let raw = d.u16()?;
+                Response::Error {
+                    code: ErrorCode::from_u16(raw)
+                        .ok_or_else(|| bad(format!("unknown error code {raw}")))?,
+                    message: d.string()?,
+                }
+            }
+            op => return Err(bad(format!("unknown response opcode {op:#x}"))),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+fn bad(msg: String) -> WireError {
+    WireError::Protocol(msg)
+}
+
+// ----- little-endian body codec ---------------------------------------------
+
+struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    fn new() -> Encoder {
+        Encoder {
+            buf: vec![PROTOCOL_VERSION, 0],
+        }
+    }
+
+    fn op(&mut self, opcode: u8) {
+        self.buf[1] = opcode;
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn words(&mut self, words: &[Word]) {
+        self.u32(words.len() as u32);
+        for w in words {
+            self.u32(*w);
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+struct Decoder<'a> {
+    body: &'a [u8],
+    pos: usize,
+    opcode: u8,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(payload: &'a [u8]) -> Result<Decoder<'a>, WireError> {
+        if payload.len() < 2 {
+            return Err(bad(format!("{}-byte payload too short", payload.len())));
+        }
+        if payload[0] != PROTOCOL_VERSION {
+            return Err(bad(format!(
+                "protocol version {} (this build speaks {PROTOCOL_VERSION})",
+                payload[0]
+            )));
+        }
+        Ok(Decoder {
+            body: &payload[2..],
+            pos: 0,
+            opcode: payload[1],
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.body.len())
+            .ok_or_else(|| bad("truncated message body".into()))?;
+        let slice = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn words(&mut self) -> Result<Vec<Word>, WireError> {
+        let n = self.u32()? as usize;
+        // bound before allocating: each word is 4 body bytes
+        if n > self.body.len().saturating_sub(self.pos) / 4 {
+            return Err(bad(format!("word vector of {n} exceeds the body")));
+        }
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(self.u32()?);
+        }
+        Ok(words)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad("string is not UTF-8".into()))
+    }
+
+    /// Decoding must consume the body exactly.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.body.len() {
+            return Err(bad(format!(
+                "{} trailing bytes after message body",
+                self.body.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload[0] = 9;
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn request_opcodes_never_decode_as_responses() {
+        let payload = Request::Get { rid: RecordId(3) }.encode();
+        assert!(Response::decode(&payload).is_err());
+        let payload = Response::Pong.encode();
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn hostile_word_count_does_not_allocate() {
+        // a Put announcing u32::MAX words in a tiny body must error out
+        let mut e = Encoder::new();
+        e.op(OP_PUT);
+        e.u64(0);
+        e.u32(u32::MAX);
+        let payload = e.finish();
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests: the wire codec round-trips every message shape, and
+//! corrupt payloads fail to decode instead of panicking or misparsing.
+
+// Test helpers exercise infallible paths; panicking on them is the point.
+#![allow(clippy::unwrap_used)]
+
+use mmdb_types::{RecordId, TxnId, Word};
+use mmdb_wire::{
+    read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo,
+    WireError,
+};
+use proptest::prelude::*;
+
+fn words() -> impl Strategy<Value = Vec<Word>> {
+    proptest::collection::vec(any::<u32>(), 0..9)
+}
+
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn updates() -> impl Strategy<Value = Vec<(RecordId, Vec<Word>)>> {
+    proptest::collection::vec((any::<u64>(), words()), 0..6)
+        .prop_map(|v| v.into_iter().map(|(r, w)| (RecordId(r), w)).collect())
+}
+
+fn requests() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        any::<u64>().prop_map(|r| Request::Get { rid: RecordId(r) }),
+        (any::<u64>(), words()).prop_map(|(r, value)| Request::Put {
+            rid: RecordId(r),
+            value,
+        }),
+        updates().prop_map(|updates| Request::Batch { updates }),
+        Just(Request::Begin),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, r)| Request::Read {
+            txn: TxnId(t),
+            rid: RecordId(r),
+        }),
+        (any::<u64>(), any::<u64>(), words()).prop_map(|(t, r, value)| Request::Write {
+            txn: TxnId(t),
+            rid: RecordId(r),
+            value,
+        }),
+        any::<u64>().prop_map(|t| Request::Commit { txn: TxnId(t) }),
+        any::<u64>().prop_map(|t| Request::Abort { txn: TxnId(t) }),
+        Just(Request::Stats),
+        any::<bool>().prop_map(|sync| Request::Checkpoint { sync }),
+        Just(Request::Fingerprint),
+        Just(Request::Info),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn error_codes() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Transient),
+        Just(ErrorCode::OutOfRange),
+        Just(ErrorCode::Invalid),
+        Just(ErrorCode::Corrupt),
+        Just(ErrorCode::Io),
+        Just(ErrorCode::Busy),
+        Just(ErrorCode::Protocol),
+        Just(ErrorCode::ShuttingDown),
+    ]
+}
+
+fn responses() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        words().prop_map(|words| Response::Value { words }),
+        (any::<u64>(), any::<u32>()).prop_map(|(t, runs)| Response::Committed {
+            txn: TxnId(t),
+            runs,
+        }),
+        any::<u64>().prop_map(|t| Response::Begun { txn: TxnId(t) }),
+        Just(Response::Ok),
+        text().prop_map(|json| Response::StatsJson { json }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(ckpt, f, s, o, copy)| Response::CkptDone(CkptSummary {
+                ckpt,
+                copy: u8::from(copy),
+                segments_flushed: f,
+                segments_skipped: s,
+                old_copies_flushed: o,
+            })),
+        prop_oneof![
+            Just(CkptStartState::Started),
+            Just(CkptStartState::Quiescing),
+            Just(CkptStartState::AlreadyRunning),
+        ]
+        .prop_map(|state| Response::CkptStarted { state }),
+        any::<u64>().prop_map(|fp| Response::Fingerprint { fp }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), text()).prop_map(|(n, w, s, algorithm)| {
+            Response::Info(ServerInfo {
+                n_records: n,
+                record_words: w,
+                n_segments: s,
+                algorithm,
+            })
+        }),
+        Just(Response::ShuttingDown),
+        (error_codes(), text()).prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn request_roundtrip(req in requests()) {
+        let payload = req.encode();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in responses()) {
+        let payload = resp.encode();
+        prop_assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_survive_the_frame_transport(reqs in proptest::collection::vec(requests(), 1..8)) {
+        let mut buf = Vec::new();
+        for req in &reqs {
+            write_frame(&mut buf, &req.encode()).unwrap();
+        }
+        let mut r = &buf[..];
+        for req in &reqs {
+            let payload = read_frame(&mut r).unwrap().expect("frame present");
+            prop_assert_eq!(&Request::decode(&payload).unwrap(), req);
+        }
+        prop_assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after last frame");
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_misparses(req in requests(), cut in 0usize..64) {
+        let payload = req.encode();
+        prop_assume!(cut < payload.len());
+        let truncated = &payload[..payload.len() - 1 - cut];
+        // Truncated payloads must decode to an error or to a *shorter
+        // prefix-compatible* message — never to the original (strict
+        // trailing-byte checks make even that impossible here).
+        match Request::decode(truncated) {
+            Ok(decoded) => prop_assert_ne!(decoded, req),
+            Err(WireError::Protocol(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitflips_never_panic(resp in responses(), flip_byte in any::<u16>(), flip_bit in 0u8..8) {
+        let mut payload = resp.encode();
+        let idx = flip_byte as usize % payload.len();
+        payload[idx] ^= 1 << flip_bit;
+        // decoding may fail or yield a different valid message; it must not panic
+        let _ = Response::decode(&payload);
+    }
+}
+
+#[test]
+fn error_frames_carry_code_and_message() {
+    let resp = Response::Error {
+        code: ErrorCode::Transient,
+        message: "two-color abort; retry".into(),
+    };
+    let back = Response::decode(&resp.encode()).unwrap();
+    assert_eq!(back, resp);
+}

@@ -1,0 +1,134 @@
+//! Property tests for the workload generators: determinism under a
+//! seed, Zipf skew that actually responds to `theta`, and Poisson
+//! arrivals whose empirical rate matches `λ`.
+
+#![allow(clippy::unwrap_used)]
+
+use mmdb_workload::{ArrivalProcess, UniformWorkload, Workload, ZipfWorkload};
+use proptest::prelude::*;
+
+/// Empirical access mass landing on the hottest decile of the record
+/// space over `txns` singleton-update transactions.
+fn hot_decile_mass(n_records: u64, theta: f64, seed: u64, txns: u64) -> f64 {
+    let mut wl = ZipfWorkload::new(n_records, 1, theta, seed);
+    let hot_cutoff = n_records / 10;
+    let mut hot = 0u64;
+    for _ in 0..txns {
+        let spec = wl.next_txn();
+        if spec.updates[0].0 .0 < hot_cutoff {
+            hot += 1;
+        }
+    }
+    hot as f64 / txns as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Record `i` is drawn with probability ∝ 1/(i+1)^theta, so the mass
+    /// on the hottest decile must grow with theta. Empirical over 3000
+    /// draws; the 0.4 theta separation dwarfs sampling noise (~0.01).
+    #[test]
+    fn zipf_hot_decile_mass_is_monotone_in_theta(
+        theta_lo in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let theta_hi = theta_lo + 0.4;
+        let lo = hot_decile_mass(256, theta_lo, seed, 3000);
+        let hi = hot_decile_mass(256, theta_hi, seed, 3000);
+        prop_assert!(
+            hi + 0.02 >= lo,
+            "hot-decile mass fell as skew rose: theta {theta_lo:.2} -> {lo:.3}, theta {theta_hi:.2} -> {hi:.3}"
+        );
+        // and real skew beats flat by a visible margin at the top end
+        if theta_lo < 0.05 {
+            prop_assert!(hi > lo + 0.03, "theta {theta_hi:.2} indistinguishable from uniform");
+        }
+    }
+
+    /// The same seed replays the identical transaction stream — the
+    /// contract the simulator, benches, and the network load driver all
+    /// rely on for reproducibility.
+    #[test]
+    fn uniform_stream_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        n_updates in 1u32..6,
+    ) {
+        let mut a = UniformWorkload::new(512, n_updates, seed);
+        let mut b = UniformWorkload::new(512, n_updates, seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_per_seed(
+        seed in any::<u64>(),
+        theta in 0.0f64..0.95,
+        n_updates in 1u32..6,
+    ) {
+        let mut a = ZipfWorkload::new(512, n_updates, theta, seed);
+        let mut b = ZipfWorkload::new(512, n_updates, theta, seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_txn(), b.next_txn());
+        }
+    }
+
+    /// Different seeds diverge (else "seeded" would be a fiction).
+    #[test]
+    fn different_seeds_give_different_streams(seed in any::<u64>()) {
+        let other = seed.wrapping_add(1);
+        let mut a = UniformWorkload::new(512, 4, seed);
+        let mut b = UniformWorkload::new(512, 4, other);
+        let diverged = (0..50).any(|_| a.next_txn() != b.next_txn());
+        prop_assert!(diverged, "seeds {seed} and {other} produced identical streams");
+    }
+
+    /// Poisson arrivals: the empirical mean inter-arrival time over 4000
+    /// samples must sit within 15% of 1/λ (the sampling std of the mean
+    /// is ~1.6%, so this bound has an order of magnitude of slack).
+    #[test]
+    fn arrival_process_mean_interarrival_matches_lambda(
+        lambda in 0.5f64..50.0,
+        seed in any::<u64>(),
+    ) {
+        let mut ap = ArrivalProcess::new(lambda, seed);
+        prop_assert_eq!(ap.lambda(), lambda);
+        let n = 4000u64;
+        let mut last = 0.0f64;
+        let mut prev;
+        for _ in 0..n {
+            prev = last;
+            last = ap.next_arrival();
+            prop_assert!(last > prev, "arrival times must strictly increase");
+        }
+        let mean = last / n as f64;
+        let expected = 1.0 / lambda;
+        prop_assert!(
+            (mean - expected).abs() <= 0.15 * expected,
+            "mean inter-arrival {mean:.5} vs expected {expected:.5} (lambda {lambda:.2})"
+        );
+    }
+
+    /// Every generated transaction touches distinct, in-range records.
+    #[test]
+    fn transactions_touch_distinct_in_range_records(
+        seed in any::<u64>(),
+        theta in 0.0f64..0.95,
+        n_updates in 1u32..8,
+    ) {
+        let n_records = 128u64;
+        let mut uni = UniformWorkload::new(n_records, n_updates, seed);
+        let mut zipf = ZipfWorkload::new(n_records, n_updates, theta, seed);
+        for _ in 0..20 {
+            for spec in [uni.next_txn(), zipf.next_txn()] {
+                let mut seen = std::collections::HashSet::new();
+                for (rid, _) in &spec.updates {
+                    prop_assert!(rid.0 < n_records, "record {} out of range", rid.0);
+                    prop_assert!(seen.insert(rid.0), "duplicate record {} in one txn", rid.0);
+                }
+                prop_assert_eq!(seen.len(), n_updates as usize);
+            }
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! * the analytic model ([`model`]) that regenerates the paper's figures,
 //! * the discrete-event simulator ([`sim`]) that cross-validates it,
 //! * workload generators ([`workload`]),
+//! * the network layer ([`wire`], [`server`]) for serving an engine over
+//!   TCP and load-testing it,
 //! * and the substrate crates ([`storage`], [`log`], [`disk`], [`txn`],
 //!   [`checkpoint`], [`recovery`]) for users building their own harnesses.
 //!
@@ -90,4 +92,14 @@ pub mod audit {
 /// Telemetry: tracing spans, latency histograms, metrics snapshots.
 pub mod obs {
     pub use mmdb_obs::*;
+}
+
+/// The network wire protocol and blocking client.
+pub mod wire {
+    pub use mmdb_wire::*;
+}
+
+/// The threaded TCP server and closed-loop network load driver.
+pub mod server {
+    pub use mmdb_server::*;
 }

@@ -1,0 +1,38 @@
+//! The checked-in `BENCH_net.json` must always match the bench-net
+//! schema: fixed keys and shapes, wall-clock values. CI regenerates a
+//! fresh one and validates it the same way (values legitimately differ
+//! run to run, so the file is schema-checked, not byte-diffed).
+
+use mmdb::server::{validate_bench_net_json, BENCH_NET_SCHEMA};
+
+const CHECKED_IN: &str = include_str!("../BENCH_net.json");
+
+#[test]
+fn checked_in_bench_net_json_validates() {
+    validate_bench_net_json(CHECKED_IN).expect("BENCH_net.json matches the schema");
+}
+
+#[test]
+fn checked_in_bench_net_json_carries_the_schema_tag() {
+    assert!(
+        CHECKED_IN.contains(BENCH_NET_SCHEMA),
+        "BENCH_net.json must declare {BENCH_NET_SCHEMA}"
+    );
+}
+
+#[test]
+fn checked_in_run_had_no_errors() {
+    let v = mmdb::obs::json::parse(CHECKED_IN).expect("valid JSON");
+    let errors = v
+        .get("results")
+        .and_then(|r| r.get("errors"))
+        .and_then(mmdb::obs::json::Value::as_u64)
+        .expect("results.errors");
+    assert_eq!(errors, 0, "the checked-in run must be error-free");
+    let committed = v
+        .get("results")
+        .and_then(|r| r.get("committed"))
+        .and_then(mmdb::obs::json::Value::as_u64)
+        .expect("results.committed");
+    assert!(committed > 0);
+}
