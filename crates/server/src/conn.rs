@@ -19,12 +19,12 @@
 use crate::{ServerConfig, Shared};
 use mmdb_core::{CheckpointStart, Mmdb};
 use mmdb_types::{MmdbError, TxnId};
-use mmdb_wire::frame::FrameError;
 use mmdb_wire::{
-    read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo,
+    write_frame, CkptStartState, CkptSummary, ErrorCode, FrameReader, PollFrame, Request, Response,
+    ServerInfo,
 };
 use std::collections::HashSet;
-use std::io::{self, BufWriter};
+use std::io::BufWriter;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
@@ -43,14 +43,22 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
     let obs = shared.lock_db().obs().clone();
     let mut open_txns: HashSet<TxnId> = HashSet::new();
     let mut last_activity = Instant::now();
+    // Resumable reader: the 50ms poll timeout routinely fires in the
+    // middle of a frame (large Batch payloads, slow links); partial
+    // bytes stay buffered here instead of being discarded, so a frame
+    // that straddles poll intervals reassembles instead of
+    // desynchronizing the connection.
+    let mut framer = FrameReader::new();
 
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) => break, // clean close
-            Err(FrameError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+        let payload = match framer.poll(&mut reader) {
+            Ok(PollFrame::Frame(p)) => p,
+            Ok(PollFrame::Closed) => break, // clean close
+            Ok(PollFrame::Pending { progressed }) => {
+                if progressed {
+                    // a frame is trickling in: activity, not idleness
+                    last_activity = Instant::now();
+                }
                 if shared.stopping() {
                     break;
                 }
@@ -99,6 +107,13 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
         }
         if is_shutdown {
             shared.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        if shared.stopping() {
+            // The response (typically a ShuttingDown error frame) is
+            // flushed; close now so a client that keeps sending cannot
+            // hold graceful shutdown hostage — without this, the loop
+            // never reaches the Pending arm's stop check.
             break;
         }
     }

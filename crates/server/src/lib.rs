@@ -277,6 +277,11 @@ fn worker_loop(
     }
 }
 
+/// How often an idle request-only checkpointer re-checks for a
+/// client-started checkpoint (bounds both wake-up CPU cost and the
+/// latency before an async `Checkpoint` request starts being driven).
+const IDLE_CHECKPOINTER_POLL: Duration = Duration::from_millis(20);
+
 /// The paper's dedicated checkpointer process: repeatedly begin a
 /// checkpoint (per pacing), then drive it step by step, yielding the
 /// engine mutex between steps so transactions interleave — the same
@@ -326,10 +331,18 @@ fn checkpointer_loop(shared: &Shared, interval: Option<Duration>) {
                 next_begin_ok = true;
             }
         } else if !did_work {
-            if interval.is_some() && !next_begin_ok {
-                next_begin_ok = true; // begin attempt raced; retry soon
+            if interval.is_some() {
+                if !next_begin_ok {
+                    next_begin_ok = true; // begin attempt raced; retry soon
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                // Request-only mode (`checkpoint_interval: None`): there
+                // is nothing to drive until a client sends `Checkpoint`,
+                // so poll coarsely instead of spinning at ~5 kHz for the
+                // lifetime of the server.
+                std::thread::sleep(IDLE_CHECKPOINTER_POLL);
             }
-            std::thread::sleep(Duration::from_micros(200));
         }
         // after Progress: loop immediately — dropping the guard between
         // steps is what lets worker transactions interleave

@@ -21,7 +21,7 @@
 use mmdb_obs::hist::{HistSummary, Histogram};
 use mmdb_obs::json::{parse, Value};
 use mmdb_types::{RecordId, Word};
-use mmdb_wire::{Client, ServerInfo, WireError, WireResult};
+use mmdb_wire::{Client, ErrorCode, ServerInfo, WireError, WireResult};
 use mmdb_workload::{UniformWorkload, Workload, ZipfWorkload};
 use std::time::{Duration, Instant};
 
@@ -221,6 +221,15 @@ fn run_connection(
                 out.retries += u64::from(retries);
                 let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 out.latency_us.record(us);
+            }
+            Err(WireError::Remote {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }) => {
+                // the server is draining: stop offering load (and do not
+                // keep the connection pinned open, which would stall the
+                // server's graceful shutdown); not a protocol failure
+                return Ok(out);
             }
             Err(WireError::Io(_) | WireError::Protocol(_)) => {
                 // the connection is gone or desynchronized: surface it

@@ -6,7 +6,7 @@ use mmdb_core::{Algorithm, Mmdb, MmdbConfig};
 use mmdb_obs::MetricsSnapshot;
 use mmdb_server::{run_load, LoadConfig, Server, ServerConfig, ServerHandle, WorkloadKind};
 use mmdb_types::RecordId;
-use mmdb_wire::{write_frame, Client, ErrorCode, Request, WireError};
+use mmdb_wire::{read_frame, write_frame, Client, ErrorCode, Request, Response, WireError};
 use std::time::{Duration, Instant};
 
 fn spawn_server(algorithm: Algorithm, ckpt_interval: Option<Duration>) -> ServerHandle {
@@ -204,6 +204,82 @@ fn malformed_frames_get_an_error_frame_then_close() {
         other => panic!("expected protocol error frame, got {other:?}"),
     }
     handle.shutdown_join();
+}
+
+#[test]
+fn request_only_checkpointer_drives_async_checkpoints() {
+    // The idle checkpointer polls coarsely in request-only mode; a
+    // client-started checkpoint must still be picked up and driven.
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(handle.checkpoints_completed(), 0);
+    c.checkpoint_async().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.checkpoints_completed() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "checkpointer never drove the requested checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.shutdown_join();
+}
+
+#[test]
+fn frame_straddling_poll_timeouts_is_not_torn() {
+    // Regression: the server polls reads with a short SO_RCVTIMEO; a
+    // frame arriving slower than the poll interval must reassemble,
+    // not lose its already-received bytes and desynchronize.
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let mut stream = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let payload = Request::Ping.encode();
+    let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    // dribble one byte at a time, pausing past the server's 10ms poll
+    // interval so its read timeout fires repeatedly mid-frame
+    for b in frame {
+        use std::io::Write;
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let resp = read_frame(&mut stream).unwrap().expect("response frame");
+    match Response::decode(&resp).unwrap() {
+        Response::Pong => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+    handle.shutdown_join();
+}
+
+#[test]
+fn shutdown_is_not_held_hostage_by_a_chatty_client() {
+    // Regression: a client that keeps sending requests used to receive
+    // ShuttingDown error frames forever, and shutdown_join waited on
+    // its worker until the client voluntarily disconnected.
+    let handle = spawn_server(Algorithm::FuzzyCopy, None);
+    let addr = handle.local_addr();
+    let chatty = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        loop {
+            match c.ping() {
+                // keep hammering through ShuttingDown refusals, exactly
+                // what the bug needed to manifest
+                Ok(()) | Err(WireError::Remote { .. }) => {}
+                Err(_) => break, // server closed the connection
+            }
+        }
+    });
+    std::thread::sleep(Duration::from_millis(50)); // let the client get going
+    handle.stop();
+    let t0 = Instant::now();
+    let _db = handle.shutdown_join();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait for the chatty client"
+    );
+    chatty.join().unwrap();
 }
 
 #[test]

@@ -35,7 +35,9 @@ pub mod frame;
 pub mod message;
 
 pub use client::Client;
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use frame::{
+    read_frame, write_frame, FrameError, FrameReader, PollFrame, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
 pub use message::{CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo};
 
 use std::fmt;
