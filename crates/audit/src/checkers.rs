@@ -1,4 +1,4 @@
-//! The five online checker state machines.
+//! The six online checker state machines.
 //!
 //! Each checker consumes the full event stream, keeps the minimal state its
 //! invariant needs, and appends an [`AuditViolation`] the moment the stream
@@ -7,6 +7,7 @@
 
 use crate::event::{AuditEvent, CopySummary, PaintColor};
 use mmdb_types::{CheckpointId, Lsn, SegmentId, TxnId};
+use std::collections::BTreeMap;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -23,6 +24,9 @@ pub enum CheckerId {
     PingPong,
     /// LSNs and checkpoint ids are monotone.
     Monotonic,
+    /// Records route to their hash shard; cross-shard locks release in
+    /// reverse acquisition order.
+    Shard,
 }
 
 impl CheckerId {
@@ -34,6 +38,7 @@ impl CheckerId {
             CheckerId::CouLifetime => "cou-lifetime",
             CheckerId::PingPong => "ping-pong",
             CheckerId::Monotonic => "monotonic",
+            CheckerId::Shard => "shard-routing",
         }
     }
 }
@@ -603,6 +608,141 @@ impl MonotonicChecker {
                 // reused; ids restart strictly above the restored one.
                 self.last_begun = Some(ckpt);
                 self.last_completed = Some(ckpt);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Checker 6: shard routing and cross-shard lock discipline.
+///
+/// Once a [`AuditEvent::ShardTopology`] declares the partition arity `N`,
+/// every routed record must satisfy `record % N == shard` (the router's
+/// hash partition is the *only* legal assignment — a record logged or
+/// checkpointed by the wrong shard would be replayed into the wrong
+/// partition after a crash), and every cross-shard transaction must
+/// release its shard locks in exactly the reverse of its acquisition
+/// order, having acquired them in ascending shard order (the deadlock- and
+/// torn-commit-freedom argument of the sharded engine).
+#[derive(Debug, Default)]
+pub struct ShardChecker {
+    /// Number of routings and lock transitions verified.
+    pub checks: u64,
+    shards: Option<usize>,
+    /// Per-gid stack of currently held shard locks, in acquisition order.
+    held: BTreeMap<u64, Vec<usize>>,
+}
+
+impl ShardChecker {
+    fn shard_in_range(
+        &self,
+        seq: u64,
+        shard: usize,
+        what: &str,
+        out: &mut Vec<AuditViolation>,
+    ) -> bool {
+        match self.shards {
+            None => {
+                violation(
+                    out,
+                    CheckerId::Shard,
+                    seq,
+                    format!("{what} before any ShardTopology was declared"),
+                );
+                false
+            }
+            Some(n) if shard >= n => {
+                violation(
+                    out,
+                    CheckerId::Shard,
+                    seq,
+                    format!("{what} names shard {shard}, but the topology has only {n}"),
+                );
+                false
+            }
+            Some(_) => true,
+        }
+    }
+
+    pub(crate) fn on_event(&mut self, seq: u64, ev: &AuditEvent, out: &mut Vec<AuditViolation>) {
+        match *ev {
+            AuditEvent::ShardTopology { shards } => {
+                self.checks += 1;
+                if shards == 0 {
+                    violation(out, CheckerId::Shard, seq, "topology declares zero shards");
+                } else {
+                    self.shards = Some(shards);
+                }
+                self.held.clear();
+            }
+            AuditEvent::ShardRouted { record, shard } => {
+                self.checks += 1;
+                if self.shard_in_range(seq, shard, "a routed record", out) {
+                    let n = self.shards.unwrap_or(1);
+                    let home = (record.raw() % n as u64) as usize;
+                    if home != shard {
+                        violation(
+                            out,
+                            CheckerId::Shard,
+                            seq,
+                            format!(
+                                "{record:?} processed by shard {shard}, but its hash \
+                                 partition is shard {home} (of {n})"
+                            ),
+                        );
+                    }
+                }
+            }
+            AuditEvent::ShardLockAcquired { gid, shard } => {
+                self.checks += 1;
+                if self.shard_in_range(seq, shard, "a lock acquisition", out) {
+                    let stack = self.held.entry(gid).or_default();
+                    if let Some(&top) = stack.last() {
+                        if shard <= top {
+                            violation(
+                                out,
+                                CheckerId::Shard,
+                                seq,
+                                format!(
+                                    "gid {gid} acquired shard {shard} after shard {top}; \
+                                     acquisition order must be strictly ascending"
+                                ),
+                            );
+                        }
+                    }
+                    stack.push(shard);
+                }
+            }
+            AuditEvent::ShardLockReleased { gid, shard } => {
+                self.checks += 1;
+                if self.shard_in_range(seq, shard, "a lock release", out) {
+                    match self.held.get_mut(&gid).and_then(Vec::pop) {
+                        Some(top) if top == shard => {}
+                        Some(top) => violation(
+                            out,
+                            CheckerId::Shard,
+                            seq,
+                            format!(
+                                "gid {gid} released shard {shard} while shard {top} was the \
+                                 most recent acquisition; release order must be the reverse \
+                                 of acquisition"
+                            ),
+                        ),
+                        None => violation(
+                            out,
+                            CheckerId::Shard,
+                            seq,
+                            format!("gid {gid} released shard {shard} without holding it"),
+                        ),
+                    }
+                    if self.held.get(&gid).is_some_and(|stack| stack.is_empty()) {
+                        self.held.remove(&gid);
+                    }
+                }
+            }
+            AuditEvent::Crash => {
+                // Shard locks are volatile; a crash releases everything.
+                self.held.clear();
             }
             _ => {}
         }

@@ -1,6 +1,6 @@
 //! The typed protocol-event stream consumed by the invariant checkers.
 
-use mmdb_types::{Algorithm, CheckpointId, Lsn, SegmentId, TxnId};
+use mmdb_types::{Algorithm, CheckpointId, Lsn, RecordId, SegmentId, TxnId};
 
 /// Paint color of a segment as seen by the audit stream.
 ///
@@ -154,6 +154,35 @@ pub enum AuditEvent {
         /// Durable status of both copies at selection time.
         copies: [CopySummary; 2],
     },
+    /// A sharded engine came up, declaring its partition arity. All later
+    /// `Shard*` events are validated against this topology.
+    ShardTopology {
+        /// Number of hash partitions (`shard = record % shards`).
+        shards: usize,
+    },
+    /// The router sent a record's operation to a shard. `record` is the
+    /// *global* record id (engines renumber internally; the routing
+    /// invariant is only checkable in global id space).
+    ShardRouted {
+        /// The global record id.
+        record: RecordId,
+        /// The shard that processed it.
+        shard: usize,
+    },
+    /// A cross-shard transaction acquired a shard's lock.
+    ShardLockAcquired {
+        /// The global transaction id.
+        gid: u64,
+        /// The locked shard.
+        shard: usize,
+    },
+    /// A cross-shard transaction released a shard's lock.
+    ShardLockReleased {
+        /// The global transaction id.
+        gid: u64,
+        /// The released shard.
+        shard: usize,
+    },
 }
 
 impl AuditEvent {
@@ -177,6 +206,10 @@ impl AuditEvent {
             AuditEvent::BackupMarkComplete { .. } => "BackupMarkComplete",
             AuditEvent::Crash => "Crash",
             AuditEvent::RecoveryChosen { .. } => "RecoveryChosen",
+            AuditEvent::ShardTopology { .. } => "ShardTopology",
+            AuditEvent::ShardRouted { .. } => "ShardRouted",
+            AuditEvent::ShardLockAcquired { .. } => "ShardLockAcquired",
+            AuditEvent::ShardLockReleased { .. } => "ShardLockReleased",
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Online protocol-invariant auditing for the checkpointing algorithms.
 //!
 //! The engine, checkpointer, log manager and backup store emit a typed
-//! [`AuditEvent`] stream when auditing is enabled; five checker state
+//! [`AuditEvent`] stream when auditing is enabled; six checker state
 //! machines validate the paper's correctness invariants against it as it
 //! happens:
 //!
@@ -16,6 +16,9 @@
 //!    the most recent *complete* copy (§2.2).
 //! 5. **Monotonicity** — the durable LSN horizon and checkpoint ids only
 //!    move forward.
+//! 6. **Shard routing** — in a sharded engine, every record is processed
+//!    by its hash partition, and cross-shard commits acquire shard locks
+//!    in ascending order and release them in reverse.
 //!
 //! Violations surface as structured [`AuditViolation`]s through
 //! [`Auditor::violations`] and the engine's audit report; the checkers never
@@ -26,7 +29,7 @@ mod event;
 
 pub use checkers::{
     AuditViolation, CheckerId, CouChecker, MonotonicChecker, PaintChecker, PingPongChecker,
-    WalGateChecker,
+    ShardChecker, WalGateChecker,
 };
 pub use event::{AuditEvent, CopySummary, PaintColor};
 
@@ -45,6 +48,7 @@ pub struct Auditor {
     cou: CouChecker,
     ping_pong: PingPongChecker,
     monotonic: MonotonicChecker,
+    shard: ShardChecker,
     violations: Vec<AuditViolation>,
 }
 
@@ -64,6 +68,7 @@ impl Auditor {
         self.cou.on_event(seq, event, &mut self.violations);
         self.ping_pong.on_event(seq, event, &mut self.violations);
         self.monotonic.on_event(seq, event, &mut self.violations);
+        self.shard.on_event(seq, event, &mut self.violations);
     }
 
     /// Events recorded so far.
@@ -87,6 +92,7 @@ impl Auditor {
                 (CheckerId::CouLifetime, self.cou.checks),
                 (CheckerId::PingPong, self.ping_pong.checks),
                 (CheckerId::Monotonic, self.monotonic.checks),
+                (CheckerId::Shard, self.shard.checks),
             ],
             violations: self.violations.clone(),
         }
@@ -329,6 +335,69 @@ mod tests {
         let auditor = drive(events);
         assert_eq!(auditor.violations().len(), 1);
         assert_eq!(auditor.violations()[0].checker, CheckerId::Monotonic);
+    }
+
+    #[test]
+    fn shard_checker_clean_cross_shard_commit() {
+        use mmdb_types::RecordId;
+        let events = vec![
+            AuditEvent::ShardTopology { shards: 4 },
+            AuditEvent::ShardRouted {
+                record: RecordId(9), // 9 % 4 == 1
+                shard: 1,
+            },
+            AuditEvent::ShardLockAcquired { gid: 1, shard: 1 },
+            AuditEvent::ShardLockAcquired { gid: 1, shard: 3 },
+            AuditEvent::ShardLockReleased { gid: 1, shard: 3 },
+            AuditEvent::ShardLockReleased { gid: 1, shard: 1 },
+        ];
+        let auditor = drive(events);
+        assert!(
+            auditor.violations().is_empty(),
+            "{:?}",
+            auditor.violations()
+        );
+    }
+
+    #[test]
+    fn shard_checker_fires_on_misrouted_record() {
+        use mmdb_types::RecordId;
+        let events = vec![
+            AuditEvent::ShardTopology { shards: 4 },
+            AuditEvent::ShardRouted {
+                record: RecordId(9),
+                shard: 2, // home is 1
+            },
+        ];
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::Shard);
+    }
+
+    #[test]
+    fn shard_checker_fires_on_wrong_release_order() {
+        let events = vec![
+            AuditEvent::ShardTopology { shards: 4 },
+            AuditEvent::ShardLockAcquired { gid: 5, shard: 0 },
+            AuditEvent::ShardLockAcquired { gid: 5, shard: 2 },
+            // forward (acquisition) order instead of reverse
+            AuditEvent::ShardLockReleased { gid: 5, shard: 0 },
+        ];
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::Shard);
+    }
+
+    #[test]
+    fn shard_checker_fires_on_descending_acquisition() {
+        let events = vec![
+            AuditEvent::ShardTopology { shards: 4 },
+            AuditEvent::ShardLockAcquired { gid: 5, shard: 2 },
+            AuditEvent::ShardLockAcquired { gid: 5, shard: 0 },
+        ];
+        let auditor = drive(events);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].checker, CheckerId::Shard);
     }
 
     #[test]

@@ -34,6 +34,14 @@ fn tmpdir(name: &str) -> PathBuf {
 /// it closes the pipe, and the server's own shutdown summary would then
 /// die on EPIPE.
 fn spawn_serve(dir: &Path, ckpt_ms: u64) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    spawn_serve_args(dir, ckpt_ms, &[])
+}
+
+fn spawn_serve_args(
+    dir: &Path,
+    ckpt_ms: u64,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
     let mut child = Command::new(bin())
         .arg(dir)
         .args([
@@ -43,6 +51,7 @@ fn spawn_serve(dir: &Path, ckpt_ms: u64) -> (Child, String, BufReader<std::proce
             "--ckpt-ms",
             &ckpt_ms.to_string(),
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -223,6 +232,199 @@ fn kill_nine_mid_load_recovers_exactly_the_acked_state() {
             t.in_flight
         );
     }
+    reader.shutdown().expect("graceful shutdown");
+    assert!(child2.wait().expect("serve exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_nine_mid_cross_shard_transfers_leaves_no_torn_transfer() {
+    // The sharded analogue: a 4-shard server takes "transfer"
+    // transactions — one Batch writing the same unique fill to 4
+    // records, one per shard (consecutive rids land on consecutive
+    // shards under rid % 4 routing) — and gets SIGKILLed mid-load.
+    // After recovery every transfer group must be atomically uniform:
+    // all 4 branches hold the same fill (all-present) or none do
+    // (all-absent / an older transfer's fill). A mixture would mean a
+    // torn cross-shard commit escaped the two-phase protocol.
+    let dir = tmpdir("kill9-sharded");
+    let out = Command::new(bin())
+        .arg(&dir)
+        .args(["init", "--algorithm", "COUCOPY", "--shards", "4"])
+        .output()
+        .expect("init --shards 4");
+    assert!(
+        out.status.success(),
+        "init failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("shards").exists(), "topology marker written");
+    assert!(dir.join("shard.3").is_dir(), "per-shard engine dirs");
+
+    let (mut child, addr, _stdout_keepalive) = spawn_serve(&dir, 1);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let info = control.info().expect("info");
+    let words = info.record_words as usize;
+    const SHARDS: u64 = 4;
+    const THREADS: u64 = 4;
+    let groups_per_thread = info.n_records / SHARDS / THREADS;
+    assert!(groups_per_thread >= 8, "record space too small for groups");
+
+    // group g owns records [4g, 4g+4): a disjoint record set per
+    // transfer group, so recovered fills are attributable to exactly
+    // one group's write history
+    let tracked: Arc<Mutex<HashMap<u64, Tracked>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        let tracked = Arc::clone(&tracked);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        joins.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let _ = c.set_timeout(Some(Duration::from_secs(10)));
+            let mut seq: u32 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                seq += 1;
+                let group = t * groups_per_thread + u64::from(seq) % groups_per_thread;
+                let fill = ((t as u32) << 24) | seq; // unique per (thread, seq)
+                let base = group * SHARDS;
+                let updates: Vec<(RecordId, Vec<u32>)> = (0..SHARDS)
+                    .map(|k| (RecordId(base + k), vec![fill; words]))
+                    .collect();
+                {
+                    let mut m = match tracked.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    m.entry(group).or_default().in_flight = Some(fill);
+                }
+                match c.retry_transient(1000, |c| c.batch(&updates)) {
+                    Ok(_) => {
+                        let mut m = match tracked.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        let e = m.entry(group).or_default();
+                        e.acked = Some(fill);
+                        e.in_flight = None;
+                        committed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // server died under us — expected
+                }
+            }
+        }));
+    }
+
+    // run until checkpoints demonstrably interleave on the shards (the
+    // merged `ckpt.completed` counter sums all four checkpointers),
+    // then SIGKILL with cross-shard transfers in flight
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "server never took 8 shard checkpoints under load"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        if committed.load(Ordering::SeqCst) < 100 {
+            continue;
+        }
+        let stats = match control.stats_json() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let snap = mmdb_core::MetricsSnapshot::from_json(&stats).expect("stats parse");
+        if snap.counter("ckpt.completed").unwrap_or(0) >= 8 {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let tracked = match Arc::try_unwrap(tracked).map(Mutex::into_inner) {
+        Ok(Ok(m)) => m,
+        _ => panic!("tracking map still shared"),
+    };
+    assert!(
+        committed.load(Ordering::SeqCst) >= 100,
+        "not enough acked transfers to make the test meaningful"
+    );
+
+    // coordinated recovery must be clean on every shard
+    let fsck = Command::new(bin())
+        .arg(&dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    let fsck_out =
+        String::from_utf8_lossy(&fsck.stdout).into_owned() + &String::from_utf8_lossy(&fsck.stderr);
+    assert!(
+        fsck.status.success(),
+        "fsck failed after kill -9 on the sharded topology:\n{fsck_out}"
+    );
+    assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
+    assert!(fsck_out.contains("topology: 4 shards"), "{fsck_out}");
+
+    // re-serve (parallel shard recovery + in-doubt resolution happens
+    // here) and audit every transfer group over the wire
+    let (mut child2, addr2, _stdout_keepalive2) = spawn_serve(&dir, 0);
+    let mut reader = Client::connect(&addr2).expect("connect to recovered server");
+    reader
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut audited = 0u64;
+    for (group, t) in &tracked {
+        let base = group * SHARDS;
+        let mut fills = Vec::with_capacity(SHARDS as usize);
+        for k in 0..SHARDS {
+            let value = reader.get(RecordId(base + k)).expect("read recovered");
+            assert!(
+                value.iter().all(|w| *w == value[0]),
+                "record {} recovered torn within itself: {value:?}",
+                base + k
+            );
+            fills.push(value[0]);
+        }
+        // the atomicity claim: all four branches agree
+        assert!(
+            fills.iter().all(|f| *f == fills[0]),
+            "transfer group {group} recovered TORN across shards: {fills:x?} \
+             (acked={:x?}, in-flight={:x?})",
+            t.acked,
+            t.in_flight
+        );
+        let got = fills[0];
+        let mut allowed: Vec<u32> = Vec::new();
+        if let Some(a) = t.acked {
+            allowed.push(a);
+        }
+        if let Some(f) = t.in_flight {
+            allowed.push(f);
+        }
+        if t.acked.is_none() {
+            // never acked: initial zeroes or the lone in-flight value
+            allowed.push(0);
+        }
+        assert!(
+            allowed.contains(&got),
+            "transfer group {group}: recovered fill {got:#x}, expected one of {allowed:x?}",
+        );
+        audited += 1;
+    }
+    assert!(audited > 0, "no transfer groups tracked");
     reader.shutdown().expect("graceful shutdown");
     assert!(child2.wait().expect("serve exits").success());
     let _ = std::fs::remove_dir_all(&dir);

@@ -32,6 +32,16 @@ pub struct MmdbConfig {
     pub commit_durability: CommitDurability,
     /// `fsync` file devices on write (real durability; slower tests).
     pub sync_files: bool,
+    /// Modeled log-device force latency, in microseconds (`0` disables).
+    /// The paper evaluates checkpointing with parameterized I/O costs
+    /// rather than wall-clock hardware; this knob is the wall-clock
+    /// analogue for the log disk: every log force additionally waits
+    /// this long, standing in for the rotational log device whose write
+    /// latency dominates commit cost in the paper's era. Benchmarks use
+    /// it to study commit-serialization effects (e.g. shard scaling) in
+    /// the regime the paper assumes, on hardware where a real flush is
+    /// too fast to expose them.
+    pub log_force_latency_us: u32,
     /// After each completed checkpoint, truncate the log prefix that no
     /// recovery can ever need (everything before the older complete
     /// ping-pong copy's replay floor). Space is actually reclaimed on
@@ -74,6 +84,7 @@ impl MmdbConfig {
             wal_policy: WalPolicy::Force,
             commit_durability: CommitDurability::Force,
             sync_files: false,
+            log_force_latency_us: 0,
             auto_truncate_log: true,
             log_chunk_bytes: mmdb_log::DEFAULT_CHUNK_BYTES,
             log_tail_flush_bytes: Some(1 << 20),

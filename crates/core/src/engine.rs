@@ -42,6 +42,11 @@ pub struct SegmentStats {
     pub with_old_copy: u64,
 }
 
+/// One deferred install of a prepared transaction branch (record,
+/// segment, after-image, and the LSN just past its update record — the
+/// checkpointer's write-ahead gate needs it at install time).
+type PreparedInstall = (RecordId, SegmentId, Vec<Word>, mmdb_types::Lsn);
+
 /// Outcome of [`Mmdb::run_txn`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxnRun {
@@ -80,6 +85,10 @@ pub struct Mmdb {
     /// copy; the log before min(both) is unreachable by any future
     /// recovery and is truncated away when `auto_truncate_log` is set.
     replay_floor: [Option<mmdb_types::Lsn>; 2],
+    /// Install lists of *prepared* transaction branches (sharded
+    /// two-phase commit): their update records are already durable, but
+    /// installation waits for the coordinator's decision.
+    prepared_installs: std::collections::HashMap<TxnId, Vec<PreparedInstall>>,
     /// The shared protocol-audit handle (disabled unless
     /// [`MmdbConfig::audit`] is set).
     audit: Audit,
@@ -158,6 +167,10 @@ impl Mmdb {
         meters: Meters,
     ) -> Mmdb {
         log.set_tail_threshold(config.log_tail_flush_bytes);
+        log.set_force_latency(
+            (config.log_force_latency_us > 0)
+                .then(|| std::time::Duration::from_micros(u64::from(config.log_force_latency_us))),
+        );
         let audit = if config.audit {
             Audit::enabled()
         } else {
@@ -202,6 +215,7 @@ impl Mmdb {
             crashed: false,
             pending_floor: None,
             replay_floor: [None, None],
+            prepared_installs: std::collections::HashMap::new(),
             audit,
             obs,
             quiesce_timer: Timer::default(),
@@ -522,6 +536,11 @@ impl Mmdb {
     /// the primary database (running the COU hook first).
     pub fn commit(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
+        if self.txns.get(txn)?.prepared.is_some() {
+            return Err(MmdbError::Invalid(format!(
+                "{txn} is prepared; finish it with commit_prepared/abort_prepared"
+            )));
+        }
         let commit_timer = self.obs.timer();
 
         // Commit-time color revalidation: installs happen *now*, so the
@@ -612,7 +631,11 @@ impl Mmdb {
     /// dropped; an abort record keeps the log scanner's picture clean).
     pub fn abort(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
-        self.txns.get(txn)?;
+        if self.txns.get(txn)?.prepared.is_some() {
+            return Err(MmdbError::Invalid(format!(
+                "{txn} is prepared; only the coordinator's decision may abort it"
+            )));
+        }
         self.log.append(&LogRecord::Abort { txn });
         self.txns.finish_abort(txn, false)?;
         self.maybe_begin_pending_checkpoint()?;
@@ -681,6 +704,142 @@ impl Mmdb {
         }
         self.commit(txn)?;
         Ok(txn)
+    }
+
+    // ----- sharded two-phase commit ----------------------------------------
+    //
+    // The sharded engine (`mmdb-shard`) runs cross-shard transactions as
+    // one participant branch per shard. Phase one (`prepare_txn`) makes a
+    // branch durable-but-undecided; the coordinator's forced `Decide`
+    // record (`log_decision`) is the commit point; phase two
+    // (`commit_prepared`/`abort_prepared`) finishes each branch. A
+    // prepared branch stays in the active-transaction table, so it keeps
+    // pinning the checkpoint replay floor and blocking COU quiesce until
+    // the decision lands — exactly the window recovery must be able to
+    // replay.
+
+    /// Phase one: re-validates two-color consistency, logs every staged
+    /// update plus a forced `Prepare` record, and marks the transaction
+    /// prepared for global transaction `gid`. After this returns, the
+    /// branch survives any crash and can no longer unilaterally abort;
+    /// finish it with [`Mmdb::commit_prepared`] or
+    /// [`Mmdb::abort_prepared`].
+    pub fn prepare_txn(&mut self, txn: TxnId, gid: u64) -> Result<()> {
+        self.ensure_alive()?;
+        if self.txns.get(txn)?.prepared.is_some() {
+            return Err(MmdbError::Invalid(format!("{txn} is already prepared")));
+        }
+        // Same commit-time color revalidation as `commit`: installs are
+        // promised now, so the write set must be color-consistent now.
+        if self.ckpt.two_color_active() {
+            let segs: Vec<SegmentId> = self
+                .txns
+                .get(txn)?
+                .writes
+                .iter()
+                .map(|w| w.segment)
+                .collect();
+            for sid in segs {
+                self.check_color(txn, sid)?;
+            }
+        }
+
+        let t = self.txns.get(txn)?;
+        let writes: Vec<_> = t
+            .writes
+            .iter()
+            .map(|w| (w.record, w.segment, w.value.clone()))
+            .collect();
+        let mut installs = Vec::with_capacity(writes.len());
+        for (record, segment, value) in writes {
+            let rec = LogRecord::Update {
+                txn,
+                record,
+                value: value.clone(),
+            };
+            let lsn = self.log.append(&rec);
+            installs.push((record, segment, value, rec.end_lsn(lsn)));
+        }
+        self.log.append_forced(&LogRecord::Prepare { txn, gid })?;
+        self.prepared_installs.insert(txn, installs);
+        self.txns.get_mut(txn)?.prepared = Some(gid);
+        self.obs.counter("txn.prepared", 1);
+        Ok(())
+    }
+
+    /// Durably logs the coordinator's decision for global transaction
+    /// `gid` (forced — this is the cross-shard commit point).
+    pub fn log_decision(&mut self, gid: u64, commit: bool) -> Result<()> {
+        self.ensure_alive()?;
+        self.log.append_forced(&LogRecord::Decide { gid, commit })?;
+        self.obs.counter("txn.decisions_logged", 1);
+        Ok(())
+    }
+
+    /// Phase two, commit side: writes a *forced* commit record and
+    /// installs the branch's updates. The force is deliberate even under
+    /// lazy durability: once the branch's own log carries the commit, a
+    /// later truncation of the coordinator's `Decide` record can never
+    /// orphan it.
+    pub fn commit_prepared(&mut self, txn: TxnId) -> Result<()> {
+        self.ensure_alive()?;
+        if self.txns.get(txn)?.prepared.is_none() {
+            return Err(MmdbError::Invalid(format!("{txn} is not prepared")));
+        }
+        let commit_timer = self.obs.timer();
+        let gating = self
+            .config
+            .algorithm
+            .needs_lsn_gating(self.config.params.log_mode);
+        self.log.append_forced(&LogRecord::Commit { txn })?;
+        let tau = self.txns.get(txn)?.tau;
+        let installs = self.prepared_installs.remove(&txn).unwrap_or_default();
+        let installs_len = installs.len();
+        for (record, segment, value, end_lsn) in installs {
+            if self.audit.is_enabled() && self.ckpt.two_color_active() {
+                let color = match self.storage.color(segment)? {
+                    Color::White => PaintColor::White,
+                    Color::Black => PaintColor::Black,
+                };
+                self.audit.emit(|| AuditEvent::InstallObserved {
+                    txn,
+                    sid: segment,
+                    color,
+                });
+            }
+            self.ckpt
+                .on_before_install(&mut self.storage, segment, &self.meters.sync_ckpt)?;
+            self.storage
+                .install_record(record, &value, end_lsn, tau, &self.meters.base)?;
+            if gating {
+                self.meters.sync_ckpt.lsn_op();
+            }
+        }
+        self.txns.finish_commit(txn)?;
+        self.meters.base.txn_body(self.config.params.txn.c_trans);
+        self.obs
+            .span_end("txn.commit", "txn.commit_ns", commit_timer, || {
+                format!("{txn}: {installs_len} writes (prepared)")
+            });
+        self.maybe_begin_pending_checkpoint()?;
+        Ok(())
+    }
+
+    /// Phase two, abort side: drops a prepared branch after the
+    /// coordinator decided abort. The branch's staged installs are
+    /// discarded; an abort record keeps the log scanner's picture clean
+    /// (and, if it reaches the disk, spares recovery the in-doubt
+    /// resolution — presumed abort covers it if it does not).
+    pub fn abort_prepared(&mut self, txn: TxnId) -> Result<()> {
+        self.ensure_alive()?;
+        if self.txns.get(txn)?.prepared.is_none() {
+            return Err(MmdbError::Invalid(format!("{txn} is not prepared")));
+        }
+        self.log.append(&LogRecord::Abort { txn });
+        self.prepared_installs.remove(&txn);
+        self.txns.finish_abort(txn, false)?;
+        self.maybe_begin_pending_checkpoint()?;
+        Ok(())
     }
 
     // ----- checkpointing ---------------------------------------------------
@@ -809,6 +968,7 @@ impl Mmdb {
         self.audit.emit(|| AuditEvent::Crash);
         self.log.crash()?;
         self.txns.crash();
+        self.prepared_installs.clear();
         self.ckpt.crash(&mut self.storage);
         self.quiesce_pending = false;
         self.pending_floor = None;

@@ -41,6 +41,10 @@ pub struct LogManager {
     /// commit's backstop: bounds both tail memory and the window of
     /// commits a crash can lose under lazy durability).
     tail_threshold: Option<u64>,
+    /// Modeled log-device latency added to every non-empty force,
+    /// standing in for the paper-era rotational log disk (see
+    /// [`LogManager::set_force_latency`]).
+    force_latency: Option<std::time::Duration>,
     audit: Audit,
     obs: Obs,
 }
@@ -72,9 +76,22 @@ impl LogManager {
             meter,
             stats: LogStats::default(),
             tail_threshold: None,
+            force_latency: None,
             audit: Audit::disabled(),
             obs: Obs::disabled(),
         }
+    }
+
+    /// Models a slow log device: every force or drain that actually
+    /// moves tail bytes to the device additionally sleeps for `latency`.
+    /// The paper's evaluation parameterizes I/O costs instead of timing
+    /// real hardware; this is the wall-clock counterpart for studying
+    /// commit serialization (the device write happens inside the
+    /// engine's critical section, so its latency bounds single-log
+    /// commit throughput). `None` (the default) adds nothing; empty
+    /// forces never touch the modeled device.
+    pub fn set_force_latency(&mut self, latency: Option<std::time::Duration>) {
+        self.force_latency = latency;
     }
 
     /// Routes protocol events (durable-horizon advances) to `audit`.
@@ -185,6 +202,9 @@ impl LogManager {
         let flushed = self.tail.len() as u64;
         let t = self.obs.timer();
         self.device.append(&self.tail)?;
+        if let Some(latency) = self.force_latency {
+            std::thread::sleep(latency);
+        }
         self.obs.span_end("log.force", "log.force_ns", t, || {
             format!("{flushed} bytes")
         });
@@ -209,6 +229,9 @@ impl LogManager {
         let drained = self.tail.len() as u64;
         let t = self.obs.timer();
         self.device.append(&self.tail)?;
+        if let Some(latency) = self.force_latency {
+            std::thread::sleep(latency);
+        }
         self.obs.span_end("log.force", "log.force_ns", t, || {
             format!("{drained} bytes (stable-tail drain)")
         });
@@ -408,6 +431,20 @@ mod tests {
         assert_eq!(s.records, 2);
         assert_eq!(s.bytes, 2 * commit(1).encoded_len() as u64);
         assert_eq!(s.forces, 1);
+    }
+
+    #[test]
+    fn force_latency_models_a_slow_log_device() {
+        let mut m = mgr(LogMode::VolatileTail);
+        m.set_force_latency(Some(std::time::Duration::from_millis(5)));
+        let start = std::time::Instant::now();
+        m.append_forced(&commit(1)).unwrap();
+        m.append_forced(&commit(2)).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+        // an empty force never touches the modeled device
+        let start = std::time::Instant::now();
+        m.force().unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_millis(5));
     }
 
     #[test]

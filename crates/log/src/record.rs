@@ -76,6 +76,26 @@ pub enum LogRecord {
         /// The checkpoint.
         ckpt: CheckpointId,
     },
+    /// The transaction is *prepared* as a participant branch of a
+    /// cross-shard (global) transaction: all of its `Update` records are
+    /// durable and the branch can no longer unilaterally abort. Written
+    /// forced during phase one of the sharded engine's two-phase commit.
+    Prepare {
+        /// The local participant transaction.
+        txn: TxnId,
+        /// The global transaction id shared by every participant branch.
+        gid: u64,
+    },
+    /// The coordinator's durable commit/abort decision for a global
+    /// transaction (written forced to the coordinator shard's log only).
+    /// Recovery resolves prepared branches by looking for this record;
+    /// absent a decision, presumed abort applies.
+    Decide {
+        /// The global transaction id being decided.
+        gid: u64,
+        /// `true` for commit, `false` for an explicit abort decision.
+        commit: bool,
+    },
 }
 
 const TAG_TXN_BEGIN: u8 = 1;
@@ -84,6 +104,8 @@ const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
 const TAG_BEGIN_CKPT: u8 = 5;
 const TAG_END_CKPT: u8 = 6;
+const TAG_PREPARE: u8 = 7;
+const TAG_DECIDE: u8 = 8;
 
 /// Frame overhead: leading len (4) + tag (1) + checksum (8) + trailing len (4).
 pub const FRAME_OVERHEAD: usize = 4 + 1 + 8 + 4;
@@ -95,7 +117,8 @@ impl LogRecord {
             LogRecord::TxnBegin { txn, .. }
             | LogRecord::Update { txn, .. }
             | LogRecord::Commit { txn }
-            | LogRecord::Abort { txn } => Some(*txn),
+            | LogRecord::Abort { txn }
+            | LogRecord::Prepare { txn, .. } => Some(*txn),
             _ => None,
         }
     }
@@ -107,6 +130,8 @@ impl LogRecord {
             LogRecord::Commit { .. } | LogRecord::Abort { .. } => 8,
             LogRecord::BeginCheckpoint { active, .. } => 8 + 8 + 4 + active.len() * 8,
             LogRecord::EndCheckpoint { .. } => 8,
+            LogRecord::Prepare { .. } => 8 + 8,
+            LogRecord::Decide { .. } => 8 + 1,
         }
     }
 
@@ -161,6 +186,16 @@ impl LogRecord {
             LogRecord::EndCheckpoint { ckpt } => {
                 out.push(TAG_END_CKPT);
                 out.extend_from_slice(&ckpt.raw().to_le_bytes());
+            }
+            LogRecord::Prepare { txn, gid } => {
+                out.push(TAG_PREPARE);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&gid.to_le_bytes());
+            }
+            LogRecord::Decide { gid, commit } => {
+                out.push(TAG_DECIDE);
+                out.extend_from_slice(&gid.to_le_bytes());
+                out.push(u8::from(*commit));
             }
         }
         let mut h = Fnv1a::new();
@@ -242,6 +277,19 @@ impl LogRecord {
             TAG_END_CKPT => LogRecord::EndCheckpoint {
                 ckpt: CheckpointId(r.u64()?),
             },
+            TAG_PREPARE => LogRecord::Prepare {
+                txn: TxnId(r.u64()?),
+                gid: r.u64()?,
+            },
+            TAG_DECIDE => {
+                let gid = r.u64()?;
+                let commit = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(corrupt(&format!("bad decide flag {b}"))),
+                };
+                LogRecord::Decide { gid, commit }
+            }
             t => return Err(corrupt(&format!("unknown tag {t}"))),
         };
         if r.pos != body.len() {
@@ -297,6 +345,10 @@ impl Reader<'_> {
             self.take(4)?.try_into().expect("4-byte slice"),
         ))
     }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +385,18 @@ mod tests {
             },
             LogRecord::EndCheckpoint {
                 ckpt: CheckpointId(3),
+            },
+            LogRecord::Prepare {
+                txn: TxnId(42),
+                gid: 0xDEAD_BEEF,
+            },
+            LogRecord::Decide {
+                gid: 0xDEAD_BEEF,
+                commit: true,
+            },
+            LogRecord::Decide {
+                gid: 99,
+                commit: false,
             },
         ]
     }
@@ -422,6 +486,43 @@ mod tests {
             .txn(),
             None
         );
+        assert_eq!(
+            LogRecord::Prepare {
+                txn: TxnId(8),
+                gid: 1
+            }
+            .txn(),
+            Some(TxnId(8))
+        );
+        assert_eq!(
+            LogRecord::Decide {
+                gid: 1,
+                commit: true
+            }
+            .txn(),
+            None
+        );
+    }
+
+    #[test]
+    fn decide_flag_byte_validated() {
+        let rec = LogRecord::Decide {
+            gid: 5,
+            commit: false,
+        };
+        let mut enc = rec.encode();
+        // the flag byte is the last payload byte: total - trailer(4) - fnv(8) - 1
+        let flag_at = enc.len() - 4 - 8 - 1;
+        assert_eq!(enc[flag_at], 0);
+        // a non-boolean flag byte must be rejected even with a valid checksum
+        enc[flag_at] = 7;
+        let body = &enc[4..enc.len() - 12];
+        let mut h = Fnv1a::new();
+        h.update(body);
+        let sum = h.finish().to_le_bytes();
+        let len = enc.len();
+        enc[len - 12..len - 4].copy_from_slice(&sum);
+        assert!(LogRecord::decode(&enc).is_err());
     }
 
     #[test]

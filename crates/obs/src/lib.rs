@@ -28,7 +28,9 @@ pub mod trace;
 
 pub use hist::{HistSummary, Histogram};
 pub use registry::{Obs, Registry, Timer};
-pub use snapshot::{prom_name, validate_prometheus, MetricsSnapshot, PaperOverhead};
+pub use snapshot::{
+    prom_name, to_prometheus_sharded, validate_prometheus, MetricsSnapshot, PaperOverhead,
+};
 pub use trace::SpanRecord;
 
 /// Render spans as a human-readable trace, one line each, plus a footer

@@ -205,6 +205,70 @@ impl MetricsSnapshot {
     }
 }
 
+/// Merge per-shard snapshots into one Prometheus document with `shard`
+/// labels.
+///
+/// Each shard of a sharded engine owns its own registry, so the same
+/// metric family exists once per shard. Emitting each shard's
+/// [`MetricsSnapshot::to_prometheus`] back to back would repeat every
+/// `# TYPE` line — a malformed exposition (Prometheus requires one TYPE
+/// per family). This function emits each family's `# TYPE` line exactly
+/// once, followed by one `{shard="i"}`-labeled sample per shard that has
+/// it; histogram families get `shard` plus `quantile` labels.
+pub fn to_prometheus_sharded(shards: &[MetricsSnapshot]) -> String {
+    use std::collections::BTreeSet;
+    let mut out = String::new();
+
+    let counter_names: BTreeSet<&str> = shards
+        .iter()
+        .flat_map(|s| s.counters.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    for name in counter_names {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(v) = s.counter(name) {
+                let _ = writeln!(out, "{n}{{shard=\"{i}\"}} {v}");
+            }
+        }
+    }
+
+    let gauge_names: BTreeSet<&str> = shards
+        .iter()
+        .flat_map(|s| s.gauges.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    for name in gauge_names {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(v) = s.gauge(name) {
+                let _ = writeln!(out, "{n}{{shard=\"{i}\"}} {v}");
+            }
+        }
+    }
+
+    let hist_names: BTreeSet<&str> = shards
+        .iter()
+        .flat_map(|s| s.hists.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    for name in hist_names {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(h) = s.hist(name) {
+                for (q, val) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    let _ = writeln!(out, "{n}{{shard=\"{i}\",quantile=\"{q}\"}} {val}");
+                }
+                let _ = writeln!(out, "{n}_sum{{shard=\"{i}\"}} {}", h.sum);
+                let _ = writeln!(out, "{n}_count{{shard=\"{i}\"}} {}", h.count);
+                let _ = writeln!(out, "{n}_min{{shard=\"{i}\"}} {}", h.min);
+                let _ = writeln!(out, "{n}_max{{shard=\"{i}\"}} {}", h.max);
+            }
+        }
+    }
+    out
+}
+
 fn lookup<'a, T>(v: &'a [(String, T)], name: &str) -> Option<&'a T> {
     v.binary_search_by(|(k, _)| k.as_str().cmp(name))
         .ok()
@@ -321,8 +385,12 @@ pub fn prom_name(name: &str) -> String {
 /// The workspace vendors no regex engine, so this is a hand-rolled
 /// recognizer for the sample-line grammar
 /// `name ['{' label '=' '"' value '"' [',' ...] '}'] ' ' number` plus
-/// `# TYPE` / `# HELP` comment lines. Returns the offending line on error.
+/// `# TYPE` / `# HELP` comment lines. Each metric family may carry at
+/// most one `TYPE` line (naively concatenating per-shard expositions
+/// violates this — use [`to_prometheus_sharded`] instead). Returns the
+/// offending line on error.
 pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut typed_families: std::collections::HashSet<&str> = std::collections::HashSet::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -332,9 +400,8 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ")) {
                 return Err(format!("line {}: unknown comment form: {line}", lineno + 1));
             }
-            if rest.starts_with("TYPE ") {
-                let mut parts = rest.split_whitespace();
-                let _type_kw = parts.next();
+            if let Some(type_rest) = rest.strip_prefix("TYPE ") {
+                let mut parts = type_rest.split_whitespace();
                 let name = parts.next().unwrap_or("");
                 let kind = parts.next().unwrap_or("");
                 if !is_metric_name(name)
@@ -345,6 +412,12 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
                     || parts.next().is_some()
                 {
                     return Err(format!("line {}: malformed TYPE line: {line}", lineno + 1));
+                }
+                if !typed_families.insert(name) {
+                    return Err(format!(
+                        "line {}: duplicate TYPE line for family {name}: {line}",
+                        lineno + 1
+                    ));
                 }
             }
             continue;
@@ -498,6 +571,45 @@ mod tests {
         }
         validate_prometheus("ok_name{l=\"v\",m=\"w\"} 1e-9\n# HELP x y\nplain 3")
             .expect("good doc");
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_type_families() {
+        // Naive concatenation of two shards' expositions: same family,
+        // two TYPE lines. Must be rejected.
+        let doc = "# TYPE mmdb_x counter\nmmdb_x 1\n# TYPE mmdb_x counter\nmmdb_x 2\n";
+        let err = validate_prometheus(doc).unwrap_err();
+        assert!(err.contains("duplicate TYPE"), "{err}");
+        // One TYPE line with many samples (labeled) is fine.
+        let ok = "# TYPE mmdb_x counter\nmmdb_x{shard=\"0\"} 1\nmmdb_x{shard=\"1\"} 2\n";
+        validate_prometheus(ok).expect("labeled samples under one TYPE");
+    }
+
+    #[test]
+    fn sharded_exposition_validates_with_one_type_per_family() {
+        let mut shards = Vec::new();
+        for i in 0..4u64 {
+            let obs = Obs::enabled();
+            obs.counter("txn.committed", 10 + i);
+            obs.gauge("seg.total", 8);
+            obs.observe("net.request_ns", 100 * (i + 1));
+            shards.push(MetricsSnapshot::capture(&obs));
+        }
+        let text = to_prometheus_sharded(&shards);
+        validate_prometheus(&text).expect("valid sharded exposition");
+        // family typed once...
+        assert_eq!(text.matches("# TYPE mmdb_txn_committed counter").count(), 1);
+        // ...with one labeled sample per shard
+        for i in 0..4 {
+            assert!(
+                text.contains(&format!("mmdb_txn_committed{{shard=\"{i}\"}} {}", 10 + i)),
+                "{text}"
+            );
+        }
+        assert!(text.contains("mmdb_net_request_ns{shard=\"2\",quantile=\"0.5\"}"));
+        // concatenating the per-shard docs instead must NOT validate
+        let naive: String = shards.iter().map(|s| s.to_prometheus()).collect();
+        assert!(validate_prometheus(&naive).is_err());
     }
 
     #[test]

@@ -31,6 +31,24 @@ use mmdb_types::{
 };
 use std::collections::HashMap;
 
+/// A transaction branch left *in doubt* by the crash: its updates and its
+/// `Prepare` record are durable in the log, but neither a `Commit` nor an
+/// `Abort` follows. Under the sharded engine's two-phase commit the
+/// outcome belongs to the coordinator shard's log (`Decide` record);
+/// recovery surfaces the branch so the coordinator can resolve it —
+/// presumed abort when no commit decision exists anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InDoubtTxn {
+    /// The global transaction id from the `Prepare` record.
+    pub gid: u64,
+    /// The local (per-shard) transaction id.
+    pub txn: TxnId,
+    /// The branch's staged after-images, in log order. Not installed by
+    /// replay; installing them is the resolver's job iff a commit
+    /// decision is found.
+    pub writes: Vec<(RecordId, Vec<Word>)>,
+}
+
 /// What recovery did, and the modeled time it took.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -58,6 +76,16 @@ pub struct RecoveryReport {
     /// Modeled time to read the replayed log, seconds (sequential read
     /// striped across the backup disks).
     pub log_read_seconds: f64,
+    /// Prepared-but-undecided transaction branches (sharded two-phase
+    /// commit); empty for unsharded databases.
+    pub in_doubt: Vec<InDoubtTxn>,
+    /// Durable coordinator decisions seen in the replayed window, as
+    /// `(gid, commit)` pairs.
+    pub decisions: Vec<(u64, bool)>,
+    /// Highest global transaction id seen in the replayed window (from
+    /// `Prepare` and `Decide` records); the sharded engine seeds its gid
+    /// counter above this so resurrected gids can never collide.
+    pub max_gid: u64,
 }
 
 impl RecoveryReport {
@@ -142,6 +170,9 @@ pub fn recover_observed(
     // 4: forward replay, installing each transaction's updates at its
     // commit record (shadow-copy install order = commit order).
     let mut staged: HashMap<TxnId, Vec<(RecordId, Vec<Word>, Lsn)>> = HashMap::new();
+    let mut prepared: HashMap<TxnId, u64> = HashMap::new();
+    let mut decided: HashMap<u64, bool> = HashMap::new();
+    let mut max_gid = 0u64;
     let mut updates_applied = 0u64;
     let mut txns_replayed = 0u64;
     for (lsn, rec) in scanner.forward_from(replay_start) {
@@ -160,14 +191,42 @@ pub fn recover_observed(
                         updates_applied += 1;
                     }
                 }
+                prepared.remove(&txn);
                 txns_replayed += 1;
             }
             LogRecord::Abort { txn } => {
                 staged.remove(&txn);
+                prepared.remove(&txn);
+            }
+            LogRecord::Prepare { txn, gid } => {
+                prepared.insert(txn, gid);
+                max_gid = max_gid.max(gid);
+            }
+            LogRecord::Decide { gid, commit } => {
+                decided.insert(gid, commit);
+                max_gid = max_gid.max(gid);
             }
             _ => {}
         }
     }
+    // Prepared branches with no durable outcome are *in doubt*, not
+    // discarded: they wait for the coordinator's decision.
+    let mut in_doubt: Vec<InDoubtTxn> = prepared
+        .iter()
+        .map(|(&txn, &gid)| InDoubtTxn {
+            gid,
+            txn,
+            writes: staged
+                .remove(&txn)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(record, value, _)| (record, value))
+                .collect(),
+        })
+        .collect();
+    in_doubt.sort_by_key(|t| (t.gid, t.txn));
+    let mut decisions: Vec<(u64, bool)> = decided.into_iter().collect();
+    decisions.sort_unstable();
     let txns_discarded = staged.len() as u64;
     obs.span_end(
         "recovery.redo_replay",
@@ -199,6 +258,9 @@ pub fn recover_observed(
         txns_discarded,
         backup_read_seconds,
         log_read_seconds,
+        in_doubt,
+        decisions,
+        max_gid,
     })
 }
 
@@ -569,6 +631,79 @@ mod tests {
         };
         let t_fast = recovery_time_model(&disk2, 32_768, 8192, 0);
         assert!((t_full / t_fast - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn prepared_branch_is_in_doubt_not_installed() {
+        let mut m = Mini::new(Algorithm::FuzzyCopy);
+        m.txn(&[0], 1);
+        m.checkpoint();
+        let consistent = m.storage.fingerprint();
+
+        // a prepared-but-undecided branch: updates + Prepare forced
+        let tau = m.tau();
+        let txn = TxnId(8888);
+        m.log.append(&LogRecord::TxnBegin { txn, tau });
+        m.log.append(&LogRecord::Update {
+            txn,
+            record: RecordId(300),
+            value: vec![5u32; 32],
+        });
+        m.log
+            .append_forced(&LogRecord::Prepare { txn, gid: 41 })
+            .unwrap();
+
+        let (report, recovered) = m.crash_and_recover();
+        // replay must NOT install the branch...
+        assert_eq!(recovered.fingerprint(), consistent);
+        // ...but must surface it for the coordinator, not discard it
+        assert_eq!(report.txns_discarded, 0);
+        assert_eq!(report.in_doubt.len(), 1);
+        assert_eq!(report.in_doubt[0].gid, 41);
+        assert_eq!(report.in_doubt[0].txn, txn);
+        assert_eq!(
+            report.in_doubt[0].writes,
+            vec![(RecordId(300), vec![5u32; 32])]
+        );
+        assert_eq!(report.max_gid, 41);
+    }
+
+    #[test]
+    fn prepared_then_committed_replays_and_decisions_collected() {
+        let mut m = Mini::new(Algorithm::FuzzyCopy);
+        m.txn(&[0], 1);
+        m.checkpoint();
+
+        let tau = m.tau();
+        let txn = TxnId(8889);
+        let value = vec![6u32; 32];
+        m.log.append(&LogRecord::TxnBegin { txn, tau });
+        let rec = LogRecord::Update {
+            txn,
+            record: RecordId(301),
+            value: value.clone(),
+        };
+        let lsn = m.log.append(&rec);
+        m.log
+            .append_forced(&LogRecord::Prepare { txn, gid: 7 })
+            .unwrap();
+        m.log
+            .append_forced(&LogRecord::Decide {
+                gid: 7,
+                commit: true,
+            })
+            .unwrap();
+        m.log.append_forced(&LogRecord::Commit { txn }).unwrap();
+        m.storage
+            .install_record(RecordId(301), &value, rec.end_lsn(lsn), tau, &m.meter)
+            .unwrap();
+
+        let pre_crash = m.storage.fingerprint();
+        let (report, recovered) = m.crash_and_recover();
+        assert_eq!(recovered.fingerprint(), pre_crash);
+        assert!(report.in_doubt.is_empty());
+        assert_eq!(report.decisions, vec![(7, true)]);
+        assert_eq!(report.max_gid, 7);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Per-connection request handling.
 //!
 //! Each connection is owned by exactly one worker thread for its whole
-//! life. The worker takes the engine mutex per *request*, never per
+//! life. The worker goes through the [`mmdb_shard::ShardedMmdb`]
+//! router, which takes a shard mutex per *primitive action*, never per
 //! transaction, so an interactive `Begin`/`Write`/`Commit` sequence
 //! interleaves with other connections and with checkpoint steps — the
-//! paper's concurrency model, with the mutex as the processor.
+//! paper's concurrency model, with the shard mutexes as processors.
 //!
 //! Connection-owned state is the set of open interactive transactions:
 //! if the connection drops (or times out) with transactions still open,
@@ -12,12 +13,13 @@
 //! white set forever.
 //!
 //! Every request is wrapped in an obs span (`net.request` /
-//! `net.request_ns`) plus per-op counters on the *engine's* registry,
-//! so a `Stats` request over the wire shows the network layer and the
-//! engine in one snapshot.
+//! `net.request_ns`) plus per-op counters on the router's registry, so
+//! a `Stats` request over the wire shows the network layer, the router
+//! and every shard engine in one snapshot.
 
 use crate::{ServerConfig, Shared};
-use mmdb_core::{CheckpointStart, Mmdb};
+use mmdb_core::CheckpointStart;
+use mmdb_shard::ShardedMmdb;
 use mmdb_types::{MmdbError, TxnId};
 use mmdb_wire::{
     write_frame, CkptStartState, CkptSummary, ErrorCode, FrameReader, PollFrame, Request, Response,
@@ -40,7 +42,7 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
     };
     let mut reader = stream;
 
-    let obs = shared.lock_db().obs().clone();
+    let obs = shared.db.obs().clone();
     let mut open_txns: HashSet<TxnId> = HashSet::new();
     let mut last_activity = Instant::now();
     // Resumable reader: the 50ms poll timeout routinely fires in the
@@ -119,9 +121,8 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
     }
 
     if !open_txns.is_empty() {
-        let mut db = shared.lock_db();
         for txn in open_txns.drain() {
-            if db.abort(txn).is_ok() {
+            if shared.db.abort(txn).is_ok() {
                 shared
                     .txns_aborted_on_disconnect
                     .fetch_add(1, Ordering::SeqCst);
@@ -131,9 +132,9 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
     }
 }
 
-/// Executes one request against the engine, mapping engine errors to
-/// wire error frames. Takes (and releases) the engine mutex exactly
-/// once.
+/// Executes one request against the sharded database, mapping engine
+/// errors to wire error frames. The router takes shard mutexes
+/// internally, one primitive action at a time.
 fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> Response {
     if shared.stopping() && !matches!(req, Request::Shutdown) {
         return Response::Error {
@@ -141,7 +142,7 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
             message: "server is shutting down".into(),
         };
     }
-    let mut db = shared.lock_db();
+    let db = &shared.db;
     match req {
         Request::Ping => Response::Pong,
         Request::Get { rid } => match db.read_committed(*rid) {
@@ -197,14 +198,25 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
         Request::Stats => Response::StatsJson {
             json: db.metrics_snapshot().to_json_pretty(),
         },
-        Request::Checkpoint { sync: true } => match db.checkpoint() {
-            Ok(report) => Response::CkptDone(CkptSummary {
-                ckpt: report.ckpt.raw(),
-                copy: report.copy as u8,
-                segments_flushed: report.segments_flushed,
-                segments_skipped: report.segments_skipped,
-                old_copies_flushed: report.old_copies_flushed,
-            }),
+        Request::Checkpoint { sync: true } => match db.checkpoint_all() {
+            Ok(reports) => {
+                // One summary for the whole topology: identity fields
+                // (checkpoint number, target copy) from shard 0, work
+                // counts summed across shards.
+                let mut summary = CkptSummary {
+                    ckpt: reports.first().map_or(0, |r| r.ckpt.raw()),
+                    copy: reports.first().map_or(0, |r| r.copy as u8),
+                    segments_flushed: 0,
+                    segments_skipped: 0,
+                    old_copies_flushed: 0,
+                };
+                for r in &reports {
+                    summary.segments_flushed += r.segments_flushed;
+                    summary.segments_skipped += r.segments_skipped;
+                    summary.old_copies_flushed += r.old_copies_flushed;
+                }
+                Response::CkptDone(summary)
+            }
             Err(e) => error_response(&e),
         },
         Request::Checkpoint { sync: false } => match db.try_begin_checkpoint() {
@@ -222,16 +234,16 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
         Request::Fingerprint => Response::Fingerprint {
             fp: db.fingerprint(),
         },
-        Request::Info => Response::Info(server_info(&db)),
+        Request::Info => Response::Info(server_info(db)),
         Request::Shutdown => Response::ShuttingDown,
     }
 }
 
-fn server_info(db: &Mmdb) -> ServerInfo {
+fn server_info(db: &ShardedMmdb) -> ServerInfo {
     ServerInfo {
         n_records: db.n_records(),
         record_words: db.record_words() as u32,
-        n_segments: db.n_segments(),
+        n_segments: db.config().params.db.n_segments(),
         algorithm: db.config().algorithm.name().to_string(),
     }
 }

@@ -8,21 +8,27 @@
 //!
 //! * a listener thread accepts connections and hands them to a fixed
 //!   pool of worker threads,
-//! * each worker speaks the [`mmdb_wire`] protocol over its connection,
-//!   taking the engine mutex only for the duration of one primitive
-//!   action (a transaction step, never a whole interactive
-//!   transaction),
-//! * one dedicated checkpointer thread interleaves
+//! * each worker speaks the [`mmdb_wire`] protocol over its connection;
+//!   the [`mmdb_shard::ShardedMmdb`] router takes a *shard's* mutex
+//!   only for the duration of one primitive action (a transaction
+//!   step, never a whole interactive transaction),
+//! * one dedicated checkpointer thread **per shard** interleaves
 //!   [`checkpoint_step`](mmdb_core::Mmdb::checkpoint_step) calls with
-//!   the workers' transactions through the same mutex — the paper's
-//!   low-priority checkpointer process, with the mutex standing in for
-//!   the processor.
+//!   the workers' transactions through that shard's mutex — the
+//!   paper's low-priority checkpointer process, replicated per
+//!   partition so checkpoint work on shard *i* never blocks
+//!   transactions on shard *j*.
+//!
+//! An unsharded server is the 1-shard special case ([`Server::spawn`]
+//! wraps the engine via [`ShardedMmdb::from_single`]); the wire
+//! protocol is identical either way, so clients are oblivious to the
+//! topology.
 //!
 //! Shutdown is graceful: a client `Shutdown` request (or
 //! [`ServerHandle::stop`]) raises a flag; workers finish their current
-//! request, the checkpointer finishes (or abandons pacing of) its
+//! request, each checkpointer finishes (or abandons pacing of) its
 //! current checkpoint, and [`ServerHandle::shutdown_join`] returns the
-//! engine so callers can fingerprint or close it cleanly.
+//! sharded database so callers can fingerprint or close it cleanly.
 //!
 //! The crate also hosts the closed-loop network load driver
 //! ([`load`]) used by `mmdb-cli bench-net`.
@@ -31,16 +37,17 @@ pub mod conn;
 pub mod load;
 
 pub use load::{
-    bench_net_json, run_load, validate_bench_net_json, LoadConfig, LoadReport, WorkloadKind,
-    BENCH_NET_SCHEMA,
+    bench_net_json, bench_shard_json, run_load, validate_bench_net_json, validate_bench_shard_json,
+    LoadConfig, LoadReport, ShardSweepEntry, WorkloadKind, BENCH_NET_SCHEMA, BENCH_SHARD_SCHEMA,
 };
 
 use mmdb_core::{Mmdb, StepOutcome};
+use mmdb_shard::ShardedMmdb;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -61,8 +68,8 @@ pub struct ServerConfig {
     /// Drop a connection that has sent no request for this long.
     /// `None` keeps idle connections forever.
     pub idle_timeout: Option<Duration>,
-    /// Pause between background checkpoints. `Some(d)`: the
-    /// checkpointer begins a new checkpoint `d` after the previous one
+    /// Pause between background checkpoints. `Some(d)`: each shard's
+    /// checkpointer begins a new checkpoint `d` after its previous one
     /// completes (continuous checkpointing, the paper's normal mode).
     /// `None`: checkpoints run only when a client sends
     /// `Checkpoint`.
@@ -83,31 +90,23 @@ impl Default for ServerConfig {
 
 /// Shared server state visible to every thread.
 pub(crate) struct Shared {
-    pub(crate) db: Mutex<Mmdb>,
+    pub(crate) db: ShardedMmdb,
     pub(crate) stop: AtomicBool,
-    /// Checkpoints completed by the background checkpointer thread.
+    /// Checkpoints completed by the background checkpointer threads
+    /// (summed across shards).
     pub(crate) ckpts_completed: AtomicU64,
     /// Interactive transactions aborted because their connection died.
     pub(crate) txns_aborted_on_disconnect: AtomicU64,
 }
 
 impl Shared {
-    /// Locks the engine, recovering from a poisoned mutex: the engine's
-    /// own invariants are audited internally, so a panic in one worker
-    /// must not wedge every other connection.
-    pub(crate) fn lock_db(&self) -> MutexGuard<'_, Mmdb> {
-        match self.db.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
     pub(crate) fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
     }
 }
 
-/// The running server: spawn with [`Server::spawn`].
+/// The running server: spawn with [`Server::spawn`] (one engine) or
+/// [`Server::spawn_sharded`] (a sharded topology).
 pub struct Server;
 
 /// Handle to a running server: address, stop control, and joins.
@@ -116,20 +115,29 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_join: Option<JoinHandle<()>>,
     worker_joins: Vec<JoinHandle<()>>,
-    ckpt_join: Option<JoinHandle<()>>,
+    ckpt_joins: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds, spawns the listener + worker pool + checkpointer, and
-    /// returns a handle. The engine moves into the server; get it back
-    /// with [`ServerHandle::shutdown_join`].
+    /// returns a handle. The engine moves into the server as a 1-shard
+    /// [`ShardedMmdb`]; get it back with
+    /// [`ServerHandle::shutdown_join`].
     pub fn spawn(db: Mmdb, config: ServerConfig) -> io::Result<ServerHandle> {
+        Self::spawn_sharded(ShardedMmdb::from_single(db), config)
+    }
+
+    /// Binds, spawns the listener + worker pool + one checkpointer
+    /// thread per shard, and returns a handle. The database moves into
+    /// the server; get it back with [`ServerHandle::shutdown_join`].
+    pub fn spawn_sharded(db: ShardedMmdb, config: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let shards = db.shards();
         let shared = Arc::new(Shared {
-            db: Mutex::new(db),
+            db,
             stop: AtomicBool::new(false),
             ckpts_completed: AtomicU64::new(0),
             txns_aborted_on_disconnect: AtomicU64::new(0),
@@ -150,13 +158,16 @@ impl Server {
             );
         }
 
-        let ckpt_join = {
+        let mut ckpt_joins = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let shared = Arc::clone(&shared);
             let interval = config.checkpoint_interval;
-            std::thread::Builder::new()
-                .name("mmdb-checkpointer".into())
-                .spawn(move || checkpointer_loop(&shared, interval))?
-        };
+            ckpt_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("mmdb-checkpointer-{shard}"))
+                    .spawn(move || checkpointer_loop(&shared, shard, interval))?,
+            );
+        }
 
         let accept_join = {
             let shared = Arc::clone(&shared);
@@ -170,7 +181,7 @@ impl Server {
             shared,
             accept_join: Some(accept_join),
             worker_joins,
-            ckpt_join: Some(ckpt_join),
+            ckpt_joins,
         })
     }
 }
@@ -193,7 +204,8 @@ impl ServerHandle {
         self.shared.stopping()
     }
 
-    /// Checkpoints completed by the background checkpointer so far.
+    /// Checkpoints completed by the background checkpointers so far,
+    /// summed across every shard.
     pub fn checkpoints_completed(&self) -> u64 {
         self.shared.ckpts_completed.load(Ordering::SeqCst)
     }
@@ -206,8 +218,8 @@ impl ServerHandle {
             .load(Ordering::SeqCst)
     }
 
-    /// Stops the server, joins every thread, and returns the engine.
-    pub fn shutdown_join(mut self) -> Mmdb {
+    /// Stops the server, joins every thread, and returns the database.
+    pub fn shutdown_join(mut self) -> ShardedMmdb {
         self.stop();
         if let Some(j) = self.accept_join.take() {
             let _ = j.join();
@@ -215,15 +227,12 @@ impl ServerHandle {
         for j in self.worker_joins.drain(..) {
             let _ = j.join();
         }
-        if let Some(j) = self.ckpt_join.take() {
+        for j in self.ckpt_joins.drain(..) {
             let _ = j.join();
         }
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| unreachable!("all server threads joined; no clones remain"));
-        match shared.db.into_inner() {
-            Ok(db) => db,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        shared.db
     }
 }
 
@@ -282,11 +291,12 @@ fn worker_loop(
 /// latency before an async `Checkpoint` request starts being driven).
 const IDLE_CHECKPOINTER_POLL: Duration = Duration::from_millis(20);
 
-/// The paper's dedicated checkpointer process: repeatedly begin a
-/// checkpoint (per pacing), then drive it step by step, yielding the
-/// engine mutex between steps so transactions interleave — the same
-/// discipline as the in-process concurrent driver tests.
-fn checkpointer_loop(shared: &Shared, interval: Option<Duration>) {
+/// The paper's dedicated checkpointer process, one per shard:
+/// repeatedly begin a checkpoint (per pacing), then drive it step by
+/// step, yielding the shard's mutex between steps so transactions
+/// interleave — the same discipline as the in-process concurrent
+/// driver tests, replicated per partition.
+fn checkpointer_loop(shared: &Shared, shard: usize, interval: Option<Duration>) {
     let mut next_begin_ok = true; // begin immediately on startup when paced
     loop {
         if shared.stopping() {
@@ -294,8 +304,7 @@ fn checkpointer_loop(shared: &Shared, interval: Option<Duration>) {
         }
         let mut did_work = false;
         let mut completed = false;
-        {
-            let mut db = shared.lock_db();
+        shared.db.with_shard(shard, |db| {
             if !db.is_checkpoint_active() && !db.is_quiescing() {
                 if interval.is_some() && next_begin_ok {
                     // Quiesce refusals and in-progress races are normal;
@@ -317,7 +326,7 @@ fn checkpointer_loop(shared: &Shared, interval: Option<Duration>) {
                     Err(_) => {}
                 }
             }
-        }
+        });
         if completed {
             shared.ckpts_completed.fetch_add(1, Ordering::SeqCst);
             if let Some(d) = interval {

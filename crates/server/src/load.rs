@@ -72,6 +72,17 @@ pub struct LoadConfig {
     pub max_retries: u32,
     /// Per-response timeout for every connection.
     pub timeout: Duration,
+    /// Shard count of the *server* topology (1 = unsharded). When > 1,
+    /// each connection remaps its generated records onto a home shard
+    /// (`connection_index % shards`) so the steady-state workload is
+    /// shard-affine — the scale-out regime the topology is for. The
+    /// distribution's shape is preserved within the shard.
+    pub shards: usize,
+    /// Fraction of transactions (per connection, deterministic) that
+    /// deliberately span shards instead of staying on the home shard,
+    /// exercising the two-phase cross-shard commit path. Ignored when
+    /// `shards == 1`.
+    pub cross_fraction: f64,
 }
 
 impl Default for LoadConfig {
@@ -85,6 +96,8 @@ impl Default for LoadConfig {
             workload: WorkloadKind::Uniform,
             max_retries: 1000,
             timeout: Duration::from_secs(30),
+            shards: 1,
+            cross_fraction: 0.0,
         }
     }
 }
@@ -212,8 +225,23 @@ fn run_connection(
         retries: 0,
         latency_us: Histogram::new(),
     };
+    // Deterministic per-connection stream deciding which transactions
+    // deliberately cross shards (xorshift64, independent of the record
+    // distribution so remapping never perturbs it).
+    let mut cross_rng = seed ^ 0x5DEE_CE66_D000_000B;
+    if cross_rng == 0 {
+        cross_rng = 0x9E37_79B9_7F4A_7C15;
+    }
     for _ in 0..cfg.txns_per_conn {
-        let updates: Vec<(RecordId, Vec<Word>)> = workload.next_txn().materialize(s_rec);
+        let mut updates: Vec<(RecordId, Vec<Word>)> = workload.next_txn().materialize(s_rec);
+        if cfg.shards > 1 {
+            cross_rng ^= cross_rng << 13;
+            cross_rng ^= cross_rng >> 7;
+            cross_rng ^= cross_rng << 17;
+            let cross = cfg.cross_fraction > 0.0
+                && ((cross_rng >> 11) as f64) / ((1u64 << 53) as f64) < cfg.cross_fraction;
+            remap_to_shards(&mut updates, index, cfg.shards, n_records, cross);
+        }
         let t0 = Instant::now();
         match client.retry_transient(cfg.max_retries, |c| c.batch(&updates)) {
             Ok((_committed, retries)) => {
@@ -240,6 +268,37 @@ fn run_connection(
         }
     }
     Ok(out)
+}
+
+/// Rewrites each generated record onto the sharded record space: record
+/// `r` becomes `(r / shards) * shards + target`, which lands on shard
+/// `target` (`rid % shards` routing) while preserving the workload
+/// distribution's shape within the shard. An affine transaction targets
+/// only the connection's home shard; a cross transaction spreads
+/// successive updates over successive shards.
+fn remap_to_shards(
+    updates: &mut [(RecordId, Vec<Word>)],
+    conn_index: usize,
+    shards: usize,
+    n_records: u64,
+    cross: bool,
+) {
+    let shards = shards as u64;
+    let home = conn_index as u64 % shards;
+    for (j, (rid, _)) in updates.iter_mut().enumerate() {
+        let target = if cross {
+            (home + j as u64) % shards
+        } else {
+            home
+        };
+        let mut g = (rid.raw() / shards) * shards + target;
+        if g >= n_records {
+            // the last partial stride: step back one stride, staying on
+            // the same shard (valid whenever n_records >= shards)
+            g = g.saturating_sub(shards);
+        }
+        *rid = RecordId(g.min(n_records.saturating_sub(1)));
+    }
 }
 
 /// Schema tag for [`bench_net_json`] output.
@@ -375,6 +434,187 @@ pub fn validate_bench_net_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema tag for [`bench_shard_json`] output.
+pub const BENCH_SHARD_SCHEMA: &str = "mmdb-bench-shard/v1";
+
+/// Shard counts every sweep must cover (the scaling curve's x-axis).
+const SWEEP_SHARD_COUNTS: [u64; 4] = [1, 2, 4, 8];
+
+/// One point on the shard-scaling curve: a full load run at a fixed
+/// shard count and workload.
+#[derive(Debug, Clone)]
+pub struct ShardSweepEntry {
+    /// Shard count the server ran with.
+    pub shards: usize,
+    /// Workload the driver replayed.
+    pub workload: WorkloadKind,
+    /// Fraction of deliberately cross-shard transactions.
+    pub cross_fraction: f64,
+    /// Connections the driver ran.
+    pub connections: usize,
+    /// Transactions committed across all connections.
+    pub committed: u64,
+    /// Non-transient failures (0 in a correct run).
+    pub errors: u64,
+    /// Transparent transient retries absorbed by the driver.
+    pub retries: u64,
+    /// Wall-clock seconds for the run.
+    pub elapsed_s: f64,
+    /// Committed transactions per wall-clock second.
+    pub throughput_tps: f64,
+    /// Median commit latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile commit latency in microseconds.
+    pub p99_us: u64,
+}
+
+impl ShardSweepEntry {
+    /// Builds a sweep point from a completed load run.
+    pub fn from_report(cfg: &LoadConfig, report: &LoadReport) -> ShardSweepEntry {
+        ShardSweepEntry {
+            shards: cfg.shards,
+            workload: cfg.workload,
+            cross_fraction: cfg.cross_fraction,
+            connections: report.connections,
+            committed: report.committed,
+            errors: report.errors,
+            retries: report.retries,
+            elapsed_s: report.elapsed.as_secs_f64(),
+            throughput_tps: report.throughput_tps,
+            p50_us: report.latency_us.p50,
+            p99_us: report.latency_us.p99,
+        }
+    }
+}
+
+/// Renders a shard sweep as JSON with a fixed key set, mirroring
+/// [`bench_net_json`]'s deterministic-schema discipline: keys and
+/// shapes never vary run to run, only wall-clock values do.
+pub fn bench_shard_json(
+    cfg: &LoadConfig,
+    log_force_latency_us: u32,
+    entries: &[ShardSweepEntry],
+) -> String {
+    let sweep = entries
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("shards".into(), Value::u(e.shards as u64)),
+                ("workload".into(), Value::s(e.workload.label())),
+                ("zipf_theta".into(), Value::f(e.workload.theta())),
+                ("cross_fraction".into(), Value::f(e.cross_fraction)),
+                ("connections".into(), Value::u(e.connections as u64)),
+                ("committed".into(), Value::u(e.committed)),
+                ("errors".into(), Value::u(e.errors)),
+                ("retries".into(), Value::u(e.retries)),
+                ("elapsed_s".into(), Value::f(e.elapsed_s)),
+                ("throughput_tps".into(), Value::f(e.throughput_tps)),
+                ("p50_us".into(), Value::u(e.p50_us)),
+                ("p99_us".into(), Value::u(e.p99_us)),
+            ])
+        })
+        .collect();
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_SHARD_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("txns_per_conn".into(), Value::u(cfg.txns_per_conn)),
+                (
+                    "updates_per_txn".into(),
+                    Value::u(u64::from(cfg.updates_per_txn)),
+                ),
+                ("seed".into(), Value::u(cfg.seed)),
+                (
+                    "log_force_latency_us".into(),
+                    Value::u(u64::from(log_force_latency_us)),
+                ),
+            ]),
+        ),
+        ("sweep".into(), Value::Arr(sweep)),
+    ]);
+    v.to_pretty()
+}
+
+/// Validates the fixed schema of [`bench_shard_json`] output: the
+/// schema tag, every per-entry key, and that the sweep covers shard
+/// counts 1, 2, 4 and 8 (the curve the scaling claim is made from).
+pub fn validate_bench_shard_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_SHARD_SCHEMA {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_SHARD_SCHEMA:?}"
+        ));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    for key in [
+        "txns_per_conn",
+        "updates_per_txn",
+        "seed",
+        "log_force_latency_us",
+    ] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+    let sweep = v
+        .get("sweep")
+        .and_then(Value::as_arr)
+        .ok_or("missing sweep array")?;
+    if sweep.is_empty() {
+        return Err("sweep array is empty".into());
+    }
+    let mut seen_shards = Vec::new();
+    for (i, entry) in sweep.iter().enumerate() {
+        for key in [
+            "shards",
+            "connections",
+            "committed",
+            "errors",
+            "retries",
+            "p50_us",
+            "p99_us",
+        ] {
+            entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("sweep[{i}].{key} missing or not an integer"))?;
+        }
+        for key in [
+            "zipf_theta",
+            "cross_fraction",
+            "elapsed_s",
+            "throughput_tps",
+        ] {
+            let n = entry
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("sweep[{i}].{key} missing or not a number"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("sweep[{i}].{key} = {n} is not finite non-negative"));
+            }
+        }
+        entry
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("sweep[{i}].workload missing or not a string"))?;
+        if let Some(s) = entry.get("shards").and_then(Value::as_u64) {
+            seen_shards.push(s);
+        }
+    }
+    for required in SWEEP_SHARD_COUNTS {
+        if !seen_shards.contains(&required) {
+            return Err(format!("sweep has no entry at shards = {required}"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +669,78 @@ mod tests {
         let json = sample_json();
         let tampered = json.replace("\"committed\": 5", "\"committed\": 6");
         assert!(validate_bench_net_json(&tampered).is_err());
+    }
+
+    fn sample_sweep_json() -> String {
+        let cfg = LoadConfig::default();
+        let entries: Vec<ShardSweepEntry> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&s| ShardSweepEntry {
+                shards: s,
+                workload: WorkloadKind::Uniform,
+                cross_fraction: 0.05,
+                connections: 2 * s,
+                committed: 400,
+                errors: 0,
+                retries: 7,
+                elapsed_s: 0.5,
+                throughput_tps: 800.0 * s as f64,
+                p50_us: 900 / s as u64,
+                p99_us: 4000 / s as u64,
+            })
+            .collect();
+        bench_shard_json(&cfg, 1000, &entries)
+    }
+
+    #[test]
+    fn shard_sweep_json_round_trips_through_its_own_validator() {
+        let json = sample_sweep_json();
+        validate_bench_shard_json(&json).expect("fresh sweep output validates");
+    }
+
+    #[test]
+    fn shard_sweep_validator_rejects_missing_points_and_keys() {
+        let json = sample_sweep_json();
+        let wrong = json.replace(BENCH_SHARD_SCHEMA, "mmdb-bench-shard/v0");
+        assert!(validate_bench_shard_json(&wrong).is_err());
+        let broken = json.replace("\"p99_us\"", "\"p99\"");
+        assert!(validate_bench_shard_json(&broken).is_err());
+        // drop the 8-shard point: the curve is incomplete
+        let missing = json.replace("\"shards\": 8", "\"shards\": 16");
+        assert!(validate_bench_shard_json(&missing).is_err());
+        assert!(validate_bench_shard_json("{}").is_err());
+    }
+
+    #[test]
+    fn shard_remap_preserves_residue_and_range() {
+        let words = vec![0u32; 4];
+        for n_records in [16u64, 17, 19, 2048] {
+            for shards in [2usize, 4, 8] {
+                for conn in 0..shards {
+                    let mut updates: Vec<(RecordId, Vec<Word>)> = (0..n_records)
+                        .map(|r| (RecordId(r), words.clone()))
+                        .collect();
+                    remap_to_shards(&mut updates, conn, shards, n_records, false);
+                    let home = (conn % shards) as u64;
+                    for (rid, _) in &updates {
+                        assert!(rid.raw() < n_records);
+                        assert_eq!(rid.raw() % shards as u64, home);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_remap_cross_txn_spans_multiple_shards() {
+        let words = vec![0u32; 4];
+        let mut updates: Vec<(RecordId, Vec<Word>)> =
+            (100..104).map(|r| (RecordId(r), words.clone())).collect();
+        remap_to_shards(&mut updates, 0, 4, 2048, true);
+        let mut shards_hit: Vec<u64> = updates.iter().map(|(r, _)| r.raw() % 4).collect();
+        shards_hit.sort_unstable();
+        shards_hit.dedup();
+        assert_eq!(shards_hit, vec![0, 1, 2, 3]);
     }
 
     #[test]

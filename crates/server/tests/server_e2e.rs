@@ -61,7 +61,7 @@ fn eight_closed_loop_connections_under_continuous_checkpoints() {
     );
 
     let db = handle.shutdown_join();
-    assert_eq!(db.txn_stats().committed, 8 * 50);
+    assert_eq!(db.txn_committed(), 8 * 50);
 }
 
 #[test]
@@ -80,7 +80,7 @@ fn two_color_transients_are_absorbed_as_retries_not_errors() {
     assert_eq!(report.errors, 0);
     assert_eq!(report.committed, 8 * 30);
     let db = handle.shutdown_join();
-    assert_eq!(db.txn_stats().committed, 8 * 30);
+    assert_eq!(db.txn_committed(), 8 * 30);
 }
 
 #[test]
@@ -321,6 +321,46 @@ fn bench_net_json_from_a_real_run_validates() {
     let json = mmdb_server::bench_net_json(&cfg, &report, &info, handle.checkpoints_completed());
     mmdb_server::validate_bench_net_json(&json).unwrap();
     handle.shutdown_join();
+}
+
+#[test]
+fn sharded_server_serves_affine_and_cross_shard_load() {
+    let db = mmdb_shard::ShardedMmdb::open_in_memory(MmdbConfig::small(Algorithm::FuzzyCopy), 4)
+        .unwrap();
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(10),
+        checkpoint_interval: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn_sharded(db, config).unwrap();
+    let addr = handle.local_addr().to_string();
+
+    let cfg = LoadConfig {
+        addr: addr.clone(),
+        connections: 8,
+        txns_per_conn: 25,
+        updates_per_txn: 4,
+        seed: 17,
+        workload: WorkloadKind::Uniform,
+        shards: 4,
+        cross_fraction: 0.2,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&cfg).unwrap();
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.committed, 8 * 25);
+
+    // the merged Stats snapshot shows the topology and both txn classes
+    let mut c = Client::connect(&addr).unwrap();
+    let stats = c.stats_json().unwrap();
+    let snap = MetricsSnapshot::from_json(&stats).unwrap();
+    assert_eq!(snap.gauge("shard.count"), Some(4));
+    assert!(snap.counter("router.txns_single").unwrap_or(0) > 0);
+    assert!(snap.counter("router.txns_cross").unwrap_or(0) > 0);
+
+    let db = handle.shutdown_join();
+    assert_eq!(db.shards(), 4);
+    assert!(db.audit_violations().is_empty(), "no protocol violations");
 }
 
 #[test]

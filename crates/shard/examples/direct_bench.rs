@@ -1,0 +1,60 @@
+//! Throughput probe: drives the sharded router directly (no network),
+//! with durable commits, to separate engine fsync behavior from the
+//! server and wire layers. Not part of the test suite.
+use mmdb_core::{Algorithm, MmdbConfig};
+use mmdb_shard::ShardedMmdb;
+use mmdb_types::RecordId;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let dir = std::path::PathBuf::from(std::env::args().nth(1).expect("dir"));
+    let shards: usize = std::env::args()
+        .nth(2)
+        .expect("shards")
+        .parse()
+        .expect("shards");
+    let threads: usize = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| shards.to_string())
+        .parse()
+        .expect("threads");
+    let txns: u64 = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "400".into())
+        .parse()
+        .expect("txns");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = MmdbConfig::small(Algorithm::FuzzyCopy);
+    config.sync_files = true;
+    let (db, _rec) = ShardedMmdb::open_dir(config, &dir, shards).expect("open");
+    let db = Arc::new(db);
+    let n = db.n_records();
+    let words = db.record_words() as usize;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                let home = (t % shards) as u64;
+                let mut x = 0x9E37_79B9u64.wrapping_add(t as u64);
+                for _ in 0..txns {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let base = x % (n / shards as u64);
+                    let rid = RecordId(base * shards as u64 + home);
+                    let updates = vec![(rid.min(RecordId(n - 1)), vec![0u32; words])];
+                    db.run_txn(&updates).expect("txn");
+                }
+            });
+        }
+    });
+    let el = start.elapsed().as_secs_f64();
+    let total = threads as u64 * txns;
+    println!(
+        "{shards} shards, {threads} threads: {:.0} txn/s ({:.1} us/txn)",
+        total as f64 / el,
+        el * 1e6 / total as f64
+    );
+}

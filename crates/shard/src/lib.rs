@@ -1,0 +1,1104 @@
+//! **mmdb-shard** — hash-partitioned sharding over the mmdb engine.
+//!
+//! [`ShardedMmdb`] splits the record space across `N` independent
+//! [`Mmdb`] engines. Each shard owns its *own* REDO log, its own
+//! ping-pong backup pair, and (in the server) its own dedicated
+//! checkpointer thread — so checkpoint work on shard *i* never blocks
+//! transactions on shard *j*. This is the scale-out reading of the
+//! paper's segment model: where a segment is the granule of
+//! *checkpointer* independence inside one engine, a shard is the granule
+//! of *whole-subsystem* independence (log + backups + checkpointer),
+//! with the same partial-checkpoint logic running per shard.
+//!
+//! ## Partitioning
+//!
+//! Records hash by id: global record `r` lives on shard `r % N`, at
+//! local id `r / N` (round-robin striping, so contiguous global ranges
+//! spread evenly). Each shard's database is sized to `ceil(R/N)` records
+//! rounded up to whole segments, so every shard is a fully valid
+//! standalone engine directory.
+//!
+//! ## Routing
+//!
+//! The router classifies each transaction:
+//!
+//! * **single-shard** (fast path): lock that one shard, run the
+//!   transaction on it. Shards never interact.
+//! * **cross-shard**: acquire the participating shard locks in
+//!   ascending index order (deadlock-free), then run two-phase commit
+//!   over the per-shard logs: prepare every branch (forced `Prepare`
+//!   record), force a `Decide` record on the lowest participating shard
+//!   (the commit point), commit every prepared branch, release the
+//!   locks in reverse order. No torn cross-shard state is ever logged:
+//!   until the decision is durable, every branch is in-doubt and
+//!   recovery resolves it by presumed abort.
+//!
+//! ## Recovery
+//!
+//! [`ShardedMmdb::open_dir`] replays all shard logs in parallel (one
+//! thread per shard), pools the `Decide` records every shard saw, and
+//! resolves each in-doubt prepared branch: commit if *any* shard's log
+//! window carries `Decide{gid, commit: true}`, otherwise presumed
+//! abort. Resolution re-installs the branch's after-images as a fresh
+//! committed transaction, which is idempotent across repeated crashes.
+
+use mmdb_audit::{Audit, AuditEvent, AuditViolation};
+use mmdb_core::{
+    CheckpointStart, CkptReport, Mmdb, MmdbConfig, RecoveryReport, StepOutcome, TxnRun,
+};
+use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
+use mmdb_types::{DbParams, MmdbError, RecordId, Result, TxnId, Word};
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Name of the topology marker file written at the root of a sharded
+/// directory (each shard's own data lives under `shard.<i>/`).
+pub const TOPOLOGY_FILE: &str = "shards";
+
+/// Upper bound on the shard count — a sanity rail, not a real limit.
+pub const MAX_SHARDS: usize = 1024;
+
+/// Shape of one shard's database: per-shard capacity is `ceil(R/N)`
+/// records rounded up to whole segments, so each shard is a valid
+/// standalone engine (`s_db % s_seg == 0` by construction).
+pub fn shard_db_params(global: &DbParams, shards: usize) -> DbParams {
+    let recs_per_seg = global.records_per_segment().max(1);
+    let recs_per_shard = global.n_records().div_ceil(shards as u64).max(1);
+    let segs = recs_per_shard.div_ceil(recs_per_seg).max(1);
+    DbParams {
+        s_db: segs * global.s_seg,
+        s_rec: global.s_rec,
+        s_seg: global.s_seg,
+    }
+}
+
+/// The configuration each shard engine runs with: the global
+/// configuration with the database shrunk to the shard's slice (and the
+/// model's per-transaction record count clamped to what fits).
+pub fn shard_config(global: &MmdbConfig, shards: usize) -> MmdbConfig {
+    let mut cfg = *global;
+    cfg.params.db = shard_db_params(&global.params.db, shards);
+    cfg.params.txn.n_ru = cfg
+        .params
+        .txn
+        .n_ru
+        .min(cfg.params.db.n_records() as u32)
+        .max(1);
+    cfg
+}
+
+/// Report of one coordinated sharded recovery.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRecovery {
+    /// Per-shard engine recovery reports (`None` for a freshly created
+    /// shard with no backup yet).
+    pub shards: Vec<Option<RecoveryReport>>,
+    /// In-doubt prepared branches resolved as committed (a `Decide`
+    /// record with `commit: true` was found on some shard's log).
+    pub in_doubt_committed: u64,
+    /// In-doubt prepared branches resolved by presumed abort.
+    pub in_doubt_aborted: u64,
+}
+
+/// One interactive (wire-level) transaction's router state: unbound
+/// until the first record it touches picks its shard.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    /// `(shard index, shard-local transaction id)` once bound.
+    bound: Option<(usize, TxnId)>,
+}
+
+/// A hash-partitioned database: `N` independent engines behind one
+/// record-id space, with per-shard locking and two-phase cross-shard
+/// commit. All methods take `&self`; locking is internal and per-shard.
+pub struct ShardedMmdb {
+    shards: Vec<Mutex<Mmdb>>,
+    config: MmdbConfig,
+    n_records: u64,
+    record_words: usize,
+    /// Global-transaction-id source for cross-shard 2PC (`gid` in the
+    /// log's `Prepare`/`Decide` records). Seeded past every gid seen in
+    /// any shard's recovery window, so decisions are never confused
+    /// across incarnations.
+    next_gid: AtomicU64,
+    /// Id source for interactive (wire-level) transactions. These ids
+    /// live in the router's namespace, not any engine's.
+    next_txn: AtomicU64,
+    open_txns: Mutex<HashMap<u64, Binding>>,
+    audit: Audit,
+    obs: Obs,
+}
+
+impl std::fmt::Debug for ShardedMmdb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMmdb")
+            .field("shards", &self.shards.len())
+            .field("n_records", &self.n_records)
+            .finish()
+    }
+}
+
+impl ShardedMmdb {
+    // ----- construction ----------------------------------------------------
+
+    /// A sharded database over in-memory devices (tests, examples).
+    pub fn open_in_memory(config: MmdbConfig, shards: usize) -> Result<ShardedMmdb> {
+        validate_shards(&config, shards)?;
+        let scfg = shard_config(&config, shards);
+        let mut engines = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            engines.push(Mmdb::open_in_memory(scfg)?);
+        }
+        Ok(Self::assemble(config, engines))
+    }
+
+    /// A sharded database over file devices: each shard is a standalone
+    /// engine directory `dir/shard.<i>/`, and a topology marker at the
+    /// root pins the shard count. Shard logs are replayed in parallel
+    /// (one recovery thread per shard) and in-doubt cross-shard branches
+    /// are resolved from the pooled decision records.
+    pub fn open_dir(
+        config: MmdbConfig,
+        dir: &Path,
+        shards: usize,
+    ) -> Result<(ShardedMmdb, ShardedRecovery)> {
+        validate_shards(&config, shards)?;
+        std::fs::create_dir_all(dir)?;
+        check_topology_marker(dir, shards)?;
+
+        let scfg = shard_config(&config, shards);
+        let mut opened: Vec<Result<(Mmdb, Option<RecoveryReport>)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(shards);
+            for i in 0..shards {
+                let shard_dir = dir.join(format!("shard.{i}"));
+                joins.push(scope.spawn(move || Mmdb::open_dir(scfg, &shard_dir)));
+            }
+            for j in joins {
+                opened.push(j.join().unwrap_or_else(|_| {
+                    Err(MmdbError::Invalid("shard recovery thread panicked".into()))
+                }));
+            }
+        });
+        let mut engines = Vec::with_capacity(shards);
+        let mut reports = Vec::with_capacity(shards);
+        for r in opened {
+            let (engine, report) = r?;
+            engines.push(engine);
+            reports.push(report);
+        }
+
+        let db = Self::assemble(config, engines);
+        let recovery = db.resolve_in_doubt(reports)?;
+        Ok((db, recovery))
+    }
+
+    /// Wraps one existing engine as a 1-shard database. Global and local
+    /// record ids coincide, and the router reuses the engine's audit and
+    /// telemetry handles, so an unsharded server keeps its exact
+    /// pre-sharding observability surface.
+    pub fn from_single(db: Mmdb) -> ShardedMmdb {
+        let config = *db.config();
+        let audit = db.audit().clone();
+        let obs = db.obs().clone();
+        let sharded = ShardedMmdb {
+            n_records: db.n_records(),
+            record_words: db.record_words(),
+            shards: vec![Mutex::new(db)],
+            config,
+            next_gid: AtomicU64::new(1),
+            next_txn: AtomicU64::new(1),
+            open_txns: Mutex::new(HashMap::new()),
+            audit,
+            obs,
+        };
+        sharded
+            .audit
+            .emit(|| AuditEvent::ShardTopology { shards: 1 });
+        sharded
+    }
+
+    fn assemble(config: MmdbConfig, engines: Vec<Mmdb>) -> ShardedMmdb {
+        let audit = if config.audit {
+            Audit::enabled()
+        } else {
+            Audit::disabled()
+        };
+        let obs = if config.telemetry {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        let n = engines.len();
+        let db = ShardedMmdb {
+            n_records: config.params.db.n_records(),
+            record_words: config.params.db.s_rec as usize,
+            shards: engines.into_iter().map(Mutex::new).collect(),
+            config,
+            next_gid: AtomicU64::new(1),
+            next_txn: AtomicU64::new(1),
+            open_txns: Mutex::new(HashMap::new()),
+            audit,
+            obs,
+        };
+        db.audit.emit(|| AuditEvent::ShardTopology { shards: n });
+        db
+    }
+
+    /// Pools decision records across every shard's recovery window and
+    /// finishes each in-doubt prepared branch: re-install its
+    /// after-images as a fresh committed transaction if some shard saw
+    /// `Decide{gid, commit: true}`, otherwise presume abort (nothing to
+    /// do — a prepared branch installs nothing until committed).
+    fn resolve_in_doubt(&self, reports: Vec<Option<RecoveryReport>>) -> Result<ShardedRecovery> {
+        let mut decisions: HashMap<u64, bool> = HashMap::new();
+        let mut max_gid = 0u64;
+        for report in reports.iter().flatten() {
+            for &(gid, commit) in &report.decisions {
+                let d = decisions.entry(gid).or_insert(false);
+                *d = *d || commit;
+            }
+            max_gid = max_gid.max(report.max_gid);
+        }
+        self.next_gid.store(max_gid + 1, Ordering::SeqCst);
+
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        for (i, report) in reports.iter().enumerate() {
+            let Some(report) = report else { continue };
+            for entry in &report.in_doubt {
+                if decisions.get(&entry.gid).copied().unwrap_or(false) {
+                    // Writes are absolute after-images in shard-local id
+                    // space: replaying them as a fresh transaction is
+                    // idempotent across repeated recoveries.
+                    self.lock(i).run_txn(&entry.writes)?;
+                    committed += 1;
+                } else {
+                    aborted += 1;
+                }
+            }
+        }
+        self.obs.counter("router.indoubt_committed", committed);
+        self.obs.counter("router.indoubt_aborted", aborted);
+        Ok(ShardedRecovery {
+            shards: reports,
+            in_doubt_committed: committed,
+            in_doubt_aborted: aborted,
+        })
+    }
+
+    // ----- topology & accessors --------------------------------------------
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total records across the whole database (global id space).
+    pub fn n_records(&self) -> u64 {
+        self.n_records
+    }
+
+    /// Words per record.
+    pub fn record_words(&self) -> usize {
+        self.record_words
+    }
+
+    /// The global configuration (per-shard engines run
+    /// [`shard_config`] of this).
+    pub fn config(&self) -> &MmdbConfig {
+        &self.config
+    }
+
+    /// The router's telemetry handle (the engine handles live per
+    /// shard; a 1-shard [`ShardedMmdb::from_single`] shares this with
+    /// its engine).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The router's audit handle (shard-routing invariants are checked
+    /// here; each engine audits its own protocol invariants).
+    pub fn audit(&self) -> &Audit {
+        &self.audit
+    }
+
+    /// Which shard a global record id lives on.
+    pub fn shard_of(&self, rid: RecordId) -> Result<usize> {
+        if rid.raw() >= self.n_records {
+            return Err(MmdbError::RecordOutOfRange {
+                record: rid,
+                n_records: self.n_records,
+            });
+        }
+        Ok((rid.raw() % self.shards.len() as u64) as usize)
+    }
+
+    /// A global record id's shard-local id.
+    pub fn local_rid(&self, rid: RecordId) -> RecordId {
+        RecordId(rid.raw() / self.shards.len() as u64)
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, Mmdb> {
+        match self.shards[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Runs `f` with shard `i` locked — the access path for per-shard
+    /// checkpointer threads and maintenance.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut Mmdb) -> R) -> R {
+        f(&mut self.lock(i))
+    }
+
+    /// Tears the router down and returns the shard engines in index
+    /// order.
+    pub fn into_engines(self) -> Vec<Mmdb> {
+        self.shards
+            .into_iter()
+            .map(|m| match m.into_inner() {
+                Ok(db) => db,
+                Err(poisoned) => poisoned.into_inner(),
+            })
+            .collect()
+    }
+
+    // ----- reads -----------------------------------------------------------
+
+    /// Reads a record's last committed value (no transaction).
+    pub fn read_committed(&self, rid: RecordId) -> Result<Vec<Word>> {
+        let shard = self.shard_of(rid)?;
+        let local = self.local_rid(rid);
+        self.lock(shard).read_committed(local)
+    }
+
+    // ----- batch transactions ----------------------------------------------
+
+    /// Runs a whole transaction (all updates, then commit). Single-shard
+    /// write sets take the fast path — one shard lock, the engine's own
+    /// two-color rerun loop. Cross-shard write sets run two-phase commit
+    /// with ordered lock acquisition; the commit is all-or-nothing
+    /// across shards under any crash.
+    pub fn run_txn(&self, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnRun> {
+        let mut by_shard: BTreeMap<usize, Vec<(RecordId, Vec<Word>)>> = BTreeMap::new();
+        for (rid, value) in updates {
+            let shard = self.shard_of(*rid)?;
+            by_shard
+                .entry(shard)
+                .or_default()
+                .push((self.local_rid(*rid), value.clone()));
+        }
+        if self.audit.is_enabled() {
+            for (rid, _) in updates {
+                let shard = (rid.raw() % self.shards.len() as u64) as usize;
+                self.audit.emit(|| AuditEvent::ShardRouted {
+                    record: *rid,
+                    shard,
+                });
+            }
+        }
+        if by_shard.len() <= 1 {
+            let shard = by_shard.keys().next().copied().unwrap_or(0);
+            let local = by_shard.remove(&shard).unwrap_or_default();
+            let run = self.lock(shard).run_txn(&local)?;
+            self.obs.counter("router.txns_single", 1);
+            return Ok(run);
+        }
+        self.run_cross(&by_shard)
+    }
+
+    /// Cross-shard two-phase commit, rerun after two-color aborts (the
+    /// same discipline as the engine's own [`Mmdb::run_txn`] rerun
+    /// loop, lifted across shards).
+    fn run_cross(&self, by_shard: &BTreeMap<usize, Vec<(RecordId, Vec<Word>)>>) -> Result<TxnRun> {
+        let max_runs = 10 * (self.config.params.db.n_segments().max(10)) as u32;
+        let mut runs = 0;
+        loop {
+            runs += 1;
+            if runs > max_runs {
+                return Err(MmdbError::Invalid(format!(
+                    "cross-shard transaction failed to commit after {max_runs} reruns"
+                )));
+            }
+            // A fresh gid per attempt: an aborted attempt's Prepare
+            // records must never alias a later attempt's decision.
+            let gid = self.next_gid.fetch_add(1, Ordering::SeqCst);
+            match self.try_cross_once(gid, by_shard) {
+                Ok(txn) => {
+                    self.obs.counter("router.txns_cross", 1);
+                    self.obs
+                        .observe("router.cross_runs_per_commit", runs as u64);
+                    return Ok(TxnRun { txn, runs });
+                }
+                Err(MmdbError::TwoColorViolation { .. }) => {
+                    self.obs.counter("router.cross_reruns", 1);
+                    // Let the conflicting checkpoints advance, then rerun.
+                    for &shard in by_shard.keys() {
+                        let mut g = self.lock(shard);
+                        if g.is_checkpoint_active() {
+                            if let Ok(StepOutcome::WaitingForLog) = g.checkpoint_step() {
+                                g.force_log()?;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One cross-shard attempt: lock ascending, prepare every branch,
+    /// force the decision on the lowest shard, commit every branch,
+    /// unlock descending. Any failure before the decision aborts every
+    /// prepared branch (presumed abort — consistent with what recovery
+    /// would conclude from the logs).
+    fn try_cross_once(
+        &self,
+        gid: u64,
+        by_shard: &BTreeMap<usize, Vec<(RecordId, Vec<Word>)>>,
+    ) -> Result<TxnId> {
+        let mut guards: Vec<(usize, MutexGuard<'_, Mmdb>)> = Vec::with_capacity(by_shard.len());
+        for &shard in by_shard.keys() {
+            let g = self.lock(shard);
+            self.audit
+                .emit(|| AuditEvent::ShardLockAcquired { gid, shard });
+            guards.push((shard, g));
+        }
+
+        // Phase one: stage and prepare a branch on every shard.
+        let mut prepared: Vec<(usize, TxnId)> = Vec::with_capacity(guards.len());
+        let mut failure: Option<MmdbError> = None;
+        'prepare: for (pos, (shard, g)) in guards.iter_mut().enumerate() {
+            let txn = match g.begin_txn() {
+                Ok(t) => t,
+                Err(e) => {
+                    failure = Some(e);
+                    break 'prepare;
+                }
+            };
+            let writes = by_shard.get(shard).map(Vec::as_slice).unwrap_or(&[]);
+            for (local, value) in writes {
+                if let Err(e) = g.write(txn, *local, value) {
+                    // A two-color violation consumed the transaction
+                    // already; any other failure leaves it to abort.
+                    let _ = g.abort(txn);
+                    failure = Some(e);
+                    break 'prepare;
+                }
+            }
+            match g.prepare_txn(txn, gid) {
+                Ok(()) => prepared.push((pos, txn)),
+                Err(e) => {
+                    let _ = g.abort(txn);
+                    failure = Some(e);
+                    break 'prepare;
+                }
+            }
+        }
+        if failure.is_none() {
+            // Commit point: the decision is forced on the coordinator
+            // (lowest participating shard index).
+            if let Err(e) = guards[0].1.log_decision(gid, true) {
+                failure = Some(e);
+            }
+        }
+        if let Some(e) = failure {
+            for &(pos, txn) in &prepared {
+                let _ = guards[pos].1.abort_prepared(txn);
+            }
+            self.release_all(guards, gid);
+            return Err(e);
+        }
+
+        // Phase two: the decision is durable; every branch must commit.
+        let coordinator_txn = prepared[0].1;
+        for &(pos, txn) in &prepared {
+            guards[pos].1.commit_prepared(txn)?;
+        }
+        self.release_all(guards, gid);
+        Ok(coordinator_txn)
+    }
+
+    /// Releases shard locks in reverse acquisition order (the audited
+    /// discipline — [`mmdb_audit::ShardChecker`] verifies it).
+    fn release_all(&self, guards: Vec<(usize, MutexGuard<'_, Mmdb>)>, gid: u64) {
+        for (shard, g) in guards.into_iter().rev() {
+            drop(g);
+            self.audit
+                .emit(|| AuditEvent::ShardLockReleased { gid, shard });
+        }
+    }
+
+    // ----- interactive transactions ----------------------------------------
+    //
+    // Wire-level transactions bind to the shard of the first record they
+    // touch; operations on any other shard are rejected (cross-shard
+    // work goes through `run_txn`'s all-or-nothing batch path). With one
+    // shard this is exactly the unsharded interactive surface.
+
+    /// Begins an interactive transaction. The id lives in the router's
+    /// namespace; the shard-local transaction begins lazily at the first
+    /// record operation.
+    pub fn begin_txn(&self) -> Result<TxnId> {
+        let id = self.next_txn.fetch_add(1, Ordering::SeqCst);
+        self.open_map().insert(id, Binding { bound: None });
+        self.obs.counter("router.interactive_begun", 1);
+        Ok(TxnId(id))
+    }
+
+    /// Reads a record inside an interactive transaction.
+    pub fn read(&self, txn: TxnId, rid: RecordId) -> Result<Vec<Word>> {
+        let (shard, local_txn) = self.bind(txn, rid)?;
+        let local = self.local_rid(rid);
+        let result = self.lock(shard).read(local_txn, local);
+        if let Err(e) = &result {
+            self.evict_if_consumed(txn, e);
+        }
+        result
+    }
+
+    /// Writes a record inside an interactive transaction.
+    pub fn write(&self, txn: TxnId, rid: RecordId, value: &[Word]) -> Result<()> {
+        let (shard, local_txn) = self.bind(txn, rid)?;
+        let local = self.local_rid(rid);
+        let result = self.lock(shard).write(local_txn, local, value);
+        if let Err(e) = &result {
+            self.evict_if_consumed(txn, e);
+        }
+        result
+    }
+
+    /// Commits an interactive transaction. A transaction that never
+    /// touched a record commits vacuously.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let Some(binding) = self.open_map().get(&txn.raw()).copied() else {
+            return Err(MmdbError::NoSuchTxn(txn));
+        };
+        let result = match binding.bound {
+            None => Ok(()),
+            Some((shard, local_txn)) => self.lock(shard).commit(local_txn),
+        };
+        match &result {
+            Ok(()) => {
+                self.open_map().remove(&txn.raw());
+            }
+            Err(e) => self.evict_if_consumed(txn, e),
+        }
+        result
+    }
+
+    /// Aborts an interactive transaction.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let Some(binding) = self.open_map().get(&txn.raw()).copied() else {
+            return Err(MmdbError::NoSuchTxn(txn));
+        };
+        let result = match binding.bound {
+            None => Ok(()),
+            Some((shard, local_txn)) => self.lock(shard).abort(local_txn),
+        };
+        match &result {
+            Ok(()) => {
+                self.open_map().remove(&txn.raw());
+            }
+            Err(e) => self.evict_if_consumed(txn, e),
+        }
+        result
+    }
+
+    fn open_map(&self) -> MutexGuard<'_, HashMap<u64, Binding>> {
+        match self.open_txns.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Resolves an interactive transaction to its shard branch, binding
+    /// it to `rid`'s shard on first touch. Lock order is always
+    /// `open_txns` → shard mutex, matching every other interactive path.
+    fn bind(&self, txn: TxnId, rid: RecordId) -> Result<(usize, TxnId)> {
+        let shard = self.shard_of(rid)?;
+        let mut map = self.open_map();
+        let Some(binding) = map.get_mut(&txn.raw()) else {
+            return Err(MmdbError::NoSuchTxn(txn));
+        };
+        match binding.bound {
+            Some((bound_shard, local_txn)) => {
+                if bound_shard != shard {
+                    return Err(MmdbError::Invalid(format!(
+                        "{txn} is bound to shard {bound_shard}; record {} lives on shard \
+                         {shard} (interactive transactions are single-shard — use a batch \
+                         for cross-shard writes)",
+                        rid.raw()
+                    )));
+                }
+                Ok((shard, local_txn))
+            }
+            None => {
+                let local_txn = self.lock(shard).begin_txn()?;
+                binding.bound = Some((shard, local_txn));
+                self.audit
+                    .emit(|| AuditEvent::ShardRouted { record: rid, shard });
+                Ok((shard, local_txn))
+            }
+        }
+    }
+
+    /// Drops the router binding when the engine has already consumed
+    /// the shard-local transaction (two-color abort, unknown id) — the
+    /// same eviction discipline the server applies to its per-connection
+    /// open set.
+    fn evict_if_consumed(&self, txn: TxnId, e: &MmdbError) {
+        if matches!(
+            e,
+            MmdbError::TwoColorViolation { .. } | MmdbError::NoSuchTxn(_)
+        ) {
+            self.open_map().remove(&txn.raw());
+        }
+    }
+
+    // ----- checkpointing ---------------------------------------------------
+
+    /// Requests a checkpoint on every shard (the server's per-shard
+    /// checkpointer threads normally do this independently; this is the
+    /// router-level surface for the wire `Checkpoint` request). Returns
+    /// `Quiescing` if any shard is draining, `Started` if any began;
+    /// errors only if *every* shard refused.
+    pub fn try_begin_checkpoint(&self) -> Result<CheckpointStart> {
+        let mut started = None;
+        let mut quiescing = false;
+        let mut last_err = None;
+        for i in 0..self.shards.len() {
+            match self.lock(i).try_begin_checkpoint() {
+                Ok(CheckpointStart::Started(r)) => started = Some(r),
+                Ok(CheckpointStart::Quiescing) => quiescing = true,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if quiescing {
+            Ok(CheckpointStart::Quiescing)
+        } else if let Some(r) = started {
+            Ok(CheckpointStart::Started(r))
+        } else {
+            Err(last_err.unwrap_or(MmdbError::CheckpointInProgress))
+        }
+    }
+
+    /// Runs one full synchronous checkpoint on every shard, in index
+    /// order, returning the per-shard reports.
+    pub fn checkpoint_all(&self) -> Result<Vec<CkptReport>> {
+        let mut reports = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            reports.push(self.lock(i).checkpoint()?);
+        }
+        Ok(reports)
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Combined database fingerprint: per-shard fingerprints folded in
+    /// index order (order-sensitive, so swapped shard contents change
+    /// the result).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.shards.len() as u64;
+        for i in 0..self.shards.len() {
+            h = h.rotate_left(13) ^ self.lock(i).fingerprint().wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// True when any shard engine is in the crashed state (no further
+    /// operations until recovery).
+    pub fn is_crashed(&self) -> bool {
+        (0..self.shards.len()).any(|i| self.lock(i).is_crashed())
+    }
+
+    /// Total transactions committed across every shard engine. A
+    /// cross-shard transaction counts once per participating branch,
+    /// matching what each engine's own `txn_stats` reports.
+    pub fn txn_committed(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).txn_stats().committed)
+            .sum()
+    }
+
+    /// Audit violations from the router's shard-routing checkers plus
+    /// every shard engine's protocol checkers.
+    pub fn audit_violations(&self) -> Vec<AuditViolation> {
+        let mut all = self.audit.violations();
+        for i in 0..self.shards.len() {
+            all.extend(self.lock(i).audit_violations());
+        }
+        all
+    }
+
+    /// Per-shard engine metric snapshots, in shard index order.
+    pub fn shard_snapshots(&self) -> Vec<MetricsSnapshot> {
+        (0..self.shards.len())
+            .map(|i| self.lock(i).metrics_snapshot())
+            .collect()
+    }
+
+    /// One merged snapshot of the whole topology: router counters,
+    /// engine counters/gauges aggregated (summed) under their original
+    /// names, and every shard's metrics again under a `shard.<i>.`
+    /// prefix — the shard topology readable in a single `Stats` call.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let shard_snaps = self.shard_snapshots();
+        let mut merged = MetricsSnapshot::capture(&self.obs);
+        merged.put_gauge("shard.count", self.shards.len() as u64);
+        let single = merged.counter("router.txns_single").unwrap_or(0);
+        let cross = merged.counter("router.txns_cross").unwrap_or(0);
+        if let Some(permille) = (cross * 1000).checked_div(single + cross) {
+            merged.put_gauge("router.cross_permille", permille);
+        }
+
+        let mut agg_counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut agg_gauges: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, snap) in shard_snaps.iter().enumerate() {
+            for (name, v) in &snap.counters {
+                *agg_counters.entry(name.clone()).or_insert(0) += *v;
+                merged.put_counter(&format!("shard.{i}.{name}"), *v);
+            }
+            for (name, v) in &snap.gauges {
+                *agg_gauges.entry(name.clone()).or_insert(0) += *v;
+                merged.put_gauge(&format!("shard.{i}.{name}"), *v);
+            }
+            for (name, h) in &snap.hists {
+                merged.hists.push((format!("shard.{i}.{name}"), *h));
+            }
+        }
+        for (name, v) in agg_counters {
+            merged.put_counter(&name, v);
+        }
+        for (name, v) in agg_gauges {
+            merged.put_gauge(&name, v);
+        }
+        merged.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.hists.dedup_by(|a, b| a.0 == b.0);
+        merged
+    }
+
+    /// Prometheus exposition for the whole topology: per-shard families
+    /// carry a `shard="<i>"` label (one `# TYPE` line per family), and
+    /// router-only families follow unlabeled. Families the shards
+    /// already expose are filtered from the router section so the
+    /// document never carries a duplicate `# TYPE` line — the 1-shard
+    /// [`ShardedMmdb::from_single`] case shares one registry between
+    /// router and engine, where naive concatenation would duplicate
+    /// every family.
+    pub fn prometheus(&self) -> String {
+        let shard_snaps = self.shard_snapshots();
+        let mut text = to_prometheus_sharded(&shard_snaps);
+
+        let mut shard_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for snap in &shard_snaps {
+            shard_names.extend(snap.counters.iter().map(|(n, _)| n.as_str()));
+            shard_names.extend(snap.gauges.iter().map(|(n, _)| n.as_str()));
+            shard_names.extend(snap.hists.iter().map(|(n, _)| n.as_str()));
+        }
+        let mut router = MetricsSnapshot::capture(&self.obs);
+        router
+            .counters
+            .retain(|(n, _)| !shard_names.contains(n.as_str()));
+        router
+            .gauges
+            .retain(|(n, _)| !shard_names.contains(n.as_str()));
+        router
+            .hists
+            .retain(|(n, _)| !shard_names.contains(n.as_str()));
+        router.paper = None;
+        text.push_str(&router.to_prometheus());
+        text
+    }
+}
+
+fn validate_shards(config: &MmdbConfig, shards: usize) -> Result<()> {
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(MmdbError::Invalid(format!(
+            "shard count must be in 1..={MAX_SHARDS}, got {shards}"
+        )));
+    }
+    if shards as u64 > config.params.db.n_records() {
+        return Err(MmdbError::Invalid(format!(
+            "{shards} shards for {} records leaves empty shards",
+            config.params.db.n_records()
+        )));
+    }
+    Ok(())
+}
+
+/// Reads or writes the topology marker: a sharded directory remembers
+/// its shard count, and reopening with a different count is refused
+/// (records would silently land on the wrong shards).
+fn check_topology_marker(dir: &Path, shards: usize) -> Result<()> {
+    let path = dir.join(TOPOLOGY_FILE);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let existing: usize = text
+                .trim()
+                .strip_prefix("shards=")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    MmdbError::Invalid(format!("malformed topology marker {}", path.display()))
+                })?;
+            if existing != shards {
+                return Err(MmdbError::Invalid(format!(
+                    "directory is sharded {existing} ways; refusing to open with {shards}"
+                )));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::write(&path, format!("shards={shards}\n"))?;
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_obs::validate_prometheus;
+    use mmdb_types::Algorithm;
+    use std::path::PathBuf;
+
+    fn cfg() -> MmdbConfig {
+        MmdbConfig::small(Algorithm::FuzzyCopy)
+    }
+
+    fn fill(words: usize, seed: u32) -> Vec<Word> {
+        (0..words as u32).map(|i| seed ^ (i << 8)).collect()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmdb-shard-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn partition_math_covers_every_record() {
+        let db = cfg().params.db;
+        for shards in [1usize, 2, 3, 4, 8] {
+            let sp = shard_db_params(&db, shards);
+            assert_eq!(sp.s_db % sp.s_seg, 0, "whole segments at {shards}");
+            sp.validate().expect("valid shard shape");
+            // Every global record fits in its shard's local space.
+            for rid in [0, 1, shards as u64, db.n_records() - 1] {
+                let local = rid / shards as u64;
+                assert!(local < sp.n_records(), "rid {rid} at {shards} shards");
+            }
+            // Capacity is not wasteful: at most one extra segment.
+            assert!(
+                sp.n_records() < db.n_records().div_ceil(shards as u64) + sp.records_per_segment()
+            );
+        }
+    }
+
+    #[test]
+    fn single_and_cross_shard_batches_commit_and_read_back() {
+        let db = ShardedMmdb::open_in_memory(cfg(), 4).expect("open");
+        let w = db.record_words();
+        // Single-shard: rids 0 and 4 both live on shard 0.
+        db.run_txn(&[(RecordId(0), fill(w, 1)), (RecordId(4), fill(w, 2))])
+            .expect("single-shard txn");
+        // Cross-shard: rids 1, 2, 3 live on shards 1, 2, 3.
+        db.run_txn(&[
+            (RecordId(1), fill(w, 3)),
+            (RecordId(2), fill(w, 4)),
+            (RecordId(3), fill(w, 5)),
+        ])
+        .expect("cross-shard txn");
+        assert_eq!(db.read_committed(RecordId(0)).expect("read"), fill(w, 1));
+        assert_eq!(db.read_committed(RecordId(4)).expect("read"), fill(w, 2));
+        assert_eq!(db.read_committed(RecordId(1)).expect("read"), fill(w, 3));
+        assert_eq!(db.read_committed(RecordId(2)).expect("read"), fill(w, 4));
+        assert_eq!(db.read_committed(RecordId(3)).expect("read"), fill(w, 5));
+        assert!(db.audit_violations().is_empty(), "clean audit");
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("router.txns_single"), Some(1));
+        assert_eq!(snap.counter("router.txns_cross"), Some(1));
+    }
+
+    #[test]
+    fn interactive_txns_bind_to_one_shard() {
+        let db = ShardedMmdb::open_in_memory(cfg(), 4).expect("open");
+        let w = db.record_words();
+        let t = db.begin_txn().expect("begin");
+        db.write(t, RecordId(5), &fill(w, 9))
+            .expect("write binds shard 1");
+        // rid 6 lives on shard 2: rejected, transaction stays usable.
+        let err = db.write(t, RecordId(6), &fill(w, 9)).expect_err("cross");
+        assert!(matches!(err, MmdbError::Invalid(_)), "got {err}");
+        db.write(t, RecordId(9), &fill(w, 10))
+            .expect("same shard ok");
+        db.commit(t).expect("commit");
+        assert_eq!(db.read_committed(RecordId(5)).expect("read"), fill(w, 9));
+        assert_eq!(db.read_committed(RecordId(9)).expect("read"), fill(w, 10));
+        // Unbound transactions commit vacuously; unknown ids are errors.
+        let empty = db.begin_txn().expect("begin");
+        db.commit(empty).expect("vacuous commit");
+        assert!(db.commit(TxnId(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn prepared_without_decision_presumed_abort_after_crash() {
+        let dir = tmpdir("presumed-abort");
+        let w;
+        {
+            let (db, _) = ShardedMmdb::open_dir(cfg(), &dir, 2).expect("open");
+            w = db.record_words();
+            db.checkpoint_all().expect("seed backups");
+            // Tear a cross-shard transaction open by hand: both branches
+            // prepared (durably), no decision anywhere.
+            for shard in [0usize, 1] {
+                db.with_shard(shard, |e| -> Result<()> {
+                    let t = e.begin_txn()?;
+                    e.write(t, RecordId(0), &fill(w, 0xdead))?;
+                    e.prepare_txn(t, 77)
+                })
+                .expect("prepare branch");
+            }
+            // db dropped here: the crash. Prepare records were forced.
+        }
+        let (db, rec) = ShardedMmdb::open_dir(cfg(), &dir, 2).expect("reopen");
+        assert_eq!(rec.in_doubt_aborted, 2, "both branches presumed abort");
+        assert_eq!(rec.in_doubt_committed, 0);
+        for rid in [0u64, 1] {
+            let v = db.read_committed(RecordId(rid)).expect("read");
+            assert_ne!(v, fill(w, 0xdead), "rid {rid} must not show torn writes");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepared_with_decision_commits_all_branches_after_crash() {
+        let dir = tmpdir("decided-commit");
+        let w;
+        {
+            let (db, _) = ShardedMmdb::open_dir(cfg(), &dir, 2).expect("open");
+            w = db.record_words();
+            db.checkpoint_all().expect("seed backups");
+            for shard in [0usize, 1] {
+                db.with_shard(shard, |e| -> Result<()> {
+                    let t = e.begin_txn()?;
+                    e.write(t, RecordId(0), &fill(w, 0xbeef))?;
+                    e.prepare_txn(t, 99)
+                })
+                .expect("prepare branch");
+            }
+            // The coordinator's forced decision is the commit point; the
+            // crash lands before any commit_prepared.
+            db.with_shard(0, |e| e.log_decision(99, true))
+                .expect("decide");
+        }
+        let (db, rec) = ShardedMmdb::open_dir(cfg(), &dir, 2).expect("reopen");
+        assert_eq!(rec.in_doubt_committed, 2, "decision commits both branches");
+        assert_eq!(rec.in_doubt_aborted, 0);
+        // Global rids 0 and 1 are local rid 0 on shards 0 and 1.
+        for rid in [0u64, 1] {
+            let v = db.read_committed(RecordId(rid)).expect("read");
+            assert_eq!(v, fill(w, 0xbeef), "rid {rid} shows the decided write");
+        }
+        assert!(db.audit_violations().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_state_survives_clean_reopen_and_pins_topology() {
+        let dir = tmpdir("reopen");
+        let w;
+        let fp;
+        {
+            let (db, rec) = ShardedMmdb::open_dir(cfg(), &dir, 4).expect("open");
+            assert!(rec.shards.iter().all(Option::is_none), "fresh dir");
+            w = db.record_words();
+            for rid in 0..16u64 {
+                db.run_txn(&[(RecordId(rid), fill(w, rid as u32))])
+                    .expect("txn");
+            }
+            db.run_txn(&[(RecordId(20), fill(w, 20)), (RecordId(21), fill(w, 21))])
+                .expect("cross");
+            db.checkpoint_all().expect("checkpoint");
+            fp = db.fingerprint();
+        }
+        assert!(
+            ShardedMmdb::open_dir(cfg(), &dir, 2).is_err(),
+            "topology marker refuses a different shard count"
+        );
+        let (db, _) = ShardedMmdb::open_dir(cfg(), &dir, 4).expect("reopen");
+        assert_eq!(db.fingerprint(), fp, "state identical after recovery");
+        for rid in 0..16u64 {
+            assert_eq!(
+                db.read_committed(RecordId(rid)).expect("read"),
+                fill(w, rid as u32)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merged_snapshot_and_prometheus_exposition_are_valid() {
+        let db = ShardedMmdb::open_in_memory(cfg(), 4).expect("open");
+        let w = db.record_words();
+        for rid in 0..8u64 {
+            db.run_txn(&[(RecordId(rid), fill(w, rid as u32))])
+                .expect("txn");
+        }
+        db.run_txn(&[(RecordId(0), fill(w, 50)), (RecordId(1), fill(w, 51))])
+            .expect("cross");
+        db.checkpoint_all().expect("checkpoint");
+
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.gauge("shard.count"), Some(4));
+        // Aggregated counter equals the sum of the per-shard ones.
+        let total = snap.counter("txn.committed").expect("aggregate");
+        let per_shard: u64 = (0..4)
+            .map(|i| {
+                snap.counter(&format!("shard.{i}.txn.committed"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, per_shard);
+        assert!(total >= 10, "8 singles + 2 cross branches, got {total}");
+        assert!(snap.gauge("router.cross_permille").is_some());
+
+        let text = db.prometheus();
+        validate_prometheus(&text).expect("valid exposition");
+        assert!(text.contains("shard=\"3\""), "labeled per-shard samples");
+    }
+
+    #[test]
+    fn from_single_preserves_the_unsharded_surface() {
+        let db = Mmdb::open_in_memory(cfg()).expect("open");
+        let sharded = ShardedMmdb::from_single(db);
+        let w = sharded.record_words();
+        sharded
+            .run_txn(&[(RecordId(0), fill(w, 1)), (RecordId(1), fill(w, 2))])
+            .expect("any batch is single-shard at N=1");
+        let t = sharded.begin_txn().expect("begin");
+        sharded.write(t, RecordId(2), &fill(w, 3)).expect("write");
+        sharded.commit(t).expect("commit");
+        assert_eq!(
+            sharded.read_committed(RecordId(2)).expect("read"),
+            fill(w, 3)
+        );
+        let snap = sharded.metrics_snapshot();
+        assert_eq!(snap.counter("router.txns_cross").unwrap_or(0), 0);
+        assert_eq!(snap.gauge("shard.count"), Some(1));
+        validate_prometheus(&sharded.prometheus()).expect("no duplicate families");
+        assert!(sharded.audit_violations().is_empty());
+    }
+
+    #[test]
+    fn shard_count_validation() {
+        assert!(ShardedMmdb::open_in_memory(cfg(), 0).is_err());
+        assert!(ShardedMmdb::open_in_memory(cfg(), MAX_SHARDS + 1).is_err());
+        assert!(ShardedMmdb::open_in_memory(cfg(), 8).is_ok());
+    }
+}

@@ -62,6 +62,12 @@ pub struct ActiveTxn {
     /// How many times this logical transaction has been started
     /// (1 = first run; >1 after two-color restarts).
     pub run: u32,
+    /// When `Some(gid)`, the transaction is a *prepared* branch of the
+    /// global transaction `gid` (sharded two-phase commit): its updates
+    /// are durable in the log and it may no longer unilaterally abort —
+    /// only `finish_commit` or an explicit coordinator-decided abort may
+    /// remove it.
+    pub prepared: Option<u64>,
 }
 
 impl ActiveTxn {
@@ -141,6 +147,7 @@ impl TxnTable {
                 writes: Vec::new(),
                 color_seen: None,
                 run,
+                prepared: None,
             },
         );
         self.stats.begun += 1;
@@ -367,5 +374,17 @@ mod tests {
         let mut t = table();
         let id = t.begin(Timestamp(1), Lsn(0), 3);
         assert_eq!(t.get(id).unwrap().run, 3);
+    }
+
+    #[test]
+    fn prepared_flag_defaults_off_and_is_settable() {
+        let mut t = table();
+        let id = t.begin(Timestamp(1), Lsn(0), 1);
+        assert_eq!(t.get(id).unwrap().prepared, None);
+        t.get_mut(id).unwrap().prepared = Some(77);
+        assert_eq!(t.get(id).unwrap().prepared, Some(77));
+        // commit still drains it like any other transaction
+        let txn = t.finish_commit(id).unwrap();
+        assert_eq!(txn.prepared, Some(77));
     }
 }

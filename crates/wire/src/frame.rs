@@ -397,10 +397,7 @@ mod tests {
     fn frame_reader_rejects_oversized_and_torn_frames() {
         let mut fr = FrameReader::new();
         let mut r = &(u32::MAX).to_le_bytes()[..];
-        assert!(matches!(
-            fr.poll(&mut r),
-            Err(FrameError::TooLarge { .. })
-        ));
+        assert!(matches!(fr.poll(&mut r), Err(FrameError::TooLarge { .. })));
 
         let mut wire = Vec::new();
         write_frame(&mut wire, b"whole").expect("write");

@@ -10,6 +10,8 @@
 //! * workload generators ([`workload`]),
 //! * the network layer ([`wire`], [`server`]) for serving an engine over
 //!   TCP and load-testing it,
+//! * the sharding layer ([`shard`]) that hash-partitions the record
+//!   space across independent engines with two-phase cross-shard commit,
 //! * and the substrate crates ([`storage`], [`log`], [`disk`], [`txn`],
 //!   [`checkpoint`], [`recovery`]) for users building their own harnesses.
 //!
@@ -92,6 +94,12 @@ pub mod audit {
 /// Telemetry: tracing spans, latency histograms, metrics snapshots.
 pub mod obs {
     pub use mmdb_obs::*;
+}
+
+/// Hash-partitioned sharding: per-shard logs, backups and
+/// checkpointers, with two-phase cross-shard commit.
+pub mod shard {
+    pub use mmdb_shard::*;
 }
 
 /// The network wire protocol and blocking client.

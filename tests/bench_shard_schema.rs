@@ -1,0 +1,71 @@
+//! The checked-in `BENCH_shard.json` must always match the shard-sweep
+//! schema: fixed keys and shapes, the full {1, 2, 4, 8} shard curve,
+//! wall-clock values. CI regenerates a fresh one and validates it the
+//! same way (values legitimately differ run to run, so the file is
+//! schema-checked plus scaling-checked, not byte-diffed).
+
+use mmdb::obs::json::{parse, Value};
+use mmdb::server::{validate_bench_shard_json, BENCH_SHARD_SCHEMA};
+
+const CHECKED_IN: &str = include_str!("../BENCH_shard.json");
+
+#[test]
+fn checked_in_bench_shard_json_validates() {
+    validate_bench_shard_json(CHECKED_IN).expect("BENCH_shard.json matches the schema");
+}
+
+#[test]
+fn checked_in_bench_shard_json_carries_the_schema_tag() {
+    assert!(
+        CHECKED_IN.contains(BENCH_SHARD_SCHEMA),
+        "BENCH_shard.json must declare {BENCH_SHARD_SCHEMA}"
+    );
+}
+
+/// Uniform-workload throughput at the given shard count, straight from
+/// the checked-in sweep.
+fn uniform_tps(v: &Value, shards: u64) -> f64 {
+    let sweep = v.get("sweep").and_then(Value::as_arr).expect("sweep array");
+    sweep
+        .iter()
+        .find(|e| {
+            e.get("shards").and_then(Value::as_u64) == Some(shards)
+                && e.get("workload").and_then(Value::as_str) == Some("uniform")
+        })
+        .and_then(|e| e.get("throughput_tps"))
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("no uniform entry at {shards} shards"))
+}
+
+#[test]
+fn checked_in_sweep_had_no_errors() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    for entry in v.get("sweep").and_then(Value::as_arr).expect("sweep") {
+        let errors = entry
+            .get("errors")
+            .and_then(Value::as_u64)
+            .expect("entry.errors");
+        assert_eq!(errors, 0, "every checked-in sweep point must be error-free");
+        let committed = entry
+            .get("committed")
+            .and_then(Value::as_u64)
+            .expect("entry.committed");
+        assert!(committed > 0);
+    }
+}
+
+#[test]
+fn checked_in_sweep_shows_shard_scaling() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    let base = uniform_tps(&v, 1);
+    assert!(base > 0.0);
+    let at4 = uniform_tps(&v, 4);
+    assert!(
+        at4 >= 2.5 * base,
+        "4-shard uniform throughput must be >= 2.5x the single-shard baseline \
+         (got {:.2}x: {at4:.0} vs {base:.0} tps)",
+        at4 / base
+    );
+    // the curve should keep rising through 8 shards
+    assert!(uniform_tps(&v, 8) > at4);
+}
