@@ -3,7 +3,7 @@
 //! ```text
 //! mmdb-cli <dir> init [--algorithm FUZZYCOPY|2CFLUSH|2CCOPY|COUFLUSH|COUCOPY|FASTFUZZY]
 //!                     [--segments N] [--segment-words N] [--record-words N] [--full]
-//!                     [--shards N]
+//!                     [--shards N] [--durability force|lazy|group]
 //! mmdb-cli <dir> put <record> <fill-u32>
 //! mmdb-cli <dir> get <record>
 //! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
@@ -18,28 +18,34 @@
 //! mmdb-cli <dir> bench-net [--connections N] [--txns N] [--updates K] [--seed S]
 //!                          [--zipf THETA] [--addr A] [--out FILE]
 //!                          [--shards N] [--cross F] [--sweep]
-//!                          [--log-latency-us U]
+//!                          [--log-latency-us U] [--group-compare]
 //! ```
 //!
 //! Every invocation opens the database (recovering from the on-disk
 //! backups and log if needed), performs the command, and exits. Commits
-//! force the log, so anything a command reports as committed survives the
-//! next invocation.
+//! force the log (or, under `--durability group`, are acked only once a
+//! batched force covers them), so anything a command reports as
+//! committed survives the next invocation.
 //!
 //! A database created with `init --shards N` (N > 1) is hash-partitioned
 //! across N independent engines (`<dir>/shard.<i>/`, topology pinned by
 //! the `<dir>/shards` marker); `serve`, `bench-net` and `fsck` detect
 //! the marker and operate on the whole topology. `bench-net --sweep`
 //! runs the shard-scaling benchmark over fresh scratch topologies at
-//! 1, 2, 4 and 8 shards and emits schema-validated `BENCH_shard.json`.
+//! 1, 2, 4 and 8 shards and emits schema-validated `BENCH_shard.json`;
+//! `bench-net --group-compare` benchmarks group commit against
+//! per-commit forcing on fresh single-shard topologies with a real
+//! (fsynced, unmodeled) log device and emits schema-validated
+//! `BENCH_group.json`.
 
 mod persist;
 
-use mmdb_core::{Algorithm, LogMode, Mmdb, MmdbConfig, RecordId};
+use mmdb_core::{Algorithm, CommitDurability, LogMode, Mmdb, MmdbConfig, RecordId};
 use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
 use mmdb_server::{
-    bench_net_json, bench_shard_json, run_load, validate_bench_net_json, validate_bench_shard_json,
-    LoadConfig, Server, ServerConfig, ShardSweepEntry, WorkloadKind,
+    bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
+    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, Server,
+    ServerConfig, ShardSweepEntry, WorkloadKind,
 };
 use mmdb_shard::{shard_config, ShardedMmdb};
 use mmdb_wire::Client;
@@ -80,7 +86,7 @@ type Handler = fn(&Path, &[String]) -> Result<(), String>;
 const COMMANDS: &[(&str, &str, Handler)] = &[
     (
         "init",
-        "create a database (--algorithm A, --segments N, --segment-words N, --record-words N, --full, --shards N)",
+        "create a database (--algorithm A, --segments N, --segment-words N, --record-words N, --full, --shards N, --durability force|lazy|group)",
         cmd_init,
     ),
     ("put", "<record> <fill-u32> — commit one update", cmd_put),
@@ -124,7 +130,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "bench-net",
-        "closed-loop network benchmark (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U)",
+        "closed-loop network benchmark (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare)",
         cmd_bench_net,
     ),
 ];
@@ -224,6 +230,18 @@ fn cmd_init(dir: &Path, rest: &[String]) -> Result<(), String> {
     if rest.iter().any(|a| a == "--full") {
         config.params.ckpt_mode = mmdb_core::CkptMode::Full;
     }
+    if let Some(v) = flag_value(rest, "--durability") {
+        config.commit_durability = match v.as_str() {
+            "force" => CommitDurability::Force,
+            "lazy" => CommitDurability::Lazy,
+            "group" => CommitDurability::Group,
+            other => {
+                return Err(format!(
+                    "--durability: expected force|lazy|group, got {other}"
+                ))
+            }
+        };
+    }
     let shards: usize = flag_value(rest, "--shards")
         .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
         .transpose()?
@@ -280,6 +298,10 @@ fn cmd_put(dir: &Path, rest: &[String]) -> Result<(), String> {
     let run = db
         .run_txn(&[(RecordId(record), value)])
         .map_err(|e| e.to_string())?;
+    // Direct engine use: under group durability nobody waits on the
+    // watermark here, so force before exit to keep the CLI contract
+    // that anything reported committed survives the next invocation.
+    db.force_log().map_err(|e| e.to_string())?;
     println!(
         "committed record {record} = {fill} (txn {}, {} run(s))",
         run.txn.raw(),
@@ -334,6 +356,9 @@ fn cmd_workload(dir: &Path, rest: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         reruns += (run.runs - 1) as u64;
     }
+    // As in `put`: a direct engine never waits on the watermark, so
+    // drain the tail before reporting the workload as committed.
+    db.force_log().map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     println!(
         "committed {n} transactions ({updates} updates each) in {:.3}s ({:.0} txn/s), {reruns} reruns",
@@ -611,6 +636,9 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
     if rest.iter().any(|a| a == "--sweep") {
         return run_shard_sweep(dir, rest);
     }
+    if rest.iter().any(|a| a == "--group-compare") {
+        return run_group_compare(dir, rest);
+    }
     let connections: usize = flag_value(rest, "--connections")
         .map(|v| v.parse().map_err(|e| format!("--connections: {e}")))
         .transpose()?
@@ -871,6 +899,115 @@ fn run_shard_sweep(dir: &Path, rest: &[String]) -> Result<(), String> {
             tps(2) / base,
             tps(4) / base,
             tps(8) / base
+        );
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+    Ok(())
+}
+
+/// The group-commit benchmark behind `bench-net --group-compare`: two
+/// identical single-shard closed-loop runs on fresh durable
+/// (`sync_files=true`) topologies — one forcing the log at every commit,
+/// one under [`CommitDurability::Group`] — emitting one
+/// `BENCH_group.json`-schema document. Unlike the shard sweep, *no*
+/// modeled log latency is injected: group commit's claim is about the
+/// real device (every concurrent committer shares one in-flight fsync),
+/// so the comparison runs on exactly what the hardware does.
+fn run_group_compare(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let connections: usize = flag_value(rest, "--connections")
+        .map(|v| v.parse().map_err(|e| format!("--connections: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let txns_per_conn: u64 = flag_value(rest, "--txns")
+        .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
+        .transpose()?
+        .unwrap_or(400);
+    let updates_per_txn: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
+
+    let mut legs: Vec<GroupCompareEntry> = Vec::new();
+    let mut json_cfg = None;
+    for (durability, label) in [
+        (CommitDurability::Force, "force"),
+        (CommitDurability::Group, "group"),
+    ] {
+        let subdir = dir.join(format!("group.{label}"));
+        if subdir.exists() {
+            std::fs::remove_dir_all(&subdir)
+                .map_err(|e| format!("clearing {}: {e}", subdir.display()))?;
+        }
+        let mut config = MmdbConfig::small(Algorithm::FuzzyCopy);
+        config.sync_files = true;
+        config.log_force_latency_us = 0; // the real device, nothing modeled
+        config.commit_durability = durability;
+        let db = open_sharded(config, &subdir, 1)?;
+        let server_config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: connections + 2,
+            checkpoint_interval: Some(std::time::Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let handle =
+            Server::spawn_sharded(db, server_config).map_err(|e| format!("cannot serve: {e}"))?;
+        let cfg = LoadConfig {
+            addr: handle.local_addr().to_string(),
+            connections,
+            txns_per_conn,
+            updates_per_txn,
+            seed,
+            shards: 1,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&cfg).map_err(|e| format!("load driver ({label}): {e}"))?;
+        let db = handle.shutdown_join();
+        if report.errors > 0 {
+            return Err(format!(
+                "{} non-transient errors during the {label} leg",
+                report.errors
+            ));
+        }
+        let snap = db.metrics_snapshot();
+        legs.push(GroupCompareEntry::new(
+            label,
+            &report,
+            snap.counter("log.forces").unwrap_or(0),
+            snap.counter("log.group_commit.commits").unwrap_or(0),
+        ));
+        json_cfg = Some(cfg);
+        eprintln!(
+            "group-compare: {label:>5} commits: {:6.0} txn/s (p50 {} us, p99 {} us, {} log forces)",
+            report.throughput_tps,
+            report.latency_us.p50,
+            report.latency_us.p99,
+            legs[legs.len() - 1].log_forces
+        );
+    }
+    let (force, group) = (&legs[0], &legs[1]);
+    let cfg = json_cfg.unwrap_or_default();
+    let json = bench_group_json(&cfg, force, group);
+    validate_bench_group_json(&json).map_err(|e| format!("group JSON failed validation: {e}"))?;
+
+    if force.throughput_tps > 0.0 {
+        println!(
+            "group commit: {:.0} txn/s vs {:.0} forced ({:.2}x), {} forces vs {} for {} commits",
+            group.throughput_tps,
+            force.throughput_tps,
+            group.throughput_tps / force.throughput_tps,
+            group.log_forces,
+            force.log_forces,
+            group.committed
         );
     }
     if let Some(path) = out {

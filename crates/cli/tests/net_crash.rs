@@ -238,6 +238,175 @@ fn kill_nine_mid_load_recovers_exactly_the_acked_state() {
 }
 
 #[test]
+fn kill_nine_mid_group_commit_load_loses_no_acked_commit() {
+    // The group-commit ack-durability invariant: under
+    // `CommitDurability::Group` the server acks a commit only once a
+    // batched force covers its LSN, so a SIGKILL mid-load must lose
+    // nothing that was ever acked — the same contract as per-commit
+    // forcing, checked end-to-end through the batched path (append,
+    // release the shard, flusher forces, watermark wakes the acker).
+    let dir = tmpdir("kill9-group");
+    let out = Command::new(bin())
+        .arg(&dir)
+        .args(["init", "--algorithm", "COUCOPY", "--durability", "group"])
+        .output()
+        .expect("init --durability group");
+    assert!(
+        out.status.success(),
+        "init failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let conf = std::fs::read_to_string(dir.join("mmdb.conf")).expect("mmdb.conf");
+    assert!(conf.contains("commit_durability=group"), "{conf}");
+
+    let (mut child, addr, _stdout_keepalive) = spawn_serve(&dir, 1);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let info = control.info().expect("info");
+    let words = info.record_words as usize;
+
+    // 8 writer threads (the batching only shows with concurrent
+    // committers in flight), each owning a disjoint 8-record range
+    const THREADS: u64 = 8;
+    const RANGE: u64 = 8;
+    let tracked: Arc<Mutex<HashMap<u64, Tracked>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        let tracked = Arc::clone(&tracked);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        joins.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let _ = c.set_timeout(Some(Duration::from_secs(10)));
+            let mut seq: u32 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                seq += 1;
+                let rid = t * RANGE + u64::from(seq) % RANGE;
+                let fill = ((t as u32) << 24) | seq;
+                {
+                    let mut m = match tracked.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    m.entry(rid).or_default().in_flight = Some(fill);
+                }
+                match c.retry_transient(1000, |c| c.put(RecordId(rid), &vec![fill; words])) {
+                    Ok(_) => {
+                        let mut m = match tracked.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        let e = m.entry(rid).or_default();
+                        e.acked = Some(fill);
+                        e.in_flight = None;
+                        committed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // server died under us — expected
+                }
+            }
+        }));
+    }
+
+    // run until checkpoints demonstrably overlap the batched commits,
+    // then SIGKILL with acks and unforced appends both in flight
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "server never took 2 checkpoints under group-commit load"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        if committed.load(Ordering::SeqCst) < 100 {
+            continue;
+        }
+        let stats = match control.stats_json() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let snap = mmdb_core::MetricsSnapshot::from_json(&stats).expect("stats parse");
+        if snap.counter("ckpt.completed").unwrap_or(0) >= 2
+            && snap.counter("log.group_commit.forces").unwrap_or(0) >= 1
+        {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let tracked = match Arc::try_unwrap(tracked).map(Mutex::into_inner) {
+        Ok(Ok(m)) => m,
+        _ => panic!("tracking map still shared"),
+    };
+    assert!(
+        committed.load(Ordering::SeqCst) >= 100,
+        "not enough acked commits to make the test meaningful"
+    );
+
+    let fsck = Command::new(bin())
+        .arg(&dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    let fsck_out =
+        String::from_utf8_lossy(&fsck.stdout).into_owned() + &String::from_utf8_lossy(&fsck.stderr);
+    assert!(
+        fsck.status.success(),
+        "fsck failed after kill -9 under group commit:\n{fsck_out}"
+    );
+    assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
+
+    // every acked commit must have survived: last acked fill or the one
+    // in-flight (acked-but-newer-write-pending never exists per record
+    // because each put is acked before the next begins on that thread)
+    let (mut child2, addr2, _stdout_keepalive2) = spawn_serve(&dir, 0);
+    let mut reader = Client::connect(&addr2).expect("connect to recovered server");
+    reader
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    for (rid, t) in &tracked {
+        let value = reader.get(RecordId(*rid)).expect("read recovered record");
+        assert!(
+            value.iter().all(|w| *w == value[0]),
+            "record {rid} recovered torn: {value:?}"
+        );
+        let got = value[0];
+        let mut allowed: Vec<u32> = Vec::new();
+        if let Some(a) = t.acked {
+            allowed.push(a);
+        }
+        if let Some(f) = t.in_flight {
+            allowed.push(f);
+        }
+        if t.acked.is_none() {
+            continue;
+        }
+        assert!(
+            allowed.contains(&got),
+            "record {rid}: recovered fill {got:#x}, expected one of {allowed:x?} — \
+             an ACKED group commit was lost (acked={:x?}, in-flight={:x?})",
+            t.acked,
+            t.in_flight
+        );
+    }
+    reader.shutdown().expect("graceful shutdown");
+    assert!(child2.wait().expect("serve exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn kill_nine_mid_cross_shard_transfers_leaves_no_torn_transfer() {
     // The sharded analogue: a 4-shard server takes "transfer"
     // transactions — one Batch writing the same unique fill to 4

@@ -17,6 +17,19 @@ pub enum CommitDurability {
     /// the paper notes the desire to avoid "forcing transaction updates
     /// to disk before commit" (§1); this mode is that trade.
     Lazy,
+    /// Group commit with full durability: `commit()` only appends the
+    /// commit record (like [`Lazy`](Self::Lazy)), but the *caller* — the
+    /// shard router or server worker — then releases the engine lock and
+    /// waits on the log's durable-LSN watermark
+    /// ([`mmdb_log::DurableWatermark`]) until a batched force covers the
+    /// commit's end-LSN. The ack is therefore exactly as durable as
+    /// [`Force`](Self::Force), but one real force is amortized over every
+    /// commit that arrived while the previous force was in flight. Only
+    /// meaningful with a volatile tail (a stable tail is durable on
+    /// append); engines used directly (not through `mmdb-shard` /
+    /// `mmdb-server`) must do their own watermark wait or the commit is
+    /// effectively lazy.
+    Group,
 }
 
 /// Full engine configuration.

@@ -54,6 +54,11 @@ pub struct TxnRun {
     pub txn: TxnId,
     /// Number of runs it took (1 = no two-color restart).
     pub runs: u32,
+    /// End-LSN of the commit record: the log is durable through this
+    /// transaction once `durable_lsn >= commit_lsn`. Under
+    /// [`CommitDurability::Group`] the caller acks only after the
+    /// watermark passes it; under `Force` it is already durable.
+    pub commit_lsn: mmdb_types::Lsn,
 }
 
 /// The memory-resident database engine.
@@ -89,6 +94,9 @@ pub struct Mmdb {
     /// two-phase commit): their update records are already durable, but
     /// installation waits for the coordinator's decision.
     prepared_installs: std::collections::HashMap<TxnId, Vec<PreparedInstall>>,
+    /// End-LSN of the most recent commit record (what group committers
+    /// wait on; see [`TxnRun::commit_lsn`]).
+    last_commit_lsn: mmdb_types::Lsn,
     /// The shared protocol-audit handle (disabled unless
     /// [`MmdbConfig::audit`] is set).
     audit: Audit,
@@ -122,6 +130,22 @@ impl Mmdb {
             config.params.log_mode,
             meters.logging.clone(),
         );
+        let backup = Box::new(MemBackup::new(config.params.db));
+        Ok(Self::assemble(config, storage, log, backup, meters))
+    }
+
+    /// An engine over a caller-supplied log device (and an in-memory
+    /// backup) — fault-injection tests hand in a
+    /// [`mmdb_log::FlakyLogDevice`] to exercise the error paths a healthy
+    /// device never reaches.
+    pub fn open_with_log_device(
+        config: MmdbConfig,
+        device: Box<dyn mmdb_log::LogDevice>,
+    ) -> Result<Mmdb> {
+        config.validate().map_err(MmdbError::Invalid)?;
+        let meters = Meters::new(config.params.cost);
+        let storage = Storage::new(config.params.db)?;
+        let log = LogManager::new(device, config.params.log_mode, meters.logging.clone());
         let backup = Box::new(MemBackup::new(config.params.db));
         Ok(Self::assemble(config, storage, log, backup, meters))
     }
@@ -216,6 +240,7 @@ impl Mmdb {
             pending_floor: None,
             replay_floor: [None, None],
             prepared_installs: std::collections::HashMap::new(),
+            last_commit_lsn: mmdb_types::Lsn::ZERO,
             audit,
             obs,
             quiesce_timer: Timer::default(),
@@ -582,14 +607,15 @@ impl Mmdb {
             let lsn = self.log.append(&rec);
             installs.push((record, segment, value, rec.end_lsn(lsn)));
         }
-        match self.config.commit_durability {
-            CommitDurability::Force => {
-                self.log.append_forced(&LogRecord::Commit { txn })?;
-            }
-            CommitDurability::Lazy => {
-                self.log.append(&LogRecord::Commit { txn });
-            }
-        }
+        let commit_rec = LogRecord::Commit { txn };
+        let commit_start = match self.config.commit_durability {
+            CommitDurability::Force => self.log.append_forced(&commit_rec)?,
+            // Group: append only — the caller releases the engine lock and
+            // waits on the durable-LSN watermark for a batched force to
+            // cover `last_commit_lsn` before acking (Lazy never waits).
+            CommitDurability::Lazy | CommitDurability::Group => self.log.append(&commit_rec),
+        };
+        self.last_commit_lsn = commit_rec.end_lsn(commit_start);
 
         // Install (the shadow-copy "overwrite old with new", §2.6).
         let tau = self.txns.get(txn)?.tau;
@@ -678,7 +704,11 @@ impl Mmdb {
             match self.try_run_once(runs, updates) {
                 Ok(txn) => {
                     self.obs.observe("txn.runs_per_commit", runs as u64);
-                    return Ok(TxnRun { txn, runs });
+                    return Ok(TxnRun {
+                        txn,
+                        runs,
+                        commit_lsn: self.last_commit_lsn,
+                    });
                 }
                 Err(MmdbError::TwoColorViolation { .. }) => {
                     // Let the checkpoint advance, then rerun.
@@ -791,7 +821,9 @@ impl Mmdb {
             .config
             .algorithm
             .needs_lsn_gating(self.config.params.log_mode);
-        self.log.append_forced(&LogRecord::Commit { txn })?;
+        let commit_rec = LogRecord::Commit { txn };
+        let commit_start = self.log.append_forced(&commit_rec)?;
+        self.last_commit_lsn = commit_rec.end_lsn(commit_start);
         let tau = self.txns.get(txn)?.tau;
         let installs = self.prepared_installs.remove(&txn).unwrap_or_default();
         let installs_len = installs.len();
@@ -1048,10 +1080,36 @@ impl Mmdb {
 
     /// Forces the log tail to the log disks — the group-commit daemon's
     /// hook. Under [`CommitDurability::Lazy`], committed transactions
-    /// become durable at the next force.
+    /// become durable at the next force. Publishes the durable-LSN
+    /// watermark, so group committers parked on
+    /// [`log_watermark`](Self::log_watermark) are released too.
     pub fn force_log(&mut self) -> Result<()> {
         self.ensure_alive()?;
         self.log.force()
+    }
+
+    /// The group-commit force: flushes the tail but returns the pending
+    /// completion (modeled latency + watermark publish) for the caller —
+    /// the per-shard flusher — to run *after* releasing the engine lock.
+    /// `Ok(None)` when the tail was empty (the watermark is still
+    /// published, so no waiter strands).
+    pub fn force_log_group(&mut self) -> Result<Option<mmdb_log::PendingForce>> {
+        self.ensure_alive()?;
+        self.log.force_group()
+    }
+
+    /// The log's shared durable-LSN watermark. A group committer clones
+    /// this, commits (append-only), drops the engine lock, and waits for
+    /// the watermark to pass [`TxnRun::commit_lsn`] before acking.
+    pub fn log_watermark(&self) -> std::sync::Arc<mmdb_log::DurableWatermark> {
+        self.log.watermark()
+    }
+
+    /// End-LSN of the most recent commit record this engine wrote (see
+    /// [`TxnRun::commit_lsn`]; interactive commits read it while still
+    /// holding the engine lock).
+    pub fn last_commit_lsn(&self) -> mmdb_types::Lsn {
+        self.last_commit_lsn
     }
 
     /// Deep verification: performs a *dry-run* recovery (backup + log →

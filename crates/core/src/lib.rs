@@ -46,8 +46,11 @@ pub use metrics::{Meters, OverheadReport};
 // Re-export the pieces users need to drive the public API.
 pub use mmdb_audit::{Audit, AuditReport, AuditViolation, CheckerId};
 pub use mmdb_checkpoint::{CkptReport, CkptStats, StepOutcome, WalPolicy};
+pub use mmdb_log::{DurableWatermark, FlakyControl, FlakyLogDevice, LogDevice, PendingForce};
 pub use mmdb_obs::{
     render_spans, validate_prometheus, HistSummary, MetricsSnapshot, Obs, PaperOverhead, SpanRecord,
 };
 pub use mmdb_recovery::RecoveryReport;
-pub use mmdb_types::{Algorithm, CkptMode, LogMode, MmdbError, Params, RecordId, Result, TxnId};
+pub use mmdb_types::{
+    Algorithm, CkptMode, LogMode, Lsn, MmdbError, Params, RecordId, Result, TxnId,
+};

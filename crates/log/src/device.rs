@@ -132,6 +132,98 @@ impl LogDevice for MemLogDevice {
     }
 }
 
+/// Shared control handle for a [`FlakyLogDevice`], kept by the test while
+/// the device itself is owned by the engine. Arms failures and counts
+/// appends through the move.
+#[derive(Debug, Default)]
+pub struct FlakyControl {
+    appends: std::sync::atomic::AtomicU64,
+    /// Appends at or past this count fail; `u64::MAX` = never.
+    fail_at: std::sync::atomic::AtomicU64,
+}
+
+impl FlakyControl {
+    /// Total appends attempted so far (including failed ones).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Lets the next `n` appends succeed, then fails every one after
+    /// until [`heal`](Self::heal) is called.
+    pub fn fail_after_next(&self, n: u64) {
+        self.fail_at
+            .store(self.appends() + n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Stops injecting failures.
+    pub fn heal(&self) {
+        self.fail_at
+            .store(u64::MAX, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn should_fail(&self, append_index: u64) -> bool {
+        append_index >= self.fail_at.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// A fault-injecting in-memory log device: appends fail with an I/O
+/// error once armed via the shared [`FlakyControl`]. Test aid for the
+/// error paths a healthy device never exercises (sticky deferred-force
+/// errors, 2PC phase-two branch failures).
+#[derive(Debug)]
+pub struct FlakyLogDevice {
+    inner: MemLogDevice,
+    control: std::sync::Arc<FlakyControl>,
+}
+
+impl FlakyLogDevice {
+    /// A healthy device plus the control handle that can break it later.
+    pub fn new() -> (FlakyLogDevice, std::sync::Arc<FlakyControl>) {
+        let control = std::sync::Arc::new(FlakyControl {
+            appends: std::sync::atomic::AtomicU64::new(0),
+            fail_at: std::sync::atomic::AtomicU64::new(u64::MAX),
+        });
+        (
+            FlakyLogDevice {
+                inner: MemLogDevice::new(),
+                control: std::sync::Arc::clone(&control),
+            },
+            control,
+        )
+    }
+}
+
+impl LogDevice for FlakyLogDevice {
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        let index = self
+            .control
+            .appends
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if self.control.should_fail(index) {
+            return Err(MmdbError::Io(std::io::Error::other(
+                "injected log-device failure",
+            )));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn start_offset(&self) -> u64 {
+        self.inner.start_offset()
+    }
+
+    fn truncate_prefix(&mut self, offset: u64) -> Result<()> {
+        self.inner.truncate_prefix(offset)
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+}
+
 /// A file-backed log device.
 ///
 /// `sync_on_append` controls whether each append is `fsync`ed. The engine

@@ -10,6 +10,10 @@
 //!   simulation, [`FileLogDevice`] for the real engine),
 //! * [`LogManager`] — the volatile/stable log tail with LSN-based
 //!   durability tracking (the write-ahead gate for checkpointers),
+//! * [`DurableWatermark`] / [`PendingForce`] — the group-commit split:
+//!   committers park on the watermark while a flusher batches forces and
+//!   completes them (modeled latency, watermark publish) outside the
+//!   engine lock,
 //! * [`LogScanner`] — crash-tolerant backward/forward scanning, checkpoint
 //!   marker location, and replay-start computation (paper §3.3).
 
@@ -20,9 +24,11 @@ mod manager;
 mod record;
 mod scan;
 mod segmented;
+mod watermark;
 
-pub use device::{FileLogDevice, LogDevice, MemLogDevice};
-pub use manager::{LogManager, LogStats};
+pub use device::{FileLogDevice, FlakyControl, FlakyLogDevice, LogDevice, MemLogDevice};
+pub use manager::{LogManager, LogStats, PendingForce};
 pub use record::{LogRecord, FRAME_OVERHEAD};
 pub use scan::{BackwardIter, CheckpointMark, ForwardIter, LogScanner};
 pub use segmented::{SegmentedLogDevice, DEFAULT_CHUNK_BYTES};
+pub use watermark::DurableWatermark;

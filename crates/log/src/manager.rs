@@ -11,9 +11,11 @@
 
 use crate::device::LogDevice;
 use crate::record::LogRecord;
+use crate::watermark::DurableWatermark;
 use mmdb_audit::{Audit, AuditEvent};
-use mmdb_obs::Obs;
-use mmdb_types::{CostMeter, LogMode, Lsn, Result, SharedCostMeter};
+use mmdb_obs::{Obs, Timer};
+use mmdb_types::{CostMeter, LogMode, Lsn, MmdbError, Result, SharedCostMeter};
+use std::sync::Arc;
 
 /// Statistics maintained by the log manager.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,8 +47,66 @@ pub struct LogManager {
     /// standing in for the paper-era rotational log disk (see
     /// [`LogManager::set_force_latency`]).
     force_latency: Option<std::time::Duration>,
+    /// Shared durable-LSN watermark: published after every force so group
+    /// committers parked outside the engine lock can ack (see
+    /// [`DurableWatermark`]).
+    watermark: Arc<DurableWatermark>,
+    /// A tail-threshold force failure recorded inside [`append`]
+    /// (which cannot return `Err`); surfaced by the next explicit force.
+    sticky_error: Option<String>,
+    /// Commit records currently sitting in the tail — the group size of
+    /// the next force.
+    commits_in_tail: u64,
     audit: Audit,
     obs: Obs,
+}
+
+/// A force whose device write already happened but whose completion —
+/// the modeled-latency sleep, the `log.force` span, and the watermark
+/// publish — has not. [`LogManager::force_group`] returns one so the
+/// flusher can drop the engine lock before sleeping and publishing;
+/// inline forces complete it immediately.
+#[must_use = "completing the force publishes the watermark that releases group committers"]
+pub struct PendingForce {
+    durable: Lsn,
+    latency: Option<std::time::Duration>,
+    commits: u64,
+    bytes: u64,
+    watermark: Arc<DurableWatermark>,
+    obs: Obs,
+    timer: Timer,
+}
+
+impl PendingForce {
+    /// The durable LSN this force established.
+    pub fn durable(&self) -> Lsn {
+        self.durable
+    }
+
+    /// Commit records covered by this force (the group size).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Tail bytes this force moved to the device.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Finishes the force: sleeps any modeled device latency, ends the
+    /// `log.force` span, and publishes the watermark (waking waiters).
+    /// Call this *outside* the engine lock on the group-commit path.
+    pub fn complete(self) {
+        if let Some(latency) = self.latency {
+            std::thread::sleep(latency);
+        }
+        let (bytes, commits) = (self.bytes, self.commits);
+        self.obs
+            .span_end("log.force", "log.force_ns", self.timer, || {
+                format!("{bytes} bytes, {commits} commits")
+            });
+        self.watermark.advance(self.durable);
+    }
 }
 
 impl std::fmt::Debug for LogManager {
@@ -68,6 +128,9 @@ impl LogManager {
     /// log manager its own meter, separate from the checkpointing meters.
     pub fn new(device: Box<dyn LogDevice>, mode: LogMode, meter: SharedCostMeter) -> LogManager {
         let tail_start = Lsn(device.len());
+        // the tail is empty at construction, so the durable LSN is
+        // tail_start in either mode
+        let durable = tail_start;
         LogManager {
             device,
             tail: Vec::new(),
@@ -77,9 +140,19 @@ impl LogManager {
             stats: LogStats::default(),
             tail_threshold: None,
             force_latency: None,
+            watermark: Arc::new(DurableWatermark::new(durable)),
+            sticky_error: None,
+            commits_in_tail: 0,
             audit: Audit::disabled(),
             obs: Obs::disabled(),
         }
+    }
+
+    /// The shared durable-LSN watermark. Group committers clone this
+    /// handle, append their commit record, release the engine lock, and
+    /// wait here for the flusher's next force to cover their LSN.
+    pub fn watermark(&self) -> Arc<DurableWatermark> {
+        Arc::clone(&self.watermark)
     }
 
     /// Models a slow log device: every force or drain that actually
@@ -139,8 +212,9 @@ impl LogManager {
 
     /// Appends a record to the tail, returning its LSN. Charges the data
     /// movement of copying the record into the tail to the logging meter.
-    /// If a tail threshold is set and exceeded, the tail is forced
-    /// (errors from that force surface on the next explicit force — the
+    /// If a tail threshold is set and exceeded, the tail is forced; a
+    /// failure of that force is recorded as a *sticky* error surfaced by
+    /// the next explicit force or commit — never silently dropped (the
     /// device keeps its durable length consistent either way).
     pub fn append(&mut self, rec: &LogRecord) -> Lsn {
         let lsn = self.next_lsn();
@@ -148,12 +222,27 @@ impl LogManager {
         self.meter.move_words(rec.encoded_words());
         self.stats.records += 1;
         self.stats.bytes += rec.encoded_len() as u64;
+        if matches!(rec, LogRecord::Commit { .. }) {
+            self.commits_in_tail += 1;
+        }
         if let Some(limit) = self.tail_threshold {
             if self.tail.len() as u64 >= limit {
-                let _ = self.force();
+                if let Err(e) = self.force() {
+                    self.sticky_error = Some(format!("deferred tail-threshold force: {e}"));
+                    self.obs.counter("log.deferred_force_errors", 1);
+                }
             }
         }
         lsn
+    }
+
+    /// Rethrows a tail-threshold force failure recorded by
+    /// [`append`](Self::append), exactly once.
+    fn take_sticky(&mut self) -> Result<()> {
+        match self.sticky_error.take() {
+            Some(msg) => Err(MmdbError::Io(std::io::Error::other(msg))),
+            None => Ok(()),
+        }
     }
 
     /// Appends a record and forces the tail (commit with synchronous
@@ -174,7 +263,25 @@ impl LogManager {
         if self.mode == LogMode::StableTail {
             return self.drain_stable_tail();
         }
-        self.flush_tail(true)
+        if let Some(pending) = self.flush_tail_begin(true)? {
+            pending.complete();
+        }
+        Ok(())
+    }
+
+    /// The group-commit force: flushes the tail to the device but defers
+    /// the completion (modeled latency + watermark publish) to the
+    /// returned [`PendingForce`], which the flusher completes *after*
+    /// releasing the engine lock. `Ok(None)` means there was nothing to
+    /// flush (the watermark is published anyway, so a waiter whose LSN is
+    /// already durable never strands). With a stable tail, appends are
+    /// durable immediately and this degenerates to a drain.
+    pub fn force_group(&mut self) -> Result<Option<PendingForce>> {
+        if self.mode == LogMode::StableTail {
+            self.drain_stable_tail()?;
+            return Ok(None);
+        }
+        self.flush_tail_begin(true)
     }
 
     /// Like [`force`](Self::force) but callable by the *checkpointer*,
@@ -185,36 +292,55 @@ impl LogManager {
         if self.mode == LogMode::StableTail {
             return self.drain_stable_tail();
         }
+        self.take_sticky()?;
         if self.tail.is_empty() {
+            self.watermark.advance(self.durable_lsn());
             return Ok(());
         }
         meter.io_op();
-        self.flush_tail(false)
+        if let Some(pending) = self.flush_tail_begin(false)? {
+            pending.complete();
+        }
+        Ok(())
     }
 
-    fn flush_tail(&mut self, charge: bool) -> Result<()> {
+    /// First half of a force: surfaces any sticky append-path error,
+    /// writes the tail to the device, advances the durable horizon and
+    /// emits the `LogForced` audit event. The second half — modeled
+    /// latency, span, watermark publish — lives in
+    /// [`PendingForce::complete`] so the group-commit flusher can run it
+    /// outside the engine lock.
+    fn flush_tail_begin(&mut self, charge: bool) -> Result<Option<PendingForce>> {
+        self.take_sticky()?;
         if self.tail.is_empty() {
-            return Ok(());
+            // nothing new to make durable, but publish the watermark so a
+            // group waiter whose commit an earlier force already covered
+            // is released immediately
+            self.watermark.advance(self.durable_lsn());
+            return Ok(None);
         }
         if charge {
             self.meter.io_op();
         }
-        let flushed = self.tail.len() as u64;
-        let t = self.obs.timer();
+        let bytes = self.tail.len() as u64;
+        let timer = self.obs.timer();
         self.device.append(&self.tail)?;
-        if let Some(latency) = self.force_latency {
-            std::thread::sleep(latency);
-        }
-        self.obs.span_end("log.force", "log.force_ns", t, || {
-            format!("{flushed} bytes")
-        });
-        self.tail_start = self.tail_start.advance(self.tail.len() as u64);
+        self.tail_start = self.tail_start.advance(bytes);
         self.tail.clear();
         self.stats.forces += 1;
+        let commits = std::mem::take(&mut self.commits_in_tail);
         self.audit.emit(|| AuditEvent::LogForced {
             durable: self.durable_lsn(),
         });
-        Ok(())
+        Ok(Some(PendingForce {
+            durable: self.durable_lsn(),
+            latency: self.force_latency,
+            commits,
+            bytes,
+            watermark: Arc::clone(&self.watermark),
+            obs: self.obs.clone(),
+            timer,
+        }))
     }
 
     /// In stable-tail mode, migrates the (already durable) tail contents
@@ -223,7 +349,9 @@ impl LogManager {
     /// charged as checkpointing work.
     pub fn drain_stable_tail(&mut self) -> Result<()> {
         debug_assert_eq!(self.mode, LogMode::StableTail);
+        self.take_sticky()?;
         if self.tail.is_empty() {
+            self.watermark.advance(self.durable_lsn());
             return Ok(());
         }
         let drained = self.tail.len() as u64;
@@ -237,9 +365,11 @@ impl LogManager {
         });
         self.tail_start = self.tail_start.advance(self.tail.len() as u64);
         self.tail.clear();
+        self.commits_in_tail = 0;
         self.audit.emit(|| AuditEvent::LogForced {
             durable: self.durable_lsn(),
         });
+        self.watermark.advance(self.durable_lsn());
         Ok(())
     }
 
@@ -251,6 +381,7 @@ impl LogManager {
             LogMode::VolatileTail => {
                 let lost = self.tail.len() as u64;
                 self.tail.clear();
+                self.commits_in_tail = 0;
                 self.stats.lost_on_crash = lost;
                 Ok(lost)
             }
@@ -476,6 +607,89 @@ mod tests {
             m.append(&commit(100 + i));
         }
         assert!(m.tail_len() > 0);
+    }
+
+    #[test]
+    fn threshold_force_failure_is_sticky_not_swallowed() {
+        let (dev, control) = crate::device::FlakyLogDevice::new();
+        let mut m = LogManager::new(
+            Box::new(dev),
+            LogMode::VolatileTail,
+            CostMeter::shared(CostParams::default()),
+        );
+        m.set_tail_threshold(Some(40));
+        control.fail_after_next(0); // every append now fails
+        m.append(&commit(1));
+        m.append(&commit(2)); // crosses 40 bytes: deferred force fails
+        assert!(m.tail_len() > 0, "failed force must keep the tail intact");
+        // the failure surfaces exactly once, on the next explicit force
+        let err = m.force().expect_err("sticky error must surface");
+        assert!(err.to_string().contains("deferred tail-threshold force"));
+        // the device healed: the retry makes everything durable again
+        control.heal();
+        m.force().unwrap();
+        assert_eq!(m.durable_lsn(), m.next_lsn());
+        assert_eq!(m.tail_len(), 0);
+    }
+
+    #[test]
+    fn sticky_error_surfaces_through_force_charged_to() {
+        let (dev, control) = crate::device::FlakyLogDevice::new();
+        let mut m = LogManager::new(
+            Box::new(dev),
+            LogMode::VolatileTail,
+            CostMeter::shared(CostParams::default()),
+        );
+        m.set_tail_threshold(Some(10));
+        control.fail_after_next(0);
+        m.append(&commit(1)); // 25 bytes ≥ 10: deferred force fails
+        let ckpt_meter = CostMeter::new(CostParams::default());
+        assert!(m.force_charged_to(&ckpt_meter).is_err());
+        assert_eq!(
+            ckpt_meter.op_count(CostCategory::Io),
+            0,
+            "surfacing a sticky error must not charge the checkpointer"
+        );
+    }
+
+    #[test]
+    fn force_group_defers_the_watermark_publish() {
+        let mut m = mgr(LogMode::VolatileTail);
+        let w = m.watermark();
+        let a = m.append(&commit(1));
+        m.append(&commit(2));
+        let end = m.next_lsn();
+        let pending = m.force_group().unwrap().expect("non-empty tail");
+        // device-side durability is immediate...
+        assert_eq!(m.durable_lsn(), end);
+        assert_eq!(pending.durable(), end);
+        assert_eq!(pending.commits(), 2, "group size counts commit records");
+        // ...but waiters are only released by complete()
+        assert_eq!(w.get(), Lsn::ZERO);
+        assert!(!w.wait_for(a.advance(1), std::time::Duration::ZERO).unwrap());
+        pending.complete();
+        assert_eq!(w.get(), end);
+        assert!(w.wait_for(end, std::time::Duration::ZERO).unwrap());
+    }
+
+    #[test]
+    fn empty_force_group_publishes_the_watermark() {
+        let mut m = mgr(LogMode::VolatileTail);
+        m.append_forced(&commit(1)).unwrap();
+        let end = m.next_lsn();
+        // a fresh watermark observer would miss the inline force above
+        // only if an empty group force failed to publish
+        assert!(m.force_group().unwrap().is_none());
+        assert_eq!(m.watermark().get(), end);
+    }
+
+    #[test]
+    fn inline_force_publishes_the_watermark() {
+        let mut m = mgr(LogMode::VolatileTail);
+        let w = m.watermark();
+        m.append(&commit(7));
+        m.force().unwrap();
+        assert_eq!(w.get(), m.durable_lsn());
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The durable-LSN watermark: the synchronization point of group commit.
+//!
+//! Under `CommitDurability::Group` a committer appends its commit record
+//! to the log tail, releases the engine lock, and parks here until the
+//! watermark — advanced by whoever forces the tail next, usually the
+//! per-shard log flusher — passes the commit record's end-LSN. One real
+//! force then acks every commit that arrived while the previous force
+//! was in flight, which is exactly the amortization the paper's
+//! per-commit `C_io` charge is missing.
+//!
+//! The watermark is monotone: [`DurableWatermark::advance`] only ever
+//! moves it forward, so a waiter that observes `durable >= lsn` can ack
+//! unconditionally. A failed force publishes an error instead
+//! ([`DurableWatermark::fail`]) so waiters surface the I/O failure
+//! rather than hanging; durability is checked *before* the error slot,
+//! so commits the device already covers still ack.
+
+use mmdb_types::{Lsn, MmdbError, Result};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct WatermarkState {
+    durable: Lsn,
+    /// Set when a force fails after commits were appended; cleared by the
+    /// next successful advance.
+    error: Option<String>,
+}
+
+/// A monotone durable-LSN shared between the log manager (publisher) and
+/// group committers (waiters). See the module docs.
+#[derive(Debug, Default)]
+pub struct DurableWatermark {
+    state: Mutex<WatermarkState>,
+    cv: Condvar,
+}
+
+impl DurableWatermark {
+    /// A watermark starting at `durable` (the log's durable LSN at open).
+    pub fn new(durable: Lsn) -> DurableWatermark {
+        DurableWatermark {
+            state: Mutex::new(WatermarkState {
+                durable,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WatermarkState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current durable LSN.
+    pub fn get(&self) -> Lsn {
+        self.lock().durable
+    }
+
+    /// Publishes durability through `to` and wakes every waiter. Monotone:
+    /// a stale publisher can never move the watermark backwards. A
+    /// successful force also clears any sticky error — the device is
+    /// demonstrably writable again.
+    pub fn advance(&self, to: Lsn) {
+        let mut s = self.lock();
+        if to > s.durable {
+            s.durable = to;
+        }
+        s.error = None;
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Publishes a force failure and wakes every waiter so they can
+    /// surface the error instead of waiting out their timeout.
+    pub fn fail(&self, msg: String) {
+        self.lock().error = Some(msg);
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the watermark reaches `lsn`, a force failure is
+    /// published, or `timeout` elapses. Returns `Ok(true)` once durable,
+    /// `Ok(false)` on timeout, and the published error otherwise.
+    /// Durability is checked before the error slot: a commit the device
+    /// already covers acks even if a later force failed.
+    pub fn wait_for(&self, lsn: Lsn, timeout: Duration) -> Result<bool> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.lock();
+        loop {
+            if s.durable >= lsn {
+                return Ok(true);
+            }
+            if let Some(msg) = &s.error {
+                return Err(MmdbError::Io(std::io::Error::other(msg.clone())));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            s = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn advance_is_monotone_and_wakes_waiters() {
+        let w = DurableWatermark::new(Lsn(10));
+        assert_eq!(w.get(), Lsn(10));
+        w.advance(Lsn(5));
+        assert_eq!(w.get(), Lsn(10), "advance never moves backwards");
+        w.advance(Lsn(20));
+        assert_eq!(w.get(), Lsn(20));
+        // already durable: returns immediately regardless of timeout
+        assert!(w.wait_for(Lsn(20), Duration::ZERO).unwrap());
+    }
+
+    #[test]
+    fn wait_times_out_below_the_watermark() {
+        let w = DurableWatermark::new(Lsn::ZERO);
+        assert!(!w.wait_for(Lsn(1), Duration::from_millis(10)).unwrap());
+    }
+
+    #[test]
+    fn fail_wakes_waiters_with_the_error() {
+        let w = Arc::new(DurableWatermark::new(Lsn::ZERO));
+        let w2 = Arc::clone(&w);
+        let waiter = std::thread::spawn(move || w2.wait_for(Lsn(100), Duration::from_secs(30)));
+        // let the waiter park, then publish a failure
+        std::thread::sleep(Duration::from_millis(20));
+        w.fail("injected device failure".into());
+        let err = waiter.join().expect("waiter panicked").unwrap_err();
+        assert!(err.to_string().contains("injected device failure"));
+        // a later successful force clears the error
+        w.advance(Lsn(100));
+        assert!(w.wait_for(Lsn(100), Duration::ZERO).unwrap());
+    }
+
+    #[test]
+    fn durable_beats_error_for_covered_commits() {
+        let w = DurableWatermark::new(Lsn(50));
+        w.fail("later force failed".into());
+        // a commit at or below the watermark still acks
+        assert!(w.wait_for(Lsn(50), Duration::ZERO).unwrap());
+        // one past it surfaces the failure
+        assert!(w.wait_for(Lsn(51), Duration::from_millis(5)).is_err());
+    }
+
+    #[test]
+    fn concurrent_waiters_release_on_advance() {
+        let w = Arc::new(DurableWatermark::new(Lsn::ZERO));
+        let waiters: Vec<_> = (1..=4u64)
+            .map(|i| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || w.wait_for(Lsn(i * 10), Duration::from_secs(30)))
+            })
+            .collect();
+        w.advance(Lsn(40));
+        for h in waiters {
+            assert!(h.join().expect("waiter panicked").unwrap());
+        }
+    }
+}

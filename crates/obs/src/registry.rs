@@ -108,6 +108,12 @@ impl Obs {
         }
     }
 
+    /// Record a duration in microseconds into the histogram `name` —
+    /// for intervals measured by the caller rather than a [`Timer`].
+    pub fn observe_duration_us(&self, name: &'static str, d: std::time::Duration) {
+        self.observe(name, u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
     /// Record the elapsed time of `timer` (in ns) into the histogram
     /// `hist` without emitting a span.
     pub fn observe_timer(&self, hist: &'static str, timer: Timer) {

@@ -37,8 +37,9 @@ pub mod conn;
 pub mod load;
 
 pub use load::{
-    bench_net_json, bench_shard_json, run_load, validate_bench_net_json, validate_bench_shard_json,
-    LoadConfig, LoadReport, ShardSweepEntry, WorkloadKind, BENCH_NET_SCHEMA, BENCH_SHARD_SCHEMA,
+    bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
+    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, LoadReport,
+    ShardSweepEntry, WorkloadKind, BENCH_GROUP_SCHEMA, BENCH_NET_SCHEMA, BENCH_SHARD_SCHEMA,
 };
 
 use mmdb_core::{Mmdb, StepOutcome};

@@ -615,6 +615,187 @@ pub fn validate_bench_shard_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema tag for [`bench_group_json`] output.
+pub const BENCH_GROUP_SCHEMA: &str = "mmdb-bench-group/v1";
+
+/// One leg of the group-commit comparison: a full load run with a fixed
+/// commit-durability discipline, plus the log-force counters that show
+/// the amortization directly.
+#[derive(Debug, Clone)]
+pub struct GroupCompareEntry {
+    /// Commit discipline the server ran with (`"force"` or `"group"`).
+    pub mode: &'static str,
+    /// Connections the driver ran.
+    pub connections: usize,
+    /// Transactions committed across all connections.
+    pub committed: u64,
+    /// Non-transient failures (0 in a correct run).
+    pub errors: u64,
+    /// Transparent transient retries absorbed by the driver.
+    pub retries: u64,
+    /// Wall-clock seconds for the run.
+    pub elapsed_s: f64,
+    /// Committed transactions per wall-clock second.
+    pub throughput_tps: f64,
+    /// Median commit latency in microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile commit latency in microseconds.
+    pub p99_us: u64,
+    /// Log forces the engine issued during the run (`log.forces`).
+    pub log_forces: u64,
+    /// Commits acked through the batched group path
+    /// (`log.group_commit.commits`; 0 for the force leg).
+    pub group_commits: u64,
+}
+
+impl GroupCompareEntry {
+    /// Builds a comparison leg from a completed load run and the
+    /// server's post-run metrics counters.
+    pub fn new(
+        mode: &'static str,
+        report: &LoadReport,
+        log_forces: u64,
+        group_commits: u64,
+    ) -> GroupCompareEntry {
+        GroupCompareEntry {
+            mode,
+            connections: report.connections,
+            committed: report.committed,
+            errors: report.errors,
+            retries: report.retries,
+            elapsed_s: report.elapsed.as_secs_f64(),
+            throughput_tps: report.throughput_tps,
+            p50_us: report.latency_us.p50,
+            p99_us: report.latency_us.p99,
+            log_forces,
+            group_commits,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("mode".into(), Value::s(self.mode)),
+            ("connections".into(), Value::u(self.connections as u64)),
+            ("committed".into(), Value::u(self.committed)),
+            ("errors".into(), Value::u(self.errors)),
+            ("retries".into(), Value::u(self.retries)),
+            ("elapsed_s".into(), Value::f(self.elapsed_s)),
+            ("throughput_tps".into(), Value::f(self.throughput_tps)),
+            ("p50_us".into(), Value::u(self.p50_us)),
+            ("p99_us".into(), Value::u(self.p99_us)),
+            ("log_forces".into(), Value::u(self.log_forces)),
+            ("group_commits".into(), Value::u(self.group_commits)),
+        ])
+    }
+}
+
+/// Renders a group-vs-force comparison as JSON with a fixed key set.
+/// Both legs run the same workload shape on a real (fsynced) log device
+/// with no modeled latency; `speedup` is the group leg's throughput over
+/// the force leg's.
+pub fn bench_group_json(
+    cfg: &LoadConfig,
+    force: &GroupCompareEntry,
+    group: &GroupCompareEntry,
+) -> String {
+    let speedup = if force.throughput_tps > 0.0 {
+        group.throughput_tps / force.throughput_tps
+    } else {
+        0.0
+    };
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_GROUP_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("txns_per_conn".into(), Value::u(cfg.txns_per_conn)),
+                (
+                    "updates_per_txn".into(),
+                    Value::u(u64::from(cfg.updates_per_txn)),
+                ),
+                ("workload".into(), Value::s(cfg.workload.label())),
+                ("zipf_theta".into(), Value::f(cfg.workload.theta())),
+                ("seed".into(), Value::u(cfg.seed)),
+            ]),
+        ),
+        ("force".into(), force.to_value()),
+        ("group".into(), group.to_value()),
+        ("speedup".into(), Value::f(speedup)),
+    ]);
+    let mut s = v.to_pretty();
+    s.push('\n');
+    s
+}
+
+/// Validates the fixed schema of [`bench_group_json`] output: the
+/// schema tag, both legs with every required key, mode tags in the
+/// right slots, and a finite non-negative speedup.
+pub fn validate_bench_group_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_GROUP_SCHEMA {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_GROUP_SCHEMA:?}"
+        ));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    for key in ["txns_per_conn", "updates_per_txn", "seed"] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+    config
+        .get("workload")
+        .and_then(Value::as_str)
+        .ok_or("config.workload missing or not a string")?;
+    for leg in ["force", "group"] {
+        let entry = v.get(leg).ok_or_else(|| format!("missing {leg} leg"))?;
+        let mode = entry
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{leg}.mode missing or not a string"))?;
+        if mode != leg {
+            return Err(format!("{leg}.mode is {mode:?}"));
+        }
+        for key in [
+            "connections",
+            "committed",
+            "errors",
+            "retries",
+            "p50_us",
+            "p99_us",
+            "log_forces",
+            "group_commits",
+        ] {
+            entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{leg}.{key} missing or not an integer"))?;
+        }
+        for key in ["elapsed_s", "throughput_tps"] {
+            let n = entry
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{leg}.{key} missing or not a number"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("{leg}.{key} = {n} is not finite non-negative"));
+            }
+        }
+    }
+    let speedup = v
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .ok_or("missing speedup")?;
+    if !speedup.is_finite() || speedup < 0.0 {
+        return Err(format!("speedup = {speedup} is not finite non-negative"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +890,51 @@ mod tests {
         let missing = json.replace("\"shards\": 8", "\"shards\": 16");
         assert!(validate_bench_shard_json(&missing).is_err());
         assert!(validate_bench_shard_json("{}").is_err());
+    }
+
+    fn sample_group_json() -> String {
+        let cfg = LoadConfig::default();
+        let mut hist = Histogram::new();
+        for us in [900, 1100, 950] {
+            hist.record(us);
+        }
+        let force_report = LoadReport {
+            connections: 8,
+            committed: 800,
+            errors: 0,
+            retries: 2,
+            elapsed: Duration::from_millis(1600),
+            throughput_tps: 500.0,
+            latency_us: hist.summary(),
+        };
+        let mut group_report = force_report.clone();
+        group_report.throughput_tps = 1400.0;
+        group_report.elapsed = Duration::from_millis(570);
+        let force = GroupCompareEntry::new("force", &force_report, 805, 0);
+        let group = GroupCompareEntry::new("group", &group_report, 122, 800);
+        bench_group_json(&cfg, &force, &group)
+    }
+
+    #[test]
+    fn group_compare_json_round_trips_through_its_own_validator() {
+        let json = sample_group_json();
+        validate_bench_group_json(&json).expect("fresh group output validates");
+    }
+
+    #[test]
+    fn group_compare_validator_rejects_wrong_schema_and_swapped_legs() {
+        let json = sample_group_json();
+        let wrong = json.replace(BENCH_GROUP_SCHEMA, "mmdb-bench-group/v0");
+        assert!(validate_bench_group_json(&wrong).is_err());
+        let broken = json.replace("\"log_forces\"", "\"forces\"");
+        assert!(validate_bench_group_json(&broken).is_err());
+        // the legs carry their mode tags; a swap is caught
+        let swapped = json
+            .replace("\"mode\": \"group\"", "\"mode\": \"TMP\"")
+            .replace("\"mode\": \"force\"", "\"mode\": \"group\"")
+            .replace("\"mode\": \"TMP\"", "\"mode\": \"force\"");
+        assert!(validate_bench_group_json(&swapped).is_err());
+        assert!(validate_bench_group_json("{}").is_err());
     }
 
     #[test]

@@ -33,6 +33,20 @@
 //!   until the decision is durable, every branch is in-doubt and
 //!   recovery resolves it by presumed abort.
 //!
+//! ## Group commit
+//!
+//! Under [`CommitDurability::Group`] the router splits every commit into
+//! *append* and *wait*: the engine appends the commit record (no force)
+//! and the router releases the shard mutex, signals the shard's
+//! dedicated log-flusher thread, and parks on the log's durable-LSN
+//! watermark until a batched force covers the commit's end-LSN. One real
+//! `fsync` thus acks every commit that arrived while the previous force
+//! was in flight — same durability contract as per-commit forcing
+//! (nothing is acked before it is on disk), a fraction of the forces.
+//! The flusher completes each force (modeled latency, watermark publish)
+//! *outside* the engine lock, so committers on other connections run
+//! concurrently with the device write.
+//!
 //! ## Recovery
 //!
 //! [`ShardedMmdb::open_dir`] replays all shard logs in parallel (one
@@ -44,14 +58,16 @@
 
 use mmdb_audit::{Audit, AuditEvent, AuditViolation};
 use mmdb_core::{
-    CheckpointStart, CkptReport, Mmdb, MmdbConfig, RecoveryReport, StepOutcome, TxnRun,
+    CheckpointStart, CkptReport, CommitDurability, DurableWatermark, LogMode, Mmdb, MmdbConfig,
+    RecoveryReport, StepOutcome, TxnRun,
 };
 use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
-use mmdb_types::{DbParams, MmdbError, RecordId, Result, TxnId, Word};
+use mmdb_types::{DbParams, Lsn, MmdbError, RecordId, Result, TxnId, Word};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// Name of the topology marker file written at the root of a sharded
 /// directory (each shard's own data lives under `shard.<i>/`).
@@ -110,11 +126,181 @@ struct Binding {
     bound: Option<(usize, TxnId)>,
 }
 
+/// The state shared between the router and the per-shard log-flusher
+/// threads: the engines themselves plus each shard's flush signal.
+struct ShardCore {
+    shards: Vec<Mutex<Mmdb>>,
+    /// One flush signal per shard: committers set `pending` and notify;
+    /// the shard's flusher consumes it and forces the log.
+    flush: Vec<FlushSignal>,
+    /// Set by [`FlusherPool::drop`]; flushers run one final drain force
+    /// and exit.
+    stop: AtomicBool,
+}
+
+impl ShardCore {
+    fn lock(&self, i: usize) -> MutexGuard<'_, Mmdb> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A committer-to-flusher doorbell (one per shard).
+#[derive(Default)]
+struct FlushSignal {
+    pending: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl FlushSignal {
+    fn ring(&self) {
+        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_one();
+    }
+}
+
+/// The per-shard log-flusher threads (group commit only; inert
+/// otherwise). Dropping the pool stops and joins them — a final drain
+/// force runs first, so no signaled commit is left unforced.
+struct FlusherPool {
+    core: Option<Arc<ShardCore>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl FlusherPool {
+    fn inert() -> FlusherPool {
+        FlusherPool {
+            core: None,
+            joins: Vec::new(),
+        }
+    }
+
+    fn spawn(
+        core: &Arc<ShardCore>,
+        watermarks: &[Arc<DurableWatermark>],
+        obs: &Obs,
+    ) -> FlusherPool {
+        let joins = (0..core.shards.len())
+            .map(|shard| {
+                let core = Arc::clone(core);
+                let watermark = Arc::clone(&watermarks[shard]);
+                let obs = obs.clone();
+                std::thread::Builder::new()
+                    .name(format!("mmdb-flush-{shard}"))
+                    .spawn(move || flusher_loop(&core, shard, &watermark, &obs))
+                    .unwrap_or_else(|e| panic!("cannot spawn log flusher: {e}"))
+            })
+            .collect();
+        FlusherPool {
+            core: Some(Arc::clone(core)),
+            joins,
+        }
+    }
+}
+
+impl Drop for FlusherPool {
+    fn drop(&mut self) {
+        if let Some(core) = &self.core {
+            core.stop.store(true, Ordering::SeqCst);
+            for sig in &core.flush {
+                sig.cv.notify_all();
+            }
+        }
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+        self.core = None;
+    }
+}
+
+/// The flusher's idle tick: a backstop force when no doorbell arrives
+/// (lost wakeups cannot happen with correct signaling; this bounds the
+/// damage if a non-router writer appends without ringing).
+const FLUSH_BACKSTOP: Duration = Duration::from_millis(20);
+
+/// How long a group committer waits for its ack before giving up. With a
+/// live flusher the wait is one force (microseconds to milliseconds);
+/// hitting this bound means the flusher died or the device hung.
+const GROUP_ACK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Accumulation window between the doorbell and the force: commits that
+/// arrive while a force is in flight batch naturally, but on a fast
+/// device the force is too quick for much to gather — most committers
+/// are still parked on the shard mutex or in the network stack when it
+/// completes. Pausing a beat after the first ring lets them append
+/// first, trading a bounded latency bump for a much larger group — the
+/// classic group-commit timer. Small against even a fast fsync, so the
+/// single-committer latency cost stays in the noise.
+const GROUP_ACCUMULATION_WINDOW: Duration = Duration::from_micros(200);
+
+/// One shard's group-commit log flusher: park on the doorbell, force the
+/// tail under the engine lock, then *release the lock* and complete the
+/// force (modeled device latency + watermark publish). Commits that
+/// arrive during the completion are batched into the next force.
+fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWatermark>, obs: &Obs) {
+    let mut last_force: Option<std::time::Instant> = None;
+    loop {
+        {
+            let sig = &core.flush[shard];
+            let mut pending = sig.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            if !*pending && !core.stop.load(Ordering::SeqCst) {
+                let (guard, _) = sig
+                    .cv
+                    .wait_timeout(pending, FLUSH_BACKSTOP)
+                    .unwrap_or_else(PoisonError::into_inner);
+                pending = guard;
+            }
+            *pending = false;
+        }
+        // Read the stop flag *before* forcing: anything signaled before
+        // stop is covered by this final drain force.
+        let stopping = core.stop.load(Ordering::SeqCst);
+        if !stopping {
+            std::thread::sleep(GROUP_ACCUMULATION_WINDOW);
+        }
+        match core.lock(shard).force_log_group() {
+            Ok(Some(pending_force)) => {
+                obs.counter("log.group_commit.forces", 1);
+                obs.counter("log.group_commit.commits", pending_force.commits());
+                obs.observe("log.group_commit.size", pending_force.commits());
+                if let Some(prev) = last_force {
+                    obs.observe_duration_us("log.group_commit.interval_us", prev.elapsed());
+                }
+                last_force = Some(std::time::Instant::now());
+                // The engine lock dropped above; the modeled latency and
+                // the watermark publish run here, off the critical path.
+                pending_force.complete();
+            }
+            Ok(None) => {}
+            Err(e) => {
+                obs.counter("log.group_commit.force_errors", 1);
+                watermark.fail(format!("group-commit force failed on shard {shard}: {e}"));
+            }
+        }
+        if stopping {
+            return;
+        }
+    }
+}
+
 /// A hash-partitioned database: `N` independent engines behind one
 /// record-id space, with per-shard locking and two-phase cross-shard
 /// commit. All methods take `&self`; locking is internal and per-shard.
 pub struct ShardedMmdb {
-    shards: Vec<Mutex<Mmdb>>,
+    core: Arc<ShardCore>,
+    /// Each shard's durable-LSN watermark (cloned from its log at
+    /// construction; group committers wait here).
+    watermarks: Vec<Arc<DurableWatermark>>,
+    /// True when commits take the group path: append, release the shard
+    /// lock, signal the flusher, wait on the watermark. Requires
+    /// [`CommitDurability::Group`] *and* a volatile tail (a stable tail
+    /// is durable on append — nothing to wait for).
+    group: bool,
+    /// Per-shard flusher threads (inert unless `group`). Declared after
+    /// `core` only by convention; its `Drop` joins the threads, after
+    /// which [`ShardedMmdb::into_engines`] can unwrap `core`.
+    flushers: FlusherPool,
     config: MmdbConfig,
     n_records: u64,
     record_words: usize,
@@ -134,7 +320,7 @@ pub struct ShardedMmdb {
 impl std::fmt::Debug for ShardedMmdb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedMmdb")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.core.shards.len())
             .field("n_records", &self.n_records)
             .finish()
     }
@@ -203,21 +389,18 @@ impl ShardedMmdb {
         let config = *db.config();
         let audit = db.audit().clone();
         let obs = db.obs().clone();
-        let sharded = ShardedMmdb {
-            n_records: db.n_records(),
-            record_words: db.record_words(),
-            shards: vec![Mutex::new(db)],
-            config,
-            next_gid: AtomicU64::new(1),
-            next_txn: AtomicU64::new(1),
-            open_txns: Mutex::new(HashMap::new()),
-            audit,
-            obs,
-        };
-        sharded
-            .audit
-            .emit(|| AuditEvent::ShardTopology { shards: 1 });
-        sharded
+        let n_records = db.n_records();
+        let record_words = db.record_words();
+        Self::build(config, vec![db], audit, obs, n_records, record_words)
+    }
+
+    /// Wraps caller-constructed engines (one per shard, each shaped by
+    /// [`shard_config`]) as a sharded database. The fault-injection
+    /// tests' entry point: it lets a shard run over e.g. a
+    /// [`mmdb_core::FlakyLogDevice`].
+    pub fn from_engines(config: MmdbConfig, engines: Vec<Mmdb>) -> Result<ShardedMmdb> {
+        validate_shards(&config, engines.len())?;
+        Ok(Self::assemble(config, engines))
     }
 
     fn assemble(config: MmdbConfig, engines: Vec<Mmdb>) -> ShardedMmdb {
@@ -231,12 +414,42 @@ impl ShardedMmdb {
         } else {
             Obs::disabled()
         };
+        let n_records = config.params.db.n_records();
+        let record_words = config.params.db.s_rec as usize;
+        Self::build(config, engines, audit, obs, n_records, record_words)
+    }
+
+    fn build(
+        config: MmdbConfig,
+        engines: Vec<Mmdb>,
+        audit: Audit,
+        obs: Obs,
+        n_records: u64,
+        record_words: usize,
+    ) -> ShardedMmdb {
+        let group = config.commit_durability == CommitDurability::Group
+            && config.params.log_mode == LogMode::VolatileTail;
+        let watermarks: Vec<Arc<DurableWatermark>> =
+            engines.iter().map(Mmdb::log_watermark).collect();
         let n = engines.len();
-        let db = ShardedMmdb {
-            n_records: config.params.db.n_records(),
-            record_words: config.params.db.s_rec as usize,
+        let core = Arc::new(ShardCore {
             shards: engines.into_iter().map(Mutex::new).collect(),
+            flush: (0..n).map(|_| FlushSignal::default()).collect(),
+            stop: AtomicBool::new(false),
+        });
+        let flushers = if group {
+            FlusherPool::spawn(&core, &watermarks, &obs)
+        } else {
+            FlusherPool::inert()
+        };
+        let db = ShardedMmdb {
+            core,
+            watermarks,
+            group,
+            flushers,
             config,
+            n_records,
+            record_words,
             next_gid: AtomicU64::new(1),
             next_txn: AtomicU64::new(1),
             open_txns: Mutex::new(HashMap::new()),
@@ -272,8 +485,16 @@ impl ShardedMmdb {
                 if decisions.get(&entry.gid).copied().unwrap_or(false) {
                     // Writes are absolute after-images in shard-local id
                     // space: replaying them as a fresh transaction is
-                    // idempotent across repeated recoveries.
-                    self.lock(i).run_txn(&entry.writes)?;
+                    // idempotent across repeated recoveries. The flushers
+                    // are not guaranteed running yet, so under group
+                    // commit the resolution is forced inline.
+                    {
+                        let mut g = self.lock(i);
+                        g.run_txn(&entry.writes)?;
+                        if self.group {
+                            g.force_log()?;
+                        }
+                    }
                     committed += 1;
                 } else {
                     aborted += 1;
@@ -293,7 +514,7 @@ impl ShardedMmdb {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Total records across the whole database (global id space).
@@ -333,18 +554,40 @@ impl ShardedMmdb {
                 n_records: self.n_records,
             });
         }
-        Ok((rid.raw() % self.shards.len() as u64) as usize)
+        Ok((rid.raw() % self.shards() as u64) as usize)
     }
 
     /// A global record id's shard-local id.
     pub fn local_rid(&self, rid: RecordId) -> RecordId {
-        RecordId(rid.raw() / self.shards.len() as u64)
+        RecordId(rid.raw() / self.shards() as u64)
     }
 
     fn lock(&self, i: usize) -> MutexGuard<'_, Mmdb> {
-        match self.shards[i].lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
+        self.core.lock(i)
+    }
+
+    /// Rings shard `i`'s flusher doorbell (group commit only — a no-op
+    /// signal otherwise, but callers gate on `self.group` anyway).
+    fn signal_flush(&self, i: usize) {
+        self.core.flush[i].ring();
+    }
+
+    /// Parks the calling committer until shard `i`'s durable-LSN
+    /// watermark covers `lsn`. `Lsn::ZERO` is vacuously durable (the
+    /// marker for "this commit was already forced" — e.g. a 2PC branch).
+    fn wait_durable(&self, i: usize, lsn: Lsn) -> Result<()> {
+        if lsn == Lsn::ZERO {
+            return Ok(());
+        }
+        let t = self.obs.timer();
+        if self.watermarks[i].wait_for(lsn, GROUP_ACK_TIMEOUT)? {
+            self.obs.observe_timer("router.group_wait_ns", t);
+            Ok(())
+        } else {
+            Err(MmdbError::Invalid(format!(
+                "group-commit ack timed out after {GROUP_ACK_TIMEOUT:?} waiting for {lsn} \
+                 on shard {i} (flusher stalled?)"
+            )))
         }
     }
 
@@ -355,14 +598,16 @@ impl ShardedMmdb {
     }
 
     /// Tears the router down and returns the shard engines in index
-    /// order.
+    /// order. Flusher threads are stopped and joined first (with a final
+    /// drain force), so no `ShardCore` clone outlives the router.
     pub fn into_engines(self) -> Vec<Mmdb> {
-        self.shards
+        let ShardedMmdb { core, flushers, .. } = self;
+        drop(flushers);
+        let core = Arc::try_unwrap(core)
+            .unwrap_or_else(|_| unreachable!("flushers joined; no ShardCore clones remain"));
+        core.shards
             .into_iter()
-            .map(|m| match m.into_inner() {
-                Ok(db) => db,
-                Err(poisoned) => poisoned.into_inner(),
-            })
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect()
     }
 
@@ -393,7 +638,7 @@ impl ShardedMmdb {
         }
         if self.audit.is_enabled() {
             for (rid, _) in updates {
-                let shard = (rid.raw() % self.shards.len() as u64) as usize;
+                let shard = (rid.raw() % self.shards() as u64) as usize;
                 self.audit.emit(|| AuditEvent::ShardRouted {
                     record: *rid,
                     shard,
@@ -403,7 +648,14 @@ impl ShardedMmdb {
         if by_shard.len() <= 1 {
             let shard = by_shard.keys().next().copied().unwrap_or(0);
             let local = by_shard.remove(&shard).unwrap_or_default();
+            // The guard drops at the end of this statement: under group
+            // commit the shard is free for other committers while this
+            // one waits on the watermark below.
             let run = self.lock(shard).run_txn(&local)?;
+            if self.group {
+                self.signal_flush(shard);
+                self.wait_durable(shard, run.commit_lsn)?;
+            }
             self.obs.counter("router.txns_single", 1);
             return Ok(run);
         }
@@ -431,7 +683,13 @@ impl ShardedMmdb {
                     self.obs.counter("router.txns_cross", 1);
                     self.obs
                         .observe("router.cross_runs_per_commit", runs as u64);
-                    return Ok(TxnRun { txn, runs });
+                    // 2PC branches force their Prepare and Decide records
+                    // inline — already durable, nothing to wait for.
+                    return Ok(TxnRun {
+                        txn,
+                        runs,
+                        commit_lsn: Lsn::ZERO,
+                    });
                 }
                 Err(MmdbError::TwoColorViolation { .. }) => {
                     self.obs.counter("router.cross_reruns", 1);
@@ -514,10 +772,21 @@ impl ShardedMmdb {
             return Err(e);
         }
 
-        // Phase two: the decision is durable; every branch must commit.
+        // Phase two: the decision is durable — the transaction IS
+        // committed, no matter what happens below. A branch whose
+        // `commit_prepared` fails stays prepared in memory; the durable
+        // `Decide` record recommits it at the next recovery, exactly as
+        // if the crash had landed here. Propagating the error instead
+        // would skip the lock releases (a dangling acquisition in the
+        // audit's LIFO checker), strand the remaining branches in-doubt
+        // until a restart, and hand the caller an `Err` for a committed
+        // transaction — an invitation to retry and double-apply.
         let coordinator_txn = prepared[0].1;
         for &(pos, txn) in &prepared {
-            guards[pos].1.commit_prepared(txn)?;
+            if guards[pos].1.commit_prepared(txn).is_err() {
+                // Reported via counter; the decision stands regardless.
+                self.obs.counter("router.phase2_branch_failures", 1);
+            }
         }
         self.release_all(guards, gid);
         Ok(coordinator_txn)
@@ -580,7 +849,21 @@ impl ShardedMmdb {
         };
         let result = match binding.bound {
             None => Ok(()),
-            Some((shard, local_txn)) => self.lock(shard).commit(local_txn),
+            Some((shard, local_txn)) => {
+                // The guard drops before the watermark wait, exactly as
+                // in the batch fast path.
+                let committed = {
+                    let mut g = self.lock(shard);
+                    g.commit(local_txn).map(|()| g.last_commit_lsn())
+                };
+                match committed {
+                    Ok(commit_lsn) if self.group => {
+                        self.signal_flush(shard);
+                        self.wait_durable(shard, commit_lsn)
+                    }
+                    other => other.map(|_| ()),
+                }
+            }
         };
         match &result {
             Ok(()) => {
@@ -671,7 +954,7 @@ impl ShardedMmdb {
         let mut started = None;
         let mut quiescing = false;
         let mut last_err = None;
-        for i in 0..self.shards.len() {
+        for i in 0..self.shards() {
             match self.lock(i).try_begin_checkpoint() {
                 Ok(CheckpointStart::Started(r)) => started = Some(r),
                 Ok(CheckpointStart::Quiescing) => quiescing = true,
@@ -690,8 +973,8 @@ impl ShardedMmdb {
     /// Runs one full synchronous checkpoint on every shard, in index
     /// order, returning the per-shard reports.
     pub fn checkpoint_all(&self) -> Result<Vec<CkptReport>> {
-        let mut reports = Vec::with_capacity(self.shards.len());
-        for i in 0..self.shards.len() {
+        let mut reports = Vec::with_capacity(self.shards());
+        for i in 0..self.shards() {
             reports.push(self.lock(i).checkpoint()?);
         }
         Ok(reports)
@@ -703,8 +986,8 @@ impl ShardedMmdb {
     /// index order (order-sensitive, so swapped shard contents change
     /// the result).
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.shards.len() as u64;
-        for i in 0..self.shards.len() {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.shards() as u64;
+        for i in 0..self.shards() {
             h = h.rotate_left(13) ^ self.lock(i).fingerprint().wrapping_mul(0x100_0000_01b3);
         }
         h
@@ -713,14 +996,14 @@ impl ShardedMmdb {
     /// True when any shard engine is in the crashed state (no further
     /// operations until recovery).
     pub fn is_crashed(&self) -> bool {
-        (0..self.shards.len()).any(|i| self.lock(i).is_crashed())
+        (0..self.shards()).any(|i| self.lock(i).is_crashed())
     }
 
     /// Total transactions committed across every shard engine. A
     /// cross-shard transaction counts once per participating branch,
     /// matching what each engine's own `txn_stats` reports.
     pub fn txn_committed(&self) -> u64 {
-        (0..self.shards.len())
+        (0..self.shards())
             .map(|i| self.lock(i).txn_stats().committed)
             .sum()
     }
@@ -729,7 +1012,7 @@ impl ShardedMmdb {
     /// every shard engine's protocol checkers.
     pub fn audit_violations(&self) -> Vec<AuditViolation> {
         let mut all = self.audit.violations();
-        for i in 0..self.shards.len() {
+        for i in 0..self.shards() {
             all.extend(self.lock(i).audit_violations());
         }
         all
@@ -737,7 +1020,7 @@ impl ShardedMmdb {
 
     /// Per-shard engine metric snapshots, in shard index order.
     pub fn shard_snapshots(&self) -> Vec<MetricsSnapshot> {
-        (0..self.shards.len())
+        (0..self.shards())
             .map(|i| self.lock(i).metrics_snapshot())
             .collect()
     }
@@ -749,7 +1032,7 @@ impl ShardedMmdb {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let shard_snaps = self.shard_snapshots();
         let mut merged = MetricsSnapshot::capture(&self.obs);
-        merged.put_gauge("shard.count", self.shards.len() as u64);
+        merged.put_gauge("shard.count", self.shards() as u64);
         let single = merged.counter("router.txns_single").unwrap_or(0);
         let cross = merged.counter("router.txns_cross").unwrap_or(0);
         if let Some(permille) = (cross * 1000).checked_div(single + cross) {
@@ -1093,6 +1376,121 @@ mod tests {
         assert_eq!(snap.gauge("shard.count"), Some(1));
         validate_prometheus(&sharded.prometheus()).expect("no duplicate families");
         assert!(sharded.audit_violations().is_empty());
+    }
+
+    fn group_cfg() -> MmdbConfig {
+        let mut config = cfg();
+        config.commit_durability = CommitDurability::Group;
+        config
+    }
+
+    #[test]
+    fn group_commit_acks_are_durable_and_counted() {
+        let db = ShardedMmdb::open_in_memory(group_cfg(), 2).expect("open");
+        let w = db.record_words();
+        db.run_txn(&[(RecordId(0), fill(w, 1))]).expect("txn 0");
+        db.run_txn(&[(RecordId(1), fill(w, 2))]).expect("txn 1");
+        let t = db.begin_txn().expect("begin");
+        db.write(t, RecordId(2), &fill(w, 3)).expect("write");
+        db.commit(t).expect("interactive group commit");
+        assert_eq!(db.read_committed(RecordId(0)).expect("read"), fill(w, 1));
+        assert_eq!(db.read_committed(RecordId(1)).expect("read"), fill(w, 2));
+        assert_eq!(db.read_committed(RecordId(2)).expect("read"), fill(w, 3));
+        // Each ack returned only after a flusher force covered its
+        // commit LSN, so the group counters already include all three.
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("log.group_commit.commits"), Some(3));
+        assert!(snap.counter("log.group_commit.forces").unwrap_or(0) >= 1);
+        assert!(db.audit_violations().is_empty());
+    }
+
+    #[test]
+    fn concurrent_group_committers_all_get_durable_acks() {
+        let db = Arc::new(ShardedMmdb::open_in_memory(group_cfg(), 2).expect("open"));
+        let w = db.record_words();
+        let threads: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for round in 0..5u32 {
+                        let seed = ((tid as u32) << 8) | round;
+                        db.run_txn(&[(RecordId(tid), fill(w, seed))])
+                            .expect("group txn");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("committer thread");
+        }
+        for tid in 0..4u64 {
+            let last = ((tid as u32) << 8) | 4;
+            assert_eq!(
+                db.read_committed(RecordId(tid)).expect("read"),
+                fill(w, last)
+            );
+        }
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("log.group_commit.commits"), Some(20));
+        assert!(db.audit_violations().is_empty());
+    }
+
+    #[test]
+    fn into_engines_joins_group_flushers_cleanly() {
+        let db = ShardedMmdb::open_in_memory(group_cfg(), 2).expect("open");
+        let w = db.record_words();
+        db.run_txn(&[(RecordId(0), fill(w, 7)), (RecordId(2), fill(w, 8))])
+            .expect("txn");
+        let mut engines = db.into_engines();
+        assert_eq!(engines.len(), 2);
+        // Global rids 0 and 2 are local rids 0 and 1 on shard 0.
+        assert_eq!(
+            engines[0].read_committed(RecordId(0)).expect("read"),
+            fill(w, 7)
+        );
+        assert_eq!(
+            engines[0].read_committed(RecordId(1)).expect("read"),
+            fill(w, 8)
+        );
+        engines.clear();
+    }
+
+    #[test]
+    fn phase_two_branch_failure_still_commits_and_releases_locks() {
+        let config = cfg();
+        let scfg = shard_config(&config, 2);
+        let shard0 = Mmdb::open_in_memory(scfg).expect("shard 0");
+        let (device, control) = mmdb_core::FlakyLogDevice::new();
+        let shard1 = Mmdb::open_with_log_device(scfg, Box::new(device)).expect("shard 1");
+        let db = ShardedMmdb::from_engines(config, vec![shard0, shard1]).expect("router");
+        let w = db.record_words();
+
+        // Seed both shards so the cross transaction overwrites known
+        // values (one forced append each).
+        db.run_txn(&[(RecordId(0), fill(w, 1))])
+            .expect("seed shard 0");
+        db.run_txn(&[(RecordId(1), fill(w, 2))])
+            .expect("seed shard 1");
+
+        // The next append on shard 1's device (the Prepare force)
+        // succeeds; the one after (the commit_prepared force) fails —
+        // i.e. the failure lands *after* the durable decision.
+        control.fail_after_next(1);
+        let run = db
+            .run_txn(&[(RecordId(0), fill(w, 11)), (RecordId(1), fill(w, 12))])
+            .expect("the decision is durable: the transaction is committed");
+        assert_eq!(run.runs, 1);
+
+        // Shard 0's branch committed; shard 1's branch is stranded
+        // prepared in memory (its commit force failed) — the durable
+        // Decide record recommits it at the next recovery.
+        assert_eq!(db.read_committed(RecordId(0)).expect("read"), fill(w, 11));
+        assert_eq!(db.read_committed(RecordId(1)).expect("read"), fill(w, 2));
+        let snap = db.metrics_snapshot();
+        assert_eq!(snap.counter("router.phase2_branch_failures"), Some(1));
+        // Every acquired shard lock was released in LIFO order — the
+        // audit's shard checker sees a balanced event stream.
+        assert!(db.audit_violations().is_empty());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! The checked-in `BENCH_group.json` must always match the group-commit
+//! comparison schema: fixed keys and shapes, both legs, wall-clock
+//! values. CI regenerates a fresh one on its own device and validates
+//! it the same way (values legitimately differ run to run, so the file
+//! is schema-checked plus claim-checked, not byte-diffed).
+
+use mmdb::obs::json::{parse, Value};
+use mmdb::server::{validate_bench_group_json, BENCH_GROUP_SCHEMA};
+
+const CHECKED_IN: &str = include_str!("../BENCH_group.json");
+
+#[test]
+fn checked_in_bench_group_json_validates() {
+    validate_bench_group_json(CHECKED_IN).expect("BENCH_group.json matches the schema");
+}
+
+#[test]
+fn checked_in_bench_group_json_carries_the_schema_tag() {
+    assert!(
+        CHECKED_IN.contains(BENCH_GROUP_SCHEMA),
+        "BENCH_group.json must declare {BENCH_GROUP_SCHEMA}"
+    );
+}
+
+fn leg_u64(v: &Value, leg: &str, key: &str) -> u64 {
+    v.get(leg)
+        .and_then(|l| l.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing {leg}.{key}"))
+}
+
+#[test]
+fn checked_in_comparison_had_no_errors_and_enough_concurrency() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    for leg in ["force", "group"] {
+        assert_eq!(
+            leg_u64(&v, leg, "errors"),
+            0,
+            "{leg} leg must be error-free"
+        );
+        assert!(leg_u64(&v, leg, "committed") > 0);
+        // the claim is about concurrent committers sharing a force
+        assert!(
+            leg_u64(&v, leg, "connections") >= 8,
+            "{leg} leg ran with too few connections"
+        );
+    }
+}
+
+#[test]
+fn checked_in_comparison_shows_the_amortization() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    let speedup = v
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .expect("speedup present");
+    assert!(
+        speedup >= 2.0,
+        "group commit must be >= 2x the per-commit-force baseline on the \
+         checked-in run (got {speedup:.2}x)"
+    );
+    // the mechanism, not just the outcome: the group leg must have
+    // committed many transactions per force where the force leg paid
+    // one force per commit
+    let force_forces = leg_u64(&v, "force", "log_forces");
+    let group_forces = leg_u64(&v, "group", "log_forces");
+    let group_committed = leg_u64(&v, "group", "committed");
+    assert!(
+        group_forces * 2 < force_forces,
+        "group leg should need far fewer forces ({group_forces} vs {force_forces})"
+    );
+    assert!(
+        group_forces < group_committed,
+        "group leg must batch commits into shared forces"
+    );
+    // and the batched path was actually exercised
+    assert!(leg_u64(&v, "group", "group_commits") > 0);
+    assert_eq!(leg_u64(&v, "force", "group_commits"), 0);
+}
