@@ -33,9 +33,10 @@ pub use checkers::{
 };
 pub use event::{AuditEvent, CopySummary, PaintColor};
 
+use mmdb_sync::{LockRank, RankedMutex};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Dispatches each event to every checker and accumulates violations plus
 /// coverage counts.
@@ -146,7 +147,7 @@ impl fmt::Display for AuditReport {
 /// disabled handle never constructs the event.
 #[derive(Clone, Debug, Default)]
 pub struct Audit {
-    inner: Option<Arc<Mutex<Auditor>>>,
+    inner: Option<Arc<RankedMutex<Auditor>>>,
 }
 
 impl Audit {
@@ -158,7 +159,11 @@ impl Audit {
     /// A handle backed by a fresh shared auditor.
     pub fn enabled() -> Self {
         Audit {
-            inner: Some(Arc::new(Mutex::new(Auditor::new()))),
+            inner: Some(Arc::new(RankedMutex::new(
+                "audit",
+                LockRank::AUDIT,
+                Auditor::new(),
+            ))),
         }
     }
 
@@ -170,17 +175,13 @@ impl Audit {
     /// Record the event produced by `make` (not called when disabled).
     pub fn emit(&self, make: impl FnOnce() -> AuditEvent) {
         if let Some(auditor) = &self.inner {
-            let mut guard = auditor.lock().unwrap_or_else(|poison| poison.into_inner());
-            guard.record(&make());
+            auditor.lock().record(&make());
         }
     }
 
     /// Run `f` against the shared auditor, if enabled.
     pub fn with<R>(&self, f: impl FnOnce(&Auditor) -> R) -> Option<R> {
-        self.inner.as_ref().map(|auditor| {
-            let guard = auditor.lock().unwrap_or_else(|poison| poison.into_inner());
-            f(&guard)
-        })
+        self.inner.as_ref().map(|auditor| f(&auditor.lock()))
     }
 
     /// Clone of all violations detected so far (empty when disabled).

@@ -11,6 +11,7 @@
 //! mmdb-cli <dir> stats [--json|--prom]
 //! mmdb-cli <dir> trace [--txns N] [--seed S] [--updates K] [--limit N]
 //! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
+//! mmdb-cli <dir> lint                       # dir is the source root
 //! mmdb-cli <dir> fsck
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
@@ -41,6 +42,7 @@
 mod persist;
 
 use mmdb_core::{Algorithm, CommitDurability, LogMode, Mmdb, MmdbConfig, RecordId};
+use mmdb_lint::check_workspace;
 use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
 use mmdb_server::{
     bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
@@ -111,6 +113,11 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
         "audit",
         "run a protocol-audited stress pass (--txns N, --seed S, --updates K)",
         cmd_audit,
+    ),
+    (
+        "lint",
+        "run the concurrency-discipline source lint over the tree rooted at <dir>",
+        cmd_lint,
     ),
     (
         "fsck",
@@ -554,6 +561,37 @@ fn cmd_audit(dir: &Path, rest: &[String]) -> Result<(), String> {
     } else {
         Err(format!(
             "audit: {} protocol violation(s) detected",
+            report.violations.len()
+        ))
+    }
+}
+
+/// Runs the concurrency-discipline lint over the source tree rooted at
+/// `dir` (here `<dir>` is a source root, not a database directory),
+/// applying `<dir>/lint.baseline`. Mirrors `audit`: clean exits zero,
+/// any unbaselined finding is an error.
+fn cmd_lint(dir: &Path, rest: &[String]) -> Result<(), String> {
+    if !rest.is_empty() {
+        return Err("lint takes no arguments".into());
+    }
+    let report = check_workspace(dir).map_err(|e| format!("lint: {e}"))?;
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for s in &report.stale {
+        eprintln!("warning: stale baseline entry `{s}` matched nothing — remove it");
+    }
+    println!(
+        "lint: {} file(s), {} baselined exception(s), {} stale entr(ies)",
+        report.files,
+        report.suppressed,
+        report.stale.len()
+    );
+    if report.violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint: {} unbaselined violation(s)",
             report.violations.len()
         ))
     }

@@ -1,0 +1,351 @@
+//! A minimal hand-rolled Rust lexer — just enough to run token-level
+//! lint rules without a parser dependency (the workspace builds
+//! offline; `syn` is not available).
+//!
+//! The lexer's one real job is to make sure the rules never match
+//! inside comments, string/char literals, or lifetimes. Everything else
+//! — numbers, punctuation — is passed through as opaque tokens. It is
+//! deliberately forgiving: unterminated constructs lex to end-of-file
+//! rather than erroring, because a lint must never be the thing that
+//! fails on code `rustc` accepts.
+
+/// What a token is, stripped to what the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `{`, `?`, …).
+    Punct(char),
+    /// Any literal: number, string, char, byte string. Contents are
+    /// irrelevant to every rule, so they are not retained.
+    Lit,
+    /// A lifetime (`'a`) or the loop-label form (`'outer:`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class and payload.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// Lexes `src` into a token stream (see module docs for guarantees).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.out.push(Tok { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => {
+                    self.bump();
+                    self.skip_string();
+                    self.push(TokKind::Lit, line);
+                }
+                'r' | 'b' if self.starts_raw_or_byte_literal() => {
+                    self.skip_raw_or_byte_literal();
+                    self.push(TokKind::Lit, line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => {
+                    // Digits plus alphanumeric suffix chars; `.` is left
+                    // as punctuation (good enough: `1.5` lexes as three
+                    // tokens, and no rule cares).
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        self.bump();
+                    }
+                    self.push(TokKind::Lit, line);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident(ident), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// A `"`-terminated string body with `\` escapes; the opening quote
+    /// is already consumed.
+    fn skip_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Is the cursor at `r"`, `r#"`, `b"`, `b'`, `br"`, or `br#"`?
+    fn starts_raw_or_byte_literal(&self) -> bool {
+        let mut i = 0;
+        if self.peek(i) == Some('b') {
+            i += 1;
+        }
+        if self.peek(i) == Some('r') {
+            i += 1;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+            return self.peek(i) == Some('"');
+        }
+        // b"..." or b'...' (without r, `i` is 1 only if we saw `b`)
+        i == 1 && matches!(self.peek(i), Some('"') | Some('\''))
+    }
+
+    fn skip_raw_or_byte_literal(&mut self) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('r') {
+            self.bump();
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening '"'
+            loop {
+                match self.bump() {
+                    Some('"') => {
+                        let mut seen = 0usize;
+                        while seen < hashes && self.peek(0) == Some('#') {
+                            seen += 1;
+                            self.bump();
+                        }
+                        if seen == hashes {
+                            return;
+                        }
+                    }
+                    Some(_) => {}
+                    None => return,
+                }
+            }
+        }
+        match self.bump() {
+            // b"..."
+            Some('"') => self.skip_string(),
+            // b'x'
+            Some('\'') => {
+                if self.peek(0) == Some('\\') {
+                    self.bump();
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+                self.bump(); // closing '\''
+            }
+            _ => {}
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening '\''
+        match self.peek(0) {
+            Some('\\') => {
+                // escaped char literal: consume the escape pair first so
+                // `'\''` does not end at the escaped quote, then scan to
+                // the real closing quote (handles `\u{…}` too).
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lit, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // could be 'x' (char) or 'label (lifetime): a char
+                // literal has exactly one char then a closing quote.
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Lit, line);
+                } else {
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        self.bump();
+                    }
+                    self.push(TokKind::Lifetime, line);
+                }
+            }
+            Some(_) => {
+                // punctuation char literal like '(' or ' '
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Lit, line);
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let src = r##"
+            // comment .lock() here
+            /* block .lock() /* nested */ still */
+            let s = "string .lock() body";
+            let r = r#"raw "quoted" .lock()"#;
+            let b = b"bytes .lock()";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"lock".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_line() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            3
+        );
+        assert!(toks.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let toks = lex(r"let c = 'x'; let n = '\n'; let q = '\''; let p = '(';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lit).count(), 4);
+        // the trailing `;` after each literal still lexes
+        assert_eq!(toks.iter().filter(|t| t.is_punct(';')).count(), 4);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,733 @@
+//! **mmdb-lint** — source-level concurrency-discipline analysis.
+//!
+//! A dependency-free static analyzer for this workspace's five lock
+//! rules, built on a hand-rolled lexer ([`lexer`]) rather than a parser
+//! crate (the workspace builds offline). The rules are token-level
+//! heuristics tuned to this codebase's idioms; each one encodes an
+//! invariant the runtime layer (`mmdb-sync`'s rank/deadlock detector)
+//! or the paper's protocol audit can only check when the bad
+//! interleaving actually happens. The lint catches them at rest:
+//!
+//! * **L1** — no lock guard held across a blocking operation (device
+//!   write/fsync, modeled-latency sleep, socket/channel wait). The
+//!   sanctioned shape is the log manager's `PendingForce` two-phase
+//!   force: write under the lock, complete (sleep + watermark publish)
+//!   outside it. Known hand-off designs are baselined.
+//! * **L2** — no direct `.shards[i].lock()` outside the router's
+//!   ascending-order acquisition helpers; one helper is the baselined
+//!   choke point, so every engine acquisition inherits the 2PC order.
+//! * **L3** — every condvar `wait`/`wait_timeout` sits in a predicate
+//!   loop (spurious wakeups; the `mmdb-sync` wrappers are the baselined
+//!   primitive, where the loop is the caller's contract).
+//! * **L4** — no `Instant::now`/`SystemTime::now` inside sim-clocked
+//!   code (`crates/sim`, `crates/model`): the simulator owns time
+//!   there, and a wall-clock read silently decouples results from the
+//!   modeled clock.
+//! * **L5** — lock/wait acquisitions must be poison-tolerant:
+//!   `.unwrap_or_else(PoisonError::into_inner)` (the workspace
+//!   standard), never `.unwrap()`/`.expect(…)` — a panicking writer
+//!   must not cascade into every later reader.
+//!
+//! Findings are suppressed by `lint.baseline` at the workspace root,
+//! keyed `(rule, path, enclosing fn)` — line-number free so ordinary
+//! edits don't churn it — and every entry must carry a reason. Stale
+//! entries are reported so the baseline only ever shrinks.
+
+pub mod lexer;
+
+use lexer::{lex, Tok, TokKind};
+use std::path::Path;
+
+/// One rule finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id: `"L1"` … `"L5"`.
+    pub rule: &'static str,
+    /// Path as given to [`check_source`] (repo-relative in workspace runs).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Enclosing function name, or `"<top>"` outside any function.
+    pub func: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] in `{}`: {}",
+            self.path, self.line, self.rule, self.func, self.message
+        )
+    }
+}
+
+/// A parsed `lint.baseline` file: allowlisted `(rule, path, fn)` keys,
+/// each with a mandatory reason.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<BaselineEntry>,
+}
+
+#[derive(Debug)]
+struct BaselineEntry {
+    rule: String,
+    path: String,
+    func: String,
+    /// Kept so `Debug` output is self-documenting; the check itself only
+    /// needs the key.
+    #[allow(dead_code)]
+    reason: String,
+}
+
+impl Baseline {
+    /// Parses baseline text: one `RULE path fn reason…` entry per line;
+    /// `#` comments and blank lines are skipped. A missing reason is a
+    /// hard error — unsuppressed suppressions are how baselines rot.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(func)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `RULE path fn reason…`, got `{line}`",
+                    n + 1
+                ));
+            };
+            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+                return Err(format!(
+                    "baseline line {}: `{rule}` is not a lint rule (L1–L5)",
+                    n + 1
+                ));
+            }
+            let reason = parts.collect::<Vec<_>>().join(" ");
+            if reason.is_empty() {
+                return Err(format!(
+                    "baseline line {}: entry `{rule} {path} {func}` has no reason \
+                     — every suppression must say why",
+                    n + 1
+                ));
+            }
+            entries.push(BaselineEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                func: func.to_string(),
+                reason,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits `violations` into (unbaselined, suppressed-count) and
+    /// returns the entries that matched nothing (stale).
+    pub fn apply(&self, violations: Vec<Violation>) -> (Vec<Violation>, usize, Vec<String>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut open = Vec::new();
+        let mut suppressed = 0usize;
+        for v in violations {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == v.rule && e.path == v.path && e.func == v.func);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => open.push(v),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| format!("{} {} {}", e.rule, e.path, e.func))
+            .collect();
+        (open, suppressed, stale)
+    }
+}
+
+/// Identifiers that mark a blocking operation for L1: modeled-latency
+/// sleeps, device flushes, socket writes, bounded channel polls.
+const BLOCKING: &[&str] = &[
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "recv_timeout",
+];
+
+/// Runs every rule over one file's source. `path` is used for reporting
+/// and for L4's path gate; it does not need to exist on disk.
+pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
+    Scanner::new(path, lex(src)).run()
+}
+
+struct Guard {
+    /// Binding name (`None` when the pattern yielded no single name).
+    name: Option<String>,
+    /// Brace depth of the declaring block: the guard dies when it closes.
+    depth: i32,
+}
+
+struct Scanner {
+    path: String,
+    toks: Vec<Tok>,
+    sim_clocked: bool,
+    out: Vec<Violation>,
+    depth: i32,
+    fn_stack: Vec<(String, i32)>,
+    pending_fn: Option<String>,
+    loop_stack: Vec<i32>,
+    pending_loop: bool,
+    guards: Vec<Guard>,
+    /// Token index until which a statement-temporary lock guard is live
+    /// (e.g. `queue.lock().recv_timeout(…)` holds the guard to the `;`).
+    temp_guard_until: usize,
+}
+
+impl Scanner {
+    fn new(path: &str, toks: Vec<Tok>) -> Scanner {
+        let normalized = path.replace('\\', "/");
+        let sim_clocked =
+            normalized.contains("crates/sim/") || normalized.contains("crates/model/");
+        Scanner {
+            path: path.to_string(),
+            toks,
+            sim_clocked,
+            out: Vec::new(),
+            depth: 0,
+            fn_stack: Vec::new(),
+            pending_fn: None,
+            loop_stack: Vec::new(),
+            pending_loop: false,
+            guards: Vec::new(),
+            temp_guard_until: 0,
+        }
+    }
+
+    fn func(&self) -> String {
+        self.fn_stack
+            .last()
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| "<top>".to_string())
+    }
+
+    fn report(&mut self, rule: &'static str, line: u32, message: String) {
+        let v = Violation {
+            rule,
+            path: self.path.clone(),
+            line,
+            func: self.func(),
+            message,
+        };
+        self.out.push(v);
+    }
+
+    fn run(mut self) -> Vec<Violation> {
+        let toks = std::mem::take(&mut self.toks);
+        for i in 0..toks.len() {
+            match &toks[i].kind {
+                TokKind::Punct('{') => {
+                    self.depth += 1;
+                    if let Some(name) = self.pending_fn.take() {
+                        self.fn_stack.push((name, self.depth));
+                    }
+                    if self.pending_loop {
+                        self.pending_loop = false;
+                        self.loop_stack.push(self.depth);
+                    }
+                }
+                TokKind::Punct('}') => {
+                    while self.fn_stack.last().is_some_and(|(_, d)| *d == self.depth) {
+                        self.fn_stack.pop();
+                    }
+                    while self.loop_stack.last() == Some(&self.depth) {
+                        self.loop_stack.pop();
+                    }
+                    self.guards.retain(|g| g.depth != self.depth);
+                    self.depth -= 1;
+                }
+                TokKind::Punct(';') => {
+                    // a bodyless `fn` signature or a `for` in a bound
+                    // never opened a body
+                    self.pending_fn = None;
+                    self.pending_loop = false;
+                }
+                TokKind::Ident(id) => match id.as_str() {
+                    "fn" => {
+                        if let Some(name) = toks.get(i + 1).and_then(Tok::ident) {
+                            self.pending_fn = Some(name.to_string());
+                        }
+                    }
+                    "loop" | "while" | "for" => self.pending_loop = true,
+                    "drop" => self.handle_drop(&toks, i),
+                    "lock" => self.handle_lock(&toks, i),
+                    "wait" | "wait_timeout" => self.handle_wait(&toks, i),
+                    "Instant" | "SystemTime" => self.handle_clock(&toks, i),
+                    m if BLOCKING.contains(&m) => self.handle_blocking(&toks, i),
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        self.out
+    }
+
+    /// `drop(name)` releases a named guard early.
+    fn handle_drop(&mut self, toks: &[Tok], i: usize) {
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return;
+        }
+        let Some(name) = toks.get(i + 2).and_then(Tok::ident) else {
+            return;
+        };
+        if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+            self.guards.retain(|g| g.name.as_deref() != Some(name));
+        }
+    }
+
+    /// `.lock(…)` — L2 (shard-engine access path), L5 (poison handling),
+    /// and L1 guard-liveness bookkeeping.
+    fn handle_lock(&mut self, toks: &[Tok], i: usize) {
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            return;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return;
+        }
+        let line = toks[i].line;
+
+        // L2: `…shards[…].lock(…)` — a shard engine locked outside the
+        // router's helpers.
+        if i >= 2 && toks[i - 2].is_punct(']') {
+            if let Some(subj) = index_subject(toks, i - 2) {
+                if subj == "shards" {
+                    self.report(
+                        "L2",
+                        line,
+                        "shard engine locked directly via `.shards[…].lock()` — all \
+                         engine acquisitions must go through the router's \
+                         ascending-order helpers"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        let Some(close) = matching_close(toks, i + 1) else {
+            return;
+        };
+        self.check_l5(toks, i, close);
+        self.track_guard(toks, i, close);
+    }
+
+    /// L5: `.lock(…)/.wait(…)` chained straight into `.unwrap()` or
+    /// `.expect(…)`.
+    fn check_l5(&mut self, toks: &[Tok], call: usize, close: usize) {
+        if !toks.get(close + 1).is_some_and(|t| t.is_punct('.')) {
+            return;
+        }
+        let Some(m) = toks.get(close + 2).and_then(Tok::ident) else {
+            return;
+        };
+        if m == "unwrap" || m == "expect" {
+            let name = toks[call].ident().unwrap_or("lock").to_string();
+            let m = m.to_string();
+            self.report(
+                "L5",
+                toks[call].line,
+                format!(
+                    "`.{name}(…).{m}(…)` propagates lock poisoning — use \
+                     `.unwrap_or_else(PoisonError::into_inner)` (workspace standard)"
+                ),
+            );
+        }
+    }
+
+    /// L1 bookkeeping: classify this `.lock(…)` as a persistent guard
+    /// binding (`let g = x.lock();` — live to end of block) or a
+    /// statement temporary (live to the statement's `;`).
+    fn track_guard(&mut self, toks: &[Tok], call: usize, close: usize) {
+        // Where does this statement start?
+        let mut start = call;
+        while start > 0 {
+            match &toks[start - 1].kind {
+                TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+                _ => start -= 1,
+            }
+        }
+        let is_let = toks.get(start).is_some_and(|t| t.is_ident("let"));
+
+        // Scan the suffix after the lock call: poison-handling adapters
+        // and `?` keep it a plain guard; anything else means work runs
+        // on the temporary before it drops.
+        let mut k = close + 1;
+        let terminal = loop {
+            match toks.get(k).map(|t| &t.kind) {
+                Some(TokKind::Punct('?')) => k += 1,
+                Some(TokKind::Punct('.')) => {
+                    let m = toks.get(k + 1).and_then(Tok::ident);
+                    if matches!(m, Some("unwrap_or_else" | "unwrap" | "expect")) {
+                        match toks.get(k + 2) {
+                            Some(t) if t.is_punct('(') => match matching_close(toks, k + 2) {
+                                Some(c) => k = c + 1,
+                                None => break false,
+                            },
+                            _ => break false,
+                        }
+                    } else {
+                        break false;
+                    }
+                }
+                // `;` ends the statement; `)` / `}` mean the guard is an
+                // argument or a tail expression whose lifetime the caller
+                // owns — treat as terminal rather than inventing a span.
+                Some(TokKind::Punct(';'))
+                | Some(TokKind::Punct(')'))
+                | Some(TokKind::Punct('}'))
+                | None => break true,
+                _ => break false,
+            }
+        };
+
+        if terminal && is_let {
+            let name = binding_name(toks, start);
+            self.guards.push(Guard {
+                name,
+                depth: self.depth,
+            });
+        } else if !terminal {
+            // Temporary guard held while the rest of the statement runs.
+            if let Some(end) = statement_end(toks, close) {
+                self.temp_guard_until = self.temp_guard_until.max(end);
+            }
+        }
+    }
+
+    /// L3 (predicate loop) and L5 for condvar waits. Only calls with at
+    /// least one argument count — `Child::wait()` takes none.
+    fn handle_wait(&mut self, toks: &[Tok], i: usize) {
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            return;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return;
+        }
+        if toks.get(i + 2).is_some_and(|t| t.is_punct(')')) {
+            return; // zero-arg wait: not a condvar
+        }
+        let Some(close) = matching_close(toks, i + 1) else {
+            return;
+        };
+        self.check_l5(toks, i, close);
+        if self.loop_stack.is_empty() {
+            let name = toks[i].ident().unwrap_or("wait").to_string();
+            self.report(
+                "L3",
+                toks[i].line,
+                format!(
+                    "condvar `.{name}(…)` outside a predicate loop — spurious wakeups \
+                     make a bare wait a race; use `while !predicate {{ … }}`"
+                ),
+            );
+        }
+    }
+
+    /// L4: wall-clock reads inside sim-clocked crates.
+    fn handle_clock(&mut self, toks: &[Tok], i: usize) {
+        if !self.sim_clocked {
+            return;
+        }
+        let path_now = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+        if path_now {
+            let which = toks[i].ident().unwrap_or("Instant").to_string();
+            self.report(
+                "L4",
+                toks[i].line,
+                format!(
+                    "`{which}::now()` in sim-clocked code — the simulator owns time \
+                     here; thread the sim clock through instead"
+                ),
+            );
+        }
+    }
+
+    /// L1: a blocking call while any lock guard is live.
+    fn handle_blocking(&mut self, toks: &[Tok], i: usize) {
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            return; // not a call
+        }
+        let held = !self.guards.is_empty() || i < self.temp_guard_until;
+        if held {
+            let name = toks[i].ident().unwrap_or("<blocking>").to_string();
+            self.report(
+                "L1",
+                toks[i].line,
+                format!(
+                    "blocking call `{name}(…)` while a lock guard is held — complete \
+                     the blocking work outside the critical section (see the log \
+                     manager's `PendingForce` two-phase force)"
+                ),
+            );
+        }
+    }
+}
+
+/// For `x[…]` whose `]` is at `close_bracket`, the identifier right
+/// before the matching `[`.
+fn index_subject(toks: &[Tok], close_bracket: usize) -> Option<&str> {
+    let mut depth = 0i32;
+    let mut j = close_bracket;
+    loop {
+        match &toks[j].kind {
+            TokKind::Punct(']') => depth += 1,
+            TokKind::Punct('[') => {
+                depth -= 1;
+                if depth == 0 {
+                    return if j == 0 { None } else { toks[j - 1].ident() };
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+/// First bound identifier of a `let` statement starting at `start`
+/// (handles `let mut g`, `let (g, _)`).
+fn binding_name(toks: &[Tok], start: usize) -> Option<String> {
+    let mut j = start + 1;
+    loop {
+        match toks.get(j).map(|t| &t.kind) {
+            Some(TokKind::Ident(id)) if id == "mut" => j += 1,
+            Some(TokKind::Punct('(')) => j += 1,
+            Some(TokKind::Ident(id)) => return Some(id.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// Index of the `;` ending the statement containing `from`, tracking
+/// bracket balance so `;` inside nested closures/blocks is skipped.
+fn statement_end(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match &t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct(';') if depth <= 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Result of a whole-workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the check.
+    pub violations: Vec<Violation>,
+    /// Findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (candidates for removal).
+    pub stale: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+}
+
+/// Scans every non-vendored `.rs` file under `root` and applies
+/// `root/lint.baseline` (an empty baseline if the file is absent).
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let baseline = match std::fs::read_to_string(root.join("lint.baseline")) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("cannot read lint.baseline: {e}")),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files).map_err(|e| format!("scan failed: {e}"))?;
+    files.sort();
+
+    let mut all = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(root.join(path))
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        all.extend(check_source(path, &src));
+    }
+    let n_files = files.len();
+    let (violations, suppressed, stale) = baseline.apply(all);
+    Ok(Report {
+        violations,
+        suppressed,
+        stale,
+        files: n_files,
+    })
+}
+
+/// Directories never scanned: vendored shims, build output, VCS/CI.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        check_source("crates/x/src/lib.rs", src)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clean_code_is_clean() {
+        let src = r#"
+            fn good(&self) {
+                let mut g = self.state.lock();
+                *g += 1;
+                drop(g);
+                std::thread::sleep(D);
+            }
+            fn wait_ok(&self) {
+                let mut s = self.lock();
+                loop {
+                    if *s { return; }
+                    let (guard, _) = self.cv.wait_timeout(s, d);
+                    s = guard;
+                }
+            }
+        "#;
+        assert!(rules_of(src).is_empty(), "got {:?}", rules_of(src));
+    }
+
+    #[test]
+    fn l1_guard_held_across_sleep() {
+        let src = "fn bad(&self) { let g = self.state.lock(); std::thread::sleep(D); }";
+        assert_eq!(rules_of(src), vec!["L1"]);
+        // dropping the guard first is fine
+        let ok = "fn good(&self) { let g = self.state.lock(); drop(g); std::thread::sleep(D); }";
+        assert!(rules_of(ok).is_empty());
+        // block scoping releases too
+        let scoped = "fn good(&self) { { let g = self.state.lock(); } std::thread::sleep(D); }";
+        assert!(rules_of(scoped).is_empty());
+    }
+
+    #[test]
+    fn l1_temporary_guard_in_chain() {
+        let src = "fn bad(&self) { let next = { rx.lock().recv_timeout(d) }; }";
+        assert_eq!(rules_of(src), vec!["L1"]);
+    }
+
+    #[test]
+    fn l2_direct_shard_lock() {
+        let src = "fn bad(&self, i: usize) { self.core.shards[i].lock().run(); }";
+        assert_eq!(rules_of(src), vec!["L2"]);
+        let ok = "fn good(&self, i: usize) { self.lock(i).run(); }";
+        assert!(rules_of(ok).is_empty());
+    }
+
+    #[test]
+    fn l3_wait_outside_loop() {
+        let src = "fn bad(&self) { let g = self.cv.wait(guard); }";
+        assert_eq!(rules_of(src), vec!["L3"]);
+        // Child::wait() has no argument: not a condvar
+        let child = "fn ok(&self) { child.wait().expect(\"exit\"); }";
+        assert!(rules_of(child).is_empty());
+    }
+
+    #[test]
+    fn l4_wall_clock_only_in_sim_paths() {
+        let src = "fn t() { let t0 = Instant::now(); }";
+        let hits = check_source("crates/sim/src/clock.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "L4");
+        assert!(check_source("crates/log/src/manager.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_poison_unwrap() {
+        let src = "fn bad(&self) { let g = self.state.lock().unwrap(); }";
+        assert_eq!(rules_of(src), vec!["L5"]);
+        let ok =
+            "fn good(&self) { let g = self.state.lock().unwrap_or_else(PoisonError::into_inner); }";
+        assert!(rules_of(ok).is_empty());
+    }
+
+    #[test]
+    fn violations_carry_the_enclosing_fn() {
+        let src = "impl X { fn outer(&self) { let g = self.m.lock().unwrap(); } }";
+        let hits = check_source("x.rs", src);
+        assert_eq!(hits[0].func, "outer");
+    }
+
+    #[test]
+    fn baseline_suppresses_and_reports_stale() {
+        let text = "L5 x.rs outer  known: fixed in the next refactor\n\
+                    L1 gone.rs nobody  stale entry\n";
+        let b = Baseline::parse(text).expect("parse");
+        let v = check_source("x.rs", "fn outer() { let g = m.lock().unwrap(); }");
+        let (open, suppressed, stale) = b.apply(v);
+        assert!(open.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale, vec!["L1 gone.rs nobody".to_string()]);
+    }
+
+    #[test]
+    fn baseline_requires_a_reason() {
+        assert!(Baseline::parse("L1 a.rs f\n").is_err());
+        assert!(Baseline::parse("# comment\n\nL1 a.rs f because\n").is_ok());
+    }
+}

@@ -1,0 +1,71 @@
+//! `mmdb-lint` — run the workspace concurrency-discipline check.
+//!
+//! ```text
+//! mmdb-lint check [--root PATH]
+//! ```
+//!
+//! Scans every non-vendored `.rs` file under the root (default: the
+//! current directory), applies `lint.baseline`, prints unbaselined
+//! findings and stale baseline entries, and exits nonzero if any
+//! finding is unbaselined. CI runs this as the `static-analysis` job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" => cmd = Some("check"),
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mmdb-lint check [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("check") {
+        eprintln!("usage: mmdb-lint check [--root PATH]");
+        return ExitCode::from(2);
+    }
+
+    match mmdb_lint::check_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            for s in &report.stale {
+                eprintln!("warning: stale baseline entry `{s}` matched nothing — remove it");
+            }
+            eprintln!(
+                "mmdb-lint: {} file(s), {} violation(s), {} baselined, {} stale entr(ies)",
+                report.files,
+                report.violations.len(),
+                report.suppressed,
+                report.stale.len()
+            );
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("mmdb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

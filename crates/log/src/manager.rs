@@ -172,8 +172,12 @@ impl LogManager {
         self.audit = audit;
     }
 
-    /// Routes telemetry (force latency, truncations) to `obs`.
+    /// Routes telemetry (force latency, truncations) to `obs`, and points
+    /// the watermark lock's contention counters at the same registry.
     pub fn set_obs(&mut self, obs: Obs) {
+        if let Some(sink) = obs.contention_sink() {
+            self.watermark.set_sink(sink);
+        }
         self.obs = obs;
     }
 

@@ -15,8 +15,9 @@
 //! rather than hanging; durability is checked *before* the error slot,
 //! so commits the device already covers still ack.
 
+use mmdb_sync::{ContentionSink, LockRank, RankedCondvar, RankedGuard, RankedMutex};
 use mmdb_types::{Lsn, MmdbError, Result};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Default)]
@@ -29,26 +30,43 @@ struct WatermarkState {
 
 /// A monotone durable-LSN shared between the log manager (publisher) and
 /// group committers (waiters). See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DurableWatermark {
-    state: Mutex<WatermarkState>,
-    cv: Condvar,
+    state: RankedMutex<WatermarkState>,
+    cv: RankedCondvar,
+}
+
+impl Default for DurableWatermark {
+    fn default() -> DurableWatermark {
+        DurableWatermark::new(Lsn::ZERO)
+    }
 }
 
 impl DurableWatermark {
     /// A watermark starting at `durable` (the log's durable LSN at open).
     pub fn new(durable: Lsn) -> DurableWatermark {
         DurableWatermark {
-            state: Mutex::new(WatermarkState {
-                durable,
-                error: None,
-            }),
-            cv: Condvar::new(),
+            state: RankedMutex::new(
+                "log.watermark",
+                LockRank::WATERMARK,
+                WatermarkState {
+                    durable,
+                    error: None,
+                },
+            ),
+            cv: RankedCondvar::new(),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, WatermarkState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Attach a contention sink: contended acquisitions and hold times of
+    /// the watermark lock surface as `sync.log.watermark.*` metrics.
+    pub fn set_sink(&self, sink: Arc<dyn ContentionSink>) {
+        self.state.set_sink(sink);
+    }
+
+    #[track_caller]
+    fn lock(&self) -> RankedGuard<'_, WatermarkState> {
+        self.state.lock()
     }
 
     /// The current durable LSN.
@@ -96,10 +114,7 @@ impl DurableWatermark {
             if now >= deadline {
                 return Ok(false);
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(s, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now);
             s = guard;
         }
     }

@@ -9,8 +9,9 @@
 
 use crate::hist::Histogram;
 use crate::trace::{SpanRecord, TraceBuffer, DEFAULT_SPAN_CAPACITY};
+use mmdb_sync::{ContentionSink, LockRank, RankedMutex};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Sorted `(name, counter)`, `(name, gauge)` and `(name, histogram
@@ -31,8 +32,13 @@ pub struct Registry {
 
 struct ObsInner {
     epoch: Instant,
-    metrics: Mutex<Registry>,
-    trace: Mutex<TraceBuffer>,
+    // The registry locks sit at the very bottom of the lock hierarchy
+    // (DESIGN.md §6.6): every subsystem records telemetry while holding
+    // its own locks, so nothing may be acquired below these. They carry
+    // no contention sink of their own — the sink *is* this registry, and
+    // instrumenting it with itself would recurse.
+    metrics: RankedMutex<Registry>,
+    trace: RankedMutex<TraceBuffer>,
 }
 
 impl std::fmt::Debug for ObsInner {
@@ -63,8 +69,16 @@ impl Obs {
         Obs {
             inner: Some(Arc::new(ObsInner {
                 epoch: Instant::now(),
-                metrics: Mutex::new(Registry::default()),
-                trace: Mutex::new(TraceBuffer::new(span_capacity)),
+                metrics: RankedMutex::new(
+                    "obs.metrics",
+                    LockRank::OBS_METRICS,
+                    Registry::default(),
+                ),
+                trace: RankedMutex::new(
+                    "obs.trace",
+                    LockRank::OBS_TRACE,
+                    TraceBuffer::new(span_capacity),
+                ),
             })),
         }
     }
@@ -87,7 +101,7 @@ impl Obs {
     /// Add `delta` to the counter `name`.
     pub fn counter(&self, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
-            let mut m = lock(&inner.metrics);
+            let mut m = inner.metrics.lock();
             *m.counters.entry(name).or_insert(0) += delta;
         }
     }
@@ -95,7 +109,7 @@ impl Obs {
     /// Set the gauge `name` to `value`.
     pub fn gauge(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
-            let mut m = lock(&inner.metrics);
+            let mut m = inner.metrics.lock();
             m.gauges.insert(name, value);
         }
     }
@@ -103,7 +117,7 @@ impl Obs {
     /// Record `value` into the histogram `name`.
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(inner) = &self.inner {
-            let mut m = lock(&inner.metrics);
+            let mut m = inner.metrics.lock();
             m.hists.entry(name).or_default().record(value);
         }
     }
@@ -119,7 +133,7 @@ impl Obs {
     pub fn observe_timer(&self, hist: &'static str, timer: Timer) {
         if let (Some(inner), Some(started)) = (&self.inner, timer.0) {
             let ns = elapsed_ns(started);
-            let mut m = lock(&inner.metrics);
+            let mut m = inner.metrics.lock();
             m.hists.entry(hist).or_default().record(ns);
         }
     }
@@ -140,8 +154,8 @@ impl Obs {
                 .saturating_duration_since(inner.epoch)
                 .as_nanos()
                 .min(u64::MAX as u128) as u64;
-            lock(&inner.trace).push(span, label(), start_ns, dur_ns);
-            let mut m = lock(&inner.metrics);
+            inner.trace.lock().push(span, label(), start_ns, dur_ns);
+            let mut m = inner.metrics.lock();
             m.hists.entry(hist).or_default().record(dur_ns);
         }
     }
@@ -149,7 +163,7 @@ impl Obs {
     /// The most recent `limit` finished spans, oldest first.
     pub fn spans(&self, limit: usize) -> Vec<SpanRecord> {
         match &self.inner {
-            Some(inner) => lock(&inner.trace).recent(limit),
+            Some(inner) => inner.trace.lock().recent(limit),
             None => Vec::new(),
         }
     }
@@ -158,7 +172,7 @@ impl Obs {
     pub fn span_stats(&self) -> (u64, u64) {
         match &self.inner {
             Some(inner) => {
-                let t = lock(&inner.trace);
+                let t = inner.trace.lock();
                 (t.recorded(), t.dropped())
             }
             None => (0, 0),
@@ -167,7 +181,7 @@ impl Obs {
 
     /// Run `f` against the registry (no-op when disabled).
     pub fn with_registry<R>(&self, f: impl FnOnce(&Registry) -> R) -> Option<R> {
-        self.inner.as_ref().map(|inner| f(&lock(&inner.metrics)))
+        self.inner.as_ref().map(|inner| f(&inner.metrics.lock()))
     }
 
     /// Dump the registry contents for snapshotting: sorted counters,
@@ -175,7 +189,7 @@ impl Obs {
     pub fn dump(&self) -> RegistryDump {
         match &self.inner {
             Some(inner) => {
-                let m = lock(&inner.metrics);
+                let m = inner.metrics.lock();
                 (
                     m.counters
                         .iter()
@@ -210,17 +224,35 @@ impl Registry {
     }
 }
 
-fn elapsed_ns(started: Instant) -> u64 {
-    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
+/// The registry doubles as the [`ContentionSink`] for every
+/// [`RankedMutex`] in the system: a contended acquisition becomes a
+/// `sync.<name>.contended` counter bump and hold intervals land in the
+/// `sync.<name>.held_us` histogram. Sinks are invoked only *after* the
+/// instrumented guard is released, so recording here (rank
+/// `OBS_METRICS`, the hierarchy floor) can never invert the order.
+impl ContentionSink for Obs {
+    fn contended(&self, metric: &'static str) {
+        self.counter(metric, 1);
+    }
+
+    fn held_us(&self, metric: &'static str, us: u64) {
+        self.observe(metric, us);
+    }
 }
 
-/// Mutex poisoning cannot happen here (no panics while holding the lock),
-/// but recover rather than unwrap to keep the deny(unwrap) lint honest.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+impl Obs {
+    /// This handle as a contention sink for `RankedMutex::set_sink`, or
+    /// `None` when disabled (leaving instrumented locks on their
+    /// zero-overhead fast path).
+    pub fn contention_sink(&self) -> Option<Arc<dyn ContentionSink>> {
+        self.inner
+            .as_ref()
+            .map(|_| Arc::new(self.clone()) as Arc<dyn ContentionSink>)
     }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    started.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 #[cfg(test)]

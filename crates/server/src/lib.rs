@@ -44,11 +44,12 @@ pub use load::{
 
 use mmdb_core::{Mmdb, StepOutcome};
 use mmdb_shard::ShardedMmdb;
+use mmdb_sync::{LockRank, RankedMutex};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -145,7 +146,16 @@ impl Server {
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        // Ranked above every shard lock: a worker blocks on the queue
+        // holding nothing, and everything else nests strictly below.
+        let conn_rx = Arc::new(RankedMutex::new(
+            "server.conn_queue",
+            LockRank::CONN_QUEUE,
+            conn_rx,
+        ));
+        if let Some(sink) = shared.db.obs().contention_sink() {
+            conn_rx.set_sink(sink);
+        }
 
         let mut worker_joins = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
@@ -262,19 +272,15 @@ fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<Tc
 
 fn worker_loop(
     shared: &Shared,
-    conn_rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    conn_rx: &Arc<RankedMutex<mpsc::Receiver<TcpStream>>>,
     cfg: &ServerConfig,
 ) {
     loop {
         // Take the receiver lock only to dequeue, never across a
-        // connection's lifetime — otherwise the pool serializes.
-        let next = {
-            let rx = match conn_rx.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            rx.recv_timeout(cfg.poll_interval)
-        };
+        // connection's lifetime — otherwise the pool serializes. The
+        // guard IS held across the bounded `recv_timeout` poll — that is
+        // the queue's hand-off design, and the one allowlisted L1 site.
+        let next = { conn_rx.lock().recv_timeout(cfg.poll_interval) };
         match next {
             Ok(stream) => conn::serve_connection(shared, stream, cfg),
             Err(mpsc::RecvTimeoutError::Timeout) => {

@@ -62,11 +62,12 @@ use mmdb_core::{
     RecoveryReport, StepOutcome, TxnRun,
 };
 use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
+use mmdb_sync::{leak_name, LockRank, RankedCondvar, RankedGuard, RankedMutex};
 use mmdb_types::{DbParams, Lsn, MmdbError, RecordId, Result, TxnId, Word};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Name of the topology marker file written at the root of a sharded
@@ -129,7 +130,10 @@ struct Binding {
 /// The state shared between the router and the per-shard log-flusher
 /// threads: the engines themselves plus each shard's flush signal.
 struct ShardCore {
-    shards: Vec<Mutex<Mmdb>>,
+    /// Shard `i`'s engine lock carries rank `engine(i)`: ascending index
+    /// order (the 2PC discipline) is strictly descending rank, so the
+    /// debug-build detector proves every interleaving deadlock-free.
+    shards: Vec<RankedMutex<Mmdb>>,
     /// One flush signal per shard: committers set `pending` and notify;
     /// the shard's flusher consumes it and forces the log.
     flush: Vec<FlushSignal>,
@@ -139,23 +143,32 @@ struct ShardCore {
 }
 
 impl ShardCore {
-    fn lock(&self, i: usize) -> MutexGuard<'_, Mmdb> {
-        self.shards[i]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    #[track_caller]
+    fn lock(&self, i: usize) -> RankedGuard<'_, Mmdb> {
+        self.shards[i].lock()
     }
 }
 
 /// A committer-to-flusher doorbell (one per shard).
-#[derive(Default)]
 struct FlushSignal {
-    pending: Mutex<bool>,
-    cv: Condvar,
+    pending: RankedMutex<bool>,
+    cv: RankedCondvar,
 }
 
 impl FlushSignal {
+    fn new(shard: usize) -> FlushSignal {
+        FlushSignal {
+            pending: RankedMutex::new(
+                leak_name(format!("flusher_signal.{shard}")),
+                LockRank::flusher_signal(shard),
+                false,
+            ),
+            cv: RankedCondvar::new(),
+        }
+    }
+
     fn ring(&self) {
-        *self.pending.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        *self.pending.lock() = true;
         self.cv.notify_one();
     }
 }
@@ -243,12 +256,9 @@ fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWate
     loop {
         {
             let sig = &core.flush[shard];
-            let mut pending = sig.pending.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut pending = sig.pending.lock();
             if !*pending && !core.stop.load(Ordering::SeqCst) {
-                let (guard, _) = sig
-                    .cv
-                    .wait_timeout(pending, FLUSH_BACKSTOP)
-                    .unwrap_or_else(PoisonError::into_inner);
+                let (guard, _) = sig.cv.wait_timeout(pending, FLUSH_BACKSTOP);
                 pending = guard;
             }
             *pending = false;
@@ -312,7 +322,7 @@ pub struct ShardedMmdb {
     /// Id source for interactive (wire-level) transactions. These ids
     /// live in the router's namespace, not any engine's.
     next_txn: AtomicU64,
-    open_txns: Mutex<HashMap<u64, Binding>>,
+    open_txns: RankedMutex<HashMap<u64, Binding>>,
     audit: Audit,
     obs: Obs,
 }
@@ -433,10 +443,28 @@ impl ShardedMmdb {
             engines.iter().map(Mmdb::log_watermark).collect();
         let n = engines.len();
         let core = Arc::new(ShardCore {
-            shards: engines.into_iter().map(Mutex::new).collect(),
-            flush: (0..n).map(|_| FlushSignal::default()).collect(),
+            shards: engines
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    RankedMutex::new(leak_name(format!("engine.{i}")), LockRank::engine(i), e)
+                })
+                .collect(),
+            flush: (0..n).map(FlushSignal::new).collect(),
             stop: AtomicBool::new(false),
         });
+        let open_txns = RankedMutex::new("router.txns", LockRank::ROUTER_TXNS, HashMap::new());
+        // Contended acquisitions of every router-owned lock surface as
+        // `sync.<name>.*` metrics on the router's registry.
+        if let Some(sink) = obs.contention_sink() {
+            for m in &core.shards {
+                m.set_sink(Arc::clone(&sink));
+            }
+            for sig in &core.flush {
+                sig.pending.set_sink(Arc::clone(&sink));
+            }
+            open_txns.set_sink(sink);
+        }
         let flushers = if group {
             FlusherPool::spawn(&core, &watermarks, &obs)
         } else {
@@ -452,7 +480,7 @@ impl ShardedMmdb {
             record_words,
             next_gid: AtomicU64::new(1),
             next_txn: AtomicU64::new(1),
-            open_txns: Mutex::new(HashMap::new()),
+            open_txns,
             audit,
             obs,
         };
@@ -562,7 +590,8 @@ impl ShardedMmdb {
         RecordId(rid.raw() / self.shards() as u64)
     }
 
-    fn lock(&self, i: usize) -> MutexGuard<'_, Mmdb> {
+    #[track_caller]
+    fn lock(&self, i: usize) -> RankedGuard<'_, Mmdb> {
         self.core.lock(i)
     }
 
@@ -607,7 +636,7 @@ impl ShardedMmdb {
             .unwrap_or_else(|_| unreachable!("flushers joined; no ShardCore clones remain"));
         core.shards
             .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .map(RankedMutex::into_inner)
             .collect()
     }
 
@@ -719,7 +748,7 @@ impl ShardedMmdb {
         gid: u64,
         by_shard: &BTreeMap<usize, Vec<(RecordId, Vec<Word>)>>,
     ) -> Result<TxnId> {
-        let mut guards: Vec<(usize, MutexGuard<'_, Mmdb>)> = Vec::with_capacity(by_shard.len());
+        let mut guards: Vec<(usize, RankedGuard<'_, Mmdb>)> = Vec::with_capacity(by_shard.len());
         for &shard in by_shard.keys() {
             let g = self.lock(shard);
             self.audit
@@ -794,7 +823,7 @@ impl ShardedMmdb {
 
     /// Releases shard locks in reverse acquisition order (the audited
     /// discipline — [`mmdb_audit::ShardChecker`] verifies it).
-    fn release_all(&self, guards: Vec<(usize, MutexGuard<'_, Mmdb>)>, gid: u64) {
+    fn release_all(&self, guards: Vec<(usize, RankedGuard<'_, Mmdb>)>, gid: u64) {
         for (shard, g) in guards.into_iter().rev() {
             drop(g);
             self.audit
@@ -892,11 +921,9 @@ impl ShardedMmdb {
         result
     }
 
-    fn open_map(&self) -> MutexGuard<'_, HashMap<u64, Binding>> {
-        match self.open_txns.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    #[track_caller]
+    fn open_map(&self) -> RankedGuard<'_, HashMap<u64, Binding>> {
+        self.open_txns.lock()
     }
 
     /// Resolves an interactive transaction to its shard branch, binding
@@ -1376,6 +1403,45 @@ mod tests {
         assert_eq!(snap.gauge("shard.count"), Some(1));
         validate_prometheus(&sharded.prometheus()).expect("no duplicate families");
         assert!(sharded.audit_violations().is_empty());
+    }
+
+    #[test]
+    fn sync_contention_counters_reach_the_metrics_surface() {
+        let mut config = cfg();
+        config.telemetry = true;
+        let db = ShardedMmdb::open_in_memory(config, 2).expect("open");
+        let w = db.record_words();
+        // Single- and cross-shard traffic so engine locks, the txn
+        // table, and the watermark all get held at least once.
+        db.run_txn(&[(RecordId(0), fill(w, 1))]).expect("single");
+        db.run_txn(&[(RecordId(0), fill(w, 2)), (RecordId(1), fill(w, 3))])
+            .expect("cross");
+        // An interactive txn is what exercises the router's txn table.
+        let t = db.begin_txn().expect("begin");
+        db.write(t, RecordId(2), &fill(w, 4)).expect("write");
+        db.commit(t).expect("commit");
+
+        let snap = db.metrics_snapshot();
+        let hist_names: Vec<&str> = snap.hists.iter().map(|(n, _)| n.as_str()).collect();
+        for name in [
+            "sync.engine.0.held_us",
+            "sync.engine.1.held_us",
+            "sync.router.txns.held_us",
+        ] {
+            assert!(
+                hist_names.contains(&name),
+                "missing {name}; hists: {hist_names:?}"
+            );
+        }
+        // Contended counts exist only under real contention, but the
+        // families must still render as one TYPE line each when present
+        // alongside the per-shard samples.
+        let text = db.prometheus();
+        validate_prometheus(&text).expect("sync.* families keep the exposition valid");
+        assert!(
+            text.contains("sync_engine_0_held_us"),
+            "sync hold-time family exported:\n{text}"
+        );
     }
 
     fn group_cfg() -> MmdbConfig {

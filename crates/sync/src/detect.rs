@@ -1,0 +1,162 @@
+//! Debug/test-only lock discipline detector.
+//!
+//! Two checks run on every [`RankedMutex`](crate::RankedMutex)
+//! acquisition:
+//!
+//! 1. **Rank inversion** — a thread-local held set: acquiring a ranked
+//!    lock whose rank is not strictly below every held rank panics
+//!    immediately, naming both acquisition sites. This is deterministic
+//!    (no unlucky scheduling required) and catches the *potential*
+//!    deadlock, not just the realized one.
+//! 2. **Wait-for cycles** — a global `lock → holder` / `thread →
+//!    waited-lock` graph, consulted when an acquisition is about to
+//!    block: if following `holder → waiting → holder → …` leads back to
+//!    the current thread, the realized deadlock panics in the thread
+//!    that closed the cycle, printing every edge with its acquisition
+//!    site. This is the safety net for [`UNRANKED`](crate::LockRank)
+//!    locks and for rank bugs that slip past review in release-profile
+//!    dependencies.
+//!
+//! The detector's own table lives behind a plain `std::sync::Mutex`: it
+//! acquires no ranked lock while held, so it cannot participate in any
+//! cycle it would have to detect. The whole module is compiled only
+//! under `debug_assertions`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{LazyLock, Mutex, PoisonError};
+use std::thread::ThreadId;
+
+type Site = &'static Location<'static>;
+
+#[derive(Clone, Copy)]
+struct Held {
+    lock: usize,
+    name: &'static str,
+    rank: Option<u32>,
+    at: Site,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+struct Tables {
+    /// lock id → (holding thread, lock name, acquisition site).
+    holders: HashMap<usize, (ThreadId, &'static str, Site)>,
+    /// thread → (lock id it is blocked on, lock name, wait site).
+    waiting: HashMap<ThreadId, (usize, &'static str, Site)>,
+}
+
+static TABLES: LazyLock<Mutex<Tables>> = LazyLock::new(|| Mutex::new(Tables::default()));
+
+fn tables() -> std::sync::MutexGuard<'static, Tables> {
+    // A detector panic poisons this mutex by design; later threads must
+    // still be able to clean up their bookkeeping.
+    TABLES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Rank-inversion check, run *before* attempting the acquisition.
+pub(crate) fn check_acquire(lock: usize, name: &'static str, rank: Option<u32>, at: Site) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        for h in held.iter() {
+            if h.lock == lock {
+                panic!(
+                    "relock of `{name}` at {at}: this thread already holds it \
+                     (acquired at {prev})",
+                    prev = h.at
+                );
+            }
+        }
+        let Some(rank) = rank else { return };
+        for h in held.iter() {
+            if let Some(held_rank) = h.rank {
+                if rank >= held_rank {
+                    panic!(
+                        "lock-rank inversion: acquiring `{name}` (rank {rank}) at {at} \
+                         while holding `{held_name}` (rank {held_rank}) acquired at \
+                         {held_at} — the hierarchy (DESIGN.md §6.6) requires strictly \
+                         descending acquisition",
+                        held_name = h.name,
+                        held_at = h.at,
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// Records a successful acquisition.
+pub(crate) fn acquired(lock: usize, name: &'static str, rank: Option<u32>, at: Site) {
+    HELD.with(|held| {
+        held.borrow_mut().push(Held {
+            lock,
+            name,
+            rank,
+            at,
+        })
+    });
+    tables()
+        .holders
+        .insert(lock, (std::thread::current().id(), name, at));
+}
+
+/// Records a release (guard drop or condvar-wait detach).
+pub(crate) fn released(lock: usize) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|h| h.lock == lock) {
+            held.remove(pos);
+        }
+    });
+    tables().holders.remove(&lock);
+}
+
+/// Registers this thread as blocked on `lock` and walks the wait-for
+/// graph; panics if the walk returns to this thread (a realized
+/// deadlock cycle), printing every edge.
+pub(crate) fn wait_begin(lock: usize, name: &'static str, at: Site) {
+    let me = std::thread::current().id();
+    let t = tables();
+    // Walk: the lock I want → its holder → the lock that thread wants → …
+    let mut chain: Vec<String> = vec![format!("thread {me:?} waits for `{name}` at {at}")];
+    let mut next_lock = lock;
+    let mut hops = 0;
+    while let Some(&(holder, held_name, held_at)) = t.holders.get(&next_lock) {
+        chain.push(format!(
+            "  `{held_name}` is held by thread {holder:?} (acquired at {held_at})"
+        ));
+        if holder == me {
+            drop(t);
+            panic!(
+                "deadlock cycle detected:\n{}\n  — which is this thread: the wait-for \
+                 graph is cyclic",
+                chain.join("\n")
+            );
+        }
+        match t.waiting.get(&holder) {
+            Some(&(wanted, wanted_name, wanted_at)) => {
+                chain.push(format!(
+                    "  thread {holder:?} waits for `{wanted_name}` at {wanted_at}"
+                ));
+                next_lock = wanted;
+            }
+            None => break,
+        }
+        hops += 1;
+        if hops > 1024 {
+            break; // defensive bound; real chains are a handful of edges
+        }
+    }
+    let mut t = t;
+    t.waiting.insert(me, (lock, name, at));
+}
+
+/// Clears this thread's waiting edge after the blocked acquisition
+/// completed.
+pub(crate) fn wait_end() {
+    tables().waiting.remove(&std::thread::current().id());
+}

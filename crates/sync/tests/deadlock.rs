@@ -1,0 +1,155 @@
+//! Detector tests: the deliberate violations must panic with messages
+//! naming every involved acquisition site, and the sanctioned
+//! disciplines (ascending shard order, descending rank nesting) must
+//! never trip. The detector only exists under `debug_assertions`, so
+//! the violation tests are compiled out of release runs.
+
+use mmdb_sync::{leak_name, LockRank, RankedMutex};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Runs `f` on a fresh thread and returns the panic message it died
+/// with (panics itself if `f` completed cleanly).
+#[cfg(debug_assertions)]
+fn panic_message_of(f: impl FnOnce() + Send + 'static) -> String {
+    let err = std::thread::Builder::new()
+        .name("expect-panic".into())
+        .spawn(f)
+        .expect("spawn")
+        .join()
+        .expect_err("the violation must panic");
+    match err.downcast::<String>() {
+        Ok(s) => *s,
+        Err(err) => (*err
+            .downcast::<&'static str>()
+            .expect("string panic payload"))
+        .to_string(),
+    }
+}
+
+#[test]
+#[cfg(debug_assertions)]
+fn rank_inversion_panics_naming_both_lock_sites() {
+    let a = Arc::new(RankedMutex::new("engine.0", LockRank::engine(0), ()));
+    let b = Arc::new(RankedMutex::new("engine.1", LockRank::engine(1), ()));
+
+    // A well-behaved thread holds both in ascending shard order the
+    // whole time, proving the panic below is about *order*, not mere
+    // coexistence of the two locks.
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let hold = Barrier::new(2);
+    let msg = std::thread::scope(|s| {
+        let hold = &hold;
+        s.spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+            hold.wait(); // both held, correct order: no panic
+        });
+        hold.wait();
+        panic_message_of(move || {
+            let _gb = b.lock();
+            let _ga = a.lock(); // shard 0 after shard 1: rank inversion
+        })
+    });
+    assert!(msg.contains("lock-rank inversion"), "got: {msg}");
+    assert!(msg.contains("`engine.0`"), "names the acquired lock: {msg}");
+    assert!(msg.contains("`engine.1`"), "names the held lock: {msg}");
+    // Both acquisition sites are file:line:col in this file.
+    assert_eq!(
+        msg.matches("deadlock.rs").count(),
+        2,
+        "both lock sites cited: {msg}"
+    );
+}
+
+#[test]
+#[cfg(debug_assertions)]
+fn relocking_a_held_lock_panics() {
+    let m = Arc::new(RankedMutex::new("self", LockRank::UNRANKED, ()));
+    let msg = panic_message_of(move || {
+        let _g = m.lock();
+        let _g2 = m.lock();
+    });
+    assert!(msg.contains("relock of `self`"), "got: {msg}");
+}
+
+#[test]
+#[cfg(debug_assertions)]
+fn wait_for_cycle_panics_with_the_full_chain() {
+    // Unranked locks: rank checking is out of the way, so the realized
+    // AB/BA deadlock is caught by the wait-for graph instead.
+    let a = Arc::new(RankedMutex::new("cycle.a", LockRank::UNRANKED, ()));
+    let b = Arc::new(RankedMutex::new("cycle.b", LockRank::UNRANKED, ()));
+    let barrier = Arc::new(Barrier::new(2));
+
+    let (a2, b2, barrier2) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+    let victim = std::thread::spawn(move || {
+        let _gb = b2.lock();
+        barrier2.wait();
+        // Blocks on `a` (held by the detector thread). When that thread
+        // panics and unwinds, `a` is released and this completes.
+        let _ga = a2.lock();
+    });
+
+    let msg = panic_message_of(move || {
+        let _ga = a.lock();
+        barrier.wait();
+        // Give the victim time to be *registered* as waiting on `a`.
+        std::thread::sleep(Duration::from_millis(100));
+        let _gb = b.lock(); // closes the cycle: a → b → a
+    });
+    victim
+        .join()
+        .expect("victim completes once the cycle breaks");
+    assert!(msg.contains("deadlock cycle detected"), "got: {msg}");
+    assert!(msg.contains("`cycle.a`"), "chain names lock a: {msg}");
+    assert!(msg.contains("`cycle.b`"), "chain names lock b: {msg}");
+    assert!(msg.contains("deadlock.rs"), "chain cites lock sites: {msg}");
+}
+
+#[test]
+fn two_phase_commit_style_ascending_acquisition_never_trips() {
+    // The cross-shard 2PC discipline in miniature: every thread locks an
+    // arbitrary participant subset, always in ascending shard order,
+    // with the watermark taken innermost — the detector must stay quiet
+    // through heavy interleaving.
+    let engines: Arc<Vec<RankedMutex<u64>>> = Arc::new(
+        (0..8)
+            .map(|i| RankedMutex::new(leak_name(format!("tpc.engine.{i}")), LockRank::engine(i), 0))
+            .collect(),
+    );
+    let watermark = Arc::new(RankedMutex::new("tpc.watermark", LockRank::WATERMARK, 0u64));
+
+    let threads: Vec<_> = (0..6u64)
+        .map(|tid| {
+            let engines = Arc::clone(&engines);
+            let watermark = Arc::clone(&watermark);
+            std::thread::spawn(move || {
+                for round in 0..50u64 {
+                    // Participant set varies per (thread, round); order is
+                    // always ascending.
+                    let stride = (tid + round) % 3 + 1;
+                    let mut guards = Vec::new();
+                    let mut i = (tid % 3) as usize;
+                    while i < engines.len() {
+                        guards.push(engines[i].lock());
+                        i += stride as usize;
+                    }
+                    for g in guards.iter_mut() {
+                        **g += 1;
+                    }
+                    *watermark.lock() += guards.len() as u64;
+                    // LIFO release, as the router does.
+                    while let Some(g) = guards.pop() {
+                        drop(g);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("no detector panic under ascending order");
+    }
+    let total: u64 = *watermark.lock();
+    assert!(total > 0);
+}

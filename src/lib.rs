@@ -102,6 +102,12 @@ pub mod shard {
     pub use mmdb_shard::*;
 }
 
+/// Ranked locks: the global lock hierarchy, debug-build deadlock
+/// detection, and per-lock contention telemetry (DESIGN.md §6.6).
+pub mod sync {
+    pub use mmdb_sync::*;
+}
+
 /// The network wire protocol and blocking client.
 pub mod wire {
     pub use mmdb_wire::*;

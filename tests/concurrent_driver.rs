@@ -12,7 +12,7 @@
 
 use mmdb::{Algorithm, Mmdb, MmdbConfig, MmdbError, RecordId, StepOutcome};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 const N_ACCOUNTS: u64 = 2048;
 const INITIAL: u32 = 1000;
@@ -52,7 +52,7 @@ fn threaded_workers_and_checkpointer() {
             let done = Arc::clone(&checkpoints_done);
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let mut guard = db.lock().unwrap();
+                    let mut guard = db.lock().unwrap_or_else(PoisonError::into_inner);
                     if !guard.is_checkpoint_active() && !guard.is_quiescing() {
                         // ignore "in progress" races
                         let _ = guard.try_begin_checkpoint();
@@ -93,7 +93,7 @@ fn threaded_workers_and_checkpointer() {
                         let from = next() % N_ACCOUNTS;
                         let to = (from + 1 + next() % (N_ACCOUNTS - 1)) % N_ACCOUNTS;
                         let amount = (next() % 20 + 1) as u32;
-                        let mut guard = db.lock().unwrap();
+                        let mut guard = db.lock().unwrap_or_else(PoisonError::into_inner);
                         let result = (|| -> mmdb::Result<bool> {
                             let txn = match guard.begin_txn() {
                                 Ok(t) => t,

@@ -1,0 +1,212 @@
+//! Mutation tests for the concurrency-discipline lint: each fixture
+//! plants exactly one discipline violation and must trip exactly its
+//! rule — no more, no less — while the clean twin of every fixture
+//! passes. This is the lint's own regression suite: if a rule's
+//! matcher drifts (misses the mutation or starts flagging the clean
+//! form), one of these fails.
+
+use mmdb_lint::{check_source, Baseline};
+
+/// Rule ids reported for `src` when checked under `path`.
+fn rules(path: &str, src: &str) -> Vec<&'static str> {
+    check_source(path, src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+#[test]
+fn l1_guard_held_across_blocking_op() {
+    let bad = r#"
+        fn flush(&self) {
+            let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            self.file.sync_all().ok();
+            drop(g);
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad), vec!["L1"]);
+
+    // Clean twin: the guard is dropped before the blocking call.
+    let good = r#"
+        fn flush(&self) {
+            let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            drop(g);
+            self.file.sync_all().ok();
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", good), Vec::<&str>::new());
+}
+
+#[test]
+fn l1_statement_temporary_guard_across_blocking_op() {
+    // The guard only lives for the statement, but the blocking call is
+    // chained onto it — the lock IS held across the recv_timeout.
+    let bad = r#"
+        fn next(&self) {
+            let msg = self.queue.lock().recv_timeout(POLL);
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad), vec!["L1"]);
+}
+
+#[test]
+fn l2_direct_engine_lock_outside_the_helper() {
+    let bad = r#"
+        fn sneak(&self, i: usize) {
+            let g = self.shards[i].lock().unwrap_or_else(PoisonError::into_inner);
+            g.commit();
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad), vec!["L2"]);
+
+    // Clean twin: other collections may be indexed-and-locked freely.
+    let good = r#"
+        fn fine(&self, i: usize) {
+            let g = self.signals[i].lock().unwrap_or_else(PoisonError::into_inner);
+            g.ring();
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", good), Vec::<&str>::new());
+}
+
+#[test]
+fn l3_condvar_wait_outside_a_predicate_loop() {
+    let bad = r#"
+        fn park(&self) {
+            let mut g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad), vec!["L3"]);
+
+    // Clean twin: the same wait inside a `while` predicate loop.
+    let good = r#"
+        fn park(&self) {
+            let mut g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*g {
+                g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", good), Vec::<&str>::new());
+
+    // `Child::wait()` takes no guard and is not a condvar wait.
+    let child = r#"
+        fn reap(child: &mut Child) {
+            child.wait().ok();
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", child), Vec::<&str>::new());
+}
+
+#[test]
+fn l4_wall_clock_in_sim_paths_only() {
+    let src = r#"
+        fn stamp(&self) -> Instant {
+            Instant::now()
+        }
+    "#;
+    // In a sim-clocked crate this is the determinism bug L4 exists for…
+    assert_eq!(rules("crates/sim/src/lib.rs", src), vec!["L4"]);
+    assert_eq!(rules("crates/model/src/cost.rs", src), vec!["L4"]);
+    // …everywhere else wall clocks are fine.
+    assert_eq!(rules("crates/server/src/lib.rs", src), Vec::<&str>::new());
+
+    let sys = r#"
+        fn stamp(&self) -> SystemTime {
+            SystemTime::now()
+        }
+    "#;
+    assert_eq!(rules("crates/sim/src/time.rs", sys), vec!["L4"]);
+}
+
+#[test]
+fn l5_poison_unsafe_guard_acquisition() {
+    let bad = r#"
+        fn peek(&self) -> u64 {
+            *self.state.lock().unwrap()
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad), vec!["L5"]);
+
+    let bad_expect = r#"
+        fn peek(&self) -> u64 {
+            *self.state.lock().expect("poisoned")
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", bad_expect), vec!["L5"]);
+
+    // Clean twin: poison-tolerant acquisition.
+    let good = r#"
+        fn peek(&self) -> u64 {
+            *self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", good), Vec::<&str>::new());
+}
+
+#[test]
+fn a_clean_composite_module_reports_nothing() {
+    // Every discipline observed at once: poison-tolerant locks, drop
+    // before blocking, predicate-looped waits, the sanctioned helper.
+    let src = r#"
+        impl Core {
+            fn lock_engine(&self, i: usize) -> Guard<'_> {
+                self.engine_at(i)
+            }
+            fn flush(&self) {
+                let lsn = {
+                    let g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    g.lsn
+                };
+                self.device.sync_all().ok();
+                self.mark(lsn);
+            }
+            fn park(&self) {
+                let mut g = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if *g {
+                        break;
+                    }
+                    g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    "#;
+    assert_eq!(rules("crates/x/src/lib.rs", src), Vec::<&str>::new());
+}
+
+#[test]
+fn violations_carry_the_enclosing_function_and_line() {
+    let src = "fn outer() {\n    let g = s.lock().unwrap();\n}\n";
+    let vs = check_source("crates/x/src/lib.rs", src);
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].func, "outer");
+    assert_eq!(vs[0].line, 2);
+    assert_eq!(vs[0].path, "crates/x/src/lib.rs");
+}
+
+#[test]
+fn baseline_suppresses_by_rule_path_and_function_and_reports_stale() {
+    let src = "fn hot() {\n    let g = s.lock().unwrap();\n}\n";
+    let vs = check_source("crates/x/src/lib.rs", src);
+    assert_eq!(vs.len(), 1);
+
+    let bl = Baseline::parse(
+        "# reviewed\n\
+         L5 crates/x/src/lib.rs hot legacy poison handling, tracked in the hierarchy doc\n\
+         L5 crates/x/src/lib.rs gone this entry matches nothing\n",
+    )
+    .expect("baseline parses");
+    let (open, suppressed, stale) = bl.apply(vs);
+    assert!(open.is_empty(), "the reviewed site is suppressed");
+    assert_eq!(suppressed, 1);
+    assert_eq!(stale.len(), 1, "the unmatched entry is reported stale");
+    assert!(stale[0].contains("gone"));
+}
+
+#[test]
+fn baseline_entries_require_a_reason() {
+    assert!(Baseline::parse("L5 crates/x/src/lib.rs hot\n").is_err());
+    assert!(Baseline::parse("L9 crates/x/src/lib.rs hot not a real rule\n").is_err());
+}
