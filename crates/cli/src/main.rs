@@ -8,16 +8,18 @@
 //! mmdb-cli <dir> get <record>
 //! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
 //! mmdb-cli <dir> checkpoint
-//! mmdb-cli <dir> stats [--json|--prom]
-//! mmdb-cli <dir> trace [--txns N] [--seed S] [--updates K] [--limit N]
+//! mmdb-cli <dir> stats [--json|--prom] [--remote ADDR]
+//! mmdb-cli <dir> trace [--txns N] [--seed S] [--updates K] [--limit N] [--slow-us U]
+//!                      [--json] [--remote ADDR]            # dump a live server's traces
 //! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
 //! mmdb-cli <dir> lint                       # dir is the source root
 //! mmdb-cli <dir> fsck
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
 //! mmdb-cli <dir> serve [--addr A] [--workers N] [--ckpt-ms D] [--idle-ms D] [--shards N]
+//!                      [--slow-us U]                          # slow-request trace threshold
 //! mmdb-cli <dir> bench-net [--connections N] [--txns N] [--updates K] [--seed S]
-//!                          [--zipf THETA] [--addr A] [--out FILE]
+//!                          [--zipf THETA] [--rate TPS] [--addr A] [--out FILE]
 //!                          [--shards N] [--cross F] [--sweep]
 //!                          [--log-latency-us U] [--group-compare]
 //! ```
@@ -101,12 +103,12 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ("checkpoint", "take a checkpoint now", cmd_checkpoint),
     (
         "stats",
-        "print statistics; --json / --prom export the unified metrics snapshot",
+        "print statistics; --json / --prom export the unified metrics snapshot, --remote ADDR fetches a live server's",
         cmd_stats,
     ),
     (
         "trace",
-        "run an instrumented workload and print the span trace (--txns N, --seed S, --updates K, --limit N)",
+        "print request span trees — local instrumented workload, or a live server's flight recorder (--txns N, --seed S, --updates K, --limit N, --slow-us U, --json, --remote ADDR)",
         cmd_trace,
     ),
     (
@@ -132,12 +134,12 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "serve",
-        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N)",
+        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N, --slow-us U)",
         cmd_serve,
     ),
     (
         "bench-net",
-        "closed-loop network benchmark (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare)",
+        "network benchmark, closed-loop or open-loop (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --rate TPS, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare)",
         cmd_bench_net,
     ),
 ];
@@ -392,6 +394,19 @@ fn cmd_checkpoint(dir: &Path, _rest: &[String]) -> Result<(), String> {
 fn cmd_stats(dir: &Path, rest: &[String]) -> Result<(), String> {
     let json = rest.iter().any(|a| a == "--json");
     let prom = rest.iter().any(|a| a == "--prom");
+    if let Some(addr) = flag_value(rest, "--remote") {
+        // live-server statistics over the wire; the round-trip through
+        // the snapshot parser is a strict schema check
+        let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let text = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+        let snap = mmdb_core::MetricsSnapshot::from_json(&text)?;
+        if prom {
+            print!("{}", snap.to_prometheus());
+        } else {
+            println!("{}", snap.to_json_pretty());
+        }
+        return Ok(());
+    }
     let mut config = persist::load(dir)?;
     // Telemetry on, like `audit` forces the audit on: the snapshot then
     // carries latency histograms for whatever this invocation did
@@ -446,11 +461,20 @@ fn cmd_stats(dir: &Path, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs a telemetry-instrumented workload over the database — seeded
-/// transactions interleaved with stepped checkpoints, a final full
-/// checkpoint and a dry-run recoverability check — then prints the span
-/// trace: one line per span (begin/commit, per-segment flushes, lock
-/// holds, log forces, checkpoint passes, recovery phases).
+/// Prints request span trees in the flight-recorder dump format. Two
+/// sources, one formatter:
+///
+/// * `--remote ADDR` fetches a live server's flight recorder and slow
+///   -request log over the wire (`TraceDump`) — no workload is run and
+///   `<dir>` is not opened.
+/// * Otherwise a telemetry-instrumented workload runs locally — seeded
+///   transactions (each under its own request scope) interleaved with
+///   stepped checkpoints, a final full checkpoint and a dry-run
+///   recoverability check — and its own recorder is dumped.
+///
+/// Both paths render via [`mmdb_core::TraceDumpDoc`], so the local view
+/// and the remote view of "what did this request spend its time on"
+/// read identically.
 fn cmd_trace(dir: &Path, rest: &[String]) -> Result<(), String> {
     let txns: u64 = flag_value(rest, "--txns")
         .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
@@ -468,10 +492,33 @@ fn cmd_trace(dir: &Path, rest: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("--limit: {e}")))
         .transpose()?
         .unwrap_or(200);
+    let slow_us: Option<u64> = flag_value(rest, "--slow-us")
+        .map(|v| v.parse().map_err(|e| format!("--slow-us: {e}")))
+        .transpose()?;
+    let as_json = rest.iter().any(|a| a == "--json");
+
+    if let Some(addr) = flag_value(rest, "--remote") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let json = client
+            .trace_dump(limit as u32)
+            .map_err(|e| format!("trace dump: {e}"))?;
+        // parse even when re-emitting JSON: the strict schema check is
+        // the point (CI greps this command's exit status)
+        let doc = mmdb_core::TraceDumpDoc::from_json(&json)?;
+        if as_json {
+            print!("{json}");
+        } else {
+            print!("{}", doc.render());
+        }
+        return Ok(());
+    }
 
     let mut config = persist::load(dir)?;
     config.telemetry = true;
     let mut db = open_with(config, dir)?;
+    if let Some(us) = slow_us {
+        db.obs().set_slow_threshold_us(us);
+    }
 
     let words = db.record_words();
     let mut wl = UniformWorkload::new(db.n_records(), updates, seed);
@@ -483,8 +530,17 @@ fn cmd_trace(dir: &Path, rest: &[String]) -> Result<(), String> {
             step_checkpoint(&mut db)?;
         }
         let spec = wl.next_txn();
-        db.run_txn(&spec.materialize(words))
-            .map_err(|e| e.to_string())?;
+        // Each transaction runs under its own request scope, exactly as
+        // the server wraps a wire request: every engine phase it touches
+        // (lock waits, txn.exec-equivalent commits, log forces) lands in
+        // one span tree, feeding the same slow-request log and
+        // attribution table a live server would populate.
+        let scope = db
+            .obs()
+            .request_scope("net.request", "net.request_ns", "txn", 0, 0);
+        let run = db.run_txn(&spec.materialize(words));
+        scope.finish();
+        run.map_err(|e| e.to_string())?;
     }
     while db.is_checkpoint_active() {
         step_checkpoint(&mut db)?;
@@ -492,12 +548,13 @@ fn cmd_trace(dir: &Path, rest: &[String]) -> Result<(), String> {
     db.checkpoint().map_err(|e| e.to_string())?;
     db.verify_recoverability().map_err(|e| e.to_string())?;
 
-    let (spans, dropped) = db.trace_spans(limit);
-    print!("{}", mmdb_core::render_spans(&spans, dropped));
-    println!(
-        "({} spans shown; latency histograms: `mmdb-cli <dir> stats --json`)",
-        spans.len()
-    );
+    let doc = mmdb_core::TraceDumpDoc::capture(db.obs(), limit);
+    if as_json {
+        print!("{}", doc.to_json());
+    } else {
+        print!("{}", doc.render());
+        println!("(latency histograms and attribution: `mmdb-cli <dir> stats --json`)");
+    }
     Ok(())
 }
 
@@ -521,6 +578,9 @@ fn cmd_audit(dir: &Path, rest: &[String]) -> Result<(), String> {
 
     let mut config = persist::load(dir)?;
     config.audit = true;
+    // Telemetry rides along: a violation dumps the flight recorder, so
+    // the span trees around the offending interleaving are preserved.
+    config.telemetry = true;
     let (mut db, recovered) = Mmdb::open_dir(config, dir).map_err(|e| e.to_string())?;
     if let Some(r) = recovered {
         eprintln!(
@@ -559,6 +619,9 @@ fn cmd_audit(dir: &Path, rest: &[String]) -> Result<(), String> {
         println!("audit: clean ({txns} txns, checkpoints interleaved, recoverability verified)");
         Ok(())
     } else {
+        if let Ok(Some(path)) = mmdb_core::write_flightrec(db.obs(), dir) {
+            println!("flight recorder dumped to {}", path.display());
+        }
         Err(format!(
             "audit: {} protocol violation(s) detected",
             report.violations.len()
@@ -613,6 +676,10 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
     let idle_ms: Option<u64> = flag_value(rest, "--idle-ms")
         .map(|v| v.parse().map_err(|e| format!("--idle-ms: {e}")))
         .transpose()?;
+    let slow_us: u64 = flag_value(rest, "--slow-us")
+        .map(|v| v.parse().map_err(|e| format!("--slow-us: {e}")))
+        .transpose()?
+        .unwrap_or(mmdb_server::ServerConfig::default().slow_trace_us);
 
     let mut config = persist::load(dir)?;
     config.telemetry = true; // request spans must show up in `stats --json`
@@ -627,6 +694,7 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
         workers,
         checkpoint_interval: (ckpt_ms > 0).then(|| std::time::Duration::from_millis(ckpt_ms)),
         idle_timeout: idle_ms.map(std::time::Duration::from_millis),
+        slow_trace_us: slow_us,
         ..ServerConfig::default()
     };
     // An existing unsharded directory stays on the plain-engine path:
@@ -665,9 +733,11 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the closed-loop network load driver. Without `--addr` it
-/// self-hosts a server over `<dir>` on a loopback port; with `--addr`
-/// it drives an already-running server. `--sweep` instead runs the
+/// Runs the network load driver — closed-loop by default, open-loop at
+/// a fixed intended rate with `--rate` (latency then measured from the
+/// intended send time, immune to coordinated omission). Without
+/// `--addr` it self-hosts a server over `<dir>` on a loopback port;
+/// with `--addr` it drives an already-running server. `--sweep` instead runs the
 /// shard-scaling benchmark (fresh scratch topologies at 1/2/4/8
 /// shards) and emits `BENCH_shard.json`-schema output.
 fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
@@ -700,6 +770,13 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
     let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
     let cross_fraction: f64 = flag_value(rest, "--cross")
         .map(|v| v.parse().map_err(|e| format!("--cross: {e}")))
+        .transpose()?
+        .unwrap_or(0.0);
+    // --rate switches each connection to an open-loop schedule at TPS
+    // intended sends per second, with latency measured from the intended
+    // send time — the coordinated-omission-free mode. 0 = closed loop.
+    let target_rate_per_conn: f64 = flag_value(rest, "--rate")
+        .map(|v| v.parse().map_err(|e| format!("--rate: {e}")))
         .transpose()?
         .unwrap_or(0.0);
 
@@ -755,6 +832,7 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
         workload,
         shards,
         cross_fraction,
+        target_rate_per_conn,
         ..LoadConfig::default()
     };
     let report = run_load(&cfg).map_err(|e| format!("load driver: {e}"))?;
@@ -781,10 +859,11 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
         report.throughput_tps,
     );
     println!(
-        "latency us: p50 {} / p90 {} / p99 {} / max {}; {} transient retries, {} errors, {} checkpoints during run",
+        "latency us: p50 {} / p90 {} / p99 {} / p99.9 {} / max {}; {} transient retries, {} errors, {} checkpoints during run",
         report.latency_us.p50,
         report.latency_us.p90,
         report.latency_us.p99,
+        report.latency_us.p999,
         report.latency_us.max,
         report.retries,
         report.errors,
@@ -1166,21 +1245,36 @@ fn fsck_engine_dir(dir: &Path, config: MmdbConfig) -> Result<u64, String> {
         }
     }
 
-    // deep verification: dry-run recovery must reproduce the live state
-    match open_with(config, dir) {
-        Ok(mut db) => match db.verify_recoverability() {
-            Ok(report) => println!(
-                "deep verify: dry-run recovery reproduces the live state \
-                 (checkpoint {}, {} log words, modeled {:.1}s)",
-                report.ckpt.raw(),
-                report.log_words,
-                report.total_seconds()
-            ),
-            Err(e) => {
-                println!("deep verify: FAILED — {e}");
-                problems += 1;
+    // deep verification: dry-run recovery must reproduce the live state.
+    // Telemetry is forced on so that if the verify fails, the flight
+    // recorder holds the recovery/verification phases that led up to the
+    // failure and can be dumped next to the evidence.
+    let mut deep_config = config;
+    deep_config.telemetry = true;
+    match open_with(deep_config, dir) {
+        Ok(mut db) => {
+            match db.verify_recoverability() {
+                Ok(report) => println!(
+                    "deep verify: dry-run recovery reproduces the live state \
+                     (checkpoint {}, {} log words, modeled {:.1}s)",
+                    report.ckpt.raw(),
+                    report.log_words,
+                    report.total_seconds()
+                ),
+                Err(e) => {
+                    println!("deep verify: FAILED — {e}");
+                    problems += 1;
+                }
             }
-        },
+            // Any problem dumps the flight recorder next to the
+            // evidence: the recovery and verification spans of this
+            // very open are what a post-mortem wants to see.
+            if problems > 0 {
+                if let Ok(Some(path)) = mmdb_core::write_flightrec(db.obs(), dir) {
+                    println!("flight recorder dumped to {}", path.display());
+                }
+            }
+        }
         Err(e) => {
             println!("deep verify: cannot open engine — {e}");
             problems += 1;

@@ -192,10 +192,14 @@ fn trace_shows_spans_for_every_algorithm() {
         for span in ["txn.commit", "ckpt.flush", "ckpt.pass", "log.force"] {
             assert!(out.contains(span), "{algorithm}: no {span} span:\n{out}");
         }
+        // the workload txns run under request scopes: each commit's
+        // spans nest under a net.request root labeled with the op
+        assert!(out.contains("net.request"), "{algorithm}:\n{out}");
         assert!(
-            out.contains(algorithm),
-            "{algorithm}: pass spans must be labeled with the algorithm:\n{out}"
+            out.contains("  txn.commit"),
+            "{algorithm}: txn.commit must nest under its request root:\n{out}"
         );
+        assert!(out.contains("recent spans ("), "{algorithm}:\n{out}");
         // the dry-run recoverability check at the end emits the recovery
         // phase spans
         assert!(out.contains("recovery.backup_load"), "{algorithm}:\n{out}");
@@ -279,6 +283,57 @@ fn bench_net_self_hosts_and_emits_valid_json() {
     // the database survives being served: committed work is durable
     let fsck = ok(&dir, &["fsck"]);
     assert!(fsck.contains("fsck: clean"), "{fsck}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_remote_renders_a_live_servers_span_trees() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = tmpdir("trace-remote");
+    ok(&dir, &["init", "--algorithm", "FUZZYCOPY"]);
+
+    // slow threshold 1 µs: effectively every request lands in the
+    // slow-request log, so the dump deterministically has a tree to show
+    let mut child = Command::new(bin())
+        .arg(&dir)
+        .args(["serve", "--addr", "127.0.0.1:0", "--slow-us", "1"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().expect("first line").expect("readable");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+        .to_string();
+
+    let mut client = mmdb_wire::Client::connect(&addr).expect("connect");
+    client.set_tracing(true);
+    let words = client.info().expect("info").record_words as usize;
+    client
+        .put(mmdb_core::RecordId(3), &vec![5u32; words])
+        .expect("traced put");
+
+    // `trace --remote` renders the server's flight recorder with the
+    // same formatter the local path uses
+    let out = ok(&dir, &["trace", "--remote", &addr]);
+    assert!(out.contains("slow requests (threshold 1 us)"), "{out}");
+    assert!(out.contains("op=put"), "{out}");
+    assert!(out.contains("net.request"), "{out}");
+    assert!(out.contains("recent spans ("), "{out}");
+
+    // identity with the shared formatter: fetching the same dump over
+    // the wire and rendering it locally gives the same text shape
+    let json = client.trace_dump(512).expect("trace dump");
+    let doc = mmdb_core::TraceDumpDoc::from_json(&json).expect("parse dump");
+    let rendered = doc.render();
+    assert!(rendered.contains("op=put"), "{rendered}");
+
+    client.shutdown().expect("graceful shutdown");
+    child.wait().expect("serve exits");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

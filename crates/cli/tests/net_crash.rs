@@ -195,6 +195,11 @@ fn kill_nine_mid_load_recovers_exactly_the_acked_state() {
         "fsck failed after kill -9:\n{fsck_out}"
     );
     assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
+    // a clean fsck must not leave a crash dump behind
+    assert!(
+        !dir.join("flightrec.json").exists(),
+        "clean fsck wrote flightrec.json"
+    );
 
     // re-serve the recovered database and audit every tracked record
     // over the wire: last acked fill, or the one in-flight write
@@ -234,6 +239,110 @@ fn kill_nine_mid_load_recovers_exactly_the_acked_state() {
     }
     reader.shutdown().expect("graceful shutdown");
     assert!(child2.wait().expect("serve exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failing_fsck_after_kill_nine_dumps_the_flight_recorder() {
+    // Dump-on-crash, end to end: SIGKILL the server mid-load, then make
+    // the post-crash fsck *fail* by corrupting the stale backup copy
+    // (the one recovery does not read, so the engine still opens and
+    // its recorder has recovery spans to dump). The failing fsck must
+    // write `<dir>/flightrec.json`, and the dump must parse as the
+    // wire-schema trace document with the recovery phases inside.
+    let dir = tmpdir("kill9-flightrec");
+    let out = Command::new(bin())
+        .arg(&dir)
+        .args(["init", "--algorithm", "COUCOPY"])
+        .output()
+        .expect("init");
+    assert!(out.status.success());
+
+    let (mut child, addr, _stdout_keepalive) = spawn_serve(&dir, 1);
+    let mut control = Client::connect(&addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let words = control.info().expect("info").record_words as usize;
+    // enough traffic that a checkpoint lands between init and the kill
+    for seq in 0..200u32 {
+        control
+            .retry_transient(1000, |c| {
+                c.put(RecordId(u64::from(seq) % 8), &vec![seq; words])
+            })
+            .expect("put");
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    // recover once and take a fresh checkpoint: after it, both backup
+    // copies are Complete with distinct checkpoint ids (a SIGKILL can
+    // leave one copy InProgress, which fsck's checksum scan skips)
+    let ckpt = Command::new(bin())
+        .arg(&dir)
+        .arg("checkpoint")
+        .output()
+        .expect("checkpoint");
+    assert!(
+        ckpt.status.success(),
+        "post-crash checkpoint failed: {}",
+        String::from_utf8_lossy(&ckpt.stderr)
+    );
+
+    // find the stale copy: recovery loads the newest complete backup,
+    // so corrupting the *older* one leaves the engine able to open
+    let config = mmdb_core::MmdbConfig::small(mmdb_types::Algorithm::CouCopy);
+    let stale: usize = {
+        use mmdb_disk::BackupStore;
+        let mut backup = mmdb_disk::FileBackup::open(&dir.join("backup"), config.params.db, false)
+            .expect("backup");
+        let c0 = backup
+            .copy_status(0)
+            .expect("copy 0 status")
+            .complete_ckpt();
+        let c1 = backup
+            .copy_status(1)
+            .expect("copy 1 status")
+            .complete_ckpt();
+        match (c0, c1) {
+            (Some(a), Some(b)) => usize::from(a.raw() > b.raw()),
+            (Some(_), None) => 1,
+            _ => 0,
+        }
+    };
+    let stale_path = dir.join(format!("backup.{stale}"));
+    let mut bytes = std::fs::read(&stale_path).expect("read stale copy");
+    assert!(bytes.len() > 4096, "backup copy implausibly small");
+    // flip bytes across the middle of the file so at least one segment
+    // checksum breaks regardless of layout details
+    let mid = bytes.len() / 2;
+    for off in (mid..bytes.len().min(mid + 4096)).step_by(64) {
+        bytes[off] ^= 0xFF;
+    }
+    std::fs::write(&stale_path, &bytes).expect("write corrupted copy");
+
+    let fsck = Command::new(bin())
+        .arg(&dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    let fsck_out =
+        String::from_utf8_lossy(&fsck.stdout).into_owned() + &String::from_utf8_lossy(&fsck.stderr);
+    assert!(
+        !fsck.status.success(),
+        "fsck must fail on a corrupted backup copy:\n{fsck_out}"
+    );
+    assert!(fsck_out.contains("CORRUPT"), "{fsck_out}");
+    assert!(fsck_out.contains("flight recorder dumped to"), "{fsck_out}");
+
+    let dump = std::fs::read_to_string(dir.join("flightrec.json")).expect("flightrec.json");
+    let doc = mmdb_core::TraceDumpDoc::from_json(&dump).expect("dump parses");
+    assert!(doc.recorded > 0, "empty flight recorder dumped");
+    let names: Vec<&str> = doc.recent.iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        names.contains(&"recovery.backup_load"),
+        "recovery spans missing from the crash dump: {names:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

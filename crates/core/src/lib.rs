@@ -48,7 +48,8 @@ pub use mmdb_audit::{Audit, AuditReport, AuditViolation, CheckerId};
 pub use mmdb_checkpoint::{CkptReport, CkptStats, StepOutcome, WalPolicy};
 pub use mmdb_log::{DurableWatermark, FlakyControl, FlakyLogDevice, LogDevice, PendingForce};
 pub use mmdb_obs::{
-    render_spans, validate_prometheus, HistSummary, MetricsSnapshot, Obs, PaperOverhead, SpanRecord,
+    render_spans, validate_prometheus, write_flightrec, HistSummary, MetricsSnapshot, Obs,
+    PaperOverhead, SpanRecord, TraceDumpDoc,
 };
 pub use mmdb_recovery::RecoveryReport;
 pub use mmdb_types::{

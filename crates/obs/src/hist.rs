@@ -171,6 +171,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Shorthand for [`Histogram::quantile`] at 0.999.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Condense into the exported summary form.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -182,6 +187,7 @@ impl Histogram {
             p50: self.p50(),
             p90: self.quantile(0.90),
             p99: self.p99(),
+            p999: self.p999(),
         }
     }
 }
@@ -206,6 +212,9 @@ pub struct HistSummary {
     pub p90: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// 99.9th-percentile estimate — the coordinated-omission-sensitive
+    /// tail the load driver's intended-send-time recording feeds.
+    pub p999: u64,
 }
 
 #[cfg(test)]

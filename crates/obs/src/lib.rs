@@ -20,14 +20,21 @@
 //! no clock read, no allocation, label closures never invoked — so
 //! telemetry is zero-cost when `MmdbConfig.telemetry` is off.
 
+mod dump;
+pub mod flight;
 pub mod hist;
 pub mod json;
 mod registry;
 mod snapshot;
 pub mod trace;
 
+pub use dump::{render_tree, write_flightrec, DumpSpan, SlowEntry, TraceDumpDoc, TRACE_SCHEMA};
+pub use flight::SYSTEM_OP;
 pub use hist::{HistSummary, Histogram};
-pub use registry::{Obs, Registry, Timer};
+pub use registry::{
+    current_trace_id, AttributionEntry, Obs, Registry, RequestScope, RequestTrace, Timer,
+    DEFAULT_SLOW_THRESHOLD_US,
+};
 pub use snapshot::{
     prom_name, to_prometheus_sharded, validate_prometheus, MetricsSnapshot, PaperOverhead,
 };

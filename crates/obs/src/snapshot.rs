@@ -8,6 +8,7 @@
 
 use crate::hist::HistSummary;
 use crate::json::{self, Value};
+use crate::registry::AttributionEntry;
 use crate::Obs;
 use std::fmt::Write as _;
 
@@ -48,6 +49,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Histogram digests, sorted by name.
     pub hists: Vec<(String, HistSummary)>,
+    /// Latency attribution per opcode (empty when no request scope ever
+    /// finished — the JSON key is omitted then, keeping pre-attribution
+    /// documents byte-compatible).
+    pub attribution: Vec<AttributionEntry>,
     /// Paper cost-model reconciliation, when an engine supplied one.
     pub paper: Option<PaperOverhead>,
 }
@@ -60,6 +65,7 @@ impl MetricsSnapshot {
             counters,
             gauges,
             hists,
+            attribution: obs.attribution(),
             paper: None,
         }
     }
@@ -119,6 +125,12 @@ impl MetricsSnapshot {
                     .collect(),
             ),
         ));
+        if !self.attribution.is_empty() {
+            root.push((
+                "attribution".to_string(),
+                attribution_to_json(&self.attribution),
+            ));
+        }
         if let Some(p) = &self.paper {
             root.push(("paper".to_string(), paper_to_json(p)));
         }
@@ -143,6 +155,10 @@ impl MetricsSnapshot {
             Some(_) => return Err("histograms: not an object".into()),
             None => Vec::new(),
         };
+        let attribution = match v.get("attribution") {
+            Some(av) => attribution_from_json(av)?,
+            None => Vec::new(),
+        };
         let paper = match v.get("paper") {
             Some(pv) => Some(paper_from_json(pv)?),
             None => None,
@@ -151,6 +167,7 @@ impl MetricsSnapshot {
             counters,
             gauges,
             hists,
+            attribution,
             paper,
         })
     }
@@ -176,7 +193,12 @@ impl MetricsSnapshot {
         for (name, h) in &self.hists {
             let n = prom_name(name);
             let _ = writeln!(out, "# TYPE {n} summary");
-            for (q, val) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+            for (q, val) in [
+                ("0.5", h.p50),
+                ("0.9", h.p90),
+                ("0.99", h.p99),
+                ("0.999", h.p999),
+            ] {
                 let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {val}");
             }
             let _ = writeln!(out, "{n}_sum {}", h.sum);
@@ -256,7 +278,12 @@ pub fn to_prometheus_sharded(shards: &[MetricsSnapshot]) -> String {
         let _ = writeln!(out, "# TYPE {n} summary");
         for (i, s) in shards.iter().enumerate() {
             if let Some(h) = s.hist(name) {
-                for (q, val) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                for (q, val) in [
+                    ("0.5", h.p50),
+                    ("0.9", h.p90),
+                    ("0.99", h.p99),
+                    ("0.999", h.p999),
+                ] {
                     let _ = writeln!(out, "{n}{{shard=\"{i}\",quantile=\"{q}\"}} {val}");
                 }
                 let _ = writeln!(out, "{n}_sum{{shard=\"{i}\"}} {}", h.sum);
@@ -292,6 +319,7 @@ fn hist_to_json(h: &HistSummary) -> Value {
         ("p50".into(), Value::u(h.p50)),
         ("p90".into(), Value::u(h.p90)),
         ("p99".into(), Value::u(h.p99)),
+        ("p999".into(), Value::u(h.p999)),
     ])
 }
 
@@ -305,7 +333,78 @@ fn hist_from_json(v: &Value) -> Result<HistSummary, String> {
         p50: read_u64(v, "p50")?,
         p90: read_u64(v, "p90")?,
         p99: read_u64(v, "p99")?,
+        p999: read_u64(v, "p999")?,
     })
+}
+
+/// Serialize the attribution report: per opcode, `requests` and
+/// `total_ns` (which reconcile exactly with the request histogram),
+/// then per phase `count`, `total_ns` and — when the opcode saw any
+/// request time — `share`, the phase's fraction of it. `share` is
+/// derived, so [`attribution_from_json`] ignores it on the way back.
+fn attribution_to_json(entries: &[AttributionEntry]) -> Value {
+    Value::Obj(
+        entries
+            .iter()
+            .map(|e| {
+                let phases = e
+                    .phases
+                    .iter()
+                    .map(|(name, count, total_ns)| {
+                        let mut fields = vec![
+                            ("count".to_string(), Value::u(*count)),
+                            ("total_ns".to_string(), Value::u(*total_ns)),
+                        ];
+                        if e.total_ns > 0 {
+                            fields.push((
+                                "share".to_string(),
+                                Value::f(*total_ns as f64 / e.total_ns as f64),
+                            ));
+                        }
+                        (name.clone(), Value::Obj(fields))
+                    })
+                    .collect();
+                (
+                    e.op.clone(),
+                    Value::Obj(vec![
+                        ("requests".to_string(), Value::u(e.requests)),
+                        ("total_ns".to_string(), Value::u(e.total_ns)),
+                        ("phases".to_string(), Value::Obj(phases)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn attribution_from_json(v: &Value) -> Result<Vec<AttributionEntry>, String> {
+    let Value::Obj(ops) = v else {
+        return Err("attribution: not an object".into());
+    };
+    ops.iter()
+        .map(|(op, row)| {
+            let phases = match row.get("phases") {
+                Some(Value::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(name, pv)| {
+                        Ok((
+                            name.clone(),
+                            read_u64(pv, "count")?,
+                            read_u64(pv, "total_ns")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                Some(_) => return Err(format!("attribution.{op}.phases: not an object")),
+                None => Vec::new(),
+            };
+            Ok(AttributionEntry {
+                op: op.clone(),
+                requests: read_u64(row, "requests")?,
+                total_ns: read_u64(row, "total_ns")?,
+                phases,
+            })
+        })
+        .collect()
 }
 
 fn paper_to_json(p: &PaperOverhead) -> Value {
@@ -610,6 +709,31 @@ mod tests {
         // concatenating the per-shard docs instead must NOT validate
         let naive: String = shards.iter().map(|s| s.to_prometheus()).collect();
         assert!(validate_prometheus(&naive).is_err());
+    }
+
+    #[test]
+    fn attribution_section_round_trips_and_is_omitted_when_empty() {
+        let empty = MetricsSnapshot::capture(&Obs::enabled());
+        assert!(
+            !empty.to_json_pretty().contains("attribution"),
+            "no request scopes -> no attribution key"
+        );
+
+        let obs = Obs::enabled();
+        obs.set_slow_threshold_us(0);
+        let scope = obs.request_scope("net.request", "net.request_ns", "batch", 0, 0);
+        obs.phase("txn.exec", obs.timer());
+        scope.finish();
+        let snap = MetricsSnapshot::capture(&obs);
+        let text = snap.to_json_pretty();
+        assert!(text.contains("\"attribution\""));
+        assert!(text.contains("\"txn.exec\""));
+        assert!(text.contains("\"share\""));
+        let back = MetricsSnapshot::from_json(&text).expect("parse back");
+        assert_eq!(back, snap, "share is derived, everything else round-trips");
+        // attribution total reconciles with the request histogram
+        let row = &snap.attribution[0];
+        assert_eq!(row.total_ns, snap.hist("net.request_ns").unwrap().sum);
     }
 
     #[test]

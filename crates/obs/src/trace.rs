@@ -25,6 +25,13 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Trace id of the enclosing request (0 = not request-scoped;
+    /// such spans render flat, exactly as before the extension).
+    pub trace_id: u64,
+    /// This span's id (0 = unidentified).
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_span: u64,
 }
 
 impl SpanRecord {
@@ -38,6 +45,18 @@ impl SpanRecord {
             self.label
         )
     }
+}
+
+/// Trace identity attached to a span (all zero when the span was not
+/// recorded inside a request scope).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Trace id of the enclosing request.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id.
+    pub parent_span: u64,
 }
 
 /// Fixed-capacity span sink.
@@ -62,6 +81,18 @@ impl TraceBuffer {
 
     /// Append a finished span, evicting the oldest past capacity.
     pub fn push(&mut self, name: &'static str, label: String, start_ns: u64, dur_ns: u64) {
+        self.push_traced(name, label, start_ns, dur_ns, SpanIds::default());
+    }
+
+    /// Like [`TraceBuffer::push`], carrying trace identity.
+    pub fn push_traced(
+        &mut self,
+        name: &'static str,
+        label: String,
+        start_ns: u64,
+        dur_ns: u64,
+        ids: SpanIds,
+    ) {
         if self.spans.len() == self.capacity {
             self.spans.pop_front();
             self.dropped += 1;
@@ -72,6 +103,9 @@ impl TraceBuffer {
             label,
             start_ns,
             dur_ns,
+            trace_id: ids.trace_id,
+            span_id: ids.span_id,
+            parent_span: ids.parent_span,
         });
         self.next_seq += 1;
     }

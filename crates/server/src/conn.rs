@@ -12,10 +12,12 @@
 //! the worker aborts them so they cannot pin the two-color checkpoint's
 //! white set forever.
 //!
-//! Every request is wrapped in an obs span (`net.request` /
-//! `net.request_ns`) plus per-op counters on the router's registry, so
-//! a `Stats` request over the wire shows the network layer, the router
-//! and every shard engine in one snapshot.
+//! Every request is wrapped in a request scope (`net.request` /
+//! `net.request_ns`, carrying the client's trace context when the frame
+//! was traced) plus per-op counters on the router's registry, so a
+//! `Stats` request over the wire shows the network layer, the router
+//! and every shard engine in one snapshot — and a `TraceDump` request
+//! returns the span trees behind the slowest of them.
 
 use crate::{ServerConfig, Shared};
 use mmdb_core::CheckpointStart;
@@ -79,7 +81,7 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
         };
         last_activity = Instant::now();
 
-        let req = match Request::decode(&payload) {
+        let (req, trace) = match Request::decode_with_trace(&payload) {
             Ok(r) => r,
             Err(e) => {
                 obs.counter("net.protocol_errors", 1);
@@ -94,9 +96,14 @@ pub(crate) fn serve_connection(shared: &Shared, stream: TcpStream, cfg: &ServerC
 
         let op = req.op_name();
         let is_shutdown = matches!(req, Request::Shutdown);
-        let timer = obs.timer();
+        // The request scope: every phase recorded on this thread (and
+        // any flusher force it rings) lands in one span tree under the
+        // client-supplied trace id, feeding the flight recorder, the
+        // slow-request log, the attribution table and `net.request_ns`.
+        let (trace_id, parent_span) = trace.map_or((0, 0), |t| (t.trace_id, t.parent_span));
+        let scope = obs.request_scope("net.request", "net.request_ns", op, trace_id, parent_span);
         let resp = dispatch(shared, &req, &mut open_txns);
-        obs.span_end("net.request", "net.request_ns", timer, || op.to_string());
+        scope.finish();
         obs.counter("net.requests", 1);
         obs.counter(op_counter(&req), 1);
         if matches!(resp, Response::Error { .. }) {
@@ -235,6 +242,9 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
             fp: db.fingerprint(),
         },
         Request::Info => Response::Info(server_info(db)),
+        Request::TraceDump { limit } => Response::TraceDump {
+            json: db.trace_dump_json(*limit as usize),
+        },
         Request::Shutdown => Response::ShuttingDown,
     }
 }
@@ -301,6 +311,7 @@ fn op_counter(req: &Request) -> &'static str {
         Request::Checkpoint { .. } => "net.op.checkpoint",
         Request::Fingerprint => "net.op.fingerprint",
         Request::Info => "net.op.info",
+        Request::TraceDump { .. } => "net.op.trace_dump",
         Request::Shutdown => "net.op.shutdown",
     }
 }

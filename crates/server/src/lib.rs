@@ -51,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -76,6 +76,10 @@ pub struct ServerConfig {
     /// `None`: checkpoints run only when a client sends
     /// `Checkpoint`.
     pub checkpoint_interval: Option<Duration>,
+    /// Requests at or above this many microseconds end-to-end are
+    /// recorded (with their full span tree) in the slow-request log
+    /// served by the wire `TraceDump` request. `0` disables the log.
+    pub slow_trace_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(50),
             idle_timeout: None,
             checkpoint_interval: Some(Duration::from_millis(10)),
+            slow_trace_us: mmdb_obs::DEFAULT_SLOW_THRESHOLD_US,
         }
     }
 }
@@ -138,6 +143,7 @@ impl Server {
         listener.set_nonblocking(true)?;
 
         let shards = db.shards();
+        db.obs().set_slow_threshold_us(config.slow_trace_us);
         let shared = Arc::new(Shared {
             db,
             stop: AtomicBool::new(false),
@@ -145,7 +151,10 @@ impl Server {
             txns_aborted_on_disconnect: AtomicU64::new(0),
         });
 
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        // Each accepted stream carries its accept timestamp so the
+        // worker that dequeues it can attribute the hand-off delay to a
+        // `net.queue` phase (None when telemetry is off — no clock read).
+        let (conn_tx, conn_rx) = mpsc::channel::<QueuedConn>();
         // Ranked above every shard lock: a worker blocks on the queue
         // holding nothing, and everything else nests strictly below.
         let conn_rx = Arc::new(RankedMutex::new(
@@ -247,14 +256,20 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<TcpStream>) {
+/// A connection queued for a worker: the stream plus its accept time
+/// (`None` when telemetry is off, so idle queues never read the clock).
+type QueuedConn = (TcpStream, Option<Instant>);
+
+fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<QueuedConn>) {
+    let telemetry = shared.db.obs().is_enabled();
     loop {
         if shared.stopping() {
             return; // dropping conn_tx wakes idle workers
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if conn_tx.send(stream).is_err() {
+                let accepted = telemetry.then(Instant::now);
+                if conn_tx.send((stream, accepted)).is_err() {
                     return; // every worker exited
                 }
             }
@@ -272,7 +287,7 @@ fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<Tc
 
 fn worker_loop(
     shared: &Shared,
-    conn_rx: &Arc<RankedMutex<mpsc::Receiver<TcpStream>>>,
+    conn_rx: &Arc<RankedMutex<mpsc::Receiver<QueuedConn>>>,
     cfg: &ServerConfig,
 ) {
     loop {
@@ -282,7 +297,15 @@ fn worker_loop(
         // the queue's hand-off design, and the one allowlisted L1 site.
         let next = { conn_rx.lock().recv_timeout(cfg.poll_interval) };
         match next {
-            Ok(stream) => conn::serve_connection(shared, stream, cfg),
+            Ok((stream, accepted)) => {
+                if let Some(t0) = accepted {
+                    // Accept-to-dispatch hand-off delay: the connection
+                    // sat in the queue behind busy workers. No request
+                    // scope exists yet, so this lands as a system phase.
+                    shared.db.obs().phase_from("net.queue", t0, 0);
+                }
+                conn::serve_connection(shared, stream, cfg)
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.stopping() {
                     return;

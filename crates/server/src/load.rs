@@ -1,10 +1,16 @@
-//! Closed-loop network load driver.
+//! Network load driver (closed loop, or open loop at a target rate).
 //!
 //! Spawns one thread per connection; each thread replays a
 //! [`mmdb_workload`] update stream (Uniform or Zipf, deterministic per
-//! seed) as `Batch` transactions over its own [`Client`], waiting for
-//! each commit before sending the next — a closed loop, so offered load
-//! tracks service capacity and the latency histogram is honest.
+//! seed) as `Batch` transactions over its own [`Client`]. By default it
+//! is a closed loop — each commit acks before the next send, so offered
+//! load tracks service capacity. With
+//! [`LoadConfig::target_rate_per_conn`] set, each connection instead
+//! follows a fixed schedule (transaction `k` is due at `start + k/rate`)
+//! and latency is measured **from the due time**: a stall charges the
+//! server for every request it delayed, where a closed loop would
+//! silently stop offering load during the stall and under-report tail
+//! latency (coordinated omission).
 //!
 //! Transient server errors (two-color aborts surfacing through a
 //! quiesce, COU quiesce refusals) are retried and *counted as retries*,
@@ -83,6 +89,13 @@ pub struct LoadConfig {
     /// exercising the two-phase cross-shard commit path. Ignored when
     /// `shards == 1`.
     pub cross_fraction: f64,
+    /// Target send rate per connection, transactions per second. `0.0`
+    /// keeps the closed loop. When positive, transaction `k` is due at
+    /// `start + k/rate` and its latency is measured from that due time
+    /// (the coordinated-omission-free measurement); a connection that
+    /// falls behind sends immediately and the backlog shows up as tail
+    /// latency instead of vanishing.
+    pub target_rate_per_conn: f64,
 }
 
 impl Default for LoadConfig {
@@ -98,6 +111,7 @@ impl Default for LoadConfig {
             timeout: Duration::from_secs(30),
             shards: 1,
             cross_fraction: 0.0,
+            target_rate_per_conn: 0.0,
         }
     }
 }
@@ -232,7 +246,10 @@ fn run_connection(
     if cross_rng == 0 {
         cross_rng = 0x9E37_79B9_7F4A_7C15;
     }
-    for _ in 0..cfg.txns_per_conn {
+    let period = (cfg.target_rate_per_conn > 0.0)
+        .then(|| Duration::from_secs_f64(1.0 / cfg.target_rate_per_conn));
+    let schedule_start = Instant::now();
+    for k in 0..cfg.txns_per_conn {
         let mut updates: Vec<(RecordId, Vec<Word>)> = workload.next_txn().materialize(s_rec);
         if cfg.shards > 1 {
             cross_rng ^= cross_rng << 13;
@@ -242,7 +259,21 @@ fn run_connection(
                 && ((cross_rng >> 11) as f64) / ((1u64 << 53) as f64) < cfg.cross_fraction;
             remap_to_shards(&mut updates, index, cfg.shards, n_records, cross);
         }
-        let t0 = Instant::now();
+        // Open loop: latency is anchored at the transaction's *due* time
+        // under the schedule, not the actual send — the fix for
+        // coordinated omission. A connection running behind does not
+        // sleep; the accumulated delay is charged to every late request.
+        let t0 = match period {
+            Some(p) => {
+                let due = schedule_start + p.mul_f64(k as f64);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                due
+            }
+            None => Instant::now(),
+        };
         match client.retry_transient(cfg.max_retries, |c| c.batch(&updates)) {
             Ok((_committed, retries)) => {
                 out.committed += 1;
@@ -329,6 +360,10 @@ pub fn bench_net_json(
                 ("seed".into(), Value::u(cfg.seed)),
                 ("algorithm".into(), Value::s(&info.algorithm)),
                 ("n_records".into(), Value::u(info.n_records)),
+                (
+                    "target_rate_per_conn".into(),
+                    Value::f(cfg.target_rate_per_conn),
+                ),
             ]),
         ),
         (
@@ -347,6 +382,7 @@ pub fn bench_net_json(
                         ("p50".into(), Value::u(lat.p50)),
                         ("p90".into(), Value::u(lat.p90)),
                         ("p99".into(), Value::u(lat.p99)),
+                        ("p999".into(), Value::u(lat.p999)),
                         ("max".into(), Value::u(lat.max)),
                     ]),
                 ),
@@ -388,6 +424,10 @@ pub fn validate_bench_net_json(text: &str) -> Result<(), String> {
         .get("zipf_theta")
         .and_then(Value::as_f64)
         .ok_or("config.zipf_theta missing or not a number")?;
+    config
+        .get("target_rate_per_conn")
+        .and_then(Value::as_f64)
+        .ok_or("config.target_rate_per_conn missing or not a number")?;
     for key in ["workload", "algorithm"] {
         config
             .get(key)
@@ -413,7 +453,7 @@ pub fn validate_bench_net_json(text: &str) -> Result<(), String> {
     let lat = results
         .get("latency_us")
         .ok_or("missing results.latency_us")?;
-    for key in ["count", "p50", "p90", "p99", "max"] {
+    for key in ["count", "p50", "p90", "p99", "p999", "max"] {
         lat.get(key)
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("latency_us.{key} missing or not an integer"))?;
@@ -466,6 +506,10 @@ pub struct ShardSweepEntry {
     pub p50_us: u64,
     /// 99th-percentile commit latency in microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile commit latency in microseconds.
+    pub p999_us: u64,
+    /// Maximum commit latency in microseconds.
+    pub max_us: u64,
 }
 
 impl ShardSweepEntry {
@@ -483,6 +527,8 @@ impl ShardSweepEntry {
             throughput_tps: report.throughput_tps,
             p50_us: report.latency_us.p50,
             p99_us: report.latency_us.p99,
+            p999_us: report.latency_us.p999,
+            max_us: report.latency_us.max,
         }
     }
 }
@@ -511,6 +557,8 @@ pub fn bench_shard_json(
                 ("throughput_tps".into(), Value::f(e.throughput_tps)),
                 ("p50_us".into(), Value::u(e.p50_us)),
                 ("p99_us".into(), Value::u(e.p99_us)),
+                ("p999_us".into(), Value::u(e.p999_us)),
+                ("max_us".into(), Value::u(e.max_us)),
             ])
         })
         .collect();
@@ -579,6 +627,8 @@ pub fn validate_bench_shard_json(text: &str) -> Result<(), String> {
             "retries",
             "p50_us",
             "p99_us",
+            "p999_us",
+            "max_us",
         ] {
             entry
                 .get(key)
@@ -641,6 +691,10 @@ pub struct GroupCompareEntry {
     pub p50_us: u64,
     /// 99th-percentile commit latency in microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile commit latency in microseconds.
+    pub p999_us: u64,
+    /// Maximum commit latency in microseconds.
+    pub max_us: u64,
     /// Log forces the engine issued during the run (`log.forces`).
     pub log_forces: u64,
     /// Commits acked through the batched group path
@@ -667,6 +721,8 @@ impl GroupCompareEntry {
             throughput_tps: report.throughput_tps,
             p50_us: report.latency_us.p50,
             p99_us: report.latency_us.p99,
+            p999_us: report.latency_us.p999,
+            max_us: report.latency_us.max,
             log_forces,
             group_commits,
         }
@@ -683,6 +739,8 @@ impl GroupCompareEntry {
             ("throughput_tps".into(), Value::f(self.throughput_tps)),
             ("p50_us".into(), Value::u(self.p50_us)),
             ("p99_us".into(), Value::u(self.p99_us)),
+            ("p999_us".into(), Value::u(self.p999_us)),
+            ("max_us".into(), Value::u(self.max_us)),
             ("log_forces".into(), Value::u(self.log_forces)),
             ("group_commits".into(), Value::u(self.group_commits)),
         ])
@@ -768,6 +826,8 @@ pub fn validate_bench_group_json(text: &str) -> Result<(), String> {
             "retries",
             "p50_us",
             "p99_us",
+            "p999_us",
+            "max_us",
             "log_forces",
             "group_commits",
         ] {
@@ -868,6 +928,8 @@ mod tests {
                 throughput_tps: 800.0 * s as f64,
                 p50_us: 900 / s as u64,
                 p99_us: 4000 / s as u64,
+                p999_us: 9000 / s as u64,
+                max_us: 12000 / s as u64,
             })
             .collect();
         bench_shard_json(&cfg, 1000, &entries)

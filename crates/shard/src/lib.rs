@@ -149,9 +149,12 @@ impl ShardCore {
     }
 }
 
-/// A committer-to-flusher doorbell (one per shard).
+/// A committer-to-flusher doorbell (one per shard). Alongside the
+/// pending bit it carries the trace id of the most recent traced ringer,
+/// so the flusher's batched force can be attributed to the request that
+/// triggered it.
 struct FlushSignal {
-    pending: RankedMutex<bool>,
+    pending: RankedMutex<(bool, u64)>,
     cv: RankedCondvar,
 }
 
@@ -161,14 +164,18 @@ impl FlushSignal {
             pending: RankedMutex::new(
                 leak_name(format!("flusher_signal.{shard}")),
                 LockRank::flusher_signal(shard),
-                false,
+                (false, 0),
             ),
             cv: RankedCondvar::new(),
         }
     }
 
-    fn ring(&self) {
-        *self.pending.lock() = true;
+    fn ring(&self, trace_id: u64) {
+        let mut pending = self.pending.lock();
+        pending.0 = true;
+        if trace_id != 0 {
+            pending.1 = trace_id;
+        }
         self.cv.notify_one();
     }
 }
@@ -254,14 +261,17 @@ const GROUP_ACCUMULATION_WINDOW: Duration = Duration::from_micros(200);
 fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWatermark>, obs: &Obs) {
     let mut last_force: Option<std::time::Instant> = None;
     loop {
+        let trace_id;
         {
             let sig = &core.flush[shard];
             let mut pending = sig.pending.lock();
-            if !*pending && !core.stop.load(Ordering::SeqCst) {
+            if !pending.0 && !core.stop.load(Ordering::SeqCst) {
                 let (guard, _) = sig.cv.wait_timeout(pending, FLUSH_BACKSTOP);
                 pending = guard;
             }
-            *pending = false;
+            pending.0 = false;
+            trace_id = pending.1;
+            pending.1 = 0;
         }
         // Read the stop flag *before* forcing: anything signaled before
         // stop is covered by this final drain force.
@@ -269,11 +279,13 @@ fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWate
         if !stopping {
             std::thread::sleep(GROUP_ACCUMULATION_WINDOW);
         }
+        let t = obs.timer();
         match core.lock(shard).force_log_group() {
             Ok(Some(pending_force)) => {
+                let commits = pending_force.commits();
                 obs.counter("log.group_commit.forces", 1);
-                obs.counter("log.group_commit.commits", pending_force.commits());
-                obs.observe("log.group_commit.size", pending_force.commits());
+                obs.counter("log.group_commit.commits", commits);
+                obs.observe("log.group_commit.size", commits);
                 if let Some(prev) = last_force {
                     obs.observe_duration_us("log.group_commit.interval_us", prev.elapsed());
                 }
@@ -281,6 +293,10 @@ fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWate
                 // The engine lock dropped above; the modeled latency and
                 // the watermark publish run here, off the critical path.
                 pending_force.complete();
+                // The batched force on the flusher thread, tagged with
+                // the latest ringer's trace id so `trace --remote` can
+                // tie it back to the commit that triggered it.
+                obs.phase_for_trace("group.force", t, commits, trace_id);
             }
             Ok(None) => {}
             Err(e) => {
@@ -590,15 +606,23 @@ impl ShardedMmdb {
         RecordId(rid.raw() / self.shards() as u64)
     }
 
+    /// Locks shard `i`, recording the acquisition wait as an
+    /// `engine.lock_wait` phase (a child of the active request scope,
+    /// when the calling thread is dispatching one).
     #[track_caller]
     fn lock(&self, i: usize) -> RankedGuard<'_, Mmdb> {
-        self.core.lock(i)
+        let t = self.obs.timer();
+        let g = self.core.lock(i);
+        self.obs.phase_detail("engine.lock_wait", t, i as u64);
+        g
     }
 
     /// Rings shard `i`'s flusher doorbell (group commit only — a no-op
-    /// signal otherwise, but callers gate on `self.group` anyway).
+    /// signal otherwise, but callers gate on `self.group` anyway),
+    /// tagging it with the calling request's trace id so the flusher's
+    /// batched force is attributable to the commit that triggered it.
     fn signal_flush(&self, i: usize) {
-        self.core.flush[i].ring();
+        self.core.flush[i].ring(mmdb_obs::current_trace_id());
     }
 
     /// Parks the calling committer until shard `i`'s durable-LSN
@@ -610,7 +634,8 @@ impl ShardedMmdb {
         }
         let t = self.obs.timer();
         if self.watermarks[i].wait_for(lsn, GROUP_ACK_TIMEOUT)? {
-            self.obs.observe_timer("router.group_wait_ns", t);
+            self.obs
+                .phase_hist("group.wait", "router.group_wait_ns", t, i as u64);
             Ok(())
         } else {
             Err(MmdbError::Invalid(format!(
@@ -677,10 +702,16 @@ impl ShardedMmdb {
         if by_shard.len() <= 1 {
             let shard = by_shard.keys().next().copied().unwrap_or(0);
             let local = by_shard.remove(&shard).unwrap_or_default();
-            // The guard drops at the end of this statement: under group
+            // The guard drops at the end of this block: under group
             // commit the shard is free for other committers while this
             // one waits on the watermark below.
-            let run = self.lock(shard).run_txn(&local)?;
+            let run = {
+                let mut g = self.lock(shard);
+                let t = self.obs.timer();
+                let run = g.run_txn(&local)?;
+                self.obs.phase_detail("txn.exec", t, shard as u64);
+                run
+            };
             if self.group {
                 self.signal_flush(shard);
                 self.wait_durable(shard, run.commit_lsn)?;
@@ -757,6 +788,7 @@ impl ShardedMmdb {
         }
 
         // Phase one: stage and prepare a branch on every shard.
+        let t_prepare = self.obs.timer();
         let mut prepared: Vec<(usize, TxnId)> = Vec::with_capacity(guards.len());
         let mut failure: Option<MmdbError> = None;
         'prepare: for (pos, (shard, g)) in guards.iter_mut().enumerate() {
@@ -786,12 +818,17 @@ impl ShardedMmdb {
                 }
             }
         }
+        self.obs
+            .phase_detail("2pc.prepare", t_prepare, prepared.len() as u64);
         if failure.is_none() {
             // Commit point: the decision is forced on the coordinator
             // (lowest participating shard index).
+            let t_decide = self.obs.timer();
             if let Err(e) = guards[0].1.log_decision(gid, true) {
                 failure = Some(e);
             }
+            self.obs
+                .phase_detail("2pc.decide", t_decide, guards[0].0 as u64);
         }
         if let Some(e) = failure {
             for &(pos, txn) in &prepared {
@@ -1090,6 +1127,13 @@ impl ShardedMmdb {
         merged.hists.sort_by(|a, b| a.0.cmp(&b.0));
         merged.hists.dedup_by(|a, b| a.0 == b.0);
         merged
+    }
+
+    /// The router's span-tree trace dump (slow-request log plus recent
+    /// flight-recorder spans) as JSON — the document served to the wire
+    /// `TraceDump` request and rendered by `mmdb-cli trace`.
+    pub fn trace_dump_json(&self, limit: usize) -> String {
+        mmdb_obs::TraceDumpDoc::capture(&self.obs, limit).to_json()
     }
 
     /// Prometheus exposition for the whole topology: per-shard families
@@ -1564,5 +1608,105 @@ mod tests {
         assert!(ShardedMmdb::open_in_memory(cfg(), 0).is_err());
         assert!(ShardedMmdb::open_in_memory(cfg(), MAX_SHARDS + 1).is_err());
         assert!(ShardedMmdb::open_in_memory(cfg(), 8).is_ok());
+    }
+
+    #[test]
+    fn request_scope_collects_router_phases_into_one_trace() {
+        let db = ShardedMmdb::open_in_memory(cfg(), 4).expect("open");
+        let w = db.record_words();
+        let scope = db
+            .obs()
+            .request_scope("net.request", "net.request_ns", "txn", 0x51ab, 7);
+        let trace_id = scope.trace_id();
+        db.run_txn(&[(RecordId(0), fill(w, 1)), (RecordId(1), fill(w, 2))])
+            .expect("cross-shard txn under scope");
+        scope.finish();
+
+        assert_eq!(trace_id, 0x51ab, "wire-supplied trace id is kept");
+        let (spans, _, _) = db.obs().flight_spans(256);
+        let mine: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.label.starts_with("txn ") || s.label == "txn")
+            .map(|s| s.name)
+            .collect();
+        for phase in [
+            "engine.lock_wait",
+            "2pc.prepare",
+            "2pc.decide",
+            "net.request",
+        ] {
+            assert!(mine.contains(&phase), "missing {phase} in {mine:?}");
+        }
+        // The attribution table carries the same request under op "txn".
+        let attr = db.obs().attribution();
+        let row = attr.iter().find(|r| r.op == "txn").expect("txn row");
+        assert_eq!(row.requests, 1);
+        assert!(row.phases.iter().any(|(n, _, _)| n == "2pc.prepare"));
+        // And the dump document parses back with the trace id intact.
+        let doc = mmdb_obs::TraceDumpDoc::from_json(&db.trace_dump_json(64)).expect("dump");
+        assert!(doc.recent.iter().any(|s| s.trace_id == 0x51ab));
+    }
+
+    #[test]
+    fn group_force_is_tagged_with_the_ringer_trace_id() {
+        let db = ShardedMmdb::open_in_memory(group_cfg(), 2).expect("open");
+        let w = db.record_words();
+        let scope = db
+            .obs()
+            .request_scope("net.request", "net.request_ns", "txn", 0xF00D, 0);
+        db.run_txn(&[(RecordId(0), fill(w, 1))]).expect("group txn");
+        scope.finish();
+        // The ack returned only after a force covered the commit LSN,
+        // and the doorbell carried the scope's trace id to the flusher.
+        // A force already in flight may have consumed an earlier (or
+        // zero) tag, so ring again and wait for one more tagged force.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut round = 0u32;
+        loop {
+            let (spans, _, _) = db.obs().flight_spans(1024);
+            if spans
+                .iter()
+                .any(|s| s.name == "group.force" && s.trace_id == 0xF00D)
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no group.force tagged 0xF00D after {round} rounds"
+            );
+            round += 1;
+            let scope = db
+                .obs()
+                .request_scope("net.request", "net.request_ns", "txn", 0xF00D, 0);
+            db.run_txn(&[(RecordId(1), fill(w, round))]).expect("txn");
+            scope.finish();
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_engine_behavior() {
+        let run = |telemetry: bool| {
+            let mut config = cfg();
+            config.telemetry = telemetry;
+            let db = ShardedMmdb::open_in_memory(config, 2).expect("open");
+            let w = db.record_words();
+            for rid in 0..6u64 {
+                let scope =
+                    db.obs()
+                        .request_scope("net.request", "net.request_ns", "txn", rid + 1, 0);
+                db.run_txn(&[(RecordId(rid % 4), fill(w, rid as u32))])
+                    .expect("txn");
+                scope.finish();
+            }
+            db.run_txn(&[(RecordId(0), fill(w, 90)), (RecordId(1), fill(w, 91))])
+                .expect("cross");
+            db.checkpoint_all().expect("checkpoint");
+            db.fingerprint()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "telemetry and tracing must be invisible to engine state"
+        );
     }
 }

@@ -58,7 +58,10 @@ mod detect;
 /// | 100 000 − *i* | [`LockRank::flusher_signal`] — shard *i*'s doorbell |
 /// | 10 000 | [`LockRank::WATERMARK`] — durable-LSN watermark |
 /// | 5 000 | [`LockRank::AUDIT`] — audit event recorder |
+/// | 40 | [`LockRank::OBS_SLOW`] — slow-request log |
+/// | 30 | [`LockRank::OBS_FLIGHT`] — flight-recorder thread ring |
 /// | 20 | [`LockRank::OBS_TRACE`] — telemetry span ring |
+/// | 15 | [`LockRank::OBS_ATTR`] — latency-attribution table |
 /// | 10 | [`LockRank::OBS_METRICS`] — telemetry metrics registry |
 ///
 /// [`LockRank::UNRANKED`] opts a lock out of rank checking (it still
@@ -80,8 +83,17 @@ impl LockRank {
     /// The audit subsystem's shared event recorder (emitted to from
     /// under engine locks).
     pub const AUDIT: LockRank = LockRank(Some(5_000));
+    /// The slow-request log (pushed to after a request's flight spans
+    /// are collected; never held together with any other obs lock).
+    pub const OBS_SLOW: LockRank = LockRank(Some(40));
+    /// A flight-recorder per-thread ring — uncontended on the hot path
+    /// (each thread owns its ring; the snapshotter is the only other
+    /// taker).
+    pub const OBS_FLIGHT: LockRank = LockRank(Some(30));
     /// The telemetry span ring (never nests with the metrics registry).
     pub const OBS_TRACE: LockRank = LockRank(Some(20));
+    /// The latency-attribution table, keyed `(opcode, phase)`.
+    pub const OBS_ATTR: LockRank = LockRank(Some(15));
     /// The telemetry metrics registry — the innermost lock in the
     /// system: safe to take while holding anything.
     pub const OBS_METRICS: LockRank = LockRank(Some(10));
@@ -132,7 +144,10 @@ impl LockRank {
             ("flusher-signal[i] = 100_000 - i", 100_000),
             ("watermark", 10_000),
             ("audit", 5_000),
+            ("obs-slow", 40),
+            ("obs-flight", 30),
             ("obs-trace", 20),
+            ("obs-attr", 15),
             ("obs-metrics", 10),
         ]
     }

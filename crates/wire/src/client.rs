@@ -7,18 +7,42 @@
 //! escape hatch for harnesses that want to speak frames directly.
 
 use crate::frame::{read_frame, write_frame};
-use crate::message::{CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo};
+use crate::message::{
+    CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo, TraceContext,
+};
 use crate::{WireError, WireResult};
 use mmdb_types::{RecordId, TxnId, Word};
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Distinguishes clients within a process so their trace ids never
+/// collide even when they trace concurrently.
+static CLIENT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64: a cheap, dependency-free bijective mixer — distinct
+/// inputs give distinct, well-scattered trace ids.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// A blocking connection to an mmdb server.
 #[derive(Debug)]
 pub struct Client {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
+    /// When true, every request carries a fresh [`TraceContext`].
+    tracing: bool,
+    /// Per-client component of the trace id (process-unique).
+    trace_seed: u64,
+    /// Requests traced so far on this client.
+    trace_seq: u64,
+    /// The trace id of the most recently sent traced request.
+    last_trace_id: u64,
 }
 
 impl Client {
@@ -35,6 +59,39 @@ impl Client {
         Ok(Client {
             reader: stream,
             writer,
+            tracing: false,
+            trace_seed: CLIENT_SEQ.fetch_add(1, Ordering::Relaxed),
+            trace_seq: 0,
+            last_trace_id: 0,
+        })
+    }
+
+    /// Turns request tracing on or off. While on, every request
+    /// carries a fresh [`TraceContext`] in its frame header so the
+    /// server's flight recorder can attribute the request's span tree.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace id of the most recently sent traced request (0 if no
+    /// traced request has been sent). Lets harnesses correlate a
+    /// specific request with the server's trace dump.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
+    }
+
+    /// Mints the next trace context, or `None` when tracing is off.
+    fn next_trace(&mut self) -> Option<TraceContext> {
+        if !self.tracing {
+            return None;
+        }
+        self.trace_seq += 1;
+        let trace_id = splitmix64(self.trace_seed.rotate_left(32) ^ self.trace_seq);
+        self.last_trace_id = trace_id;
+        Some(TraceContext {
+            trace_id,
+            // the client-side root span for this request
+            parent_span: splitmix64(trace_id),
         })
     }
 
@@ -46,9 +103,12 @@ impl Client {
     }
 
     /// Sends one request and reads one response. Server-side `Error`
-    /// frames come back as [`WireError::Remote`].
+    /// frames come back as [`WireError::Remote`]. With tracing enabled
+    /// (see [`Client::set_tracing`]) the request carries a fresh trace
+    /// context; otherwise the bytes are identical to an untraced build.
     pub fn request(&mut self, req: &Request) -> WireResult<Response> {
-        write_frame(&mut self.writer, &req.encode())?;
+        let trace = self.next_trace();
+        write_frame(&mut self.writer, &req.encode_with_trace(trace))?;
         let payload = read_frame(&mut self.reader)?
             .ok_or_else(|| WireError::Protocol("server closed the connection".into()))?;
         match Response::decode(&payload)? {
@@ -185,6 +245,16 @@ impl Client {
         }
     }
 
+    /// Fetches the server's slow-request log and recent flight-recorder
+    /// spans as JSON (schema `mmdb-trace/v1`). `limit` caps the number
+    /// of flight-recorder spans returned.
+    pub fn trace_dump(&mut self, limit: u32) -> WireResult<String> {
+        match self.request(&Request::TraceDump { limit })? {
+            Response::TraceDump { json } => Ok(json),
+            other => Err(unexpected("TraceDump", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> WireResult<()> {
         match self.request(&Request::Shutdown)? {
@@ -229,6 +299,7 @@ fn unexpected(wanted: &str, got: &Response) -> WireError {
         Response::Fingerprint { .. } => "Fingerprint",
         Response::Info(_) => "Info",
         Response::ShuttingDown => "ShuttingDown",
+        Response::TraceDump { .. } => "TraceDump",
         Response::Error { .. } => "Error",
     };
     WireError::Unexpected(format!("wanted {wanted}, got {got}"))

@@ -38,7 +38,10 @@ pub use client::Client;
 pub use frame::{
     read_frame, write_frame, FrameError, FrameReader, PollFrame, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-pub use message::{CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo};
+pub use message::{
+    CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo, TraceContext,
+    FLAG_TRACED,
+};
 
 use std::fmt;
 use std::io;

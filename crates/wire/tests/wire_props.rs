@@ -7,7 +7,7 @@
 use mmdb_types::{RecordId, TxnId, Word};
 use mmdb_wire::{
     read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo,
-    WireError,
+    TraceContext, WireError,
 };
 use proptest::prelude::*;
 
@@ -51,6 +51,19 @@ fn requests() -> impl Strategy<Value = Request> {
         Just(Request::Fingerprint),
         Just(Request::Info),
         Just(Request::Shutdown),
+        any::<u32>().prop_map(|limit| Request::TraceDump { limit }),
+    ]
+}
+
+fn trace_contexts() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None::<TraceContext>),
+        (any::<u64>(), any::<u64>()).prop_map(|(trace_id, parent_span)| {
+            Some(TraceContext {
+                trace_id,
+                parent_span,
+            })
+        }),
     ]
 }
 
@@ -108,6 +121,7 @@ fn responses() -> impl Strategy<Value = Response> {
             })
         }),
         Just(Response::ShuttingDown),
+        text().prop_map(|json| Response::TraceDump { json }),
         (error_codes(), text()).prop_map(|(code, message)| Response::Error { code, message }),
     ]
 }
@@ -142,6 +156,18 @@ proptest! {
     }
 
     #[test]
+    fn traced_request_roundtrip(req in requests(), trace in trace_contexts()) {
+        let payload = req.encode_with_trace(trace);
+        let (decoded, back) = Request::decode_with_trace(&payload).unwrap();
+        prop_assert_eq!(decoded, req.clone());
+        prop_assert_eq!(back, trace);
+        // the untraced encoding must be bit-stable regardless of the API used
+        if trace.is_none() {
+            prop_assert_eq!(payload, req.encode());
+        }
+    }
+
+    #[test]
     fn truncation_never_panics_and_never_misparses(req in requests(), cut in 0usize..64) {
         let payload = req.encode();
         prop_assume!(cut < payload.len());
@@ -157,12 +183,43 @@ proptest! {
     }
 
     #[test]
+    fn traced_truncation_never_panics_and_never_misparses(
+        req in requests(),
+        trace in trace_contexts(),
+        cut in 0usize..80,
+    ) {
+        let payload = req.encode_with_trace(trace);
+        prop_assume!(cut < payload.len());
+        let truncated = &payload[..payload.len() - 1 - cut];
+        match Request::decode_with_trace(truncated) {
+            Ok((decoded, back)) => prop_assert!((decoded, back) != (req.clone(), trace)),
+            Err(WireError::Protocol(_)) => {}
+            Err(other) => panic!("unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
     fn bitflips_never_panic(resp in responses(), flip_byte in any::<u16>(), flip_bit in 0u8..8) {
         let mut payload = resp.encode();
         let idx = flip_byte as usize % payload.len();
         payload[idx] ^= 1 << flip_bit;
         // decoding may fail or yield a different valid message; it must not panic
         let _ = Response::decode(&payload);
+    }
+
+    #[test]
+    fn traced_request_bitflips_never_panic(
+        req in requests(),
+        trace in trace_contexts(),
+        flip_byte in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        // flipping any bit — including the FLAG_TRACED bit itself —
+        // must decode to an error or a different message, never panic
+        let mut payload = req.encode_with_trace(trace);
+        let idx = flip_byte as usize % payload.len();
+        payload[idx] ^= 1 << flip_bit;
+        let _ = Request::decode_with_trace(&payload);
     }
 }
 
