@@ -159,6 +159,7 @@ fn hist_json(h: &HistSummary) -> Value {
         ("p50_us".into(), Value::u(h.p50)),
         ("p90_us".into(), Value::u(h.p90)),
         ("p99_us".into(), Value::u(h.p99)),
+        ("p999_us".into(), Value::u(h.p999)),
         ("max_us".into(), Value::u(h.max)),
         ("mean_us".into(), Value::f(h.mean)),
     ])

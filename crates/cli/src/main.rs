@@ -13,15 +13,18 @@
 //!                      [--json] [--remote ADDR]            # dump a live server's traces
 //! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
 //! mmdb-cli <dir> lint                       # dir is the source root
-//! mmdb-cli <dir> fsck
+//! mmdb-cli <dir> fsck [--compare <dir-or-addr>]  # cross-check fingerprints
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
 //! mmdb-cli <dir> serve [--addr A] [--workers N] [--ckpt-ms D] [--idle-ms D] [--shards N]
 //!                      [--slow-us U]                          # slow-request trace threshold
+//!                      [--replica-of ADDR] [--repl-primary] [--repl-sync]  # replication role (persisted)
+//! mmdb-cli <dir> promote [--addr A]         # replica -> writable primary
 //! mmdb-cli <dir> bench-net [--connections N] [--txns N] [--updates K] [--seed S]
 //!                          [--zipf THETA] [--rate TPS] [--addr A] [--out FILE]
 //!                          [--shards N] [--cross F] [--sweep]
 //!                          [--log-latency-us U] [--group-compare]
+//! mmdb-cli <dir> bench-repl [--writers N] [--txns N] [--shards N] [--out FILE]
 //! ```
 //!
 //! Every invocation opens the database (recovering from the on-disk
@@ -40,16 +43,31 @@
 //! per-commit forcing on fresh single-shard topologies with a real
 //! (fsynced, unmodeled) log device and emits schema-validated
 //! `BENCH_group.json`.
+//!
+//! Replication: `serve --replica-of ADDR` runs the directory as a
+//! read-only hot standby of the primary at `ADDR` (same `init` shape
+//! and shard count on both sides); the role is persisted in `mmdb.conf`
+//! so a bare `serve` resumes it. `serve --repl-primary` declares a
+//! primary up front, pinning log truncation from startup so a standby
+//! seeded from an identical `init` (or a directory copy) attaches
+//! without a bootstrap gap. `serve --repl-sync` additionally makes the
+//! primary hold each commit until a standby acknowledges it. `promote` flips a
+//! standby writable (via `--addr` for a live server, offline
+//! otherwise), `fsck --compare` cross-checks storage fingerprints
+//! between two databases, and `bench-repl` measures steady-state
+//! replication lag plus failover time and emits schema-validated
+//! `BENCH_repl.json`.
 
 mod persist;
 
 use mmdb_core::{Algorithm, CommitDurability, LogMode, Mmdb, MmdbConfig, RecordId};
 use mmdb_lint::check_workspace;
 use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
+use mmdb_repl::{bench_repl_json, validate_bench_repl_json, ReplBenchReport};
 use mmdb_server::{
     bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
-    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, Server,
-    ServerConfig, ShardSweepEntry, WorkloadKind,
+    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, ReplOptions,
+    Server, ServerConfig, ShardSweepEntry, WorkloadKind,
 };
 use mmdb_shard::{shard_config, ShardedMmdb};
 use mmdb_wire::Client;
@@ -123,7 +141,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "fsck",
-        "verify backup checksums, the log window, and dry-run recovery",
+        "verify backup checksums, the log window, and dry-run recovery (--compare <dir-or-addr> cross-checks fingerprints)",
         cmd_fsck,
     ),
     ("dump", "<archive-file> — write a cold archive", cmd_dump),
@@ -134,13 +152,23 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "serve",
-        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N, --slow-us U)",
+        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N, --slow-us U, --replica-of ADDR, --repl-primary, --repl-sync)",
         cmd_serve,
+    ),
+    (
+        "promote",
+        "promote a replica to writable primary (--addr A for a live server, offline config flip otherwise)",
+        cmd_promote,
     ),
     (
         "bench-net",
         "network benchmark, closed-loop or open-loop (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --rate TPS, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare)",
         cmd_bench_net,
+    ),
+    (
+        "bench-repl",
+        "replication benchmark: primary + live standby, steady-state lag and failover time (--writers N, --txns N, --shards N, --out FILE)",
+        cmd_bench_repl,
     ),
 ];
 
@@ -291,6 +319,20 @@ fn cmd_init(dir: &Path, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Opens a directory routed through its topology: sharded directories
+/// (the `<dir>/shards` marker) come up as the full shard set, plain
+/// ones as a 1-shard wrapper. Offline `put`/`get` go through this so
+/// they hit the same files `serve` and `fsck` use — a plain-engine
+/// open of a sharded directory would silently address a stray layout
+/// at the directory root.
+fn open_routed(dir: &Path) -> Result<ShardedMmdb, String> {
+    let config = persist::load(dir)?;
+    match marker_shards(dir)? {
+        Some(n) => open_sharded(config, dir, n),
+        None => Ok(ShardedMmdb::from_single(open_with(config, dir)?)),
+    }
+}
+
 fn cmd_put(dir: &Path, rest: &[String]) -> Result<(), String> {
     let record: u64 = rest
         .first()
@@ -302,7 +344,7 @@ fn cmd_put(dir: &Path, rest: &[String]) -> Result<(), String> {
         .ok_or("put needs <record> <fill>")?
         .parse()
         .map_err(|e| format!("fill: {e}"))?;
-    let mut db = open(dir)?;
+    let db = open_routed(dir)?;
     let value = vec![fill; db.record_words()];
     let run = db
         .run_txn(&[(RecordId(record), value)])
@@ -310,7 +352,10 @@ fn cmd_put(dir: &Path, rest: &[String]) -> Result<(), String> {
     // Direct engine use: under group durability nobody waits on the
     // watermark here, so force before exit to keep the CLI contract
     // that anything reported committed survives the next invocation.
-    db.force_log().map_err(|e| e.to_string())?;
+    for i in 0..db.shards() {
+        db.with_shard(i, |e| e.force_log())
+            .map_err(|e| e.to_string())?;
+    }
     println!(
         "committed record {record} = {fill} (txn {}, {} run(s))",
         run.txn.raw(),
@@ -325,7 +370,7 @@ fn cmd_get(dir: &Path, rest: &[String]) -> Result<(), String> {
         .ok_or("get needs <record>")?
         .parse()
         .map_err(|e| format!("record: {e}"))?;
-    let db = open(dir)?;
+    let db = open_routed(dir)?;
     let value = db
         .read_committed(RecordId(record))
         .map_err(|e| e.to_string())?;
@@ -689,12 +734,64 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
         .transpose()?
         .or(marker)
         .unwrap_or(1);
+
+    // Replication role: flags override and persist; otherwise the role
+    // recorded in mmdb.conf resumes (standalone for every directory
+    // that predates the keys).
+    let mut repl_settings = persist::load_repl(dir)?;
+    let settings_before = repl_settings.clone();
+    if let Some(peer) = flag_value(rest, "--replica-of") {
+        repl_settings.role = persist::ReplRole::Replica(peer);
+    }
+    if rest.iter().any(|a| a == "--repl-primary") {
+        repl_settings.role = persist::ReplRole::Primary;
+    }
+    if rest.iter().any(|a| a == "--repl-sync") {
+        repl_settings.repl_sync = true;
+        if repl_settings.role == persist::ReplRole::Standalone {
+            repl_settings.role = persist::ReplRole::Primary;
+        }
+    }
+    if repl_settings != settings_before {
+        persist::save_repl(dir, &repl_settings).map_err(|e| format!("persisting role: {e}"))?;
+    }
+    let repl = ReplOptions {
+        replica_of: match &repl_settings.role {
+            persist::ReplRole::Replica(peer) => Some(peer.clone()),
+            _ => None,
+        },
+        repl_sync: repl_settings.repl_sync,
+        // a declared primary pins log truncation from startup (the
+        // replication-slot contract): a standby seeded from an
+        // identical `init` or a directory copy can then attach without
+        // a bootstrap gap, even if checkpoints ran before its hello
+        primary: repl_settings.role == persist::ReplRole::Primary,
+        // a wire Promote rewrites the persisted role so the next
+        // `serve` comes up as a primary, not a stale replica
+        on_promote: Some(std::sync::Arc::new({
+            let dir = dir.to_path_buf();
+            move || {
+                let _ = persist::save_repl(
+                    &dir,
+                    &persist::ReplSettings {
+                        role: persist::ReplRole::Primary,
+                        repl_sync: false,
+                    },
+                );
+            }
+        })),
+        // replication progress (primary-LSN applied watermarks) lives
+        // next to the data so a standby restart resumes, not re-seeds
+        state_dir: Some(dir.to_path_buf()),
+    };
+
     let server_config = ServerConfig {
         addr,
         workers,
         checkpoint_interval: (ckpt_ms > 0).then(|| std::time::Duration::from_millis(ckpt_ms)),
         idle_timeout: idle_ms.map(std::time::Duration::from_millis),
         slow_trace_us: slow_us,
+        repl,
         ..ServerConfig::default()
     };
     // An existing unsharded directory stays on the plain-engine path:
@@ -710,7 +807,7 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
     .map_err(|e| format!("cannot start server: {e}"))?;
     println!("listening on {}", handle.local_addr());
     eprintln!(
-        "serving {} ({} workers, {} shard(s), checkpoints {}); stop with the wire Shutdown op",
+        "serving {} ({} workers, {} shard(s), checkpoints {}{}); stop with the wire Shutdown op",
         dir.display(),
         workers,
         shards,
@@ -718,6 +815,18 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
             format!("every {ckpt_ms}ms")
         } else {
             "on request only".into()
+        },
+        match &repl_settings.role {
+            persist::ReplRole::Standalone => String::new(),
+            persist::ReplRole::Primary => format!(
+                ", primary{}",
+                if repl_settings.repl_sync {
+                    " (semi-sync)"
+                } else {
+                    ""
+                }
+            ),
+            persist::ReplRole::Replica(peer) => format!(", replica of {peer}"),
         }
     );
     while !handle.is_stopped() {
@@ -1136,6 +1245,287 @@ fn run_group_compare(dir: &Path, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The replication benchmark behind `bench-repl`: a fresh semi-sync
+/// primary plus a live standby on loopback ports, closed-loop writers
+/// driving the primary, then a measured failover — lose the primary,
+/// promote the standby, and verify every client-acknowledged write is
+/// served. Emits one `BENCH_repl.json`-schema document: the lag
+/// distribution is the paper's backup *freshness* and the failover time
+/// its *recovery cost*, both measured rather than modeled. (The
+/// SIGKILL-the-primary variant of the same scenario lives in the crash
+/// -test suite; this command's job is the steady-state numbers.)
+fn cmd_bench_repl(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let writers: usize = flag_value(rest, "--writers")
+        .map(|v| v.parse().map_err(|e| format!("--writers: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let txns: u64 = flag_value(rest, "--txns")
+        .map(|v| v.parse().map_err(|e| format!("--txns: {e}")))
+        .transpose()?
+        .unwrap_or(300);
+    let shards: usize = flag_value(rest, "--shards")
+        .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
+
+    let primary_dir = dir.join("repl.primary");
+    let standby_dir = dir.join("repl.standby");
+    for d in [&primary_dir, &standby_dir] {
+        if d.exists() {
+            std::fs::remove_dir_all(d).map_err(|e| format!("clearing {}: {e}", d.display()))?;
+        }
+    }
+    let mut config = MmdbConfig::small(Algorithm::FuzzyCopy);
+    config.telemetry = true;
+
+    let pdb = open_sharded(config, &primary_dir, shards)?;
+    let primary = Server::spawn_sharded(
+        pdb,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // semi-sync committers park in workers until acks arrive as
+            // requests: the pool must cover clients + pull connections
+            workers: writers + shards + 2,
+            checkpoint_interval: Some(std::time::Duration::from_millis(50)),
+            repl: ReplOptions {
+                repl_sync: true,
+                ..ReplOptions::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot serve primary: {e}"))?;
+    let primary_addr = primary.local_addr().to_string();
+
+    let sdb = open_sharded(config, &standby_dir, shards)?;
+    let standby = Server::spawn_sharded(
+        sdb,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            checkpoint_interval: Some(std::time::Duration::from_millis(50)),
+            repl: ReplOptions {
+                replica_of: Some(primary_addr.clone()),
+                ..ReplOptions::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot serve standby: {e}"))?;
+    let standby_addr = standby.local_addr().to_string();
+
+    // every commit after this point rides the semi-sync guarantee
+    wait_repl_engaged(&primary_addr)?;
+    let (n_records, algorithm) = {
+        let mut c =
+            Client::connect(&primary_addr).map_err(|e| format!("connecting primary: {e}"))?;
+        let info = c.info().map_err(|e| format!("info: {e}"))?;
+        (info.n_records, info.algorithm)
+    };
+    let span = (n_records / writers as u64).max(1);
+    eprintln!(
+        "bench-repl: {writers} writers × {txns} txns, {shards} shard(s), \
+         semi-sync primary {primary_addr}, standby {standby_addr}"
+    );
+
+    // Closed-loop writers, each owning a disjoint record range and
+    // writing monotonically increasing fills — so presence of a
+    // record's final fill on the standby proves every acked write to it.
+    let t0 = std::time::Instant::now();
+    let results: Vec<Result<(u64, Vec<(u64, u32)>), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let addr = primary_addr.clone();
+                s.spawn(move || -> Result<(u64, Vec<(u64, u32)>), String> {
+                    let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+                    let words = c.info().map_err(|e| e.to_string())?.record_words as usize;
+                    let base = w as u64 * span;
+                    let mut counts = vec![0u32; span as usize];
+                    let mut total = 0u64;
+                    for i in 0..txns {
+                        let slot = (i % span) as usize;
+                        let rid = base + slot as u64;
+                        if rid >= n_records {
+                            continue;
+                        }
+                        let fill = counts[slot] + 1;
+                        c.retry_transient(1000, |c| c.put(RecordId(rid), &vec![fill; words]))
+                            .map_err(|e| e.to_string())?;
+                        counts[slot] = fill;
+                        total += 1;
+                    }
+                    let acked = counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(slot, &n)| (base + slot as u64, n))
+                        .collect();
+                    Ok((total, acked))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("writer panicked".into())))
+            .collect()
+    });
+    let duration = t0.elapsed();
+    let mut committed = 0u64;
+    let mut acked: Vec<(u64, u32)> = Vec::new();
+    for r in results {
+        let (n, mut a) = r?;
+        committed += n;
+        acked.append(&mut a);
+    }
+
+    // steady-state lag distribution, measured on the primary's clock
+    let lag_us = {
+        let mut c = Client::connect(&primary_addr).map_err(|e| e.to_string())?;
+        let json = c.stats_json().map_err(|e| e.to_string())?;
+        let snap = mmdb_core::MetricsSnapshot::from_json(&json)?;
+        *snap
+            .hist("repl.lag_us")
+            .ok_or("no repl.lag_us samples on the primary — replication never engaged")?
+    };
+
+    // failover: lose the primary, promote the standby, verify no
+    // acknowledged write was lost and the promoted server actually serves
+    let acked_at_kill = committed;
+    primary.shutdown_join();
+    let t1 = std::time::Instant::now();
+    let mut s = Client::connect(&standby_addr).map_err(|e| e.to_string())?;
+    s.promote().map_err(|e| format!("promote: {e}"))?;
+    s.get(RecordId(0))
+        .map_err(|e| format!("post-promote read: {e}"))?;
+    let failover_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let mut present = 0u64;
+    for &(rid, n) in &acked {
+        let v = s.get(RecordId(rid)).map_err(|e| e.to_string())?;
+        present += u64::from(v.first().copied().unwrap_or(0).min(n));
+    }
+    standby.shutdown_join();
+
+    let report = ReplBenchReport {
+        shards: shards as u64,
+        writers: writers as u64,
+        algorithm,
+        n_records,
+        duration_s: duration.as_secs_f64(),
+        committed,
+        throughput_tps: committed as f64 / duration.as_secs_f64().max(1e-9),
+        lag_us,
+        failover_ms,
+        acked_at_kill,
+        present_after_promote: present,
+    };
+    let json = bench_repl_json(&report);
+    validate_bench_repl_json(&json).map_err(|e| format!("repl JSON failed validation: {e}"))?;
+
+    println!(
+        "bench-repl: {} acked commits in {:.3}s ({:.0} txn/s, semi-sync)",
+        committed, report.duration_s, report.throughput_tps
+    );
+    println!(
+        "lag us: p50 {} / p90 {} / p99 {} / p99.9 {} / max {} over {} acks; \
+         failover {:.0} ms, {}/{} acked writes present after promote",
+        report.lag_us.p50,
+        report.lag_us.p90,
+        report.lag_us.p99,
+        report.lag_us.p999,
+        report.lag_us.max,
+        report.lag_us.count,
+        failover_ms,
+        present,
+        acked_at_kill
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+    Ok(())
+}
+
+/// Polls the primary's stats until a standby's `ReplHello` shows up.
+fn wait_repl_engaged(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let json = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+        let snap = mmdb_core::MetricsSnapshot::from_json(&json)?;
+        if snap.counter("repl.hello").unwrap_or(0) >= 1 {
+            return Ok(());
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err("standby never said hello to the primary".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Promotes a replica to a writable primary. With `--addr` the wire
+/// `Promote` op is sent to the live standby server (which persists the
+/// role flip itself via its `on_promote` hook); without it, the
+/// directory's persisted role is flipped offline so the next `serve`
+/// comes up writable.
+fn cmd_promote(dir: &Path, rest: &[String]) -> Result<(), String> {
+    if let Some(addr) = flag_value(rest, "--addr") {
+        let mut client = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        client.promote().map_err(|e| format!("promote: {e}"))?;
+        println!("promoted server at {addr}: now writable");
+        // Best-effort local flip too, in case the server runs over a
+        // different directory than the one named here.
+        if let Ok(settings) = persist::load_repl(dir) {
+            if matches!(settings.role, persist::ReplRole::Replica(_)) {
+                persist::save_repl(
+                    dir,
+                    &persist::ReplSettings {
+                        role: persist::ReplRole::Primary,
+                        repl_sync: false,
+                    },
+                )
+                .map_err(|e| format!("persisting role: {e}"))?;
+            }
+        }
+        return Ok(());
+    }
+    let settings = persist::load_repl(dir)?;
+    match settings.role {
+        persist::ReplRole::Replica(peer) => {
+            persist::save_repl(
+                dir,
+                &persist::ReplSettings {
+                    role: persist::ReplRole::Primary,
+                    repl_sync: false,
+                },
+            )
+            .map_err(|e| format!("persisting role: {e}"))?;
+            println!(
+                "promoted {}: was replica of {peer}, next `serve` comes up as a writable primary",
+                dir.display()
+            );
+            Ok(())
+        }
+        _ => Err(format!(
+            "{} is not a replica (role {:?}); nothing to promote",
+            dir.display(),
+            settings.role
+        )),
+    }
+}
+
+/// Computes the storage fingerprint of the database in `dir` (sharded
+/// or not), offline.
+fn dir_fingerprint(dir: &Path) -> Result<u64, String> {
+    let config = persist::load(dir)?;
+    match marker_shards(dir)? {
+        Some(shards) => Ok(open_sharded(config, dir, shards)?.fingerprint()),
+        None => Ok(ShardedMmdb::from_single(open_with(config, dir)?).fingerprint()),
+    }
+}
+
 /// Reads `ckpt.completed` from a server's wire stats snapshot.
 fn stats_ckpt_completed(addr: &str) -> Result<u64, String> {
     let mut client = Client::connect(addr).map_err(|e| format!("stats connection: {e}"))?;
@@ -1151,9 +1541,37 @@ fn step_checkpoint(db: &mut Mmdb) -> Result<(), String> {
     }
 }
 
-fn cmd_fsck(dir: &Path, _rest: &[String]) -> Result<(), String> {
+fn cmd_fsck(dir: &Path, rest: &[String]) -> Result<(), String> {
     let config = persist::load(dir)?;
     let mut problems = 0u64;
+
+    // --compare cross-checks this database's storage fingerprint
+    // against another database directory or a live server (addr with a
+    // ':'): the one-line answer to "is my standby byte-equivalent?"
+    if let Some(target) = flag_value(rest, "--compare") {
+        let local = dir_fingerprint(dir)?;
+        let (what, other) = if target.contains(':') {
+            let mut client =
+                Client::connect(&target).map_err(|e| format!("connecting {target}: {e}"))?;
+            let fp = client
+                .fingerprint()
+                .map_err(|e| format!("fingerprint: {e}"))?;
+            (format!("server {target}"), fp)
+        } else {
+            let other_dir = PathBuf::from(&target);
+            (target.clone(), dir_fingerprint(&other_dir)?)
+        };
+        if local == other {
+            println!("compare: fingerprints match ({local:#018x})");
+        } else {
+            println!(
+                "compare: FINGERPRINT MISMATCH — {} is {local:#018x}, {what} is {other:#018x}",
+                dir.display()
+            );
+            problems += 1;
+        }
+    }
+
     match marker_shards(dir)? {
         Some(shards) => {
             // sharded topology: every shard is a standalone engine

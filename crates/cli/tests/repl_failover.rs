@@ -1,0 +1,383 @@
+//! Replication end-to-end through the CLI binary: a real primary and a
+//! real standby as separate `mmdb-cli serve` processes on loopback.
+//!
+//! Two claims are checked here. Identity: a fully-replayed standby is
+//! byte-equivalent to the primary — same storage fingerprint, offline,
+//! after both restart from their own logs — and `fsck --compare` is
+//! sharp enough to catch a single diverged record. Durability: with
+//! semi-sync replication, SIGKILLing the primary mid-load and promoting
+//! the standby loses no acked commit, and promotion is sub-second.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mmdb_types::RecordId;
+use mmdb_wire::Client;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_mmdb-cli")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-repl-test-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn init_sharded(dir: &Path) {
+    let out = Command::new(bin())
+        .arg(dir)
+        .args(["init", "--algorithm", "COUCOPY", "--shards", "2"])
+        .output()
+        .expect("init");
+    assert!(
+        out.status.success(),
+        "init failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Spawns `mmdb-cli <dir> serve` and returns (child, bound address,
+/// stdout reader). Keep the reader alive until after `wait()`.
+fn spawn_serve(
+    dir: &Path,
+    extra: &[&str],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(bin())
+        .arg(dir)
+        .args(["serve", "--addr", "127.0.0.1:0", "--ckpt-ms", "5"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut first = String::new();
+    reader
+        .read_line(&mut first)
+        .expect("serve prints its address");
+    let addr = first
+        .trim_end()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {first}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Polls until the primary and standby report identical fingerprints
+/// over the wire.
+fn wait_converged(primary_addr: &str, standby_addr: &str) -> u64 {
+    let mut a = Client::connect(primary_addr).expect("connect primary");
+    let mut b = Client::connect(standby_addr).expect("connect standby");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let fp = a.fingerprint().expect("primary fingerprint");
+        let fs = b.fingerprint().expect("standby fingerprint");
+        if fp == fs {
+            return fp;
+        }
+        if Instant::now() >= deadline {
+            let pj = a.stats_json().unwrap_or_default();
+            let sj = b.stats_json().unwrap_or_default();
+            let grep = |j: &str| {
+                j.lines()
+                    .filter(|l| l.contains("repl."))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            panic!(
+                "standby never converged: primary {fp:#x}, standby {fs:#x}\n\
+                 primary repl counters:\n{}\nstandby repl counters:\n{}",
+                grep(&pj),
+                grep(&sj)
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls the primary's stats until a standby has said hello (so
+/// semi-sync commits actually gate on replication acks).
+fn wait_repl_engaged(primary_addr: &str) {
+    let mut c = Client::connect(primary_addr).expect("connect primary");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let json = c.stats_json().expect("stats");
+        let snap = mmdb_core::MetricsSnapshot::from_json(&json).expect("stats parse");
+        if snap.counter("repl.hello").unwrap_or(0) >= 1 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "standby never said hello");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn replayed_standby_is_fingerprint_identical_and_compare_catches_divergence() {
+    let primary_dir = tmpdir("fp-primary");
+    let standby_dir = tmpdir("fp-standby");
+    init_sharded(&primary_dir);
+    init_sharded(&standby_dir);
+
+    // --repl-primary pins log truncation from startup (the
+    // replication-slot contract): the standby, seeded by an identical
+    // init, attaches without a bootstrap gap even though the primary's
+    // checkpointer runs every 5ms from the moment it comes up
+    let (mut p_child, p_addr, _p_out) = spawn_serve(&primary_dir, &["--repl-primary"]);
+    let (mut s_child, s_addr, _s_out) = spawn_serve(&standby_dir, &["--replica-of", &p_addr]);
+    wait_repl_engaged(&p_addr);
+
+    let mut c = Client::connect(&p_addr).expect("connect primary");
+    c.set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let words = c.info().expect("info").record_words as usize;
+    for i in 0..50u64 {
+        c.retry_transient(1000, |c| {
+            c.put(RecordId(i % 24), &vec![i as u32 + 1; words])
+        })
+        .expect("put");
+    }
+    let fp = wait_converged(&p_addr, &s_addr);
+    assert_ne!(fp, 0, "non-trivial converged state");
+
+    // both down gracefully; each directory now restarts from its own log
+    let mut s = Client::connect(&s_addr).expect("connect standby");
+    s.shutdown().expect("standby shutdown");
+    assert!(s_child.wait().expect("standby exits").success());
+    c.shutdown().expect("primary shutdown");
+    assert!(p_child.wait().expect("primary exits").success());
+
+    // identity, offline: the standby that only ever replayed shipped log
+    // bytes fingerprints identically to the primary that wrote them
+    let primary_str = primary_dir.to_string_lossy().into_owned();
+    let out = Command::new(bin())
+        .arg(&standby_dir)
+        .args(["fsck", "--compare", &primary_str])
+        .output()
+        .expect("fsck --compare");
+    let text =
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fsck --compare failed:\n{text}");
+    assert!(text.contains("fingerprints match"), "{text}");
+    assert!(text.contains("fsck: clean"), "{text}");
+
+    // diverge exactly one record on the standby, offline
+    let put = Command::new(bin())
+        .arg(&standby_dir)
+        .args(["put", "3", "99999"])
+        .output()
+        .expect("offline put");
+    assert!(
+        put.status.success(),
+        "offline put failed: {}",
+        String::from_utf8_lossy(&put.stderr)
+    );
+
+    // the single-record divergence must fail the compare
+    let out = Command::new(bin())
+        .arg(&standby_dir)
+        .args(["fsck", "--compare", &primary_str])
+        .output()
+        .expect("fsck --compare after divergence");
+    let text =
+        String::from_utf8_lossy(&out.stdout).into_owned() + &String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "fsck --compare must fail on a diverged standby:\n{text}"
+    );
+    assert!(text.contains("FINGERPRINT MISMATCH"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}
+
+/// Per-record fill tracking: the last acked fill and the one in flight.
+#[derive(Default, Clone, Copy)]
+struct Tracked {
+    acked: Option<u32>,
+    in_flight: Option<u32>,
+}
+
+#[test]
+fn sigkill_primary_then_promote_loses_no_acked_commit() {
+    let primary_dir = tmpdir("kill-primary");
+    let standby_dir = tmpdir("kill-standby");
+    init_sharded(&primary_dir);
+    init_sharded(&standby_dir);
+
+    // semi-sync: the primary acks a commit only after the standby has
+    // durably applied it, so "acked" below means "on the standby"
+    let (mut p_child, p_addr, _p_out) = spawn_serve(&primary_dir, &["--repl-sync"]);
+    let (s_child, s_addr, _s_out) = spawn_serve(&standby_dir, &["--replica-of", &p_addr]);
+    wait_repl_engaged(&p_addr);
+
+    let mut control = Client::connect(&p_addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let words = control.info().expect("info").record_words as usize;
+
+    const THREADS: u64 = 2;
+    const RANGE: u64 = 8;
+    let tracked: Arc<Mutex<HashMap<u64, Tracked>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = p_addr.clone();
+        let tracked = Arc::clone(&tracked);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        joins.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let _ = c.set_timeout(Some(Duration::from_secs(10)));
+            let mut seq: u32 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                seq += 1;
+                let rid = t * RANGE + u64::from(seq) % RANGE;
+                let fill = ((t as u32) << 24) | seq; // unique per (thread, seq)
+                {
+                    let mut m = match tracked.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    m.entry(rid).or_default().in_flight = Some(fill);
+                }
+                match c.retry_transient(1000, |c| c.put(RecordId(rid), &vec![fill; words])) {
+                    Ok(_) => {
+                        let mut m = match tracked.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        let e = m.entry(rid).or_default();
+                        e.acked = Some(fill);
+                        e.in_flight = None;
+                        committed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // primary died under us — expected
+                }
+            }
+        }));
+    }
+
+    // enough acked semi-sync commits to make the loss check meaningful,
+    // then pull the plug on the primary with writes in flight
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while committed.load(Ordering::SeqCst) < 100 {
+        assert!(
+            Instant::now() < deadline,
+            "never reached 100 acked semi-sync commits"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    p_child.kill().expect("SIGKILL primary");
+    let _ = p_child.wait();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let tracked = match Arc::try_unwrap(tracked).map(Mutex::into_inner) {
+        Ok(Ok(m)) => m,
+        _ => panic!("tracking map still shared"),
+    };
+
+    // promote the standby via the CLI and require sub-second
+    // recovery-to-serving: promote + first successful read
+    let t0 = Instant::now();
+    let promote = Command::new(bin())
+        .arg(&standby_dir)
+        .args(["promote", "--addr", &s_addr])
+        .output()
+        .expect("promote");
+    assert!(
+        promote.status.success(),
+        "promote failed: {}",
+        String::from_utf8_lossy(&promote.stderr)
+    );
+    let mut s = Client::connect(&s_addr).expect("connect promoted standby");
+    s.set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let probe = tracked.keys().next().copied().expect("tracked records");
+    s.get(RecordId(probe))
+        .expect("promoted standby serves reads");
+    let took = t0.elapsed();
+    assert!(
+        took < Duration::from_secs(1),
+        "promote-to-serving took {took:?}, expected sub-second"
+    );
+
+    // the durability claim: every record's last ACKED fill (or the one
+    // in-flight write the kill raced with) is on the promoted standby
+    let mut audited = 0u64;
+    for (rid, t) in &tracked {
+        if t.acked.is_none() {
+            continue;
+        }
+        let value = s.get(RecordId(*rid)).expect("read on promoted standby");
+        assert!(
+            value.iter().all(|w| *w == value[0]),
+            "record {rid} torn on the standby: {value:?}"
+        );
+        let got = value[0];
+        let mut allowed: Vec<u32> = Vec::new();
+        if let Some(a) = t.acked {
+            allowed.push(a);
+        }
+        if let Some(f) = t.in_flight {
+            allowed.push(f);
+        }
+        assert!(
+            allowed.contains(&got),
+            "record {rid}: standby holds {got:#x}, expected one of {allowed:x?} — \
+             an ACKED semi-sync commit was lost (acked={:x?}, in-flight={:x?})",
+            t.acked,
+            t.in_flight
+        );
+        audited += 1;
+    }
+    assert!(audited >= 8, "too few records audited: {audited}");
+
+    // the promoted standby is a real primary now: writes are accepted
+    s.retry_transient(1000, |c| c.put(RecordId(probe), &vec![0xD00D; words]))
+        .expect("write after promotion");
+    assert_eq!(
+        s.get(RecordId(probe)).expect("read back"),
+        vec![0xD00D; words]
+    );
+
+    // ... and the promotion was persisted: the conf no longer says replica
+    let conf = std::fs::read_to_string(standby_dir.join("mmdb.conf")).expect("mmdb.conf");
+    assert!(
+        conf.contains("repl_role=primary"),
+        "promotion must persist the role flip:\n{conf}"
+    );
+
+    s.shutdown().expect("graceful shutdown");
+    let mut s_child = s_child;
+    assert!(s_child.wait().expect("standby exits").success());
+
+    // offline, the promoted directory is a clean database
+    let fsck = Command::new(bin())
+        .arg(&standby_dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    assert!(
+        fsck.status.success(),
+        "fsck failed on the promoted standby: {}",
+        String::from_utf8_lossy(&fsck.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+}

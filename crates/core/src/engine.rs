@@ -90,6 +90,11 @@ pub struct Mmdb {
     /// copy; the log before min(both) is unreachable by any future
     /// recovery and is truncated away when `auto_truncate_log` is set.
     replay_floor: [Option<mmdb_types::Lsn>; 2],
+    /// Replication truncation pin: when set (a standby is attached),
+    /// auto-truncation keeps every byte at or above this LSN readable,
+    /// so log shipping can never be outrun by the checkpointer. Advanced
+    /// by standby acks; raw LSN in the atomic.
+    repl_truncate_pin: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
     /// Install lists of *prepared* transaction branches (sharded
     /// two-phase commit): their update records are already durable, but
     /// installation waits for the coordinator's decision.
@@ -239,6 +244,7 @@ impl Mmdb {
             crashed: false,
             pending_floor: None,
             replay_floor: [None, None],
+            repl_truncate_pin: None,
             prepared_installs: std::collections::HashMap::new(),
             last_commit_lsn: mmdb_types::Lsn::ZERO,
             audit,
@@ -953,7 +959,17 @@ impl Mmdb {
         }
         if self.config.auto_truncate_log {
             if let (Some(a), Some(b)) = (self.replay_floor[0], self.replay_floor[1]) {
-                self.log.truncate_prefix(a.min(b))?;
+                // A replication pin clamps the cut: a standby still
+                // pulling these bytes must not have them truncated out
+                // from under it (the pin rises with its acks).
+                let mut cut = a.min(b);
+                if let Some(pin) = &self.repl_truncate_pin {
+                    let pinned = mmdb_types::Lsn(pin.load(std::sync::atomic::Ordering::SeqCst));
+                    cut = cut.min(pinned);
+                }
+                if cut > self.log.start_lsn() {
+                    self.log.truncate_prefix(cut)?;
+                }
             }
         }
         Ok(())
@@ -1103,6 +1119,42 @@ impl Mmdb {
     /// the watermark to pass [`TxnRun::commit_lsn`] before acking.
     pub fn log_watermark(&self) -> std::sync::Arc<mmdb_log::DurableWatermark> {
         self.log.watermark()
+    }
+
+    /// Attaches a log-shipping tap: every force mirrors the freshly
+    /// durable bytes into the tap window for the replication shipper
+    /// (see [`mmdb_log::ShipTap`]).
+    pub fn set_ship_tap(&mut self, tap: std::sync::Arc<mmdb_log::ShipTap>) {
+        self.log.set_ship_tap(tap);
+    }
+
+    /// Attaches the replication truncation pin (raw-LSN atomic, shared
+    /// with the replication gate): while set, auto-truncation never cuts
+    /// at or above the pin, so an attached standby's unshipped log bytes
+    /// survive checkpoints. The caller seeds the pin — typically with
+    /// [`Mmdb::log_start_lsn`] at attach time — and raises it as the
+    /// standby acks.
+    pub fn set_repl_truncate_pin(&mut self, pin: std::sync::Arc<std::sync::atomic::AtomicU64>) {
+        self.repl_truncate_pin = Some(pin);
+    }
+
+    /// The log's durable device LSN (what a shipper may read up to).
+    pub fn log_durable_lsn(&self) -> mmdb_types::Lsn {
+        self.log.durable_lsn()
+    }
+
+    /// The log device's first readable LSN (0 unless truncated).
+    pub fn log_start_lsn(&self) -> mmdb_types::Lsn {
+        self.log.start_lsn()
+    }
+
+    /// Reads durable log bytes starting at `from`, cut to whole record
+    /// frames — the shipper's device-read fallback when a standby has
+    /// fallen behind the tap window. See
+    /// [`mmdb_log::LogManager::read_range_aligned`].
+    pub fn read_log_range(&mut self, from: mmdb_types::Lsn, max_bytes: usize) -> Result<Vec<u8>> {
+        self.ensure_alive()?;
+        self.log.read_range_aligned(from, max_bytes)
     }
 
     /// End-LSN of the most recent commit record this engine wrote (see

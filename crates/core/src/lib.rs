@@ -46,7 +46,10 @@ pub use metrics::{Meters, OverheadReport};
 // Re-export the pieces users need to drive the public API.
 pub use mmdb_audit::{Audit, AuditReport, AuditViolation, CheckerId};
 pub use mmdb_checkpoint::{CkptReport, CkptStats, StepOutcome, WalPolicy};
-pub use mmdb_log::{DurableWatermark, FlakyControl, FlakyLogDevice, LogDevice, PendingForce};
+pub use mmdb_log::{
+    DurableWatermark, FlakyControl, FlakyLogDevice, LogDevice, LogRecord, PendingForce, ShipTap,
+    TapRead, DEFAULT_TAP_WINDOW_BYTES,
+};
 pub use mmdb_obs::{
     render_spans, validate_prometheus, write_flightrec, HistSummary, MetricsSnapshot, Obs,
     PaperOverhead, SpanRecord, TraceDumpDoc,

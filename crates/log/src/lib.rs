@@ -24,6 +24,7 @@ mod manager;
 mod record;
 mod scan;
 mod segmented;
+mod ship;
 mod watermark;
 
 pub use device::{FileLogDevice, FlakyControl, FlakyLogDevice, LogDevice, MemLogDevice};
@@ -31,4 +32,5 @@ pub use manager::{LogManager, LogStats, PendingForce};
 pub use record::{LogRecord, FRAME_OVERHEAD};
 pub use scan::{BackwardIter, CheckpointMark, ForwardIter, LogScanner};
 pub use segmented::{SegmentedLogDevice, DEFAULT_CHUNK_BYTES};
+pub use ship::{ShipTap, TapRead, DEFAULT_TAP_WINDOW_BYTES};
 pub use watermark::DurableWatermark;

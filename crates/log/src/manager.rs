@@ -11,6 +11,7 @@
 
 use crate::device::LogDevice;
 use crate::record::LogRecord;
+use crate::ship::ShipTap;
 use crate::watermark::DurableWatermark;
 use mmdb_audit::{Audit, AuditEvent};
 use mmdb_obs::{Obs, Timer};
@@ -57,6 +58,10 @@ pub struct LogManager {
     /// Commit records currently sitting in the tail — the group size of
     /// the next force.
     commits_in_tail: u64,
+    /// Log-shipping tap: forced bytes are mirrored here (post device
+    /// append, pre `tail.clear()`) so the replication shipper reads
+    /// them without a second device read.
+    ship: Option<Arc<ShipTap>>,
     audit: Audit,
     obs: Obs,
 }
@@ -143,9 +148,52 @@ impl LogManager {
             watermark: Arc::new(DurableWatermark::new(durable)),
             sticky_error: None,
             commits_in_tail: 0,
+            ship: None,
             audit: Audit::disabled(),
             obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches a log-shipping tap: every subsequent force mirrors the
+    /// just-appended bytes into the tap's window. Bytes forced before
+    /// attachment are *not* replayed into the tap — a reader below the
+    /// window falls back to [`LogManager::read_range_aligned`].
+    pub fn set_ship_tap(&mut self, tap: Arc<ShipTap>) {
+        self.ship = Some(tap);
+    }
+
+    /// Reads durable log bytes starting at `from`, cut back to the last
+    /// whole record frame, returning at most `max_bytes` raw bytes. The
+    /// device-read fallback for a shipper that has fallen behind the
+    /// tap window. Fails if `from` has been truncated away (the reader
+    /// must re-seed from an archive) or lies past the durable horizon.
+    pub fn read_range_aligned(&mut self, from: Lsn, max_bytes: usize) -> Result<Vec<u8>> {
+        let start = self.start_lsn();
+        if from < start {
+            return Err(MmdbError::Invalid(format!(
+                "log position {} already truncated (log starts at {})",
+                from.raw(),
+                start.raw()
+            )));
+        }
+        let durable = self.tail_start;
+        if from >= durable {
+            return Ok(Vec::new());
+        }
+        let want = ((durable.raw() - from.raw()) as usize).min(max_bytes);
+        let mut buf = vec![0u8; want];
+        self.device.read_at(from.raw(), &mut buf)?;
+        // cut back to whole frames so the receiver never sees a torn
+        // record; a window smaller than one frame yields an empty read
+        let mut end = 0;
+        while end < buf.len() {
+            match LogRecord::decode(&buf[end..]) {
+                Ok((_, used)) => end += used,
+                Err(_) => break,
+            }
+        }
+        buf.truncate(end);
+        Ok(buf)
     }
 
     /// The shared durable-LSN watermark. Group committers clone this
@@ -329,6 +377,11 @@ impl LogManager {
         let bytes = self.tail.len() as u64;
         let timer = self.obs.timer();
         self.device.append(&self.tail)?;
+        if let Some(tap) = &self.ship {
+            // the bytes are device-durable as of the append above: safe
+            // to expose to the shipper before the tail is cleared
+            tap.push(self.tail_start, &self.tail);
+        }
         self.tail_start = self.tail_start.advance(bytes);
         self.tail.clear();
         self.stats.forces += 1;
@@ -361,6 +414,9 @@ impl LogManager {
         let drained = self.tail.len() as u64;
         let t = self.obs.timer();
         self.device.append(&self.tail)?;
+        if let Some(tap) = &self.ship {
+            tap.push(self.tail_start, &self.tail);
+        }
         if let Some(latency) = self.force_latency {
             std::thread::sleep(latency);
         }

@@ -1,0 +1,310 @@
+//! The log-shipping tap: a bounded in-memory window of recently forced
+//! log bytes, filled by the force path *as the tail moves to the device*
+//! so the replication shipper never issues a second device read for
+//! bytes the primary just wrote.
+//!
+//! The tap is strictly an optimization over re-reading the durable
+//! device: it only ever contains bytes the device already holds, pushed
+//! by [`crate::LogManager`] immediately after a successful device
+//! append (volatile-tail force or stable-tail drain). A reader that has
+//! fallen behind the window — or that attached after the log already
+//! grew — gets [`TapRead::Gap`] and falls back to a ranged device read.
+//!
+//! Readers long-poll: [`ShipTap::read_from`] parks on a condvar until
+//! bytes past the requested LSN arrive, the window reports a gap, or
+//! the timeout elapses. Each push also records the force's wall-clock
+//! instant so the primary can attribute *replication lag* (time between
+//! a commit becoming durable locally and a standby acknowledging it)
+//! without any clock shared with the standby.
+
+use mmdb_sync::{LockRank, RankedCondvar, RankedMutex};
+use mmdb_types::Lsn;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default window size: enough to ride out a replica hiccup at group
+/// commit rates without re-reading the device.
+pub const DEFAULT_TAP_WINDOW_BYTES: usize = 4 << 20;
+
+/// Bound on the force-instant deque used for lag attribution.
+const MAX_FORCE_MARKS: usize = 4096;
+
+struct TapState {
+    /// Window bytes, starting at LSN `start`.
+    buf: VecDeque<u8>,
+    /// LSN of `buf[0]`.
+    start: Lsn,
+    /// LSN just past the last pushed byte (== durable LSN at last push).
+    durable: Lsn,
+    /// `(end_lsn, forced_at)` per push, oldest first, for lag tracking.
+    marks: VecDeque<(Lsn, Instant)>,
+}
+
+/// One successful read from the tap window.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TapRead {
+    /// Bytes `[start, start + bytes.len())`, all durable on the device.
+    Bytes {
+        /// LSN of the first returned byte.
+        start: Lsn,
+        /// The primary's durable LSN at read time.
+        durable: Lsn,
+        /// Raw log-record frames (always whole frames: pushes happen at
+        /// force granularity and forces end on record boundaries).
+        bytes: Vec<u8>,
+    },
+    /// The requested LSN fell off (or predates) the window; read the
+    /// device from `from` instead. Carries the window start for
+    /// diagnostics.
+    Gap {
+        /// First LSN the window still covers.
+        window_start: Lsn,
+    },
+    /// Nothing new past the requested LSN before the timeout.
+    Timeout,
+}
+
+/// A bounded window of recently forced log bytes. See the module docs.
+pub struct ShipTap {
+    state: RankedMutex<TapState>,
+    cv: RankedCondvar,
+    cap: usize,
+}
+
+impl std::fmt::Debug for ShipTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("ShipTap")
+            .field("start", &s.start)
+            .field("durable", &s.durable)
+            .field("len", &s.buf.len())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+impl ShipTap {
+    /// A tap whose window starts empty at `start` (the log's durable LSN
+    /// when the tap is attached), holding at most `cap` bytes.
+    pub fn new(name: &'static str, start: Lsn, cap: usize) -> Arc<ShipTap> {
+        Arc::new(ShipTap {
+            state: RankedMutex::new(
+                name,
+                LockRank::SHIP_TAP,
+                TapState {
+                    buf: VecDeque::new(),
+                    start,
+                    durable: start,
+                    marks: VecDeque::new(),
+                },
+            ),
+            cv: RankedCondvar::new(),
+            cap,
+        })
+    }
+
+    /// Appends freshly forced bytes whose first byte has LSN `start`.
+    /// Called by the force path right after a successful device append;
+    /// evicts from the front when the window overflows. A discontiguous
+    /// push (tap attached mid-stream, or a competing writer) resets the
+    /// window rather than serving a torn byte range.
+    pub fn push(&self, start: Lsn, bytes: &[u8]) {
+        let mut s = self.state.lock();
+        if s.start.advance(s.buf.len() as u64) != start {
+            s.buf.clear();
+            s.start = start;
+        }
+        s.buf.extend(bytes);
+        s.durable = start.advance(bytes.len() as u64);
+        while s.buf.len() > self.cap {
+            // evict whole frames' worth only in aggregate: readers below
+            // the new start get a Gap and re-read the device, so the cut
+            // point needs no frame alignment
+            let excess = s.buf.len() - self.cap;
+            s.buf.drain(..excess);
+            s.start = s.start.advance(excess as u64);
+        }
+        let durable = s.durable;
+        s.marks.push_back((durable, Instant::now()));
+        if s.marks.len() > MAX_FORCE_MARKS {
+            s.marks.pop_front();
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// The LSN just past the last pushed byte.
+    pub fn durable(&self) -> Lsn {
+        self.state.lock().durable
+    }
+
+    /// Reads up to `max_bytes` starting at `from`, parking up to
+    /// `timeout` for new bytes when the window end is at or below
+    /// `from`. Returns [`TapRead::Gap`] when `from` predates the window.
+    pub fn read_from(&self, from: Lsn, max_bytes: usize, timeout: Duration) -> TapRead {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.state.lock();
+        loop {
+            if from < s.start {
+                return TapRead::Gap {
+                    window_start: s.start,
+                };
+            }
+            if from < s.durable {
+                let skip = (from.raw() - s.start.raw()) as usize;
+                let take = (s.buf.len() - skip).min(max_bytes);
+                let bytes: Vec<u8> = s.buf.iter().skip(skip).take(take).copied().collect();
+                return TapRead::Bytes {
+                    start: from,
+                    durable: s.durable,
+                    bytes,
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return TapRead::Timeout;
+            }
+            let (guard, _) = self.cv.wait_timeout(s, deadline - now);
+            s = guard;
+        }
+    }
+
+    /// Drains lag marks covered by a standby's acknowledged LSN,
+    /// returning the elapsed time since the *oldest* force the ack newly
+    /// covers — the standby's replication lag as seen by the primary.
+    pub fn ack_lag(&self, acked: Lsn) -> Option<Duration> {
+        let mut s = self.state.lock();
+        let mut oldest: Option<Instant> = None;
+        while let Some(&(end, at)) = s.marks.front() {
+            if end > acked {
+                break;
+            }
+            oldest = Some(match oldest {
+                Some(prev) => prev.min(at),
+                None => at,
+            });
+            s.marks.pop_front();
+        }
+        oldest.map(|at| at.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tap(start: u64, cap: usize) -> Arc<ShipTap> {
+        ShipTap::new("test.tap", Lsn(start), cap)
+    }
+
+    #[test]
+    fn read_returns_pushed_bytes() {
+        let t = tap(0, 1024);
+        t.push(Lsn(0), b"hello");
+        match t.read_from(Lsn(0), 1024, Duration::ZERO) {
+            TapRead::Bytes {
+                start,
+                durable,
+                bytes,
+            } => {
+                assert_eq!(start, Lsn(0));
+                assert_eq!(durable, Lsn(5));
+                assert_eq!(bytes, b"hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // mid-window read
+        match t.read_from(Lsn(2), 2, Duration::ZERO) {
+            TapRead::Bytes { start, bytes, .. } => {
+                assert_eq!(start, Lsn(2));
+                assert_eq!(bytes, b"ll");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_below_window_gets_gap() {
+        let t = tap(100, 1024);
+        t.push(Lsn(100), b"abc");
+        assert_eq!(
+            t.read_from(Lsn(50), 1024, Duration::ZERO),
+            TapRead::Gap {
+                window_start: Lsn(100)
+            }
+        );
+    }
+
+    #[test]
+    fn caught_up_reader_times_out() {
+        let t = tap(0, 1024);
+        t.push(Lsn(0), b"x");
+        assert_eq!(
+            t.read_from(Lsn(1), 1024, Duration::from_millis(5)),
+            TapRead::Timeout
+        );
+    }
+
+    #[test]
+    fn overflow_evicts_from_the_front() {
+        let t = tap(0, 4);
+        t.push(Lsn(0), b"abcdef");
+        assert_eq!(
+            t.read_from(Lsn(0), 16, Duration::ZERO),
+            TapRead::Gap {
+                window_start: Lsn(2)
+            }
+        );
+        match t.read_from(Lsn(2), 16, Duration::ZERO) {
+            TapRead::Bytes { bytes, .. } => assert_eq!(bytes, b"cdef"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discontiguous_push_resets_the_window() {
+        let t = tap(0, 1024);
+        t.push(Lsn(0), b"abc");
+        // a hole (e.g. the tap was attached mid-stream): never serve a
+        // spliced range
+        t.push(Lsn(10), b"xyz");
+        assert_eq!(
+            t.read_from(Lsn(0), 16, Duration::ZERO),
+            TapRead::Gap {
+                window_start: Lsn(10)
+            }
+        );
+        match t.read_from(Lsn(10), 16, Duration::ZERO) {
+            TapRead::Bytes { start, bytes, .. } => {
+                assert_eq!(start, Lsn(10));
+                assert_eq!(bytes, b"xyz");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn waiter_wakes_on_push() {
+        let t = tap(0, 1024);
+        let t2 = Arc::clone(&t);
+        let reader = std::thread::spawn(move || t2.read_from(Lsn(0), 16, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        t.push(Lsn(0), b"late");
+        match reader.join().expect("reader") {
+            TapRead::Bytes { bytes, .. } => assert_eq!(bytes, b"late"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_lag_drains_covered_marks() {
+        let t = tap(0, 1024);
+        t.push(Lsn(0), b"aa");
+        t.push(Lsn(2), b"bb");
+        assert!(t.ack_lag(Lsn(1)).is_none(), "no mark fully covered yet");
+        let lag = t.ack_lag(Lsn(4)).expect("both marks covered");
+        assert!(lag < Duration::from_secs(5));
+        assert!(t.ack_lag(Lsn(4)).is_none(), "marks drain once");
+    }
+}

@@ -1,0 +1,227 @@
+//! `BENCH_repl.json`: the replication benchmark's fixed-schema report.
+//!
+//! The report answers the two questions the paper's cost model asks of
+//! any backup strategy, transposed to a hot standby: how *fresh* is the
+//! backup (the steady-state lag distribution, in primary-clock
+//! microseconds), and how long is *recovery* (the measured
+//! promotion-to-serving time after the primary is lost). Like the other
+//! `BENCH_*.json` artifacts, values are wall-clock — CI validates
+//! shape, not bytes.
+
+use mmdb_obs::json::{parse, Value};
+use mmdb_obs::HistSummary;
+
+/// Schema tag for [`bench_repl_json`] output.
+pub const BENCH_REPL_SCHEMA: &str = "mmdb-bench-repl/v1";
+
+/// Everything one replication benchmark run measures.
+#[derive(Debug, Clone, Default)]
+pub struct ReplBenchReport {
+    /// Shards on the primary (and therefore pull streams).
+    pub shards: u64,
+    /// Concurrent writer connections driving the primary.
+    pub writers: u64,
+    /// Checkpoint algorithm under the load.
+    pub algorithm: String,
+    /// Records in the database.
+    pub n_records: u64,
+    /// Steady-state measurement window, seconds.
+    pub duration_s: f64,
+    /// Transactions committed (and acknowledged) during the window.
+    pub committed: u64,
+    /// Committed transactions per second over the window.
+    pub throughput_tps: f64,
+    /// Replication lag per ack, microseconds on the primary's clock
+    /// (force instant → covering ack).
+    pub lag_us: HistSummary,
+    /// Kill-to-serving time for the promoted standby, milliseconds.
+    pub failover_ms: f64,
+    /// Writes acknowledged to clients before the primary was lost.
+    pub acked_at_kill: u64,
+    /// How many of those the promoted standby actually serves — must
+    /// equal [`acked_at_kill`](Self::acked_at_kill) for the no-lost-ack
+    /// guarantee.
+    pub present_after_promote: u64,
+}
+
+/// Renders a [`ReplBenchReport`] as pretty-printed JSON with the fixed
+/// key set [`validate_bench_repl_json`] checks.
+pub fn bench_repl_json(report: &ReplBenchReport) -> String {
+    let lag = &report.lag_us;
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_REPL_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("shards".into(), Value::u(report.shards)),
+                ("writers".into(), Value::u(report.writers)),
+                ("algorithm".into(), Value::s(&report.algorithm)),
+                ("n_records".into(), Value::u(report.n_records)),
+                ("duration_s".into(), Value::f(report.duration_s)),
+            ]),
+        ),
+        (
+            "results".into(),
+            Value::Obj(vec![
+                ("committed".into(), Value::u(report.committed)),
+                ("throughput_tps".into(), Value::f(report.throughput_tps)),
+                (
+                    "lag_us".into(),
+                    Value::Obj(vec![
+                        ("count".into(), Value::u(lag.count)),
+                        ("mean".into(), Value::f(lag.mean)),
+                        ("p50".into(), Value::u(lag.p50)),
+                        ("p90".into(), Value::u(lag.p90)),
+                        ("p99".into(), Value::u(lag.p99)),
+                        ("p999".into(), Value::u(lag.p999)),
+                        ("max".into(), Value::u(lag.max)),
+                    ]),
+                ),
+                (
+                    "failover".into(),
+                    Value::Obj(vec![
+                        ("failover_ms".into(), Value::f(report.failover_ms)),
+                        ("acked_at_kill".into(), Value::u(report.acked_at_kill)),
+                        (
+                            "present_after_promote".into(),
+                            Value::u(report.present_after_promote),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    let mut s = v.to_pretty();
+    s.push('\n');
+    s
+}
+
+/// Validates the fixed schema of [`bench_repl_json`] output: the schema
+/// tag, every required key, basic type/sanity constraints, and the
+/// no-lost-ack invariant (`present_after_promote == acked_at_kill`).
+pub fn validate_bench_repl_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_REPL_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_REPL_SCHEMA:?}"));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    for key in ["shards", "writers", "n_records"] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+    config
+        .get("algorithm")
+        .and_then(Value::as_str)
+        .ok_or("config.algorithm missing or not a string")?;
+    config
+        .get("duration_s")
+        .and_then(Value::as_f64)
+        .ok_or("config.duration_s missing or not a number")?;
+    let results = v.get("results").ok_or("missing results")?;
+    results
+        .get("committed")
+        .and_then(Value::as_u64)
+        .ok_or("results.committed missing or not an integer")?;
+    let tps = results
+        .get("throughput_tps")
+        .and_then(Value::as_f64)
+        .ok_or("results.throughput_tps missing or not a number")?;
+    if !tps.is_finite() || tps < 0.0 {
+        return Err(format!(
+            "throughput_tps = {tps} is not a finite non-negative"
+        ));
+    }
+    let lag = results.get("lag_us").ok_or("missing results.lag_us")?;
+    for key in ["count", "p50", "p90", "p99", "p999", "max"] {
+        lag.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("lag_us.{key} missing or not an integer"))?;
+    }
+    lag.get("mean")
+        .and_then(Value::as_f64)
+        .ok_or("lag_us.mean missing or not a number")?;
+    let fo = results.get("failover").ok_or("missing results.failover")?;
+    let ms = fo
+        .get("failover_ms")
+        .and_then(Value::as_f64)
+        .ok_or("failover.failover_ms missing or not a number")?;
+    if !ms.is_finite() || ms < 0.0 {
+        return Err(format!("failover_ms = {ms} is not a finite non-negative"));
+    }
+    let acked = fo
+        .get("acked_at_kill")
+        .and_then(Value::as_u64)
+        .ok_or("failover.acked_at_kill missing or not an integer")?;
+    let present = fo
+        .get("present_after_promote")
+        .and_then(Value::as_u64)
+        .ok_or("failover.present_after_promote missing or not an integer")?;
+    if present != acked {
+        return Err(format!(
+            "lost acknowledged writes: acked_at_kill {acked} but only {present} present \
+             after promotion"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ReplBenchReport {
+        ReplBenchReport {
+            shards: 2,
+            writers: 4,
+            algorithm: "fuzzy-copy".into(),
+            n_records: 4096,
+            duration_s: 3.0,
+            committed: 12_000,
+            throughput_tps: 4_000.0,
+            lag_us: HistSummary {
+                count: 900,
+                sum: 2_700_000,
+                min: 400,
+                max: 9_000,
+                mean: 3_000.0,
+                p50: 2_500,
+                p90: 4_000,
+                p99: 7_000,
+                p999: 8_500,
+            },
+            failover_ms: 312.5,
+            acked_at_kill: 11_998,
+            present_after_promote: 11_998,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_validator() {
+        let text = bench_repl_json(&report());
+        validate_bench_repl_json(&text).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_missing_keys() {
+        assert!(validate_bench_repl_json("{}").is_err());
+        let text = bench_repl_json(&report()).replace(BENCH_REPL_SCHEMA, "mmdb-bench-net/v1");
+        assert!(validate_bench_repl_json(&text).is_err());
+        let text = bench_repl_json(&report()).replace("\"p999\"", "\"p998\"");
+        assert!(validate_bench_repl_json(&text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_lost_acked_writes() {
+        let mut r = report();
+        r.present_after_promote = r.acked_at_kill - 1;
+        let text = bench_repl_json(&r);
+        let err = validate_bench_repl_json(&text).expect_err("must fail");
+        assert!(err.contains("lost acknowledged writes"), "{err}");
+    }
+}

@@ -1,0 +1,55 @@
+//! **mmdb-repl** — log-shipping replication with hot-standby failover.
+//!
+//! The paper treats the *backup database* as the recovery-time lever:
+//! the fresher the backup, the less log must be replayed after a crash
+//! (§2.2's `C_recovery` is dominated by the log-read term). Replication
+//! extends that idea across machines: a standby that continuously
+//! replays the primary's REDO stream *is* a backup whose staleness is
+//! measured in milliseconds, so "recovery" after losing the primary is
+//! a promotion, not a log scan.
+//!
+//! ## Shipping (primary side, [`primary`])
+//!
+//! Only **durable** bytes ever ship. The force path feeds each shard's
+//! [`ShipTap`](mmdb_core::ShipTap) as the tail moves to the device, so
+//! the shipper serves standbys from memory without a second device
+//! read; a standby that has fallen behind the tap window falls back to
+//! a ranged, frame-aligned device read. Standbys *pull*: each
+//! `ReplAck{shard, applied, …}` both acknowledges everything below
+//! `applied` (releasing semi-sync committers parked on the
+//! [`ReplGate`](mmdb_shard::ReplGate)) and long-polls for the next
+//! batch — one request/response round per batch, over the ordinary
+//! server port.
+//!
+//! ## Replay (standby side, [`replica`])
+//!
+//! One pull connection per shard drains that shard's log stream into a
+//! shared [`replica::Replica`]: updates buffer per transaction and
+//! install at `Commit` (engine-level re-execution of the after-images —
+//! idempotent, so restart-and-replay-from-anywhere is safe), prepared
+//! branches park until some shard's stream carries the `Decide`, and
+//! checkpoint markers are ignored (the standby checkpoints its own
+//! engines on its own schedule). The standby serves read-only gets at
+//! its tracked applied watermark and rejects writes until
+//! [`replica::promote`] stops the pull loops, drains them, presumes
+//! abort for undecided branches, and flips it writable — sub-second,
+//! because a continuously replaying standby has no log backlog.
+//!
+//! ## Lag accounting
+//!
+//! The primary stamps every force instant in its tap and measures
+//! `repl.lag_us` when an ack covers it — replication lag attributed
+//! entirely with the primary's clock, no cross-machine clock needed.
+//! `repl.lag_lsn` is the instantaneous byte gap. [`bench`] packages the
+//! lag distribution and a measured failover time as
+//! `BENCH_repl.json` (schema [`BENCH_REPL_SCHEMA`]).
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod primary;
+pub mod replica;
+
+pub use bench::{bench_repl_json, validate_bench_repl_json, ReplBenchReport, BENCH_REPL_SCHEMA};
+pub use primary::{serve_hello, serve_pull, MAX_REPL_BATCH_BYTES, MAX_REPL_WAIT_MS};
+pub use replica::{promote, pull_shard_loop, Replica};

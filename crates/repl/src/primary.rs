@@ -1,0 +1,159 @@
+//! The primary's half of replication: answering `ReplHello` and
+//! `ReplAck` requests against the per-shard ship taps.
+//!
+//! Both functions are called from the server's dispatch path on an
+//! ordinary worker thread. `serve_pull` may park in the tap's long poll
+//! for up to [`MAX_REPL_WAIT_MS`]; it holds no shard lock while parked,
+//! but it does occupy a worker — size the worker pool at or above
+//! `client connections + shards` when standbys are attached.
+
+use mmdb_shard::ShardedMmdb;
+use mmdb_types::{Lsn, MmdbError, Result};
+use mmdb_wire::{ReplWelcome, REPL_VERSION};
+use std::time::Duration;
+
+/// Cap on one `ReplBatch`'s payload, regardless of what the standby
+/// asks for. Comfortably under the wire frame cap.
+pub const MAX_REPL_BATCH_BYTES: usize = 1 << 20;
+
+/// Cap on how long one pull may park in the tap's long poll. Bounds
+/// worker occupancy; an empty batch tells the standby to ask again.
+pub const MAX_REPL_WAIT_MS: u32 = 250;
+
+/// Serves `ReplHello`: negotiates the replication version, attaches
+/// ship taps to every shard (idempotent), engages the semi-sync gate,
+/// and reports the topology the standby must match plus each shard's
+/// `(start, durable)` log LSNs.
+pub fn serve_hello(db: &ShardedMmdb, ver_min: u8, ver_max: u8) -> Result<ReplWelcome> {
+    if ver_min > ver_max || ver_min > REPL_VERSION {
+        return Err(MmdbError::Invalid(format!(
+            "no common replication version: standby speaks {ver_min}..={ver_max}, \
+             this primary speaks 1..={REPL_VERSION}"
+        )));
+    }
+    db.enable_ship_taps();
+    db.repl_gate().engage();
+    db.obs().counter("repl.hello", 1);
+    let shard_lsns = (0..db.shards())
+        .map(|i| db.with_shard(i, |e| (e.log_start_lsn().raw(), e.log_durable_lsn().raw())))
+        .collect();
+    Ok(ReplWelcome {
+        ver: REPL_VERSION.min(ver_max),
+        shards: db.shards() as u32,
+        n_records: db.n_records(),
+        record_words: db.record_words() as u32,
+        shard_lsns,
+    })
+}
+
+/// Serves one `ReplAck`: publishes the standby's applied LSN to the
+/// semi-sync gate, records lag, then reads the next batch — from the
+/// tap window when it covers `applied`, long-polling up to `wait_ms`
+/// when the standby is caught up, or from the device when the standby
+/// has fallen behind the window. Returns `(start, durable, bytes)`;
+/// `bytes` may end mid-frame when the size cap cuts a record — the
+/// standby applies the whole frames and re-requests the rest.
+pub fn serve_pull(
+    db: &ShardedMmdb,
+    shard: u32,
+    applied: Lsn,
+    max_bytes: u32,
+    wait_ms: u32,
+) -> Result<(Lsn, Lsn, Vec<u8>)> {
+    let i = shard as usize;
+    if i >= db.shards() {
+        return Err(MmdbError::Invalid(format!(
+            "no shard {shard} (topology has {})",
+            db.shards()
+        )));
+    }
+    let Some(tap) = db.ship_tap(i) else {
+        return Err(MmdbError::Invalid(
+            "replication not initialized on this server (send ReplHello first)".into(),
+        ));
+    };
+    let obs = db.obs();
+    db.repl_gate().advance(i, applied);
+    if let Some(lag) = tap.ack_lag(applied) {
+        obs.observe_duration_us("repl.lag_us", lag);
+    }
+    let t = obs.timer();
+    let max = (max_bytes as usize).clamp(1, MAX_REPL_BATCH_BYTES);
+    let wait = Duration::from_millis(u64::from(wait_ms.min(MAX_REPL_WAIT_MS)));
+    let (start, durable, bytes) = match tap.read_from(applied, max, wait) {
+        mmdb_core::TapRead::Bytes {
+            start,
+            durable,
+            bytes,
+        } => (start, durable, bytes),
+        mmdb_core::TapRead::Timeout => (applied, tap.durable(), Vec::new()),
+        mmdb_core::TapRead::Gap { .. } => {
+            // The standby predates the window: one ranged device read,
+            // frame-aligned by the log manager.
+            obs.counter("repl.window_misses", 1);
+            db.with_shard(i, |e| {
+                let bytes = e.read_log_range(applied, max)?;
+                Ok::<_, MmdbError>((applied, e.log_durable_lsn(), bytes))
+            })?
+        }
+    };
+    obs.counter("repl.batches", 1);
+    obs.counter("repl.batch_bytes", bytes.len() as u64);
+    obs.observe("repl.batch_size", bytes.len() as u64);
+    obs.gauge("repl.lag_lsn", durable.raw().saturating_sub(applied.raw()));
+    obs.phase_detail("repl.ship", t, i as u64);
+    Ok((start, durable, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_core::MmdbConfig;
+    use mmdb_types::{Algorithm, RecordId};
+
+    fn db() -> ShardedMmdb {
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        ShardedMmdb::open_in_memory(cfg, 2).expect("open")
+    }
+
+    #[test]
+    fn hello_reports_topology_and_version() {
+        let db = db();
+        let w = serve_hello(&db, 1, REPL_VERSION).expect("hello");
+        assert_eq!(w.ver, REPL_VERSION);
+        assert_eq!(w.shards, 2);
+        assert_eq!(w.n_records, db.n_records());
+        assert_eq!(w.shard_lsns.len(), 2);
+        assert!(db.repl_gate().is_engaged());
+    }
+
+    #[test]
+    fn hello_rejects_disjoint_version_ranges() {
+        let db = db();
+        assert!(serve_hello(&db, REPL_VERSION + 1, REPL_VERSION + 3).is_err());
+        assert!(serve_hello(&db, 3, 1).is_err(), "inverted range");
+    }
+
+    #[test]
+    fn pull_requires_hello_and_valid_shard() {
+        let db = db();
+        assert!(serve_pull(&db, 0, Lsn::ZERO, 1024, 0).is_err(), "no hello");
+        serve_hello(&db, 1, 1).expect("hello");
+        assert!(serve_pull(&db, 7, Lsn::ZERO, 1024, 0).is_err(), "bad shard");
+    }
+
+    #[test]
+    fn pull_returns_forced_bytes_and_advances_the_gate() {
+        let db = db();
+        serve_hello(&db, 1, 1).expect("hello");
+        db.run_txn(&[(RecordId(0), vec![7; db.record_words()])])
+            .expect("txn");
+        let (start, durable, bytes) = serve_pull(&db, 0, Lsn::ZERO, 1 << 16, 0).expect("pull");
+        assert_eq!(start, Lsn::ZERO);
+        assert!(!bytes.is_empty());
+        assert!(durable.raw() >= bytes.len() as u64);
+        // the ack side: a later pull at `durable` publishes it
+        let _ = serve_pull(&db, 0, durable, 1 << 16, 0).expect("pull");
+        assert_eq!(db.repl_gate().acked(0), durable);
+    }
+}

@@ -1,0 +1,640 @@
+//! The standby's half of replication: continuous replay of the
+//! primary's per-shard log streams, and promotion to primary.
+//!
+//! One pull thread per shard ([`pull_shard_loop`]) drains that shard's
+//! stream through the shared [`Replica`] state. Replay is *logical*:
+//! each committed transaction's after-images re-execute as a fresh
+//! engine transaction on the standby, which writes its own log and
+//! takes its own checkpoints — so the standby is at every instant a
+//! fully recoverable database in its own right, and its storage
+//! fingerprint converges to the primary's. Re-applying an after-image
+//! is idempotent, so under-reporting progress is always safe.
+//!
+//! The applied positions live in the *primary's* LSN space and are
+//! persisted (with the decided-outcome map) to `<dir>/repl.state`
+//! after every batch, because the standby's own log drifts ahead of
+//! the primary's the moment its local checkpointer writes a marker —
+//! local durable LSN only equals the primary position at first attach
+//! (identical init or a directory copy seeds that alignment). A shard
+//! holding a parked, undecided `Prepare` persists its watermark at
+//! that branch's position, so a restart re-pulls and re-parks it; the
+//! decision, which the primary forces on a *different* shard's log,
+//! is replayed from the persisted map instead.
+//!
+//! Cross-shard transactions replay exactly like sharded crash
+//! recovery: `Prepare`d branches park in the resolver until any
+//! shard's stream carries the `Decide`, then install (or drop) — and
+//! [`promote`] presumes abort for branches still undecided when the
+//! primary is lost, matching what the primary's own recovery would
+//! conclude.
+
+use mmdb_shard::ShardedMmdb;
+use mmdb_sync::{LockRank, RankedMutex};
+use mmdb_types::{Lsn, MmdbError, RecordId, Result, Word};
+use mmdb_wire::Client;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How much a standby asks for per pull.
+const PULL_BATCH_BYTES: u32 = 1 << 20;
+
+/// The standby's long-poll budget per pull: long enough to batch, short
+/// enough that stop/promote requests are honored promptly.
+const PULL_WAIT_MS: u32 = 100;
+
+/// Read timeout on the pull connection — must exceed the long-poll
+/// budget, and bounds how stale a dead-but-unclosed primary connection
+/// can make the stop check.
+const PULL_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Backoff between reconnect attempts when the primary is unreachable.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(200);
+
+/// How long [`promote`] waits for the pull threads to drain and exit.
+const PROMOTE_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Replay state shared by every shard's pull thread.
+///
+/// Uncommitted transactions buffer here (`open`), prepared cross-shard
+/// branches park until their decision arrives (`pending`), and
+/// decisions are remembered for branches whose `Prepare` trails the
+/// `Decide` on another shard's stream (`decisions` — unbounded over a
+/// standby's lifetime, bounded in practice by the primary's gid space
+/// actually exercised while attached).
+/// One transaction's (or branch's) after-images.
+type AfterImages = Vec<(RecordId, Vec<Word>)>;
+
+/// A parked prepared branch: its shard, the primary-log LSN of its
+/// `Prepare` frame (the shard's persist holdback: a restart must
+/// re-pull from there to re-park it), and its after-images.
+type ParkedBranch = (usize, u64, AfterImages);
+
+struct Resolver {
+    /// `(shard, primary txn id)` → buffered after-images.
+    open: HashMap<(usize, u64), AfterImages>,
+    /// `gid` → prepared branches awaiting a decision.
+    pending: HashMap<u64, Vec<ParkedBranch>>,
+    /// `gid` → decided outcome (true = commit).
+    decisions: HashMap<u64, bool>,
+}
+
+/// A standby's replication state: per-shard applied positions (in the
+/// *primary's* LSN space), the shared cross-shard resolver, and the
+/// stop/writable switches promotion flips.
+pub struct Replica {
+    peer: String,
+    stop: AtomicBool,
+    writable: AtomicBool,
+    /// Pull threads currently running their loop body.
+    active_pulls: AtomicUsize,
+    /// Per-shard primary-log LSN applied so far (monotone).
+    applied: Vec<AtomicU64>,
+    /// Directory holding `repl.state` (none for in-memory standbys:
+    /// progress then lives only in this process).
+    state_dir: Option<PathBuf>,
+    resolver: RankedMutex<Resolver>,
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("peer", &self.peer)
+            .field("writable", &self.writable.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Replica {
+    /// Replication state for a standby of `peer` over `db`.
+    ///
+    /// Applied positions resume from `<state_dir>/repl.state` when it
+    /// exists. A first attach (no state file) seeds each shard from its
+    /// *local durable LSN*: at that moment — before the standby's own
+    /// checkpointer has appended a marker — the local log is LSN-aligned
+    /// with the primary's, whether the directory was seeded by an
+    /// identical `init` or by copying the primary's directory.
+    pub fn new(peer: String, db: &ShardedMmdb, state_dir: Option<PathBuf>) -> Arc<Replica> {
+        let shards = db.shards();
+        let (applied, decisions) = match state_dir.as_ref().and_then(|d| load_state(d, shards)) {
+            Some(state) => state,
+            None => (
+                (0..shards)
+                    .map(|i| db.with_shard(i, |e| e.log_durable_lsn().raw()))
+                    .collect(),
+                HashMap::new(),
+            ),
+        };
+        Arc::new(Replica {
+            peer,
+            stop: AtomicBool::new(false),
+            writable: AtomicBool::new(false),
+            active_pulls: AtomicUsize::new(0),
+            applied: applied.into_iter().map(AtomicU64::new).collect(),
+            state_dir,
+            resolver: RankedMutex::new(
+                "repl.resolver",
+                LockRank::REPL_RESOLVER,
+                Resolver {
+                    open: HashMap::new(),
+                    pending: HashMap::new(),
+                    decisions,
+                },
+            ),
+        })
+    }
+
+    /// The primary this standby pulls from.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// True once promoted: the server accepts writes.
+    pub fn is_writable(&self) -> bool {
+        self.writable.load(Ordering::SeqCst)
+    }
+
+    /// Asks the pull threads to exit after their current round.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The primary-log LSN applied so far on `shard` — the standby's
+    /// durable read watermark for that shard's records.
+    pub fn applied_lsn(&self, shard: usize) -> Lsn {
+        Lsn(self.applied[shard].load(Ordering::SeqCst))
+    }
+
+    /// Persists the replication state to `<state_dir>/repl.state`
+    /// (atomic tmp + rename; no-op for in-memory standbys). Each
+    /// shard's persisted watermark is held back to the oldest parked
+    /// undecided `Prepare` on that shard, so a restart re-pulls and
+    /// re-parks the branch; under-reporting is safe because replay is
+    /// idempotent.
+    fn save_state(&self) {
+        let Some(dir) = &self.state_dir else {
+            return;
+        };
+        let mut out = String::from("# mmdb replication state (primary-LSN applied watermarks)\n");
+        {
+            let r = self.resolver.lock();
+            for (shard, a) in self.applied.iter().enumerate() {
+                let mut v = a.load(Ordering::SeqCst);
+                for branches in r.pending.values() {
+                    for &(branch_shard, prepare_lsn, _) in branches {
+                        if branch_shard == shard {
+                            v = v.min(prepare_lsn);
+                        }
+                    }
+                }
+                out.push_str(&format!("applied.{shard}={v}\n"));
+            }
+            for (gid, commit) in &r.decisions {
+                out.push_str(&format!("decision.{gid}={}\n", u8::from(*commit)));
+            }
+        }
+        let tmp = dir.join("repl.state.tmp");
+        if std::fs::write(&tmp, &out).is_ok() {
+            let _ = std::fs::rename(&tmp, dir.join("repl.state"));
+        }
+    }
+
+    /// Applies one shard's batch of whole log-record frames starting at
+    /// primary LSN `base`, returning how many bytes were consumed (a
+    /// trailing partial frame — the batch size cap can cut one — is
+    /// left for the next pull).
+    fn apply_batch(
+        &self,
+        db: &ShardedMmdb,
+        shard: usize,
+        base: u64,
+        bytes: &[u8],
+    ) -> Result<usize> {
+        use mmdb_core::LogRecord;
+        let obs = db.obs();
+        let t = obs.timer();
+        let mut off = 0usize;
+        let mut txns = 0u64;
+        let mut r = self.resolver.lock();
+        while off < bytes.len() {
+            let (rec, used) = match LogRecord::decode(&bytes[off..]) {
+                Ok(ok) => ok,
+                // a torn tail frame: stop here, re-request from `off`
+                Err(_) => break,
+            };
+            match rec {
+                LogRecord::TxnBegin { txn, .. } => {
+                    r.open.insert((shard, txn.raw()), Vec::new());
+                }
+                LogRecord::Update { txn, record, value } => {
+                    // an Update without a TxnBegin can only mean the
+                    // stream attached mid-transaction; the Commit will
+                    // find nothing to install, matching REDO replay of
+                    // a truncated window
+                    if let Some(writes) = r.open.get_mut(&(shard, txn.raw())) {
+                        writes.push((record, value));
+                    }
+                }
+                LogRecord::Commit { txn } => {
+                    // absent entry: the phase-two commit of a prepared
+                    // branch already installed at Decide time — ignore
+                    if let Some(writes) = r.open.remove(&(shard, txn.raw())) {
+                        apply_writes(db, shard, &writes)?;
+                        txns += 1;
+                    }
+                }
+                LogRecord::Abort { txn } => {
+                    r.open.remove(&(shard, txn.raw()));
+                }
+                LogRecord::Prepare { txn, gid } => {
+                    let writes = r.open.remove(&(shard, txn.raw())).unwrap_or_default();
+                    match r.decisions.get(&gid) {
+                        Some(true) => {
+                            apply_writes(db, shard, &writes)?;
+                            txns += 1;
+                        }
+                        Some(false) => {}
+                        None => r.pending.entry(gid).or_default().push((
+                            shard,
+                            base + off as u64,
+                            writes,
+                        )),
+                    }
+                }
+                LogRecord::Decide { gid, commit } => {
+                    r.decisions.insert(gid, commit);
+                    if let Some(branches) = r.pending.remove(&gid) {
+                        for (branch_shard, _, writes) in branches {
+                            if commit {
+                                apply_writes(db, branch_shard, &writes)?;
+                                txns += 1;
+                            }
+                        }
+                    }
+                }
+                // the standby checkpoints its own engines on its own
+                // schedule; the primary's markers carry no replay work
+                LogRecord::BeginCheckpoint { .. } | LogRecord::EndCheckpoint { .. } => {}
+            }
+            off += used;
+        }
+        drop(r);
+        if off > 0 {
+            // the standby's own durability for what it just applied:
+            // force this shard's local log before acknowledging
+            db.with_shard(shard, |e| e.force_log())?;
+        }
+        obs.counter("repl.applied_txns", txns);
+        obs.counter("repl.applied_bytes", off as u64);
+        obs.phase_detail("repl.replay", t, shard as u64);
+        Ok(off)
+    }
+}
+
+/// Re-executes one transaction's after-images on the standby's shard
+/// engine, retrying the transient outcomes its own checkpointers can
+/// inject (quiesce refusals; the engine reruns two-color aborts
+/// itself).
+fn apply_writes(db: &ShardedMmdb, shard: usize, writes: &[(RecordId, Vec<Word>)]) -> Result<()> {
+    if writes.is_empty() {
+        return Ok(());
+    }
+    let mut tries = 0u32;
+    loop {
+        match db.with_shard(shard, |e| e.run_txn(writes).map(|_| ())) {
+            Err(MmdbError::Quiesced | MmdbError::CheckpointInProgress) if tries < 5000 => {
+                tries += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Loads `<dir>/repl.state`. Returns `None` (first attach) when the
+/// file is absent, unreadable, or does not cover all `shards` — a
+/// partial file from a different topology must not seed anything.
+fn load_state(dir: &std::path::Path, shards: usize) -> Option<(Vec<u64>, HashMap<u64, bool>)> {
+    let text = std::fs::read_to_string(dir.join("repl.state")).ok()?;
+    let mut applied = vec![None; shards];
+    let mut decisions = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.split_once('=')?;
+        if let Some(shard) = key.strip_prefix("applied.") {
+            let shard: usize = shard.parse().ok()?;
+            if shard < shards {
+                applied[shard] = Some(value.parse::<u64>().ok()?);
+            }
+        } else if let Some(gid) = key.strip_prefix("decision.") {
+            decisions.insert(gid.parse::<u64>().ok()?, value != "0");
+        }
+    }
+    let applied: Option<Vec<u64>> = applied.into_iter().collect();
+    Some((applied?, decisions))
+}
+
+/// Sleeps `total` in small slices, returning early once the replica is
+/// stopping.
+fn stoppable_sleep(replica: &Replica, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !replica.stopping() {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+    }
+}
+
+/// The body of one shard's pull thread: connect to the primary,
+/// negotiate, then ack-and-pull until stopped, reconnecting with
+/// backoff on any transport error. Returns when
+/// [`Replica::request_stop`] is observed.
+pub fn pull_shard_loop(replica: &Arc<Replica>, db: &ShardedMmdb, shard: usize) {
+    let obs = db.obs().clone();
+    replica.active_pulls.fetch_add(1, Ordering::SeqCst);
+    while !replica.stopping() {
+        let mut client = match Client::connect(replica.peer()) {
+            Ok(c) => c,
+            Err(_) => {
+                obs.counter("repl.connect_errors", 1);
+                stoppable_sleep(replica, RECONNECT_BACKOFF);
+                continue;
+            }
+        };
+        let _ = client.set_timeout(Some(PULL_READ_TIMEOUT));
+        let welcome = match client.repl_hello() {
+            Ok(w) => w,
+            Err(_) => {
+                obs.counter("repl.hello_errors", 1);
+                stoppable_sleep(replica, RECONNECT_BACKOFF);
+                continue;
+            }
+        };
+        if welcome.shards != db.shards() as u32
+            || welcome.n_records != db.n_records()
+            || welcome.record_words != db.record_words() as u32
+        {
+            obs.counter("repl.topology_mismatches", 1);
+            stoppable_sleep(replica, RECONNECT_BACKOFF);
+            continue;
+        }
+        // The primary's log must reach back to our applied position:
+        // from the first hello on, the primary pins truncation at the
+        // standby's acks, but a standby that attaches *after* the
+        // primary already truncated past its position has an
+        // unrecoverable hole. Refusing loudly (and retrying, in case an
+        // operator re-seeds the primary) beats silently skipping
+        // committed transactions.
+        let attach_start = welcome.shard_lsns.get(shard).map_or(0, |&(s, _)| s);
+        if attach_start > replica.applied[shard].load(Ordering::SeqCst) {
+            obs.counter("repl.bootstrap_gaps", 1);
+            stoppable_sleep(replica, RECONNECT_BACKOFF);
+            continue;
+        }
+
+        loop {
+            if replica.stopping() {
+                break;
+            }
+            let applied = replica.applied[shard].load(Ordering::SeqCst);
+            match client.repl_pull(shard as u32, applied, PULL_BATCH_BYTES, PULL_WAIT_MS) {
+                Ok((start, durable, bytes)) => {
+                    if bytes.is_empty() {
+                        obs.gauge("repl.lag_lsn", durable.saturating_sub(applied));
+                        continue;
+                    }
+                    if start != applied {
+                        // the primary answered for a different position
+                        // than asked (should not happen): resync
+                        obs.counter("repl.pull_errors", 1);
+                        break;
+                    }
+                    match replica.apply_batch(db, shard, applied, &bytes) {
+                        Ok(consumed) if consumed > 0 => {
+                            replica.applied[shard]
+                                .fetch_max(applied + consumed as u64, Ordering::SeqCst);
+                            replica.save_state();
+                            db.with_shard(shard, |e| {
+                                e.obs().gauge("repl.applied_lsn", applied + consumed as u64);
+                            });
+                            obs.gauge(
+                                "repl.lag_lsn",
+                                durable.saturating_sub(applied + consumed as u64),
+                            );
+                        }
+                        Ok(_) => {
+                            // a non-empty batch that decodes to zero
+                            // whole frames cannot make progress
+                            obs.counter("repl.pull_errors", 1);
+                            break;
+                        }
+                        Err(_) => {
+                            obs.counter("repl.apply_errors", 1);
+                            break;
+                        }
+                    }
+                }
+                Err(_) => {
+                    obs.counter("repl.pull_errors", 1);
+                    break;
+                }
+            }
+        }
+        if !replica.stopping() {
+            stoppable_sleep(replica, RECONNECT_BACKOFF);
+        }
+    }
+    replica.active_pulls.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Promotes the standby: stop the pull loops, wait for them to drain
+/// and exit, presume abort for cross-shard branches still undecided
+/// (exactly what the lost primary's own recovery would conclude), and
+/// flip the server writable. Sub-second in the failover case: the pull
+/// loops exit within one long-poll round, and a continuously replaying
+/// standby has no log backlog to scan.
+pub fn promote(db: &ShardedMmdb, replica: &Replica) -> Result<()> {
+    let obs = db.obs();
+    let t = obs.timer();
+    replica.request_stop();
+    let deadline = Instant::now() + PROMOTE_DRAIN_TIMEOUT;
+    while replica.active_pulls.load(Ordering::SeqCst) > 0 {
+        if Instant::now() >= deadline {
+            return Err(MmdbError::Invalid(format!(
+                "promotion timed out after {PROMOTE_DRAIN_TIMEOUT:?} waiting for \
+                 {} pull thread(s) to drain",
+                replica.active_pulls.load(Ordering::SeqCst)
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    {
+        let mut r = replica.resolver.lock();
+        let aborted = r.pending.len() as u64 + r.open.len() as u64;
+        r.pending.clear();
+        r.open.clear();
+        obs.counter("repl.promote_aborted_branches", aborted);
+    }
+    // make everything applied locally durable before accepting writes
+    for i in 0..db.shards() {
+        db.with_shard(i, |e| e.force_log())?;
+    }
+    // the promoted server is a primary: its replication state is stale
+    // the moment it takes its first write
+    if let Some(dir) = &replica.state_dir {
+        let _ = std::fs::remove_file(dir.join("repl.state"));
+    }
+    replica.writable.store(true, Ordering::SeqCst);
+    obs.counter("repl.promotions", 1);
+    obs.phase_detail("repl.promote", t, 0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primary::{serve_hello, serve_pull};
+    use mmdb_core::MmdbConfig;
+    use mmdb_types::Algorithm;
+
+    fn pair(shards: usize) -> (ShardedMmdb, ShardedMmdb) {
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        let primary = ShardedMmdb::open_in_memory(cfg, shards).expect("primary");
+        let standby = ShardedMmdb::open_in_memory(cfg, shards).expect("standby");
+        serve_hello(&primary, 1, 1).expect("hello");
+        (primary, standby)
+    }
+
+    /// Replays everything currently shippable from `primary` into
+    /// `standby` without a network, mimicking the pull loop.
+    fn drain(primary: &ShardedMmdb, standby: &ShardedMmdb, replica: &Replica) {
+        for shard in 0..primary.shards() {
+            loop {
+                let applied = replica.applied[shard].load(Ordering::SeqCst);
+                let (start, _durable, bytes) =
+                    serve_pull(primary, shard as u32, Lsn(applied), 1 << 20, 0).expect("pull");
+                if bytes.is_empty() {
+                    break;
+                }
+                assert_eq!(start, Lsn(applied));
+                let consumed = replica
+                    .apply_batch(standby, shard, applied, &bytes)
+                    .expect("apply");
+                assert!(consumed > 0);
+                replica.applied[shard].fetch_max(applied + consumed as u64, Ordering::SeqCst);
+            }
+        }
+    }
+
+    #[test]
+    fn repl_state_round_trips_and_holds_back_parked_prepares() {
+        let (_primary, standby) = pair(2);
+        let dir = std::env::temp_dir().join(format!("mmdb-repl-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let replica = Replica::new("unused".into(), &standby, Some(dir.clone()));
+        replica.applied[0].store(777, Ordering::SeqCst);
+        replica.applied[1].store(888, Ordering::SeqCst);
+        {
+            let mut r = replica.resolver.lock();
+            // an undecided branch parked on shard 1, prepared at LSN 555
+            r.pending
+                .insert(9, vec![(1, 555, vec![(RecordId(1), vec![2; 4])])]);
+            r.decisions.insert(4, true);
+            r.decisions.insert(5, false);
+        }
+        replica.save_state();
+
+        // a restarted standby resumes from the file: shard 0 exactly,
+        // shard 1 held back to the parked Prepare so it re-pulls and
+        // re-parks the branch, and the decisions map intact
+        let resumed = Replica::new("unused".into(), &standby, Some(dir.clone()));
+        assert_eq!(resumed.applied[0].load(Ordering::SeqCst), 777);
+        assert_eq!(resumed.applied[1].load(Ordering::SeqCst), 555);
+        assert_eq!(resumed.resolver.lock().decisions.get(&4), Some(&true));
+        assert_eq!(resumed.resolver.lock().decisions.get(&5), Some(&false));
+
+        // promotion invalidates the state: the file must be gone
+        promote(&standby, &resumed).expect("promote");
+        assert!(!dir.join("repl.state").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replayed_standby_matches_primary_fingerprint() {
+        let (primary, standby) = pair(2);
+        let replica = Replica::new("unused".into(), &standby, None);
+        let words = primary.record_words();
+        for i in 0..40u64 {
+            primary
+                .run_txn(&[(RecordId(i % primary.n_records()), vec![i as u32; words])])
+                .expect("txn");
+        }
+        // a cross-shard transaction exercises Prepare/Decide replay
+        primary
+            .run_txn(&[
+                (RecordId(0), vec![0xAAAA; words]),
+                (RecordId(1), vec![0xBBBB; words]),
+            ])
+            .expect("cross");
+        drain(&primary, &standby, &replica);
+        assert_eq!(primary.fingerprint(), standby.fingerprint());
+    }
+
+    #[test]
+    fn replay_is_idempotent_from_scratch() {
+        let (primary, standby) = pair(2);
+        let words = primary.record_words();
+        for i in 0..10u64 {
+            primary
+                .run_txn(&[(RecordId(i), vec![7 + i as u32; words])])
+                .expect("txn");
+        }
+        let replica = Replica::new("unused".into(), &standby, None);
+        drain(&primary, &standby, &replica);
+        let fp = standby.fingerprint();
+        // a standby that lost its applied positions entirely replays
+        // from the log start again — after-images make this a no-op
+        let fresh = Replica::new("unused".into(), &standby, None);
+        for a in &fresh.applied {
+            a.store(0, Ordering::SeqCst);
+        }
+        drain(&primary, &standby, &fresh);
+        assert_eq!(standby.fingerprint(), fp);
+        assert_eq!(standby.fingerprint(), primary.fingerprint());
+    }
+
+    #[test]
+    fn promote_flips_writable_and_aborts_undecided() {
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        let standby = ShardedMmdb::open_in_memory(cfg, 2).expect("standby");
+        let replica = Replica::new("unused".into(), &standby, None);
+        // a branch parked without a decision
+        replica
+            .resolver
+            .lock()
+            .pending
+            .insert(42, vec![(0, 0, vec![(RecordId(0), vec![1; 4])])]);
+        assert!(!replica.is_writable());
+        promote(&standby, &replica).expect("promote");
+        assert!(replica.is_writable());
+        assert!(replica.resolver.lock().pending.is_empty());
+        // the undecided branch must NOT have been installed
+        assert_ne!(
+            standby.read_committed(RecordId(0)).expect("read"),
+            vec![1; standby.record_words()]
+        );
+    }
+}

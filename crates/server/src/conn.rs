@@ -22,7 +22,7 @@
 use crate::{ServerConfig, Shared};
 use mmdb_core::CheckpointStart;
 use mmdb_shard::ShardedMmdb;
-use mmdb_types::{MmdbError, TxnId};
+use mmdb_types::{Lsn, MmdbError, TxnId};
 use mmdb_wire::{
     write_frame, CkptStartState, CkptSummary, ErrorCode, FrameReader, PollFrame, Request, Response,
     ServerInfo,
@@ -150,6 +150,19 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
         };
     }
     let db = &shared.db;
+    // An unpromoted standby is read-only: every write path is refused
+    // at the door so replayed primary state can never interleave with
+    // local writes.
+    if matches!(
+        req,
+        Request::Put { .. } | Request::Batch { .. } | Request::Write { .. }
+    ) && shared.replica.as_ref().is_some_and(|r| !r.is_writable())
+    {
+        return Response::Error {
+            code: ErrorCode::Invalid,
+            message: "read-only replica: writes are refused until promotion".into(),
+        };
+    }
     match req {
         Request::Ping => Response::Pong,
         Request::Get { rid } => match db.read_committed(*rid) {
@@ -245,6 +258,41 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
         Request::TraceDump { limit } => Response::TraceDump {
             json: db.trace_dump_json(*limit as usize),
         },
+        Request::ReplHello { ver_min, ver_max } => {
+            match mmdb_repl::serve_hello(db, *ver_min, *ver_max) {
+                Ok(w) => Response::ReplWelcome(w),
+                Err(e) => error_response(&e),
+            }
+        }
+        Request::ReplAck {
+            shard,
+            applied,
+            max_bytes,
+            wait_ms,
+        } => match mmdb_repl::serve_pull(db, *shard, Lsn(*applied), *max_bytes, *wait_ms) {
+            Ok((start, durable, bytes)) => Response::ReplBatch {
+                shard: *shard,
+                start: start.raw(),
+                durable: durable.raw(),
+                bytes,
+            },
+            Err(e) => error_response(&e),
+        },
+        Request::Promote => match &shared.replica {
+            Some(replica) => match mmdb_repl::promote(db, replica) {
+                Ok(()) => {
+                    if let Some(f) = &shared.on_promote {
+                        f();
+                    }
+                    Response::Promoted
+                }
+                Err(e) => error_response(&e),
+            },
+            None => Response::Error {
+                code: ErrorCode::Invalid,
+                message: "this server is not a replica".into(),
+            },
+        },
         Request::Shutdown => Response::ShuttingDown,
     }
 }
@@ -312,6 +360,9 @@ fn op_counter(req: &Request) -> &'static str {
         Request::Fingerprint => "net.op.fingerprint",
         Request::Info => "net.op.info",
         Request::TraceDump { .. } => "net.op.trace_dump",
+        Request::ReplHello { .. } => "net.op.repl_hello",
+        Request::ReplAck { .. } => "net.op.repl_ack",
+        Request::Promote => "net.op.promote",
         Request::Shutdown => "net.op.shutdown",
     }
 }

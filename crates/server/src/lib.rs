@@ -43,6 +43,7 @@ pub use load::{
 };
 
 use mmdb_core::{Mmdb, StepOutcome};
+use mmdb_repl::Replica;
 use mmdb_shard::ShardedMmdb;
 use mmdb_sync::{LockRank, RankedMutex};
 use std::io;
@@ -80,6 +81,51 @@ pub struct ServerConfig {
     /// recorded (with their full span tree) in the slow-request log
     /// served by the wire `TraceDump` request. `0` disables the log.
     pub slow_trace_us: u64,
+    /// Replication role (standalone by default).
+    pub repl: ReplOptions,
+}
+
+/// Replication role for a spawned server.
+#[derive(Clone, Default)]
+pub struct ReplOptions {
+    /// `Some(addr)`: run as a read-only standby pulling from the
+    /// primary at `addr` (one pull thread per shard). `None`: ordinary
+    /// writable server (which *serves* standbys whenever one says
+    /// hello — the primary role needs no configuration).
+    pub replica_of: Option<String>,
+    /// Semi-synchronous commits: once a standby attaches, every commit
+    /// additionally waits until a standby acknowledges its LSN as
+    /// applied-and-locally-durable. Size `workers` at or above
+    /// `client connections + shards` — the acks arrive as ordinary
+    /// requests and must find a free worker.
+    pub repl_sync: bool,
+    /// Declared primary: enable the ship taps (and with them the
+    /// log-truncation pins) from startup rather than at the first
+    /// standby hello. This is the replication-slot contract — a standby
+    /// seeded from an identical `init` or a directory copy can attach
+    /// later without finding its bytes already truncated away.
+    /// `repl_sync` implies this.
+    pub primary: bool,
+    /// Called once after a wire `Promote` succeeds (e.g. to persist the
+    /// role flip in `mmdb.conf`).
+    pub on_promote: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// Standby only: directory for `repl.state`, the persisted
+    /// primary-LSN applied watermarks. `None` keeps progress in memory
+    /// (a restarted standby then re-seeds from its local durable LSN,
+    /// which is only correct before its own checkpointer has run).
+    pub state_dir: Option<std::path::PathBuf>,
+}
+
+impl std::fmt::Debug for ReplOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplOptions")
+            .field("replica_of", &self.replica_of)
+            .field("repl_sync", &self.repl_sync)
+            .field("primary", &self.primary)
+            .field("on_promote", &self.on_promote.as_ref().map(|_| ".."))
+            .field("state_dir", &self.state_dir)
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -91,6 +137,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             checkpoint_interval: Some(Duration::from_millis(10)),
             slow_trace_us: mmdb_obs::DEFAULT_SLOW_THRESHOLD_US,
+            repl: ReplOptions::default(),
         }
     }
 }
@@ -104,6 +151,10 @@ pub(crate) struct Shared {
     pub(crate) ckpts_completed: AtomicU64,
     /// Interactive transactions aborted because their connection died.
     pub(crate) txns_aborted_on_disconnect: AtomicU64,
+    /// Standby replication state when this server runs as a replica.
+    pub(crate) replica: Option<Arc<Replica>>,
+    /// Callback fired after a successful wire `Promote`.
+    pub(crate) on_promote: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Shared {
@@ -123,6 +174,7 @@ pub struct ServerHandle {
     accept_join: Option<JoinHandle<()>>,
     worker_joins: Vec<JoinHandle<()>>,
     ckpt_joins: Vec<JoinHandle<()>>,
+    repl_joins: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -144,11 +196,28 @@ impl Server {
 
         let shards = db.shards();
         db.obs().set_slow_threshold_us(config.slow_trace_us);
+        if config.repl.repl_sync {
+            db.repl_gate().set_sync(true);
+        }
+        if config.repl.repl_sync || config.repl.primary {
+            // A declared (or semi-sync) primary expects a standby:
+            // enable the ship taps (and with them the log-truncation
+            // pins) from the first commit, so a standby that attaches a
+            // little late never finds its bytes already truncated away.
+            db.enable_ship_taps();
+        }
+        let replica = config
+            .repl
+            .replica_of
+            .as_ref()
+            .map(|peer| Replica::new(peer.clone(), &db, config.repl.state_dir.clone()));
         let shared = Arc::new(Shared {
             db,
             stop: AtomicBool::new(false),
             ckpts_completed: AtomicU64::new(0),
             txns_aborted_on_disconnect: AtomicU64::new(0),
+            replica,
+            on_promote: config.repl.on_promote.clone(),
         });
 
         // Each accepted stream carries its accept timestamp so the
@@ -189,6 +258,21 @@ impl Server {
             );
         }
 
+        let mut repl_joins = Vec::new();
+        if let Some(replica) = shared.replica.clone() {
+            for shard in 0..shards {
+                let shared = Arc::clone(&shared);
+                let replica = Arc::clone(&replica);
+                repl_joins.push(
+                    std::thread::Builder::new()
+                        .name(format!("mmdb-repl-pull-{shard}"))
+                        .spawn(move || {
+                            mmdb_repl::pull_shard_loop(&replica, &shared.db, shard);
+                        })?,
+                );
+            }
+        }
+
         let accept_join = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -202,6 +286,7 @@ impl Server {
             accept_join: Some(accept_join),
             worker_joins,
             ckpt_joins,
+            repl_joins,
         })
     }
 }
@@ -238,9 +323,21 @@ impl ServerHandle {
             .load(Ordering::SeqCst)
     }
 
+    /// True once this server is a promoted (writable) replica, or was
+    /// never a replica at all.
+    pub fn is_writable(&self) -> bool {
+        self.shared
+            .replica
+            .as_ref()
+            .map_or(true, |r| r.is_writable())
+    }
+
     /// Stops the server, joins every thread, and returns the database.
     pub fn shutdown_join(mut self) -> ShardedMmdb {
         self.stop();
+        if let Some(r) = &self.shared.replica {
+            r.request_stop();
+        }
         if let Some(j) = self.accept_join.take() {
             let _ = j.join();
         }
@@ -248,6 +345,9 @@ impl ServerHandle {
             let _ = j.join();
         }
         for j in self.ckpt_joins.drain(..) {
+            let _ = j.join();
+        }
+        for j in self.repl_joins.drain(..) {
             let _ = j.join();
         }
         let shared = Arc::try_unwrap(self.shared)

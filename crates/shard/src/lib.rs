@@ -59,7 +59,7 @@
 use mmdb_audit::{Audit, AuditEvent, AuditViolation};
 use mmdb_core::{
     CheckpointStart, CkptReport, CommitDurability, DurableWatermark, LogMode, Mmdb, MmdbConfig,
-    RecoveryReport, StepOutcome, TxnRun,
+    RecoveryReport, ShipTap, StepOutcome, TxnRun, DEFAULT_TAP_WINDOW_BYTES,
 };
 use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
 use mmdb_sync::{leak_name, LockRank, RankedCondvar, RankedGuard, RankedMutex};
@@ -67,7 +67,7 @@ use mmdb_types::{DbParams, Lsn, MmdbError, RecordId, Result, TxnId, Word};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Name of the topology marker file written at the root of a sharded
@@ -310,6 +310,84 @@ fn flusher_loop(core: &Arc<ShardCore>, shard: usize, watermark: &Arc<DurableWate
     }
 }
 
+/// How long a semi-synchronous committer waits for a standby's ack
+/// before failing the commit. Generous against network hiccups, but
+/// bounded: a dead standby must not wedge the primary forever.
+const REPL_ACK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The semi-synchronous replication gate: one watermark per shard
+/// tracking the highest log LSN any standby has durably applied.
+///
+/// The gate is always constructed (it is a few atomics) but inert until
+/// *both* switches flip: the server enables `sync` when started with
+/// semi-synchronous replication, and the first standby hello `engage`s
+/// it. Until then commits ack at local durability exactly as before —
+/// so a primary configured for semi-sync still serves writes while its
+/// standby is (re)connecting, mirroring the paper's stance that the
+/// backup's freshness is a recovery-cost knob, not a liveness
+/// dependency.
+pub struct ReplGate {
+    /// Per-shard standby-acknowledged LSN (maximum over standbys; with
+    /// one standby, exactly its applied position).
+    acks: Vec<Arc<DurableWatermark>>,
+    /// Per-shard log-truncation pins (raw LSNs), shared with each shard
+    /// engine once ship taps are enabled: auto-truncation never cuts at
+    /// or above the pin, and standby acks raise it — replication-slot
+    /// semantics, so the checkpointer can never outrun the shipper.
+    pins: Vec<Arc<AtomicU64>>,
+    /// Commits wait for a standby ack (server `--repl-sync`).
+    sync: AtomicBool,
+    /// At least one standby has said hello on this incarnation.
+    engaged: AtomicBool,
+}
+
+impl ReplGate {
+    fn new(shards: usize) -> Arc<ReplGate> {
+        Arc::new(ReplGate {
+            acks: (0..shards)
+                .map(|_| Arc::new(DurableWatermark::new(Lsn::ZERO)))
+                .collect(),
+            pins: (0..shards).map(|_| Arc::new(AtomicU64::new(0))).collect(),
+            sync: AtomicBool::new(false),
+            engaged: AtomicBool::new(false),
+        })
+    }
+
+    /// Turns semi-synchronous commit on: once a standby engages, every
+    /// commit also waits for its ack.
+    pub fn set_sync(&self, on: bool) {
+        self.sync.store(on, Ordering::SeqCst);
+    }
+
+    /// Marks a standby as attached (called on `ReplHello`).
+    pub fn engage(&self) {
+        self.engaged.store(true, Ordering::SeqCst);
+    }
+
+    /// True once any standby has attached.
+    pub fn is_engaged(&self) -> bool {
+        self.engaged.load(Ordering::SeqCst)
+    }
+
+    /// Publishes a standby's acknowledged LSN for `shard`, releasing
+    /// semi-sync committers parked at or below it and raising the
+    /// shard's truncation pin (the log below the ack may now go).
+    /// Monotone.
+    pub fn advance(&self, shard: usize, acked: Lsn) {
+        self.acks[shard].advance(acked);
+        self.pins[shard].fetch_max(acked.raw(), Ordering::SeqCst);
+    }
+
+    /// The highest acknowledged LSN for `shard`.
+    pub fn acked(&self, shard: usize) -> Lsn {
+        self.acks[shard].get()
+    }
+
+    fn should_wait(&self) -> bool {
+        self.sync.load(Ordering::SeqCst) && self.engaged.load(Ordering::SeqCst)
+    }
+}
+
 /// A hash-partitioned database: `N` independent engines behind one
 /// record-id space, with per-shard locking and two-phase cross-shard
 /// commit. All methods take `&self`; locking is internal and per-shard.
@@ -341,6 +419,13 @@ pub struct ShardedMmdb {
     open_txns: RankedMutex<HashMap<u64, Binding>>,
     audit: Audit,
     obs: Obs,
+    /// The semi-sync replication gate (inert unless the server enables
+    /// it and a standby attaches).
+    repl: Arc<ReplGate>,
+    /// Per-shard log-shipping taps, attached lazily by
+    /// [`ShardedMmdb::enable_ship_taps`] when the server runs as a
+    /// replication primary.
+    taps: OnceLock<Vec<Arc<ShipTap>>>,
 }
 
 impl std::fmt::Debug for ShardedMmdb {
@@ -487,6 +572,8 @@ impl ShardedMmdb {
             FlusherPool::inert()
         };
         let db = ShardedMmdb {
+            repl: ReplGate::new(n),
+            taps: OnceLock::new(),
             core,
             watermarks,
             group,
@@ -645,6 +732,70 @@ impl ShardedMmdb {
         }
     }
 
+    /// Parks a semi-synchronous committer until a standby acknowledges
+    /// `lsn` on shard `i`. A no-op unless the gate is both enabled
+    /// (server semi-sync) and engaged (a standby attached); bounded by
+    /// [`REPL_ACK_TIMEOUT`] so a dead standby fails commits instead of
+    /// wedging them.
+    fn repl_wait(&self, i: usize, lsn: Lsn) -> Result<()> {
+        if lsn == Lsn::ZERO || !self.repl.should_wait() {
+            return Ok(());
+        }
+        let t = self.obs.timer();
+        if self.repl.acks[i].wait_for(lsn, REPL_ACK_TIMEOUT)? {
+            self.obs.phase_detail("repl.sync_wait", t, i as u64);
+            Ok(())
+        } else {
+            Err(MmdbError::Invalid(format!(
+                "semi-sync replication ack timed out after {REPL_ACK_TIMEOUT:?} waiting for \
+                 {lsn} on shard {i} (standby down?)"
+            )))
+        }
+    }
+
+    /// The replication gate (semi-sync ack watermarks). Servers wire
+    /// standby acks into it; it is inert otherwise.
+    pub fn repl_gate(&self) -> &Arc<ReplGate> {
+        &self.repl
+    }
+
+    /// Attaches a log-shipping tap to every shard engine (idempotent).
+    /// From here on, each force feeds its freshly durable bytes into the
+    /// shard's tap, so the replication shipper serves standbys without a
+    /// second device read. Called by the server when it starts as a
+    /// replication primary.
+    pub fn enable_ship_taps(&self) {
+        self.taps.get_or_init(|| {
+            (0..self.shards())
+                .map(|i| {
+                    let tap = self.with_shard(i, |e| {
+                        let tap = ShipTap::new(
+                            leak_name(format!("ship_tap.{i}")),
+                            e.log_durable_lsn(),
+                            DEFAULT_TAP_WINDOW_BYTES,
+                        );
+                        e.set_ship_tap(Arc::clone(&tap));
+                        // Pin truncation at the shard's current log
+                        // start (under the shard lock, so no checkpoint
+                        // races the seed): from here on the standby's
+                        // acks decide what the checkpointer may cut.
+                        let pin = &self.repl.pins[i];
+                        pin.fetch_max(e.log_start_lsn().raw(), Ordering::SeqCst);
+                        e.set_repl_truncate_pin(Arc::clone(pin));
+                        tap
+                    });
+                    tap
+                })
+                .collect()
+        });
+    }
+
+    /// Shard `i`'s log-shipping tap, if [`ShardedMmdb::enable_ship_taps`]
+    /// has run.
+    pub fn ship_tap(&self, i: usize) -> Option<&Arc<ShipTap>> {
+        self.taps.get().map(|taps| &taps[i])
+    }
+
     /// Runs `f` with shard `i` locked — the access path for per-shard
     /// checkpointer threads and maintenance.
     pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut Mmdb) -> R) -> R {
@@ -716,6 +867,11 @@ impl ShardedMmdb {
                 self.signal_flush(shard);
                 self.wait_durable(shard, run.commit_lsn)?;
             }
+            // Semi-sync: the commit is locally durable already; an ack
+            // timeout here returns an error *without* a durability claim
+            // (the caller must treat the outcome as uncertain, exactly
+            // like a connection drop after commit).
+            self.repl_wait(shard, run.commit_lsn)?;
             self.obs.counter("router.txns_single", 1);
             return Ok(run);
         }
@@ -743,6 +899,15 @@ impl ShardedMmdb {
                     self.obs.counter("router.txns_cross", 1);
                     self.obs
                         .observe("router.cross_runs_per_commit", runs as u64);
+                    // Semi-sync: every branch forced its records inline,
+                    // so each involved shard's durable LSN covers this
+                    // commit — wait for standby acks up to there.
+                    if self.repl.should_wait() {
+                        for &shard in by_shard.keys() {
+                            let lsn = self.with_shard(shard, |e| e.log_durable_lsn());
+                            self.repl_wait(shard, lsn)?;
+                        }
+                    }
                     // 2PC branches force their Prepare and Decide records
                     // inline — already durable, nothing to wait for.
                     return Ok(TxnRun {
@@ -926,8 +1091,10 @@ impl ShardedMmdb {
                     Ok(commit_lsn) if self.group => {
                         self.signal_flush(shard);
                         self.wait_durable(shard, commit_lsn)
+                            .and_then(|()| self.repl_wait(shard, commit_lsn))
                     }
-                    other => other.map(|_| ()),
+                    Ok(commit_lsn) => self.repl_wait(shard, commit_lsn),
+                    Err(e) => Err(e),
                 }
             }
         };

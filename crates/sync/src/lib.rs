@@ -54,9 +54,12 @@ mod detect;
 /// |---|---|
 /// | 1 100 000 | [`LockRank::CONN_QUEUE`] — server connection queue |
 /// | 1 000 000 | [`LockRank::ROUTER_TXNS`] — router interactive-txn map |
+/// | 950 000 | [`LockRank::REPL_RESOLVER`] — replica replay resolver |
 /// | 900 000 − *i* | [`LockRank::engine`] — shard *i*'s engine |
 /// | 100 000 − *i* | [`LockRank::flusher_signal`] — shard *i*'s doorbell |
 /// | 10 000 | [`LockRank::WATERMARK`] — durable-LSN watermark |
+/// | 9 500 | [`LockRank::REPL_STATE`] — replication bookkeeping |
+/// | 9 000 | [`LockRank::SHIP_TAP`] — log-shipping tap window |
 /// | 5 000 | [`LockRank::AUDIT`] — audit event recorder |
 /// | 40 | [`LockRank::OBS_SLOW`] — slow-request log |
 /// | 30 | [`LockRank::OBS_FLIGHT`] — flight-recorder thread ring |
@@ -77,9 +80,19 @@ impl LockRank {
     /// The shard router's interactive-transaction binding map (always
     /// taken before any shard engine lock).
     pub const ROUTER_TXNS: LockRank = LockRank(Some(1_000_000));
+    /// The replica replay resolver (cross-stream Prepare/Decide pooling):
+    /// held while the replayer applies a committed transaction into a
+    /// shard engine, so it sits *above* every engine lock.
+    pub const REPL_RESOLVER: LockRank = LockRank(Some(950_000));
     /// Per-shard durable-LSN watermark state (taken under the engine
     /// lock by the force path; alone by parked committers).
     pub const WATERMARK: LockRank = LockRank(Some(10_000));
+    /// Primary-side replication bookkeeping (per-standby lag trackers);
+    /// never held across an engine or tap acquisition.
+    pub const REPL_STATE: LockRank = LockRank(Some(9_500));
+    /// The log-shipping tap window: pushed to from the force path (under
+    /// an engine lock), long-polled alone by replication servers.
+    pub const SHIP_TAP: LockRank = LockRank(Some(9_000));
     /// The audit subsystem's shared event recorder (emitted to from
     /// under engine locks).
     pub const AUDIT: LockRank = LockRank(Some(5_000));
@@ -140,9 +153,12 @@ impl LockRank {
         &[
             ("conn-queue", 1_100_000),
             ("router-txns", 1_000_000),
+            ("repl-resolver", 950_000),
             ("engine[i] = 900_000 - i", 900_000),
             ("flusher-signal[i] = 100_000 - i", 100_000),
             ("watermark", 10_000),
+            ("repl-state", 9_500),
+            ("ship-tap", 9_000),
             ("audit", 5_000),
             ("obs-slow", 40),
             ("obs-flight", 30),

@@ -8,7 +8,8 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::message::{
-    CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo, TraceContext,
+    CkptStartState, CkptSummary, ErrorCode, ReplWelcome, Request, Response, ServerInfo,
+    TraceContext, REPL_VERSION,
 };
 use crate::{WireError, WireResult};
 use mmdb_types::{RecordId, TxnId, Word};
@@ -255,6 +256,65 @@ impl Client {
         }
     }
 
+    /// Introduces this connection as a replication standby and
+    /// negotiates the replication version (this build offers exactly
+    /// [`REPL_VERSION`]). Returns the primary's welcome: negotiated
+    /// version plus topology facts the standby must match.
+    pub fn repl_hello(&mut self) -> WireResult<ReplWelcome> {
+        let req = Request::ReplHello {
+            ver_min: 1,
+            ver_max: REPL_VERSION,
+        };
+        match self.request(&req)? {
+            Response::ReplWelcome(w) => Ok(w),
+            other => Err(unexpected("ReplWelcome", &other)),
+        }
+    }
+
+    /// Acknowledges `applied` on one shard's log and pulls the next
+    /// batch, long-polling up to `wait_ms` server-side. Returns
+    /// `(start, durable, bytes)`; empty `bytes` means the poll timed
+    /// out with nothing new past `applied`.
+    pub fn repl_pull(
+        &mut self,
+        shard: u32,
+        applied: u64,
+        max_bytes: u32,
+        wait_ms: u32,
+    ) -> WireResult<(u64, u64, Vec<u8>)> {
+        let req = Request::ReplAck {
+            shard,
+            applied,
+            max_bytes,
+            wait_ms,
+        };
+        match self.request(&req)? {
+            Response::ReplBatch {
+                shard: got,
+                start,
+                durable,
+                bytes,
+            } => {
+                if got != shard {
+                    return Err(WireError::Unexpected(format!(
+                        "batch for shard {got}, wanted {shard}"
+                    )));
+                }
+                Ok((start, durable, bytes))
+            }
+            other => Err(unexpected("ReplBatch", &other)),
+        }
+    }
+
+    /// Promotes a standby to primary: it stops pulling, drains replay,
+    /// and starts accepting writes.
+    pub fn promote(&mut self) -> WireResult<()> {
+        match self.request(&Request::Promote)? {
+            Response::Promoted => Ok(()),
+            other => Err(unexpected("Promoted", &other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> WireResult<()> {
         match self.request(&Request::Shutdown)? {
@@ -300,6 +360,9 @@ fn unexpected(wanted: &str, got: &Response) -> WireError {
         Response::Info(_) => "Info",
         Response::ShuttingDown => "ShuttingDown",
         Response::TraceDump { .. } => "TraceDump",
+        Response::ReplWelcome(_) => "ReplWelcome",
+        Response::ReplBatch { .. } => "ReplBatch",
+        Response::Promoted => "Promoted",
         Response::Error { .. } => "Error",
     };
     WireError::Unexpected(format!("wanted {wanted}, got {got}"))

@@ -6,8 +6,8 @@
 
 use mmdb_types::{RecordId, TxnId, Word};
 use mmdb_wire::{
-    read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, Request, Response, ServerInfo,
-    TraceContext, WireError,
+    read_frame, write_frame, CkptStartState, CkptSummary, ErrorCode, ReplWelcome, Request,
+    Response, ServerInfo, TraceContext, WireError,
 };
 use proptest::prelude::*;
 
@@ -52,6 +52,17 @@ fn requests() -> impl Strategy<Value = Request> {
         Just(Request::Info),
         Just(Request::Shutdown),
         any::<u32>().prop_map(|limit| Request::TraceDump { limit }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(ver_min, ver_max)| Request::ReplHello { ver_min, ver_max }),
+        (any::<u32>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(
+            |(shard, applied, max_bytes, wait_ms)| Request::ReplAck {
+                shard,
+                applied,
+                max_bytes,
+                wait_ms,
+            }
+        ),
+        Just(Request::Promote),
     ]
 }
 
@@ -123,6 +134,35 @@ fn responses() -> impl Strategy<Value = Response> {
         Just(Response::ShuttingDown),
         text().prop_map(|json| Response::TraceDump { json }),
         (error_codes(), text()).prop_map(|(code, message)| Response::Error { code, message }),
+        (
+            any::<u8>(),
+            1u32..16,
+            any::<u64>(),
+            any::<u32>(),
+            proptest::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        )
+            .prop_map(|(ver, shards, n_records, record_words, shard_lsns)| {
+                Response::ReplWelcome(ReplWelcome {
+                    ver,
+                    shards,
+                    n_records,
+                    record_words,
+                    shard_lsns,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(shard, start, durable, bytes)| Response::ReplBatch {
+                shard,
+                start,
+                durable,
+                bytes,
+            }),
+        Just(Response::Promoted),
     ]
 }
 

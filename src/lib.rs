@@ -117,3 +117,9 @@ pub mod wire {
 pub mod server {
     pub use mmdb_server::*;
 }
+
+/// Log-shipping replication: primary-side shipping, standby replay,
+/// promotion, and the replication benchmark report.
+pub mod repl {
+    pub use mmdb_repl::*;
+}

@@ -1,0 +1,53 @@
+//! The checked-in `BENCH_repl.json` must pass the replication-bench
+//! validator (schema tag, full key set, and the no-lost-ack invariant
+//! `present_after_promote == acked_at_kill`) and stay inside the
+//! headline bounds the subsystem promises: steady-state lag under 50ms
+//! at p99 and a sub-5s failover. Values are wall-clock, so CI
+//! validates shape and bounds, not bytes.
+
+#![allow(clippy::unwrap_used)]
+
+use mmdb::obs::json::Value;
+use mmdb::repl::validate_bench_repl_json;
+
+const CHECKED_IN: &str = include_str!("../BENCH_repl.json");
+
+#[test]
+fn checked_in_bench_repl_json_passes_the_validator() {
+    validate_bench_repl_json(CHECKED_IN).expect("BENCH_repl.json must validate");
+}
+
+#[test]
+fn checked_in_bench_repl_json_is_a_plausible_run() {
+    let v = mmdb::obs::json::parse(CHECKED_IN).expect("valid JSON");
+    let results = v.get("results").unwrap();
+    let committed = results.get("committed").and_then(Value::as_u64).unwrap();
+    assert!(committed > 0, "a run with zero commits measured nothing");
+
+    let lag = results.get("lag_us").unwrap();
+    let count = lag.get("count").and_then(Value::as_u64).unwrap();
+    assert!(count > 0, "no lag samples — the standby never acked");
+    let p50 = lag.get("p50").and_then(Value::as_u64).unwrap();
+    let p99 = lag.get("p99").and_then(Value::as_u64).unwrap();
+    let p999 = lag.get("p999").and_then(Value::as_u64).unwrap();
+    let max = lag.get("max").and_then(Value::as_u64).unwrap();
+    assert!(
+        p50 <= p99 && p99 <= p999 && p999 <= max,
+        "lag percentile ladder must be monotone (p50 {p50} <= p99 {p99} <= p999 {p999} <= max {max})"
+    );
+    // the headline freshness promise: steady-state replication lag
+    // stays under 50ms at p99 (paper terms: the hot standby keeps the
+    // backup near-current, so C_recovery after failover is bounded by
+    // promotion, not replay)
+    assert!(
+        p99 < 50_000,
+        "steady-state replication lag p99 {p99}us breaches the 50ms bound"
+    );
+
+    let fo = results.get("failover").unwrap();
+    let ms = fo.get("failover_ms").and_then(Value::as_f64).unwrap();
+    assert!(
+        ms < 5_000.0,
+        "failover took {ms}ms — promotion is supposed to be near-instant"
+    );
+}

@@ -1,0 +1,63 @@
+//! The checked-in `BENCH_repro.json` must match the repro-bench
+//! schema: one entry per algorithm, each carrying the checkpoint-pass
+//! and recovery latency digests with the full percentile ladder
+//! (p50/p90/p99/p999/max). CI regenerates the file and byte-diffs it,
+//! so the digest shape here is exactly what the generator emits.
+
+#![allow(clippy::unwrap_used)]
+
+use mmdb::obs::json::Value;
+
+const CHECKED_IN: &str = include_str!("../BENCH_repro.json");
+
+const DIGEST_KEYS: [&str; 7] = [
+    "count", "p50_us", "p90_us", "p99_us", "p999_us", "max_us", "mean_us",
+];
+
+fn assert_digest(algo: &str, which: &str, digest: &Value) {
+    for key in DIGEST_KEYS {
+        assert!(
+            digest.get(key).is_some(),
+            "algorithms.{algo}.{which} is missing {key}"
+        );
+    }
+    let p99 = digest.get("p99_us").and_then(Value::as_u64).unwrap();
+    let p999 = digest.get("p999_us").and_then(Value::as_u64).unwrap();
+    let max = digest.get("max_us").and_then(Value::as_u64).unwrap();
+    assert!(
+        p99 <= p999 && p999 <= max,
+        "algorithms.{algo}.{which}: percentile ladder must be monotone (p99 {p99} <= p999 {p999} <= max {max})"
+    );
+}
+
+#[test]
+fn checked_in_bench_repro_json_carries_the_schema_tag() {
+    let v = mmdb::obs::json::parse(CHECKED_IN).expect("valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("mmdb-bench-repro/v1")
+    );
+}
+
+#[test]
+fn every_algorithm_has_full_latency_digests() {
+    let v = mmdb::obs::json::parse(CHECKED_IN).expect("valid JSON");
+    let Some(Value::Obj(algorithms)) = v.get("algorithms") else {
+        panic!("BENCH_repro.json must carry an algorithms object");
+    };
+    assert_eq!(
+        algorithms.len(),
+        mmdb::types::Algorithm::ALL_EXTENDED.len(),
+        "one entry per algorithm"
+    );
+    for (name, entry) in algorithms {
+        for key in ["committed", "checkpoints", "p_restart"] {
+            assert!(
+                entry.get(key).is_some(),
+                "algorithms.{name} is missing {key}"
+            );
+        }
+        assert_digest(name, "ckpt_pass", entry.get("ckpt_pass").unwrap());
+        assert_digest(name, "recovery", entry.get("recovery").unwrap());
+    }
+}
