@@ -13,8 +13,11 @@ use mmdb_wire::{ReplWelcome, REPL_VERSION};
 use std::time::Duration;
 
 /// Cap on one `ReplBatch`'s payload, regardless of what the standby
-/// asks for. Comfortably under the wire frame cap.
-pub const MAX_REPL_BATCH_BYTES: usize = 1 << 20;
+/// asks for. Comfortably under the wire frame cap, and 4× the
+/// standby's default ask so a single oversized record frame (huge
+/// `record_words`) can still ship whole once the standby escalates its
+/// batch size.
+pub const MAX_REPL_BATCH_BYTES: usize = 4 << 20;
 
 /// Cap on how long one pull may park in the tap's long poll. Bounds
 /// worker occupancy; an empty batch tells the standby to ask again.

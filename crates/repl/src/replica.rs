@@ -15,11 +15,15 @@
 //! after every batch, because the standby's own log drifts ahead of
 //! the primary's the moment its local checkpointer writes a marker —
 //! local durable LSN only equals the primary position at first attach
-//! (identical init or a directory copy seeds that alignment). A shard
-//! holding a parked, undecided `Prepare` persists its watermark at
-//! that branch's position, so a restart re-pulls and re-parks it; the
-//! decision, which the primary forces on a *different* shard's log,
-//! is replayed from the persisted map instead.
+//! (identical init or a directory copy seeds that alignment). A
+//! shard's persisted watermark is held back to the oldest `TxnBegin`
+//! whose after-images exist only in this process: an open transaction
+//! a batch boundary split before its `Commit`, or a parked undecided
+//! `Prepare`d branch. Only the frames from that `TxnBegin` on can
+//! rebuild the images, so a restart re-pulls them and re-buffers (or
+//! re-parks) the transaction; the decision, which the primary forces
+//! on a *different* shard's log, is replayed from the persisted map
+//! instead.
 //!
 //! Cross-shard transactions replay exactly like sharded crash
 //! recovery: `Prepare`d branches park in the resolver until any
@@ -38,7 +42,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How much a standby asks for per pull.
+/// How much a standby asks for per pull. This is the *initial* ask:
+/// a non-empty batch that decodes to zero whole frames means a single
+/// record is larger than it, and the pull loop escalates toward the
+/// primary's [`MAX_REPL_BATCH_BYTES`] cap rather than spinning on a
+/// mid-frame cut forever.
+///
+/// [`MAX_REPL_BATCH_BYTES`]: crate::primary::MAX_REPL_BATCH_BYTES
 const PULL_BATCH_BYTES: u32 = 1 << 20;
 
 /// The standby's long-poll budget per pull: long enough to batch, short
@@ -67,14 +77,26 @@ const PROMOTE_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 /// One transaction's (or branch's) after-images.
 type AfterImages = Vec<(RecordId, Vec<Word>)>;
 
+/// An uncommitted transaction buffering on the standby: the primary-log
+/// LSN of its `TxnBegin` frame and the after-images seen so far. The
+/// begin LSN is the shard's persist holdback while the transaction is
+/// open — only the frames from there on can rebuild the images, which
+/// exist nowhere else until the `Commit` installs them.
+struct OpenTxn {
+    begin_lsn: u64,
+    writes: AfterImages,
+}
+
 /// A parked prepared branch: its shard, the primary-log LSN of its
-/// `Prepare` frame (the shard's persist holdback: a restart must
-/// re-pull from there to re-park it), and its after-images.
+/// `TxnBegin` frame (the shard's persist holdback: a restart re-pulls
+/// from there so the branch re-buffers its after-images and re-parks —
+/// the `Prepare` frame alone carries none of them), and its
+/// after-images.
 type ParkedBranch = (usize, u64, AfterImages);
 
 struct Resolver {
-    /// `(shard, primary txn id)` → buffered after-images.
-    open: HashMap<(usize, u64), AfterImages>,
+    /// `(shard, primary txn id)` → buffering transaction.
+    open: HashMap<(usize, u64), OpenTxn>,
     /// `gid` → prepared branches awaiting a decision.
     pending: HashMap<u64, Vec<ParkedBranch>>,
     /// `gid` → decided outcome (true = commit).
@@ -95,6 +117,9 @@ pub struct Replica {
     /// Directory holding `repl.state` (none for in-memory standbys:
     /// progress then lives only in this process).
     state_dir: Option<PathBuf>,
+    /// Distinguishes concurrent [`Replica::save_state`] tmp files so
+    /// racing savers never interleave writes on one path.
+    save_seq: AtomicU64,
     resolver: RankedMutex<Resolver>,
 }
 
@@ -134,6 +159,7 @@ impl Replica {
             active_pulls: AtomicUsize::new(0),
             applied: applied.into_iter().map(AtomicU64::new).collect(),
             state_dir,
+            save_seq: AtomicU64::new(0),
             resolver: RankedMutex::new(
                 "repl.resolver",
                 LockRank::REPL_RESOLVER,
@@ -173,10 +199,12 @@ impl Replica {
 
     /// Persists the replication state to `<state_dir>/repl.state`
     /// (atomic tmp + rename; no-op for in-memory standbys). Each
-    /// shard's persisted watermark is held back to the oldest parked
-    /// undecided `Prepare` on that shard, so a restart re-pulls and
-    /// re-parks the branch; under-reporting is safe because replay is
-    /// idempotent.
+    /// shard's persisted watermark is held back to the oldest
+    /// `TxnBegin` whose after-images live only in this process — an
+    /// open transaction a batch boundary split before its `Commit`, or
+    /// a parked undecided `Prepare`d branch — so a restart re-pulls
+    /// the frames that rebuild them; under-reporting is safe because
+    /// replay is idempotent.
     fn save_state(&self) {
         let Some(dir) = &self.state_dir else {
             return;
@@ -186,10 +214,15 @@ impl Replica {
             let r = self.resolver.lock();
             for (shard, a) in self.applied.iter().enumerate() {
                 let mut v = a.load(Ordering::SeqCst);
+                for (&(open_shard, _), txn) in &r.open {
+                    if open_shard == shard {
+                        v = v.min(txn.begin_lsn);
+                    }
+                }
                 for branches in r.pending.values() {
-                    for &(branch_shard, prepare_lsn, _) in branches {
+                    for &(branch_shard, begin_lsn, _) in branches {
                         if branch_shard == shard {
-                            v = v.min(prepare_lsn);
+                            v = v.min(begin_lsn);
                         }
                     }
                 }
@@ -199,7 +232,14 @@ impl Replica {
                 out.push_str(&format!("decision.{gid}={}\n", u8::from(*commit)));
             }
         }
-        let tmp = dir.join("repl.state.tmp");
+        // every saver renames its own tmp file: the shard pull threads
+        // call this concurrently, and racing `fs::write`s on a shared
+        // tmp path can tear the file around another thread's rename.
+        // Distinct names keep each rename atomic and whole; whichever
+        // snapshot lands last is consistent (built under the resolver
+        // lock), and a stale winner only under-reports — safe.
+        let seq = self.save_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!("repl.state.tmp.{seq}"));
         if std::fs::write(&tmp, &out).is_ok() {
             let _ = std::fs::rename(&tmp, dir.join("repl.state"));
         }
@@ -230,22 +270,28 @@ impl Replica {
             };
             match rec {
                 LogRecord::TxnBegin { txn, .. } => {
-                    r.open.insert((shard, txn.raw()), Vec::new());
+                    r.open.insert(
+                        (shard, txn.raw()),
+                        OpenTxn {
+                            begin_lsn: base + off as u64,
+                            writes: Vec::new(),
+                        },
+                    );
                 }
                 LogRecord::Update { txn, record, value } => {
                     // an Update without a TxnBegin can only mean the
                     // stream attached mid-transaction; the Commit will
                     // find nothing to install, matching REDO replay of
                     // a truncated window
-                    if let Some(writes) = r.open.get_mut(&(shard, txn.raw())) {
-                        writes.push((record, value));
+                    if let Some(open) = r.open.get_mut(&(shard, txn.raw())) {
+                        open.writes.push((record, value));
                     }
                 }
                 LogRecord::Commit { txn } => {
                     // absent entry: the phase-two commit of a prepared
                     // branch already installed at Decide time — ignore
-                    if let Some(writes) = r.open.remove(&(shard, txn.raw())) {
-                        apply_writes(db, shard, &writes)?;
+                    if let Some(open) = r.open.remove(&(shard, txn.raw())) {
+                        apply_writes(db, shard, &open.writes)?;
                         txns += 1;
                     }
                 }
@@ -253,28 +299,53 @@ impl Replica {
                     r.open.remove(&(shard, txn.raw()));
                 }
                 LogRecord::Prepare { txn, gid } => {
-                    let writes = r.open.remove(&(shard, txn.raw())).unwrap_or_default();
+                    // a parked branch's holdback must be its TxnBegin,
+                    // not this Prepare frame: the Prepare carries only
+                    // {txn, gid}, so a restart re-pulling from here
+                    // would re-park the branch with empty writes and a
+                    // later commit decision would install nothing
+                    let (begin_lsn, writes) = match r.open.remove(&(shard, txn.raw())) {
+                        Some(open) => (open.begin_lsn, open.writes),
+                        // attached mid-transaction: nothing buffered,
+                        // and nothing a re-pull could rebuild either
+                        None => (base + off as u64, Vec::new()),
+                    };
                     match r.decisions.get(&gid) {
                         Some(true) => {
                             apply_writes(db, shard, &writes)?;
                             txns += 1;
                         }
                         Some(false) => {}
-                        None => r.pending.entry(gid).or_default().push((
-                            shard,
-                            base + off as u64,
-                            writes,
-                        )),
+                        None => {
+                            r.pending.entry(gid).or_default().push((shard, begin_lsn, writes));
+                        }
                     }
                 }
                 LogRecord::Decide { gid, commit } => {
                     r.decisions.insert(gid, commit);
                     if let Some(branches) = r.pending.remove(&gid) {
+                        let mut installed: Vec<usize> = Vec::new();
                         for (branch_shard, _, writes) in branches {
                             if commit {
                                 apply_writes(db, branch_shard, &writes)?;
                                 txns += 1;
+                                if !writes.is_empty() && !installed.contains(&branch_shard) {
+                                    installed.push(branch_shard);
+                                }
                             }
+                        }
+                        // force every branch shard that received
+                        // installs while the resolver is still locked:
+                        // the moment it unlocks, a concurrent
+                        // save_state can persist this decision with
+                        // the branch shard's watermark already past
+                        // its Prepare, and a crash before that shard's
+                        // own force would lose the install with no
+                        // replay path (the decided map makes the
+                        // re-pull a no-op). The pulled shard's batch
+                        // force below comes too late for that window.
+                        for branch_shard in installed {
+                            db.with_shard(branch_shard, |e| e.force_log())?;
                         }
                     }
                 }
@@ -343,6 +414,20 @@ fn load_state(dir: &std::path::Path, shards: usize) -> Option<(Vec<u64>, HashMap
     Some((applied?, decisions))
 }
 
+/// The next batch size to ask for after a non-empty pull decoded zero
+/// whole frames (a single record bigger than the ask, cut mid-frame):
+/// double toward the primary's per-batch cap, `None` once already
+/// there — a record that cannot ship inside one maximal batch is a
+/// hard pull error.
+fn escalate_batch_size(current: u32) -> Option<u32> {
+    let max = crate::primary::MAX_REPL_BATCH_BYTES as u32;
+    if current >= max {
+        None
+    } else {
+        Some(current.saturating_mul(2).min(max))
+    }
+}
+
 /// Sleeps `total` in small slices, returning early once the replica is
 /// stopping.
 fn stoppable_sleep(replica: &Replica, total: Duration) {
@@ -403,12 +488,13 @@ pub fn pull_shard_loop(replica: &Arc<Replica>, db: &ShardedMmdb, shard: usize) {
             continue;
         }
 
+        let mut batch_bytes = PULL_BATCH_BYTES;
         loop {
             if replica.stopping() {
                 break;
             }
             let applied = replica.applied[shard].load(Ordering::SeqCst);
-            match client.repl_pull(shard as u32, applied, PULL_BATCH_BYTES, PULL_WAIT_MS) {
+            match client.repl_pull(shard as u32, applied, batch_bytes, PULL_WAIT_MS) {
                 Ok((start, durable, bytes)) => {
                     if bytes.is_empty() {
                         obs.gauge("repl.lag_lsn", durable.saturating_sub(applied));
@@ -422,6 +508,7 @@ pub fn pull_shard_loop(replica: &Arc<Replica>, db: &ShardedMmdb, shard: usize) {
                     }
                     match replica.apply_batch(db, shard, applied, &bytes) {
                         Ok(consumed) if consumed > 0 => {
+                            batch_bytes = PULL_BATCH_BYTES;
                             replica.applied[shard]
                                 .fetch_max(applied + consumed as u64, Ordering::SeqCst);
                             replica.save_state();
@@ -434,8 +521,17 @@ pub fn pull_shard_loop(replica: &Arc<Replica>, db: &ShardedMmdb, shard: usize) {
                             );
                         }
                         Ok(_) => {
-                            // a non-empty batch that decodes to zero
-                            // whole frames cannot make progress
+                            // a non-empty batch that decoded to zero
+                            // whole frames: one record is larger than
+                            // the ask and came back as a mid-frame
+                            // cut. Ask bigger (up to the primary's
+                            // cap) instead of spinning forever on a
+                            // batch that can never contain it.
+                            if let Some(larger) = escalate_batch_size(batch_bytes) {
+                                obs.counter("repl.batch_escalations", 1);
+                                batch_bytes = larger;
+                                continue;
+                            }
                             obs.counter("repl.pull_errors", 1);
                             break;
                         }
@@ -549,7 +645,7 @@ mod tests {
         replica.applied[1].store(888, Ordering::SeqCst);
         {
             let mut r = replica.resolver.lock();
-            // an undecided branch parked on shard 1, prepared at LSN 555
+            // an undecided branch parked on shard 1, its TxnBegin at LSN 555
             r.pending
                 .insert(9, vec![(1, 555, vec![(RecordId(1), vec![2; 4])])]);
             r.decisions.insert(4, true);
@@ -614,6 +710,212 @@ mod tests {
         drain(&primary, &standby, &fresh);
         assert_eq!(standby.fingerprint(), fp);
         assert_eq!(standby.fingerprint(), primary.fingerprint());
+    }
+
+    /// Encodes `recs` the way the primary's log lays them out.
+    fn frames(recs: &[mmdb_core::LogRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for rec in recs {
+            rec.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    fn state_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmdb-repl-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn save_state_holds_back_open_transactions_split_across_batches() {
+        use mmdb_core::LogRecord;
+        use mmdb_types::{Timestamp, TxnId};
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        let standby = ShardedMmdb::open_in_memory(cfg, 1).expect("standby");
+        let words = standby.record_words();
+        let dir = state_dir("split-open");
+        let replica = Replica::new("unused".into(), &standby, Some(dir.clone()));
+
+        let head = frames(&[
+            LogRecord::TxnBegin {
+                txn: TxnId(1),
+                tau: Timestamp(1),
+            },
+            LogRecord::Update {
+                txn: TxnId(1),
+                record: RecordId(0),
+                value: vec![9; words],
+            },
+        ]);
+        let mut full = head.clone();
+        LogRecord::Commit { txn: TxnId(1) }.encode_into(&mut full);
+
+        // a batch boundary cut the transaction before its Commit: the
+        // after-images buffer in memory only
+        let consumed = replica.apply_batch(&standby, 0, 0, &head).expect("head");
+        assert_eq!(consumed, head.len());
+        replica.applied[0].store(head.len() as u64, Ordering::SeqCst);
+        replica.save_state();
+
+        // the persisted watermark must sit at the TxnBegin, not the
+        // cut — a restart past the Update frames would ignore the
+        // Commit ("attached mid-transaction") and silently drop the
+        // committed transaction
+        let resumed = Replica::new("unused".into(), &standby, Some(dir.clone()));
+        assert_eq!(resumed.applied[0].load(Ordering::SeqCst), 0);
+
+        // replay from the persisted position sees the whole
+        // transaction and installs it
+        let consumed = resumed.apply_batch(&standby, 0, 0, &full).expect("full");
+        assert_eq!(consumed, full.len());
+        assert_eq!(
+            standby.read_committed(RecordId(0)).expect("read"),
+            vec![9; words]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_reparks_prepared_branches_with_their_after_images() {
+        use mmdb_core::LogRecord;
+        use mmdb_types::{Timestamp, TxnId};
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        let standby = ShardedMmdb::open_in_memory(cfg, 1).expect("standby");
+        let words = standby.record_words();
+        let dir = state_dir("repark");
+        let replica = Replica::new("unused".into(), &standby, Some(dir.clone()));
+
+        let buf = frames(&[
+            LogRecord::TxnBegin {
+                txn: TxnId(3),
+                tau: Timestamp(1),
+            },
+            LogRecord::Update {
+                txn: TxnId(3),
+                record: RecordId(1),
+                value: vec![5; words],
+            },
+            LogRecord::Prepare { txn: TxnId(3), gid: 7 },
+        ]);
+        let consumed = replica.apply_batch(&standby, 0, 0, &buf).expect("apply");
+        assert_eq!(consumed, buf.len());
+        replica.applied[0].store(buf.len() as u64, Ordering::SeqCst);
+        replica.save_state();
+
+        // the persisted holdback is the branch's TxnBegin: re-pulling
+        // from the Prepare frame alone could never rebuild the
+        // after-images, and the branch would re-park empty
+        let resumed = Replica::new("unused".into(), &standby, Some(dir.clone()));
+        assert_eq!(resumed.applied[0].load(Ordering::SeqCst), 0);
+        let consumed = resumed.apply_batch(&standby, 0, 0, &buf).expect("replay");
+        assert_eq!(consumed, buf.len());
+        {
+            let r = resumed.resolver.lock();
+            let parked = &r.pending[&7];
+            assert_eq!(parked.len(), 1);
+            assert_eq!(parked[0].1, 0, "holdback at the TxnBegin frame");
+            assert_eq!(parked[0].2, vec![(RecordId(1), vec![5; words])]);
+        }
+        // the decision arrives on some stream: the branch's writes
+        // must install, not an empty re-park
+        let decide = frames(&[LogRecord::Decide { gid: 7, commit: true }]);
+        resumed
+            .apply_batch(&standby, 0, buf.len() as u64, &decide)
+            .expect("decide");
+        assert_eq!(
+            standby.read_committed(RecordId(1)).expect("read"),
+            vec![5; words]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_save_state_keeps_the_file_parseable() {
+        let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        let standby = ShardedMmdb::open_in_memory(cfg, 2).expect("standby");
+        let dir = state_dir("save-race");
+        let replica = Replica::new("unused".into(), &standby, Some(dir.clone()));
+        replica.save_state();
+        // every shard's pull thread saves after every batch; a torn
+        // file would silently reseed a restarted standby from its
+        // drifted local LSNs
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let replica = &replica;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        replica.save_state();
+                    }
+                });
+            }
+            for _ in 0..100 {
+                assert!(load_state(&dir, 2).is_some(), "torn repl.state");
+            }
+        });
+        assert!(load_state(&dir, 2).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_size_escalates_to_the_cap_then_fails() {
+        let mut size = PULL_BATCH_BYTES;
+        let mut steps = 0;
+        while let Some(larger) = escalate_batch_size(size) {
+            assert!(larger > size);
+            size = larger;
+            steps += 1;
+            assert!(steps < 16, "escalation must terminate");
+        }
+        assert_eq!(size as usize, crate::primary::MAX_REPL_BATCH_BYTES);
+    }
+
+    #[test]
+    fn oversized_record_frames_ship_after_batch_escalation() {
+        use mmdb_types::DbParams;
+        // one record's Update frame (~1.2MB) exceeds the standby's
+        // default 1MB ask
+        let mut cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+        cfg.params.db = DbParams {
+            s_db: 600_000,
+            s_rec: 300_000,
+            s_seg: 300_000,
+        };
+        cfg.params.txn.n_ru = 1;
+        let primary = ShardedMmdb::open_in_memory(cfg, 1).expect("primary");
+        serve_hello(&primary, 1, 1).expect("hello");
+        let standby = ShardedMmdb::open_in_memory(cfg, 1).expect("standby");
+        let replica = Replica::new("unused".into(), &standby, None);
+        let words = primary.record_words();
+        primary
+            .run_txn(&[(RecordId(0), vec![3; words])])
+            .expect("txn");
+
+        // mimic the pull loop: apply whole frames, escalate whenever a
+        // non-empty batch decodes to none
+        let mut ask = PULL_BATCH_BYTES;
+        loop {
+            let applied = replica.applied[0].load(Ordering::SeqCst);
+            let (_, durable, bytes) =
+                serve_pull(&primary, 0, Lsn(applied), ask, 0).expect("pull");
+            if bytes.is_empty() {
+                assert_eq!(applied, durable.raw(), "caught up");
+                break;
+            }
+            let consumed = replica.apply_batch(&standby, 0, applied, &bytes).expect("apply");
+            if consumed == 0 {
+                ask = escalate_batch_size(ask).expect("a maximal batch must fit the frame");
+                continue;
+            }
+            ask = PULL_BATCH_BYTES;
+            replica.applied[0].fetch_max(applied + consumed as u64, Ordering::SeqCst);
+        }
+        assert_eq!(
+            standby.read_committed(RecordId(0)).expect("read"),
+            vec![3; words]
+        );
+        assert_eq!(primary.fingerprint(), standby.fingerprint());
     }
 
     #[test]
