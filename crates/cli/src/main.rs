@@ -4,20 +4,23 @@
 //! mmdb-cli <dir> init [--algorithm FUZZYCOPY|2CFLUSH|2CCOPY|COUFLUSH|COUCOPY|FASTFUZZY]
 //!                     [--segments N] [--segment-words N] [--record-words N] [--full]
 //!                     [--shards N] [--durability force|lazy|group]
+//!                     [--recovery-workers N] [--compress-backups] [--compress-log]
 //! mmdb-cli <dir> put <record> <fill-u32>
 //! mmdb-cli <dir> get <record>
 //! mmdb-cli <dir> workload <n-txns> [--seed S] [--updates K]
 //! mmdb-cli <dir> checkpoint
+//! mmdb-cli <dir> compact [--compress]       # rotate + compact cold log chunks
 //! mmdb-cli <dir> stats [--json|--prom] [--remote ADDR]
 //! mmdb-cli <dir> trace [--txns N] [--seed S] [--updates K] [--limit N] [--slow-us U]
 //!                      [--json] [--remote ADDR]            # dump a live server's traces
 //! mmdb-cli <dir> audit [--txns N] [--seed S] [--updates K]
 //! mmdb-cli <dir> lint                       # dir is the source root
-//! mmdb-cli <dir> fsck [--compare <dir-or-addr>]  # cross-check fingerprints
+//! mmdb-cli <dir> fsck [--compare <dir-or-addr>] [--recovery-workers N]  # cross-check fingerprints
 //! mmdb-cli <dir> dump <archive-file>
 //! mmdb-cli <dir> restore <archive-file>     # dir must be fresh
 //! mmdb-cli <dir> serve [--addr A] [--workers N] [--ckpt-ms D] [--idle-ms D] [--shards N]
 //!                      [--slow-us U]                          # slow-request trace threshold
+//!                      [--compact-ms D] [--recovery-workers N]  # log maintenance + parallel replay
 //!                      [--replica-of ADDR] [--repl-primary] [--repl-sync]  # replication role (persisted)
 //! mmdb-cli <dir> promote [--addr A]         # replica -> writable primary
 //! mmdb-cli <dir> bench-net [--connections N] [--txns N] [--updates K] [--seed S]
@@ -25,6 +28,7 @@
 //!                          [--shards N] [--cross F] [--sweep]
 //!                          [--log-latency-us U] [--group-compare]
 //! mmdb-cli <dir> bench-repl [--writers N] [--txns N] [--shards N] [--out FILE]
+//! mmdb-cli <dir> bench-recovery [--updates K] [--seed S] [--out FILE]
 //! ```
 //!
 //! Every invocation opens the database (recovering from the on-disk
@@ -108,7 +112,7 @@ type Handler = fn(&Path, &[String]) -> Result<(), String>;
 const COMMANDS: &[(&str, &str, Handler)] = &[
     (
         "init",
-        "create a database (--algorithm A, --segments N, --segment-words N, --record-words N, --full, --shards N, --durability force|lazy|group)",
+        "create a database (--algorithm A, --segments N, --segment-words N, --record-words N, --full, --shards N, --durability force|lazy|group, --recovery-workers N, --compress-backups, --compress-log)",
         cmd_init,
     ),
     ("put", "<record> <fill-u32> — commit one update", cmd_put),
@@ -119,6 +123,11 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
         cmd_workload,
     ),
     ("checkpoint", "take a checkpoint now", cmd_checkpoint),
+    (
+        "compact",
+        "rotate the active log chunk and compact cold ones — superseded committed frames become filler (--compress stores cold chunks LZ-compressed)",
+        cmd_compact,
+    ),
     (
         "stats",
         "print statistics; --json / --prom export the unified metrics snapshot, --remote ADDR fetches a live server's",
@@ -141,7 +150,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "fsck",
-        "verify backup checksums, the log window, and dry-run recovery (--compare <dir-or-addr> cross-checks fingerprints)",
+        "verify backup checksums, the log window, and dry-run recovery (--compare <dir-or-addr> cross-checks fingerprints, --recovery-workers N recovers in parallel)",
         cmd_fsck,
     ),
     ("dump", "<archive-file> — write a cold archive", cmd_dump),
@@ -152,7 +161,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "serve",
-        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N, --slow-us U, --replica-of ADDR, --repl-primary, --repl-sync)",
+        "serve the database over TCP (--addr A, --workers N, --ckpt-ms D, --idle-ms D, --shards N, --slow-us U, --compact-ms D, --recovery-workers N, --replica-of ADDR, --repl-primary, --repl-sync)",
         cmd_serve,
     ),
     (
@@ -169,6 +178,11 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
         "bench-repl",
         "replication benchmark: primary + live standby, steady-state lag and failover time (--writers N, --txns N, --shards N, --out FILE)",
         cmd_bench_repl,
+    ),
+    (
+        "bench-recovery",
+        "recovery-at-scale benchmark: serial vs parallel replay across database and log sizes, compressed cold storage, and the bounded-replay-window demo (--updates K, --seed S, --out FILE)",
+        cmd_bench_recovery,
     ),
 ];
 
@@ -278,6 +292,15 @@ fn cmd_init(dir: &Path, rest: &[String]) -> Result<(), String> {
                 ))
             }
         };
+    }
+    if let Some(v) = flag_value(rest, "--recovery-workers") {
+        config.recovery_workers = v.parse().map_err(|e| format!("--recovery-workers: {e}"))?;
+    }
+    if rest.iter().any(|a| a == "--compress-backups") {
+        config.compress_backups = true;
+    }
+    if rest.iter().any(|a| a == "--compress-log") {
+        config.compress_log_chunks = true;
     }
     let shards: usize = flag_value(rest, "--shards")
         .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
@@ -432,6 +455,43 @@ fn cmd_checkpoint(dir: &Path, _rest: &[String]) -> Result<(), String> {
         report.segments_flushed,
         report.segments_skipped,
         report.old_copies_flushed
+    );
+    Ok(())
+}
+
+/// Offline log maintenance: seal each shard's active chunk, then
+/// rewrite cold chunks with superseded committed frames (and durably
+/// aborted ones) turned into length-preserving filler. Every LSN
+/// survives, so replication and recovery are oblivious; a lagging
+/// standby's truncation pin stalls the rewrite rather than losing
+/// bytes. `--compress` additionally stores the rewritten cold chunks
+/// LZ-compressed on disk for this pass (the persisted `compress_log`
+/// knob from `init` does the same continuously).
+fn cmd_compact(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let mut config = persist::load(dir)?;
+    if rest.iter().any(|a| a == "--compress") {
+        config.compress_log_chunks = true;
+    }
+    let db = match marker_shards(dir)? {
+        Some(n) => open_sharded(config, dir, n)?,
+        None => ShardedMmdb::from_single(open_with(config, dir)?),
+    };
+    let rotated = db.rotate_logs().map_err(|e| e.to_string())?;
+    let reports = db.compact_logs().map_err(|e| e.to_string())?;
+    let sum = |f: fn(&mmdb_core::CompactReport) -> u64| reports.iter().map(f).sum::<u64>();
+    println!(
+        "compact: {} chunk(s) rotated; {} cold chunk(s) examined, {} rewritten, \
+         {} frames dropped, {} log bytes reclaimed",
+        rotated,
+        sum(|r| r.chunks_examined),
+        sum(|r| r.chunks_rewritten),
+        sum(|r| r.frames_dropped),
+        sum(|r| r.bytes_reclaimed),
+    );
+    println!(
+        "compact: cold-chunk disk footprint {} -> {} bytes",
+        sum(|r| r.disk_bytes_before),
+        sum(|r| r.disk_bytes_after),
     );
     Ok(())
 }
@@ -725,9 +785,19 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("--slow-us: {e}")))
         .transpose()?
         .unwrap_or(mmdb_server::ServerConfig::default().slow_trace_us);
+    let compact_ms: u64 = flag_value(rest, "--compact-ms")
+        .map(|v| v.parse().map_err(|e| format!("--compact-ms: {e}")))
+        .transpose()?
+        .unwrap_or(0);
 
     let mut config = persist::load(dir)?;
     config.telemetry = true; // request spans must show up in `stats --json`
+    if let Some(v) = flag_value(rest, "--recovery-workers") {
+        // runtime override for this open only — the persisted knob
+        // (set at `init`) is untouched
+        config.recovery_workers = v.parse().map_err(|e| format!("--recovery-workers: {e}"))?;
+        config.validate()?;
+    }
     let marker = marker_shards(dir)?;
     let shards: usize = flag_value(rest, "--shards")
         .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
@@ -791,6 +861,7 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
         checkpoint_interval: (ckpt_ms > 0).then(|| std::time::Duration::from_millis(ckpt_ms)),
         idle_timeout: idle_ms.map(std::time::Duration::from_millis),
         slow_trace_us: slow_us,
+        compact_interval: (compact_ms > 0).then(|| std::time::Duration::from_millis(compact_ms)),
         repl,
         ..ServerConfig::default()
     };
@@ -807,7 +878,7 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
     .map_err(|e| format!("cannot start server: {e}"))?;
     println!("listening on {}", handle.local_addr());
     eprintln!(
-        "serving {} ({} workers, {} shard(s), checkpoints {}{}); stop with the wire Shutdown op",
+        "serving {} ({} workers, {} shard(s), checkpoints {}{}{}); stop with the wire Shutdown op",
         dir.display(),
         workers,
         shards,
@@ -815,6 +886,11 @@ fn cmd_serve(dir: &Path, rest: &[String]) -> Result<(), String> {
             format!("every {ckpt_ms}ms")
         } else {
             "on request only".into()
+        },
+        if compact_ms > 0 {
+            format!(", log compaction every {compact_ms}ms")
+        } else {
+            String::new()
         },
         match &repl_settings.role {
             persist::ReplRole::Standalone => String::new(),
@@ -1465,6 +1541,275 @@ fn wait_repl_engaged(addr: &str) -> Result<(), String> {
     }
 }
 
+/// Recursively copies a database directory (regular files only — that
+/// is all an engine directory contains).
+fn copy_dir_recursive(src: &Path, dst: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dst).map_err(|e| format!("creating {}: {e}", dst.display()))?;
+    for entry in std::fs::read_dir(src).map_err(|e| format!("reading {}: {e}", src.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let from = entry.path();
+        let to = dst.join(entry.file_name());
+        if from.is_dir() {
+            copy_dir_recursive(&from, &to)?;
+        } else {
+            std::fs::copy(&from, &to).map_err(|e| format!("copying {}: {e}", from.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Bytes a directory actually occupies on disk, recursively. Uses
+/// allocated blocks rather than file lengths because compressed backup
+/// slots are sparse — the slot grid keeps its logical size while the
+/// unwritten tail of each slot is a hole.
+fn dir_allocated_bytes(dir: &Path) -> Result<u64, String> {
+    let mut total = 0u64;
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_allocated_bytes(&path)?;
+        } else {
+            let meta = entry.metadata().map_err(|e| e.to_string())?;
+            #[cfg(unix)]
+            {
+                use std::os::unix::fs::MetadataExt;
+                total += meta.blocks() * 512;
+            }
+            #[cfg(not(unix))]
+            {
+                total += meta.len();
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Builds one crashed engine directory for the recovery benchmark:
+/// seed checkpoints, a seeded uniform workload with checkpoints
+/// interleaved, an optional rotation+compaction pass, then a simulated
+/// crash. Returns `(window_bytes, total_log_bytes)` — the replay
+/// window at the crash and the log ever written (they diverge once
+/// checkpoints truncate).
+fn build_crashed_dir(
+    base: &Path,
+    config: MmdbConfig,
+    txns: u64,
+    ckpt_every: u64,
+    updates: u32,
+    seed: u64,
+    compact: bool,
+) -> Result<(u64, u64), String> {
+    if base.exists() {
+        std::fs::remove_dir_all(base).map_err(|e| format!("clearing {}: {e}", base.display()))?;
+    }
+    let (mut db, _) = Mmdb::open_dir(config, base).map_err(|e| e.to_string())?;
+    db.checkpoint().map_err(|e| e.to_string())?;
+    db.checkpoint().map_err(|e| e.to_string())?;
+    let words = db.record_words();
+    let mut wl = UniformWorkload::new(db.n_records(), updates, seed);
+    for i in 0..txns {
+        if i > 0 && i % ckpt_every == 0 {
+            db.checkpoint().map_err(|e| e.to_string())?;
+        }
+        let spec = wl.next_txn();
+        db.run_txn(&spec.materialize(words))
+            .map_err(|e| e.to_string())?;
+    }
+    db.force_log().map_err(|e| e.to_string())?;
+    if compact {
+        db.rotate_log().map_err(|e| e.to_string())?;
+        db.compact_log().map_err(|e| e.to_string())?;
+    }
+    db.crash().map_err(|e| e.to_string())?;
+    drop(db);
+    // measure the window from the files themselves, like fsck does
+    let dev = SegmentedLogDevice::open(&base.join("log"), config.log_chunk_bytes, false)
+        .map_err(|e| e.to_string())?;
+    let total = dev.len();
+    let window = total - dev.start_offset();
+    Ok((window, total))
+}
+
+/// Copies the crashed directory aside, times a full restart (open +
+/// recovery) with the given worker count, and returns the wall-clock
+/// seconds plus the recovered fingerprint (so the caller can assert
+/// every worker count converges to the same state).
+fn timed_recovery(
+    src: &Path,
+    mut config: MmdbConfig,
+    workers: usize,
+) -> Result<(f64, u64), String> {
+    let run = src.with_extension("run");
+    if run.exists() {
+        std::fs::remove_dir_all(&run).map_err(|e| e.to_string())?;
+    }
+    copy_dir_recursive(src, &run)?;
+    config.recovery_workers = workers;
+    let t0 = std::time::Instant::now();
+    let (db, recovered) = Mmdb::open_dir(config, &run).map_err(|e| e.to_string())?;
+    let seconds = t0.elapsed().as_secs_f64();
+    if recovered.is_none() {
+        return Err(format!("{} was not a crashed directory", src.display()));
+    }
+    let fingerprint = ShardedMmdb::from_single(db).fingerprint();
+    std::fs::remove_dir_all(&run).map_err(|e| e.to_string())?;
+    Ok((seconds, fingerprint))
+}
+
+/// The recovery-at-scale benchmark behind `bench-recovery`: for each
+/// database-size × log-length point, build a crashed directory under
+/// `<dir>/recovery.<label>/`, then measure wall-clock restart time
+/// serially and at 2/4/8 replay workers (asserting every run converges
+/// to the same fingerprint), plus a 4-worker run on an LZ-compressed
+/// twin (compressed backup slots + compacted, compressed cold log
+/// chunks). A final pair of runs demonstrates the bounded replay
+/// window: 10x the total work with continuous checkpointing leaves
+/// recovery time flat. Emits one `BENCH_recovery.json`-schema document.
+fn cmd_bench_recovery(dir: &Path, rest: &[String]) -> Result<(), String> {
+    let updates: u32 = flag_value(rest, "--updates")
+        .map(|v| v.parse().map_err(|e| format!("--updates: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
+
+    const S_REC: u64 = 64;
+    const S_SEG: u64 = 65_536;
+    let algorithm = Algorithm::FuzzyCopy;
+    let shaped = |segments: u64| {
+        let mut config = MmdbConfig::new(algorithm);
+        config.params.db.s_rec = S_REC;
+        config.params.db.s_seg = S_SEG;
+        config.params.db.s_db = segments * S_SEG;
+        config
+    };
+
+    let mut report = mmdb_rescale::RecoveryBenchReport {
+        algorithm: algorithm.name().into(),
+        record_words: S_REC,
+        segment_words: S_SEG,
+        updates_per_txn: updates as u64,
+        ..Default::default()
+    };
+
+    // The sweep: database size and log length grow together; the whole
+    // window stays in the replay path (one mid-run checkpoint ages the
+    // backup without truncating the interesting tail).
+    for (label, segments, txns) in [
+        ("small", 16u64, 2_000u64),
+        ("medium", 64, 8_000),
+        ("large", 128, 24_000),
+    ] {
+        let config = shaped(segments);
+        let base = dir.join(format!("recovery.{label}"));
+        let (window, _) = build_crashed_dir(&base, config, txns, txns / 2, updates, seed, false)?;
+
+        let mut serial_s = 0.0;
+        let mut serial_fp = 0u64;
+        let mut parallel = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let (seconds, fp) = timed_recovery(&base, config, workers)?;
+            if workers == 1 {
+                serial_s = seconds;
+                serial_fp = fp;
+            } else if fp != serial_fp {
+                return Err(format!(
+                    "parallel recovery diverged at {workers} workers on {label}: \
+                     {fp:#018x} vs serial {serial_fp:#018x}"
+                ));
+            }
+            parallel.push(mmdb_rescale::ParallelEntry {
+                workers: workers as u64,
+                seconds,
+                speedup: serial_s / seconds,
+            });
+        }
+
+        // the compressed twin: same workload, compressed backup slots,
+        // plus a rotation+compaction pass so the cold chunks are
+        // compressed (and superseded frames already filler) at crash
+        let mut lz_config = config;
+        lz_config.compress_backups = true;
+        lz_config.compress_log_chunks = true;
+        let lz_base = dir.join(format!("recovery.{label}.lz"));
+        build_crashed_dir(&lz_base, lz_config, txns, txns / 2, updates, seed, true)?;
+        let (compressed_parallel_s, _) = timed_recovery(&lz_base, lz_config, 4)?;
+        let ratio =
+            dir_allocated_bytes(&lz_base)? as f64 / dir_allocated_bytes(&base)?.max(1) as f64;
+
+        let at4 = parallel
+            .iter()
+            .find(|p| p.workers == 4)
+            .map_or(0.0, |p| p.speedup);
+        eprintln!(
+            "bench-recovery: {label:>6}: {segments:3} segments, {txns:5} txns — serial {serial_s:.3}s, \
+             4 workers {at4:.2}x, compressed {compressed_parallel_s:.3}s ({:.0}% of raw disk)",
+            ratio * 100.0
+        );
+        report.points.push(mmdb_rescale::RecoveryPoint {
+            label: label.into(),
+            n_segments: segments,
+            db_bytes: segments * S_SEG * 4,
+            log_txns: txns,
+            log_bytes: window,
+            serial_s,
+            parallel,
+            compressed_parallel_s,
+            compressed_disk_ratio: ratio,
+        });
+    }
+
+    // The bounded-window demo: ten times the total work, same
+    // checkpoint cadence — the log ever written grows 10x while the
+    // replay window (and so recovery time) stays put.
+    let config = shaped(64);
+    for (growth, txns) in [(1u64, 3_000u64), (10, 30_000)] {
+        let base = dir.join(format!("recovery.window.{growth}x"));
+        let (window, total) = build_crashed_dir(&base, config, txns, 500, updates, seed, false)?;
+        let (recovery_s, _) = timed_recovery(&base, config, 4)?;
+        eprintln!(
+            "bench-recovery: window {growth:>2}x work: {total:>9} log bytes written, \
+             {window:>8} in the window, recovery {recovery_s:.3}s"
+        );
+        report.bounded_window.push(mmdb_rescale::WindowPoint {
+            growth,
+            total_log_bytes: total,
+            window_bytes: window,
+            recovery_s,
+        });
+    }
+
+    let json = mmdb_rescale::bench_recovery_json(&report);
+    mmdb_rescale::validate_bench_recovery_json(&json)
+        .map_err(|e| format!("recovery JSON failed validation: {e}"))?;
+
+    let large = report.points.last().ok_or("no sweep points")?;
+    let at4 = large
+        .parallel
+        .iter()
+        .find(|p| p.workers == 4)
+        .map_or(0.0, |p| p.speedup);
+    println!(
+        "parallel replay: {:.2}x at 4 workers on the large point (serial {:.3}s); \
+         10x the work moves recovery {:.3}s -> {:.3}s",
+        at4,
+        large.serial_s,
+        report.bounded_window[0].recovery_s,
+        report.bounded_window[1].recovery_s
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+    Ok(())
+}
+
 /// Promotes a replica to a writable primary. With `--addr` the wire
 /// `Promote` op is sent to the live standby server (which persists the
 /// role flip itself via its `on_promote` hook); without it, the
@@ -1519,7 +1864,14 @@ fn cmd_promote(dir: &Path, rest: &[String]) -> Result<(), String> {
 /// Computes the storage fingerprint of the database in `dir` (sharded
 /// or not), offline.
 fn dir_fingerprint(dir: &Path) -> Result<u64, String> {
-    let config = persist::load(dir)?;
+    dir_fingerprint_with(persist::load(dir)?, dir)
+}
+
+/// [`dir_fingerprint`] under a caller-adjusted config (e.g. `fsck
+/// --recovery-workers N --compare <serial-dir>` recovers the local side
+/// in parallel and the target with its own persisted settings — the
+/// fingerprint-identity check).
+fn dir_fingerprint_with(config: MmdbConfig, dir: &Path) -> Result<u64, String> {
     match marker_shards(dir)? {
         Some(shards) => Ok(open_sharded(config, dir, shards)?.fingerprint()),
         None => Ok(ShardedMmdb::from_single(open_with(config, dir)?).fingerprint()),
@@ -1542,14 +1894,21 @@ fn step_checkpoint(db: &mut Mmdb) -> Result<(), String> {
 }
 
 fn cmd_fsck(dir: &Path, rest: &[String]) -> Result<(), String> {
-    let config = persist::load(dir)?;
+    let mut config = persist::load(dir)?;
+    // Run the deep verify's dry-run recovery through the parallel path
+    // (the fingerprint-identity check: recover with N workers, then
+    // `--compare` against a serially-recovered copy).
+    if let Some(v) = flag_value(rest, "--recovery-workers") {
+        config.recovery_workers = v.parse().map_err(|e| format!("--recovery-workers: {e}"))?;
+        config.validate()?;
+    }
     let mut problems = 0u64;
 
     // --compare cross-checks this database's storage fingerprint
     // against another database directory or a live server (addr with a
     // ':'): the one-line answer to "is my standby byte-equivalent?"
     if let Some(target) = flag_value(rest, "--compare") {
-        let local = dir_fingerprint(dir)?;
+        let local = dir_fingerprint_with(config, dir)?;
         let (what, other) = if target.contains(':') {
             let mut client =
                 Client::connect(&target).map_err(|e| format!("connecting {target}: {e}"))?;

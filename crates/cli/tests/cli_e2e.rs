@@ -135,6 +135,86 @@ fn custom_geometry_respected() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Copies a database directory byte for byte (the recovery twins used
+/// by the fingerprint-identity checks).
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read src").flatten() {
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy file");
+        }
+    }
+}
+
+#[test]
+fn parallel_recovery_is_fingerprint_identical_to_serial() {
+    // The parallel-replay oracle check, end to end through the binary:
+    // the same crashed directory recovered with 1, 2, and 8 workers
+    // must land on the same storage fingerprint as the serial path.
+    // `fsck --recovery-workers N --compare <dir>` recovers the local
+    // copy in parallel and the target with its persisted (serial)
+    // config, then cross-checks.
+    let dir = tmpdir("par-identity");
+    ok(&dir, &["init", "--algorithm", "FUZZYCOPY"]);
+    ok(&dir, &["workload", "400", "--seed", "11"]);
+    ok(&dir, &["checkpoint"]);
+    // a committed-REDO window on top of the checkpoint, so recovery has
+    // real replay work to partition across lanes
+    ok(&dir, &["workload", "300", "--seed", "12"]);
+    ok(&dir, &["put", "3", "1234"]);
+
+    let dir_str = dir.to_string_lossy().into_owned();
+    for workers in ["1", "2", "8"] {
+        let par = tmpdir(&format!("par-identity-{workers}w"));
+        copy_dir(&dir, &par);
+        let out = ok(
+            &par,
+            &["fsck", "--recovery-workers", workers, "--compare", &dir_str],
+        );
+        assert!(
+            out.contains("compare: fingerprints match"),
+            "{workers} workers diverged from serial:\n{out}"
+        );
+        assert!(out.contains("fsck: clean"), "{out}");
+        let _ = std::fs::remove_dir_all(&par);
+    }
+    // the recovered state is the real one: the last put survives
+    let out = ok(&dir, &["get", "3"]);
+    assert!(out.contains("record 3 = 1234"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_command_reports_and_recovery_survives() {
+    // Offline `compact`: a hot-set workload makes most frames
+    // superseded, rotation seals them cold, and the compact command
+    // must report dropped frames — after which the database still
+    // opens, fscks clean, and serves the latest values.
+    let dir = tmpdir("compact-cmd");
+    ok(&dir, &["init", "--algorithm", "COUCOPY"]);
+    for round in 0..6 {
+        let fill = (100 + round).to_string();
+        for rid in ["1", "2", "3"] {
+            ok(&dir, &["put", rid, &fill]);
+        }
+    }
+    let out = ok(&dir, &["compact"]);
+    assert!(out.contains("chunk(s) rotated"), "{out}");
+
+    // a second, compressed pass over the now-cold chunks
+    let out = ok(&dir, &["compact", "--compress"]);
+    assert!(out.contains("cold-chunk disk footprint"), "{out}");
+
+    let out = ok(&dir, &["fsck"]);
+    assert!(out.contains("fsck: clean"), "{out}");
+    let out = ok(&dir, &["get", "2"]);
+    assert!(out.contains("record 2 = 105"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn stats_json_round_trips_through_the_snapshot_parser() {
     let dir = tmpdir("stats-json");

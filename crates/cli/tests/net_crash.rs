@@ -70,6 +70,20 @@ fn spawn_serve_args(
     (child, addr, reader)
 }
 
+/// Copies a database directory byte for byte (recovery twins for the
+/// fingerprint-identity checks).
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read src").flatten() {
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy file");
+        }
+    }
+}
+
 /// Per-record fill tracking: the last server-acked fill and the fill
 /// that was in flight (sent, not yet acked).
 #[derive(Default, Clone, Copy)]
@@ -343,6 +357,217 @@ fn failing_fsck_after_kill_nine_dumps_the_flight_recorder() {
         names.contains(&"recovery.backup_load"),
         "recovery spans missing from the crash dump: {names:?}"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_nine_mid_compaction_discards_torn_rewrites_and_recovers_clean() {
+    // The log-maintenance path under fire: tiny chunks and an
+    // aggressive background compactor (`--compact-ms 1` rotates the
+    // active chunk and rewrites cold ones, compressed, every pass)
+    // racing writers that hammer an 8-record hot set — maximal
+    // supersession, so nearly every pass has frames to drop. SIGKILL
+    // lands with rotation and chunk rewrites in flight; the rewrite
+    // protocol (write `.tmp`, sync, rename) must leave every chunk as
+    // either its old or its new image. We then plant a torn `.tmp`
+    // over a real cold chunk — exactly what an interrupted rewrite
+    // leaves — and recovery must discard it, never adopt it.
+    let dir = tmpdir("kill9-compact");
+    let out = Command::new(bin())
+        .arg(&dir)
+        .args(["init", "--algorithm", "COUCOPY"])
+        .output()
+        .expect("init");
+    assert!(out.status.success());
+    // shrink the chunks so the load seals many and the compactor always
+    // has cold work, and compress cold storage to exercise the full
+    // `.log → .logz` rewrite path
+    let conf_path = dir.join("mmdb.conf");
+    let conf = std::fs::read_to_string(&conf_path).expect("mmdb.conf");
+    let conf = conf
+        .lines()
+        .map(|l| match l {
+            l if l.starts_with("log_chunk_bytes=") => "log_chunk_bytes=8192",
+            l if l.starts_with("compress_log=") => "compress_log=true",
+            l => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    std::fs::write(&conf_path, conf).expect("rewrite mmdb.conf");
+
+    let (mut child, addr, _stdout_keepalive) = spawn_serve_args(&dir, 25, &["--compact-ms", "1"]);
+
+    let mut control = Client::connect(&addr).expect("control connect");
+    control
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let words = control.info().expect("info").record_words as usize;
+
+    const THREADS: u64 = 4;
+    const RANGE: u64 = 8;
+    let tracked: Arc<Mutex<HashMap<u64, Tracked>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let addr = addr.clone();
+        let tracked = Arc::clone(&tracked);
+        let stop = Arc::clone(&stop);
+        let committed = Arc::clone(&committed);
+        joins.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            let _ = c.set_timeout(Some(Duration::from_secs(10)));
+            let mut seq: u32 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                seq += 1;
+                let rid = t * RANGE + u64::from(seq) % RANGE;
+                let fill = ((t as u32) << 24) | seq;
+                {
+                    let mut m = match tracked.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    m.entry(rid).or_default().in_flight = Some(fill);
+                }
+                match c.retry_transient(1000, |c| c.put(RecordId(rid), &vec![fill; words])) {
+                    Ok(_) => {
+                        let mut m = match tracked.lock() {
+                            Ok(g) => g,
+                            Err(p) => p.into_inner(),
+                        };
+                        let e = m.entry(rid).or_default();
+                        e.acked = Some(fill);
+                        e.in_flight = None;
+                        committed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => return, // server died under us — expected
+                }
+            }
+        }));
+    }
+
+    // run until checkpoints and chunk rewrites have demonstrably
+    // happened under the load, then pull the plug with a maintenance
+    // pass at most 1ms away
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "compactor never rewrote chunks under load"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        if committed.load(Ordering::SeqCst) < 100 {
+            continue;
+        }
+        let stats = match control.stats_json() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let snap = mmdb_core::MetricsSnapshot::from_json(&stats).expect("stats parse");
+        if snap.counter("ckpt.completed").unwrap_or(0) >= 2
+            && snap.counter("compact.chunks_rewritten").unwrap_or(0) >= 3
+        {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+    stop.store(true, Ordering::SeqCst);
+    for j in joins {
+        let _ = j.join();
+    }
+    let tracked = match Arc::try_unwrap(tracked).map(Mutex::into_inner) {
+        Ok(Ok(m)) => m,
+        _ => panic!("tracking map still shared"),
+    };
+    assert!(
+        committed.load(Ordering::SeqCst) >= 100,
+        "not enough acked commits to make the test meaningful"
+    );
+
+    // plant the torn rewrite: a `.tmp` twin of a real chunk, full of
+    // garbage — the state an interrupted rename-in-flight leaves behind
+    let log_dir = dir.join("log");
+    let chunk_stem = std::fs::read_dir(&log_dir)
+        .expect("read log dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let stem = name
+                .strip_suffix(".logz")
+                .or_else(|| name.strip_suffix(".log"))?;
+            stem.parse::<u64>().ok().map(|_| stem.to_string())
+        })
+        .min()
+        .expect("at least one chunk file");
+    let torn = log_dir.join(format!("{chunk_stem}.tmp"));
+    std::fs::write(&torn, b"half a rewrite, then the power went").expect("plant torn tmp");
+
+    // recovery must be clean, and the torn tmp discarded — not adopted
+    let fsck = Command::new(bin())
+        .arg(&dir)
+        .arg("fsck")
+        .output()
+        .expect("fsck");
+    let fsck_out =
+        String::from_utf8_lossy(&fsck.stdout).into_owned() + &String::from_utf8_lossy(&fsck.stderr);
+    assert!(
+        fsck.status.success(),
+        "fsck failed after kill -9 mid-compaction:\n{fsck_out}"
+    );
+    assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
+    assert!(!torn.exists(), "torn .tmp rewrite survived recovery");
+
+    // re-serve the recovered database and audit every tracked record:
+    // last acked fill or the one in-flight write, never anything else
+    let (mut child2, addr2, _stdout_keepalive2) = spawn_serve(&dir, 0);
+    let mut reader = Client::connect(&addr2).expect("connect to recovered server");
+    reader
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    for (rid, t) in &tracked {
+        let value = reader.get(RecordId(*rid)).expect("read recovered record");
+        assert!(
+            value.iter().all(|w| *w == value[0]),
+            "record {rid} recovered torn: {value:?}"
+        );
+        let got = value[0];
+        let mut allowed: Vec<u32> = Vec::new();
+        if let Some(a) = t.acked {
+            allowed.push(a);
+        }
+        if let Some(f) = t.in_flight {
+            allowed.push(f);
+        }
+        if t.acked.is_none() {
+            continue;
+        }
+        assert!(
+            allowed.contains(&got),
+            "record {rid}: recovered fill {got:#x}, expected one of {allowed:x?} — \
+             compaction dropped a frame recovery still needed (acked={:x?}, in-flight={:x?})",
+            t.acked,
+            t.in_flight
+        );
+    }
+    // no maintenance garbage left anywhere in the log directory
+    let stray: Vec<String> = std::fs::read_dir(&log_dir)
+        .expect("read log dir")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(
+        stray.is_empty(),
+        "stray rewrite temps after recovery: {stray:?}"
+    );
+    reader.shutdown().expect("graceful shutdown");
+    assert!(child2.wait().expect("serve exits").success());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -655,6 +880,34 @@ fn kill_nine_mid_cross_shard_transfers_leaves_no_torn_transfer() {
     );
     assert!(fsck_out.contains("fsck: clean"), "{fsck_out}");
     assert!(fsck_out.contains("topology: 4 shards"), "{fsck_out}");
+
+    // fingerprint identity on the real crash state: the same sharded
+    // directory — in-doubt cross-shard branches and all — recovered
+    // with 2 and 8 workers per shard must match the serially-recovered
+    // original bit for bit (the in-doubt resolver sees the identical
+    // branch set either way)
+    for workers in ["2", "8"] {
+        let par = tmpdir(&format!("kill9-sharded-{workers}w"));
+        copy_dir(&dir, &par);
+        let cmp = Command::new(bin())
+            .arg(&par)
+            .args([
+                "fsck",
+                "--recovery-workers",
+                workers,
+                "--compare",
+                &dir.to_string_lossy(),
+            ])
+            .output()
+            .expect("fsck --compare");
+        let cmp_out = String::from_utf8_lossy(&cmp.stdout).into_owned()
+            + &String::from_utf8_lossy(&cmp.stderr);
+        assert!(
+            cmp.status.success() && cmp_out.contains("compare: fingerprints match"),
+            "{workers}-worker recovery diverged from serial on the sharded crash state:\n{cmp_out}"
+        );
+        let _ = std::fs::remove_dir_all(&par);
+    }
 
     // re-serve (parallel shard recovery + in-doubt resolution happens
     // here) and audit every transfer group over the wire

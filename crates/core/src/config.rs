@@ -77,6 +77,21 @@ pub struct MmdbConfig {
     /// default for production-shaped runs; [`MmdbConfig::small`] turns it
     /// on so every test runs fully checked.
     pub audit: bool,
+    /// Apply workers for crash recovery. `1` (the default) runs the
+    /// serial replay path — the paper's §4 model made executable and the
+    /// correctness oracle. Higher values partition the committed-REDO
+    /// window by record segment and replay with that many concurrent
+    /// workers, overlapped with backup loading
+    /// ([`mmdb_rescale::recover_parallel`]); the result is bit-identical
+    /// to serial, and any log corruption falls back to the serial path
+    /// wholesale.
+    pub recovery_workers: usize,
+    /// Compress backup segment slots as checkpoints write them. Reads
+    /// are per-slot self-describing, so the flag can change between
+    /// checkpoints and old backups stay readable either way.
+    pub compress_backups: bool,
+    /// Compress cold log chunks when the compactor rewrites them.
+    pub compress_log_chunks: bool,
     /// Run the telemetry layer: spans, latency histograms, and the
     /// unified metrics registry behind
     /// [`Mmdb::metrics_snapshot`](crate::Mmdb::metrics_snapshot) and
@@ -101,6 +116,9 @@ impl MmdbConfig {
             auto_truncate_log: true,
             log_chunk_bytes: mmdb_log::DEFAULT_CHUNK_BYTES,
             log_tail_flush_bytes: Some(1 << 20),
+            recovery_workers: 1,
+            compress_backups: false,
+            compress_log_chunks: false,
             audit: false,
             telemetry: false,
         }
@@ -126,6 +144,9 @@ impl MmdbConfig {
                 "{} requires a stable log tail (set params.log_mode = LogMode::StableTail)",
                 self.algorithm
             ));
+        }
+        if self.recovery_workers == 0 {
+            return Err("recovery_workers must be at least 1".into());
         }
         Ok(())
     }

@@ -173,11 +173,10 @@ impl Mmdb {
             config.params.log_mode,
             meters.logging.clone(),
         );
-        let mut backup: Box<dyn BackupStore> = Box::new(FileBackup::open(
-            &dir.join("backup"),
-            config.params.db,
-            config.sync_files,
-        )?);
+        let mut file_backup =
+            FileBackup::open(&dir.join("backup"), config.params.db, config.sync_files)?;
+        file_backup.set_compress(config.compress_backups);
+        let mut backup: Box<dyn BackupStore> = Box::new(file_backup);
         let has_backup = backup.recovery_copy().is_ok();
         let mut engine = Self::assemble(config, storage, log, backup, meters);
         let report = if has_backup {
@@ -1046,14 +1045,26 @@ impl Mmdb {
             None
         };
         let recovery_meter = CostMeter::new(self.config.params.cost);
-        let report = mmdb_recovery::recover_observed(
-            &mut self.storage,
-            &mut *self.backup,
-            self.log.device_mut(),
-            &self.config.params.disk,
-            &recovery_meter,
-            &self.obs,
-        )?;
+        let report = if self.config.recovery_workers > 1 {
+            mmdb_rescale::recover_parallel(
+                &mut self.storage,
+                &mut *self.backup,
+                self.log.device_mut(),
+                &self.config.params.disk,
+                &recovery_meter,
+                &self.obs,
+                self.config.recovery_workers,
+            )?
+        } else {
+            mmdb_recovery::recover_observed(
+                &mut self.storage,
+                &mut *self.backup,
+                self.log.device_mut(),
+                &self.config.params.disk,
+                &recovery_meter,
+                &self.obs,
+            )?
+        };
         if let Some(copies) = copies {
             self.audit.emit(|| AuditEvent::RecoveryChosen {
                 ckpt: report.ckpt,
@@ -1119,6 +1130,47 @@ impl Mmdb {
     /// the watermark to pass [`TxnRun::commit_lsn`] before acking.
     pub fn log_watermark(&self) -> std::sync::Arc<mmdb_log::DurableWatermark> {
         self.log.watermark()
+    }
+
+    /// Seals the active log chunk so it becomes cold — eligible for
+    /// compaction and compression; subsequent appends land in a fresh
+    /// chunk. Flushes the volatile tail first. Returns `true` if a
+    /// rotation actually happened (`false` on unchunked devices or an
+    /// already-empty active chunk).
+    pub fn rotate_log(&mut self) -> Result<bool> {
+        self.ensure_alive()?;
+        self.log.rotate()
+    }
+
+    /// Runs one compaction pass over the cold log chunks: frames that no
+    /// future recovery can need (durably aborted, or durably committed
+    /// and superseded by a later committed write to the same record) are
+    /// rewritten as length-preserving filler, so the REDO window stays
+    /// bounded while every LSN survives. The pass is clamped below the
+    /// replication truncation pin — a lagging standby stalls compaction
+    /// exactly as it stalls truncation — and with
+    /// [`MmdbConfig::compress_log_chunks`] set, rewritten chunks are
+    /// stored compressed. A no-op (zero report) on unchunked log devices.
+    pub fn compact_log(&mut self) -> Result<mmdb_rescale::CompactReport> {
+        self.ensure_alive()?;
+        // flush the tail so the durable window (and txn outcomes) are
+        // current before classification
+        self.log.force()?;
+        let mut pins = Vec::new();
+        if let Some(pin) = &self.repl_truncate_pin {
+            pins.push(pin.load(std::sync::atomic::Ordering::SeqCst));
+        }
+        let opts = mmdb_rescale::CompactOptions {
+            pins,
+            compress: self.config.compress_log_chunks,
+        };
+        mmdb_rescale::compact_device(self.log.device_mut(), &opts, &self.obs)
+    }
+
+    /// The log device's chunk layout (oldest first, the last entry being
+    /// the active chunk). Empty on unchunked devices.
+    pub fn log_chunk_map(&self) -> Vec<mmdb_log::ChunkInfo> {
+        self.log.device().chunk_map()
     }
 
     /// Attaches a log-shipping tap: every force mirrors the freshly

@@ -46,6 +46,7 @@ pub use metrics::{Meters, OverheadReport};
 // Re-export the pieces users need to drive the public API.
 pub use mmdb_audit::{Audit, AuditReport, AuditViolation, CheckerId};
 pub use mmdb_checkpoint::{CkptReport, CkptStats, StepOutcome, WalPolicy};
+pub use mmdb_log::ChunkInfo;
 pub use mmdb_log::{
     DurableWatermark, FlakyControl, FlakyLogDevice, LogDevice, LogRecord, PendingForce, ShipTap,
     TapRead, DEFAULT_TAP_WINDOW_BYTES,
@@ -55,6 +56,7 @@ pub use mmdb_obs::{
     PaperOverhead, SpanRecord, TraceDumpDoc,
 };
 pub use mmdb_recovery::RecoveryReport;
+pub use mmdb_rescale::{CompactOptions, CompactReport};
 pub use mmdb_types::{
     Algorithm, CkptMode, LogMode, Lsn, MmdbError, Params, RecordId, Result, TxnId,
 };

@@ -241,6 +241,12 @@ const STATE_EMPTY: u32 = 0;
 const STATE_IN_PROGRESS: u32 = 1;
 const STATE_COMPLETE: u32 = 2;
 
+/// Per-slot codec ids, stored in the low byte of the reserved trailer
+/// word. Raw is 0 so every slot written before compression existed
+/// decodes unchanged.
+const SLOT_RAW: u64 = 0;
+const SLOT_LZ: u64 = 1;
+
 /// A file-backed backup store: one file per ping-pong copy, each laid out
 /// as a 4 KiB header followed by fixed-size checksummed segment slots.
 #[derive(Debug)]
@@ -249,6 +255,7 @@ pub struct FileBackup {
     files: [File; 2],
     paths: [PathBuf; 2],
     sync: bool,
+    compress: bool,
 }
 
 impl FileBackup {
@@ -274,6 +281,7 @@ impl FileBackup {
             files,
             paths,
             sync,
+            compress: false,
         };
         for copy in 0..2 {
             if store.read_header(copy).is_err() {
@@ -286,6 +294,16 @@ impl FileBackup {
     /// The backing file paths.
     pub fn paths(&self) -> [&Path; 2] {
         [&self.paths[0], &self.paths[1]]
+    }
+
+    /// Compress segment slots written from now on. The slot grid is
+    /// unchanged (random access stays O(1)); a compressed slot writes
+    /// only its block plus the trailer, leaving the rest of the slot as
+    /// a file hole. Reads are per-slot self-describing, so compressed
+    /// and raw slots mix freely within a copy and the flag can change
+    /// between checkpoints.
+    pub fn set_compress(&mut self, on: bool) {
+        self.compress = on;
     }
 
     fn slot_len(&self) -> u64 {
@@ -368,16 +386,43 @@ impl BackupStore for FileBackup {
         check_copy(copy)?;
         check_shape(&self.db, sid, data.len())?;
         let offset = self.seg_offset(sid);
-        let mut buf = Vec::with_capacity(self.slot_len() as usize);
+        let data_bytes = (self.db.s_seg as usize) * mmdb_types::WORD_BYTES;
+        let mut raw = Vec::with_capacity(data_bytes);
         for w in data {
-            buf.extend_from_slice(&w.to_le_bytes());
+            raw.extend_from_slice(&w.to_le_bytes());
         }
         let mut h = Fnv1a::new();
-        h.update(&buf);
-        buf.extend_from_slice(&h.finish().to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
+        h.update(&raw);
+        let sum = h.finish();
+        // The trailer checksum always covers the *raw* image, whatever
+        // the slot codec — a decoder bug can never masquerade as a clean
+        // read.
+        let mut buf;
+        let codec;
+        if self.compress {
+            let block = mmdb_types::lz::encode_block(&raw);
+            if block.len() <= data_bytes {
+                // write only the block; the rest of the slot stays a hole
+                codec = SLOT_LZ;
+                buf = block;
+            } else {
+                codec = SLOT_RAW;
+                buf = raw;
+            }
+        } else {
+            codec = SLOT_RAW;
+            buf = raw;
+        }
+        let payload_len = buf.len();
         let f = &mut self.files[copy];
         f.seek(SeekFrom::Start(offset))?;
+        f.write_all(&buf)?;
+        if payload_len < data_bytes {
+            f.seek(SeekFrom::Start(offset + data_bytes as u64))?;
+        }
+        buf = Vec::with_capacity(SEG_TRAILER as usize);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf.extend_from_slice(&codec.to_le_bytes());
         f.write_all(&buf)?;
         if self.sync {
             f.sync_data()?;
@@ -423,15 +468,45 @@ impl BackupStore for FileBackup {
                 .try_into()
                 .expect("fixed-size slice"),
         );
+        let codec = u64::from_le_bytes(
+            raw[data_bytes + 8..data_bytes + 16]
+                .try_into()
+                .expect("fixed-size slice"),
+        );
+        let image: Vec<u8>;
+        let bytes: &[u8] = match codec {
+            SLOT_RAW => &raw[..data_bytes],
+            SLOT_LZ => {
+                image = mmdb_types::lz::decode_block(&raw[..data_bytes]).map_err(|e| {
+                    MmdbError::Corrupt(format!("{sid} in copy {copy}: bad compressed slot: {e}"))
+                })?;
+                if image.len() != data_bytes {
+                    return Err(MmdbError::Corrupt(format!(
+                        "{sid} in copy {copy}: compressed slot decoded to {} bytes, expected {data_bytes}",
+                        image.len()
+                    )));
+                }
+                &image
+            }
+            c => {
+                return Err(MmdbError::Corrupt(format!(
+                    "{sid} in copy {copy}: unknown slot codec {c}"
+                )))
+            }
+        };
         let mut h = Fnv1a::new();
-        h.update(&raw[..data_bytes]);
+        h.update(bytes);
         if h.finish() != stored {
             return Err(MmdbError::Corrupt(format!(
                 "{sid} in copy {copy}: checksum mismatch"
             )));
         }
         for (i, w) in buf.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().expect("fixed-size slice"));
+            *w = u32::from_le_bytes(
+                bytes[i * 4..i * 4 + 4]
+                    .try_into()
+                    .expect("fixed-size slice"),
+            );
         }
         Ok(())
     }
@@ -570,6 +645,72 @@ mod tests {
             let offset = HEADER_LEN + 4 * (db().s_seg * 4 + SEG_TRAILER) + 100;
             f.seek(SeekFrom::Start(offset)).unwrap();
             f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        }
+        let mut buf = seg_data(0);
+        assert!(store.read_segment(0, SegmentId(4), &mut buf).is_err());
+        store.read_segment(0, SegmentId(5), &mut buf).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backup_compressed_slots_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        store.set_compress(true);
+        full_checkpoint(&mut store, 0, 1, 0x5A);
+        let mut buf = seg_data(0);
+        store.read_segment(0, SegmentId(7), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0x5A));
+        // a reopened store (compression off by default) still reads them
+        drop(store);
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        assert_eq!(store.recovery_copy().unwrap(), (0, CheckpointId(1)));
+        store.read_segment(0, SegmentId(31), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0x5A));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backup_mixes_raw_and_compressed_slots() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        // checkpoint 1 raw, checkpoint 3 compressed, into the same copy:
+        // slot codecs are self-describing per write
+        full_checkpoint(&mut store, 0, 1, 0x11);
+        store.set_compress(true);
+        store.begin_checkpoint(0, CheckpointId(3)).unwrap();
+        store
+            .write_segment(0, SegmentId(4), &seg_data(0x33))
+            .unwrap();
+        store.complete_checkpoint(0, CheckpointId(3)).unwrap();
+        let mut buf = seg_data(0);
+        store.read_segment(0, SegmentId(4), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0x33));
+        store.read_segment(0, SegmentId(5), &mut buf).unwrap();
+        assert_eq!(buf, seg_data(0x11));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backup_corrupt_compressed_slot_detected() {
+        let dir = std::env::temp_dir().join(format!("mmdb-bk7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("backup");
+        let mut store = FileBackup::open(&base, db(), false).unwrap();
+        store.set_compress(true);
+        full_checkpoint(&mut store, 0, 1, 0x42);
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .open(base.with_extension("0"))
+                .unwrap();
+            let offset = HEADER_LEN + 4 * (db().s_seg * 4 + SEG_TRAILER) + 20;
+            f.seek(SeekFrom::Start(offset)).unwrap();
+            f.write_all(&[0xDE, 0xAD]).unwrap();
         }
         let mut buf = seg_data(0);
         assert!(store.read_segment(0, SegmentId(4), &mut buf).is_err());

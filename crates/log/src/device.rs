@@ -53,6 +53,49 @@ pub trait LogDevice: Send {
         self.read_at(start, &mut buf)?;
         Ok(buf)
     }
+
+    /// Seals the active chunk so it becomes *cold* (eligible for
+    /// compaction and compression); subsequent appends land in a fresh
+    /// chunk. Returns `true` if a rotation actually happened. Devices
+    /// without chunk structure ignore the call (the default).
+    fn rotate(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// Describes the device's chunk layout, oldest first. The last entry
+    /// is the active (append) chunk. Empty for unchunked devices (the
+    /// default) — callers must treat an empty map as "no chunk
+    /// lifecycle available".
+    fn chunk_map(&self) -> Vec<ChunkInfo> {
+        Vec::new()
+    }
+
+    /// Atomically replaces the cold chunk starting at global offset
+    /// `start` with `bytes`, which must have exactly the chunk's logical
+    /// length (compaction is length-preserving: it overwrites dead
+    /// frames with same-length filler, never moves an offset). With
+    /// `compress`, the chunk is stored compressed on disk; its logical
+    /// offsets and length are unchanged. Unsupported by default.
+    fn rewrite_chunk(&mut self, start: u64, bytes: &[u8], compress: bool) -> Result<()> {
+        let _ = (start, bytes, compress);
+        Err(MmdbError::Invalid(
+            "this log device does not support chunk rewriting".into(),
+        ))
+    }
+}
+
+/// One chunk of a chunked [`LogDevice`], as reported by
+/// [`LogDevice::chunk_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Global offset of the chunk's first byte.
+    pub start: u64,
+    /// Logical length in bytes (the offset span it covers).
+    pub len: u64,
+    /// Whether the chunk is stored compressed on disk.
+    pub compressed: bool,
+    /// Bytes the chunk occupies on disk (< `len` when compressed).
+    pub disk_bytes: u64,
 }
 
 /// An in-memory log device for tests and simulation. Supports torn-write

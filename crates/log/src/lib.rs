@@ -27,9 +27,9 @@ mod segmented;
 mod ship;
 mod watermark;
 
-pub use device::{FileLogDevice, FlakyControl, FlakyLogDevice, LogDevice, MemLogDevice};
+pub use device::{ChunkInfo, FileLogDevice, FlakyControl, FlakyLogDevice, LogDevice, MemLogDevice};
 pub use manager::{LogManager, LogStats, PendingForce};
-pub use record::{LogRecord, FRAME_OVERHEAD};
+pub use record::{FramePeek, LogRecord, FRAME_OVERHEAD, MIN_COMPACTED_LEN};
 pub use scan::{BackwardIter, CheckpointMark, ForwardIter, LogScanner};
 pub use segmented::{SegmentedLogDevice, DEFAULT_CHUNK_BYTES};
 pub use ship::{ShipTap, TapRead, DEFAULT_TAP_WINDOW_BYTES};

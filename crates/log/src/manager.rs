@@ -485,9 +485,27 @@ impl LogManager {
         self.tail.len() as u64
     }
 
+    /// Forces the tail down and seals the device's active chunk so it
+    /// becomes cold (compaction- and compression-eligible). Returns
+    /// `true` if the device actually rotated; unchunked devices always
+    /// report `false`.
+    pub fn rotate(&mut self) -> Result<bool> {
+        self.force()?;
+        let rotated = self.device.rotate()?;
+        if rotated {
+            self.obs.counter("log.rotations", 1);
+        }
+        Ok(rotated)
+    }
+
     /// Access to the underlying device (recovery scans it after a crash).
     pub fn device_mut(&mut self) -> &mut dyn LogDevice {
         &mut *self.device
+    }
+
+    /// Immutable access to the underlying device (chunk-map inspection).
+    pub fn device(&self) -> &dyn LogDevice {
+        &*self.device
     }
 
     /// Consumes the manager, returning the device.

@@ -96,6 +96,23 @@ pub enum LogRecord {
         /// `true` for commit, `false` for an explicit abort decision.
         commit: bool,
     },
+    /// Filler left by log compaction where dropped frames used to be.
+    ///
+    /// Compaction rewrites cold log chunks in place: frames whose replay
+    /// effect is dead (updates of durably-aborted transactions, or
+    /// updates superseded by a later durably-committed write to the same
+    /// record) are replaced by a single filler frame of *exactly the same
+    /// total length*, so every surviving frame keeps its original LSN and
+    /// the global offset space stays stable for replication and backward
+    /// scans. Replay ignores fillers entirely. The frame checksum covers
+    /// only the tag and span (the zero padding is never trusted), so
+    /// scanning a filler costs O(1) regardless of its size.
+    Compacted {
+        /// Total encoded frame length in bytes — the byte span of the
+        /// frames this filler replaced. At least
+        /// [`MIN_COMPACTED_LEN`](crate::record::MIN_COMPACTED_LEN).
+        span: u64,
+    },
 }
 
 const TAG_TXN_BEGIN: u8 = 1;
@@ -106,9 +123,15 @@ const TAG_BEGIN_CKPT: u8 = 5;
 const TAG_END_CKPT: u8 = 6;
 const TAG_PREPARE: u8 = 7;
 const TAG_DECIDE: u8 = 8;
+const TAG_COMPACTED: u8 = 9;
 
 /// Frame overhead: leading len (4) + tag (1) + checksum (8) + trailing len (4).
 pub const FRAME_OVERHEAD: usize = 4 + 1 + 8 + 4;
+
+/// Smallest legal [`LogRecord::Compacted`] frame: overhead plus the
+/// 8-byte span field. Every droppable frame (updates are ≥ 41 bytes) is
+/// larger, so any run of dropped frames can be covered by one filler.
+pub const MIN_COMPACTED_LEN: usize = FRAME_OVERHEAD + 8;
 
 impl LogRecord {
     /// The transaction this record belongs to, if any.
@@ -132,6 +155,7 @@ impl LogRecord {
             LogRecord::EndCheckpoint { .. } => 8,
             LogRecord::Prepare { .. } => 8 + 8,
             LogRecord::Decide { .. } => 8 + 1,
+            LogRecord::Compacted { span } => (*span as usize).saturating_sub(FRAME_OVERHEAD),
         }
     }
 
@@ -197,9 +221,21 @@ impl LogRecord {
                 out.extend_from_slice(&gid.to_le_bytes());
                 out.push(u8::from(*commit));
             }
+            LogRecord::Compacted { span } => {
+                debug_assert!(*span as usize >= MIN_COMPACTED_LEN);
+                out.push(TAG_COMPACTED);
+                out.extend_from_slice(&span.to_le_bytes());
+                out.resize(body_start + self.payload_len() + 1, 0);
+            }
         }
+        // Filler padding is never trusted, so its checksum covers only the
+        // tag + span prefix — decoding a filler is O(1) in its size.
+        let hashed_end = match self {
+            LogRecord::Compacted { .. } => body_start + 9,
+            _ => out.len(),
+        };
         let mut h = Fnv1a::new();
-        h.update(&out[body_start..]);
+        h.update(&out[body_start..hashed_end]);
         out.extend_from_slice(&h.finish().to_le_bytes());
         out.extend_from_slice(&total.to_le_bytes());
         debug_assert_eq!(out.len() - body_start + 4, total as usize);
@@ -236,10 +272,27 @@ impl LogRecord {
                 .try_into()
                 .expect("8-byte slice"),
         );
+        if body.is_empty() {
+            return Err(corrupt("empty frame body"));
+        }
+        // Filler frames checksum only their tag + span prefix (the zero
+        // padding is never read), so huge fillers scan in O(1).
+        let hashed = if body[0] == TAG_COMPACTED {
+            body.get(..9).ok_or_else(|| corrupt("short filler frame"))?
+        } else {
+            body
+        };
         let mut h = Fnv1a::new();
-        h.update(body);
+        h.update(hashed);
         if h.finish() != stored {
             return Err(corrupt("checksum mismatch"));
+        }
+        if body[0] == TAG_COMPACTED {
+            let span = u64::from_le_bytes(body[1..9].try_into().expect("8-byte slice"));
+            if span as usize != total || total < MIN_COMPACTED_LEN {
+                return Err(corrupt("filler span disagrees with frame length"));
+            }
+            return Ok((LogRecord::Compacted { span }, total));
         }
 
         let mut r = Reader { buf: body, pos: 1 };
@@ -317,6 +370,102 @@ impl LogRecord {
     pub fn end_lsn(&self, lsn: Lsn) -> Lsn {
         lsn.advance(self.encoded_len() as u64)
     }
+
+    /// Structurally parses one frame from the start of `bytes` *without*
+    /// verifying update-payload checksums: update frames return a
+    /// [`FramePeek::Update`] locating the after-image inside the frame,
+    /// while every other record is fully decoded and verified. This is
+    /// the scan half of the parallel-recovery pipeline — the bulk of the
+    /// log is update payload, and its checksums are verified by the apply
+    /// workers (via [`LogRecord::verify_frame`]) instead of on the
+    /// single-threaded scan path. Returns the peek and the frame length.
+    pub fn peek(bytes: &[u8]) -> Result<(FramePeek, usize)> {
+        let corrupt = |msg: &str| MmdbError::Corrupt(format!("log record: {msg}"));
+        if bytes.len() < FRAME_OVERHEAD {
+            return Err(corrupt("truncated frame header"));
+        }
+        let total = u32::from_le_bytes(bytes[0..4].try_into().expect("4-byte slice")) as usize;
+        if total < FRAME_OVERHEAD || total > bytes.len() {
+            return Err(corrupt("bad frame length"));
+        }
+        let trailer =
+            u32::from_le_bytes(bytes[total - 4..total].try_into().expect("4-byte slice")) as usize;
+        if trailer != total {
+            return Err(corrupt("trailer length mismatch"));
+        }
+        let body = &bytes[4..total - 12];
+        if body.first() == Some(&TAG_UPDATE) {
+            let mut r = Reader { buf: body, pos: 1 };
+            let txn = TxnId(r.u64()?);
+            let record = RecordId(r.u64()?);
+            let value_words = r.u32()? as usize;
+            if body.len() != 1 + 8 + 8 + 4 + value_words * 4 {
+                return Err(corrupt("update payload length mismatch"));
+            }
+            return Ok((
+                FramePeek::Update {
+                    txn,
+                    record,
+                    value_off: 4 + 1 + 8 + 8 + 4,
+                    value_words,
+                },
+                total,
+            ));
+        }
+        let (rec, used) = LogRecord::decode(bytes)?;
+        Ok((FramePeek::Other(rec), used))
+    }
+
+    /// Verifies the checksum of exactly one encoded frame (`frame` must
+    /// cover the frame precisely). The apply half of the pipelined scan:
+    /// see [`LogRecord::peek`].
+    pub fn verify_frame(frame: &[u8]) -> bool {
+        if frame.len() < FRAME_OVERHEAD {
+            return false;
+        }
+        let total = u32::from_le_bytes(frame[0..4].try_into().expect("4-byte slice")) as usize;
+        if total != frame.len() {
+            return false;
+        }
+        let body = &frame[4..total - 12];
+        let stored = u64::from_le_bytes(
+            frame[total - 12..total - 4]
+                .try_into()
+                .expect("8-byte slice"),
+        );
+        let hashed = if body.first() == Some(&TAG_COMPACTED) {
+            match body.get(..9) {
+                Some(h) => h,
+                None => return false,
+            }
+        } else {
+            body
+        };
+        let mut h = Fnv1a::new();
+        h.update(hashed);
+        h.finish() == stored
+    }
+}
+
+/// Result of [`LogRecord::peek`]: a structurally-parsed frame whose
+/// update payload (if any) has not been checksum-verified yet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramePeek {
+    /// An update frame, located but unverified. The after-image occupies
+    /// `value_words` little-endian words at `value_off` bytes into the
+    /// frame.
+    Update {
+        /// The writing transaction (read from the unverified header).
+        txn: TxnId,
+        /// The updated record (read from the unverified header).
+        record: RecordId,
+        /// Byte offset of the after-image within the frame.
+        value_off: usize,
+        /// After-image length in words.
+        value_words: usize,
+    },
+    /// Any other frame, fully decoded and checksum-verified.
+    Other(LogRecord),
 }
 
 struct Reader<'a> {
@@ -523,6 +672,139 @@ mod tests {
         let len = enc.len();
         enc[len - 12..len - 4].copy_from_slice(&sum);
         assert!(LogRecord::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn compacted_roundtrip_various_spans() {
+        for span in [
+            MIN_COMPACTED_LEN as u64,
+            41,
+            100,
+            4096,
+            1 << 20, // a megabyte-scale filler still scans in O(1)
+        ] {
+            let rec = LogRecord::Compacted { span };
+            let enc = rec.encode();
+            assert_eq!(enc.len(), span as usize, "span {span}");
+            let (dec, used) = LogRecord::decode(&enc).unwrap();
+            assert_eq!(dec, rec);
+            assert_eq!(used, enc.len());
+            assert!(LogRecord::verify_frame(&enc));
+        }
+    }
+
+    #[test]
+    fn compacted_padding_is_untrusted() {
+        // corrupting the zero padding must NOT invalidate the frame — the
+        // checksum deliberately covers only the tag + span prefix, so a
+        // compactor never has to hash the dead bytes it overwrites.
+        let rec = LogRecord::Compacted { span: 200 };
+        let mut enc = rec.encode();
+        enc[60] = 0xAB;
+        enc[150] ^= 0xFF;
+        let (dec, _) = LogRecord::decode(&enc).unwrap();
+        assert_eq!(dec, rec);
+        // but the hashed prefix (tag + span) is protected
+        let mut bad = rec.encode();
+        bad[5] ^= 0x01; // low byte of span
+        assert!(LogRecord::decode(&bad).is_err());
+        assert!(!LogRecord::verify_frame(&bad));
+    }
+
+    #[test]
+    fn compacted_span_must_match_frame_length() {
+        // a filler whose span field disagrees with the frame length would
+        // desynchronize the LSN space — forge one and ensure it's rejected
+        let span = 64u64;
+        let total = 80usize;
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&(total as u32).to_le_bytes());
+        enc.push(TAG_COMPACTED);
+        enc.extend_from_slice(&span.to_le_bytes());
+        enc.resize(total - 12, 0);
+        let mut h = Fnv1a::new();
+        h.update(&enc[4..13]);
+        enc.extend_from_slice(&h.finish().to_le_bytes());
+        enc.extend_from_slice(&(total as u32).to_le_bytes());
+        assert!(LogRecord::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn compacted_has_no_txn() {
+        assert_eq!(LogRecord::Compacted { span: 64 }.txn(), None);
+    }
+
+    #[test]
+    fn peek_locates_update_payload_without_decoding() {
+        let rec = LogRecord::Update {
+            txn: TxnId(7),
+            record: RecordId(33),
+            value: vec![10, 20, 30],
+        };
+        let enc = rec.encode();
+        let (peek, used) = LogRecord::peek(&enc).unwrap();
+        assert_eq!(used, enc.len());
+        match peek {
+            FramePeek::Update {
+                txn,
+                record,
+                value_off,
+                value_words,
+            } => {
+                assert_eq!(txn, TxnId(7));
+                assert_eq!(record, RecordId(33));
+                assert_eq!(value_words, 3);
+                let words: Vec<Word> = enc[value_off..value_off + value_words * 4]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect();
+                assert_eq!(words, vec![10, 20, 30]);
+            }
+            other => panic!("expected Update peek, got {other:?}"),
+        }
+        assert!(LogRecord::verify_frame(&enc));
+    }
+
+    #[test]
+    fn peek_fully_verifies_non_update_frames() {
+        for rec in samples() {
+            if matches!(rec, LogRecord::Update { .. }) {
+                continue;
+            }
+            let enc = rec.encode();
+            let (peek, used) = LogRecord::peek(&enc).unwrap();
+            assert_eq!(used, enc.len());
+            assert_eq!(peek, FramePeek::Other(rec));
+        }
+        // a corrupt non-update frame fails at peek time
+        let mut enc = LogRecord::Commit { txn: TxnId(1) }.encode();
+        enc[6] ^= 0x01;
+        assert!(LogRecord::peek(&enc).is_err());
+    }
+
+    #[test]
+    fn peek_skips_update_checksum_but_verify_frame_catches_it() {
+        let rec = LogRecord::Update {
+            txn: TxnId(1),
+            record: RecordId(2),
+            value: vec![1, 2, 3, 4],
+        };
+        let mut enc = rec.encode();
+        // flip a bit inside the after-image: peek still succeeds (it is
+        // structural only), verify_frame must fail
+        enc[30] ^= 0x40;
+        assert!(LogRecord::peek(&enc).is_ok());
+        assert!(!LogRecord::verify_frame(&enc));
+        // structural damage (bad length trailer) fails even at peek
+        let rec2 = LogRecord::Update {
+            txn: TxnId(1),
+            record: RecordId(2),
+            value: vec![9],
+        };
+        let enc2 = rec2.encode();
+        for cut in 0..enc2.len() {
+            assert!(LogRecord::peek(&enc2[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -317,7 +317,10 @@ impl Replica {
                         }
                         Some(false) => {}
                         None => {
-                            r.pending.entry(gid).or_default().push((shard, begin_lsn, writes));
+                            r.pending
+                                .entry(gid)
+                                .or_default()
+                                .push((shard, begin_lsn, writes));
                         }
                     }
                 }
@@ -350,8 +353,12 @@ impl Replica {
                     }
                 }
                 // the standby checkpoints its own engines on its own
-                // schedule; the primary's markers carry no replay work
-                LogRecord::BeginCheckpoint { .. } | LogRecord::EndCheckpoint { .. } => {}
+                // schedule; the primary's markers carry no replay work.
+                // Compaction fillers are length-preserving by design, so
+                // shipping one costs bytes but never desynchronizes LSNs.
+                LogRecord::BeginCheckpoint { .. }
+                | LogRecord::EndCheckpoint { .. }
+                | LogRecord::Compacted { .. } => {}
             }
             off += used;
         }
@@ -797,7 +804,10 @@ mod tests {
                 record: RecordId(1),
                 value: vec![5; words],
             },
-            LogRecord::Prepare { txn: TxnId(3), gid: 7 },
+            LogRecord::Prepare {
+                txn: TxnId(3),
+                gid: 7,
+            },
         ]);
         let consumed = replica.apply_batch(&standby, 0, 0, &buf).expect("apply");
         assert_eq!(consumed, buf.len());
@@ -820,7 +830,10 @@ mod tests {
         }
         // the decision arrives on some stream: the branch's writes
         // must install, not an empty re-park
-        let decide = frames(&[LogRecord::Decide { gid: 7, commit: true }]);
+        let decide = frames(&[LogRecord::Decide {
+            gid: 7,
+            commit: true,
+        }]);
         resumed
             .apply_batch(&standby, 0, buf.len() as u64, &decide)
             .expect("decide");
@@ -897,13 +910,14 @@ mod tests {
         let mut ask = PULL_BATCH_BYTES;
         loop {
             let applied = replica.applied[0].load(Ordering::SeqCst);
-            let (_, durable, bytes) =
-                serve_pull(&primary, 0, Lsn(applied), ask, 0).expect("pull");
+            let (_, durable, bytes) = serve_pull(&primary, 0, Lsn(applied), ask, 0).expect("pull");
             if bytes.is_empty() {
                 assert_eq!(applied, durable.raw(), "caught up");
                 break;
             }
-            let consumed = replica.apply_batch(&standby, 0, applied, &bytes).expect("apply");
+            let consumed = replica
+                .apply_batch(&standby, 0, applied, &bytes)
+                .expect("apply");
             if consumed == 0 {
                 ask = escalate_batch_size(ask).expect("a maximal batch must fit the frame");
                 continue;

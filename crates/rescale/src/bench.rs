@@ -1,0 +1,385 @@
+//! `BENCH_recovery.json`: the recovery-at-scale benchmark's
+//! fixed-schema report.
+//!
+//! The report answers the paper's §4 question — what does recovery
+//! *cost* — for the scaled-up engine: wall-clock restart time across
+//! database size, log length and replay parallelism, plus the
+//! bounded-window demonstration (recovery time stays flat while total
+//! log written grows an order of magnitude, because continuous
+//! checkpointing truncates the replay window). Like the other
+//! `BENCH_*.json` artifacts, values are wall-clock — CI validates the
+//! shape and the headline bounds, not bytes.
+
+use mmdb_obs::json::{parse, Value};
+
+/// Schema tag for [`bench_recovery_json`] output.
+pub const BENCH_RECOVERY_SCHEMA: &str = "mmdb-bench-recovery/v1";
+
+/// One worker count's wall-clock measurement on a sweep point.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelEntry {
+    /// Apply lanes used (1 = the serial oracle path via the parallel
+    /// entry point).
+    pub workers: u64,
+    /// Wall-clock seconds for the full restart (open + replay).
+    pub seconds: f64,
+    /// `serial_s / seconds` for the same point.
+    pub speedup: f64,
+}
+
+/// One database-size × log-length sweep point.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryPoint {
+    /// Human label; the largest point is labeled `"large"` and carries
+    /// the headline speedup gate.
+    pub label: String,
+    /// Segments in the database.
+    pub n_segments: u64,
+    /// Database size in bytes (segments × segment words × 4).
+    pub db_bytes: u64,
+    /// Committed transactions in the replay window at the crash.
+    pub log_txns: u64,
+    /// Log bytes in the replay window at the crash.
+    pub log_bytes: u64,
+    /// Wall-clock seconds for serial recovery ([`recover_observed`]
+    /// — the oracle path).
+    ///
+    /// [`recover_observed`]: mmdb_recovery::recover_observed
+    pub serial_s: f64,
+    /// Wall-clock seconds per worker count for
+    /// [`recover_parallel`](crate::recover_parallel).
+    pub parallel: Vec<ParallelEntry>,
+    /// Wall-clock seconds for 4-worker parallel recovery when both the
+    /// backup slots and the cold log chunks are LZ-compressed.
+    pub compressed_parallel_s: f64,
+    /// Compressed on-disk footprint (backup + log) over the raw
+    /// footprint for the same state — below 1.0 when compression wins.
+    pub compressed_disk_ratio: f64,
+}
+
+/// One bounded-replay-window point: the same workload shape run `growth`
+/// times longer, with continuous checkpointing truncating the log.
+#[derive(Debug, Clone, Default)]
+pub struct WindowPoint {
+    /// Total-work multiplier relative to the first point (1, then 10).
+    pub growth: u64,
+    /// Log bytes written over the whole run (grows with the work).
+    pub total_log_bytes: u64,
+    /// Replay-window bytes at the crash (stays bounded).
+    pub window_bytes: u64,
+    /// Wall-clock recovery seconds (stays flat).
+    pub recovery_s: f64,
+}
+
+/// Everything one recovery benchmark run measures.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryBenchReport {
+    /// Checkpoint algorithm that produced the backups.
+    pub algorithm: String,
+    /// Words per record.
+    pub record_words: u64,
+    /// Words per segment.
+    pub segment_words: u64,
+    /// Updates per committed transaction in the workload.
+    pub updates_per_txn: u64,
+    /// The size × parallelism sweep.
+    pub points: Vec<RecoveryPoint>,
+    /// The bounded-window demonstration.
+    pub bounded_window: Vec<WindowPoint>,
+}
+
+fn parallel_value(p: &ParallelEntry) -> Value {
+    Value::Obj(vec![
+        ("workers".into(), Value::u(p.workers)),
+        ("seconds".into(), Value::f(p.seconds)),
+        ("speedup".into(), Value::f(p.speedup)),
+    ])
+}
+
+fn point_value(p: &RecoveryPoint) -> Value {
+    Value::Obj(vec![
+        ("label".into(), Value::s(&p.label)),
+        ("n_segments".into(), Value::u(p.n_segments)),
+        ("db_bytes".into(), Value::u(p.db_bytes)),
+        ("log_txns".into(), Value::u(p.log_txns)),
+        ("log_bytes".into(), Value::u(p.log_bytes)),
+        ("serial_s".into(), Value::f(p.serial_s)),
+        (
+            "parallel".into(),
+            Value::Arr(p.parallel.iter().map(parallel_value).collect()),
+        ),
+        (
+            "compressed_parallel_s".into(),
+            Value::f(p.compressed_parallel_s),
+        ),
+        (
+            "compressed_disk_ratio".into(),
+            Value::f(p.compressed_disk_ratio),
+        ),
+    ])
+}
+
+fn window_value(w: &WindowPoint) -> Value {
+    Value::Obj(vec![
+        ("growth".into(), Value::u(w.growth)),
+        ("total_log_bytes".into(), Value::u(w.total_log_bytes)),
+        ("window_bytes".into(), Value::u(w.window_bytes)),
+        ("recovery_s".into(), Value::f(w.recovery_s)),
+    ])
+}
+
+/// Renders a [`RecoveryBenchReport`] as pretty-printed JSON with the
+/// fixed key set [`validate_bench_recovery_json`] checks.
+pub fn bench_recovery_json(report: &RecoveryBenchReport) -> String {
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_RECOVERY_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                ("algorithm".into(), Value::s(&report.algorithm)),
+                ("record_words".into(), Value::u(report.record_words)),
+                ("segment_words".into(), Value::u(report.segment_words)),
+                ("updates_per_txn".into(), Value::u(report.updates_per_txn)),
+            ]),
+        ),
+        (
+            "points".into(),
+            Value::Arr(report.points.iter().map(point_value).collect()),
+        ),
+        (
+            "bounded_window".into(),
+            Value::Arr(report.bounded_window.iter().map(window_value).collect()),
+        ),
+    ]);
+    let mut s = v.to_pretty();
+    s.push('\n');
+    s
+}
+
+fn finite_nonneg(v: &Value, what: &str) -> Result<f64, String> {
+    let f = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} missing or not a number"))?;
+    if !f.is_finite() || f < 0.0 {
+        return Err(format!("{what} = {f} is not a finite non-negative"));
+    }
+    Ok(f)
+}
+
+/// Validates the fixed schema of [`bench_recovery_json`] output: the
+/// schema tag, every required key, and basic sanity (finite
+/// non-negative timings, non-empty sweeps, positive worker counts).
+/// The headline performance gates (4-worker speedup, bounded-window
+/// flatness) live in the repo-level schema test, like the other bench
+/// artifacts' bounds.
+pub fn validate_bench_recovery_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_RECOVERY_SCHEMA {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_RECOVERY_SCHEMA:?}"
+        ));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    config
+        .get("algorithm")
+        .and_then(Value::as_str)
+        .ok_or("config.algorithm missing or not a string")?;
+    for key in ["record_words", "segment_words", "updates_per_txn"] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+
+    let points = v
+        .get("points")
+        .and_then(Value::as_arr)
+        .ok_or("missing points array")?;
+    if points.is_empty() {
+        return Err("points array is empty".into());
+    }
+    for (i, p) in points.iter().enumerate() {
+        p.get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("points[{i}].label missing or not a string"))?;
+        for key in ["n_segments", "db_bytes", "log_txns", "log_bytes"] {
+            p.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("points[{i}].{key} missing or not an integer"))?;
+        }
+        let serial = finite_nonneg(
+            p.get("serial_s").unwrap_or(&Value::Null),
+            &format!("points[{i}].serial_s"),
+        )?;
+        if serial == 0.0 {
+            return Err(format!(
+                "points[{i}].serial_s is zero — nothing was measured"
+            ));
+        }
+        let parallel = p
+            .get("parallel")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("points[{i}].parallel missing or not an array"))?;
+        if parallel.is_empty() {
+            return Err(format!("points[{i}].parallel is empty"));
+        }
+        for (j, entry) in parallel.iter().enumerate() {
+            let workers = entry
+                .get("workers")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("points[{i}].parallel[{j}].workers missing"))?;
+            if workers == 0 {
+                return Err(format!("points[{i}].parallel[{j}].workers is zero"));
+            }
+            finite_nonneg(
+                entry.get("seconds").unwrap_or(&Value::Null),
+                &format!("points[{i}].parallel[{j}].seconds"),
+            )?;
+            finite_nonneg(
+                entry.get("speedup").unwrap_or(&Value::Null),
+                &format!("points[{i}].parallel[{j}].speedup"),
+            )?;
+        }
+        finite_nonneg(
+            p.get("compressed_parallel_s").unwrap_or(&Value::Null),
+            &format!("points[{i}].compressed_parallel_s"),
+        )?;
+        let ratio = finite_nonneg(
+            p.get("compressed_disk_ratio").unwrap_or(&Value::Null),
+            &format!("points[{i}].compressed_disk_ratio"),
+        )?;
+        if ratio == 0.0 || ratio > 1.5 {
+            return Err(format!(
+                "points[{i}].compressed_disk_ratio = {ratio} is implausible"
+            ));
+        }
+    }
+
+    let window = v
+        .get("bounded_window")
+        .and_then(Value::as_arr)
+        .ok_or("missing bounded_window array")?;
+    if window.len() < 2 {
+        return Err("bounded_window needs at least the 1x and 10x points".into());
+    }
+    for (i, w) in window.iter().enumerate() {
+        for key in ["growth", "total_log_bytes", "window_bytes"] {
+            w.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("bounded_window[{i}].{key} missing or not an integer"))?;
+        }
+        finite_nonneg(
+            w.get("recovery_s").unwrap_or(&Value::Null),
+            &format!("bounded_window[{i}].recovery_s"),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RecoveryBenchReport {
+        let parallel = |serial: f64| {
+            [1u64, 2, 4, 8]
+                .iter()
+                .map(|&w| {
+                    let seconds = serial / (w as f64).min(3.0);
+                    ParallelEntry {
+                        workers: w,
+                        seconds,
+                        speedup: serial / seconds,
+                    }
+                })
+                .collect()
+        };
+        RecoveryBenchReport {
+            algorithm: "fuzzy-copy".into(),
+            record_words: 64,
+            segment_words: 65_536,
+            updates_per_txn: 8,
+            points: vec![
+                RecoveryPoint {
+                    label: "small".into(),
+                    n_segments: 16,
+                    db_bytes: 16 * 65_536 * 4,
+                    log_txns: 2_000,
+                    log_bytes: 4 << 20,
+                    serial_s: 0.11,
+                    parallel: parallel(0.11),
+                    compressed_parallel_s: 0.05,
+                    compressed_disk_ratio: 0.4,
+                },
+                RecoveryPoint {
+                    label: "large".into(),
+                    n_segments: 128,
+                    db_bytes: 128 * 65_536 * 4,
+                    log_txns: 20_000,
+                    log_bytes: 40 << 20,
+                    serial_s: 1.2,
+                    parallel: parallel(1.2),
+                    compressed_parallel_s: 0.5,
+                    compressed_disk_ratio: 0.35,
+                },
+            ],
+            bounded_window: vec![
+                WindowPoint {
+                    growth: 1,
+                    total_log_bytes: 8 << 20,
+                    window_bytes: 2 << 20,
+                    recovery_s: 0.2,
+                },
+                WindowPoint {
+                    growth: 10,
+                    total_log_bytes: 80 << 20,
+                    window_bytes: 2 << 20,
+                    recovery_s: 0.22,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_validator() {
+        let text = bench_recovery_json(&report());
+        validate_bench_recovery_json(&text).expect("valid");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_and_missing_keys() {
+        assert!(validate_bench_recovery_json("{}").is_err());
+        let text =
+            bench_recovery_json(&report()).replace(BENCH_RECOVERY_SCHEMA, "mmdb-bench-repl/v1");
+        assert!(validate_bench_recovery_json(&text).is_err());
+        let text = bench_recovery_json(&report()).replace("\"speedup\"", "\"speed\"");
+        assert!(validate_bench_recovery_json(&text).is_err());
+        let text = bench_recovery_json(&report()).replace("\"window_bytes\"", "\"window\"");
+        assert!(validate_bench_recovery_json(&text).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_empty_sweeps_and_zero_measurements() {
+        let mut r = report();
+        r.points.clear();
+        assert!(validate_bench_recovery_json(&bench_recovery_json(&r)).is_err());
+
+        let mut r = report();
+        r.points[0].serial_s = 0.0;
+        let err = validate_bench_recovery_json(&bench_recovery_json(&r)).expect_err("zero serial");
+        assert!(err.contains("serial_s"), "{err}");
+
+        let mut r = report();
+        r.bounded_window.truncate(1);
+        let err = validate_bench_recovery_json(&bench_recovery_json(&r)).expect_err("one point");
+        assert!(err.contains("bounded_window"), "{err}");
+
+        let mut r = report();
+        r.points[1].compressed_disk_ratio = 0.0;
+        assert!(validate_bench_recovery_json(&bench_recovery_json(&r)).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Live log compaction (recovery pillar 2).
+//!
+//! Rotation alone bounds the *chunk size*, not the *replay window*: a
+//! workload that keeps overwriting the same records accretes cold
+//! chunks full of superseded after-images that recovery still has to
+//! read. This pass rewrites cold chunks in place, replacing frames that
+//! can no longer influence any future recovery with length-preserving
+//! [`LogRecord::Compacted`] filler, so every surviving LSN is unchanged
+//! and scanners, replication shipping, and `dump-archive` all keep
+//! working on the rewritten log.
+//!
+//! **Drop rules** (conservative by construction):
+//!
+//! * An update frame is dropped iff its transaction durably **aborted**,
+//!   or it durably **committed**, was never **prepared** (two-phase
+//!   branches stay intact for the resolver), and the update is
+//!   **superseded** — a durably-committed transaction with a higher
+//!   `(commit LSN, update LSN)` key also wrote the record. Replay
+//!   installs staged writes in commit order, so dropping a non-winner
+//!   changes intermediate values only, never the recovered state.
+//! * Everything else is kept: control frames (checkpoint markers,
+//!   begin/commit/abort/prepare/decide), updates of transactions with
+//!   no durable outcome, all updates of prepared transactions, and any
+//!   frame that crosses a chunk boundary (filler never spans chunks —
+//!   chunk rewrites are atomic per chunk).
+//!
+//! **Eligibility:** only *cold* chunks (not the active tail) that lie
+//! entirely below every pin — the replication truncation pins of
+//! attached standbys and whatever checkpoint clamp the caller adds.
+//! Classification itself only trusts the checksum-validated prefix of
+//! the log ([`LogScanner`] is the arbiter, exactly as in recovery), and
+//! chunks not fully inside that prefix are never touched.
+//!
+//! Compression (pillar 3) rides along: with [`CompactOptions::compress`]
+//! set, an eligible chunk is rewritten `.logz` even when nothing is
+//! droppable, and filler runs full of zeros make compressed chunks
+//! dramatically smaller.
+
+use mmdb_log::{LogDevice, LogRecord, LogScanner, MIN_COMPACTED_LEN};
+use mmdb_obs::Obs;
+use mmdb_types::{MmdbError, RecordId, Result, TxnId};
+use std::collections::{HashMap, HashSet};
+
+/// What the compactor may touch and how.
+#[derive(Debug, Clone, Default)]
+pub struct CompactOptions {
+    /// LSN ceilings the pass must stay below (replication truncation
+    /// pins, checkpoint clamps). A chunk is eligible only if it ends at
+    /// or below *every* pin; an empty list means no ceiling.
+    pub pins: Vec<u64>,
+    /// Also rewrite eligible chunks compressed (`.logz`). Chunks that
+    /// are already compressed stay compressed regardless.
+    pub compress: bool,
+}
+
+/// What one compaction pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Cold chunks inspected for droppable frames.
+    pub chunks_examined: u64,
+    /// Chunks rewritten (dropped frames and/or newly compressed).
+    pub chunks_rewritten: u64,
+    /// Update frames newly replaced by filler this pass.
+    pub frames_dropped: u64,
+    /// Bytes of dropped frames (the log stays the same logical length —
+    /// this is dead weight turned into filler, which compression then
+    /// collapses).
+    pub bytes_reclaimed: u64,
+    /// Physical bytes of the examined chunks before the pass.
+    pub disk_bytes_before: u64,
+    /// Physical bytes of those chunks after the pass.
+    pub disk_bytes_after: u64,
+}
+
+/// One frame's place and classification, from the validated prefix.
+struct FrameAt {
+    start: u64,
+    len: u64,
+    kind: FrameKind,
+}
+
+enum FrameKind {
+    Update { txn: TxnId, record: RecordId },
+    Filler,
+    Keep,
+}
+
+/// Runs one compaction pass over `device`. Devices without chunk
+/// support (`chunk_map` empty) produce an all-zero report — the pass is
+/// a no-op, not an error, so callers can run it unconditionally.
+pub fn compact_device(
+    device: &mut dyn LogDevice,
+    opts: &CompactOptions,
+    obs: &Obs,
+) -> Result<CompactReport> {
+    let mut report = CompactReport::default();
+    let chunks = device.chunk_map();
+    if chunks.len() < 2 {
+        // nothing cold: zero or one (active) chunk
+        return Ok(report);
+    }
+    let timer = obs.timer();
+
+    // Classify the checksum-validated prefix, exactly the window
+    // recovery would trust. Frames beyond it are never touched.
+    let scanner = LogScanner::from_device(device)?;
+    let valid_end = scanner.end_lsn().raw();
+    let mut frames: Vec<FrameAt> = Vec::new();
+    let mut committed: HashMap<TxnId, u64> = HashMap::new();
+    let mut aborted: HashSet<TxnId> = HashSet::new();
+    let mut prepared: HashSet<TxnId> = HashSet::new();
+    for (lsn, rec) in scanner.forward_from(scanner.base_lsn()) {
+        let len = rec.encoded_len() as u64;
+        let kind = match &rec {
+            LogRecord::Update { txn, record, .. } => FrameKind::Update {
+                txn: *txn,
+                record: *record,
+            },
+            LogRecord::Compacted { .. } => FrameKind::Filler,
+            LogRecord::Commit { txn } => {
+                committed.insert(*txn, lsn.raw());
+                FrameKind::Keep
+            }
+            LogRecord::Abort { txn } => {
+                aborted.insert(*txn);
+                FrameKind::Keep
+            }
+            LogRecord::Prepare { txn, .. } => {
+                prepared.insert(*txn);
+                FrameKind::Keep
+            }
+            _ => FrameKind::Keep,
+        };
+        frames.push(FrameAt {
+            start: lsn.raw(),
+            len,
+            kind,
+        });
+    }
+
+    // Winner per record: max (commit LSN, update LSN) among updates of
+    // durably-committed transactions.
+    let mut winner: HashMap<RecordId, (u64, u64)> = HashMap::new();
+    for f in &frames {
+        if let FrameKind::Update { txn, record } = &f.kind {
+            if let Some(&commit_lsn) = committed.get(txn) {
+                let key = (commit_lsn, f.start);
+                let w = winner.entry(*record).or_insert(key);
+                if key > *w {
+                    *w = key;
+                }
+            }
+        }
+    }
+    let droppable = |f: &FrameAt| -> bool {
+        match &f.kind {
+            FrameKind::Update { txn, record } => {
+                if aborted.contains(txn) {
+                    return true;
+                }
+                if prepared.contains(txn) {
+                    return false;
+                }
+                match committed.get(txn) {
+                    Some(&commit_lsn) => winner
+                        .get(record)
+                        .is_some_and(|&w| (commit_lsn, f.start) < w),
+                    None => false, // outcome not durable: keep
+                }
+            }
+            FrameKind::Filler => true, // dead already; merges into runs
+            FrameKind::Keep => false,
+        }
+    };
+
+    let ceiling = opts.pins.iter().copied().min().unwrap_or(u64::MAX);
+    let bytes = device.read_all()?;
+    let base = device.start_offset();
+    let last = chunks.len() - 1;
+    let mut examined: HashSet<u64> = HashSet::new();
+    for chunk in &chunks[..last] {
+        let end = chunk.start + chunk.len;
+        if chunk.start < base || end > ceiling || end > valid_end {
+            // The chunk straddles the truncation point (its head bytes
+            // are no longer readable, and the whole chunk dies at the
+            // next truncation past its end), is pinned by a standby, or
+            // is not fully validated: leave it alone.
+            continue;
+        }
+        report.chunks_examined += 1;
+        report.disk_bytes_before += chunk.disk_bytes;
+        examined.insert(chunk.start);
+
+        // Droppable frames fully inside this chunk, merged into
+        // contiguous runs. Boundary-crossing frames are copied verbatim.
+        let mut runs: Vec<(u64, u64)> = Vec::new(); // (start, len), chunk-relative
+        let mut new_drops = 0u64;
+        let mut dropped_bytes = 0u64;
+        for f in &frames {
+            if f.start < chunk.start || f.start + f.len > end {
+                continue;
+            }
+            if !droppable(f) {
+                continue;
+            }
+            if !matches!(f.kind, FrameKind::Filler) {
+                new_drops += 1;
+                dropped_bytes += f.len;
+            }
+            let rel = f.start - chunk.start;
+            match runs.last_mut() {
+                Some((s, l)) if *s + *l == rel => *l += f.len,
+                _ => runs.push((rel, f.len)),
+            }
+        }
+        let recompress = opts.compress && !chunk.compressed;
+        if new_drops == 0 && !recompress {
+            continue; // pre-existing fillers alone are no new gain
+        }
+
+        let off = (chunk.start - base) as usize;
+        let mut rewritten = bytes[off..off + chunk.len as usize].to_vec();
+        for &(rel, len) in &runs {
+            debug_assert!(len as usize >= MIN_COMPACTED_LEN);
+            let mut filler = Vec::with_capacity(len as usize);
+            LogRecord::Compacted { span: len }.encode_into(&mut filler);
+            if filler.len() as u64 != len {
+                return Err(MmdbError::Invalid(format!(
+                    "filler frame for a {len}-byte run encoded to {} bytes",
+                    filler.len()
+                )));
+            }
+            rewritten[rel as usize..(rel + len) as usize].copy_from_slice(&filler);
+        }
+        device.rewrite_chunk(chunk.start, &rewritten, opts.compress)?;
+        report.chunks_rewritten += 1;
+        report.frames_dropped += new_drops;
+        report.bytes_reclaimed += dropped_bytes;
+    }
+    // Re-read physical sizes for the chunks we examined.
+    for chunk in device.chunk_map() {
+        if examined.contains(&chunk.start) {
+            report.disk_bytes_after += chunk.disk_bytes;
+        }
+    }
+
+    obs.counter("compact.runs", 1);
+    obs.counter("compact.frames_dropped", report.frames_dropped);
+    obs.counter("compact.chunks_rewritten", report.chunks_rewritten);
+    obs.counter("compact.bytes_reclaimed", report.bytes_reclaimed);
+    obs.span_end("compact.pass", "compact.pass_ns", timer, || {
+        format!(
+            "{} chunks examined, {} rewritten, {} frames dropped ({} bytes)",
+            report.chunks_examined,
+            report.chunks_rewritten,
+            report.frames_dropped,
+            report.bytes_reclaimed
+        )
+    });
+    Ok(report)
+}

@@ -1,0 +1,631 @@
+//! Recovery at scale: parallel partitioned replay, live log compaction,
+//! and compressed cold storage.
+//!
+//! The core recovery path (`mmdb-recovery`) is deliberately serial — it
+//! is the paper's §4 cost model made executable, and it doubles as the
+//! correctness oracle for everything here. This crate adds the three
+//! mechanisms a memory-resident database needs once databases and logs
+//! stop being small:
+//!
+//! * [`recover_parallel`] — partitions the committed-REDO window by
+//!   record segment and replays with N workers, overlapped with backup
+//!   loading. Bit-identical to the serial path (same fingerprint, same
+//!   report), with an automatic serial fallback on any log corruption.
+//! * [`compact_device`] — a background pass that rewrites cold log
+//!   chunks, replacing durably-dead frames (aborted, or committed and
+//!   superseded) with length-preserving filler so the REDO window stays
+//!   bounded while every LSN survives. Clamped below replication pins.
+//! * Compression — cold chunks and backup segments use the
+//!   dependency-free block codec in [`mmdb_types::lz`]; compaction's
+//!   zero-filled filler is exactly what makes compressed cold chunks
+//!   collapse.
+//!
+//! Rotation (sealing the active chunk) lives on [`mmdb_log::LogDevice`]
+//! itself; this crate provides the policy that makes rotation useful.
+
+#![warn(missing_docs)]
+
+mod bench;
+mod compact;
+mod parallel;
+
+pub use bench::{
+    bench_recovery_json, validate_bench_recovery_json, ParallelEntry, RecoveryBenchReport,
+    RecoveryPoint, WindowPoint, BENCH_RECOVERY_SCHEMA,
+};
+pub use compact::{compact_device, CompactOptions, CompactReport};
+pub use parallel::recover_parallel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_disk::{BackupStore, MemBackup};
+    use mmdb_log::{
+        LogDevice, LogManager, LogRecord, LogScanner, MemLogDevice, SegmentedLogDevice,
+    };
+    use mmdb_obs::Obs;
+    use mmdb_recovery::{recover, RecoveryReport};
+    use mmdb_storage::Storage;
+    use mmdb_types::{
+        Algorithm, CkptMode, CostMeter, CostParams, LogMode, Params, RecordId, Timestamp, TxnId,
+    };
+    use std::path::PathBuf;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mmdb-rescale-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A miniature engine (storage + log + backup + checkpointer), the
+    /// same shape as the recovery crate's harness, but with a pluggable
+    /// log device so compaction can run against real chunk files.
+    struct Mini {
+        storage: Storage,
+        log: LogManager,
+        backup: MemBackup,
+        ckpt: mmdb_checkpoint::Checkpointer,
+        meter: CostMeter,
+        next_tau: u64,
+        next_txn: u64,
+    }
+
+    impl Mini {
+        fn new() -> Mini {
+            Mini::with_device(Box::new(MemLogDevice::new()))
+        }
+
+        fn with_device(device: Box<dyn LogDevice>) -> Mini {
+            let p = Params::small();
+            Mini {
+                storage: Storage::new(p.db).unwrap(),
+                log: LogManager::new(
+                    device,
+                    LogMode::VolatileTail,
+                    CostMeter::shared(CostParams::default()),
+                ),
+                backup: MemBackup::new(p.db),
+                ckpt: mmdb_checkpoint::Checkpointer::new(
+                    Algorithm::FuzzyCopy,
+                    CkptMode::Partial,
+                    mmdb_checkpoint::WalPolicy::Force,
+                    CostMeter::shared(CostParams::default()),
+                ),
+                meter: CostMeter::new(CostParams::default()),
+                next_tau: 0,
+                next_txn: 1000,
+            }
+        }
+
+        fn tau(&mut self) -> Timestamp {
+            self.next_tau += 1;
+            Timestamp(self.next_tau)
+        }
+
+        /// Runs a whole committed transaction updating `records` with
+        /// `fill`, with commit-time log force.
+        fn txn(&mut self, records: &[u64], fill: u32) {
+            let tau = self.tau();
+            self.next_txn += 1;
+            let txn = TxnId(self.next_txn);
+            self.log.append(&LogRecord::TxnBegin { txn, tau });
+            let s_rec = self.storage.db_params().s_rec as usize;
+            let mut installs = Vec::new();
+            for &rid in records {
+                let value = vec![fill; s_rec];
+                let rec = LogRecord::Update {
+                    txn,
+                    record: RecordId(rid),
+                    value: value.clone(),
+                };
+                let lsn = self.log.append(&rec);
+                installs.push((RecordId(rid), value, rec.end_lsn(lsn)));
+            }
+            self.log.append_forced(&LogRecord::Commit { txn }).unwrap();
+            for (rid, value, end_lsn) in installs {
+                let sid = self.storage.segment_of(rid).unwrap();
+                self.ckpt
+                    .on_before_install(&mut self.storage, sid, &self.meter)
+                    .unwrap();
+                self.storage
+                    .install_record(rid, &value, end_lsn, tau, &self.meter)
+                    .unwrap();
+            }
+        }
+
+        /// A transaction that durably aborts after logging its updates.
+        fn aborted_txn(&mut self, records: &[u64], fill: u32) {
+            let tau = self.tau();
+            self.next_txn += 1;
+            let txn = TxnId(self.next_txn);
+            self.log.append(&LogRecord::TxnBegin { txn, tau });
+            let s_rec = self.storage.db_params().s_rec as usize;
+            for &rid in records {
+                self.log.append(&LogRecord::Update {
+                    txn,
+                    record: RecordId(rid),
+                    value: vec![fill; s_rec],
+                });
+            }
+            self.log.append_forced(&LogRecord::Abort { txn }).unwrap();
+        }
+
+        /// A prepared branch with no durable outcome (in doubt).
+        fn prepared_txn(&mut self, records: &[u64], fill: u32, gid: u64) -> TxnId {
+            let tau = self.tau();
+            self.next_txn += 1;
+            let txn = TxnId(self.next_txn);
+            self.log.append(&LogRecord::TxnBegin { txn, tau });
+            let s_rec = self.storage.db_params().s_rec as usize;
+            for &rid in records {
+                self.log.append(&LogRecord::Update {
+                    txn,
+                    record: RecordId(rid),
+                    value: vec![fill; s_rec],
+                });
+            }
+            self.log
+                .append_forced(&LogRecord::Prepare { txn, gid })
+                .unwrap();
+            txn
+        }
+
+        fn checkpoint(&mut self) {
+            let tau = self.tau();
+            self.ckpt
+                .begin(&mut self.storage, &mut self.log, &mut self.backup, &[], tau)
+                .unwrap();
+            self.ckpt
+                .run_to_completion(&mut self.storage, &mut self.log, &mut self.backup)
+                .unwrap();
+        }
+
+        fn crash(&mut self) {
+            self.log.crash().unwrap();
+            self.ckpt.crash(&mut self.storage);
+        }
+    }
+
+    /// Serial and parallel recovery of the same crash state must agree
+    /// on the report and the storage fingerprint.
+    fn assert_parallel_matches_serial(m: &mut Mini, workers: usize) -> (RecoveryReport, Storage) {
+        let db = *m.storage.db_params();
+        let disk = Params::small().disk;
+        let mut serial = Storage::new(db).unwrap();
+        let serial_report = recover(
+            &mut serial,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+        )
+        .unwrap();
+        let mut par = Storage::new(db).unwrap();
+        let par_report = recover_parallel(
+            &mut par,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+            &Obs::disabled(),
+            workers,
+        )
+        .unwrap();
+        assert_eq!(serial_report, par_report, "{workers}-worker report");
+        assert_eq!(
+            serial.fingerprint(),
+            par.fingerprint(),
+            "{workers}-worker fingerprint"
+        );
+        assert_eq!(serial.current_version(), par.current_version());
+        (par_report, par)
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_worker_counts() {
+        let mut m = Mini::new();
+        m.txn(&[0, 100, 2000], 7);
+        m.checkpoint();
+        m.txn(&[0, 550], 8);
+        m.txn(&[550, 1, 901], 9);
+        m.aborted_txn(&[2, 700], 99);
+        let pre_crash = m.storage.fingerprint();
+        m.crash();
+        for workers in [1, 2, 3, 8] {
+            let (report, recovered) = assert_parallel_matches_serial(&mut m, workers);
+            assert_eq!(recovered.fingerprint(), pre_crash);
+            assert_eq!(report.txns_replayed, 2); // the two post-checkpoint commits
+        }
+    }
+
+    #[test]
+    fn parallel_carries_in_doubt_branches() {
+        let mut m = Mini::new();
+        m.txn(&[0, 64], 1);
+        m.checkpoint();
+        m.txn(&[10], 2);
+        let txn = m.prepared_txn(&[20, 21], 3, 77);
+        m.crash();
+        let (report, _) = assert_parallel_matches_serial(&mut m, 4);
+        assert_eq!(report.in_doubt.len(), 1);
+        assert_eq!(report.in_doubt[0].txn, txn);
+        assert_eq!(report.in_doubt[0].gid, 77);
+        assert_eq!(report.in_doubt[0].writes.len(), 2);
+        assert_eq!(report.max_gid, 77);
+    }
+
+    #[test]
+    fn parallel_falls_back_to_serial_on_corrupt_update_payload() {
+        let mut m = Mini::new();
+        m.txn(&[0, 100], 1);
+        m.checkpoint();
+        m.txn(&[5, 6, 7], 2);
+        m.txn(&[5], 3);
+        m.crash();
+
+        // Flip one byte inside the *value* of the first post-checkpoint
+        // update: structurally intact (peek accepts it), checksum bad.
+        // The serial scanner treats that frame as the end of the log, so
+        // both commits after it vanish — the parallel path must detect
+        // the bad payload and defer to the serial result.
+        let raw = m.log.device_mut().read_all().unwrap();
+        let scanner = LogScanner::from_bytes_at(raw.clone(), 0);
+        let victim = scanner
+            .forward_from(scanner.base_lsn())
+            .find_map(|(lsn, rec)| match rec {
+                LogRecord::Update { value, .. } if value[0] == 2 => Some(lsn.raw() as usize),
+                _ => None,
+            })
+            .unwrap();
+        let mut corrupted = raw;
+        corrupted[victim + 30] ^= 0xff; // inside the after-image
+        let make_dev = || {
+            let mut d = MemLogDevice::new();
+            d.append(&corrupted).unwrap();
+            d
+        };
+
+        let db = *m.storage.db_params();
+        let disk = Params::small().disk;
+        let mut serial = Storage::new(db).unwrap();
+        let serial_report =
+            recover(&mut serial, &mut m.backup, &mut make_dev(), &disk, &m.meter).unwrap();
+        assert_eq!(serial_report.txns_replayed, 0); // torn at the bad frame
+        let mut par = Storage::new(db).unwrap();
+        let par_report = recover_parallel(
+            &mut par,
+            &mut m.backup,
+            &mut make_dev(),
+            &disk,
+            &m.meter,
+            &Obs::disabled(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(serial_report, par_report);
+        assert_eq!(serial.fingerprint(), par.fingerprint());
+    }
+
+    /// Segmented-device harness with small chunks so rotation and
+    /// compaction have something to chew on.
+    fn segmented_mini(name: &str, chunk_bytes: u64) -> (Mini, PathBuf) {
+        let dir = scratch_dir(name);
+        let dev = SegmentedLogDevice::open(&dir, chunk_bytes, false).unwrap();
+        (Mini::with_device(Box::new(dev)), dir)
+    }
+
+    #[test]
+    fn compaction_drops_superseded_frames_and_recovery_agrees() {
+        let (mut m, dir) = segmented_mini("compact-super", 4096);
+        m.txn(&[0, 1, 2, 3], 1);
+        m.checkpoint();
+        // Overwrite the same records many times: everything but the last
+        // committed image of each record is superseded.
+        for round in 2..30 {
+            m.txn(&[0, 1, 2, 3], round);
+        }
+        m.log.rotate().unwrap();
+        m.crash();
+
+        let pre = {
+            let mut s = Storage::new(*m.storage.db_params()).unwrap();
+            recover(
+                &mut s,
+                &mut m.backup,
+                m.log.device_mut(),
+                &Params::small().disk,
+                &m.meter,
+            )
+            .unwrap();
+            s.fingerprint()
+        };
+
+        let report = compact_device(
+            m.log.device_mut(),
+            &CompactOptions::default(),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert!(report.chunks_examined > 0);
+        assert!(report.frames_dropped > 0, "{report:?}");
+        assert!(report.chunks_rewritten > 0);
+
+        // Length-preserving: the log's logical extent is unchanged and
+        // recovery over the compacted log reaches the same state.
+        let (mut serial, mut par) = (
+            Storage::new(*m.storage.db_params()).unwrap(),
+            Storage::new(*m.storage.db_params()).unwrap(),
+        );
+        let disk = Params::small().disk;
+        recover(
+            &mut serial,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+        )
+        .unwrap();
+        assert_eq!(serial.fingerprint(), pre);
+        recover_parallel(
+            &mut par,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+            &Obs::disabled(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(par.fingerprint(), pre);
+
+        // A second pass finds nothing new.
+        let again = compact_device(
+            m.log.device_mut(),
+            &CompactOptions::default(),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_eq!(again.frames_dropped, 0);
+        assert_eq!(again.chunks_rewritten, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_respects_pins() {
+        let (mut m, dir) = segmented_mini("compact-pins", 4096);
+        m.txn(&[0, 1], 1);
+        m.checkpoint();
+        for round in 2..30 {
+            m.txn(&[0, 1], round);
+        }
+        m.log.rotate().unwrap();
+        m.crash();
+        // Pin at zero: everything is above the ceiling, nothing moves —
+        // this is the lagging-standby contract.
+        let report = compact_device(
+            m.log.device_mut(),
+            &CompactOptions {
+                pins: vec![0],
+                compress: false,
+            },
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_eq!(report.chunks_examined, 0);
+        assert_eq!(report.chunks_rewritten, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_skips_chunk_straddling_the_truncation_point() {
+        // Checkpoint-driven truncation cuts at a record boundary that
+        // usually lands *inside* a chunk: fully-dead chunks below the
+        // cut are deleted, but the straddling chunk keeps its original
+        // start — now below the device's start_offset. The compactor
+        // must leave that chunk alone (its head bytes are unreadable),
+        // not underflow the offset arithmetic.
+        let (mut m, dir) = segmented_mini("compact-midtrunc", 4096);
+        for round in 1..20 {
+            m.txn(&[0, 1, 2, 3], round); // several chunks of dead prefix
+        }
+        m.checkpoint();
+        for round in 20..40 {
+            m.txn(&[0, 1, 2, 3], round);
+        }
+        m.log.rotate().unwrap();
+        m.crash();
+
+        // Cut at a frame boundary strictly inside the second chunk,
+        // below the completed checkpoint's begin marker (recovery still
+        // needs that marker).
+        let (_copy, ckpt) = m.backup.recovery_copy().unwrap();
+        let dev = m.log.device_mut();
+        let (lo, hi) = {
+            let chunks = dev.chunk_map();
+            assert!(
+                chunks.len() >= 4,
+                "workload built only {} chunks",
+                chunks.len()
+            );
+            (chunks[1].start, chunks[1].start + chunks[1].len)
+        };
+        let cut = {
+            let scanner = LogScanner::from_device(dev).unwrap();
+            let marker = scanner
+                .backward()
+                .find_map(|(lsn, rec)| match rec {
+                    LogRecord::BeginCheckpoint { ckpt: c, .. } if c == ckpt => Some(lsn.raw()),
+                    _ => None,
+                })
+                .unwrap();
+            scanner
+                .forward_from(scanner.base_lsn())
+                .map(|(lsn, _)| lsn.raw())
+                .find(|&l| l > lo && l < hi && l <= marker)
+                .expect("a frame boundary inside the second chunk below the marker")
+        };
+        dev.truncate_prefix(cut).unwrap();
+        let cold = {
+            let chunks = dev.chunk_map();
+            assert!(
+                chunks[0].start < dev.start_offset(),
+                "cut must land mid-chunk"
+            );
+            chunks.len() - 1
+        };
+
+        let pre = {
+            let mut s = Storage::new(*m.storage.db_params()).unwrap();
+            recover(
+                &mut s,
+                &mut m.backup,
+                m.log.device_mut(),
+                &Params::small().disk,
+                &m.meter,
+            )
+            .unwrap();
+            s.fingerprint()
+        };
+
+        let report = compact_device(
+            m.log.device_mut(),
+            &CompactOptions::default(),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        // The straddler was skipped; every other cold chunk was examined
+        // and the superseded prefix still compacted.
+        assert_eq!(report.chunks_examined, cold as u64 - 1);
+        assert!(report.chunks_rewritten > 0, "{report:?}");
+
+        // Recovery over the truncated-then-compacted log is unchanged,
+        // serial and parallel alike.
+        let db = *m.storage.db_params();
+        let disk = Params::small().disk;
+        let mut serial = Storage::new(db).unwrap();
+        recover(
+            &mut serial,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+        )
+        .unwrap();
+        assert_eq!(serial.fingerprint(), pre);
+        let mut par = Storage::new(db).unwrap();
+        recover_parallel(
+            &mut par,
+            &mut m.backup,
+            m.log.device_mut(),
+            &disk,
+            &m.meter,
+            &Obs::disabled(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(par.fingerprint(), pre);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_keeps_prepared_and_undecided_branches() {
+        let (mut m, dir) = segmented_mini("compact-prep", 4096);
+        m.txn(&[0, 1], 1);
+        m.checkpoint();
+        let prepared = m.prepared_txn(&[0, 1], 42, 9);
+        for round in 2..30 {
+            m.txn(&[0, 1], round);
+        }
+        m.log.rotate().unwrap();
+        m.crash();
+        compact_device(
+            m.log.device_mut(),
+            &CompactOptions::default(),
+            &Obs::disabled(),
+        )
+        .unwrap();
+        // The prepared branch's updates survive compaction verbatim.
+        let scanner = LogScanner::from_device(m.log.device_mut()).unwrap();
+        let kept: Vec<_> = scanner
+            .forward_from(scanner.base_lsn())
+            .filter_map(|(_, rec)| match rec {
+                LogRecord::Update { txn, .. } if txn == prepared => Some(txn),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kept.len(), 2);
+        // And recovery still reports it in doubt.
+        let mut s = Storage::new(*m.storage.db_params()).unwrap();
+        let report = recover_parallel(
+            &mut s,
+            &mut m.backup,
+            m.log.device_mut(),
+            &Params::small().disk,
+            &m.meter,
+            &Obs::disabled(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(report.in_doubt.len(), 1);
+        assert_eq!(report.in_doubt[0].txn, prepared);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_with_compression_shrinks_cold_chunks() {
+        let (mut m, dir) = segmented_mini("compact-z", 4096);
+        m.txn(&[0, 1, 2, 3], 1);
+        m.checkpoint();
+        for round in 2..40 {
+            m.txn(&[0, 1, 2, 3], round);
+        }
+        m.log.rotate().unwrap();
+        m.crash();
+        let pre = {
+            let mut s = Storage::new(*m.storage.db_params()).unwrap();
+            recover(
+                &mut s,
+                &mut m.backup,
+                m.log.device_mut(),
+                &Params::small().disk,
+                &m.meter,
+            )
+            .unwrap();
+            s.fingerprint()
+        };
+        let report = compact_device(
+            m.log.device_mut(),
+            &CompactOptions {
+                pins: Vec::new(),
+                compress: true,
+            },
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert!(report.chunks_rewritten > 0);
+        assert!(
+            report.disk_bytes_after < report.disk_bytes_before,
+            "{report:?}"
+        );
+        // Logical layout intact: recovery agrees bit for bit.
+        let mut s = Storage::new(*m.storage.db_params()).unwrap();
+        recover(
+            &mut s,
+            &mut m.backup,
+            m.log.device_mut(),
+            &Params::small().disk,
+            &m.meter,
+        )
+        .unwrap();
+        assert_eq!(s.fingerprint(), pre);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_noop_on_unchunked_devices() {
+        let mut dev = MemLogDevice::new();
+        let report =
+            compact_device(&mut dev, &CompactOptions::default(), &Obs::disabled()).unwrap();
+        assert_eq!(report, CompactReport::default());
+    }
+}

@@ -81,6 +81,15 @@ pub struct ServerConfig {
     /// recorded (with their full span tree) in the slow-request log
     /// served by the wire `TraceDump` request. `0` disables the log.
     pub slow_trace_us: u64,
+    /// Pause between background log-maintenance passes. `Some(d)`: a
+    /// dedicated thread rotates each shard's active log chunk and then
+    /// compacts cold chunks (superseded committed frames become filler,
+    /// optionally compressed — see
+    /// [`compact_log`](mmdb_core::Mmdb::compact_log)) every `d`,
+    /// taking each shard's mutex only for the duration of one shard's
+    /// pass. `None` (the default): rotation and compaction run only
+    /// when driven explicitly (e.g. by `mmdb-cli compact` offline).
+    pub compact_interval: Option<Duration>,
     /// Replication role (standalone by default).
     pub repl: ReplOptions,
 }
@@ -137,6 +146,7 @@ impl Default for ServerConfig {
             idle_timeout: None,
             checkpoint_interval: Some(Duration::from_millis(10)),
             slow_trace_us: mmdb_obs::DEFAULT_SLOW_THRESHOLD_US,
+            compact_interval: None,
             repl: ReplOptions::default(),
         }
     }
@@ -149,6 +159,9 @@ pub(crate) struct Shared {
     /// Checkpoints completed by the background checkpointer threads
     /// (summed across shards).
     pub(crate) ckpts_completed: AtomicU64,
+    /// Log-maintenance passes completed by the background compaction
+    /// thread (one pass = rotate + compact every shard once).
+    pub(crate) compact_passes: AtomicU64,
     /// Interactive transactions aborted because their connection died.
     pub(crate) txns_aborted_on_disconnect: AtomicU64,
     /// Standby replication state when this server runs as a replica.
@@ -175,6 +188,7 @@ pub struct ServerHandle {
     worker_joins: Vec<JoinHandle<()>>,
     ckpt_joins: Vec<JoinHandle<()>>,
     repl_joins: Vec<JoinHandle<()>>,
+    maint_join: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -215,6 +229,7 @@ impl Server {
             db,
             stop: AtomicBool::new(false),
             ckpts_completed: AtomicU64::new(0),
+            compact_passes: AtomicU64::new(0),
             txns_aborted_on_disconnect: AtomicU64::new(0),
             replica,
             on_promote: config.repl.on_promote.clone(),
@@ -273,6 +288,18 @@ impl Server {
             }
         }
 
+        let maint_join = match config.compact_interval {
+            Some(interval) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("mmdb-compactor".into())
+                        .spawn(move || maintenance_loop(&shared, interval))?,
+                )
+            }
+            None => None,
+        };
+
         let accept_join = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -287,6 +314,7 @@ impl Server {
             worker_joins,
             ckpt_joins,
             repl_joins,
+            maint_join,
         })
     }
 }
@@ -313,6 +341,13 @@ impl ServerHandle {
     /// summed across every shard.
     pub fn checkpoints_completed(&self) -> u64 {
         self.shared.ckpts_completed.load(Ordering::SeqCst)
+    }
+
+    /// Log-maintenance passes (rotate + compact across every shard)
+    /// completed by the background compaction thread so far. Always 0
+    /// unless [`ServerConfig::compact_interval`] is set.
+    pub fn compaction_passes(&self) -> u64 {
+        self.shared.compact_passes.load(Ordering::SeqCst)
     }
 
     /// Interactive transactions the server aborted because their
@@ -348,6 +383,9 @@ impl ServerHandle {
             let _ = j.join();
         }
         for j in self.repl_joins.drain(..) {
+            let _ = j.join();
+        }
+        if let Some(j) = self.maint_join.take() {
             let _ = j.join();
         }
         let shared = Arc::try_unwrap(self.shared)
@@ -485,5 +523,41 @@ fn checkpointer_loop(shared: &Shared, shard: usize, interval: Option<Duration>) 
         }
         // after Progress: loop immediately — dropping the guard between
         // steps is what lets worker transactions interleave
+    }
+}
+
+/// The background log-maintenance thread: every `interval`, rotate each
+/// shard's active log chunk (sealing it so it becomes eligible) and
+/// compact its cold chunks. One shard's mutex is held only for that
+/// shard's rotate+compact — transactions on other shards are never
+/// blocked, matching the per-shard checkpointer discipline. Compaction
+/// honours replication truncation pins internally (a lagging standby
+/// stalls chunk rewrites, it never loses bytes), so this loop needs no
+/// replication awareness of its own.
+fn maintenance_loop(shared: &Shared, interval: Duration) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        for shard in 0..shared.db.shards() {
+            if shared.stopping() {
+                return;
+            }
+            shared.db.with_shard(shard, |db| {
+                // Failures here are operational (e.g. a chunk mid-seal
+                // during shutdown), never correctness: the pass simply
+                // retries next interval.
+                let _ = db.rotate_log();
+                let _ = db.compact_log();
+            });
+        }
+        shared.compact_passes.fetch_add(1, Ordering::SeqCst);
+        // pace: sleep in small slices so stop stays responsive
+        let mut left = interval;
+        while !left.is_zero() && !shared.stopping() {
+            let slice = left.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
     }
 }

@@ -212,6 +212,92 @@ fn version_negotiation_is_in_protocol_and_picks_the_newest_common() {
 }
 
 #[test]
+fn background_compaction_respects_standby_pin_and_causes_no_bootstrap_gaps() {
+    // A declared primary with the background log-maintenance thread
+    // running aggressively: rotation seals chunks and compaction wants
+    // to rewrite them, but the replication truncation pin — seeded at
+    // startup, raised only by standby acks — must stall both, so a
+    // standby that attaches late never finds a gap (and the compactor
+    // is never the cause of a `repl.bootstrap_gaps` refusal).
+    let dir = std::env::temp_dir().join(format!("mmdb-repl-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+    cfg.log_chunk_bytes = 4096; // many cold chunks under the workload
+    let db = ShardedMmdb::open_dir(cfg, &dir, 1).unwrap().0;
+    let primary = Server::spawn_sharded(
+        db,
+        ServerConfig {
+            poll_interval: Duration::from_millis(10),
+            checkpoint_interval: Some(Duration::from_millis(5)),
+            compact_interval: Some(Duration::from_millis(5)),
+            repl: ReplOptions {
+                primary: true,
+                ..ReplOptions::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let primary_addr = primary.local_addr().to_string();
+
+    // Overwrite a tiny hot set so nearly every frame is superseded —
+    // maximal temptation for the compactor — across many chunk seals.
+    let mut c = Client::connect(&primary_addr).unwrap();
+    let words = c.info().unwrap().record_words as usize;
+    for i in 0..120u64 {
+        c.retry_transient(200, |c| c.put(RecordId(i % 4), &vec![i as u32 + 1; words]))
+            .unwrap();
+    }
+    // let checkpoints and maintenance passes race the pin for a while
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while primary.compaction_passes() < 3 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        primary.compaction_passes() >= 3,
+        "maintenance thread never ran"
+    );
+
+    // now the standby attaches — every log byte from the pin onward
+    // must still be there, byte-exact
+    let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+    let standby_db = ShardedMmdb::open_in_memory(cfg, 1).unwrap();
+    let standby = Server::spawn_sharded(
+        standby_db,
+        ServerConfig {
+            poll_interval: Duration::from_millis(10),
+            checkpoint_interval: Some(Duration::from_millis(5)),
+            repl: ReplOptions {
+                replica_of: Some(primary_addr.clone()),
+                ..ReplOptions::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let standby_addr = standby.local_addr().to_string();
+
+    // more writes (and maintenance passes) while the standby pulls
+    for i in 0..60u64 {
+        c.retry_transient(200, |c| {
+            c.put(RecordId(i % 4), &vec![0xA000 + i as u32; words])
+        })
+        .unwrap();
+    }
+    wait_converged(&primary_addr, &standby_addr);
+
+    let standby_db = standby.shutdown_join();
+    let snap = standby_db.metrics_snapshot();
+    assert_eq!(
+        snap.counter("repl.bootstrap_gaps").unwrap_or(0),
+        0,
+        "standby hit a bootstrap gap — compaction or truncation cut pinned bytes"
+    );
+    primary.shutdown_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn semi_sync_commits_complete_with_standby_attached() {
     let primary = spawn_primary(true);
     let standby = spawn_standby(&primary);

@@ -58,8 +58,8 @@
 
 use mmdb_audit::{Audit, AuditEvent, AuditViolation};
 use mmdb_core::{
-    CheckpointStart, CkptReport, CommitDurability, DurableWatermark, LogMode, Mmdb, MmdbConfig,
-    RecoveryReport, ShipTap, StepOutcome, TxnRun, DEFAULT_TAP_WINDOW_BYTES,
+    CheckpointStart, CkptReport, CommitDurability, CompactReport, DurableWatermark, LogMode, Mmdb,
+    MmdbConfig, RecoveryReport, ShipTap, StepOutcome, TxnRun, DEFAULT_TAP_WINDOW_BYTES,
 };
 use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
 use mmdb_sync::{leak_name, LockRank, RankedCondvar, RankedGuard, RankedMutex};
@@ -1207,6 +1207,30 @@ impl ShardedMmdb {
         let mut reports = Vec::with_capacity(self.shards());
         for i in 0..self.shards() {
             reports.push(self.lock(i).checkpoint()?);
+        }
+        Ok(reports)
+    }
+
+    /// Seals every shard's active log chunk (see
+    /// [`Mmdb::rotate_log`]); returns how many shards actually rotated.
+    pub fn rotate_logs(&self) -> Result<usize> {
+        let mut rotated = 0;
+        for i in 0..self.shards() {
+            if self.lock(i).rotate_log()? {
+                rotated += 1;
+            }
+        }
+        Ok(rotated)
+    }
+
+    /// Runs one log-compaction pass on every shard, in index order (see
+    /// [`Mmdb::compact_log`]); returns the per-shard reports. Each
+    /// shard's pass holds only that shard's lock, so compaction on shard
+    /// *i* never blocks transactions on shard *j*.
+    pub fn compact_logs(&self) -> Result<Vec<CompactReport>> {
+        let mut reports = Vec::with_capacity(self.shards());
+        for i in 0..self.shards() {
+            reports.push(self.lock(i).compact_log()?);
         }
         Ok(reports)
     }

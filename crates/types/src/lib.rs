@@ -20,6 +20,7 @@ pub mod cost;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod lz;
 pub mod params;
 
 pub use cost::{CostBreakdown, CostCategory, CostMeter, SharedCostMeter};

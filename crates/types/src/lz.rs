@@ -1,0 +1,336 @@
+//! A dependency-free LZ-style block codec.
+//!
+//! Cold log chunks and backup segment images are bulk, sequential, and
+//! full of repetition (zero-filled filler frames, records sharing a fill
+//! pattern), so even a simple byte-oriented LZ with a hash-chain matcher
+//! reclaims most of the easy redundancy. The codec is deliberately small
+//! and self-contained — the workspace vendors no compression crates — and
+//! favors decode speed and implementation transparency over ratio.
+//!
+//! ## Token stream
+//!
+//! The compressed stream is a sequence of tokens:
+//!
+//! ```text
+//! literal run:  0x00..=0x7F  -> (token + 1) literal bytes follow (1..=128)
+//! match:        0x80..=0xFF  -> length = (token & 0x7F) + MIN_MATCH,
+//!                               then u16 LE distance (1..=65535)
+//! ```
+//!
+//! Matches copy `length` bytes from `distance` bytes back in the output —
+//! overlapping copies are legal (distance 1 = run-length encoding).
+//!
+//! ## Framing
+//!
+//! [`encode_block`] / [`decode_block`] wrap the raw token stream in a
+//! self-describing frame carrying a codec id, both lengths, and an FNV-1a
+//! checksum of the *uncompressed* payload, so mixed compressed and
+//! uncompressed data recover cleanly and corruption is detected before
+//! the bytes are trusted. When compression does not pay, the frame stores
+//! the payload verbatim under [`CODEC_RAW`].
+
+use crate::error::{MmdbError, Result};
+use crate::hash::Fnv1a;
+
+/// Codec id: payload stored verbatim.
+pub const CODEC_RAW: u8 = 0;
+/// Codec id: payload compressed with [`compress`].
+pub const CODEC_LZ: u8 = 1;
+
+/// Frame header: codec (1) + uncompressed len (4) + stored len (4) +
+/// checksum of the uncompressed payload (8).
+pub const BLOCK_HEADER: usize = 1 + 4 + 4 + 8;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+const MAX_DISTANCE: usize = 65_535;
+const HASH_BITS: u32 = 15;
+const CHAIN_TRIES: usize = 16;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into the raw token stream. The output has no
+/// framing; pair with [`decompress`] (which needs the uncompressed
+/// length) or use [`encode_block`] for a self-describing frame.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut at = from;
+        while at < to {
+            let run = (to - at).min(128);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[at..at + run]);
+            at += run;
+        }
+    };
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let mut cand = head[h];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        let mut tries = CHAIN_TRIES;
+        while cand != usize::MAX && tries > 0 {
+            let dist = pos - cand;
+            if dist > MAX_DISTANCE {
+                break;
+            }
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            let mut len = 0usize;
+            while len < limit && input[cand + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = dist;
+                if len == MAX_MATCH {
+                    break;
+                }
+            }
+            cand = prev[cand];
+            tries -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, lit_start, pos);
+            out.push(0x80 | (best_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            // index every position inside the match so later matches can
+            // start mid-copy
+            let end = pos + best_len;
+            while pos < end && pos + MIN_MATCH <= input.len() {
+                let h = hash4(&input[pos..]);
+                prev[pos] = head[h];
+                head[h] = pos;
+                pos += 1;
+            }
+            pos = end;
+            lit_start = pos;
+        } else {
+            prev[pos] = head[h];
+            head[h] = pos;
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, input.len());
+    out
+}
+
+/// Decompresses a raw token stream produced by [`compress`] into exactly
+/// `out_len` bytes. Fails (without panicking) on malformed streams.
+pub fn decompress(input: &[u8], out_len: usize) -> Result<Vec<u8>> {
+    let corrupt = |msg: &str| MmdbError::Corrupt(format!("lz block: {msg}"));
+    let mut out = Vec::with_capacity(out_len);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        if token < 0x80 {
+            let run = token as usize + 1;
+            if pos + run > input.len() {
+                return Err(corrupt("literal run past end of stream"));
+            }
+            out.extend_from_slice(&input[pos..pos + run]);
+            pos += run;
+        } else {
+            let len = (token & 0x7F) as usize + MIN_MATCH;
+            if pos + 2 > input.len() {
+                return Err(corrupt("match token without distance"));
+            }
+            let dist = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+            pos += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(corrupt("match distance outside window"));
+            }
+            let from = out.len() - dist;
+            for i in 0..len {
+                let b = out[from + i];
+                out.push(b);
+            }
+        }
+        if out.len() > out_len {
+            return Err(corrupt("output longer than declared length"));
+        }
+    }
+    if out.len() != out_len {
+        return Err(corrupt("output shorter than declared length"));
+    }
+    Ok(out)
+}
+
+/// Encodes `payload` as a self-describing block: compressed when that is
+/// smaller, stored verbatim otherwise. The frame carries the codec id,
+/// both lengths, and an FNV-1a checksum of the uncompressed payload.
+pub fn encode_block(payload: &[u8]) -> Vec<u8> {
+    let mut h = Fnv1a::new();
+    h.update(payload);
+    let sum = h.finish();
+    let comp = compress(payload);
+    let (codec, stored) = if comp.len() < payload.len() {
+        (CODEC_LZ, comp.as_slice())
+    } else {
+        (CODEC_RAW, payload)
+    };
+    let mut out = Vec::with_capacity(BLOCK_HEADER + stored.len());
+    out.push(codec);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+    out.extend_from_slice(&sum.to_le_bytes());
+    out.extend_from_slice(stored);
+    out
+}
+
+/// Decodes a block produced by [`encode_block`], verifying the checksum.
+/// Returns the uncompressed payload.
+pub fn decode_block(bytes: &[u8]) -> Result<Vec<u8>> {
+    let corrupt = |msg: &str| MmdbError::Corrupt(format!("lz block: {msg}"));
+    if bytes.len() < BLOCK_HEADER {
+        return Err(corrupt("truncated block header"));
+    }
+    let codec = bytes[0];
+    let raw_len = u32::from_le_bytes(bytes[1..5].try_into().expect("4-byte slice")) as usize;
+    let stored_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4-byte slice")) as usize;
+    let sum = u64::from_le_bytes(bytes[9..17].try_into().expect("8-byte slice"));
+    if bytes.len() < BLOCK_HEADER + stored_len {
+        return Err(corrupt("truncated block payload"));
+    }
+    let stored = &bytes[BLOCK_HEADER..BLOCK_HEADER + stored_len];
+    let payload = match codec {
+        CODEC_RAW => {
+            if stored_len != raw_len {
+                return Err(corrupt("raw block length mismatch"));
+            }
+            stored.to_vec()
+        }
+        CODEC_LZ => decompress(stored, raw_len)?,
+        c => return Err(corrupt(&format!("unknown codec id {c}"))),
+    };
+    let mut h = Fnv1a::new();
+    h.update(&payload);
+    if h.finish() != sum {
+        return Err(corrupt("payload checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Total on-disk length of the block starting at `bytes` (header +
+/// stored payload), without decoding it.
+pub fn block_len(bytes: &[u8]) -> Result<usize> {
+    if bytes.len() < BLOCK_HEADER {
+        return Err(MmdbError::Corrupt("lz block: truncated header".into()));
+    }
+    let stored_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4-byte slice")) as usize;
+    Ok(BLOCK_HEADER + stored_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let comp = compress(data);
+        let back = decompress(&comp, data.len()).unwrap();
+        assert_eq!(back, data);
+        let block = decode_block(&encode_block(data)).unwrap();
+        assert_eq!(block, data);
+    }
+
+    #[test]
+    fn roundtrip_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello world hello world hello world");
+        roundtrip(&vec![0u8; 100_000]);
+        roundtrip(&(0..255u8).cycle().take(10_000).collect::<Vec<_>>());
+        // pseudo-random bytes: incompressible, must still roundtrip
+        let mut x = 0x12345678u32;
+        let noise: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&noise);
+    }
+
+    #[test]
+    fn zeros_compress_hard() {
+        let data = vec![0u8; 1 << 20];
+        let comp = compress(&data);
+        // a 3-byte match token covers at most MAX_MATCH bytes, so the
+        // floor is ~3/MAX_MATCH ≈ 2.3%; assert we land near it
+        assert!(
+            comp.len() < data.len() / 32,
+            "1 MiB of zeros -> {} bytes",
+            comp.len()
+        );
+    }
+
+    #[test]
+    fn repetitive_words_compress() {
+        let mut data = Vec::new();
+        for i in 0..4096u32 {
+            data.extend_from_slice(&(i % 7).to_le_bytes());
+        }
+        let comp = compress(&data);
+        assert!(comp.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn incompressible_block_stores_raw() {
+        let mut x = 0x9E3779B9u32;
+        let noise: Vec<u8> = (0..2048)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let block = encode_block(&noise);
+        assert_eq!(block[0], CODEC_RAW);
+        assert_eq!(block.len(), BLOCK_HEADER + noise.len());
+        assert_eq!(block_len(&block).unwrap(), block.len());
+        assert_eq!(decode_block(&block).unwrap(), noise);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let data = vec![7u8; 4096];
+        let mut block = encode_block(&data);
+        assert_eq!(block[0], CODEC_LZ);
+        let last = block.len() - 1;
+        block[last] ^= 0xFF;
+        assert!(decode_block(&block).is_err());
+        // header corruption
+        let mut short = encode_block(&data);
+        short.truncate(10);
+        assert!(decode_block(&short).is_err());
+        // unknown codec
+        let mut bad = encode_block(&data);
+        bad[0] = 9;
+        assert!(decode_block(&bad).is_err());
+    }
+
+    #[test]
+    fn malformed_streams_fail_cleanly() {
+        // literal run past end
+        assert!(decompress(&[0x7F, 1, 2], 128).is_err());
+        // match with zero distance
+        assert!(decompress(&[0x00, 1, 0x80, 0, 0], 10).is_err());
+        // match before any output
+        assert!(decompress(&[0x80, 1, 0], 4).is_err());
+        // declared length mismatch
+        assert!(decompress(&[0x00, 1], 5).is_err());
+    }
+}

@@ -123,3 +123,9 @@ pub mod server {
 pub mod repl {
     pub use mmdb_repl::*;
 }
+
+/// Recovery at scale: parallel partitioned replay, log compaction with
+/// compressed cold storage, and the recovery benchmark report.
+pub mod rescale {
+    pub use mmdb_rescale::*;
+}

@@ -1,0 +1,120 @@
+//! The checked-in `BENCH_recovery.json` must pass the recovery-bench
+//! validator (schema tag and full key set) and stay inside the
+//! headline bounds the subsystem promises: parallel replay at 4
+//! workers at least 1.8x faster than serial on the largest point,
+//! compression actually shrinking the cold footprint, and the bounded
+//! replay window keeping recovery flat while total log written grows
+//! an order of magnitude. Values are wall-clock, so CI validates shape
+//! and bounds, not bytes.
+
+#![allow(clippy::unwrap_used)]
+
+use mmdb::obs::json::{parse, Value};
+use mmdb::rescale::validate_bench_recovery_json;
+
+const CHECKED_IN: &str = include_str!("../BENCH_recovery.json");
+
+#[test]
+fn checked_in_bench_recovery_json_passes_the_validator() {
+    validate_bench_recovery_json(CHECKED_IN).expect("BENCH_recovery.json must validate");
+}
+
+fn speedup_at(point: &Value, workers: u64) -> f64 {
+    point
+        .get("parallel")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .find(|p| p.get("workers").and_then(Value::as_u64) == Some(workers))
+        .unwrap_or_else(|| panic!("no parallel entry at {workers} workers"))
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .unwrap()
+}
+
+#[test]
+fn parallel_replay_clears_the_headline_speedup_gate() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    let points = v.get("points").and_then(Value::as_arr).unwrap();
+    let large = points
+        .iter()
+        .find(|p| p.get("label").and_then(Value::as_str) == Some("large"))
+        .expect("a point labeled \"large\"");
+
+    // one lane through the parallel entry point is the serial oracle —
+    // it must not be meaningfully slower than the serial path itself
+    let at1 = speedup_at(large, 1);
+    assert!(
+        (0.5..=2.0).contains(&at1),
+        "1-worker speedup {at1} is not ~1 — the measurement is broken"
+    );
+
+    // the headline gate: partitioned replay at 4 workers recovers the
+    // large point at least 1.8x faster than the serial oracle
+    let at4 = speedup_at(large, 4);
+    assert!(
+        at4 >= 1.8,
+        "4-worker parallel recovery is only {at4:.2}x serial on the large point \
+         (gate: >= 1.8x)"
+    );
+}
+
+#[test]
+fn compression_shrinks_the_cold_footprint() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    for p in v.get("points").and_then(Value::as_arr).unwrap() {
+        let label = p.get("label").and_then(Value::as_str).unwrap();
+        let ratio = p
+            .get("compressed_disk_ratio")
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert!(
+            ratio < 1.0,
+            "{label}: compressed twin occupies {ratio:.2}x the raw disk — compression \
+             bought nothing"
+        );
+    }
+}
+
+#[test]
+fn replay_window_stays_bounded_as_the_log_grows() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    let window = v.get("bounded_window").and_then(Value::as_arr).unwrap();
+    let first = &window[0];
+    let last = window.last().unwrap();
+
+    let growth = last.get("growth").and_then(Value::as_u64).unwrap() as f64
+        / first.get("growth").and_then(Value::as_u64).unwrap().max(1) as f64;
+    assert!(
+        growth >= 10.0,
+        "the demo needs a 10x work spread, got {growth}x"
+    );
+
+    // total log written scales with the work...
+    let total_first = first
+        .get("total_log_bytes")
+        .and_then(Value::as_u64)
+        .unwrap();
+    let total_last = last.get("total_log_bytes").and_then(Value::as_u64).unwrap();
+    assert!(
+        total_last as f64 >= 5.0 * total_first as f64,
+        "10x the work wrote only {total_last} vs {total_first} log bytes — the run \
+         did not actually grow"
+    );
+
+    // ...while the replay window, and with it recovery time, stays flat
+    let window_first = first.get("window_bytes").and_then(Value::as_u64).unwrap();
+    let window_last = last.get("window_bytes").and_then(Value::as_u64).unwrap();
+    assert!(
+        window_last as f64 <= 4.0 * window_first as f64,
+        "replay window grew {window_first} -> {window_last} bytes — checkpoints are \
+         not truncating"
+    );
+    let rec_first = first.get("recovery_s").and_then(Value::as_f64).unwrap();
+    let rec_last = last.get("recovery_s").and_then(Value::as_f64).unwrap();
+    assert!(
+        rec_last <= 3.0 * rec_first.max(0.005),
+        "recovery time grew {rec_first:.3}s -> {rec_last:.3}s across a 10x run — \
+         the replay window is not bounded"
+    );
+}
