@@ -27,6 +27,7 @@
 //!                          [--zipf THETA] [--rate TPS] [--addr A] [--out FILE]
 //!                          [--shards N] [--cross F] [--sweep]
 //!                          [--log-latency-us U] [--group-compare]
+//!                          [--intra-sweep] [--duration-ms D] [--write-every K]
 //! mmdb-cli <dir> bench-repl [--writers N] [--txns N] [--shards N] [--out FILE]
 //! mmdb-cli <dir> bench-recovery [--updates K] [--seed S] [--out FILE]
 //! ```
@@ -46,7 +47,10 @@
 //! `bench-net --group-compare` benchmarks group commit against
 //! per-commit forcing on fresh single-shard topologies with a real
 //! (fsynced, unmodeled) log device and emits schema-validated
-//! `BENCH_group.json`.
+//! `BENCH_group.json`; `bench-net --intra-sweep` benchmarks the
+//! within-shard concurrency design (lock-free seqlock reads vs the
+//! forced-locked baseline, 1→8 worker threads against one shard,
+//! in-process) and emits schema-validated `BENCH_intra.json`.
 //!
 //! Replication: `serve --replica-of ADDR` runs the directory as a
 //! read-only hot standby of the primary at `ADDR` (same `init` shape
@@ -69,8 +73,9 @@ use mmdb_lint::check_workspace;
 use mmdb_log::{LogDevice, LogScanner, SegmentedLogDevice};
 use mmdb_repl::{bench_repl_json, validate_bench_repl_json, ReplBenchReport};
 use mmdb_server::{
-    bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
-    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, ReplOptions,
+    bench_group_json, bench_intra_json, bench_net_json, bench_shard_json, run_intra_sweep,
+    run_load, validate_bench_group_json, validate_bench_intra_json, validate_bench_net_json,
+    validate_bench_shard_json, GroupCompareEntry, IntraSweepConfig, LoadConfig, ReplOptions,
     Server, ServerConfig, ShardSweepEntry, WorkloadKind,
 };
 use mmdb_shard::{shard_config, ShardedMmdb};
@@ -171,7 +176,7 @@ const COMMANDS: &[(&str, &str, Handler)] = &[
     ),
     (
         "bench-net",
-        "network benchmark, closed-loop or open-loop (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --rate TPS, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare)",
+        "network benchmark, closed-loop or open-loop (--connections N, --txns N, --updates K, --seed S, --zipf THETA, --rate TPS, --addr A, --out FILE, --shards N, --cross F, --sweep, --log-latency-us U, --group-compare, --intra-sweep)",
         cmd_bench_net,
     ),
     (
@@ -932,6 +937,9 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
     if rest.iter().any(|a| a == "--group-compare") {
         return run_group_compare(dir, rest);
     }
+    if rest.iter().any(|a| a == "--intra-sweep") {
+        return run_intra_sweep_cmd(rest);
+    }
     let connections: usize = flag_value(rest, "--connections")
         .map(|v| v.parse().map_err(|e| format!("--connections: {e}")))
         .transpose()?
@@ -1068,6 +1076,72 @@ fn cmd_bench_net(dir: &Path, rest: &[String]) -> Result<(), String> {
             "{} non-transient errors during load",
             report.errors
         ));
+    }
+    Ok(())
+}
+
+/// The within-shard concurrency benchmark behind `bench-net
+/// --intra-sweep`: one in-process single-shard database, `{read, mixed}
+/// × {lockfree, locked} × {1, 2, 4, 8}` worker threads, emitting one
+/// `BENCH_intra.json`-schema document. In-process (no network, no
+/// `<dir>`) because the thing under test is the engine's internal
+/// concurrency — seqlock point reads against the forced-locked
+/// baseline, and per-segment write latches on the mixed leg.
+fn run_intra_sweep_cmd(rest: &[String]) -> Result<(), String> {
+    let duration_ms: u64 = flag_value(rest, "--duration-ms")
+        .map(|v| v.parse().map_err(|e| format!("--duration-ms: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let write_every: u64 = flag_value(rest, "--write-every")
+        .map(|v| v.parse().map_err(|e| format!("--write-every: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let out: Option<PathBuf> = flag_value(rest, "--out").map(PathBuf::from);
+
+    let cfg = IntraSweepConfig {
+        duration: std::time::Duration::from_millis(duration_ms),
+        seed,
+        write_every,
+    };
+    let points = run_intra_sweep(&cfg)?;
+    for p in &points {
+        println!(
+            "intra-sweep: {:>5} {:>8} x{}: {:>9.0} ops/s ({} reads, {} commits, {} errors)",
+            p.leg, p.mode, p.threads, p.ops_per_s, p.reads, p.commits, p.errors
+        );
+    }
+    let json = bench_intra_json(&cfg, &points);
+    validate_bench_intra_json(&json).map_err(|e| format!("bench JSON failed validation: {e}"))?;
+    let headline = |leg: &str| {
+        let free = points
+            .iter()
+            .find(|p| p.leg == leg && p.mode == "lockfree" && p.threads == 4);
+        let locked = points
+            .iter()
+            .find(|p| p.leg == leg && p.mode == "locked" && p.threads == 4);
+        match (free, locked) {
+            (Some(f), Some(l)) if l.ops_per_s > 0.0 => f.ops_per_s / l.ops_per_s,
+            _ => 0.0,
+        }
+    };
+    println!(
+        "intra-sweep: lock-free over locked at 4 threads: read {:.2}x, mixed {:.2}x",
+        headline("read"),
+        headline("mixed")
+    );
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    } else {
+        print!("{json}");
+    }
+    let errors: u64 = points.iter().map(|p| p.errors).sum();
+    if errors > 0 {
+        return Err(format!("{errors} errors during the intra sweep"));
     }
     Ok(())
 }

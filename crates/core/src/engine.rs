@@ -9,12 +9,15 @@ use mmdb_disk::{summarize, AuditedBackup, BackupStore, FileBackup, MemBackup, Ob
 use mmdb_log::{LogManager, LogRecord, LogStats, MemLogDevice, SegmentedLogDevice};
 use mmdb_obs::{MetricsSnapshot, Obs, PaperOverhead, SpanRecord, Timer};
 use mmdb_recovery::RecoveryReport;
-use mmdb_storage::{Color, Storage};
+use mmdb_storage::{Color, PendingInstall, ReadMirror, Storage};
+use mmdb_sync::{LockRank, RankedMutex};
 use mmdb_txn::{SeenColor, TxnStats, TxnTable};
 use mmdb_types::{
-    CheckpointId, CostMeter, MmdbError, RecordId, Result, SegmentId, Timestamp, TxnId, Word,
+    CheckpointId, CostMeter, Lsn, MmdbError, RecordId, Result, SegmentId, Timestamp, TxnId, Word,
 };
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Outcome of [`Mmdb::try_begin_checkpoint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,12 +76,26 @@ pub struct TxnRun {
 pub struct Mmdb {
     config: MmdbConfig,
     storage: Storage,
-    log: LogManager,
+    /// The REDO log, behind an interior lock (rank `engine-log`) so
+    /// shared-mode committers can serialize at log append — the commit
+    /// pipeline's single serial point. Exclusive paths use
+    /// [`RankedMutex::get_mut`] (no locking cost).
+    log: RankedMutex<LogManager>,
     backup: Box<dyn BackupStore>,
-    txns: TxnTable,
+    /// The transaction table, behind an interior lock (rank
+    /// `engine-txns`) for the same reason as `log`.
+    txns: RankedMutex<TxnTable>,
     ckpt: Checkpointer,
     meters: Meters,
-    tau_counter: u64,
+    tau_counter: AtomicU64,
+    /// One write latch per segment (ranks `segment[j]`, below the engine
+    /// gate and above `engine-txns`/`engine-log`): shared-mode committers
+    /// latch their write set in ascending segment order so
+    /// disjoint-segment transactions run concurrently. Empty when the
+    /// database has more segments than the rank space allows — the
+    /// shared path then simply refuses and callers stay on the
+    /// exclusive path.
+    latches: Vec<RankedMutex<()>>,
     quiesce_pending: bool,
     crashed: bool,
     /// Replay floor of the in-progress checkpoint: the earliest LSN
@@ -99,9 +116,10 @@ pub struct Mmdb {
     /// two-phase commit): their update records are already durable, but
     /// installation waits for the coordinator's decision.
     prepared_installs: std::collections::HashMap<TxnId, Vec<PreparedInstall>>,
-    /// End-LSN of the most recent commit record (what group committers
-    /// wait on; see [`TxnRun::commit_lsn`]).
-    last_commit_lsn: mmdb_types::Lsn,
+    /// End-LSN of the most recent commit record, as a raw LSN advanced
+    /// with `fetch_max` (what group committers wait on; see
+    /// [`TxnRun::commit_lsn`]).
+    last_commit_lsn: AtomicU64,
     /// The shared protocol-audit handle (disabled unless
     /// [`MmdbConfig::audit`] is set).
     audit: Audit,
@@ -118,7 +136,7 @@ impl std::fmt::Debug for Mmdb {
         f.debug_struct("Mmdb")
             .field("algorithm", &self.config.algorithm)
             .field("crashed", &self.crashed)
-            .field("active_txns", &self.txns.active_count())
+            .field("active_txns", &self.txns.lock().active_count())
             .field("checkpoint_active", &self.ckpt.is_active())
             .finish()
     }
@@ -230,22 +248,31 @@ impl Mmdb {
         );
         ckpt.set_audit(audit.clone());
         ckpt.set_obs(obs.clone());
+        let n_segments = config.params.db.n_segments() as usize;
+        let latches = if n_segments <= LockRank::MAX_SEGMENT_INDEX + 1 {
+            (0..n_segments)
+                .map(|i| RankedMutex::new("segment", LockRank::segment(i), ()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Mmdb {
             config,
             storage,
-            log,
+            log: RankedMutex::new("engine-log", LockRank::ENGINE_LOG, log),
             backup,
-            txns: TxnTable::new(),
+            txns: RankedMutex::new("engine-txns", LockRank::ENGINE_TXNS, TxnTable::new()),
             ckpt,
             meters,
-            tau_counter: 0,
+            tau_counter: AtomicU64::new(0),
+            latches,
             quiesce_pending: false,
             crashed: false,
             pending_floor: None,
             replay_floor: [None, None],
             repl_truncate_pin: None,
             prepared_installs: std::collections::HashMap::new(),
-            last_commit_lsn: mmdb_types::Lsn::ZERO,
+            last_commit_lsn: AtomicU64::new(0),
             audit,
             obs,
             quiesce_timer: Timer::default(),
@@ -277,7 +304,7 @@ impl Mmdb {
 
     /// Transaction statistics (commits, aborts, restart rate).
     pub fn txn_stats(&self) -> TxnStats {
-        self.txns.stats()
+        self.txns.lock().stats()
     }
 
     /// Checkpointer statistics.
@@ -287,7 +314,7 @@ impl Mmdb {
 
     /// Log statistics.
     pub fn log_stats(&self) -> LogStats {
-        self.log.stats()
+        self.log.lock().stats()
     }
 
     /// Report of the most recently completed checkpoint.
@@ -298,7 +325,7 @@ impl Mmdb {
     /// The paper's overhead accounting, from the engine's meters.
     pub fn overhead_report(&self) -> OverheadReport {
         OverheadReport {
-            committed: self.txns.stats().committed,
+            committed: self.txns.lock().stats().committed,
             sync_ckpt: self.meters.sync_ckpt.snapshot(),
             async_ckpt: self.meters.async_ckpt.snapshot(),
             logging: self.meters.logging.snapshot(),
@@ -482,9 +509,8 @@ impl Mmdb {
         Ok(())
     }
 
-    fn next_tau(&mut self) -> Timestamp {
-        self.tau_counter += 1;
-        Timestamp(self.tau_counter)
+    fn next_tau(&self) -> Timestamp {
+        Timestamp(self.tau_counter.fetch_add(1, Ordering::SeqCst) + 1)
     }
 
     // ----- transactions ----------------------------------------------------
@@ -502,9 +528,16 @@ impl Mmdb {
         }
         let t = self.obs.timer();
         let tau = self.next_tau();
-        let id = self.txns.begin(tau, mmdb_types::Lsn::ZERO, run);
-        let lsn = self.log.append(&LogRecord::TxnBegin { txn: id, tau });
-        self.txns.get_mut(id).expect("just created").begin_lsn = lsn;
+        let id = self.txns.get_mut().begin(tau, mmdb_types::Lsn::ZERO, run);
+        let lsn = self
+            .log
+            .get_mut()
+            .append(&LogRecord::TxnBegin { txn: id, tau });
+        self.txns
+            .get_mut()
+            .get_mut(id)
+            .expect("just created")
+            .begin_lsn = lsn;
         self.obs
             .span_end("txn.begin", "txn.begin_ns", t, || format!("{id} run {run}"));
         Ok(id)
@@ -517,7 +550,7 @@ impl Mmdb {
         let sid = self.storage.segment_of(rid)?;
         self.check_color(txn, sid)?;
         // read-your-writes: latest staged value wins
-        let t = self.txns.get(txn)?;
+        let t = self.txns.get_mut().get(txn)?;
         if let Some(w) = t.writes.iter().rev().find(|w| w.record == rid) {
             return Ok(w.value.clone());
         }
@@ -536,7 +569,9 @@ impl Mmdb {
         }
         let sid = self.storage.segment_of(rid)?;
         self.check_color(txn, sid)?;
-        self.txns.stage_write(txn, rid, sid, value.to_vec())
+        self.txns
+            .get_mut()
+            .stage_write(txn, rid, sid, value.to_vec())
     }
 
     /// Observes the segment's color for the transaction if a two-color
@@ -545,14 +580,14 @@ impl Mmdb {
     fn check_color(&mut self, txn: TxnId, sid: SegmentId) -> Result<()> {
         if !self.ckpt.two_color_active() {
             // still validate the txn exists
-            self.txns.get(txn)?;
+            self.txns.get_mut().get(txn)?;
             return Ok(());
         }
         let color = match self.storage.color(sid)? {
             Color::White => SeenColor::White,
             Color::Black => SeenColor::Black,
         };
-        let t = self.txns.get_mut(txn)?;
+        let t = self.txns.get_mut().get_mut(txn)?;
         if let Err(e) = t.observe_color(color, sid) {
             self.abort_two_color(txn)?;
             return Err(e);
@@ -566,7 +601,7 @@ impl Mmdb {
     /// the primary database (running the COU hook first).
     pub fn commit(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
-        if self.txns.get(txn)?.prepared.is_some() {
+        if self.txns.get_mut().get(txn)?.prepared.is_some() {
             return Err(MmdbError::Invalid(format!(
                 "{txn} is prepared; finish it with commit_prepared/abort_prepared"
             )));
@@ -580,6 +615,7 @@ impl Mmdb {
         if self.ckpt.two_color_active() {
             let segs: Vec<SegmentId> = self
                 .txns
+                .get_mut()
                 .get(txn)?
                 .writes
                 .iter()
@@ -596,7 +632,7 @@ impl Mmdb {
             .needs_lsn_gating(self.config.params.log_mode);
 
         // REDO records for every staged write, then the commit record.
-        let t = self.txns.get(txn)?;
+        let t = self.txns.get_mut().get(txn)?;
         let mut installs = Vec::with_capacity(t.writes.len());
         let writes: Vec<_> = t
             .writes
@@ -609,21 +645,24 @@ impl Mmdb {
                 record,
                 value: value.clone(),
             };
-            let lsn = self.log.append(&rec);
+            let lsn = self.log.get_mut().append(&rec);
             installs.push((record, segment, value, rec.end_lsn(lsn)));
         }
         let commit_rec = LogRecord::Commit { txn };
         let commit_start = match self.config.commit_durability {
-            CommitDurability::Force => self.log.append_forced(&commit_rec)?,
+            CommitDurability::Force => self.log.get_mut().append_forced(&commit_rec)?,
             // Group: append only — the caller releases the engine lock and
             // waits on the durable-LSN watermark for a batched force to
             // cover `last_commit_lsn` before acking (Lazy never waits).
-            CommitDurability::Lazy | CommitDurability::Group => self.log.append(&commit_rec),
+            CommitDurability::Lazy | CommitDurability::Group => {
+                self.log.get_mut().append(&commit_rec)
+            }
         };
-        self.last_commit_lsn = commit_rec.end_lsn(commit_start);
+        self.last_commit_lsn
+            .fetch_max(commit_rec.end_lsn(commit_start).raw(), Ordering::SeqCst);
 
         // Install (the shadow-copy "overwrite old with new", §2.6).
-        let tau = self.txns.get(txn)?.tau;
+        let tau = self.txns.get_mut().get(txn)?.tau;
         let installs_len = installs.len();
         for (record, segment, value, end_lsn) in installs {
             if self.audit.is_enabled() && self.ckpt.two_color_active() {
@@ -648,7 +687,7 @@ impl Mmdb {
             }
         }
 
-        self.txns.finish_commit(txn)?;
+        self.txns.get_mut().finish_commit(txn)?;
         self.meters.base.txn_body(self.config.params.txn.c_trans);
         self.obs
             .span_end("txn.commit", "txn.commit_ns", commit_timer, || {
@@ -662,13 +701,13 @@ impl Mmdb {
     /// dropped; an abort record keeps the log scanner's picture clean).
     pub fn abort(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
-        if self.txns.get(txn)?.prepared.is_some() {
+        if self.txns.get_mut().get(txn)?.prepared.is_some() {
             return Err(MmdbError::Invalid(format!(
                 "{txn} is prepared; only the coordinator's decision may abort it"
             )));
         }
-        self.log.append(&LogRecord::Abort { txn });
-        self.txns.finish_abort(txn, false)?;
+        self.log.get_mut().append(&LogRecord::Abort { txn });
+        self.txns.get_mut().finish_abort(txn, false)?;
         self.maybe_begin_pending_checkpoint()?;
         Ok(())
     }
@@ -679,8 +718,8 @@ impl Mmdb {
     /// two-color restriction").
     fn abort_two_color(&mut self, txn: TxnId) -> Result<()> {
         let t = self.obs.timer();
-        self.log.append(&LogRecord::Abort { txn });
-        self.txns.finish_abort(txn, true)?;
+        self.log.get_mut().append(&LogRecord::Abort { txn });
+        self.txns.get_mut().finish_abort(txn, true)?;
         self.meters
             .sync_ckpt
             .txn_body(self.config.params.txn.c_trans);
@@ -696,7 +735,7 @@ impl Mmdb {
     /// one checkpoint step is performed so the conflicting checkpoint
     /// makes progress (in a live system the checkpointer runs
     /// concurrently; the rerun would find the colors advanced).
-    pub fn run_txn(&mut self, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnRun> {
+    pub fn run_txn<V: AsRef<[Word]>>(&mut self, updates: &[(RecordId, V)]) -> Result<TxnRun> {
         let max_runs = 10 * self.n_segments().max(10) as u32;
         let mut runs = 0;
         loop {
@@ -712,7 +751,7 @@ impl Mmdb {
                     return Ok(TxnRun {
                         txn,
                         runs,
-                        commit_lsn: self.last_commit_lsn,
+                        commit_lsn: self.last_commit_lsn(),
                     });
                 }
                 Err(MmdbError::TwoColorViolation { .. }) => {
@@ -720,7 +759,7 @@ impl Mmdb {
                     if self.ckpt.is_active() {
                         match self.checkpoint_step()? {
                             StepOutcome::WaitingForLog => {
-                                self.log.force()?;
+                                self.log.get_mut().force()?;
                             }
                             StepOutcome::Progress { .. } | StepOutcome::Done { .. } => {}
                         }
@@ -732,10 +771,14 @@ impl Mmdb {
         }
     }
 
-    fn try_run_once(&mut self, run: u32, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnId> {
+    fn try_run_once<V: AsRef<[Word]>>(
+        &mut self,
+        run: u32,
+        updates: &[(RecordId, V)],
+    ) -> Result<TxnId> {
         let txn = self.begin_txn_run(run)?;
         for (rid, value) in updates {
-            self.write(txn, *rid, value)?;
+            self.write(txn, *rid, value.as_ref())?;
         }
         self.commit(txn)?;
         Ok(txn)
@@ -761,7 +804,7 @@ impl Mmdb {
     /// [`Mmdb::abort_prepared`].
     pub fn prepare_txn(&mut self, txn: TxnId, gid: u64) -> Result<()> {
         self.ensure_alive()?;
-        if self.txns.get(txn)?.prepared.is_some() {
+        if self.txns.get_mut().get(txn)?.prepared.is_some() {
             return Err(MmdbError::Invalid(format!("{txn} is already prepared")));
         }
         // Same commit-time color revalidation as `commit`: installs are
@@ -769,6 +812,7 @@ impl Mmdb {
         if self.ckpt.two_color_active() {
             let segs: Vec<SegmentId> = self
                 .txns
+                .get_mut()
                 .get(txn)?
                 .writes
                 .iter()
@@ -779,7 +823,7 @@ impl Mmdb {
             }
         }
 
-        let t = self.txns.get(txn)?;
+        let t = self.txns.get_mut().get(txn)?;
         let writes: Vec<_> = t
             .writes
             .iter()
@@ -792,12 +836,14 @@ impl Mmdb {
                 record,
                 value: value.clone(),
             };
-            let lsn = self.log.append(&rec);
+            let lsn = self.log.get_mut().append(&rec);
             installs.push((record, segment, value, rec.end_lsn(lsn)));
         }
-        self.log.append_forced(&LogRecord::Prepare { txn, gid })?;
+        self.log
+            .get_mut()
+            .append_forced(&LogRecord::Prepare { txn, gid })?;
         self.prepared_installs.insert(txn, installs);
-        self.txns.get_mut(txn)?.prepared = Some(gid);
+        self.txns.get_mut().get_mut(txn)?.prepared = Some(gid);
         self.obs.counter("txn.prepared", 1);
         Ok(())
     }
@@ -806,7 +852,9 @@ impl Mmdb {
     /// `gid` (forced — this is the cross-shard commit point).
     pub fn log_decision(&mut self, gid: u64, commit: bool) -> Result<()> {
         self.ensure_alive()?;
-        self.log.append_forced(&LogRecord::Decide { gid, commit })?;
+        self.log
+            .get_mut()
+            .append_forced(&LogRecord::Decide { gid, commit })?;
         self.obs.counter("txn.decisions_logged", 1);
         Ok(())
     }
@@ -818,7 +866,7 @@ impl Mmdb {
     /// orphan it.
     pub fn commit_prepared(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
-        if self.txns.get(txn)?.prepared.is_none() {
+        if self.txns.get_mut().get(txn)?.prepared.is_none() {
             return Err(MmdbError::Invalid(format!("{txn} is not prepared")));
         }
         let commit_timer = self.obs.timer();
@@ -827,9 +875,10 @@ impl Mmdb {
             .algorithm
             .needs_lsn_gating(self.config.params.log_mode);
         let commit_rec = LogRecord::Commit { txn };
-        let commit_start = self.log.append_forced(&commit_rec)?;
-        self.last_commit_lsn = commit_rec.end_lsn(commit_start);
-        let tau = self.txns.get(txn)?.tau;
+        let commit_start = self.log.get_mut().append_forced(&commit_rec)?;
+        self.last_commit_lsn
+            .fetch_max(commit_rec.end_lsn(commit_start).raw(), Ordering::SeqCst);
+        let tau = self.txns.get_mut().get(txn)?.tau;
         let installs = self.prepared_installs.remove(&txn).unwrap_or_default();
         let installs_len = installs.len();
         for (record, segment, value, end_lsn) in installs {
@@ -852,7 +901,7 @@ impl Mmdb {
                 self.meters.sync_ckpt.lsn_op();
             }
         }
-        self.txns.finish_commit(txn)?;
+        self.txns.get_mut().finish_commit(txn)?;
         self.meters.base.txn_body(self.config.params.txn.c_trans);
         self.obs
             .span_end("txn.commit", "txn.commit_ns", commit_timer, || {
@@ -869,12 +918,12 @@ impl Mmdb {
     /// resolution — presumed abort covers it if it does not).
     pub fn abort_prepared(&mut self, txn: TxnId) -> Result<()> {
         self.ensure_alive()?;
-        if self.txns.get(txn)?.prepared.is_none() {
+        if self.txns.get_mut().get(txn)?.prepared.is_none() {
             return Err(MmdbError::Invalid(format!("{txn} is not prepared")));
         }
-        self.log.append(&LogRecord::Abort { txn });
+        self.log.get_mut().append(&LogRecord::Abort { txn });
         self.prepared_installs.remove(&txn);
-        self.txns.finish_abort(txn, false)?;
+        self.txns.get_mut().finish_abort(txn, false)?;
         self.maybe_begin_pending_checkpoint()?;
         Ok(())
     }
@@ -889,7 +938,7 @@ impl Mmdb {
         if self.ckpt.is_active() {
             return Err(MmdbError::CheckpointInProgress);
         }
-        if self.config.algorithm.requires_quiesce() && !self.txns.is_quiescent() {
+        if self.config.algorithm.requires_quiesce() && !self.txns.get_mut().is_quiescent() {
             self.quiesce_pending = true;
             self.quiesce_timer = self.obs.timer();
             self.audit.emit(|| AuditEvent::QuiesceBegin);
@@ -899,7 +948,7 @@ impl Mmdb {
     }
 
     fn maybe_begin_pending_checkpoint(&mut self) -> Result<()> {
-        if self.quiesce_pending && self.txns.is_quiescent() && !self.ckpt.is_active() {
+        if self.quiesce_pending && self.txns.get_mut().is_quiescent() && !self.ckpt.is_active() {
             self.do_begin_checkpoint()?;
         }
         Ok(())
@@ -918,12 +967,12 @@ impl Mmdb {
         if self.config.algorithm.is_two_color() {
             // Color observations from before this checkpoint refer to
             // pre-checkpoint state; wipe them.
-            self.txns.reset_colors();
+            self.txns.get_mut().reset_colors();
         }
-        let active = self.txns.active_ids();
+        let active = self.txns.get_mut().active_ids();
         let report = self.ckpt.begin(
             &mut self.storage,
-            &mut self.log,
+            self.log.get_mut(),
             &mut *self.backup,
             &active,
             tau_ch,
@@ -933,7 +982,7 @@ impl Mmdb {
         // active at the marker (fuzzy/2C recovery, §3.3).
         let mut floor = report.begin_lsn;
         for id in &active {
-            if let Ok(t) = self.txns.get(*id) {
+            if let Ok(t) = self.txns.get_mut().get(*id) {
                 floor = floor.min(t.begin_lsn);
             }
         }
@@ -966,8 +1015,8 @@ impl Mmdb {
                     let pinned = mmdb_types::Lsn(pin.load(std::sync::atomic::Ordering::SeqCst));
                     cut = cut.min(pinned);
                 }
-                if cut > self.log.start_lsn() {
-                    self.log.truncate_prefix(cut)?;
+                if cut > self.log.get_mut().start_lsn() {
+                    self.log.get_mut().truncate_prefix(cut)?;
                 }
             }
         }
@@ -980,7 +1029,7 @@ impl Mmdb {
         self.ensure_alive()?;
         let outcome = self
             .ckpt
-            .step(&mut self.storage, &mut self.log, &mut *self.backup)?;
+            .step(&mut self.storage, self.log.get_mut(), &mut *self.backup)?;
         if matches!(outcome, StepOutcome::Done { .. }) {
             self.after_checkpoint_complete()?;
         }
@@ -998,9 +1047,11 @@ impl Mmdb {
                 return Err(MmdbError::Quiesced);
             }
         }
-        let report =
-            self.ckpt
-                .run_to_completion(&mut self.storage, &mut self.log, &mut *self.backup)?;
+        let report = self.ckpt.run_to_completion(
+            &mut self.storage,
+            self.log.get_mut(),
+            &mut *self.backup,
+        )?;
         self.after_checkpoint_complete()?;
         Ok(report)
     }
@@ -1013,8 +1064,18 @@ impl Mmdb {
     /// [`Mmdb::recover`] to come back.
     pub fn crash(&mut self) -> Result<()> {
         self.audit.emit(|| AuditEvent::Crash);
-        self.log.crash()?;
-        self.txns.crash();
+        // Take the read mirror out of service first: from here until
+        // recovery republishes, lock-free readers must fail over to the
+        // locked path (which reports the crash properly). Queued
+        // shared-mode installs are discarded — they are logged, and
+        // recovery replays them.
+        let mirror = self.storage.mirror();
+        if !mirror.gate_closed() {
+            mirror.gate_close();
+        }
+        mirror.take_pending();
+        self.log.get_mut().crash()?;
+        self.txns.get_mut().crash();
         self.prepared_installs.clear();
         self.ckpt.crash(&mut self.storage);
         self.quiesce_pending = false;
@@ -1035,7 +1096,17 @@ impl Mmdb {
     }
 
     fn recover_internal(&mut self) -> Result<RecoveryReport> {
+        // Keep the pre-crash mirror `Arc` alive across the storage swap,
+        // so lock-free readers holding a handle keep working after
+        // recovery. The gate stays closed (readers fail over to the
+        // locked path) until the rebuilt content is republished below.
+        // `open_dir` reaches here without a crash(); close the gate then.
+        let old_mirror = self.storage.mirror().clone();
+        if !old_mirror.gate_closed() {
+            old_mirror.gate_close();
+        }
         self.storage = Storage::new(self.config.params.db)?;
+        self.storage.adopt_mirror(old_mirror)?;
         let copies = if self.audit.is_enabled() {
             Some([
                 summarize(self.backup.copy_status(0)?),
@@ -1049,7 +1120,7 @@ impl Mmdb {
             mmdb_rescale::recover_parallel(
                 &mut self.storage,
                 &mut *self.backup,
-                self.log.device_mut(),
+                self.log.get_mut().device_mut(),
                 &self.config.params.disk,
                 &recovery_meter,
                 &self.obs,
@@ -1059,7 +1130,7 @@ impl Mmdb {
             mmdb_recovery::recover_observed(
                 &mut self.storage,
                 &mut *self.backup,
-                self.log.device_mut(),
+                self.log.get_mut().device_mut(),
                 &self.config.params.disk,
                 &recovery_meter,
                 &self.obs,
@@ -1074,7 +1145,7 @@ impl Mmdb {
         }
         // crash() already emptied the transaction table; keep it (and its
         // cumulative statistics — they are measurements, not state).
-        debug_assert!(self.txns.is_quiescent());
+        debug_assert!(self.txns.get_mut().is_quiescent());
         self.ckpt = Checkpointer::new(
             self.config.algorithm,
             self.config.params.ckpt_mode,
@@ -1086,7 +1157,7 @@ impl Mmdb {
         // The next checkpoint targets the copy recovery did NOT restore
         // from, so a crash mid-checkpoint still leaves a complete copy.
         self.ckpt.set_next_ckpt(CheckpointId(report.ckpt.raw() + 1));
-        self.tau_counter = 0;
+        self.tau_counter.store(0, Ordering::SeqCst);
         self.quiesce_pending = false;
         self.pending_floor = None;
         // only the restored copy's floor is known to be valid now; the
@@ -1095,6 +1166,12 @@ impl Mmdb {
         self.replay_floor = [None, None];
         self.replay_floor[report.copy & 1] = Some(report.replay_start);
         self.crashed = false;
+        // Recovery rebuilt the authoritative copy record by record; the
+        // mirror saw every install with the gate closed. Republish
+        // wholesale (belt and braces — e.g. restore may shrink content)
+        // and put the mirror back in service.
+        self.storage.republish_all();
+        self.storage.mirror().gate_open();
         Ok(report)
     }
 
@@ -1105,6 +1182,151 @@ impl Mmdb {
         Ok(self.storage.read_record(rid)?.to_vec())
     }
 
+    // ----- intra-shard concurrency (shared-mode paths) ---------------------
+
+    /// The storage's read mirror: a seqlock-protected copy of every
+    /// record, readable without any engine lock. Clone the `Arc` once
+    /// and keep it — the handle stays valid across crash and recovery
+    /// (the gate closes while the content is rebuilt, so stale reads
+    /// fail over to the locked path).
+    pub fn read_mirror(&self) -> Arc<ReadMirror> {
+        self.storage.mirror().clone()
+    }
+
+    /// Copies queued shared-mode installs back into the authoritative
+    /// segments (see [`mmdb_storage::Storage::sync_pending`]). The
+    /// sharded engine calls this on every exclusive acquisition, so the
+    /// checkpointer, recovery, 2PC and quiesce always see fully-synced
+    /// segment data and metadata. Returns the number of installs
+    /// applied.
+    pub fn sync_pending(&mut self) -> u64 {
+        self.storage.sync_pending()
+    }
+
+    /// Commits a whole single-shard transaction from **shared** engine
+    /// access: the caller holds only a read guard on the engine gate, so
+    /// disjoint-segment transactions on other threads commit
+    /// concurrently, serializing only at log append.
+    ///
+    /// Returns `Ok(None)` — caller falls back to the exclusive path —
+    /// whenever the protocol requires exclusivity: after a crash, while
+    /// a COU quiesce is pending, while any checkpoint is active (the
+    /// two-color and COU install hooks need `&mut`), when the database
+    /// has more segments than the latch rank space covers, or when the
+    /// updates are invalid (the exclusive path reports the precise
+    /// error). All of those fields only change under `&mut self`, which
+    /// the engine gate excludes while a shared committer is inside — so
+    /// the admission check cannot race.
+    ///
+    /// Protocol: latch the write set's segments in ascending id order
+    /// (descending lock rank — deadlock-free by construction), append
+    /// begin/updates/commit *contiguously* under the interior log lock
+    /// (the pipeline's single serial point: WAL order is decided here,
+    /// and the log reads exactly like a serial execution), install into
+    /// the read mirror plus the pending-sync queue while still latched,
+    /// then finish in the transaction table. Durability matches the
+    /// exclusive path: `Force` forces inside the append; `Group`/`Lazy`
+    /// return immediately and the caller signals the flusher / waits on
+    /// the durable watermark *after* releasing its engine read guard.
+    pub fn try_commit_shared<V: AsRef<[Word]>>(
+        &self,
+        updates: &[(RecordId, V)],
+    ) -> Result<Option<TxnRun>> {
+        if self.crashed || self.quiesce_pending || self.ckpt.is_active() {
+            return Ok(None);
+        }
+        if self.latches.len() != self.storage.n_segments() as usize {
+            return Ok(None);
+        }
+        // Validate everything up front: after the first log append the
+        // commit must run to completion.
+        let s_rec = self.record_words();
+        let mut latch_order = Vec::with_capacity(updates.len());
+        for (rid, value) in updates {
+            if value.as_ref().len() != s_rec {
+                return Ok(None);
+            }
+            match self.storage.segment_of(*rid) {
+                Ok(sid) => latch_order.push(sid.index()),
+                Err(_) => return Ok(None),
+            }
+        }
+        latch_order.sort_unstable();
+        latch_order.dedup();
+
+        let gating = self
+            .config
+            .algorithm
+            .needs_lsn_gating(self.config.params.log_mode);
+        let commit_timer = self.obs.timer();
+        let tau = self.next_tau();
+        let txn = self.txns.lock().begin(tau, Lsn::ZERO, 1);
+
+        let held: Vec<_> = latch_order
+            .iter()
+            .map(|&i| self.latches[i].lock())
+            .collect();
+
+        let (begin_lsn, commit_lsn, install_lsns) = {
+            let mut log = self.log.lock();
+            let begin_lsn = log.append(&LogRecord::TxnBegin { txn, tau });
+            let mut install_lsns = Vec::with_capacity(updates.len());
+            for (rid, value) in updates {
+                let rec = LogRecord::Update {
+                    txn,
+                    record: *rid,
+                    value: value.as_ref().to_vec(),
+                };
+                let lsn = log.append(&rec);
+                install_lsns.push(rec.end_lsn(lsn));
+            }
+            let commit_rec = LogRecord::Commit { txn };
+            let commit_start = match self.config.commit_durability {
+                CommitDurability::Force => log.append_forced(&commit_rec)?,
+                CommitDurability::Lazy | CommitDurability::Group => log.append(&commit_rec),
+            };
+            (begin_lsn, commit_rec.end_lsn(commit_start), install_lsns)
+        };
+        self.last_commit_lsn
+            .fetch_max(commit_lsn.raw(), Ordering::SeqCst);
+
+        // Install into the mirror while still latched (the latch is what
+        // serializes publishes per record); the authoritative segments
+        // catch up at the next exclusive acquisition via `sync_pending`.
+        let mirror = self.storage.mirror();
+        for ((rid, value), end_lsn) in updates.iter().zip(install_lsns) {
+            mirror.publish(*rid, value.as_ref());
+            mirror.note_pending(PendingInstall {
+                rid: *rid,
+                tau,
+                lsn: end_lsn,
+            });
+            self.meters.base.move_words(s_rec as u64);
+            if gating {
+                self.meters.sync_ckpt.lsn_op();
+            }
+        }
+        drop(held);
+
+        {
+            let mut txns = self.txns.lock();
+            if let Ok(t) = txns.get_mut(txn) {
+                t.begin_lsn = begin_lsn;
+            }
+            txns.finish_commit(txn)?;
+        }
+        self.meters.base.txn_body(self.config.params.txn.c_trans);
+        self.obs
+            .span_end("txn.commit", "txn.commit_ns", commit_timer, || {
+                format!("{txn}: {} writes (shared)", updates.len())
+            });
+        Ok(Some(TxnRun {
+            txn,
+            runs: 1,
+            commit_lsn,
+        }))
+    }
+
     /// Forces the log tail to the log disks — the group-commit daemon's
     /// hook. Under [`CommitDurability::Lazy`], committed transactions
     /// become durable at the next force. Publishes the durable-LSN
@@ -1112,7 +1334,7 @@ impl Mmdb {
     /// [`log_watermark`](Self::log_watermark) are released too.
     pub fn force_log(&mut self) -> Result<()> {
         self.ensure_alive()?;
-        self.log.force()
+        self.log.get_mut().force()
     }
 
     /// The group-commit force: flushes the tail but returns the pending
@@ -1122,14 +1344,14 @@ impl Mmdb {
     /// published, so no waiter strands).
     pub fn force_log_group(&mut self) -> Result<Option<mmdb_log::PendingForce>> {
         self.ensure_alive()?;
-        self.log.force_group()
+        self.log.get_mut().force_group()
     }
 
     /// The log's shared durable-LSN watermark. A group committer clones
     /// this, commits (append-only), drops the engine lock, and waits for
     /// the watermark to pass [`TxnRun::commit_lsn`] before acking.
     pub fn log_watermark(&self) -> std::sync::Arc<mmdb_log::DurableWatermark> {
-        self.log.watermark()
+        self.log.lock().watermark()
     }
 
     /// Seals the active log chunk so it becomes cold — eligible for
@@ -1139,7 +1361,7 @@ impl Mmdb {
     /// already-empty active chunk).
     pub fn rotate_log(&mut self) -> Result<bool> {
         self.ensure_alive()?;
-        self.log.rotate()
+        self.log.get_mut().rotate()
     }
 
     /// Runs one compaction pass over the cold log chunks: frames that no
@@ -1155,7 +1377,7 @@ impl Mmdb {
         self.ensure_alive()?;
         // flush the tail so the durable window (and txn outcomes) are
         // current before classification
-        self.log.force()?;
+        self.log.get_mut().force()?;
         let mut pins = Vec::new();
         if let Some(pin) = &self.repl_truncate_pin {
             pins.push(pin.load(std::sync::atomic::Ordering::SeqCst));
@@ -1164,20 +1386,20 @@ impl Mmdb {
             pins,
             compress: self.config.compress_log_chunks,
         };
-        mmdb_rescale::compact_device(self.log.device_mut(), &opts, &self.obs)
+        mmdb_rescale::compact_device(self.log.get_mut().device_mut(), &opts, &self.obs)
     }
 
     /// The log device's chunk layout (oldest first, the last entry being
     /// the active chunk). Empty on unchunked devices.
     pub fn log_chunk_map(&self) -> Vec<mmdb_log::ChunkInfo> {
-        self.log.device().chunk_map()
+        self.log.lock().device().chunk_map()
     }
 
     /// Attaches a log-shipping tap: every force mirrors the freshly
     /// durable bytes into the tap window for the replication shipper
     /// (see [`mmdb_log::ShipTap`]).
     pub fn set_ship_tap(&mut self, tap: std::sync::Arc<mmdb_log::ShipTap>) {
-        self.log.set_ship_tap(tap);
+        self.log.get_mut().set_ship_tap(tap);
     }
 
     /// Attaches the replication truncation pin (raw-LSN atomic, shared
@@ -1192,12 +1414,12 @@ impl Mmdb {
 
     /// The log's durable device LSN (what a shipper may read up to).
     pub fn log_durable_lsn(&self) -> mmdb_types::Lsn {
-        self.log.durable_lsn()
+        self.log.lock().durable_lsn()
     }
 
     /// The log device's first readable LSN (0 unless truncated).
     pub fn log_start_lsn(&self) -> mmdb_types::Lsn {
-        self.log.start_lsn()
+        self.log.lock().start_lsn()
     }
 
     /// Reads durable log bytes starting at `from`, cut to whole record
@@ -1206,14 +1428,14 @@ impl Mmdb {
     /// [`mmdb_log::LogManager::read_range_aligned`].
     pub fn read_log_range(&mut self, from: mmdb_types::Lsn, max_bytes: usize) -> Result<Vec<u8>> {
         self.ensure_alive()?;
-        self.log.read_range_aligned(from, max_bytes)
+        self.log.get_mut().read_range_aligned(from, max_bytes)
     }
 
     /// End-LSN of the most recent commit record this engine wrote (see
     /// [`TxnRun::commit_lsn`]; interactive commits read it while still
     /// holding the engine lock).
     pub fn last_commit_lsn(&self) -> mmdb_types::Lsn {
-        self.last_commit_lsn
+        Lsn(self.last_commit_lsn.load(Ordering::SeqCst))
     }
 
     /// Deep verification: performs a *dry-run* recovery (backup + log →
@@ -1225,12 +1447,12 @@ impl Mmdb {
     /// would we get everything back?" without crashing anything.
     pub fn verify_recoverability(&mut self) -> Result<RecoveryReport> {
         self.ensure_alive()?;
-        self.log.force()?;
+        self.log.get_mut().force()?;
         let live = self.storage.fingerprint();
         let (recovered, report) = mmdb_recovery::dry_run_observed(
             self.config.params.db,
             &mut *self.backup,
-            self.log.device_mut(),
+            self.log.get_mut().device_mut(),
             &self.config.params.disk,
             &self.obs,
         )?;
@@ -1250,14 +1472,14 @@ impl Mmdb {
     /// committed transaction is captured.
     pub fn dump_archive(&mut self, path: &Path) -> Result<mmdb_disk::ArchiveInfo> {
         self.ensure_alive()?;
-        self.log.force()?;
+        self.log.get_mut().force()?;
         let (copy, _) = self.backup.recovery_copy()?;
         // replay floor of the archived copy; if unknown (no checkpoint
         // completed this session for that copy), fall back to the whole
         // readable log — replaying extra prefix is safe (complete,
         // in-order suffix), just bulkier.
-        let floor = self.replay_floor[copy & 1].unwrap_or(self.log.start_lsn());
-        let dev = self.log.device_mut();
+        let floor = self.replay_floor[copy & 1].unwrap_or(self.log.get_mut().start_lsn());
+        let dev = self.log.get_mut().device_mut();
         let start = floor.raw().max(dev.start_offset());
         let mut slice = vec![0u8; (dev.len() - start) as usize];
         dev.read_at(start, &mut slice)?;

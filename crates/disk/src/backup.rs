@@ -48,7 +48,7 @@ impl CopyStatus {
 /// Implementations do not charge I/O costs: the *checkpointer* initiates
 /// the I/Os and charges `C_io` per operation, matching the paper's
 /// accounting (the store is the passive device).
-pub trait BackupStore: Send {
+pub trait BackupStore: Send + Sync {
     /// The database shape this store was created for.
     fn shape(&self) -> DbParams;
 

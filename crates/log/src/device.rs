@@ -11,7 +11,7 @@ use std::path::Path;
 
 /// A durable, append-only byte device holding the stable portion of the
 /// log. Offset 0 is the first byte ever written (LSN 0).
-pub trait LogDevice: Send {
+pub trait LogDevice: Send + Sync {
     /// Durably appends `bytes` at the current end.
     fn append(&mut self, bytes: &[u8]) -> Result<()>;
 

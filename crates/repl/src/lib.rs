@@ -51,5 +51,8 @@ pub mod primary;
 pub mod replica;
 
 pub use bench::{bench_repl_json, validate_bench_repl_json, ReplBenchReport, BENCH_REPL_SCHEMA};
-pub use primary::{serve_hello, serve_pull, MAX_REPL_BATCH_BYTES, MAX_REPL_WAIT_MS};
+pub use primary::{
+    serve_hello, serve_pull, serve_scan, MAX_REPL_BATCH_BYTES, MAX_REPL_SCAN_RECORDS,
+    MAX_REPL_WAIT_MS,
+};
 pub use replica::{promote, pull_shard_loop, Replica};

@@ -1,15 +1,16 @@
-//! The primary's half of replication: answering `ReplHello` and
-//! `ReplAck` requests against the per-shard ship taps.
+//! The primary's half of replication: answering `ReplHello`,
+//! `ReplAck`, and `ReplScan` requests against the per-shard ship taps
+//! and the committed store.
 //!
-//! Both functions are called from the server's dispatch path on an
+//! These functions are called from the server's dispatch path on an
 //! ordinary worker thread. `serve_pull` may park in the tap's long poll
 //! for up to [`MAX_REPL_WAIT_MS`]; it holds no shard lock while parked,
 //! but it does occupy a worker — size the worker pool at or above
 //! `client connections + shards` when standbys are attached.
 
 use mmdb_shard::ShardedMmdb;
-use mmdb_types::{Lsn, MmdbError, Result};
-use mmdb_wire::{ReplWelcome, REPL_VERSION};
+use mmdb_types::{Lsn, MmdbError, RecordId, Result};
+use mmdb_wire::{ReplWelcome, ScanRecords, REPL_VERSION};
 use std::time::Duration;
 
 /// Cap on one `ReplBatch`'s payload, regardless of what the standby
@@ -22,6 +23,16 @@ pub const MAX_REPL_BATCH_BYTES: usize = 4 << 20;
 /// Cap on how long one pull may park in the tap's long poll. Bounds
 /// worker occupancy; an empty batch tells the standby to ask again.
 pub const MAX_REPL_WAIT_MS: u32 = 250;
+
+/// Cap on the records one `ReplScan` page returns, regardless of what
+/// the standby asks for. Keeps a page under the wire frame cap even at
+/// large `record_words`.
+pub const MAX_REPL_SCAN_RECORDS: u32 = 4096;
+
+/// Cap on the record ids one `ReplScan` walks, so a page over a sparse
+/// range still returns promptly instead of scanning the whole shard in
+/// one request.
+const MAX_REPL_SCAN_IDS: u64 = 64 * 1024;
 
 /// Serves `ReplHello`: negotiates the replication version, attaches
 /// ship taps to every shard (idempotent), engages the semi-sync gate,
@@ -106,6 +117,49 @@ pub fn serve_pull(
     obs.gauge("repl.lag_lsn", durable.raw().saturating_sub(applied.raw()));
     obs.phase_detail("repl.ship", t, i as u64);
     Ok((start, durable, bytes))
+}
+
+/// Serves one `ReplScan`: walks record ids from `from`, collecting the
+/// shard's nonzero committed values until the record or id cap is hit.
+/// Reads go through the lock-free mirror path, so a scan never blocks
+/// writers or the checkpointer. Returns `(next, records)`: every id in
+/// `[from, next)` was covered, and ids absent from `records` are zero.
+pub fn serve_scan(
+    db: &ShardedMmdb,
+    shard: u32,
+    from: u64,
+    max_records: u32,
+) -> Result<(u64, ScanRecords)> {
+    let i = shard as usize;
+    if i >= db.shards() {
+        return Err(MmdbError::Invalid(format!(
+            "no shard {shard} (topology has {})",
+            db.shards()
+        )));
+    }
+    let obs = db.obs();
+    let t = obs.timer();
+    let cap = max_records.clamp(1, MAX_REPL_SCAN_RECORDS) as usize;
+    let end = db.n_records().min(from.saturating_add(MAX_REPL_SCAN_IDS));
+    let mut records = Vec::new();
+    let mut next = from;
+    while next < end {
+        let rid = RecordId(next);
+        if db.shard_of(rid)? == i {
+            let value = db.read_committed(rid)?;
+            if value.iter().any(|&w| w != 0) {
+                records.push((next, value));
+            }
+        }
+        next += 1;
+        if records.len() >= cap {
+            break;
+        }
+    }
+    obs.counter("repl.scan_pages", 1);
+    obs.counter("repl.scan_records", records.len() as u64);
+    obs.phase_detail("repl.scan", t, i as u64);
+    Ok((next, records))
 }
 
 #[cfg(test)]

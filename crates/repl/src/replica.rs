@@ -279,13 +279,23 @@ impl Replica {
                     );
                 }
                 LogRecord::Update { txn, record, value } => {
-                    // an Update without a TxnBegin can only mean the
-                    // stream attached mid-transaction; the Commit will
-                    // find nothing to install, matching REDO replay of
-                    // a truncated window
-                    if let Some(open) = r.open.get_mut(&(shard, txn.raw())) {
-                        open.writes.push((record, value));
-                    }
+                    // An Update without a TxnBegin means the attach
+                    // point fell between a transaction's begin and its
+                    // installs. The engine appends a transaction's
+                    // Update run and Commit contiguously per shard
+                    // stream (only the begin frame is written earlier),
+                    // and every attach point is a run boundary — so the
+                    // full after-image set still follows from here.
+                    // Buffer it under the frame's own LSN; only the
+                    // data-free begin frame is lost.
+                    r.open
+                        .entry((shard, txn.raw()))
+                        .or_insert_with(|| OpenTxn {
+                            begin_lsn: base + off as u64,
+                            writes: Vec::new(),
+                        })
+                        .writes
+                        .push((record, value));
                 }
                 LogRecord::Commit { txn } => {
                     // absent entry: the phase-two commit of a prepared
@@ -395,6 +405,83 @@ fn apply_writes(db: &ShardedMmdb, shard: usize, writes: &[(RecordId, Vec<Word>)]
     }
 }
 
+/// Records per re-executed transaction while re-seeding a shard: big
+/// enough to amortize commit costs, small enough that each transaction
+/// stays within a couple of segments (fewer two-color restarts while
+/// the standby's own checkpointer runs).
+const BOOTSTRAP_TXN_RECORDS: usize = 64;
+
+/// Records asked for per `ReplScan` page while re-seeding a shard: one
+/// round trip covers this many nonzero records, so a bootstrap costs
+/// `touched / 1024` round trips instead of one per record.
+const BOOTSTRAP_SCAN_RECORDS: u32 = 1024;
+
+/// Re-seeds one shard from the primary's *database* when its *log* no
+/// longer reaches back to our applied position: pages the shard's
+/// nonzero committed records over the pull connection and re-executes
+/// every record that differs locally — including zeroing records the
+/// primary holds as zero but the standby does not — then fast-forwards
+/// the shard's applied watermark to `durable` (the primary's durable
+/// LSN captured at hello, before any read). Returns the number of
+/// records rewritten, or `None` on any transport/engine failure — the
+/// caller backs off and retries the attach from scratch
+/// (under-reporting progress is safe; `applied` only moves after the
+/// full copy lands and is locally durable).
+fn bootstrap_shard(
+    replica: &Arc<Replica>,
+    db: &ShardedMmdb,
+    client: &mut Client,
+    shard: usize,
+    durable: u64,
+) -> Option<u64> {
+    let zero = vec![0; db.record_words()];
+    let mut rewritten = 0u64;
+    let mut batch: AfterImages = Vec::new();
+    let mut from = 0u64;
+    while from < db.n_records() {
+        if replica.stopping() {
+            return None;
+        }
+        let (next, page) = client
+            .repl_scan(shard as u32, from, BOOTSTRAP_SCAN_RECORDS)
+            .ok()?;
+        if next <= from {
+            return None; // a stalled cursor must not spin forever
+        }
+        let page: HashMap<u64, Vec<Word>> = page.into_iter().collect();
+        // The page covers every id in [from, next): an id missing from
+        // it is zero on the primary, so diffing against `zero` both
+        // skips untouched records and repairs stale local ones.
+        for raw in from..next {
+            let rid = RecordId(raw);
+            if db.shard_of(rid).ok()? != shard {
+                continue;
+            }
+            let want = page.get(&raw).unwrap_or(&zero);
+            if db.read_committed(rid).ok()?.as_slice() != want.as_slice() {
+                // the shard engine speaks shard-local record ids (the
+                // same id space its replayed log frames carry)
+                batch.push((db.local_rid(rid), want.clone()));
+                rewritten += 1;
+                if batch.len() >= BOOTSTRAP_TXN_RECORDS {
+                    apply_writes(db, shard, &batch).ok()?;
+                    batch.clear();
+                }
+            }
+        }
+        from = next;
+    }
+    if !batch.is_empty() {
+        apply_writes(db, shard, &batch).ok()?;
+    }
+    // Same durability rule as batch replay: force the local log before
+    // the watermark moves, so a crash cannot strand the copy.
+    db.with_shard(shard, |e| e.force_log()).ok()?;
+    replica.applied[shard].fetch_max(durable, Ordering::SeqCst);
+    replica.save_state();
+    Some(rewritten)
+}
+
 /// Loads `<dir>/repl.state`. Returns `None` (first attach) when the
 /// file is absent, unreadable, or does not cover all `shards` — a
 /// partial file from a different topology must not seed anything.
@@ -481,18 +568,33 @@ pub fn pull_shard_loop(replica: &Arc<Replica>, db: &ShardedMmdb, shard: usize) {
             stoppable_sleep(replica, RECONNECT_BACKOFF);
             continue;
         }
-        // The primary's log must reach back to our applied position:
-        // from the first hello on, the primary pins truncation at the
-        // standby's acks, but a standby that attaches *after* the
-        // primary already truncated past its position has an
-        // unrecoverable hole. Refusing loudly (and retrying, in case an
-        // operator re-seeds the primary) beats silently skipping
-        // committed transactions.
-        let attach_start = welcome.shard_lsns.get(shard).map_or(0, |&(s, _)| s);
+        // The primary's log must reach back to our applied position.
+        // When it does not — the primary truncated the prefix before we
+        // ever pinned it (a standby attaching to a long-running
+        // primary), or truncated past a position we persisted — the
+        // missing transactions are gone from its *log* but not from its
+        // *database*: re-seed by copying the shard's current committed
+        // records over this connection, then stream from the durable
+        // LSN the welcome reported. Every commit at or below that LSN
+        // is already reflected in the copied values, every later one
+        // replays from the log, and re-applying a full-record
+        // after-image is idempotent — so the copy needs no freeze on
+        // the primary. The hello pinned truncation before reporting
+        // LSNs, so the resume point cannot be cut while we copy.
+        let (attach_start, attach_durable) =
+            welcome.shard_lsns.get(shard).copied().unwrap_or((0, 0));
         if attach_start > replica.applied[shard].load(Ordering::SeqCst) {
-            obs.counter("repl.bootstrap_gaps", 1);
-            stoppable_sleep(replica, RECONNECT_BACKOFF);
-            continue;
+            match bootstrap_shard(replica, db, &mut client, shard, attach_durable) {
+                Some(records) => {
+                    obs.counter("repl.bootstrap_copies", 1);
+                    obs.counter("repl.bootstrap_records", records);
+                }
+                None => {
+                    obs.counter("repl.bootstrap_gaps", 1);
+                    stoppable_sleep(replica, RECONNECT_BACKOFF);
+                    continue;
+                }
+            }
         }
 
         let mut batch_bytes = PULL_BATCH_BYTES;

@@ -278,6 +278,14 @@ fn dispatch(shared: &Shared, req: &Request, open_txns: &mut HashSet<TxnId>) -> R
             },
             Err(e) => error_response(&e),
         },
+        Request::ReplScan {
+            shard,
+            from,
+            max_records,
+        } => match mmdb_repl::serve_scan(db, *shard, *from, *max_records) {
+            Ok((next, records)) => Response::ReplRecords { next, records },
+            Err(e) => error_response(&e),
+        },
         Request::Promote => match &shared.replica {
             Some(replica) => match mmdb_repl::promote(db, replica) {
                 Ok(()) => {
@@ -362,6 +370,7 @@ fn op_counter(req: &Request) -> &'static str {
         Request::TraceDump { .. } => "net.op.trace_dump",
         Request::ReplHello { .. } => "net.op.repl_hello",
         Request::ReplAck { .. } => "net.op.repl_ack",
+        Request::ReplScan { .. } => "net.op.repl_scan",
         Request::Promote => "net.op.promote",
         Request::Shutdown => "net.op.shutdown",
     }

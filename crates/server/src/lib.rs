@@ -37,19 +37,21 @@ pub mod conn;
 pub mod load;
 
 pub use load::{
-    bench_group_json, bench_net_json, bench_shard_json, run_load, validate_bench_group_json,
-    validate_bench_net_json, validate_bench_shard_json, GroupCompareEntry, LoadConfig, LoadReport,
-    ShardSweepEntry, WorkloadKind, BENCH_GROUP_SCHEMA, BENCH_NET_SCHEMA, BENCH_SHARD_SCHEMA,
+    bench_group_json, bench_intra_json, bench_net_json, bench_shard_json, run_intra_sweep,
+    run_load, validate_bench_group_json, validate_bench_intra_json, validate_bench_net_json,
+    validate_bench_shard_json, GroupCompareEntry, IntraPoint, IntraSweepConfig, LoadConfig,
+    LoadReport, ShardSweepEntry, WorkloadKind, BENCH_GROUP_SCHEMA, BENCH_INTRA_SCHEMA,
+    BENCH_NET_SCHEMA, BENCH_SHARD_SCHEMA,
 };
 
 use mmdb_core::{Mmdb, StepOutcome};
 use mmdb_repl::Replica;
 use mmdb_shard::ShardedMmdb;
-use mmdb_sync::{LockRank, RankedMutex};
+use mmdb_sync::{LockRank, RankedCondvar, RankedMutex};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -238,27 +240,20 @@ impl Server {
         // Each accepted stream carries its accept timestamp so the
         // worker that dequeues it can attribute the hand-off delay to a
         // `net.queue` phase (None when telemetry is off — no clock read).
-        let (conn_tx, conn_rx) = mpsc::channel::<QueuedConn>();
-        // Ranked above every shard lock: a worker blocks on the queue
-        // holding nothing, and everything else nests strictly below.
-        let conn_rx = Arc::new(RankedMutex::new(
-            "server.conn_queue",
-            LockRank::CONN_QUEUE,
-            conn_rx,
-        ));
+        let conns = Arc::new(ConnQueue::new());
         if let Some(sink) = shared.db.obs().contention_sink() {
-            conn_rx.set_sink(sink);
+            conns.queue.set_sink(sink);
         }
 
         let mut worker_joins = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let shared = Arc::clone(&shared);
-            let conn_rx = Arc::clone(&conn_rx);
+            let conns = Arc::clone(&conns);
             let cfg = config.clone();
             worker_joins.push(
                 std::thread::Builder::new()
                     .name(format!("mmdb-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &conn_rx, &cfg))?,
+                    .spawn(move || worker_loop(&shared, &conns, &cfg))?,
             );
         }
 
@@ -302,9 +297,10 @@ impl Server {
 
         let accept_join = {
             let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("mmdb-accept".into())
-                .spawn(move || accept_loop(&shared, listener, &conn_tx))?
+                .spawn(move || accept_loop(&shared, listener, &conns))?
         };
 
         Ok(ServerHandle {
@@ -398,18 +394,73 @@ impl ServerHandle {
 /// (`None` when telemetry is off, so idle queues never read the clock).
 type QueuedConn = (TcpStream, Option<Instant>);
 
-fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<QueuedConn>) {
+/// The accept-to-worker hand-off: a deque under a ranked mutex plus a
+/// condvar doorbell. The listener pushes and rings; idle workers park on
+/// the doorbell, which *releases the queue mutex while they wait* — so
+/// an arriving connection is dispatched the moment any worker is free,
+/// instead of waiting out whichever single worker happened to be holding
+/// the lock inside a bounded `recv_timeout` poll (the old design's
+/// up-to-`poll_interval` hand-off stall, and its `lint.baseline` L1
+/// entry, are both gone).
+struct ConnQueue {
+    /// Ranked above every shard lock: a worker holds the queue mutex
+    /// only to pop, never across a connection's lifetime, and everything
+    /// else nests strictly below.
+    queue: RankedMutex<VecDeque<QueuedConn>>,
+    cv: RankedCondvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            queue: RankedMutex::new("server.conn_queue", LockRank::CONN_QUEUE, VecDeque::new()),
+            cv: RankedCondvar::new(),
+        }
+    }
+
+    /// Enqueues an accepted connection and wakes one parked worker.
+    fn push(&self, conn: QueuedConn) {
+        self.queue.lock().push_back(conn);
+        self.cv.notify_one();
+    }
+
+    /// Dequeues the next connection, parking on the doorbell for at most
+    /// `timeout`. Returns `None` on timeout so callers can re-check the
+    /// stop flag; spurious wakes re-check the queue in the loop.
+    fn pop(&self, timeout: Duration) -> Option<QueuedConn> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _timed_out) = self.cv.wait_timeout(q, left);
+            q = guard;
+        }
+    }
+
+    /// Wakes every parked worker (shutdown: they re-check the stop flag
+    /// immediately instead of waiting out their poll interval).
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener, conns: &Arc<ConnQueue>) {
     let telemetry = shared.db.obs().is_enabled();
     loop {
         if shared.stopping() {
-            return; // dropping conn_tx wakes idle workers
+            conns.wake_all(); // parked workers re-check the stop flag now
+            return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let accepted = telemetry.then(Instant::now);
-                if conn_tx.send((stream, accepted)).is_err() {
-                    return; // every worker exited
-                }
+                conns.push((stream, accepted));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -423,19 +474,10 @@ fn accept_loop(shared: &Shared, listener: TcpListener, conn_tx: &mpsc::Sender<Qu
     }
 }
 
-fn worker_loop(
-    shared: &Shared,
-    conn_rx: &Arc<RankedMutex<mpsc::Receiver<QueuedConn>>>,
-    cfg: &ServerConfig,
-) {
+fn worker_loop(shared: &Shared, conns: &Arc<ConnQueue>, cfg: &ServerConfig) {
     loop {
-        // Take the receiver lock only to dequeue, never across a
-        // connection's lifetime — otherwise the pool serializes. The
-        // guard IS held across the bounded `recv_timeout` poll — that is
-        // the queue's hand-off design, and the one allowlisted L1 site.
-        let next = { conn_rx.lock().recv_timeout(cfg.poll_interval) };
-        match next {
-            Ok((stream, accepted)) => {
+        match conns.pop(cfg.poll_interval) {
+            Some((stream, accepted)) => {
                 if let Some(t0) = accepted {
                     // Accept-to-dispatch hand-off delay: the connection
                     // sat in the queue behind busy workers. No request
@@ -444,12 +486,11 @@ fn worker_loop(
                 }
                 conn::serve_connection(shared, stream, cfg)
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
+            None => {
                 if shared.stopping() {
                     return;
                 }
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
     }
 }

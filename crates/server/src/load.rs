@@ -856,6 +856,319 @@ pub fn validate_bench_group_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Schema tag for [`bench_intra_json`] output.
+pub const BENCH_INTRA_SCHEMA: &str = "mmdb-bench-intra/v1";
+
+/// Worker-thread counts every intra-shard sweep must cover (the
+/// within-shard scaling curve's x-axis).
+const INTRA_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Parameters for [`run_intra_sweep`].
+#[derive(Debug, Clone)]
+pub struct IntraSweepConfig {
+    /// Wall-clock budget per sweep point.
+    pub duration: Duration,
+    /// Base RNG seed; each worker derives an independent stream.
+    pub seed: u64,
+    /// Mixed leg: one single-shard commit per this many operations
+    /// (the rest are point reads).
+    pub write_every: u64,
+}
+
+impl Default for IntraSweepConfig {
+    fn default() -> IntraSweepConfig {
+        IntraSweepConfig {
+            duration: Duration::from_millis(200),
+            seed: 42,
+            write_every: 8,
+        }
+    }
+}
+
+/// One point on the within-shard scaling curve: `threads` workers
+/// hammering a single shard in-process, with the point-read path either
+/// lock-free (seqlock mirror) or forced through the shard gate.
+#[derive(Debug, Clone)]
+pub struct IntraPoint {
+    /// Operation mix: `"read"` (point reads only) or `"mixed"` (reads
+    /// plus periodic single-shard commits).
+    pub leg: &'static str,
+    /// Read path: `"lockfree"` (seqlock mirror) or `"locked"` (every
+    /// read takes the shard gate — the single-mutex baseline).
+    pub mode: &'static str,
+    /// Concurrent worker threads.
+    pub threads: usize,
+    /// Point reads completed across all workers.
+    pub reads: u64,
+    /// Single-shard transactions committed across all workers.
+    pub commits: u64,
+    /// Operations that failed (0 in a correct run).
+    pub errors: u64,
+    /// Wall-clock seconds for the point.
+    pub elapsed_s: f64,
+    /// Total operations (reads + commits) per wall-clock second.
+    pub ops_per_s: f64,
+}
+
+/// Runs the full within-shard sweep in-process: one single-shard
+/// database, `{read, mixed} × {lockfree, locked} × {1, 2, 4, 8}`
+/// worker threads, each point running for the configured duration.
+/// In-process because the thing under test is the engine's internal
+/// concurrency (seqlock reads, per-segment write latches), not the
+/// network stack.
+pub fn run_intra_sweep(cfg: &IntraSweepConfig) -> Result<Vec<IntraPoint>, String> {
+    let db = mmdb_shard::ShardedMmdb::open_in_memory(
+        mmdb_core::MmdbConfig::small(mmdb_types::Algorithm::FuzzyCopy),
+        1,
+    )
+    .map_err(|e| format!("open: {e}"))?;
+    let db = std::sync::Arc::new(db);
+    let mut points = Vec::new();
+    for leg in ["read", "mixed"] {
+        for mode in ["lockfree", "locked"] {
+            db.set_lockfree_reads(mode == "lockfree");
+            for &threads in &INTRA_THREAD_COUNTS {
+                points.push(run_intra_point(&db, cfg, leg, mode, threads)?);
+            }
+        }
+    }
+    db.set_lockfree_reads(true);
+    Ok(points)
+}
+
+fn run_intra_point(
+    db: &std::sync::Arc<mmdb_shard::ShardedMmdb>,
+    cfg: &IntraSweepConfig,
+    leg: &'static str,
+    mode: &'static str,
+    threads: usize,
+) -> Result<IntraPoint, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let start = std::sync::Arc::new(AtomicBool::new(false));
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let n_records = db.n_records();
+    let words = db.record_words();
+    let writes = leg == "mixed";
+    let write_every = cfg.write_every.max(1);
+    let mut joins = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let db = std::sync::Arc::clone(db);
+        let start = std::sync::Arc::clone(&start);
+        let stop = std::sync::Arc::clone(&stop);
+        let mut rng = cfg
+            .seed
+            .wrapping_add((t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        joins.push(std::thread::spawn(move || {
+            while !start.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            let (mut reads, mut commits, mut errors) = (0u64, 0u64, 0u64);
+            let mut op = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let rid = RecordId(rng % n_records);
+                if writes && op % write_every == write_every - 1 {
+                    let value = vec![(rng >> 32) as Word, op as Word]
+                        .into_iter()
+                        .cycle()
+                        .take(words)
+                        .collect::<Vec<_>>();
+                    match db.run_txn(&[(rid, value)]) {
+                        Ok(_) => commits += 1,
+                        Err(_) => errors += 1,
+                    }
+                } else {
+                    match db.read_committed(rid) {
+                        Ok(_) => reads += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                op += 1;
+            }
+            (reads, commits, errors)
+        }));
+    }
+    let t0 = Instant::now();
+    start.store(true, Ordering::Release);
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let (mut reads, mut commits, mut errors) = (0u64, 0u64, 0u64);
+    for j in joins {
+        let (r, c, e) = j.join().map_err(|_| "intra worker panicked".to_string())?;
+        reads += r;
+        commits += c;
+        errors += e;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let ops = reads + commits;
+    Ok(IntraPoint {
+        leg,
+        mode,
+        threads,
+        reads,
+        commits,
+        errors,
+        elapsed_s,
+        ops_per_s: if elapsed_s > 0.0 {
+            ops as f64 / elapsed_s
+        } else {
+            0.0
+        },
+    })
+}
+
+/// The sweep point at `(leg, mode, threads)`, if present.
+fn intra_point<'a>(
+    points: &'a [IntraPoint],
+    leg: &str,
+    mode: &str,
+    threads: usize,
+) -> Option<&'a IntraPoint> {
+    points
+        .iter()
+        .find(|p| p.leg == leg && p.mode == mode && p.threads == threads)
+}
+
+/// Renders an intra-shard sweep as JSON with a fixed key set, mirroring
+/// the other bench emitters' deterministic-schema discipline. The
+/// headline `read_speedup_4t` (and `mixed_speedup_4t`) is the lock-free
+/// leg's throughput over the forced-locked baseline at 4 threads — the
+/// number the within-shard scaling claim is made from.
+pub fn bench_intra_json(cfg: &IntraSweepConfig, points: &[IntraPoint]) -> String {
+    let speedup = |leg: &str| -> f64 {
+        match (
+            intra_point(points, leg, "lockfree", 4),
+            intra_point(points, leg, "locked", 4),
+        ) {
+            (Some(free), Some(locked)) if locked.ops_per_s > 0.0 => {
+                free.ops_per_s / locked.ops_per_s
+            }
+            _ => 0.0,
+        }
+    };
+    let sweep = points
+        .iter()
+        .map(|p| {
+            Value::Obj(vec![
+                ("leg".into(), Value::s(p.leg)),
+                ("mode".into(), Value::s(p.mode)),
+                ("threads".into(), Value::u(p.threads as u64)),
+                ("reads".into(), Value::u(p.reads)),
+                ("commits".into(), Value::u(p.commits)),
+                ("errors".into(), Value::u(p.errors)),
+                ("elapsed_s".into(), Value::f(p.elapsed_s)),
+                ("ops_per_s".into(), Value::f(p.ops_per_s)),
+            ])
+        })
+        .collect();
+    let v = Value::Obj(vec![
+        ("schema".into(), Value::s(BENCH_INTRA_SCHEMA)),
+        (
+            "config".into(),
+            Value::Obj(vec![
+                (
+                    "duration_ms".into(),
+                    Value::u(cfg.duration.as_millis().min(u64::MAX as u128) as u64),
+                ),
+                ("seed".into(), Value::u(cfg.seed)),
+                ("write_every".into(), Value::u(cfg.write_every)),
+            ]),
+        ),
+        ("sweep".into(), Value::Arr(sweep)),
+        ("read_speedup_4t".into(), Value::f(speedup("read"))),
+        ("mixed_speedup_4t".into(), Value::f(speedup("mixed"))),
+    ]);
+    let mut s = v.to_pretty();
+    s.push('\n');
+    s
+}
+
+/// Validates the fixed schema of [`bench_intra_json`] output: the
+/// schema tag, every `{leg} × {mode} × {1, 2, 4, 8}` point with every
+/// required key, and finite non-negative speedup headlines. Values are
+/// wall-clock so CI validates shape, not bytes.
+pub fn validate_bench_intra_json(text: &str) -> Result<(), String> {
+    let v = parse(text).map_err(|e| format!("not JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_INTRA_SCHEMA {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_INTRA_SCHEMA:?}"
+        ));
+    }
+    let config = v.get("config").ok_or("missing config")?;
+    for key in ["duration_ms", "seed", "write_every"] {
+        config
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("config.{key} missing or not an integer"))?;
+    }
+    let sweep = v
+        .get("sweep")
+        .and_then(Value::as_arr)
+        .ok_or("missing sweep array")?;
+    let mut seen = Vec::new();
+    for (i, entry) in sweep.iter().enumerate() {
+        let leg = entry
+            .get("leg")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("sweep[{i}].leg missing or not a string"))?;
+        let mode = entry
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("sweep[{i}].mode missing or not a string"))?;
+        if !["read", "mixed"].contains(&leg) {
+            return Err(format!("sweep[{i}].leg = {leg:?} is not a known leg"));
+        }
+        if !["lockfree", "locked"].contains(&mode) {
+            return Err(format!("sweep[{i}].mode = {mode:?} is not a known mode"));
+        }
+        for key in ["threads", "reads", "commits", "errors"] {
+            entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("sweep[{i}].{key} missing or not an integer"))?;
+        }
+        for key in ["elapsed_s", "ops_per_s"] {
+            let n = entry
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("sweep[{i}].{key} missing or not a number"))?;
+            if !n.is_finite() || n < 0.0 {
+                return Err(format!("sweep[{i}].{key} = {n} is not finite non-negative"));
+            }
+        }
+        let threads = entry.get("threads").and_then(Value::as_u64).unwrap_or(0);
+        seen.push((leg.to_string(), mode.to_string(), threads));
+    }
+    for leg in ["read", "mixed"] {
+        for mode in ["lockfree", "locked"] {
+            for threads in INTRA_THREAD_COUNTS {
+                let want = (leg.to_string(), mode.to_string(), threads as u64);
+                if !seen.contains(&want) {
+                    return Err(format!(
+                        "sweep has no {leg}/{mode} point at {threads} threads"
+                    ));
+                }
+            }
+        }
+    }
+    for key in ["read_speedup_4t", "mixed_speedup_4t"] {
+        let n = v
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing {key}"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("{key} = {n} is not finite non-negative"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -997,6 +1310,80 @@ mod tests {
             .replace("\"mode\": \"TMP\"", "\"mode\": \"force\"");
         assert!(validate_bench_group_json(&swapped).is_err());
         assert!(validate_bench_group_json("{}").is_err());
+    }
+
+    fn sample_intra_json() -> String {
+        let cfg = IntraSweepConfig::default();
+        let mut points = Vec::new();
+        for leg in ["read", "mixed"] {
+            for mode in ["lockfree", "locked"] {
+                for threads in [1usize, 2, 4, 8] {
+                    let base = if mode == "lockfree" {
+                        800_000.0
+                    } else {
+                        200_000.0
+                    };
+                    points.push(IntraPoint {
+                        leg,
+                        mode,
+                        threads,
+                        reads: 100_000,
+                        commits: if leg == "mixed" { 12_000 } else { 0 },
+                        errors: 0,
+                        elapsed_s: 0.2,
+                        ops_per_s: base * threads as f64,
+                    });
+                }
+            }
+        }
+        bench_intra_json(&cfg, &points)
+    }
+
+    #[test]
+    fn intra_json_round_trips_through_its_own_validator() {
+        let json = sample_intra_json();
+        validate_bench_intra_json(&json).expect("fresh intra output validates");
+    }
+
+    #[test]
+    fn intra_validator_rejects_missing_points_and_keys() {
+        let json = sample_intra_json();
+        let wrong = json.replace(BENCH_INTRA_SCHEMA, "mmdb-bench-intra/v0");
+        assert!(validate_bench_intra_json(&wrong).is_err());
+        let broken = json.replace("\"ops_per_s\"", "\"ops\"");
+        assert!(validate_bench_intra_json(&broken).is_err());
+        // drop the lockfree/read 8-thread point: the curve is incomplete
+        let missing = json.replacen("\"threads\": 8", "\"threads\": 16", 1);
+        assert!(validate_bench_intra_json(&missing).is_err());
+        assert!(validate_bench_intra_json("{}").is_err());
+        assert!(validate_bench_intra_json("not json").is_err());
+    }
+
+    #[test]
+    fn intra_json_headline_is_the_4_thread_ratio() {
+        let json = sample_intra_json();
+        let v = parse(&json).expect("valid JSON");
+        let speedup = v
+            .get("read_speedup_4t")
+            .and_then(Value::as_f64)
+            .expect("headline present");
+        assert!(
+            (speedup - 4.0).abs() < 1e-9,
+            "800k/200k = 4.0, got {speedup}"
+        );
+    }
+
+    #[test]
+    fn intra_sweep_smoke_runs_and_validates() {
+        // tiny budget: this is a correctness smoke, not a measurement
+        let cfg = IntraSweepConfig {
+            duration: Duration::from_millis(10),
+            ..IntraSweepConfig::default()
+        };
+        let points = run_intra_sweep(&cfg).expect("sweep runs");
+        assert_eq!(points.len(), 16);
+        assert!(points.iter().all(|p| p.errors == 0), "no errors expected");
+        validate_bench_intra_json(&bench_intra_json(&cfg, &points)).expect("validates");
     }
 
     #[test]

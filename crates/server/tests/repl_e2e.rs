@@ -129,6 +129,48 @@ fn promotion_flips_standby_writable_sub_second() {
 }
 
 #[test]
+fn late_standby_bootstraps_past_a_truncated_log() {
+    let primary = spawn_primary(false);
+    let primary_addr = primary.local_addr().to_string();
+
+    // Write, then give the primary's checkpointers time to complete
+    // enough checkpoints that auto-truncation cuts the log prefix on
+    // every shard — the history a standby would need is gone from the
+    // log before one ever attaches.
+    let mut c = Client::connect(&primary_addr).unwrap();
+    let words = c.info().unwrap().record_words as usize;
+    for i in 0..40u64 {
+        c.retry_transient(200, |c| c.put(RecordId(i), &vec![i as u32 + 7; words]))
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = c.stats_json().unwrap();
+        if stats.contains("\"log.truncations\"") || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A standby attaching now cannot replay from LSN 0; it must re-seed
+    // from the primary's database and stream from there.
+    let standby = spawn_standby(&primary);
+    let standby_addr = standby.local_addr().to_string();
+    wait_converged(&primary_addr, &standby_addr);
+    let mut s = Client::connect(&standby_addr).unwrap();
+    assert_eq!(s.get(RecordId(11)).unwrap(), vec![18u32; words]);
+
+    // ... and live writes after the bootstrap keep flowing
+    c.retry_transient(200, |c| c.put(RecordId(50), &vec![0xABCD; words]))
+        .unwrap();
+    wait_converged(&primary_addr, &standby_addr);
+    assert_eq!(s.get(RecordId(50)).unwrap(), vec![0xABCD; words]);
+
+    primary.shutdown_join();
+    standby.shutdown_join();
+}
+
+#[test]
 fn promote_fires_callback_and_non_replica_refuses() {
     // a standalone server refuses Promote
     let standalone = spawn_primary(false);

@@ -59,10 +59,13 @@
 use mmdb_audit::{Audit, AuditEvent, AuditViolation};
 use mmdb_core::{
     CheckpointStart, CkptReport, CommitDurability, CompactReport, DurableWatermark, LogMode, Mmdb,
-    MmdbConfig, RecoveryReport, ShipTap, StepOutcome, TxnRun, DEFAULT_TAP_WINDOW_BYTES,
+    MmdbConfig, ReadMirror, RecoveryReport, ShipTap, StepOutcome, TxnRun, DEFAULT_TAP_WINDOW_BYTES,
 };
 use mmdb_obs::{to_prometheus_sharded, MetricsSnapshot, Obs};
-use mmdb_sync::{leak_name, LockRank, RankedCondvar, RankedGuard, RankedMutex};
+use mmdb_sync::{
+    leak_name, LockRank, RankedCondvar, RankedGuard, RankedMutex, RankedRwLock, RankedRwReadGuard,
+    RankedRwWriteGuard,
+};
 use mmdb_types::{DbParams, Lsn, MmdbError, RecordId, Result, TxnId, Word};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
@@ -130,10 +133,18 @@ struct Binding {
 /// The state shared between the router and the per-shard log-flusher
 /// threads: the engines themselves plus each shard's flush signal.
 struct ShardCore {
-    /// Shard `i`'s engine lock carries rank `engine(i)`: ascending index
+    /// Shard `i`'s engine gate carries rank `engine(i)`: ascending index
     /// order (the 2PC discipline) is strictly descending rank, so the
     /// debug-build detector proves every interleaving deadlock-free.
-    shards: Vec<RankedMutex<Mmdb>>,
+    ///
+    /// The gate is a reader/writer lock whose **exclusive** acquisition
+    /// is named `lock()` — every pre-existing path (checkpointer,
+    /// recovery, 2PC, quiesce, maintenance) takes it and keeps exactly
+    /// the semantics it had under the old mutex. **Shared** acquisition
+    /// (`read()`) admits concurrent single-shard committers and
+    /// lock-free-read fallbacks, which reach only the engine's
+    /// interior-locked state (see `DESIGN.md` §6.10).
+    shards: Vec<RankedRwLock<Mmdb>>,
     /// One flush signal per shard: committers set `pending` and notify;
     /// the shard's flusher consumes it and forces the log.
     flush: Vec<FlushSignal>,
@@ -143,9 +154,22 @@ struct ShardCore {
 }
 
 impl ShardCore {
+    /// Exclusive access to shard `i` — the single choke point every
+    /// `&mut Mmdb` path funnels through. Queued shared-mode installs are
+    /// copied back into the authoritative segments *here*, so exclusive
+    /// holders (checkpointer, recovery, 2PC, fsck) always see
+    /// fully-synced segment data and metadata.
     #[track_caller]
-    fn lock(&self, i: usize) -> RankedGuard<'_, Mmdb> {
-        self.shards[i].lock()
+    fn lock(&self, i: usize) -> RankedRwWriteGuard<'_, Mmdb> {
+        let mut g = self.shards[i].lock();
+        g.sync_pending();
+        g
+    }
+
+    /// Shared access to shard `i` (concurrent single-shard committers).
+    #[track_caller]
+    fn read(&self, i: usize) -> RankedRwReadGuard<'_, Mmdb> {
+        self.shards[i].read()
     }
 }
 
@@ -253,6 +277,12 @@ const GROUP_ACK_TIMEOUT: Duration = Duration::from_secs(30);
 /// classic group-commit timer. Small against even a fast fsync, so the
 /// single-committer latency cost stays in the noise.
 const GROUP_ACCUMULATION_WINDOW: Duration = Duration::from_micros(200);
+
+/// Optimistic-read retry budget before a point read falls back to the
+/// exclusive-locked path. A failed attempt means a writer was mid-copy
+/// on that exact record (nanoseconds) or crash/recovery closed the
+/// mirror gate (the fallback path then reports the real state).
+const LOCKFREE_READ_RETRIES: usize = 8;
 
 /// One shard's group-commit log flusher: park on the doorbell, force the
 /// tail under the engine lock, then *release the lock* and complete the
@@ -393,6 +423,15 @@ impl ReplGate {
 /// commit. All methods take `&self`; locking is internal and per-shard.
 pub struct ShardedMmdb {
     core: Arc<ShardCore>,
+    /// Each shard's seqlock read mirror (cloned from its engine at
+    /// construction): point reads consult it without touching the shard
+    /// gate at all. The handle stays valid across crash and recovery —
+    /// the mirror gate closes while content is rebuilt, failing reads
+    /// over to the locked path.
+    mirrors: Vec<Arc<ReadMirror>>,
+    /// When false, point reads skip the mirror and take the shard gate —
+    /// the forced-locked baseline the intra-shard bench sweeps against.
+    lockfree_reads: AtomicBool,
     /// Each shard's durable-LSN watermark (cloned from its log at
     /// construction; group committers wait here).
     watermarks: Vec<Arc<DurableWatermark>>,
@@ -542,13 +581,14 @@ impl ShardedMmdb {
             && config.params.log_mode == LogMode::VolatileTail;
         let watermarks: Vec<Arc<DurableWatermark>> =
             engines.iter().map(Mmdb::log_watermark).collect();
+        let mirrors: Vec<Arc<ReadMirror>> = engines.iter().map(Mmdb::read_mirror).collect();
         let n = engines.len();
         let core = Arc::new(ShardCore {
             shards: engines
                 .into_iter()
                 .enumerate()
                 .map(|(i, e)| {
-                    RankedMutex::new(leak_name(format!("engine.{i}")), LockRank::engine(i), e)
+                    RankedRwLock::new(leak_name(format!("engine.{i}")), LockRank::engine(i), e)
                 })
                 .collect(),
             flush: (0..n).map(FlushSignal::new).collect(),
@@ -575,6 +615,8 @@ impl ShardedMmdb {
             repl: ReplGate::new(n),
             taps: OnceLock::new(),
             core,
+            mirrors,
+            lockfree_reads: AtomicBool::new(true),
             watermarks,
             group,
             flushers,
@@ -693,13 +735,25 @@ impl ShardedMmdb {
         RecordId(rid.raw() / self.shards() as u64)
     }
 
-    /// Locks shard `i`, recording the acquisition wait as an
+    /// Locks shard `i` exclusively, recording the acquisition wait as an
     /// `engine.lock_wait` phase (a child of the active request scope,
     /// when the calling thread is dispatching one).
     #[track_caller]
-    fn lock(&self, i: usize) -> RankedGuard<'_, Mmdb> {
+    fn lock(&self, i: usize) -> RankedRwWriteGuard<'_, Mmdb> {
         let t = self.obs.timer();
         let g = self.core.lock(i);
+        self.obs.phase_detail("engine.lock_wait", t, i as u64);
+        g
+    }
+
+    /// Takes shard `i`'s gate **shared** — the concurrent single-shard
+    /// commit path. Shared holders coexist with each other (and with
+    /// lock-free mirror readers, which take nothing at all) but exclude
+    /// every `&mut` path.
+    #[track_caller]
+    fn read_shard(&self, i: usize) -> RankedRwReadGuard<'_, Mmdb> {
+        let t = self.obs.timer();
+        let g = self.core.read(i);
         self.obs.phase_detail("engine.lock_wait", t, i as u64);
         g
     }
@@ -812,17 +866,43 @@ impl ShardedMmdb {
             .unwrap_or_else(|_| unreachable!("flushers joined; no ShardCore clones remain"));
         core.shards
             .into_iter()
-            .map(RankedMutex::into_inner)
+            .map(RankedRwLock::into_inner)
             .collect()
     }
 
     // ----- reads -----------------------------------------------------------
 
     /// Reads a record's last committed value (no transaction).
+    ///
+    /// The hot path is **lock-free**: the shard's seqlock read mirror is
+    /// consulted without taking the shard gate, retrying a handful of
+    /// times if a concurrent writer (or the crash/recovery gate)
+    /// interferes, then failing over to the exclusive-locked read. The
+    /// mirror only ever holds committed values, so the result is exactly
+    /// what the locked path would have returned at some instant during
+    /// the call — the same linearizability contract the mutex gave.
     pub fn read_committed(&self, rid: RecordId) -> Result<Vec<Word>> {
         let shard = self.shard_of(rid)?;
         let local = self.local_rid(rid);
+        if self.lockfree_reads.load(Ordering::Relaxed) {
+            let mirror = &self.mirrors[shard];
+            let mut out = vec![0; self.record_words];
+            for _ in 0..LOCKFREE_READ_RETRIES {
+                if mirror.try_read(local, &mut out) {
+                    self.obs.counter("router.reads_lockfree", 1);
+                    return Ok(out);
+                }
+            }
+            self.obs.counter("router.reads_lockfree_fallback", 1);
+        }
         self.lock(shard).read_committed(local)
+    }
+
+    /// Toggles the lock-free point-read path (on by default). Off forces
+    /// every read through the shard gate — the single-mutex baseline the
+    /// `bench-net --intra-sweep` harness compares against.
+    pub fn set_lockfree_reads(&self, on: bool) {
+        self.lockfree_reads.store(on, Ordering::SeqCst);
     }
 
     // ----- batch transactions ----------------------------------------------
@@ -833,17 +913,24 @@ impl ShardedMmdb {
     /// with ordered lock acquisition; the commit is all-or-nothing
     /// across shards under any crash.
     pub fn run_txn(&self, updates: &[(RecordId, Vec<Word>)]) -> Result<TxnRun> {
-        let mut by_shard: BTreeMap<usize, Vec<(RecordId, Vec<Word>)>> = BTreeMap::new();
+        // Values are *borrowed* into the per-shard buckets: the engine's
+        // generic commit paths copy each value exactly once, straight
+        // into the log record — no router-side clone of the write set.
+        let mut by_shard: BTreeMap<usize, Vec<(RecordId, &[Word])>> = BTreeMap::new();
         for (rid, value) in updates {
             let shard = self.shard_of(*rid)?;
             by_shard
                 .entry(shard)
                 .or_default()
-                .push((self.local_rid(*rid), value.clone()));
+                .push((self.local_rid(*rid), value.as_slice()));
         }
         if self.audit.is_enabled() {
             for (rid, _) in updates {
-                let shard = (rid.raw() % self.shards() as u64) as usize;
+                // Route through `shard_of` — the same function the
+                // buckets above used — so the audit event reports the
+                // route actually taken, not a re-derivation that could
+                // silently diverge from it.
+                let shard = self.shard_of(*rid)?;
                 self.audit.emit(|| AuditEvent::ShardRouted {
                     record: *rid,
                     shard,
@@ -853,10 +940,25 @@ impl ShardedMmdb {
         if by_shard.len() <= 1 {
             let shard = by_shard.keys().next().copied().unwrap_or(0);
             let local = by_shard.remove(&shard).unwrap_or_default();
-            // The guard drops at the end of this block: under group
-            // commit the shard is free for other committers while this
-            // one waits on the watermark below.
-            let run = {
+            // Both guards below drop before the watermark wait: under
+            // group commit the shard is free for other committers while
+            // this one waits — and the flusher's force takes the gate
+            // exclusively, so waiting with a guard held would deadlock.
+            let run = 'exec: {
+                // Shared-mode attempt: disjoint-segment committers run
+                // concurrently under read guards, serializing only at
+                // the interior log lock. `None` (checkpoint active,
+                // quiesce pending, crashed, invalid updates…) falls
+                // back to the exclusive path below.
+                {
+                    let g = self.read_shard(shard);
+                    let t = self.obs.timer();
+                    if let Some(run) = g.try_commit_shared(&local)? {
+                        self.obs.phase_detail("txn.exec_shared", t, shard as u64);
+                        self.obs.counter("router.txns_single_shared", 1);
+                        break 'exec run;
+                    }
+                }
                 let mut g = self.lock(shard);
                 let t = self.obs.timer();
                 let run = g.run_txn(&local)?;
@@ -881,7 +983,7 @@ impl ShardedMmdb {
     /// Cross-shard two-phase commit, rerun after two-color aborts (the
     /// same discipline as the engine's own [`Mmdb::run_txn`] rerun
     /// loop, lifted across shards).
-    fn run_cross(&self, by_shard: &BTreeMap<usize, Vec<(RecordId, Vec<Word>)>>) -> Result<TxnRun> {
+    fn run_cross(&self, by_shard: &BTreeMap<usize, Vec<(RecordId, &[Word])>>) -> Result<TxnRun> {
         let max_runs = 10 * (self.config.params.db.n_segments().max(10)) as u32;
         let mut runs = 0;
         loop {
@@ -942,9 +1044,10 @@ impl ShardedMmdb {
     fn try_cross_once(
         &self,
         gid: u64,
-        by_shard: &BTreeMap<usize, Vec<(RecordId, Vec<Word>)>>,
+        by_shard: &BTreeMap<usize, Vec<(RecordId, &[Word])>>,
     ) -> Result<TxnId> {
-        let mut guards: Vec<(usize, RankedGuard<'_, Mmdb>)> = Vec::with_capacity(by_shard.len());
+        let mut guards: Vec<(usize, RankedRwWriteGuard<'_, Mmdb>)> =
+            Vec::with_capacity(by_shard.len());
         for &shard in by_shard.keys() {
             let g = self.lock(shard);
             self.audit
@@ -1025,7 +1128,7 @@ impl ShardedMmdb {
 
     /// Releases shard locks in reverse acquisition order (the audited
     /// discipline — [`mmdb_audit::ShardChecker`] verifies it).
-    fn release_all(&self, guards: Vec<(usize, RankedGuard<'_, Mmdb>)>, gid: u64) {
+    fn release_all(&self, guards: Vec<(usize, RankedRwWriteGuard<'_, Mmdb>)>, gid: u64) {
         for (shard, g) in guards.into_iter().rev() {
             drop(g);
             self.audit

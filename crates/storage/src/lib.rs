@@ -25,14 +25,17 @@
 
 #![warn(missing_docs)]
 
+mod mirror;
 mod segment;
 
+pub use mirror::{PendingInstall, ReadMirror};
 pub use segment::{Color, OldCopy, SegmentMeta};
 
 use mmdb_types::{
     hash::Fnv1a, CostMeter, DbParams, Lsn, MmdbError, RecordId, Result, SegmentId, Timestamp, Word,
 };
 use segment::Segment;
+use std::sync::Arc;
 
 /// The memory-resident database: all segments plus the global version
 /// counter that dirty tracking is built on.
@@ -43,6 +46,9 @@ pub struct Storage {
     /// Monotonic counter bumped on every record install; segment versions
     /// are draws from this counter.
     version_counter: u64,
+    /// Seqlock mirror of the record data for lock-free reads; every
+    /// install path republishes into it.
+    mirror: Arc<ReadMirror>,
 }
 
 /// A segment's content captured for flushing, together with the metadata
@@ -68,10 +74,86 @@ impl Storage {
         let seg_words = db.s_seg as usize;
         let segments = (0..n).map(|_| Segment::new(seg_words)).collect();
         Ok(Storage {
+            mirror: Arc::new(ReadMirror::new(&db)),
             db,
             segments,
             version_counter: 0,
         })
+    }
+
+    /// The storage's read mirror. Clone the `Arc` to read lock-free from
+    /// other threads; the handle survives [`Storage::adopt_mirror`]-based
+    /// recovery swaps.
+    pub fn mirror(&self) -> &Arc<ReadMirror> {
+        &self.mirror
+    }
+
+    /// Replaces this (fresh) storage's mirror with one inherited from a
+    /// pre-crash storage, so reader-held `Arc`s stay valid across the
+    /// recovery swap. The inherited pending queue is discarded — those
+    /// installs were logged and recovery replays them. The caller must
+    /// republish (and reopen the gate) once the authoritative content is
+    /// rebuilt.
+    pub fn adopt_mirror(&mut self, mirror: Arc<ReadMirror>) -> Result<()> {
+        if mirror.n_records() != self.n_records() || mirror.s_rec() as u64 != self.db.s_rec {
+            return Err(MmdbError::Invalid(format!(
+                "mirror shape {}x{} does not match database {}x{}",
+                mirror.n_records(),
+                mirror.s_rec(),
+                self.n_records(),
+                self.db.s_rec
+            )));
+        }
+        mirror.take_pending();
+        self.mirror = mirror;
+        Ok(())
+    }
+
+    /// Republishes every record from the authoritative segments into the
+    /// mirror (end of recovery / restore, before reopening the gate).
+    pub fn republish_all(&self) {
+        let rps = self.db.records_per_segment();
+        let s_rec = self.db.s_rec as usize;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let first = i as u64 * rps;
+            for (k, chunk) in seg.data.chunks_exact(s_rec).enumerate() {
+                self.mirror.publish(RecordId(first + k as u64), chunk);
+            }
+        }
+    }
+
+    /// Copies queued shared-mode installs back into the authoritative
+    /// segments. Shared-mode committers install into the mirror only (see
+    /// [`ReadMirror::note_pending`]); the next exclusive holder calls this
+    /// before relying on segment data or metadata. Reading the *current*
+    /// mirror value for every entry makes the final content last-writer-
+    /// wins while still bumping version/τ/LSN once per install, so dirty
+    /// tracking and the WAL gate see every commit. Returns the number of
+    /// entries applied. No data movement is charged — the install itself
+    /// was charged when the committer published.
+    pub fn sync_pending(&mut self) -> u64 {
+        let entries = self.mirror.take_pending();
+        if entries.is_empty() {
+            return 0;
+        }
+        let mut buf = vec![0 as Word; self.db.s_rec as usize];
+        let n = entries.len() as u64;
+        for p in entries {
+            self.mirror.snapshot_record(p.rid, &mut buf);
+            let (seg, range) = self.record_range(p.rid);
+            self.version_counter += 1;
+            let version = self.version_counter;
+            let s = &mut self.segments[seg];
+            s.data[range].copy_from_slice(&buf);
+            s.meta.version = version;
+            if p.tau > s.meta.tau {
+                s.meta.tau = p.tau;
+            }
+            if p.lsn > s.meta.max_lsn {
+                s.meta.max_lsn = p.lsn;
+            }
+        }
+        n
     }
 
     /// The database shape.
@@ -176,6 +258,7 @@ impl Storage {
         if lsn > seg.meta.max_lsn {
             seg.meta.max_lsn = lsn;
         }
+        self.mirror.publish(rid, value);
         Ok(())
     }
 
@@ -363,6 +446,8 @@ impl Storage {
             s.meta.version = version;
             s.meta.flushed_version[copy & 1] = version;
         }
+        self.mirror
+            .publish_segment(self.mirror.segment_first_record(sid.raw()), data);
         Ok(())
     }
 
@@ -382,6 +467,7 @@ impl Storage {
         let counter = std::sync::atomic::AtomicU64::new(self.version_counter);
         let per = self.segments.len().div_ceil(n);
         let db = self.db;
+        let mirror = &self.mirror;
         let mut lanes = Vec::with_capacity(n);
         let mut rest: &mut [Segment] = &mut self.segments;
         let mut first = 0u32;
@@ -393,6 +479,7 @@ impl Storage {
                 segments: now,
                 first,
                 counter: &counter,
+                mirror,
             });
             first += take as u32;
             rest = later;
@@ -444,6 +531,9 @@ pub struct StorageLane<'a> {
     /// Global id of `segments[0]`.
     first: u32,
     counter: &'a std::sync::atomic::AtomicU64,
+    /// Shared read mirror; lane installs republish into it (lanes own
+    /// disjoint segments, so no two lanes publish the same record).
+    mirror: &'a ReadMirror,
 }
 
 impl StorageLane<'_> {
@@ -514,6 +604,8 @@ impl StorageLane<'_> {
             s.meta.version = version;
             s.meta.flushed_version[copy & 1] = version;
         }
+        self.mirror
+            .publish_segment(self.mirror.segment_first_record(sid.raw()), data);
         Ok(())
     }
 
@@ -554,6 +646,7 @@ impl StorageLane<'_> {
         if lsn > s.meta.max_lsn {
             s.meta.max_lsn = lsn;
         }
+        self.mirror.publish(rid, value);
         Ok(())
     }
 }
@@ -886,6 +979,147 @@ mod tests {
                 .is_ok());
         });
         assert_eq!(s.segment_data(SegmentId(0)).unwrap(), &image[..]);
+    }
+
+    #[test]
+    fn mirror_tracks_installs() {
+        let mut s = small();
+        let m = meter();
+        let v = rec(&s, 0xBEEF);
+        s.install_record(RecordId(7), &v, Lsn(3), Timestamp(1), &m)
+            .unwrap();
+        let mirror = s.mirror().clone();
+        let mut out = vec![0; 32];
+        assert!(mirror.try_read(RecordId(7), &mut out));
+        assert_eq!(out, v);
+        assert!(mirror.try_read(RecordId(8), &mut out));
+        assert_eq!(out, rec(&s, 0), "neighbour untouched");
+        assert!(!mirror.try_read(RecordId(9999), &mut out), "out of range");
+        assert!(!mirror.try_read(RecordId(7), &mut [0; 3]), "bad size");
+    }
+
+    #[test]
+    fn mirror_gate_blocks_reads() {
+        let s = small();
+        let mirror = s.mirror().clone();
+        let mut out = vec![0; 32];
+        assert!(mirror.try_read(RecordId(0), &mut out));
+        mirror.gate_close();
+        assert!(mirror.gate_closed());
+        assert!(!mirror.try_read(RecordId(0), &mut out));
+        mirror.gate_open();
+        assert!(!mirror.gate_closed());
+        assert!(mirror.try_read(RecordId(0), &mut out));
+    }
+
+    #[test]
+    fn shared_installs_sync_back() {
+        let mut s = small();
+        let mirror = s.mirror().clone();
+        // Two shared-mode installs to one record, as a latch-holding
+        // committer would do: mirror publish + pending note, no &mut.
+        for (fill, lsn, tau) in [(4u32, 10u64, 2u64), (6, 20, 5)] {
+            let v = vec![fill as Word; 32];
+            mirror.publish(RecordId(5), &v);
+            mirror.note_pending(PendingInstall {
+                rid: RecordId(5),
+                tau: Timestamp(tau),
+                lsn: Lsn(lsn),
+            });
+        }
+        assert_eq!(mirror.pending_len(), 2);
+        // Authoritative copy still stale until the exclusive drain.
+        assert_eq!(
+            s.read_record(RecordId(5)).unwrap(),
+            &vec![0 as Word; 32][..]
+        );
+        assert_eq!(s.sync_pending(), 2);
+        assert_eq!(mirror.pending_len(), 0);
+        assert_eq!(
+            s.read_record(RecordId(5)).unwrap(),
+            &vec![6 as Word; 32][..]
+        );
+        let meta = s.segment_meta(SegmentId(0)).unwrap();
+        assert_eq!(meta.max_lsn, Lsn(20));
+        assert_eq!(meta.tau, Timestamp(5));
+        assert!(s.is_dirty(SegmentId(0), 0).unwrap());
+        assert_eq!(s.sync_pending(), 0, "drain is idempotent");
+    }
+
+    #[test]
+    fn adopt_and_republish_survive_recovery_swap() {
+        let mut pre = small();
+        let m = meter();
+        pre.install_record(RecordId(0), &rec(&pre, 1), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        let handle = pre.mirror().clone();
+        // Crash: gate closes, readers refuse, storage is rebuilt fresh.
+        handle.gate_close();
+        let mut out = vec![0; 32];
+        assert!(!handle.try_read(RecordId(0), &mut out));
+        let mut post = small();
+        post.install_record(RecordId(0), &rec(&post, 9), Lsn(1), Timestamp(1), &m)
+            .unwrap();
+        post.adopt_mirror(handle.clone()).unwrap();
+        post.republish_all();
+        handle.gate_open();
+        assert!(handle.try_read(RecordId(0), &mut out));
+        assert_eq!(out, rec(&post, 9), "old handle serves recovered content");
+        // Shape mismatch is rejected.
+        let mut other = Storage::new(Params::default().db).unwrap();
+        assert!(other.adopt_mirror(handle).is_err());
+    }
+
+    #[test]
+    fn lane_installs_publish_to_mirror() {
+        let mut s = small();
+        let m = meter();
+        let v = rec(&s, 3);
+        let image = vec![8 as Word; 2048];
+        s.with_lanes(2, |mut lanes| {
+            lanes[0]
+                .install_record(RecordId(1), &v, Lsn(1), Timestamp(1), &m)
+                .unwrap();
+            lanes[1]
+                .load_segment(SegmentId(20), &image, None, &m)
+                .unwrap();
+        });
+        let mirror = s.mirror().clone();
+        let mut out = vec![0; 32];
+        assert!(mirror.try_read(RecordId(1), &mut out));
+        assert_eq!(out, v);
+        assert!(mirror.try_read(RecordId(20 * 64), &mut out));
+        assert_eq!(out, vec![8 as Word; 32]);
+    }
+
+    #[test]
+    fn mirror_readers_never_observe_torn_records() {
+        let s = small();
+        let mirror = s.mirror().clone();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                // Uniform-fill records: any mix of two versions is torn.
+                for k in 1..=20_000u32 {
+                    mirror.publish(RecordId(3), &vec![k as Word; 32]);
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+            let mut out = vec![0; 32];
+            let mut hits = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) || hits == 0 {
+                if mirror.try_read(RecordId(3), &mut out) {
+                    hits += 1;
+                    assert!(
+                        out.iter().all(|&w| w == out[0]),
+                        "torn read: {:?}",
+                        &out[..4]
+                    );
+                }
+            }
+            writer.join().unwrap();
+            assert!(hits > 0);
+        });
     }
 
     #[test]

@@ -37,7 +37,10 @@
 
 #[cfg(debug_assertions)]
 use std::panic::Location;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
 use std::time::{Duration, Instant};
 
 #[cfg(debug_assertions)]
@@ -56,6 +59,9 @@ mod detect;
 /// | 1 000 000 | [`LockRank::ROUTER_TXNS`] — router interactive-txn map |
 /// | 950 000 | [`LockRank::REPL_RESOLVER`] — replica replay resolver |
 /// | 900 000 − *i* | [`LockRank::engine`] — shard *i*'s engine |
+/// | 600 000 − *j* | [`LockRank::segment`] — segment *j*'s write latch |
+/// | 130 000 | [`LockRank::ENGINE_TXNS`] — engine transaction table |
+/// | 120 000 | [`LockRank::ENGINE_LOG`] — engine log manager |
 /// | 100 000 − *i* | [`LockRank::flusher_signal`] — shard *i*'s doorbell |
 /// | 10 000 | [`LockRank::WATERMARK`] — durable-LSN watermark |
 /// | 9 500 | [`LockRank::REPL_STATE`] — replication bookkeeping |
@@ -84,6 +90,16 @@ impl LockRank {
     /// held while the replayer applies a committed transaction into a
     /// shard engine, so it sits *above* every engine lock.
     pub const REPL_RESOLVER: LockRank = LockRank(Some(950_000));
+    /// The engine's active-transaction table, an interior lock taken
+    /// only momentarily (begin / finish bookkeeping) by concurrent
+    /// shared-mode committers — never across log I/O. Below every
+    /// segment latch, above the log manager.
+    pub const ENGINE_TXNS: LockRank = LockRank(Some(130_000));
+    /// The engine's log manager — the commit pipeline's single
+    /// serialization point: shared-mode committers append their whole
+    /// REDO group under it. Below the segment latches and the
+    /// transaction table, above the flusher doorbell.
+    pub const ENGINE_LOG: LockRank = LockRank(Some(120_000));
     /// Per-shard durable-LSN watermark state (taken under the engine
     /// lock by the force path; alone by parked committers).
     pub const WATERMARK: LockRank = LockRank(Some(10_000));
@@ -115,9 +131,13 @@ impl LockRank {
     pub const UNRANKED: LockRank = LockRank(None);
 
     const ENGINE_BASE: u32 = 900_000;
+    const SEGMENT_BASE: u32 = 600_000;
     const FLUSHER_BASE: u32 = 100_000;
     /// Widest supported shard topology (matches `mmdb_shard::MAX_SHARDS`).
     pub const MAX_SHARD_INDEX: usize = 100_000 - 10_001;
+    /// Widest supported segment space for per-segment write latches:
+    /// segment ranks must stay strictly above [`LockRank::ENGINE_TXNS`].
+    pub const MAX_SEGMENT_INDEX: usize = (600_000 - 130_001) as usize;
 
     /// Shard `i`'s engine lock: rank `900_000 − i`, so acquiring engines
     /// in ascending shard-index order (the 2PC discipline) is strictly
@@ -128,6 +148,20 @@ impl LockRank {
             "shard index out of rank range"
         );
         LockRank(Some(Self::ENGINE_BASE - shard as u32))
+    }
+
+    /// Segment `j`'s write latch: rank `600_000 − j`, strictly below
+    /// every engine lock and strictly above the engine-interior
+    /// transaction-table and log locks. Acquiring latches in ascending
+    /// segment order (the disjoint-write discipline of concurrent
+    /// single-shard transactions) is strictly descending rank, exactly
+    /// like the 2PC shard-order rule one level up.
+    pub fn segment(segment: usize) -> LockRank {
+        assert!(
+            segment <= Self::MAX_SEGMENT_INDEX,
+            "segment index out of rank range"
+        );
+        LockRank(Some(Self::SEGMENT_BASE - segment as u32))
     }
 
     /// Shard `i`'s group-commit flusher doorbell: below every engine
@@ -155,6 +189,9 @@ impl LockRank {
             ("router-txns", 1_000_000),
             ("repl-resolver", 950_000),
             ("engine[i] = 900_000 - i", 900_000),
+            ("segment[j] = 600_000 - j", 600_000),
+            ("engine-txns", 130_000),
+            ("engine-log", 120_000),
             ("flusher-signal[i] = 100_000 - i", 100_000),
             ("watermark", 10_000),
             ("repl-state", 9_500),
@@ -305,6 +342,15 @@ impl<T> RankedMutex<T> {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Exclusive access without locking: `&mut self` proves no other
+    /// thread can hold the mutex, so this is free — no atomics, no rank
+    /// bookkeeping. The engine's `&mut self` paths use this so interior
+    /// locks cost nothing when the caller already has the whole engine
+    /// exclusively.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
     #[cfg(debug_assertions)]
     fn id(&self) -> usize {
         std::ptr::from_ref(self) as *const () as usize
@@ -353,6 +399,232 @@ impl<T> Drop for RankedGuard<'_, T> {
             // The std guard dropped on the line above: release the
             // mutex *before* the sink touches the (lower-ranked)
             // metrics registry.
+            self.lock.on_release(self.since.take());
+        }
+    }
+}
+
+/// A reader/writer lock carrying a declared [`LockRank`] — the
+/// shared/exclusive gate of the intra-shard concurrency design
+/// (`DESIGN.md` §6.10).
+///
+/// [`RankedRwLock::lock`] is the **exclusive** acquisition, named
+/// `lock` deliberately: it is the drop-in replacement for
+/// [`RankedMutex::lock`] on the per-shard engine, keeps the router's
+/// choke-point discipline textually identical (lint rule **L2**
+/// pattern-matches `.lock()`), and means every pre-existing engine
+/// path — checkpointer, recovery, 2PC, quiesce, maintenance — keeps
+/// exactly the semantics it had under the mutex. [`RankedRwLock::read`]
+/// is the **shared** acquisition used only by concurrent single-shard
+/// committers and lock-free-read fallbacks; shared holders get `&T`
+/// and therefore can only reach the engine's interior-locked or atomic
+/// state.
+///
+/// Rank bookkeeping treats both modes identically (each acquisition
+/// pushes the rank onto the thread's held set; inversions panic in
+/// debug builds). The global wait-for table keeps one holder per lock,
+/// so with multiple concurrent readers cycle detection is approximate —
+/// the rank check, which is per-thread and exact, is the primary
+/// discipline, exactly as for [`RankedMutex`].
+pub struct RankedRwLock<T> {
+    inner: RwLock<T>,
+    meta: LockMeta,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RankedRwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedRwLock")
+            .field("name", &self.meta.name)
+            .field("rank", &self.meta.rank)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<T> RankedRwLock<T> {
+    /// A ranked rwlock named `name` (the telemetry key) guarding `value`.
+    pub fn new(name: &'static str, rank: LockRank, value: T) -> RankedRwLock<T> {
+        RankedRwLock {
+            inner: RwLock::new(value),
+            meta: LockMeta::new(name, rank),
+        }
+    }
+
+    /// Routes contention telemetry to `sink` (first call wins).
+    pub fn set_sink(&self, sink: Arc<dyn ContentionSink>) {
+        self.meta.attach(sink);
+    }
+
+    /// The declared rank.
+    pub fn rank(&self) -> LockRank {
+        self.meta.rank
+    }
+
+    /// The declared name (also the `sync.<name>.*` telemetry key).
+    pub fn name(&self) -> &'static str {
+        self.meta.name
+    }
+
+    /// Acquires the lock **exclusively** (the write mode), blocking if
+    /// contended. Poison-tolerant; rank-checked in debug builds. This is
+    /// the engine-mutex-equivalent acquisition: every path that needs
+    /// `&mut` to the guarded value goes through here.
+    #[track_caller]
+    pub fn lock(&self) -> RankedRwWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let at = Location::caller();
+        #[cfg(debug_assertions)]
+        detect::check_acquire(self.id(), self.meta.name, self.meta.rank.0, at);
+
+        let sink = self.meta.sink.get();
+        let guard = if sink.is_some() || cfg!(debug_assertions) {
+            match self.inner.try_write() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if let Some(slot) = sink {
+                        slot.sink.contended(slot.contended);
+                    }
+                    #[cfg(debug_assertions)]
+                    detect::wait_begin(self.id(), self.meta.name, at);
+                    let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                    #[cfg(debug_assertions)]
+                    detect::wait_end();
+                    g
+                }
+            }
+        } else {
+            self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        };
+
+        #[cfg(debug_assertions)]
+        detect::acquired(self.id(), self.meta.name, self.meta.rank.0, at);
+        RankedRwWriteGuard {
+            inner: Some(guard),
+            lock: self,
+            since: sink.map(|_| Instant::now()),
+        }
+    }
+
+    /// Acquires the lock **shared** (the read mode), blocking if a
+    /// writer holds or waits. Shared holders coexist; the guard derefs
+    /// to `&T` only. Same poison tolerance and rank bookkeeping as
+    /// [`RankedRwLock::lock`].
+    #[track_caller]
+    pub fn read(&self) -> RankedRwReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let at = Location::caller();
+        #[cfg(debug_assertions)]
+        detect::check_acquire(self.id(), self.meta.name, self.meta.rank.0, at);
+
+        let sink = self.meta.sink.get();
+        let guard = if sink.is_some() || cfg!(debug_assertions) {
+            match self.inner.try_read() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if let Some(slot) = sink {
+                        slot.sink.contended(slot.contended);
+                    }
+                    #[cfg(debug_assertions)]
+                    detect::wait_begin(self.id(), self.meta.name, at);
+                    let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                    #[cfg(debug_assertions)]
+                    detect::wait_end();
+                    g
+                }
+            }
+        } else {
+            self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        };
+
+        #[cfg(debug_assertions)]
+        detect::acquired(self.id(), self.meta.name, self.meta.rank.0, at);
+        RankedRwReadGuard {
+            inner: Some(guard),
+            lock: self,
+            since: sink.map(|_| Instant::now()),
+        }
+    }
+
+    /// Consumes the lock, returning the value (poison-tolerant).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive access without locking (see [`RankedMutex::get_mut`]).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[cfg(debug_assertions)]
+    fn id(&self) -> usize {
+        std::ptr::from_ref(self) as *const () as usize
+    }
+
+    fn on_release(&self, since: Option<Instant>) {
+        #[cfg(debug_assertions)]
+        detect::released(self.id());
+        if let (Some(slot), Some(started)) = (self.meta.sink.get(), since) {
+            let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            slot.sink.held_us(slot.held_us, us);
+        }
+    }
+}
+
+/// Exclusive guard returned by [`RankedRwLock::lock`].
+pub struct RankedRwWriteGuard<'a, T> {
+    inner: Option<RwLockWriteGuard<'a, T>>,
+    lock: &'a RankedRwLock<T>,
+    since: Option<Instant>,
+}
+
+impl<T> std::ops::Deref for RankedRwWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedRwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T> Drop for RankedRwWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            self.lock.on_release(self.since.take());
+        }
+    }
+}
+
+/// Shared guard returned by [`RankedRwLock::read`].
+pub struct RankedRwReadGuard<'a, T> {
+    inner: Option<RwLockReadGuard<'a, T>>,
+    lock: &'a RankedRwLock<T>,
+    since: Option<Instant>,
+}
+
+impl<T> std::ops::Deref for RankedRwReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T> Drop for RankedRwReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
             self.lock.on_release(self.since.take());
         }
     }
@@ -576,5 +848,108 @@ mod tests {
     fn catalog_is_strictly_descending() {
         let ranks: Vec<u32> = LockRank::catalog().iter().map(|(_, r)| *r).collect();
         assert!(ranks.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m = RankedMutex::new("gm", LockRank::WATERMARK, 1u32);
+        *m.get_mut() += 1;
+        assert_eq!(*m.lock(), 2);
+        let mut rw = RankedRwLock::new("grw", LockRank::WATERMARK, 1u32);
+        *rw.get_mut() += 1;
+        assert_eq!(*rw.read(), 2);
+    }
+
+    #[test]
+    fn segment_ranks_sit_between_engine_and_interior_locks() {
+        let engine = LockRank::engine(1023).value().unwrap();
+        let seg_first = LockRank::segment(0).value().unwrap();
+        let seg_last = LockRank::segment(LockRank::MAX_SEGMENT_INDEX)
+            .value()
+            .unwrap();
+        assert!(seg_first < engine);
+        assert!(seg_last > LockRank::ENGINE_TXNS.value().unwrap());
+        assert!(LockRank::ENGINE_TXNS.value().unwrap() > LockRank::ENGINE_LOG.value().unwrap());
+        assert!(
+            LockRank::ENGINE_LOG.value().unwrap() > LockRank::flusher_signal(0).value().unwrap()
+        );
+        // ascending segment order is strictly descending rank
+        assert!(LockRank::segment(0).value() > LockRank::segment(1).value());
+    }
+
+    #[test]
+    fn rwlock_write_round_trip_and_into_inner() {
+        let rw = RankedRwLock::new("rw", LockRank::WATERMARK, 41);
+        *rw.lock() += 1;
+        assert_eq!(*rw.read(), 42);
+        assert_eq!(rw.rank(), LockRank::WATERMARK);
+        assert_eq!(rw.name(), "rw");
+        assert_eq!(rw.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_readers_share_while_writer_excludes() {
+        let rw = Arc::new(RankedRwLock::new("share", LockRank::engine(0), 7u32));
+        // two threads hold read guards simultaneously
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let rw = Arc::clone(&rw);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let g = rw.read();
+                    barrier.wait(); // both inside at once: readers coexist
+                    *g
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("reader"), 7);
+        }
+        // a writer sees the value exclusively afterwards
+        *rw.lock() = 8;
+        assert_eq!(*rw.read(), 8);
+    }
+
+    #[test]
+    fn rwlock_engine_then_segment_then_log_nesting_is_clean() {
+        // the intra-shard commit pipeline's exact shape: shared engine,
+        // then ascending segment latches, then the interior log lock
+        let engine = RankedRwLock::new("engine.0", LockRank::engine(0), ());
+        let seg2 = RankedMutex::new("seg.2", LockRank::segment(2), ());
+        let seg5 = RankedMutex::new("seg.5", LockRank::segment(5), ());
+        let log = RankedMutex::new("log.0", LockRank::ENGINE_LOG, ());
+        let e = engine.read();
+        let a = seg2.lock();
+        let b = seg5.lock();
+        let l = log.lock();
+        drop(l);
+        drop(b);
+        drop(a);
+        drop(e);
+    }
+
+    #[test]
+    fn rwlock_reports_contention_to_the_sink() {
+        let sink = Arc::new(CountingSink {
+            contended: AtomicU64::new(0),
+            held: AtomicU64::new(0),
+        });
+        let rw = Arc::new(RankedRwLock::new("rwcs", LockRank::UNRANKED, ()));
+        rw.set_sink(Arc::clone(&sink) as Arc<dyn ContentionSink>);
+        {
+            let _g = rw.read();
+        }
+        assert_eq!(sink.held.load(Ordering::SeqCst), 1);
+        let g = rw.lock();
+        let rw2 = Arc::clone(&rw);
+        let t = std::thread::spawn(move || {
+            let _g = rw2.read();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(g);
+        t.join().expect("reader");
+        assert!(sink.contended.load(Ordering::SeqCst) >= 1);
+        assert_eq!(sink.held.load(Ordering::SeqCst), 3);
     }
 }

@@ -306,6 +306,28 @@ impl Client {
         }
     }
 
+    /// Bulk-reads one page of a shard's committed records for standby
+    /// bootstrap. Returns `(next, records)`: every record id in
+    /// `[from, next)` was scanned, and `records` holds the nonzero
+    /// ones — an id absent from a scanned range is zero on the
+    /// primary. `next == n_records` ends the scan.
+    pub fn repl_scan(
+        &mut self,
+        shard: u32,
+        from: u64,
+        max_records: u32,
+    ) -> WireResult<(u64, crate::ScanRecords)> {
+        let req = Request::ReplScan {
+            shard,
+            from,
+            max_records,
+        };
+        match self.request(&req)? {
+            Response::ReplRecords { next, records } => Ok((next, records)),
+            other => Err(unexpected("ReplRecords", &other)),
+        }
+    }
+
     /// Promotes a standby to primary: it stops pulling, drains replay,
     /// and starts accepting writes.
     pub fn promote(&mut self) -> WireResult<()> {
@@ -362,6 +384,7 @@ fn unexpected(wanted: &str, got: &Response) -> WireError {
         Response::TraceDump { .. } => "TraceDump",
         Response::ReplWelcome(_) => "ReplWelcome",
         Response::ReplBatch { .. } => "ReplBatch",
+        Response::ReplRecords { .. } => "ReplRecords",
         Response::Promoted => "Promoted",
         Response::Error { .. } => "Error",
     };

@@ -39,8 +39,8 @@ pub use frame::{
     read_frame, write_frame, FrameError, FrameReader, PollFrame, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use message::{
-    CkptStartState, CkptSummary, ErrorCode, ReplWelcome, Request, Response, ServerInfo,
-    TraceContext, FLAG_TRACED, REPL_VERSION,
+    CkptStartState, CkptSummary, ErrorCode, ReplWelcome, Request, Response, ScanRecords,
+    ServerInfo, TraceContext, FLAG_TRACED, REPL_VERSION,
 };
 
 use std::fmt;

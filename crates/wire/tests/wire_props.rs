@@ -63,6 +63,13 @@ fn requests() -> impl Strategy<Value = Request> {
             }
         ),
         Just(Request::Promote),
+        (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(shard, from, max_records)| {
+            Request::ReplScan {
+                shard,
+                from,
+                max_records,
+            }
+        }),
     ]
 }
 
@@ -163,6 +170,10 @@ fn responses() -> impl Strategy<Value = Response> {
                 bytes,
             }),
         Just(Response::Promoted),
+        (any::<u64>(), updates()).prop_map(|(next, records)| Response::ReplRecords {
+            next,
+            records: records.into_iter().map(|(r, w)| (r.raw(), w)).collect(),
+        }),
     ]
 }
 

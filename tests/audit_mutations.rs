@@ -14,6 +14,7 @@
 
 use mmdb::audit::{AuditEvent, CheckerId, PaintColor};
 use mmdb::checkpoint::BeginReport;
+use mmdb::shard::ShardedMmdb;
 use mmdb::types::{CheckpointId, Lsn, SegmentId};
 use mmdb::{Algorithm, CheckpointStart, Mmdb, MmdbConfig, RecordId, StepOutcome};
 
@@ -201,6 +202,45 @@ fn shard_checker_catches_a_misrouted_record() {
         v.message.contains("hash partition"),
         "violation should name the routing invariant: {v}"
     );
+}
+
+/// Same mutation, but against the real router: `ShardedMmdb::run_txn`
+/// audits every route it actually takes (through the same `shard_of`
+/// that filled the per-shard buckets), so real traffic is clean — and a
+/// router that re-derived the route divergently would emit exactly the
+/// event injected here, which must trip the checker.
+#[test]
+fn shard_checker_catches_a_divergent_router_rederivation() {
+    let cfg = MmdbConfig::small(Algorithm::FuzzyCopy);
+    let db = ShardedMmdb::open_in_memory(cfg, 4).expect("open");
+    let words = db.record_words();
+
+    // real routed traffic — single-shard fast path and 2PC — is clean
+    db.run_txn(&[(RecordId(5), vec![7; words])]).expect("txn");
+    db.run_txn(&[(RecordId(2), vec![8; words]), (RecordId(7), vec![9; words])])
+        .expect("cross-shard txn");
+    assert!(
+        db.audit_violations().is_empty(),
+        "the real router's own emits audit clean"
+    );
+
+    // mutate: report record 5 as routed to shard 2 (its home under the
+    // 4-way topology run_txn announced is 5 % 4 = 1)
+    db.audit().emit(|| AuditEvent::ShardRouted {
+        record: RecordId(5),
+        shard: 2,
+    });
+
+    let fired: Vec<CheckerId> = {
+        let mut out = Vec::new();
+        for v in db.audit_violations() {
+            if !out.contains(&v.checker) {
+                out.push(v.checker);
+            }
+        }
+        out
+    };
+    assert_eq!(fired, vec![CheckerId::Shard]);
 }
 
 #[test]

@@ -1,0 +1,62 @@
+//! The checked-in `BENCH_intra.json` must always match the intra-shard
+//! sweep schema: fixed keys and shapes, the full
+//! `{read, mixed} × {lockfree, locked} × {1, 2, 4, 8}` grid,
+//! wall-clock values. CI regenerates a fresh one and validates it the
+//! same way (values legitimately differ run to run, so the file is
+//! schema-checked plus speedup-checked, not byte-diffed).
+
+use mmdb::obs::json::{parse, Value};
+use mmdb::server::{validate_bench_intra_json, BENCH_INTRA_SCHEMA};
+
+const CHECKED_IN: &str = include_str!("../BENCH_intra.json");
+
+#[test]
+fn checked_in_bench_intra_json_validates() {
+    validate_bench_intra_json(CHECKED_IN).expect("BENCH_intra.json matches the schema");
+}
+
+#[test]
+fn checked_in_bench_intra_json_carries_the_schema_tag() {
+    assert!(
+        CHECKED_IN.contains(BENCH_INTRA_SCHEMA),
+        "BENCH_intra.json must declare {BENCH_INTRA_SCHEMA}"
+    );
+}
+
+#[test]
+fn checked_in_sweep_had_no_errors() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    for entry in v.get("sweep").and_then(Value::as_arr).expect("sweep") {
+        let errors = entry
+            .get("errors")
+            .and_then(Value::as_u64)
+            .expect("entry.errors");
+        assert_eq!(errors, 0, "every checked-in sweep point must be error-free");
+        let reads = entry.get("reads").and_then(Value::as_u64).expect("reads");
+        assert!(reads > 0, "every point must have completed reads");
+    }
+}
+
+#[test]
+fn checked_in_sweep_shows_the_lockfree_read_win() {
+    let v = parse(CHECKED_IN).expect("valid JSON");
+    let speedup = v
+        .get("read_speedup_4t")
+        .and_then(Value::as_f64)
+        .expect("read_speedup_4t headline");
+    assert!(
+        speedup >= 2.0,
+        "lock-free point reads at 4 threads must be >= 2x the forced-locked \
+         baseline (got {speedup:.2}x)"
+    );
+    // the mixed leg must not regress below the locked baseline either
+    let mixed = v
+        .get("mixed_speedup_4t")
+        .and_then(Value::as_f64)
+        .expect("mixed_speedup_4t headline");
+    assert!(
+        mixed >= 1.0,
+        "mixed-leg lock-free throughput at 4 threads fell below the locked \
+         baseline ({mixed:.2}x)"
+    );
+}
